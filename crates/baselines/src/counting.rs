@@ -1,0 +1,230 @@
+//! The counting algorithm.
+
+use apcm_bexpr::{BexprError, Event, Matcher, Schema, SubId, Subscription};
+use apcm_encoding::PredicateSpace;
+use std::sync::Mutex;
+
+/// The classic counting algorithm over the shared predicate space.
+///
+/// An inverted index maps each event-bitmap bit to the subscriptions that
+/// *require* it, plus a second index for the bits that *block* them (broad
+/// predicates — see the polarity rules in `apcm_encoding::index`). Per
+/// event: encode the event into its bitmap, bump a counter for every
+/// subscription on every set bit's required posting list, mark subscriptions
+/// on any set bit's blocked list, and report subscriptions whose counter
+/// reached their required count unblocked.
+///
+/// The counter array is corpus-sized but only entries actually touched are
+/// reset (dirty-list reset), so per-event cost is proportional to posting
+/// hits, not corpus size. The scratch lives behind a [`Mutex`]: counting is
+/// evaluated as the paper's sequential baseline, so cross-thread contention
+/// is out of scope by design.
+#[derive(Debug)]
+pub struct CountingMatcher {
+    space: PredicateSpace,
+    /// Required posting lists: bit → positions into `ids`/`required`.
+    postings: Vec<Vec<u32>>,
+    /// Blocked posting lists: bit → positions whose subscription is vetoed
+    /// when the bit is set.
+    blockings: Vec<Vec<u32>>,
+    /// Subscription ids by corpus position.
+    ids: Vec<SubId>,
+    /// Required bits per subscription (match when the counter hits it).
+    required: Vec<u32>,
+    scratch: Mutex<Scratch>,
+}
+
+#[derive(Debug)]
+struct Scratch {
+    counts: Vec<u32>,
+    blocked: Vec<bool>,
+    dirty: Vec<u32>,
+}
+
+impl CountingMatcher {
+    /// Builds the inverted index for a corpus.
+    pub fn build(schema: &Schema, subs: &[Subscription]) -> Result<Self, BexprError> {
+        let (space, encoded) = PredicateSpace::build(schema, subs)?;
+        let mut postings = vec![Vec::new(); space.width()];
+        let mut blockings = vec![Vec::new(); space.width()];
+        let mut ids = Vec::with_capacity(encoded.len());
+        let mut required = Vec::with_capacity(encoded.len());
+        for (pos, enc) in encoded.iter().enumerate() {
+            ids.push(enc.id);
+            required.push(enc.required.len() as u32);
+            for &bit in enc.required.ids() {
+                postings[bit as usize].push(pos as u32);
+            }
+            for &bit in enc.blocked.ids() {
+                blockings[bit as usize].push(pos as u32);
+            }
+        }
+        let n = ids.len();
+        Ok(Self {
+            space,
+            postings,
+            blockings,
+            ids,
+            required,
+            scratch: Mutex::new(Scratch {
+                counts: vec![0; n],
+                blocked: vec![false; n],
+                dirty: Vec::new(),
+            }),
+        })
+    }
+
+    /// Total posting-list entries (index size metric for the build table).
+    pub fn posting_entries(&self) -> usize {
+        self.postings.iter().map(Vec::len).sum::<usize>()
+            + self.blockings.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+impl Matcher for CountingMatcher {
+    fn match_event(&self, ev: &Event) -> Vec<SubId> {
+        let ebits = self.space.encode_event(ev);
+        let mut scratch = self.scratch.lock().expect("counting scratch poisoned");
+        let Scratch {
+            counts,
+            blocked,
+            dirty,
+        } = &mut *scratch;
+        for bit in ebits.ones() {
+            for &pos in &self.postings[bit] {
+                let c = &mut counts[pos as usize];
+                if *c == 0 && !blocked[pos as usize] {
+                    dirty.push(pos);
+                }
+                *c += 1;
+            }
+            for &pos in &self.blockings[bit] {
+                if counts[pos as usize] == 0 && !blocked[pos as usize] {
+                    dirty.push(pos);
+                }
+                blocked[pos as usize] = true;
+            }
+        }
+        let mut out = Vec::new();
+        for &pos in dirty.iter() {
+            let pos = pos as usize;
+            if !blocked[pos] && counts[pos] == self.required[pos] {
+                out.push(self.ids[pos]);
+            }
+            counts[pos] = 0;
+            blocked[pos] = false;
+        }
+        dirty.clear();
+        drop(scratch);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "COUNTING"
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SequentialScan;
+    use apcm_bexpr::parser;
+    use apcm_workload::{OperatorMix, WorkloadSpec};
+
+    #[test]
+    fn agrees_with_scan_on_random_workloads() {
+        for seed in 0..3u64 {
+            let wl = WorkloadSpec::new(400)
+                .seed(seed)
+                .planted_fraction(0.3)
+                .build();
+            let scan = SequentialScan::new(&wl.subs);
+            let counting = CountingMatcher::build(&wl.schema, &wl.subs).unwrap();
+            for ev in wl.events(40) {
+                assert_eq!(
+                    counting.match_event(&ev),
+                    scan.match_event(&ev),
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_on_range_heavy_mix() {
+        let wl = WorkloadSpec::new(300)
+            .operators(OperatorMix::range_heavy())
+            .planted_fraction(0.4)
+            .seed(7)
+            .build();
+        let scan = SequentialScan::new(&wl.subs);
+        let counting = CountingMatcher::build(&wl.schema, &wl.subs).unwrap();
+        for ev in wl.events(40) {
+            assert_eq!(counting.match_event(&ev), scan.match_event(&ev));
+        }
+    }
+
+    #[test]
+    fn negations_handled_via_blocked_lists() {
+        let schema = apcm_bexpr::Schema::uniform(2, 100);
+        let subs = vec![
+            parser::parse_subscription_with_id(&schema, SubId(0), "a0 != 5").unwrap(),
+            parser::parse_subscription_with_id(&schema, SubId(1), "a0 != 5 AND a1 NOT IN {1, 2}")
+                .unwrap(),
+        ];
+        let counting = CountingMatcher::build(&schema, &subs).unwrap();
+        let ev = parser::parse_event(&schema, "a0 = 6, a1 = 3").unwrap();
+        assert_eq!(counting.match_event(&ev), vec![SubId(0), SubId(1)]);
+        let ev = parser::parse_event(&schema, "a0 = 5, a1 = 3").unwrap();
+        assert!(counting.match_event(&ev).is_empty());
+        let ev = parser::parse_event(&schema, "a0 = 6, a1 = 2").unwrap();
+        assert_eq!(counting.match_event(&ev), vec![SubId(0)]);
+        // a1 absent: sub 1 requires its presence.
+        let ev = parser::parse_event(&schema, "a0 = 6").unwrap();
+        assert_eq!(counting.match_event(&ev), vec![SubId(0)]);
+    }
+
+    #[test]
+    fn counter_reset_is_complete_across_events() {
+        // The same event twice must give identical results; a stale counter
+        // or blocked flag would corrupt the second pass.
+        let wl = WorkloadSpec::new(200).planted_fraction(1.0).seed(3).build();
+        let counting = CountingMatcher::build(&wl.schema, &wl.subs).unwrap();
+        let ev = &wl.events(1)[0];
+        let first = counting.match_event(ev);
+        let second = counting.match_event(ev);
+        assert_eq!(first, second);
+        assert!(!first.is_empty(), "planted event must match");
+    }
+
+    #[test]
+    fn shared_predicates_counted_once_each() {
+        let schema = apcm_bexpr::Schema::uniform(3, 10);
+        // Both subs share `a0 = 1`; sub 1 additionally needs `a1 = 2`.
+        let subs = vec![
+            parser::parse_subscription_with_id(&schema, SubId(0), "a0 = 1").unwrap(),
+            parser::parse_subscription_with_id(&schema, SubId(1), "a0 = 1 AND a1 = 2").unwrap(),
+        ];
+        let counting = CountingMatcher::build(&schema, &subs).unwrap();
+        assert_eq!(counting.posting_entries(), 3);
+        let ev = parser::parse_event(&schema, "a0 = 1").unwrap();
+        assert_eq!(counting.match_event(&ev), vec![SubId(0)]);
+        let ev = parser::parse_event(&schema, "a0 = 1, a1 = 2").unwrap();
+        assert_eq!(counting.match_event(&ev), vec![SubId(0), SubId(1)]);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let schema = apcm_bexpr::Schema::uniform(2, 10);
+        let counting = CountingMatcher::build(&schema, &[]).unwrap();
+        let ev = parser::parse_event(&schema, "a0 = 1").unwrap();
+        assert!(counting.match_event(&ev).is_empty());
+        assert!(counting.is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! Baseline matching engines.
+//!
+//! The paper positions A-PCM against the state of the art in
+//! Boolean-expression matching. This crate implements the standard
+//! comparators (BE-Tree lives in its own crate, `apcm-betree`):
+//!
+//! * [`SequentialScan`] — evaluate every expression per event. This is the
+//!   floor every index must beat, and the engine whose collapse at millions
+//!   of expressions ("36 events/s at 5M") motivates the paper.
+//! * [`ParallelScan`] — the same scan fanned out over cores with rayon;
+//!   isolates how much of A-PCM's win comes from parallelism alone versus
+//!   compression + encoding.
+//! * [`CountingMatcher`] — the classic counting algorithm (Yan & García-
+//!   Molina): an inverted index from predicate to subscriptions plus a
+//!   per-event satisfied-predicate counter with dirty-list reset.
+//! * [`KIndex`] — the k-index of Whang et al. (VLDB 2009): subscriptions
+//!   partitioned by size with posting lists keyed by `(attribute, value)`;
+//!   partitions larger than the event are skipped wholesale.
+//!
+//! Every engine implements [`apcm_bexpr::Matcher`] and is tested for exact
+//! agreement with brute-force evaluation and with each other.
+
+pub mod counting;
+pub mod kindex;
+pub mod parallel_scan;
+pub mod scan;
+
+pub use counting::CountingMatcher;
+pub use kindex::KIndex;
+pub use parallel_scan::ParallelScan;
+pub use scan::SequentialScan;

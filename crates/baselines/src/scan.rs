@@ -1,0 +1,103 @@
+//! Naive sequential scan.
+
+use apcm_bexpr::{Event, Matcher, SubId, Subscription};
+
+/// Evaluates every subscription against every event, one after the other.
+///
+/// `O(corpus size · expression size)` per event — the sequential
+/// state-of-nothing baseline whose collapse at large corpora (the abstract's
+/// "36 events/s at five million expressions") motivates compressed parallel
+/// matching. Also the simplest possible correct engine, so every other
+/// matcher is differential-tested against it.
+#[derive(Debug)]
+pub struct SequentialScan {
+    subs: Vec<Subscription>,
+}
+
+impl SequentialScan {
+    /// Indexes (copies) the corpus.
+    pub fn new(subs: &[Subscription]) -> Self {
+        Self {
+            subs: subs.to_vec(),
+        }
+    }
+
+    /// The indexed subscriptions.
+    pub fn subs(&self) -> &[Subscription] {
+        &self.subs
+    }
+}
+
+impl Matcher for SequentialScan {
+    fn match_event(&self, ev: &Event) -> Vec<SubId> {
+        let mut out: Vec<SubId> = self
+            .subs
+            .iter()
+            .filter(|s| s.matches(ev))
+            .map(|s| s.id())
+            .collect();
+        // Corpus order need not be id order; normalize.
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "SCAN"
+    }
+
+    fn len(&self) -> usize {
+        self.subs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apcm_bexpr::{parser, Schema, SubId};
+
+    #[test]
+    fn matches_brute_force_semantics() {
+        let schema = Schema::uniform(4, 100);
+        let subs: Vec<_> = ["a0 = 5", "a0 = 5 AND a1 > 50", "a2 < 10"]
+            .iter()
+            .enumerate()
+            .map(|(i, t)| parser::parse_subscription_with_id(&schema, SubId(i as u32), t).unwrap())
+            .collect();
+        let scan = SequentialScan::new(&subs);
+        assert_eq!(scan.len(), 3);
+
+        let ev = parser::parse_event(&schema, "a0 = 5, a1 = 60, a2 = 3").unwrap();
+        assert_eq!(
+            scan.match_event(&ev),
+            vec![SubId(0), SubId(1), SubId(2)]
+        );
+        let ev = parser::parse_event(&schema, "a0 = 5, a1 = 10").unwrap();
+        assert_eq!(scan.match_event(&ev), vec![SubId(0)]);
+        let ev = parser::parse_event(&schema, "a3 = 1").unwrap();
+        assert!(scan.match_event(&ev).is_empty());
+    }
+
+    #[test]
+    fn results_sorted_even_with_shuffled_ids() {
+        let schema = Schema::uniform(2, 10);
+        let subs: Vec<_> = [9u32, 3, 7]
+            .iter()
+            .map(|&id| {
+                parser::parse_subscription_with_id(&schema, SubId(id), "a0 >= 0").unwrap()
+            })
+            .collect();
+        let scan = SequentialScan::new(&subs);
+        let ev = parser::parse_event(&schema, "a0 = 1").unwrap();
+        assert_eq!(scan.match_event(&ev), vec![SubId(3), SubId(7), SubId(9)]);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let scan = SequentialScan::new(&[]);
+        assert!(scan.is_empty());
+        let schema = Schema::uniform(1, 10);
+        let ev = parser::parse_event(&schema, "a0 = 1").unwrap();
+        assert!(scan.match_event(&ev).is_empty());
+    }
+}

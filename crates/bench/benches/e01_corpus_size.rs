@@ -1,0 +1,41 @@
+//! E1 (Criterion micro-version) — matching throughput vs corpus size.
+//!
+//! The headline experiment: the sequential scan collapses linearly with the
+//! corpus while the compressed engines stay flat-ish. Full sweep:
+//! `cargo run --release -p apcm-bench --bin harness -- --experiment e1`.
+
+use apcm_bench::EngineKind;
+use apcm_workload::WorkloadSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e01_corpus_size");
+    for n in [5_000usize, 20_000] {
+        let wl = WorkloadSpec::new(n).seed(42).build();
+        let events = wl.events(256);
+        group.throughput(Throughput::Elements(events.len() as u64));
+        for kind in [
+            EngineKind::Scan,
+            EngineKind::Counting,
+            EngineKind::BeTree,
+            EngineKind::Pcm,
+            EngineKind::Apcm,
+        ] {
+            let (matcher, _) = kind.build(&wl);
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &events, |b, evs| {
+                b.iter(|| matcher.match_batch(evs));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E3 (Criterion micro-version) — OSR batch size and re-ordering ablation.
+//!
+//! Full sweep: `harness --experiment e3`.
+
+use apcm_bexpr::Matcher;
+use apcm_core::{AdaptiveConfig, ApcmConfig, ApcmMatcher};
+use apcm_workload::WorkloadSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let wl = WorkloadSpec::new(20_000).seed(42).planted_fraction(0.05).build();
+    let events = wl.events(1024);
+
+    let mut group = c.benchmark_group("e03_osr");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for reorder in [false, true] {
+        for batch in [1usize, 64, 1024] {
+            let config = ApcmConfig {
+                batch_size: batch,
+                reorder,
+                adaptive: AdaptiveConfig::disabled(),
+                ..ApcmConfig::default()
+            };
+            let matcher = ApcmMatcher::build(&wl.schema, &wl.subs, &config).unwrap();
+            let label = if reorder { "reorder" } else { "fifo" };
+            group.bench_with_input(BenchmarkId::new(label, batch), &events, |b, evs| {
+                b.iter(|| matcher.match_batch(evs));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E6 (Criterion micro-version) — throughput vs dimensionality.
+//!
+//! Full sweep: `harness --experiment e6`.
+
+use apcm_bench::EngineKind;
+use apcm_workload::WorkloadSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e06_dims");
+    for d in [10usize, 100, 1_000] {
+        let wl = WorkloadSpec::new(10_000)
+            .dims(d)
+            .event_size(d.min(15))
+            .sub_preds(3, 7.min(d))
+            .seed(42)
+            .build();
+        let events = wl.events(256);
+        group.throughput(Throughput::Elements(events.len() as u64));
+        for kind in [EngineKind::BeTree, EngineKind::Pcm, EngineKind::Apcm] {
+            let (matcher, _) = kind.build(&wl);
+            group.bench_with_input(BenchmarkId::new(kind.name(), d), &events, |b, evs| {
+                b.iter(|| matcher.match_batch(evs));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

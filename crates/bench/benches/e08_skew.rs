@@ -1,0 +1,40 @@
+//! E8 (Criterion micro-version) — throughput vs value skew.
+//!
+//! Full sweep: `harness --experiment e8`.
+
+use apcm_bench::EngineKind;
+use apcm_workload::{ValueDist, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e08_skew");
+    for s in [0.0f64, 1.0, 2.0] {
+        let dist = if s == 0.0 {
+            ValueDist::Uniform
+        } else {
+            ValueDist::Zipf(s)
+        };
+        let wl = WorkloadSpec::new(10_000).values(dist).seed(42).build();
+        let events = wl.events(256);
+        group.throughput(Throughput::Elements(events.len() as u64));
+        for kind in [EngineKind::BeTree, EngineKind::Pcm, EngineKind::Apcm] {
+            let (matcher, _) = kind.build(&wl);
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("s{s}")),
+                &events,
+                |b, evs| b.iter(|| matcher.match_batch(evs)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

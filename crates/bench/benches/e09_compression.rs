@@ -1,0 +1,53 @@
+//! E9 (Criterion micro-version) — compression ablation: cluster size bound
+//! and clustering policy.
+//!
+//! Full sweep with memory and prune-rate columns: `harness --experiment e9`.
+
+use apcm_core::{ApcmConfig, ClusteringPolicy, PcmMatcher};
+use apcm_bexpr::Matcher;
+use apcm_workload::WorkloadSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let wl = WorkloadSpec::new(20_000).seed(42).build();
+    let events = wl.events(256);
+
+    let mut group = c.benchmark_group("e09_compression");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for (pname, policy) in [
+        ("pivot", ClusteringPolicy::PivotPredicate),
+        ("sorted", ClusteringPolicy::SortedSignature),
+        (
+            "greedy",
+            ClusteringPolicy::GreedyLeader {
+                threshold: 0.3,
+                window: 32,
+            },
+        ),
+    ] {
+        for max_size in [1usize, 64, 1024] {
+            let config = ApcmConfig {
+                clustering: policy,
+                max_cluster_size: max_size,
+                ..ApcmConfig::pcm()
+            };
+            let matcher = PcmMatcher::build(&wl.schema, &wl.subs, &config).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(pname, max_size),
+                &events,
+                |b, evs| b.iter(|| matcher.match_batch(evs)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

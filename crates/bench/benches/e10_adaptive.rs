@@ -1,0 +1,68 @@
+//! E10 (Criterion micro-version) — adaptivity under drift: static PCM
+//! configuration vs A-PCM with epoch maintenance on a drifting stream.
+//!
+//! Full phase-by-phase sweep: `harness --experiment e10`.
+
+use apcm_core::{AdaptiveConfig, ApcmConfig, ApcmMatcher};
+use apcm_bexpr::{Event, Matcher};
+use apcm_workload::{DriftingStream, ValueDist, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let wl = WorkloadSpec::new(20_000)
+        .values(ValueDist::Zipf(1.0))
+        .planted_fraction(0.02)
+        .seed(42)
+        .build();
+    // A drifted window: hot values rotated away from the build-time
+    // distribution.
+    let drifted: Vec<Event> = DriftingStream::new(&wl, 64, 211, 7)
+        .skip(1024)
+        .take(512)
+        .collect();
+
+    let configs = [
+        (
+            "static",
+            ApcmConfig {
+                adaptive: AdaptiveConfig::disabled(),
+                ..ApcmConfig::default()
+            },
+        ),
+        (
+            "adaptive",
+            ApcmConfig {
+                adaptive: AdaptiveConfig {
+                    epoch_events: 256,
+                    min_probes: 16,
+                    ..AdaptiveConfig::default()
+                },
+                ..ApcmConfig::default()
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("e10_adaptive");
+    group.throughput(Throughput::Elements(drifted.len() as u64));
+    for (label, config) in configs {
+        let matcher = ApcmMatcher::build(&wl.schema, &wl.subs, &config).unwrap();
+        // Warm the counters so the adaptive engine has had epochs to react.
+        for chunk in drifted.chunks(128) {
+            let _ = matcher.match_batch(chunk);
+        }
+        group.bench_with_input(BenchmarkId::new(label, "drifted"), &drifted, |b, evs| {
+            b.iter(|| matcher.match_batch(evs));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E11 (Criterion micro-version) — single-event matching latency.
+//!
+//! Percentile table: `harness --experiment e11`.
+
+use apcm_bench::EngineKind;
+use apcm_workload::WorkloadSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let wl = WorkloadSpec::new(20_000).seed(42).build();
+    let events = wl.events(64);
+
+    let mut group = c.benchmark_group("e11_latency");
+    for kind in [
+        EngineKind::Counting,
+        EngineKind::KIndex,
+        EngineKind::BeTree,
+        EngineKind::Pcm,
+        EngineKind::Apcm,
+    ] {
+        let (matcher, _) = kind.build(&wl);
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::new(kind.name(), "event"), |b| {
+            b.iter(|| {
+                let ev = &events[i % events.len()];
+                i += 1;
+                matcher.match_event(ev)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

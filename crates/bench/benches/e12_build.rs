@@ -1,0 +1,59 @@
+//! E12 (Criterion micro-version) — index construction and dynamic
+//! maintenance.
+//!
+//! Full table with per-engine build rates: `harness --experiment e12`.
+
+use apcm_bench::EngineKind;
+use apcm_core::{ApcmConfig, ApcmMatcher};
+use apcm_bexpr::{SubId, Subscription};
+use apcm_workload::WorkloadSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let wl = WorkloadSpec::new(10_000).seed(42).build();
+
+    let mut group = c.benchmark_group("e12_build");
+    group.throughput(Throughput::Elements(wl.subs.len() as u64));
+    for kind in [
+        EngineKind::Counting,
+        EngineKind::KIndex,
+        EngineKind::BeTree,
+        EngineKind::Pcm,
+        EngineKind::Apcm,
+    ] {
+        group.bench_function(BenchmarkId::new("build", kind.name()), |b| {
+            b.iter(|| kind.build(&wl));
+        });
+    }
+
+    // Dynamic churn on A-PCM: subscribe + unsubscribe round trips.
+    let extra = WorkloadSpec::new(512).seed(43).build();
+    let fresh: Vec<Subscription> = extra
+        .subs
+        .iter()
+        .map(|s| Subscription::new(SubId(s.id().0 + 1_000_000), s.predicates().to_vec()).unwrap())
+        .collect();
+    let matcher = ApcmMatcher::build(&wl.schema, &wl.subs, &ApcmConfig::default()).unwrap();
+    group.throughput(Throughput::Elements(fresh.len() as u64));
+    group.bench_function("apcm_churn_roundtrip", |b| {
+        b.iter(|| {
+            for sub in &fresh {
+                matcher.subscribe(sub).unwrap();
+            }
+            for sub in &fresh {
+                matcher.unsubscribe(sub.id());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,520 @@
+//! Experiment harness: regenerates every table/figure of the evaluation.
+//!
+//! ```sh
+//! cargo run --release -p apcm-bench --bin harness -- --experiment all
+//! cargo run --release -p apcm-bench --bin harness -- --experiment e1 --scale 0.1
+//! ```
+//!
+//! `--scale` multiplies the paper-scale corpus sizes (1.0 = the paper's
+//! 5M-expression setting; the default 0.02 finishes a full pass in minutes
+//! on a laptop). Shapes — who wins, by what factor, where crossovers sit —
+//! are scale-stable; absolute events/s are hardware-dependent. See
+//! EXPERIMENTS.md for recorded runs and the paper-vs-measured discussion.
+
+use apcm_bench::{fmt_bytes, fmt_rate, measure_latency, measure_throughput, EngineKind, Table};
+use apcm_bexpr::{Event, Matcher, SubId, Subscription};
+use apcm_core::{AdaptiveConfig, ApcmConfig, ApcmMatcher, ClusteringPolicy, Executor, PcmMatcher};
+use apcm_workload::{DriftingStream, ValueDist, Workload, WorkloadSpec};
+use std::time::{Duration, Instant};
+
+struct Args {
+    experiment: String,
+    scale: f64,
+    budget: Duration,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        experiment: "all".to_string(),
+        scale: 0.02,
+        budget: Duration::from_millis(1500),
+        seed: 42,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = || {
+            iter.next()
+                .unwrap_or_else(|| panic!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--experiment" | "-e" => args.experiment = value().to_lowercase(),
+            "--scale" | "-s" => args.scale = value().parse().expect("numeric --scale"),
+            "--budget-ms" => {
+                args.budget = Duration::from_millis(value().parse().expect("numeric --budget-ms"))
+            }
+            "--seed" => args.seed = value().parse().expect("numeric --seed"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: harness [--experiment e1..e12|all] [--scale F] [--budget-ms N] [--seed N]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Paper-scale corpus size, scaled down for laptop runs, floored at 1k.
+fn scaled(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale) as usize).max(1_000)
+}
+
+fn base_spec(n: usize, seed: u64) -> WorkloadSpec {
+    WorkloadSpec::new(n).seed(seed)
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "# A-PCM evaluation harness — scale={}, budget={:?}/cell, seed={}, {} cores",
+        args.scale,
+        args.budget,
+        args.seed,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    );
+    println!();
+    let run_all = args.experiment == "all";
+    let want = |id: &str| run_all || args.experiment == id;
+
+    if want("e1") {
+        e1_corpus_size(&args);
+    }
+    if want("e2") {
+        e2_threads(&args);
+    }
+    if want("e3") {
+        e3_osr(&args);
+    }
+    if want("e4") {
+        e4_sub_size(&args);
+    }
+    if want("e5") {
+        e5_event_size(&args);
+    }
+    if want("e6") {
+        e6_dims(&args);
+    }
+    if want("e7") {
+        e7_match_prob(&args);
+    }
+    if want("e8") {
+        e8_skew(&args);
+    }
+    if want("e9") {
+        e9_compression(&args);
+    }
+    if want("e10") {
+        e10_adaptive(&args);
+    }
+    if want("e11") {
+        e11_latency(&args);
+    }
+    if want("e12") {
+        e12_build(&args);
+    }
+}
+
+/// E1 — headline: throughput vs corpus size, all engines. The abstract's
+/// claim is A-PCM at 233,863 ev/s vs a sequential matcher at 36 ev/s with
+/// 5M expressions; the reproduction target is the *ratio and its growth*
+/// with corpus size.
+fn e1_corpus_size(args: &Args) {
+    println!("## E1 — matching throughput vs corpus size (events/s)\n");
+    let sizes: Vec<usize> = [100_000usize, 500_000, 1_000_000, 2_500_000, 5_000_000]
+        .iter()
+        .map(|&b| scaled(b, args.scale))
+        .collect();
+    let mut headers = vec!["engine".to_string()];
+    headers.extend(sizes.iter().map(|s| format!("{s}")));
+    let mut table = Table::new(headers);
+    let workloads: Vec<Workload> = sizes
+        .iter()
+        .map(|&n| base_spec(n, args.seed).build())
+        .collect();
+    for kind in EngineKind::ALL {
+        let mut cells = vec![kind.name().to_string()];
+        for wl in &workloads {
+            let (matcher, _) = kind.build(wl);
+            let events = wl.events(20_000);
+            let t = measure_throughput(matcher.as_ref(), &events, args.budget);
+            cells.push(fmt_rate(t.events_per_sec));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!();
+}
+
+/// E2 — scalability with worker threads (rayon vs crossbeam executors, plus
+/// the parallel scan for reference).
+fn e2_threads(args: &Args) {
+    println!("## E2 — A-PCM throughput vs threads (events/s)\n");
+    let n = scaled(1_000_000, args.scale);
+    let wl = base_spec(n, args.seed).build();
+    let events = wl.events(20_000);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut threads = vec![1usize];
+    while *threads.last().unwrap() * 2 <= max_threads {
+        threads.push(threads.last().unwrap() * 2);
+    }
+    if *threads.last().unwrap() != max_threads {
+        threads.push(max_threads);
+    }
+
+    let mut headers = vec!["executor".to_string()];
+    headers.extend(threads.iter().map(|t| format!("{t}t")));
+    let mut table = Table::new(headers);
+    for (label, executor) in [("A-PCM/rayon", Executor::Rayon), ("A-PCM/crossbeam", Executor::Crossbeam)] {
+        let mut cells = vec![label.to_string()];
+        for &t in &threads {
+            let config = ApcmConfig {
+                executor,
+                ..ApcmConfig::default().with_threads(t)
+            };
+            let matcher = ApcmMatcher::build(&wl.schema, &wl.subs, &config).unwrap();
+            let m = measure_throughput(&matcher, &events, args.budget);
+            cells.push(fmt_rate(m.events_per_sec));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!("(corpus {n}; sequential PCM-SEQ appears in E1 as the 1-thread floor)\n");
+}
+
+/// E3 — OSR: batch size sweep with re-ordering on/off.
+fn e3_osr(args: &Args) {
+    println!("## E3 — OSR batch size sweep (events/s)\n");
+    let n = scaled(1_000_000, args.scale);
+    let wl = base_spec(n, args.seed).planted_fraction(0.05).build();
+    let events = wl.events(20_000);
+    let batches = [1usize, 16, 64, 256, 1024, 4096];
+    let mut headers = vec!["reorder".to_string()];
+    headers.extend(batches.iter().map(|b| format!("b={b}")));
+    let mut table = Table::new(headers);
+    for reorder in [false, true] {
+        let mut cells = vec![if reorder { "on" } else { "off" }.to_string()];
+        for &batch in &batches {
+            let config = ApcmConfig {
+                batch_size: batch,
+                reorder,
+                adaptive: AdaptiveConfig::disabled(),
+                ..ApcmConfig::default()
+            };
+            let matcher = ApcmMatcher::build(&wl.schema, &wl.subs, &config).unwrap();
+            let m = measure_throughput(&matcher, &events, args.budget);
+            cells.push(fmt_rate(m.events_per_sec));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!("(corpus {n}; b=1 is per-event matching, no batch pruning)\n");
+}
+
+/// E4 — expression size (predicates per subscription).
+fn e4_sub_size(args: &Args) {
+    println!("## E4 — throughput vs expression size (events/s)\n");
+    let n = scaled(1_000_000, args.scale);
+    let ks = [3usize, 5, 7, 9, 12, 15];
+    sweep_indexed(args, &ks, |&k| {
+        base_spec(n, args.seed).sub_preds(k, k).event_size(18)
+    }, |k| format!("k={k}"));
+}
+
+/// E5 — event size (attributes per event).
+fn e5_event_size(args: &Args) {
+    println!("## E5 — throughput vs event size (events/s)\n");
+    let n = scaled(1_000_000, args.scale);
+    let sizes = [5usize, 10, 20, 40, 60];
+    sweep_indexed(args, &sizes, |&m| {
+        base_spec(n, args.seed).dims(60).event_size(m)
+    }, |m| format!("m={m}"));
+}
+
+/// E6 — dimensionality of the attribute space.
+fn e6_dims(args: &Args) {
+    println!("## E6 — throughput vs dimensionality (events/s)\n");
+    let n = scaled(1_000_000, args.scale);
+    let dims = [10usize, 100, 1_000, 10_000];
+    sweep_indexed(args, &dims, |&d| {
+        base_spec(n, args.seed)
+            .dims(d)
+            .event_size(d.min(15))
+            .sub_preds(3, 7.min(d))
+    }, |d| format!("d={d}"));
+}
+
+/// E7 — matching probability (planted-match fraction).
+fn e7_match_prob(args: &Args) {
+    println!("## E7 — throughput vs matching probability (events/s)\n");
+    let n = scaled(1_000_000, args.scale);
+    let fractions = [0.001f64, 0.01, 0.05, 0.2, 0.5];
+    sweep_indexed(args, &fractions, |&p| {
+        base_spec(n, args.seed).planted_fraction(p)
+    }, |p| format!("p={p}"));
+}
+
+/// E8 — value skew (uniform vs Zipf).
+fn e8_skew(args: &Args) {
+    println!("## E8 — throughput vs value skew (events/s)\n");
+    let n = scaled(1_000_000, args.scale);
+    let skews = [0.0f64, 0.5, 1.0, 1.5, 2.0];
+    sweep_indexed(args, &skews, |&s| {
+        let dist = if s == 0.0 {
+            ValueDist::Uniform
+        } else {
+            ValueDist::Zipf(s)
+        };
+        base_spec(n, args.seed).values(dist)
+    }, |s| format!("s={s}"));
+}
+
+/// Shared sweep body for E4–E8: one column per parameter value, one row per
+/// indexed engine.
+fn sweep_indexed<P>(
+    args: &Args,
+    params: &[P],
+    spec_for: impl Fn(&P) -> WorkloadSpec,
+    label: impl Fn(&P) -> String,
+) {
+    let workloads: Vec<Workload> = params.iter().map(|p| spec_for(p).build()).collect();
+    let mut headers = vec!["engine".to_string()];
+    headers.extend(params.iter().map(&label));
+    let mut table = Table::new(headers);
+    for kind in EngineKind::INDEXED {
+        let mut cells = vec![kind.name().to_string()];
+        for wl in &workloads {
+            let (matcher, _) = kind.build(wl);
+            let events = wl.events(20_000);
+            let t = measure_throughput(matcher.as_ref(), &events, args.budget);
+            cells.push(fmt_rate(t.events_per_sec));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!();
+}
+
+/// E9 — compression: cluster size and policy vs memory, build time,
+/// throughput, and prune rate.
+fn e9_compression(args: &Args) {
+    println!("## E9 — compression ablation (cluster size × policy)\n");
+    let n = scaled(1_000_000, args.scale);
+    let wl = base_spec(n, args.seed).build();
+    let events = wl.events(10_000);
+    let mut table = Table::new(vec![
+        "policy", "max_size", "clusters", "bitmap mem", "build", "events/s", "prune%",
+    ]);
+    for (pname, policy) in [
+        ("pivot", ClusteringPolicy::PivotPredicate),
+        ("sorted", ClusteringPolicy::SortedSignature),
+        (
+            "greedy",
+            ClusteringPolicy::GreedyLeader {
+                threshold: 0.3,
+                window: 32,
+            },
+        ),
+    ] {
+        for max_size in [1usize, 4, 16, 64, 256, 1024] {
+            let config = ApcmConfig {
+                clustering: policy,
+                max_cluster_size: max_size,
+                ..ApcmConfig::pcm()
+            };
+            let start = Instant::now();
+            let matcher = PcmMatcher::build(&wl.schema, &wl.subs, &config).unwrap();
+            let build = start.elapsed();
+            let t = measure_throughput(&matcher, &events, args.budget);
+            let (probes, prunes) = matcher.clusters().iter().fold((0u64, 0u64), |acc, c| {
+                (
+                    acc.0 + c.probes.load(std::sync::atomic::Ordering::Relaxed),
+                    acc.1 + c.prunes.load(std::sync::atomic::Ordering::Relaxed),
+                )
+            });
+            table.row(vec![
+                pname.to_string(),
+                format!("{max_size}"),
+                format!("{}", matcher.clusters().len()),
+                fmt_bytes(matcher.heap_bytes()),
+                format!("{build:.2?}"),
+                fmt_rate(t.events_per_sec),
+                format!("{:.1}", 100.0 * prunes as f64 / probes.max(1) as f64),
+            ]);
+        }
+    }
+    table.print();
+    println!("(max_size=1 is uncompressed per-subscription storage)\n");
+}
+
+/// E10 — adaptivity under drift: a static cluster/key layout vs A-PCM's
+/// epoch maintenance, on a stream whose hot values rotate. The adaptive
+/// engine re-keys clusters away from predicates the drift made hot (using
+/// observed firing rates) and re-clusters unproductive clusters.
+fn e10_adaptive(args: &Args) {
+    println!("## E10 — adaptivity under workload drift\n");
+    let n = scaled(1_000_000, args.scale);
+    // Adversarial-for-static shape: few dimensions, strongly Zipf-skewed
+    // values on both sides. Static keying breaks selectivity ties toward
+    // corpus-frequent predicates, which under shared skew are exactly the
+    // predicates hot events keep firing — clusters get probed constantly
+    // without matching. The adaptive engine observes the firing rates and
+    // re-keys; the drift rotation keeps moving the hot spot so the static
+    // layout can never be right for long.
+    let wl = base_spec(n, args.seed)
+        .dims(8)
+        .sub_preds(2, 3)
+        .event_size(8)
+        .values(ValueDist::Zipf(1.5))
+        .planted_fraction(0.0)
+        .build();
+    let phase_events = 5_000usize;
+    let phases = 6usize;
+
+    // Large clusters make every wasted probe expensive (a full member
+    // sweep), which is the regime where re-keying pays.
+    let configs = [
+        (
+            "PCM (static)",
+            ApcmConfig {
+                adaptive: AdaptiveConfig::disabled(),
+                max_cluster_size: 256,
+                ..ApcmConfig::default()
+            },
+        ),
+        (
+            "A-PCM (adaptive)",
+            ApcmConfig {
+                adaptive: AdaptiveConfig {
+                    epoch_events: (phase_events / 2) as u64,
+                    min_probes: 32,
+                    min_prune_rate: 0.5,
+                    ..AdaptiveConfig::default()
+                },
+                max_cluster_size: 256,
+                ..ApcmConfig::default()
+            },
+        ),
+    ];
+
+    let mut headers = vec!["engine".to_string()];
+    headers.extend((1..=phases).map(|p| format!("phase{p}")));
+    headers.push("probes/ev".to_string());
+    headers.push("maint".to_string());
+    let mut table = Table::new(headers);
+    for (label, config) in configs {
+        let matcher = ApcmMatcher::build(&wl.schema, &wl.subs, &config).unwrap();
+        // Drift: rotate hot value ranks between phases.
+        let mut stream = DriftingStream::new(&wl, phase_events, 211, args.seed ^ 0xE10);
+        let mut cells = vec![label.to_string()];
+        let mut total_probes = 0u64;
+        for _ in 0..phases {
+            let window: Vec<Event> = (&mut stream).take(phase_events).collect();
+            let before = matcher.stats();
+            let start = Instant::now();
+            for chunk in window.chunks(1024) {
+                std::hint::black_box(matcher.match_batch(chunk));
+            }
+            let elapsed = start.elapsed();
+            let after = matcher.stats();
+            // Counters reset at each maintenance pass; accumulate the delta
+            // conservatively (post-reset snapshots undercount, which biases
+            // against the adaptive engine, never for it).
+            total_probes += after.probes.saturating_sub(before.probes);
+            cells.push(fmt_rate(phase_events as f64 / elapsed.as_secs_f64()));
+        }
+        let stats = matcher.stats();
+        cells.push(format!(
+            "{}",
+            total_probes / (phases * phase_events) as u64
+        ));
+        cells.push(format!("{}", stats.maintenance_runs));
+        table.row(cells);
+    }
+    table.print();
+    println!("(hot-value rotation every {phase_events} events; corpus {n})\n");
+}
+
+/// E11 — per-event latency percentiles.
+fn e11_latency(args: &Args) {
+    println!("## E11 — per-event matching latency (µs)\n");
+    let n = scaled(500_000, args.scale);
+    let wl = base_spec(n, args.seed).build();
+    let events = wl.events(300);
+    let mut table = Table::new(vec!["engine", "p50", "p95", "p99", "max"]);
+    for kind in EngineKind::ALL {
+        let (matcher, _) = kind.build(&wl);
+        // Keep the slow baselines affordable: sample fewer events.
+        let sample = if kind.is_sequential() && matches!(kind, EngineKind::Scan) {
+            &events[..events.len().min(30)]
+        } else {
+            &events[..]
+        };
+        let l = measure_latency(matcher.as_ref(), sample);
+        table.row(vec![
+            kind.name().to_string(),
+            format!("{:.1}", l.p50_us),
+            format!("{:.1}", l.p95_us),
+            format!("{:.1}", l.p99_us),
+            format!("{:.1}", l.max_us),
+        ]);
+    }
+    table.print();
+    println!("(corpus {n})\n");
+}
+
+/// E12 — construction and maintenance: build time per engine, dynamic
+/// subscribe/unsubscribe rates for the engines that support them.
+fn e12_build(args: &Args) {
+    println!("## E12 — index construction and maintenance\n");
+    let n = scaled(1_000_000, args.scale);
+    let wl = base_spec(n, args.seed).build();
+    let mut table = Table::new(vec!["engine", "build time", "subs/s (build)"]);
+    for kind in EngineKind::ALL {
+        let (_, build) = kind.build(&wl);
+        table.row(vec![
+            kind.name().to_string(),
+            format!("{build:.2?}"),
+            fmt_rate(n as f64 / build.as_secs_f64()),
+        ]);
+    }
+    table.print();
+    println!();
+
+    // Dynamic maintenance: A-PCM subscribe/unsubscribe throughput.
+    let extra = base_spec(10_000, args.seed + 1).build();
+    let fresh: Vec<Subscription> = extra
+        .subs
+        .iter()
+        .map(|s| Subscription::new(SubId(s.id().0 + 50_000_000), s.predicates().to_vec()).unwrap())
+        .collect();
+    let matcher = ApcmMatcher::build(&wl.schema, &wl.subs, &ApcmConfig::default()).unwrap();
+    let start = Instant::now();
+    for sub in &fresh {
+        matcher.subscribe(sub).unwrap();
+    }
+    let sub_time = start.elapsed();
+    let start = Instant::now();
+    for sub in &fresh {
+        matcher.unsubscribe(sub.id());
+    }
+    let unsub_time = start.elapsed();
+    let mut table = Table::new(vec!["operation", "ops", "time", "ops/s"]);
+    table.row(vec![
+        "A-PCM subscribe".to_string(),
+        format!("{}", fresh.len()),
+        format!("{sub_time:.2?}"),
+        fmt_rate(fresh.len() as f64 / sub_time.as_secs_f64()),
+    ]);
+    table.row(vec![
+        "A-PCM unsubscribe".to_string(),
+        format!("{}", fresh.len()),
+        format!("{unsub_time:.2?}"),
+        fmt_rate(fresh.len() as f64 / unsub_time.as_secs_f64()),
+    ]);
+    table.print();
+    println!();
+}

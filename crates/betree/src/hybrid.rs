@@ -1,0 +1,203 @@
+//! Hybrid engine: BE-Tree access pruning + compressed bitmap buckets.
+//!
+//! This is the composition the PCM paper actually describes: the tree's
+//! two-phase space partitioning decides *which* expressions an event could
+//! match (access pruning), and the leaf evaluation is replaced by the
+//! compressed bitmap kernel — each bucket's expressions are factored into a
+//! shared mask plus sparse residuals and tested against the event's
+//! satisfied-predicate bitmap, so the per-bucket work is a few indexed bit
+//! probes instead of a per-expression predicate walk.
+//!
+//! Compared to the flat pivot-indexed matcher in `apcm-core`, the hybrid
+//! prunes *spatially* (value ranges along the directory path) rather than by
+//! one access predicate; the evaluation compares the two reconstructions of
+//! the paper's design on equal footing (experiment E1's engine column and
+//! the cross-engine agreement suite include both).
+//!
+//! The hybrid is a static engine: build once, match many. Dynamic churn goes
+//! through `apcm-core`'s A-PCM.
+
+use crate::{BeTree, BeTreeConfig};
+use apcm_bexpr::{BexprError, Event, Matcher, Schema, SubId, Subscription};
+use apcm_core::Cluster;
+use apcm_encoding::{EncodedSub, PredicateSpace};
+
+/// BE-Tree traversal over compressed buckets; see the module docs.
+#[derive(Debug)]
+pub struct HybridPcmTree {
+    tree: BeTree,
+    space: PredicateSpace,
+    /// Compressed bucket per c-node (`None` for empty buckets).
+    buckets: Vec<Option<Cluster>>,
+    len: usize,
+}
+
+impl HybridPcmTree {
+    /// Builds with default tree tuning.
+    pub fn build(schema: &Schema, subs: &[Subscription]) -> Result<Self, BexprError> {
+        Self::build_with_config(schema, subs, BeTreeConfig::default())
+    }
+
+    /// Builds the tree, then compresses every bucket against the shared
+    /// predicate space.
+    pub fn build_with_config(
+        schema: &Schema,
+        subs: &[Subscription],
+        config: BeTreeConfig,
+    ) -> Result<Self, BexprError> {
+        let tree = BeTree::build_with_config(schema, subs, config)?;
+        let (space, _) = PredicateSpace::build(schema, subs)?;
+        let mut buckets = Vec::with_capacity(tree.n_cnodes());
+        for cnode in 0..tree.n_cnodes() as u32 {
+            let bucket = tree.bucket_subs(cnode);
+            if bucket.is_empty() {
+                buckets.push(None);
+                continue;
+            }
+            let encoded: Vec<EncodedSub> = bucket
+                .iter()
+                .map(|sub| {
+                    space
+                        .try_encode(sub)
+                        .expect("bucket expressions come from the same corpus")
+                })
+                .collect();
+            buckets.push(Some(Cluster::compressed(&encoded)));
+        }
+        Ok(Self {
+            tree,
+            space,
+            buckets,
+            len: subs.len(),
+        })
+    }
+
+    /// Bucket compression statistics: `(compressed buckets, total members,
+    /// bitmap heap bytes)`.
+    pub fn bucket_stats(&self) -> (usize, usize, usize) {
+        let mut buckets = 0;
+        let mut members = 0;
+        let mut bytes = 0;
+        for cluster in self.buckets.iter().flatten() {
+            buckets += 1;
+            members += cluster.len();
+            bytes += cluster.heap_bytes();
+        }
+        (buckets, members, bytes)
+    }
+}
+
+impl Matcher for HybridPcmTree {
+    fn match_event(&self, ev: &Event) -> Vec<SubId> {
+        let ebits = self.space.encode_event(ev);
+        let mut out = Vec::new();
+        self.tree.visit_matching_cnodes(ev, |cnode| {
+            if let Some(cluster) = &self.buckets[cnode as usize] {
+                cluster.match_into(&ebits, &mut out);
+            }
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "HYBRID"
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apcm_baselines::SequentialScan;
+    use apcm_bexpr::parser;
+    use apcm_workload::{OperatorMix, WorkloadSpec};
+
+    fn config() -> BeTreeConfig {
+        BeTreeConfig {
+            max_bucket: 8,
+            max_cdir_depth: 8,
+        }
+    }
+
+    #[test]
+    fn agrees_with_scan_on_random_workloads() {
+        for seed in [111u64, 112, 113] {
+            let wl = WorkloadSpec::new(1000)
+                .seed(seed)
+                .planted_fraction(0.3)
+                .build();
+            let hybrid = HybridPcmTree::build_with_config(&wl.schema, &wl.subs, config()).unwrap();
+            let scan = SequentialScan::new(&wl.subs);
+            assert_eq!(hybrid.len(), 1000);
+            for ev in wl.events(40) {
+                assert_eq!(hybrid.match_event(&ev), scan.match_event(&ev), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_on_operator_extremes() {
+        for mix in [OperatorMix::equality_only(), OperatorMix::range_heavy()] {
+            let wl = WorkloadSpec::new(600)
+                .operators(mix)
+                .planted_fraction(0.4)
+                .seed(114)
+                .build();
+            let hybrid = HybridPcmTree::build_with_config(&wl.schema, &wl.subs, config()).unwrap();
+            let scan = SequentialScan::new(&wl.subs);
+            for ev in wl.events(40) {
+                assert_eq!(hybrid.match_event(&ev), scan.match_event(&ev));
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_account_for_every_expression() {
+        let wl = WorkloadSpec::new(800).seed(115).build();
+        let hybrid = HybridPcmTree::build_with_config(&wl.schema, &wl.subs, config()).unwrap();
+        let (buckets, members, bytes) = hybrid.bucket_stats();
+        assert_eq!(members, 800, "every expression sits in exactly one bucket");
+        assert!(buckets > 1, "the tree must have split");
+        assert!(bytes > 0);
+    }
+
+    #[test]
+    fn empty_and_tiny_corpora() {
+        let schema = apcm_bexpr::Schema::uniform(3, 10);
+        let hybrid = HybridPcmTree::build(&schema, &[]).unwrap();
+        let ev = parser::parse_event(&schema, "a0 = 1").unwrap();
+        assert!(hybrid.match_event(&ev).is_empty());
+        assert!(hybrid.is_empty());
+
+        let one = vec![parser::parse_subscription_with_id(&schema, SubId(5), "a0 = 1").unwrap()];
+        let hybrid = HybridPcmTree::build(&schema, &one).unwrap();
+        assert_eq!(hybrid.match_event(&ev), vec![SubId(5)]);
+    }
+
+    #[test]
+    fn negation_heavy_corpus() {
+        let schema = apcm_bexpr::Schema::uniform(3, 50);
+        let subs: Vec<Subscription> = (0..100u32)
+            .map(|i| {
+                parser::parse_subscription_with_id(
+                    &schema,
+                    SubId(i),
+                    &format!("a0 != {} AND a1 NOT IN {{{}, {}}}", i % 50, i % 50, (i + 7) % 50),
+                )
+                .unwrap()
+            })
+            .collect();
+        let hybrid = HybridPcmTree::build_with_config(&schema, &subs, config()).unwrap();
+        let scan = SequentialScan::new(&subs);
+        for v in 0..50 {
+            let ev = parser::parse_event(&schema, &format!("a0 = {v}, a1 = {}", (v + 3) % 50))
+                .unwrap();
+            assert_eq!(hybrid.match_event(&ev), scan.match_event(&ev), "v={v}");
+        }
+    }
+}

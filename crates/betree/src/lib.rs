@@ -1,0 +1,54 @@
+//! BE-Tree: a two-phase space-partitioning index for Boolean expressions.
+//!
+//! Reimplementation of the index of Sadoghi & Jacobsen (ICDE 2011 / TODS
+//! 2013), which the A-PCM paper uses as its sequential state-of-the-art
+//! comparator. BE-Tree organizes a high-dimensional discrete space by
+//! alternating two phases:
+//!
+//! * **Partitioning** — an overflowing bucket (*c-node*) is split by a
+//!   *p-node* that directs expressions by the *presence* of a chosen
+//!   attribute; expressions lacking every directory attribute stay behind in
+//!   the bucket.
+//! * **Clustering** — under each p-node attribute entry, a *c-directory*
+//!   recursively halves the attribute's domain; an expression descends to
+//!   the smallest half fully containing its predicate's satisfaction
+//!   interval. Each directory cluster owns a c-node of its own, so the two
+//!   phases alternate down the tree.
+//!
+//! Matching walks only the clusters whose ranges contain the event's value
+//! on each directory attribute, so whole subtrees of irrelevant expressions
+//! are skipped.
+//!
+//! ## Documented deviations from the original
+//!
+//! The TODS text leaves several policies open or describes engineering we
+//! simplify; each choice is local and none changes the matching semantics:
+//!
+//! * Attribute selection on split: highest presence count in the bucket
+//!   (ties: lower average selectivity). The original adds a global
+//!   popularity ranking ("rPop").
+//! * Predicates are placed by their *enclosing* satisfaction interval;
+//!   negations therefore sit near the c-directory root (the original treats
+//!   them identically).
+//! * Deletions remove expressions in place; empty structures are not merged
+//!   (the original defers merging too).
+//!
+//! ```
+//! use apcm_betree::BeTree;
+//! use apcm_bexpr::{parser, Matcher, Schema, SubId};
+//!
+//! let schema = Schema::uniform(4, 100);
+//! let mut tree = BeTree::new(&schema);
+//! let sub = parser::parse_subscription_with_id(&schema, SubId(3), "a0 BETWEEN 10 AND 20").unwrap();
+//! tree.insert(sub).unwrap();
+//! let ev = parser::parse_event(&schema, "a0 = 15").unwrap();
+//! assert_eq!(tree.match_event(&ev), vec![SubId(3)]);
+//! ```
+
+pub mod hybrid;
+pub mod stats;
+pub mod tree;
+
+pub use hybrid::HybridPcmTree;
+pub use stats::BeTreeStats;
+pub use tree::{BeTree, BeTreeConfig};

@@ -1,0 +1,77 @@
+//! Structural statistics for the build/maintenance experiments.
+
+use crate::BeTree;
+
+/// A snapshot of the tree's shape, reported by the harness build table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeTreeStats {
+    /// Number of c-nodes (buckets) in the arena.
+    pub cnodes: usize,
+    /// Number of p-nodes (partition directories).
+    pub pnodes: usize,
+    /// Number of c-directory clusters.
+    pub clusters: usize,
+    /// Expressions held across all buckets (equals the tree's `len`).
+    pub resident: usize,
+    /// Largest single bucket.
+    pub max_bucket: usize,
+    /// Expressions stranded in the root bucket (no directory attribute).
+    pub root_residual: usize,
+}
+
+impl BeTree {
+    /// Collects structural statistics.
+    pub fn stats(&self) -> BeTreeStats {
+        let (cnodes, pnodes, clusters) = self.arena_sizes();
+        let mut resident = 0;
+        let mut max_bucket = 0;
+        for size in self.bucket_sizes() {
+            resident += size;
+            max_bucket = max_bucket.max(size);
+        }
+        BeTreeStats {
+            cnodes,
+            pnodes,
+            clusters,
+            resident,
+            max_bucket,
+            root_residual: self.root_bucket_len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BeTreeConfig;
+    use apcm_bexpr::Matcher;
+    use apcm_workload::WorkloadSpec;
+
+    #[test]
+    fn stats_account_for_every_expression() {
+        let wl = WorkloadSpec::new(1000).seed(41).build();
+        let tree = BeTree::build_with_config(
+            &wl.schema,
+            &wl.subs,
+            BeTreeConfig {
+                max_bucket: 8,
+                max_cdir_depth: 8,
+            },
+        )
+        .unwrap();
+        let stats = tree.stats();
+        assert_eq!(stats.resident, tree.len());
+        assert!(stats.cnodes >= stats.clusters, "every cluster owns a c-node");
+        assert!(stats.max_bucket >= 1);
+    }
+
+    #[test]
+    fn empty_tree_stats() {
+        let schema = apcm_bexpr::Schema::uniform(2, 10);
+        let tree = BeTree::new(&schema);
+        let stats = tree.stats();
+        assert_eq!(stats.resident, 0);
+        assert_eq!(stats.cnodes, 1, "just the root");
+        assert_eq!(stats.pnodes, 0);
+    }
+}

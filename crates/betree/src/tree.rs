@@ -1,0 +1,696 @@
+//! The BE-Tree structure: insertion, matching, deletion.
+
+use apcm_bexpr::{AttrId, BexprError, Event, Matcher, Predicate, Schema, SubId, Subscription, Value};
+
+/// Tuning knobs. Defaults follow the ranges explored in the BE-Tree papers.
+#[derive(Debug, Clone, Copy)]
+pub struct BeTreeConfig {
+    /// A c-node bucket splits once it exceeds this many expressions (and a
+    /// usable partitioning attribute exists).
+    pub max_bucket: usize,
+    /// Maximum halving depth of a c-directory; bounds per-attribute search
+    /// cost to `O(max_cdir_depth)` clusters.
+    pub max_cdir_depth: usize,
+}
+
+impl Default for BeTreeConfig {
+    fn default() -> Self {
+        Self {
+            max_bucket: 32,
+            max_cdir_depth: 12,
+        }
+    }
+}
+
+/// Index ids into the tree's arenas. `u32` keeps nodes compact.
+type CNodeId = u32;
+type PNodeId = u32;
+type ClusterId = u32;
+
+#[derive(Debug, Default)]
+struct CNode {
+    /// Expressions resident here: either not yet split out, or lacking every
+    /// directory attribute of the p-node below.
+    bucket: Vec<Subscription>,
+    pnode: Option<PNodeId>,
+}
+
+#[derive(Debug)]
+struct PNode {
+    entries: Vec<PEntry>,
+}
+
+#[derive(Debug)]
+struct PEntry {
+    attr: AttrId,
+    root_cluster: ClusterId,
+}
+
+#[derive(Debug)]
+struct Cluster {
+    lo: Value,
+    hi: Value,
+    depth: usize,
+    left: Option<ClusterId>,
+    right: Option<ClusterId>,
+    cnode: CNodeId,
+}
+
+/// The BE-Tree. See the crate docs for the structure overview.
+#[derive(Debug)]
+pub struct BeTree {
+    schema: Schema,
+    config: BeTreeConfig,
+    cnodes: Vec<CNode>,
+    pnodes: Vec<PNode>,
+    clusters: Vec<Cluster>,
+    root: CNodeId,
+    len: usize,
+}
+
+impl BeTree {
+    /// An empty tree over `schema` with default tuning.
+    pub fn new(schema: &Schema) -> Self {
+        Self::with_config(schema, BeTreeConfig::default())
+    }
+
+    /// An empty tree with explicit tuning.
+    ///
+    /// # Panics
+    /// Panics if `max_bucket == 0`.
+    pub fn with_config(schema: &Schema, config: BeTreeConfig) -> Self {
+        assert!(config.max_bucket > 0, "max_bucket must be positive");
+        let mut tree = Self {
+            schema: schema.clone(),
+            config,
+            cnodes: Vec::new(),
+            pnodes: Vec::new(),
+            clusters: Vec::new(),
+            root: 0,
+            len: 0,
+        };
+        tree.root = tree.alloc_cnode();
+        tree
+    }
+
+    /// Bulk-builds a tree from a corpus.
+    pub fn build(schema: &Schema, subs: &[Subscription]) -> Result<Self, BexprError> {
+        Self::build_with_config(schema, subs, BeTreeConfig::default())
+    }
+
+    /// Bulk-builds with explicit tuning.
+    pub fn build_with_config(
+        schema: &Schema,
+        subs: &[Subscription],
+        config: BeTreeConfig,
+    ) -> Result<Self, BexprError> {
+        let mut tree = Self::with_config(schema, config);
+        for sub in subs {
+            tree.insert(sub.clone())?;
+        }
+        Ok(tree)
+    }
+
+    fn alloc_cnode(&mut self) -> CNodeId {
+        self.cnodes.push(CNode::default());
+        (self.cnodes.len() - 1) as CNodeId
+    }
+
+    fn alloc_cluster(&mut self, lo: Value, hi: Value, depth: usize) -> ClusterId {
+        let cnode = self.alloc_cnode();
+        self.clusters.push(Cluster {
+            lo,
+            hi,
+            depth,
+            left: None,
+            right: None,
+            cnode,
+        });
+        (self.clusters.len() - 1) as ClusterId
+    }
+
+    /// Inserts one expression, validating it against the schema.
+    pub fn insert(&mut self, sub: Subscription) -> Result<(), BexprError> {
+        sub.validate(&self.schema)?;
+        let mut used = vec![false; self.schema.dims()];
+        self.insert_into(self.root, sub, &mut used);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// The enclosing satisfaction interval of `pred` within its attribute's
+    /// domain, or `None` when the predicate is unsatisfiable there.
+    fn enclosing_interval(&self, pred: &Predicate) -> Option<(Value, Value)> {
+        let domain = self.schema.domain(pred.attr);
+        let ivs = pred.op.satisfying_intervals(domain);
+        match (ivs.first(), ivs.last()) {
+            (Some(&(lo, _)), Some(&(_, hi))) => Some((lo, hi)),
+            _ => None,
+        }
+    }
+
+    fn insert_into(&mut self, cnode: CNodeId, sub: Subscription, used: &mut [bool]) {
+        // Phase 1: route through the partition directory if one exists and
+        // the expression carries a directory attribute not yet used on this
+        // path.
+        if let Some(pnode) = self.cnodes[cnode as usize].pnode {
+            let n_entries = self.pnodes[pnode as usize].entries.len();
+            for e in 0..n_entries {
+                let entry_attr = self.pnodes[pnode as usize].entries[e].attr;
+                if used[entry_attr.index()] {
+                    continue;
+                }
+                let pred = sub.predicates().iter().find(|p| p.attr == entry_attr);
+                if let Some(pred) = pred {
+                    if let Some(interval) = self.enclosing_interval(pred) {
+                        let root = self.pnodes[pnode as usize].entries[e].root_cluster;
+                        let cluster = self.descend_cluster(root, interval);
+                        let target = self.clusters[cluster as usize].cnode;
+                        used[entry_attr.index()] = true;
+                        self.insert_into(target, sub, used);
+                        used[entry_attr.index()] = false;
+                        return;
+                    }
+                }
+            }
+        }
+        // Phase 2: no directory route — the expression lives in this bucket.
+        self.cnodes[cnode as usize].bucket.push(sub);
+        self.maybe_split(cnode, used);
+    }
+
+    /// Finds (creating lazily) the smallest cluster under `root` whose range
+    /// fully contains `interval`, bounded by the depth limit.
+    fn descend_cluster(&mut self, root: ClusterId, interval: (Value, Value)) -> ClusterId {
+        let mut cur = root;
+        loop {
+            let Cluster {
+                lo, hi, depth, ..
+            } = self.clusters[cur as usize];
+            if depth >= self.config.max_cdir_depth || lo == hi {
+                return cur;
+            }
+            let mid = lo + (hi - lo) / 2;
+            if interval.1 <= mid {
+                if self.clusters[cur as usize].left.is_none() {
+                    let child = self.alloc_cluster(lo, mid, depth + 1);
+                    self.clusters[cur as usize].left = Some(child);
+                }
+                cur = self.clusters[cur as usize].left.expect("just created");
+            } else if interval.0 > mid {
+                if self.clusters[cur as usize].right.is_none() {
+                    let child = self.alloc_cluster(mid + 1, hi, depth + 1);
+                    self.clusters[cur as usize].right = Some(child);
+                }
+                cur = self.clusters[cur as usize].right.expect("just created");
+            } else {
+                // Straddles the midpoint: this is the smallest container.
+                return cur;
+            }
+        }
+    }
+
+    /// Splits an overflowing bucket by adding a partition entry for the best
+    /// unused attribute, then re-routes the bucket's expressions through it.
+    fn maybe_split(&mut self, cnode: CNodeId, used: &mut [bool]) {
+        if self.cnodes[cnode as usize].bucket.len() <= self.config.max_bucket {
+            return;
+        }
+        let Some(attr) = self.best_split_attr(cnode, used) else {
+            // Unsplittable bucket (every attribute already used on the path,
+            // or no attribute appears more than once): overflow in place.
+            return;
+        };
+
+        let pnode = match self.cnodes[cnode as usize].pnode {
+            Some(p) => p,
+            None => {
+                self.pnodes.push(PNode {
+                    entries: Vec::new(),
+                });
+                let p = (self.pnodes.len() - 1) as PNodeId;
+                self.cnodes[cnode as usize].pnode = Some(p);
+                p
+            }
+        };
+        let domain = self.schema.domain(attr);
+        let root_cluster = self.alloc_cluster(domain.min(), domain.max(), 0);
+        self.pnodes[pnode as usize].entries.push(PEntry {
+            attr,
+            root_cluster,
+        });
+
+        // Re-route every bucket expression that carries the new attribute.
+        let bucket = std::mem::take(&mut self.cnodes[cnode as usize].bucket);
+        let (moved, kept): (Vec<_>, Vec<_>) = bucket.into_iter().partition(|s| {
+            s.predicates()
+                .iter()
+                .any(|p| p.attr == attr && self.enclosing_interval(p).is_some())
+        });
+        self.cnodes[cnode as usize].bucket = kept;
+        used[attr.index()] = true;
+        for sub in moved {
+            let pred = sub
+                .predicates()
+                .iter()
+                .find(|p| p.attr == attr)
+                .expect("partitioned by presence");
+            let interval = self
+                .enclosing_interval(pred)
+                .expect("checked in partition");
+            let cluster = self.descend_cluster(root_cluster, interval);
+            let target = self.clusters[cluster as usize].cnode;
+            self.insert_into(target, sub, used);
+        }
+        used[attr.index()] = false;
+    }
+
+    /// Picks the unused attribute present in the most bucket expressions
+    /// (ties: lower average selectivity → tighter clustering).
+    fn best_split_attr(&self, cnode: CNodeId, used: &[bool]) -> Option<AttrId> {
+        let bucket = &self.cnodes[cnode as usize].bucket;
+        let dims = self.schema.dims();
+        let mut count = vec![0u32; dims];
+        let mut sel_sum = vec![0.0f64; dims];
+        for sub in bucket {
+            for pred in sub.predicates() {
+                let a = pred.attr.index();
+                if !used[a] {
+                    count[a] += 1;
+                    sel_sum[a] += pred.op.selectivity(self.schema.domain(pred.attr));
+                }
+            }
+        }
+        let best = (0..dims)
+            .filter(|&a| count[a] >= 2)
+            .max_by(|&a, &b| {
+                count[a].cmp(&count[b]).then_with(|| {
+                    // Lower mean selectivity wins the tie.
+                    let ma = sel_sum[a] / count[a] as f64;
+                    let mb = sel_sum[b] / count[b] as f64;
+                    mb.partial_cmp(&ma).unwrap_or(std::cmp::Ordering::Equal)
+                })
+            })?;
+        Some(AttrId::from_index(best))
+    }
+
+    /// Removes the expression with `sub`'s id and predicates; returns
+    /// whether it was found. The expression's predicates guide the search to
+    /// every bucket it could inhabit.
+    pub fn remove(&mut self, sub: &Subscription) -> bool {
+        let removed = self.remove_from(self.root, sub, &mut vec![false; self.schema.dims()]);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_from(&mut self, cnode: CNodeId, sub: &Subscription, used: &mut [bool]) -> bool {
+        if let Some(pos) = self.cnodes[cnode as usize]
+            .bucket
+            .iter()
+            .position(|s| s.id() == sub.id() && s == sub)
+        {
+            self.cnodes[cnode as usize].bucket.swap_remove(pos);
+            return true;
+        }
+        let Some(pnode) = self.cnodes[cnode as usize].pnode else {
+            return false;
+        };
+        let n_entries = self.pnodes[pnode as usize].entries.len();
+        for e in 0..n_entries {
+            let entry_attr = self.pnodes[pnode as usize].entries[e].attr;
+            if used[entry_attr.index()] {
+                continue;
+            }
+            let Some(pred) = sub.predicates().iter().find(|p| p.attr == entry_attr) else {
+                continue;
+            };
+            let Some(interval) = self.enclosing_interval(pred) else {
+                continue;
+            };
+            // Walk every cluster on the containment path — the expression
+            // may have been placed before deeper clusters existed.
+            let mut cur = Some(self.pnodes[pnode as usize].entries[e].root_cluster);
+            used[entry_attr.index()] = true;
+            while let Some(c) = cur {
+                let cluster = &self.clusters[c as usize];
+                let (lo, hi) = (cluster.lo, cluster.hi);
+                let (left, right, target) = (cluster.left, cluster.right, cluster.cnode);
+                if !(lo <= interval.0 && interval.1 <= hi) {
+                    break;
+                }
+                if self.remove_from(target, sub, used) {
+                    used[entry_attr.index()] = false;
+                    return true;
+                }
+                let mid = lo + (hi - lo) / 2;
+                cur = if lo == hi {
+                    None
+                } else if interval.1 <= mid {
+                    left
+                } else if interval.0 > mid {
+                    right
+                } else {
+                    None
+                };
+            }
+            used[entry_attr.index()] = false;
+        }
+        false
+    }
+
+    fn match_into(&self, cnode: CNodeId, ev: &Event, out: &mut Vec<SubId>) {
+        self.visit_cnode(cnode, ev, &mut |tree, c| {
+            for sub in &tree.cnodes[c as usize].bucket {
+                if sub.matches(ev) {
+                    out.push(sub.id());
+                }
+            }
+        });
+    }
+
+    /// The access-pruned traversal shared by the plain and hybrid matchers:
+    /// calls `f` for every c-node whose path is compatible with `ev`
+    /// (the directory skips subtrees whose partitioning attribute the event
+    /// lacks or whose value range excludes the event's value).
+    fn visit_cnode(&self, cnode: CNodeId, ev: &Event, f: &mut impl FnMut(&Self, CNodeId)) {
+        f(self, cnode);
+        let Some(pnode) = self.cnodes[cnode as usize].pnode else {
+            return;
+        };
+        for entry in &self.pnodes[pnode as usize].entries {
+            let Some(v) = ev.value(entry.attr) else {
+                // Event lacks the attribute: nothing under this entry can
+                // match (presence partitioning guarantees every expression
+                // here has a predicate on it).
+                continue;
+            };
+            let mut cur = Some(entry.root_cluster);
+            while let Some(c) = cur {
+                let cluster = &self.clusters[c as usize];
+                if v < cluster.lo || v > cluster.hi {
+                    break;
+                }
+                self.visit_cnode(cluster.cnode, ev, f);
+                let mid = cluster.lo + (cluster.hi - cluster.lo) / 2;
+                cur = if v <= mid { cluster.left } else { cluster.right };
+            }
+        }
+    }
+
+    /// Visits every c-node the tree would inspect for `ev`; used by the
+    /// hybrid engine to swap bucket evaluation for compressed bitmaps.
+    pub(crate) fn visit_matching_cnodes(&self, ev: &Event, mut f: impl FnMut(u32)) {
+        self.visit_cnode(self.root, ev, &mut |_, c| f(c));
+    }
+
+    /// Number of c-nodes in the arena (bucket slots for the hybrid engine).
+    pub(crate) fn n_cnodes(&self) -> usize {
+        self.cnodes.len()
+    }
+
+    /// The expressions resident in bucket `cnode`.
+    pub(crate) fn bucket_subs(&self, cnode: u32) -> &[Subscription] {
+        &self.cnodes[cnode as usize].bucket
+    }
+
+    /// Schema accessor (used by the harness for workload re-validation).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub(crate) fn arena_sizes(&self) -> (usize, usize, usize) {
+        (self.cnodes.len(), self.pnodes.len(), self.clusters.len())
+    }
+
+    pub(crate) fn bucket_sizes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.cnodes.iter().map(|c| c.bucket.len())
+    }
+
+    pub(crate) fn root_bucket_len(&self) -> usize {
+        self.cnodes[self.root as usize].bucket.len()
+    }
+}
+
+impl Matcher for BeTree {
+    fn match_event(&self, ev: &Event) -> Vec<SubId> {
+        let mut out = Vec::new();
+        self.match_into(self.root, ev, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "BE-TREE"
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apcm_bexpr::parser;
+    use apcm_workload::{OperatorMix, WorkloadSpec};
+
+    fn scan_match(subs: &[Subscription], ev: &Event) -> Vec<SubId> {
+        let mut out: Vec<SubId> = subs
+            .iter()
+            .filter(|s| s.matches(ev))
+            .map(|s| s.id())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn single_insert_and_match() {
+        let schema = Schema::uniform(3, 100);
+        let mut tree = BeTree::new(&schema);
+        let sub =
+            parser::parse_subscription_with_id(&schema, SubId(5), "a0 = 7 AND a1 > 50").unwrap();
+        tree.insert(sub).unwrap();
+        assert_eq!(tree.len(), 1);
+        let hit = parser::parse_event(&schema, "a0 = 7, a1 = 80").unwrap();
+        assert_eq!(tree.match_event(&hit), vec![SubId(5)]);
+        let miss = parser::parse_event(&schema, "a0 = 7, a1 = 20").unwrap();
+        assert!(tree.match_event(&miss).is_empty());
+    }
+
+    #[test]
+    fn splits_and_still_agrees_with_scan() {
+        let wl = WorkloadSpec::new(2000).seed(31).planted_fraction(0.3).build();
+        let config = BeTreeConfig {
+            max_bucket: 8,
+            max_cdir_depth: 8,
+        };
+        let tree = BeTree::build_with_config(&wl.schema, &wl.subs, config).unwrap();
+        assert_eq!(tree.len(), 2000);
+        let (cn, pn, cl) = tree.arena_sizes();
+        assert!(pn > 0 && cl > 0, "tree must split: {cn} c-nodes, {pn} p-nodes, {cl} clusters");
+        for ev in wl.events(60) {
+            assert_eq!(tree.match_event(&ev), scan_match(&wl.subs, &ev));
+        }
+    }
+
+    #[test]
+    fn range_heavy_workload_agrees() {
+        let wl = WorkloadSpec::new(1000)
+            .operators(OperatorMix::range_heavy())
+            .planted_fraction(0.4)
+            .seed(32)
+            .build();
+        let tree = BeTree::build_with_config(
+            &wl.schema,
+            &wl.subs,
+            BeTreeConfig {
+                max_bucket: 4,
+                max_cdir_depth: 10,
+            },
+        )
+        .unwrap();
+        for ev in wl.events(60) {
+            assert_eq!(tree.match_event(&ev), scan_match(&wl.subs, &ev));
+        }
+    }
+
+    #[test]
+    fn duplicate_expressions_unsplittable_bucket() {
+        // 100 identical single-predicate expressions: after one split they
+        // all land in one cluster bucket whose path has used the attribute —
+        // the bucket must overflow gracefully instead of looping.
+        let schema = Schema::uniform(2, 100);
+        let mut tree = BeTree::with_config(
+            &schema,
+            BeTreeConfig {
+                max_bucket: 4,
+                max_cdir_depth: 6,
+            },
+        );
+        for i in 0..100 {
+            let sub =
+                parser::parse_subscription_with_id(&schema, SubId(i), "a0 BETWEEN 10 AND 20")
+                    .unwrap();
+            tree.insert(sub).unwrap();
+        }
+        let ev = parser::parse_event(&schema, "a0 = 15").unwrap();
+        assert_eq!(tree.match_event(&ev).len(), 100);
+        let ev = parser::parse_event(&schema, "a0 = 25").unwrap();
+        assert!(tree.match_event(&ev).is_empty());
+    }
+
+    #[test]
+    fn negation_predicates_agree() {
+        let schema = Schema::uniform(2, 50);
+        let mut subs = Vec::new();
+        for i in 0..40u32 {
+            let text = format!("a0 != {} AND a1 NOT IN {{{}}}", i % 50, (i + 3) % 50);
+            subs.push(parser::parse_subscription_with_id(&schema, SubId(i), &text).unwrap());
+        }
+        let tree = BeTree::build_with_config(
+            &schema,
+            &subs,
+            BeTreeConfig {
+                max_bucket: 4,
+                max_cdir_depth: 6,
+            },
+        )
+        .unwrap();
+        for v in 0..50 {
+            let ev = parser::parse_event(&schema, &format!("a0 = {v}, a1 = {}", (v + 1) % 50))
+                .unwrap();
+            assert_eq!(tree.match_event(&ev), scan_match(&subs, &ev));
+        }
+    }
+
+    #[test]
+    fn remove_finds_expressions_wherever_they_sit() {
+        let wl = WorkloadSpec::new(500).seed(33).build();
+        let mut tree = BeTree::build_with_config(
+            &wl.schema,
+            &wl.subs,
+            BeTreeConfig {
+                max_bucket: 8,
+                max_cdir_depth: 8,
+            },
+        )
+        .unwrap();
+        // Remove every third subscription.
+        let mut remaining = Vec::new();
+        for (i, sub) in wl.subs.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(tree.remove(sub), "must find sub {i}");
+            } else {
+                remaining.push(sub.clone());
+            }
+        }
+        assert_eq!(tree.len(), remaining.len());
+        for ev in wl.events(40) {
+            assert_eq!(tree.match_event(&ev), scan_match(&remaining, &ev));
+        }
+        // Removing again reports absence.
+        assert!(!tree.remove(&wl.subs[0]));
+    }
+
+    #[test]
+    fn insert_after_splits_goes_to_right_place() {
+        let wl = WorkloadSpec::new(300).seed(34).build();
+        let mut tree = BeTree::with_config(
+            &wl.schema,
+            BeTreeConfig {
+                max_bucket: 8,
+                max_cdir_depth: 8,
+            },
+        );
+        for sub in &wl.subs {
+            tree.insert(sub.clone()).unwrap();
+        }
+        // Interleave inserts and matches.
+        let extra = WorkloadSpec::new(100).seed(35).build();
+        for sub in &extra.subs {
+            let mut renumbered = sub.clone();
+            // Give unique ids beyond the original corpus.
+            renumbered = Subscription::new(
+                SubId(1000 + renumbered.id().0),
+                renumbered.predicates().to_vec(),
+            )
+            .unwrap();
+            tree.insert(renumbered).unwrap();
+        }
+        let mut all = wl.subs.clone();
+        all.extend(extra.subs.iter().map(|s| {
+            Subscription::new(SubId(1000 + s.id().0), s.predicates().to_vec()).unwrap()
+        }));
+        for ev in wl.events(40) {
+            assert_eq!(tree.match_event(&ev), scan_match(&all, &ev));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_subscription() {
+        let schema = Schema::uniform(2, 10);
+        let mut tree = BeTree::new(&schema);
+        let bad = Subscription::new(
+            SubId(0),
+            vec![Predicate::new(AttrId(7), apcm_bexpr::Op::Eq(1))],
+        )
+        .unwrap();
+        assert!(tree.insert(bad).is_err());
+        assert_eq!(tree.len(), 0);
+    }
+
+    #[test]
+    fn empty_tree_matches_nothing() {
+        let schema = Schema::uniform(2, 10);
+        let tree = BeTree::new(&schema);
+        let ev = parser::parse_event(&schema, "a0 = 1").unwrap();
+        assert!(tree.match_event(&ev).is_empty());
+        assert!(tree.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use apcm_workload::WorkloadSpec;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// BE-Tree agrees with brute force across random workload shapes.
+        #[test]
+        fn agrees_with_scan(
+            seed in 0u64..1000,
+            max_bucket in 2usize..40,
+            dims in 4usize..12,
+        ) {
+            let wl = WorkloadSpec::new(300)
+                .dims(dims)
+                .sub_preds(1, 3.min(dims))
+                .event_size(dims.min(6))
+                .planted_fraction(0.4)
+                .seed(seed)
+                .build();
+            let tree = BeTree::build_with_config(
+                &wl.schema,
+                &wl.subs,
+                BeTreeConfig { max_bucket, max_cdir_depth: 8 },
+            )
+            .unwrap();
+            for ev in wl.events(15) {
+                let mut expect: Vec<SubId> = wl
+                    .subs
+                    .iter()
+                    .filter(|s| s.matches(&ev))
+                    .map(|s| s.id())
+                    .collect();
+                expect.sort_unstable();
+                prop_assert_eq!(tree.match_event(&ev), expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Disjunctive expressions: OR-of-conjunctions (DNF).
+//!
+//! The conjunction-only core model follows the ICDE paper; the BE-Tree
+//! journal version (TODS 2013) extends matching to full Boolean expressions
+//! by normalizing to DNF and indexing each conjunction separately. This
+//! module provides that layer: a [`DnfSubscription`] is a non-empty OR of
+//! non-empty conjunctions, and `apcm-core`'s `DnfEngine` registers each
+//! clause as an internal conjunction and maps matches back.
+
+use crate::{BexprError, Event, Predicate, Schema, SubId, Subscription};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Boolean expression in disjunctive normal form: it matches an event iff
+/// **any** clause (conjunction of predicates) matches.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DnfSubscription {
+    id: SubId,
+    clauses: Box<[Box<[Predicate]>]>,
+}
+
+impl DnfSubscription {
+    /// Builds a DNF subscription; every clause is canonicalized the same way
+    /// [`Subscription::new`] canonicalizes its predicates, and duplicate
+    /// clauses are removed.
+    ///
+    /// Fails if there are no clauses or any clause is empty.
+    pub fn new(id: SubId, clauses: Vec<Vec<Predicate>>) -> Result<Self, BexprError> {
+        if clauses.is_empty() {
+            return Err(BexprError::EmptySubscription);
+        }
+        let mut canonical: Vec<Box<[Predicate]>> = Vec::with_capacity(clauses.len());
+        for clause in clauses {
+            // Reuse the conjunction canonicalization (sort + dedup + the
+            // non-empty check).
+            let conj = Subscription::new(id, clause)?;
+            canonical.push(conj.predicates().to_vec().into_boxed_slice());
+        }
+        canonical.sort();
+        canonical.dedup();
+        Ok(Self {
+            id,
+            clauses: canonical.into_boxed_slice(),
+        })
+    }
+
+    /// Wraps a plain conjunction as a single-clause DNF.
+    pub fn from_conjunction(sub: &Subscription) -> Self {
+        Self {
+            id: sub.id(),
+            clauses: vec![sub.predicates().to_vec().into_boxed_slice()].into_boxed_slice(),
+        }
+    }
+
+    /// The subscription's identifier.
+    #[inline]
+    pub fn id(&self) -> SubId {
+        self.id
+    }
+
+    /// The clauses, each a sorted predicate conjunction.
+    pub fn clauses(&self) -> impl Iterator<Item = &[Predicate]> {
+        self.clauses.iter().map(|c| c.as_ref())
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Always `false` by construction.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Reference semantics: any clause fully satisfied.
+    pub fn matches(&self, ev: &Event) -> bool {
+        self.clauses
+            .iter()
+            .any(|clause| clause.iter().all(|p| p.matches(ev.value(p.attr))))
+    }
+
+    /// Validates every predicate of every clause against `schema`.
+    pub fn validate(&self, schema: &Schema) -> Result<(), BexprError> {
+        self.clauses
+            .iter()
+            .flat_map(|c| c.iter())
+            .try_for_each(|p| p.validate(schema))
+    }
+
+    /// Materializes each clause as a [`Subscription`] carrying the given id;
+    /// the engine layer assigns internal ids per clause.
+    pub fn clause_subscriptions(&self, ids: impl Iterator<Item = SubId>) -> Vec<Subscription> {
+        self.clauses
+            .iter()
+            .zip(ids)
+            .map(|(clause, id)| {
+                Subscription::new(id, clause.to_vec()).expect("clauses are non-empty")
+            })
+            .collect()
+    }
+
+    /// Renders as `(c1) OR (c2) OR …`; parses back via
+    /// [`crate::parser::parse_dnf`].
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> DnfDisplay<'a> {
+        DnfDisplay { sub: self, schema }
+    }
+}
+
+/// `Display` adaptor produced by [`DnfSubscription::display`].
+pub struct DnfDisplay<'a> {
+    sub: &'a DnfSubscription,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for DnfDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, clause) in self.sub.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " OR ")?;
+            }
+            write!(f, "(")?;
+            for (j, p) in clause.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{}", p.display(self.schema))?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttrId, Op};
+
+    fn ev(pairs: &[(u32, i64)]) -> Event {
+        Event::new(pairs.iter().map(|&(a, v)| (AttrId(a), v)).collect()).unwrap()
+    }
+
+    fn pred(attr: u32, op: Op) -> Predicate {
+        Predicate::new(AttrId(attr), op)
+    }
+
+    #[test]
+    fn any_clause_matches() {
+        let dnf = DnfSubscription::new(
+            SubId(1),
+            vec![
+                vec![pred(0, Op::Eq(1)), pred(1, Op::Eq(2))],
+                vec![pred(0, Op::Eq(9))],
+            ],
+        )
+        .unwrap();
+        assert!(dnf.matches(&ev(&[(0, 1), (1, 2)])), "first clause");
+        assert!(dnf.matches(&ev(&[(0, 9)])), "second clause");
+        assert!(!dnf.matches(&ev(&[(0, 1)])), "first clause incomplete");
+        assert!(!dnf.matches(&ev(&[(1, 2)])));
+        assert_eq!(dnf.len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert_eq!(
+            DnfSubscription::new(SubId(0), vec![]),
+            Err(BexprError::EmptySubscription)
+        );
+        assert_eq!(
+            DnfSubscription::new(SubId(0), vec![vec![]]),
+            Err(BexprError::EmptySubscription)
+        );
+    }
+
+    #[test]
+    fn duplicate_clauses_removed() {
+        let a = vec![pred(0, Op::Eq(1)), pred(1, Op::Eq(2))];
+        let b = vec![pred(1, Op::Eq(2)), pred(0, Op::Eq(1))]; // same, reordered
+        let dnf = DnfSubscription::new(SubId(0), vec![a, b]).unwrap();
+        assert_eq!(dnf.len(), 1);
+    }
+
+    #[test]
+    fn from_conjunction_is_single_clause() {
+        let sub = Subscription::new(SubId(7), vec![pred(0, Op::Lt(5))]).unwrap();
+        let dnf = DnfSubscription::from_conjunction(&sub);
+        assert_eq!(dnf.len(), 1);
+        assert_eq!(dnf.id(), SubId(7));
+        assert!(dnf.matches(&ev(&[(0, 3)])));
+        assert!(!dnf.matches(&ev(&[(0, 5)])));
+    }
+
+    #[test]
+    fn clause_subscriptions_assign_ids() {
+        let dnf = DnfSubscription::new(
+            SubId(0),
+            vec![vec![pred(0, Op::Eq(1))], vec![pred(0, Op::Eq(2))]],
+        )
+        .unwrap();
+        let subs = dnf.clause_subscriptions([SubId(100), SubId(101)].into_iter());
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].id(), SubId(100));
+        assert_eq!(subs[1].id(), SubId(101));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let schema = crate::Schema::uniform(3, 100);
+        let dnf = DnfSubscription::new(
+            SubId(4),
+            vec![
+                vec![pred(0, Op::Between(1, 5)), pred(2, Op::Ne(7))],
+                vec![pred(1, Op::in_set(vec![3, 9]).unwrap())],
+            ],
+        )
+        .unwrap();
+        let text = dnf.display(&schema).to_string();
+        let reparsed = crate::parser::parse_dnf_with_id(&schema, SubId(4), &text).unwrap();
+        assert_eq!(reparsed, dnf);
+    }
+
+    #[test]
+    fn validate_checks_all_clauses() {
+        let schema = crate::Schema::uniform(2, 10);
+        let bad = DnfSubscription::new(
+            SubId(0),
+            vec![vec![pred(0, Op::Eq(1))], vec![pred(5, Op::Eq(1))]],
+        )
+        .unwrap();
+        assert!(bad.validate(&schema).is_err());
+    }
+}

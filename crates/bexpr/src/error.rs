@@ -1,0 +1,88 @@
+//! Error types for the data-model layer.
+
+use crate::{AttrId, Value};
+use std::fmt;
+
+/// Errors raised while constructing or parsing expressions, events, and
+/// schemas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BexprError {
+    /// An attribute name was registered twice.
+    DuplicateAttr(String),
+    /// An attribute name is unknown to the schema.
+    UnknownAttr(String),
+    /// An attribute id is out of range for the schema.
+    InvalidAttrId(AttrId),
+    /// A domain was declared with `min > max`.
+    EmptyDomain { min: Value, max: Value },
+    /// A domain so wide that `max - min` overflows the value type; such
+    /// domains cannot be enumerated or measured for selectivity.
+    DomainTooWide { min: Value, max: Value },
+    /// A `BETWEEN lo AND hi` predicate with `lo > hi`.
+    EmptyRange { lo: Value, hi: Value },
+    /// An `IN { }` / `NOT IN { }` predicate with an empty set.
+    EmptySet,
+    /// A predicate references a value outside the attribute's domain.
+    ValueOutOfDomain { attr: AttrId, value: Value },
+    /// A subscription with no predicates.
+    EmptySubscription,
+    /// An event assigned the same attribute twice.
+    DuplicateEventAttr(AttrId),
+    /// An event with no attribute/value pairs.
+    EmptyEvent,
+    /// Parse failure: message plus byte offset into the input.
+    Parse { message: String, offset: usize },
+}
+
+impl fmt::Display for BexprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BexprError::DuplicateAttr(name) => {
+                write!(f, "attribute `{name}` is already registered")
+            }
+            BexprError::UnknownAttr(name) => write!(f, "unknown attribute `{name}`"),
+            BexprError::InvalidAttrId(id) => write!(f, "attribute id {id} is out of range"),
+            BexprError::EmptyDomain { min, max } => {
+                write!(f, "empty domain: min {min} > max {max}")
+            }
+            BexprError::DomainTooWide { min, max } => {
+                write!(f, "domain [{min}, {max}] is too wide to represent")
+            }
+            BexprError::EmptyRange { lo, hi } => {
+                write!(f, "empty BETWEEN range: lo {lo} > hi {hi}")
+            }
+            BexprError::EmptySet => write!(f, "IN / NOT IN set must be non-empty"),
+            BexprError::ValueOutOfDomain { attr, value } => {
+                write!(f, "value {value} is outside the domain of attribute {attr}")
+            }
+            BexprError::EmptySubscription => {
+                write!(f, "a subscription must have at least one predicate")
+            }
+            BexprError::DuplicateEventAttr(id) => {
+                write!(f, "event assigns attribute {id} more than once")
+            }
+            BexprError::EmptyEvent => write!(f, "an event must carry at least one attribute"),
+            BexprError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BexprError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = BexprError::EmptyRange { lo: 9, hi: 3 };
+        assert!(err.to_string().contains("lo 9 > hi 3"));
+        let err = BexprError::Parse {
+            message: "expected AND".into(),
+            offset: 12,
+        };
+        assert!(err.to_string().contains("byte 12"));
+    }
+}

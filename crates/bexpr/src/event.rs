@@ -1,0 +1,174 @@
+//! Events: attribute/value assignments to be matched.
+
+use crate::{AttrId, BexprError, Schema, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An event — a sparse point in the discrete attribute space.
+///
+/// Pairs are stored sorted by attribute id with no duplicates, so value
+/// lookup is a binary search and iteration order is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Event {
+    pairs: Box<[(AttrId, Value)]>,
+}
+
+impl Event {
+    /// Builds an event from attribute/value pairs in any order.
+    ///
+    /// Fails on duplicate attributes or an empty pair list.
+    pub fn new(mut pairs: Vec<(AttrId, Value)>) -> Result<Self, BexprError> {
+        if pairs.is_empty() {
+            return Err(BexprError::EmptyEvent);
+        }
+        pairs.sort_unstable_by_key(|&(a, _)| a);
+        for w in pairs.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(BexprError::DuplicateEventAttr(w[0].0));
+            }
+        }
+        Ok(Self {
+            pairs: pairs.into_boxed_slice(),
+        })
+    }
+
+    /// The value assigned to `attr`, if present.
+    #[inline]
+    pub fn value(&self, attr: AttrId) -> Option<Value> {
+        self.pairs
+            .binary_search_by_key(&attr, |&(a, _)| a)
+            .ok()
+            .map(|i| self.pairs[i].1)
+    }
+
+    /// Whether the event carries `attr`.
+    #[inline]
+    pub fn has_attr(&self, attr: AttrId) -> bool {
+        self.pairs.binary_search_by_key(&attr, |&(a, _)| a).is_ok()
+    }
+
+    /// Number of attributes carried (the "event size" axis of the paper's
+    /// evaluation).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` is impossible by construction, provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Pairs in ascending attribute order.
+    #[inline]
+    pub fn pairs(&self) -> &[(AttrId, Value)] {
+        &self.pairs
+    }
+
+    /// Renders the event with attribute names; parses back via
+    /// [`crate::parser::parse_event`].
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> EventDisplay<'a> {
+        EventDisplay { ev: self, schema }
+    }
+}
+
+/// Incremental [`Event`] constructor.
+#[derive(Debug, Default)]
+pub struct EventBuilder {
+    pairs: Vec<(AttrId, Value)>,
+}
+
+impl EventBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an assignment; the last write to an attribute wins at `build`
+    /// time only if no duplicate exists — duplicates are rejected to surface
+    /// workload-generation bugs early.
+    pub fn set(mut self, attr: AttrId, value: Value) -> Self {
+        self.pairs.push((attr, value));
+        self
+    }
+
+    /// Finalizes the event.
+    pub fn build(self) -> Result<Event, BexprError> {
+        Event::new(self.pairs)
+    }
+}
+
+/// `Display` adaptor produced by [`Event::display`].
+pub struct EventDisplay<'a> {
+    ev: &'a Event,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for EventDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, &(attr, v)) in self.ev.pairs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let name = self
+                .schema
+                .attr(attr)
+                .map(|a| a.name())
+                .unwrap_or("<invalid>");
+            write!(f, "{name} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_sorted_and_lookup_works() {
+        let ev = Event::new(vec![(AttrId(5), 50), (AttrId(1), 10), (AttrId(3), 30)]).unwrap();
+        assert_eq!(
+            ev.pairs(),
+            &[(AttrId(1), 10), (AttrId(3), 30), (AttrId(5), 50)]
+        );
+        assert_eq!(ev.value(AttrId(3)), Some(30));
+        assert_eq!(ev.value(AttrId(2)), None);
+        assert!(ev.has_attr(AttrId(5)));
+        assert!(!ev.has_attr(AttrId(0)));
+        assert_eq!(ev.len(), 3);
+        assert!(!ev.is_empty());
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        assert_eq!(
+            Event::new(vec![(AttrId(1), 1), (AttrId(1), 2)]),
+            Err(BexprError::DuplicateEventAttr(AttrId(1)))
+        );
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(Event::new(vec![]), Err(BexprError::EmptyEvent));
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let ev = EventBuilder::new()
+            .set(AttrId(2), 7)
+            .set(AttrId(0), 3)
+            .build()
+            .unwrap();
+        assert_eq!(ev.value(AttrId(0)), Some(3));
+        assert_eq!(ev.value(AttrId(2)), Some(7));
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let schema = crate::Schema::uniform(3, 100);
+        let ev = Event::new(vec![(AttrId(0), 5), (AttrId(2), 9)]).unwrap();
+        assert_eq!(ev.display(&schema).to_string(), "a0 = 5, a2 = 9");
+    }
+}

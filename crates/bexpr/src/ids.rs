@@ -1,0 +1,106 @@
+//! Strongly-typed identifiers.
+//!
+//! All identifiers are dense `u32` indexes assigned by the owning registry
+//! (attributes by [`crate::Schema`], subscriptions by the application or the
+//! workload generator, predicates by the encoding layer). `u32` keeps hot
+//! structures half the size of `usize` on 64-bit targets, which matters when
+//! the corpus reaches millions of expressions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw index.
+            ///
+            /// # Panics
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index overflows u32"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an attribute (a dimension of the discrete space).
+    AttrId,
+    "a"
+);
+define_id!(
+    /// Identifier of a subscription (Boolean expression).
+    SubId,
+    "s"
+);
+define_id!(
+    /// Identifier of a distinct predicate in the corpus-wide predicate space.
+    PredId,
+    "p"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn index_round_trip() {
+        let id = AttrId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, AttrId(42));
+    }
+
+    #[test]
+    fn ids_hash_and_order() {
+        let mut set = HashSet::new();
+        set.insert(SubId(1));
+        set.insert(SubId(1));
+        set.insert(SubId(2));
+        assert_eq!(set.len(), 2);
+        assert!(SubId(1) < SubId(2));
+    }
+
+    #[test]
+    fn debug_uses_prefix() {
+        assert_eq!(format!("{:?}", PredId(7)), "p7");
+        assert_eq!(format!("{:?}", AttrId(3)), "a3");
+        assert_eq!(format!("{:?}", SubId(9)), "s9");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn from_index_overflow_panics() {
+        let _ = AttrId::from_index(usize::MAX);
+    }
+}

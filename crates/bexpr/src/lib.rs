@@ -1,0 +1,62 @@
+//! Boolean-expression data model for publish/subscribe event matching.
+//!
+//! This crate provides the vocabulary shared by every matching engine in the
+//! A-PCM workspace:
+//!
+//! * [`Schema`] — the attribute dictionary and per-attribute discrete domains,
+//! * [`Predicate`] — a single comparison `attribute OP value(s)` with the
+//!   operator set used by the BE-Tree family of papers
+//!   (`=, ≠, <, ≤, >, ≥, BETWEEN, IN, NOT IN`),
+//! * [`Subscription`] — a conjunction of predicates (a Boolean expression),
+//! * [`Event`] — an attribute/value assignment to be matched,
+//! * [`Matcher`] — the trait every engine (SCAN, counting, k-index, BE-Tree,
+//!   PCM, A-PCM) implements, and
+//! * a text [`parser`] / `Display` pair so workloads round-trip through a
+//!   human-readable format.
+//!
+//! # Matching semantics
+//!
+//! A subscription matches an event iff **every** predicate is satisfied. A
+//! predicate on an attribute the event does not carry is **unsatisfied**,
+//! including negated operators (`≠`, `NOT IN`): absence never satisfies.
+//! These are the standard BE-Tree semantics and every engine in the workspace
+//! is tested for agreement against the brute-force evaluation defined here.
+//!
+//! # Example
+//!
+//! ```
+//! use apcm_bexpr::{Schema, Domain, parser, Matcher};
+//!
+//! let mut schema = Schema::new();
+//! for attr in ["age", "city", "cat"] {
+//!     schema.add_attr(attr, Domain::new(0, 99)).unwrap();
+//! }
+//! let sub = parser::parse_subscription(&schema, "age >= 18 AND city = 7").unwrap();
+//! let ev = parser::parse_event(&schema, "age = 30, city = 7, cat = 2").unwrap();
+//! assert!(sub.matches(&ev));
+//! ```
+
+pub mod dnf;
+pub mod error;
+pub mod event;
+pub mod ids;
+pub mod matcher;
+pub mod parser;
+pub mod predicate;
+pub mod schema;
+pub mod subscription;
+
+pub use dnf::DnfSubscription;
+pub use error::BexprError;
+pub use event::{Event, EventBuilder};
+pub use ids::{AttrId, PredId, SubId};
+pub use matcher::Matcher;
+pub use predicate::{Op, Predicate};
+pub use schema::{Domain, Schema};
+pub use subscription::Subscription;
+
+/// Attribute values. Domains are discrete integer ranges, following the
+/// BE-Tree model of a high-dimensional discrete space; string-valued
+/// attributes are dictionary-encoded into this space by applications (see the
+/// `ad_targeting` example in the workspace root).
+pub type Value = i64;

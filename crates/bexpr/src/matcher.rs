@@ -1,0 +1,78 @@
+//! The engine-agnostic matching interface.
+
+use crate::{Event, SubId};
+
+/// A matching engine: given an event, report every subscription it satisfies.
+///
+/// Implementations must return the matching [`SubId`]s in **ascending order**
+/// with no duplicates — this makes result sets directly comparable across
+/// engines (the integration tests assert pairwise agreement between every
+/// engine in the workspace) and lets downstream consumers merge streams
+/// cheaply.
+pub trait Matcher: Send + Sync {
+    /// All subscriptions matched by `ev`, ascending, deduplicated.
+    fn match_event(&self, ev: &Event) -> Vec<SubId>;
+
+    /// Matches a batch of events, one result row per event, preserving the
+    /// input order. The default implementation loops over
+    /// [`Matcher::match_event`]; engines with batch-level optimizations
+    /// (OSR's union pruning, parallel fan-out) override it.
+    fn match_batch(&self, events: &[Event]) -> Vec<Vec<SubId>> {
+        events.iter().map(|ev| self.match_event(ev)).collect()
+    }
+
+    /// Engine name used in benchmark tables and logs.
+    fn name(&self) -> &'static str;
+
+    /// Number of subscriptions currently indexed.
+    fn len(&self) -> usize;
+
+    /// Whether the engine holds no subscriptions.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Normalizes a raw match list into the canonical form required by
+/// [`Matcher::match_event`]: ascending, deduplicated.
+pub fn normalize_matches(mut ids: Vec<SubId>) -> Vec<SubId> {
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttrId, Event};
+
+    struct Fixed(Vec<SubId>);
+
+    impl Matcher for Fixed {
+        fn match_event(&self, _ev: &Event) -> Vec<SubId> {
+            self.0.clone()
+        }
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        let out = normalize_matches(vec![SubId(3), SubId(1), SubId(3), SubId(2)]);
+        assert_eq!(out, vec![SubId(1), SubId(2), SubId(3)]);
+    }
+
+    #[test]
+    fn default_batch_preserves_order() {
+        let m = Fixed(vec![SubId(7)]);
+        let ev = Event::new(vec![(AttrId(0), 1)]).unwrap();
+        let rows = m.match_batch(&[ev.clone(), ev]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec![SubId(7)]);
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,620 @@
+//! Text format for subscriptions and events.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! dnf          := clause ( "OR" clause )*
+//! clause       := "(" subscription ")" | subscription
+//! subscription := predicate ( "AND" predicate )*
+//! predicate    := attr ( "=" | "!=" | "<" | "<=" | ">" | ">=" ) int
+//!               | attr "BETWEEN" int "AND" int
+//!               | attr ["NOT"] "IN" "{" int ( "," int )* "}"
+//! event        := attr "=" int ( "," attr "=" int )*
+//! attr         := identifier registered in the schema
+//! int          := [ "-" ] digits
+//! ```
+//!
+//! The `Display` impls on [`crate::Subscription`] / [`crate::Event`] emit
+//! exactly this format, so workload traces round-trip.
+
+use crate::{BexprError, Event, Op, Predicate, Schema, SubId, Subscription, Value};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(Value),
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LBrace,
+    RBrace,
+    Comma,
+    LParen,
+    RParen,
+    And,
+    Or,
+    Between,
+    In,
+    Not,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> BexprError {
+        BexprError::Parse {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    /// Returns the next token and the byte offset where it starts.
+    fn next(&mut self) -> Result<Option<(Tok, usize)>, BexprError> {
+        self.skip_ws();
+        if self.pos >= self.bytes.len() {
+            return Ok(None);
+        }
+        let start = self.pos;
+        let b = self.bytes[self.pos];
+        let tok = match b {
+            b'(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            b'{' => {
+                self.pos += 1;
+                Tok::LBrace
+            }
+            b'}' => {
+                self.pos += 1;
+                Tok::RBrace
+            }
+            b',' => {
+                self.pos += 1;
+                Tok::Comma
+            }
+            b'=' => {
+                self.pos += 1;
+                Tok::Eq
+            }
+            b'!' => {
+                self.pos += 1;
+                if self.bytes.get(self.pos) == Some(&b'=') {
+                    self.pos += 1;
+                    Tok::Ne
+                } else {
+                    return Err(self.err("expected `=` after `!`"));
+                }
+            }
+            b'<' => {
+                self.pos += 1;
+                if self.bytes.get(self.pos) == Some(&b'=') {
+                    self.pos += 1;
+                    Tok::Le
+                } else {
+                    Tok::Lt
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.bytes.get(self.pos) == Some(&b'=') {
+                    self.pos += 1;
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            b'-' | b'0'..=b'9' => {
+                self.pos += 1;
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|c| c.is_ascii_digit())
+                {
+                    self.pos += 1;
+                }
+                let text = &self.src[start..self.pos];
+                let v: Value = text
+                    .parse()
+                    .map_err(|_| self.err(format!("invalid integer `{text}`")))?;
+                Tok::Int(v)
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                self.pos += 1;
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+                {
+                    self.pos += 1;
+                }
+                let word = &self.src[start..self.pos];
+                match word.to_ascii_uppercase().as_str() {
+                    "AND" => Tok::And,
+                    "OR" => Tok::Or,
+                    "BETWEEN" => Tok::Between,
+                    "IN" => Tok::In,
+                    "NOT" => Tok::Not,
+                    _ => Tok::Ident(word.to_string()),
+                }
+            }
+            other => {
+                return Err(self.err(format!("unexpected character `{}`", other as char)));
+            }
+        };
+        Ok(Some((tok, start)))
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    peeked: Option<Option<(Tok, usize)>>,
+    schema: &'a Schema,
+}
+
+impl<'a> Parser<'a> {
+    fn new(schema: &'a Schema, src: &'a str) -> Self {
+        Self {
+            lexer: Lexer::new(src),
+            peeked: None,
+            schema,
+        }
+    }
+
+    fn advance(&mut self) -> Result<Option<(Tok, usize)>, BexprError> {
+        match self.peeked.take() {
+            Some(t) => Ok(t),
+            None => self.lexer.next(),
+        }
+    }
+
+    fn peek(&mut self) -> Result<Option<&Tok>, BexprError> {
+        if self.peeked.is_none() {
+            self.peeked = Some(self.lexer.next()?);
+        }
+        Ok(self
+            .peeked
+            .as_ref()
+            .and_then(|opt| opt.as_ref())
+            .map(|(tok, _)| tok))
+    }
+
+    fn err_at(&self, offset: usize, message: impl Into<String>) -> BexprError {
+        BexprError::Parse {
+            message: message.into(),
+            offset,
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<Value, BexprError> {
+        match self.advance()? {
+            Some((Tok::Int(v), _)) => Ok(v),
+            Some((tok, off)) => Err(self.err_at(off, format!("expected integer, found {tok:?}"))),
+            None => Err(self.err_at(self.lexer.pos, "expected integer, found end of input")),
+        }
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<(), BexprError> {
+        match self.advance()? {
+            Some((tok, _)) if tok == want => Ok(()),
+            Some((tok, off)) => Err(self.err_at(off, format!("expected {what}, found {tok:?}"))),
+            None => Err(self.err_at(
+                self.lexer.pos,
+                format!("expected {what}, found end of input"),
+            )),
+        }
+    }
+
+    fn expect_attr(&mut self) -> Result<crate::AttrId, BexprError> {
+        match self.advance()? {
+            Some((Tok::Ident(name), off)) => self
+                .schema
+                .attr_id(&name)
+                .ok_or_else(|| self.err_at(off, format!("unknown attribute `{name}`"))),
+            Some((tok, off)) => Err(self.err_at(off, format!("expected attribute, found {tok:?}"))),
+            None => Err(self.err_at(self.lexer.pos, "expected attribute, found end of input")),
+        }
+    }
+
+    fn parse_set(&mut self) -> Result<Vec<Value>, BexprError> {
+        self.expect(Tok::LBrace, "`{`")?;
+        let mut values = vec![self.expect_int()?];
+        loop {
+            match self.advance()? {
+                Some((Tok::Comma, _)) => values.push(self.expect_int()?),
+                Some((Tok::RBrace, _)) => return Ok(values),
+                Some((tok, off)) => {
+                    return Err(self.err_at(off, format!("expected `,` or `}}`, found {tok:?}")))
+                }
+                None => {
+                    return Err(self.err_at(self.lexer.pos, "unterminated set: expected `}`"));
+                }
+            }
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<Predicate, BexprError> {
+        let attr = self.expect_attr()?;
+        let op = match self.advance()? {
+            Some((Tok::Eq, _)) => Op::Eq(self.expect_int()?),
+            Some((Tok::Ne, _)) => Op::Ne(self.expect_int()?),
+            Some((Tok::Lt, _)) => Op::Lt(self.expect_int()?),
+            Some((Tok::Le, _)) => Op::Le(self.expect_int()?),
+            Some((Tok::Gt, _)) => Op::Gt(self.expect_int()?),
+            Some((Tok::Ge, _)) => Op::Ge(self.expect_int()?),
+            Some((Tok::Between, _)) => {
+                let lo = self.expect_int()?;
+                self.expect(Tok::And, "`AND`")?;
+                let hi = self.expect_int()?;
+                Op::between(lo, hi)?
+            }
+            Some((Tok::In, _)) => Op::in_set(self.parse_set()?)?,
+            Some((Tok::Not, _)) => {
+                self.expect(Tok::In, "`IN` after `NOT`")?;
+                Op::not_in_set(self.parse_set()?)?
+            }
+            Some((tok, off)) => {
+                return Err(self.err_at(off, format!("expected operator, found {tok:?}")))
+            }
+            None => {
+                return Err(self.err_at(self.lexer.pos, "expected operator, found end of input"))
+            }
+        };
+        Ok(Predicate::new(attr, op))
+    }
+}
+
+impl Parser<'_> {
+    /// One DNF clause: a parenthesized or bare conjunction.
+    fn parse_clause(&mut self) -> Result<Vec<Predicate>, BexprError> {
+        let parenthesized = matches!(self.peek()?, Some(Tok::LParen));
+        if parenthesized {
+            self.advance()?;
+        }
+        let mut preds = vec![self.parse_predicate()?];
+        while matches!(self.peek()?, Some(Tok::And)) {
+            self.advance()?;
+            preds.push(self.parse_predicate()?);
+        }
+        if parenthesized {
+            self.expect(Tok::RParen, "`)`")?;
+        }
+        Ok(preds)
+    }
+}
+
+/// Parses a DNF expression: clauses joined by `OR`, each a conjunction,
+/// optionally parenthesized. A plain conjunction is a one-clause DNF.
+pub fn parse_dnf_with_id(
+    schema: &Schema,
+    id: SubId,
+    src: &str,
+) -> Result<crate::DnfSubscription, BexprError> {
+    let mut p = Parser::new(schema, src);
+    let mut clauses = vec![p.parse_clause()?];
+    loop {
+        match p.advance()? {
+            Some((Tok::Or, _)) => clauses.push(p.parse_clause()?),
+            Some((tok, off)) => {
+                return Err(p.err_at(off, format!("expected `OR` or end of input, found {tok:?}")))
+            }
+            None => break,
+        }
+    }
+    let dnf = crate::DnfSubscription::new(id, clauses)?;
+    dnf.validate(schema)?;
+    Ok(dnf)
+}
+
+/// Parses a DNF expression with id 0; convenience for tests and examples.
+pub fn parse_dnf(schema: &Schema, src: &str) -> Result<crate::DnfSubscription, BexprError> {
+    parse_dnf_with_id(schema, SubId(0), src)
+}
+
+/// Parses a conjunction of predicates. The caller supplies the id (ids live
+/// outside the text format so traces can be re-numbered freely).
+pub fn parse_subscription_with_id(
+    schema: &Schema,
+    id: SubId,
+    src: &str,
+) -> Result<Subscription, BexprError> {
+    let mut p = Parser::new(schema, src);
+    let mut preds = vec![p.parse_predicate()?];
+    loop {
+        match p.advance()? {
+            Some((Tok::And, _)) => preds.push(p.parse_predicate()?),
+            Some((tok, off)) => {
+                return Err(p.err_at(off, format!("expected `AND` or end of input, found {tok:?}")))
+            }
+            None => break,
+        }
+    }
+    let sub = Subscription::new(id, preds)?;
+    sub.validate(schema)?;
+    Ok(sub)
+}
+
+/// Parses a subscription with id 0; convenience for tests and examples.
+pub fn parse_subscription(schema: &Schema, src: &str) -> Result<Subscription, BexprError> {
+    parse_subscription_with_id(schema, SubId(0), src)
+}
+
+/// Parses an event: `attr = int , attr = int , …`.
+pub fn parse_event(schema: &Schema, src: &str) -> Result<Event, BexprError> {
+    let mut p = Parser::new(schema, src);
+    let mut pairs = Vec::new();
+    loop {
+        let attr = p.expect_attr()?;
+        p.expect(Tok::Eq, "`=`")?;
+        pairs.push((attr, p.expect_int()?));
+        match p.advance()? {
+            Some((Tok::Comma, _)) => continue,
+            Some((tok, off)) => {
+                return Err(p.err_at(off, format!("expected `,` or end of input, found {tok:?}")))
+            }
+            None => break,
+        }
+    }
+    let ev = Event::new(pairs)?;
+    for &(attr, v) in ev.pairs() {
+        let domain = schema
+            .attr(attr)
+            .ok_or(BexprError::InvalidAttrId(attr))?
+            .domain();
+        if !domain.contains(v) {
+            return Err(BexprError::ValueOutOfDomain { attr, value: v });
+        }
+    }
+    Ok(ev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttrId, Domain};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_attr("age", Domain::new(0, 120)).unwrap();
+        s.add_attr("city", Domain::new(0, 999)).unwrap();
+        s.add_attr("temp", Domain::new(-50, 60)).unwrap();
+        s
+    }
+
+    #[test]
+    fn parses_all_operators() {
+        let s = schema();
+        let sub = parse_subscription(
+            &s,
+            "age >= 18 AND age <= 65 AND city != 3 AND city IN {1, 2, 5} \
+             AND temp BETWEEN -10 AND 25 AND temp NOT IN {0} AND age < 100 AND age > 1",
+        )
+        .unwrap();
+        assert_eq!(sub.len(), 8);
+    }
+
+    #[test]
+    fn parses_negative_values() {
+        let s = schema();
+        let sub = parse_subscription(&s, "temp = -20").unwrap();
+        assert_eq!(
+            sub.predicates()[0],
+            Predicate::new(AttrId(2), Op::Eq(-20))
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let s = schema();
+        assert!(parse_subscription(&s, "age between 1 and 5 and city in {2}").is_ok());
+    }
+
+    #[test]
+    fn event_parses_and_validates_domain() {
+        let s = schema();
+        let ev = parse_event(&s, "age = 30, city = 7").unwrap();
+        assert_eq!(ev.value(AttrId(0)), Some(30));
+        assert!(matches!(
+            parse_event(&s, "age = 500"),
+            Err(BexprError::ValueOutOfDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_attribute_is_error_with_offset() {
+        let s = schema();
+        match parse_subscription(&s, "age = 1 AND bogus = 2") {
+            Err(BexprError::Parse { message, offset }) => {
+                assert!(message.contains("bogus"));
+                assert_eq!(offset, 12);
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        let s = schema();
+        for bad in [
+            "",
+            "age",
+            "age =",
+            "age = 1 AND",
+            "age ! 5",
+            "age IN {}",
+            "age IN {1, }",
+            "age IN {1",
+            "age BETWEEN 5",
+            "age BETWEEN 9 AND 2",
+            "age = 1 city = 2",
+            "age NOT 5",
+            "= 5",
+            "age @ 5",
+        ] {
+            assert!(
+                parse_subscription(&s, bad).is_err(),
+                "`{bad}` should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_domain_subscription_value_rejected() {
+        let s = schema();
+        assert!(matches!(
+            parse_subscription(&s, "age = 300"),
+            Err(BexprError::ValueOutOfDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn dnf_parses_and_matches() {
+        let s = schema();
+        let dnf = parse_dnf(
+            &s,
+            "(age >= 65) OR (age < 18 AND city = 7) OR city IN {1, 2}",
+        )
+        .unwrap();
+        assert_eq!(dnf.len(), 3);
+        let hit1 = parse_event(&s, "age = 70").unwrap();
+        let hit2 = parse_event(&s, "age = 10, city = 7").unwrap();
+        let hit3 = parse_event(&s, "age = 30, city = 2").unwrap();
+        let miss = parse_event(&s, "age = 30, city = 9").unwrap();
+        assert!(dnf.matches(&hit1) && dnf.matches(&hit2) && dnf.matches(&hit3));
+        assert!(!dnf.matches(&miss));
+    }
+
+    #[test]
+    fn bare_conjunction_is_single_clause_dnf() {
+        let s = schema();
+        let dnf = parse_dnf(&s, "age = 5 AND city = 7").unwrap();
+        assert_eq!(dnf.len(), 1);
+    }
+
+    #[test]
+    fn malformed_dnf_rejected() {
+        let s = schema();
+        for bad in [
+            "(age = 5",
+            "age = 5)",
+            "(age = 5) OR",
+            "OR age = 5",
+            "(age = 5) (city = 1)",
+            "()",
+            "(age = 5)) OR (city = 1)",
+        ] {
+            assert!(parse_dnf(&s, bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn conjunction_parser_rejects_or() {
+        let s = schema();
+        assert!(parse_subscription(&s, "age = 5 OR city = 1").is_err());
+    }
+
+    #[test]
+    fn event_round_trip() {
+        let s = schema();
+        let ev = parse_event(&s, "temp = -5, age = 40").unwrap();
+        let text = ev.display(&s).to_string();
+        assert_eq!(parse_event(&s, &text).unwrap(), ev);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::{Predicate, Subscription};
+    use proptest::prelude::*;
+
+    fn arb_pred(dims: u32, card: i64) -> impl Strategy<Value = Predicate> {
+        let attr = 0..dims;
+        let v = 0..card;
+        (attr, prop_oneof![
+            v.clone().prop_map(Op::Eq),
+            v.clone().prop_map(Op::Ne),
+            (0..card - 1).prop_map(move |lo| Op::Between(lo, (lo + 7).min(card - 1))),
+            proptest::collection::vec(v, 1..5).prop_map(|vs| Op::in_set(vs).unwrap()),
+        ])
+            .prop_map(|(a, op)| Predicate::new(crate::AttrId(a), op))
+    }
+
+    proptest! {
+        /// Display → parse is the identity on canonical subscriptions.
+        #[test]
+        fn subscription_round_trip(
+            preds in proptest::collection::vec(arb_pred(6, 50), 1..6)
+        ) {
+            let schema = Schema::uniform(6, 50);
+            let sub = Subscription::new(crate::SubId(1), preds).unwrap();
+            let text = sub.display(&schema).to_string();
+            let reparsed = parse_subscription(&schema, &text).unwrap();
+            prop_assert_eq!(reparsed.predicates(), sub.predicates());
+        }
+    }
+}
+
+#[cfg(test)]
+mod fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        /// The parser never panics: arbitrary byte soup either parses or
+        /// returns a structured error.
+        #[test]
+        fn parser_total_on_arbitrary_input(input in "\\PC{0,64}") {
+            let schema = Schema::uniform(4, 100);
+            let _ = parse_subscription(&schema, &input);
+            let _ = parse_dnf(&schema, &input);
+            let _ = parse_event(&schema, &input);
+        }
+
+        /// Near-miss inputs built from valid tokens also never panic.
+        #[test]
+        fn parser_total_on_token_soup(
+            tokens in proptest::collection::vec(
+                prop_oneof![
+                    Just("a0"), Just("a1"), Just("bogus"), Just("AND"), Just("OR"),
+                    Just("BETWEEN"), Just("IN"), Just("NOT"), Just("="), Just("!="),
+                    Just("<"), Just("<="), Just(">"), Just(">="), Just("("), Just(")"),
+                    Just("{"), Just("}"), Just(","), Just("5"), Just("-3"), Just("99"),
+                ],
+                0..12,
+            )
+        ) {
+            let schema = Schema::uniform(4, 100);
+            let input = tokens.join(" ");
+            let _ = parse_subscription(&schema, &input);
+            let _ = parse_dnf(&schema, &input);
+            let _ = parse_event(&schema, &input);
+        }
+    }
+}

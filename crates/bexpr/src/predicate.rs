@@ -1,0 +1,517 @@
+//! Predicates: a single comparison over one attribute.
+
+use crate::{AttrId, BexprError, Domain, Schema, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison operator plus operand(s). This is the operator set supported by
+/// the BE-Tree family (relational operators, `BETWEEN`, and set membership).
+///
+/// `In` / `NotIn` operands are kept sorted and deduplicated so that predicates
+/// have a canonical form — equality of two `Op`s implies identical semantics,
+/// which the encoding layer relies on to deduplicate the predicate space.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Op {
+    /// `= v`
+    Eq(Value),
+    /// `!= v`
+    Ne(Value),
+    /// `< v`
+    Lt(Value),
+    /// `<= v`
+    Le(Value),
+    /// `> v`
+    Gt(Value),
+    /// `>= v`
+    Ge(Value),
+    /// `BETWEEN lo AND hi` (inclusive on both ends)
+    Between(Value, Value),
+    /// `IN {v1, …, vk}` — sorted, deduplicated, non-empty
+    In(Box<[Value]>),
+    /// `NOT IN {v1, …, vk}` — sorted, deduplicated, non-empty
+    NotIn(Box<[Value]>),
+}
+
+impl Op {
+    /// Builds a canonical `IN` operator from an arbitrary value list.
+    pub fn in_set(values: impl Into<Vec<Value>>) -> Result<Self, BexprError> {
+        Ok(Op::In(canonical_set(values.into())?))
+    }
+
+    /// Builds a canonical `NOT IN` operator from an arbitrary value list.
+    pub fn not_in_set(values: impl Into<Vec<Value>>) -> Result<Self, BexprError> {
+        Ok(Op::NotIn(canonical_set(values.into())?))
+    }
+
+    /// Builds a `BETWEEN` operator, rejecting empty ranges.
+    pub fn between(lo: Value, hi: Value) -> Result<Self, BexprError> {
+        if lo > hi {
+            return Err(BexprError::EmptyRange { lo, hi });
+        }
+        Ok(Op::Between(lo, hi))
+    }
+
+    /// Whether a present value `v` satisfies this operator.
+    #[inline]
+    pub fn matches(&self, v: Value) -> bool {
+        match self {
+            Op::Eq(x) => v == *x,
+            Op::Ne(x) => v != *x,
+            Op::Lt(x) => v < *x,
+            Op::Le(x) => v <= *x,
+            Op::Gt(x) => v > *x,
+            Op::Ge(x) => v >= *x,
+            Op::Between(lo, hi) => *lo <= v && v <= *hi,
+            Op::In(set) => set.binary_search(&v).is_ok(),
+            Op::NotIn(set) => set.binary_search(&v).is_err(),
+        }
+    }
+
+    /// The set of values inside `domain` that satisfy this operator, as a
+    /// minimal list of disjoint, sorted, inclusive intervals. An empty list
+    /// means the predicate is unsatisfiable within the domain.
+    ///
+    /// This is the geometric view used by the BE-Tree clustering directories
+    /// and by the interval-stabbing event index.
+    pub fn satisfying_intervals(&self, domain: Domain) -> Vec<(Value, Value)> {
+        let (dmin, dmax) = (domain.min(), domain.max());
+        let clip = |lo: Value, hi: Value| -> Option<(Value, Value)> {
+            let lo = lo.max(dmin);
+            let hi = hi.min(dmax);
+            (lo <= hi).then_some((lo, hi))
+        };
+        match self {
+            Op::Eq(x) => clip(*x, *x).into_iter().collect(),
+            Op::Ne(x) => {
+                let mut out = Vec::with_capacity(2);
+                if let Some(iv) = clip(dmin, x.saturating_sub(1)) {
+                    out.push(iv);
+                }
+                if let Some(iv) = clip(x.saturating_add(1), dmax) {
+                    out.push(iv);
+                }
+                out
+            }
+            Op::Lt(x) => clip(dmin, x.saturating_sub(1)).into_iter().collect(),
+            Op::Le(x) => clip(dmin, *x).into_iter().collect(),
+            Op::Gt(x) => clip(x.saturating_add(1), dmax).into_iter().collect(),
+            Op::Ge(x) => clip(*x, dmax).into_iter().collect(),
+            Op::Between(lo, hi) => clip(*lo, *hi).into_iter().collect(),
+            Op::In(set) => {
+                // Merge consecutive values into runs.
+                let mut out: Vec<(Value, Value)> = Vec::new();
+                for &v in set.iter() {
+                    if !domain.contains(v) {
+                        continue;
+                    }
+                    match out.last_mut() {
+                        Some((_, hi)) if *hi + 1 == v => *hi = v,
+                        _ => out.push((v, v)),
+                    }
+                }
+                out
+            }
+            Op::NotIn(set) => {
+                let mut out = Vec::new();
+                let mut cursor = dmin;
+                for &v in set.iter() {
+                    if v < cursor {
+                        continue;
+                    }
+                    if v > dmax {
+                        break;
+                    }
+                    if let Some(iv) = clip(cursor, v - 1) {
+                        out.push(iv);
+                    }
+                    cursor = v + 1;
+                }
+                if let Some(iv) = clip(cursor, dmax) {
+                    out.push(iv);
+                }
+                out
+            }
+        }
+    }
+
+    /// The complement of [`Op::satisfying_intervals`] within `domain`: the
+    /// values that *violate* the operator, as sorted disjoint inclusive
+    /// intervals. Used by the encoding layer to index broad predicates
+    /// (selectivity > ½) by their violations instead of their satisfactions.
+    pub fn violating_intervals(&self, domain: Domain) -> Vec<(Value, Value)> {
+        let mut out = Vec::new();
+        let mut cursor = domain.min();
+        for (lo, hi) in self.satisfying_intervals(domain) {
+            if cursor < lo {
+                out.push((cursor, lo - 1));
+            }
+            cursor = hi + 1;
+        }
+        if cursor <= domain.max() {
+            out.push((cursor, domain.max()));
+        }
+        out
+    }
+
+    /// Fraction of the domain this operator accepts — the BE-Tree cost model
+    /// and the workload generator use this as the predicate selectivity.
+    pub fn selectivity(&self, domain: Domain) -> f64 {
+        let total = domain.cardinality() as f64;
+        let satisfied: u64 = self
+            .satisfying_intervals(domain)
+            .iter()
+            .map(|(lo, hi)| (hi - lo) as u64 + 1)
+            .sum();
+        satisfied as f64 / total
+    }
+
+    /// Short operator mnemonic used by `Debug`/stats output.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::Eq(_) => "eq",
+            Op::Ne(_) => "ne",
+            Op::Lt(_) => "lt",
+            Op::Le(_) => "le",
+            Op::Gt(_) => "gt",
+            Op::Ge(_) => "ge",
+            Op::Between(..) => "between",
+            Op::In(_) => "in",
+            Op::NotIn(_) => "notin",
+        }
+    }
+}
+
+fn canonical_set(mut values: Vec<Value>) -> Result<Box<[Value]>, BexprError> {
+    if values.is_empty() {
+        return Err(BexprError::EmptySet);
+    }
+    values.sort_unstable();
+    values.dedup();
+    Ok(values.into_boxed_slice())
+}
+
+/// A predicate: one [`Op`] applied to one attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Attribute the predicate constrains.
+    pub attr: AttrId,
+    /// Comparison applied to the event's value for [`Self::attr`].
+    pub op: Op,
+}
+
+impl Predicate {
+    /// Creates a predicate.
+    pub fn new(attr: AttrId, op: Op) -> Self {
+        Self { attr, op }
+    }
+
+    /// Whether the predicate is satisfied by an event that assigns `value` to
+    /// [`Self::attr`]. `None` (attribute absent) never satisfies — including
+    /// negated operators; see the crate-level semantics note.
+    #[inline]
+    pub fn matches(&self, value: Option<Value>) -> bool {
+        match value {
+            Some(v) => self.op.matches(v),
+            None => false,
+        }
+    }
+
+    /// Validates the predicate against `schema`: the attribute must exist and
+    /// all operand values must fall inside its domain (so that the discrete
+    /// encoding of the predicate is lossless).
+    pub fn validate(&self, schema: &Schema) -> Result<(), BexprError> {
+        let info = schema
+            .attr(self.attr)
+            .ok_or(BexprError::InvalidAttrId(self.attr))?;
+        let domain = info.domain();
+        let check = |v: Value| -> Result<(), BexprError> {
+            if domain.contains(v) {
+                Ok(())
+            } else {
+                Err(BexprError::ValueOutOfDomain {
+                    attr: self.attr,
+                    value: v,
+                })
+            }
+        };
+        match &self.op {
+            Op::Eq(x) | Op::Ne(x) | Op::Lt(x) | Op::Le(x) | Op::Gt(x) | Op::Ge(x) => check(*x),
+            Op::Between(lo, hi) => {
+                if lo > hi {
+                    return Err(BexprError::EmptyRange { lo: *lo, hi: *hi });
+                }
+                check(*lo)?;
+                check(*hi)
+            }
+            Op::In(set) | Op::NotIn(set) => {
+                if set.is_empty() {
+                    return Err(BexprError::EmptySet);
+                }
+                set.iter().copied().try_for_each(check)
+            }
+        }
+    }
+
+    /// Renders the predicate with the attribute's registered name.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> PredicateDisplay<'a> {
+        PredicateDisplay {
+            pred: self,
+            schema,
+        }
+    }
+}
+
+/// `Display` adaptor produced by [`Predicate::display`]; the output parses
+/// back through [`crate::parser`].
+pub struct PredicateDisplay<'a> {
+    pred: &'a Predicate,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for PredicateDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = self
+            .schema
+            .attr(self.pred.attr)
+            .map(|a| a.name())
+            .unwrap_or("<invalid>");
+        let fmt_set = |f: &mut fmt::Formatter<'_>, set: &[Value]| -> fmt::Result {
+            write!(f, "{{")?;
+            for (i, v) in set.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, "}}")
+        };
+        match &self.pred.op {
+            Op::Eq(x) => write!(f, "{name} = {x}"),
+            Op::Ne(x) => write!(f, "{name} != {x}"),
+            Op::Lt(x) => write!(f, "{name} < {x}"),
+            Op::Le(x) => write!(f, "{name} <= {x}"),
+            Op::Gt(x) => write!(f, "{name} > {x}"),
+            Op::Ge(x) => write!(f, "{name} >= {x}"),
+            Op::Between(lo, hi) => write!(f, "{name} BETWEEN {lo} AND {hi}"),
+            Op::In(set) => {
+                write!(f, "{name} IN ")?;
+                fmt_set(f, set)
+            }
+            Op::NotIn(set) => {
+                write!(f, "{name} NOT IN ")?;
+                fmt_set(f, set)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom() -> Domain {
+        Domain::new(0, 99)
+    }
+
+    /// Brute-force check that `satisfying_intervals` agrees with `matches`
+    /// on every value of the domain.
+    fn assert_intervals_consistent(op: &Op, domain: Domain) {
+        let ivs = op.satisfying_intervals(domain);
+        // Intervals must be sorted, disjoint, non-adjacent, and in-domain.
+        for w in ivs.windows(2) {
+            assert!(
+                w[0].1 + 1 < w[1].0,
+                "{op:?}: intervals {w:?} overlap or touch"
+            );
+        }
+        for &(lo, hi) in &ivs {
+            assert!(lo <= hi && domain.contains(lo) && domain.contains(hi));
+        }
+        for v in domain.min()..=domain.max() {
+            let in_iv = ivs.iter().any(|&(lo, hi)| lo <= v && v <= hi);
+            assert_eq!(in_iv, op.matches(v), "{op:?} disagrees at {v}");
+        }
+    }
+
+    #[test]
+    fn relational_ops_match() {
+        assert!(Op::Eq(5).matches(5) && !Op::Eq(5).matches(6));
+        assert!(Op::Ne(5).matches(6) && !Op::Ne(5).matches(5));
+        assert!(Op::Lt(5).matches(4) && !Op::Lt(5).matches(5));
+        assert!(Op::Le(5).matches(5) && !Op::Le(5).matches(6));
+        assert!(Op::Gt(5).matches(6) && !Op::Gt(5).matches(5));
+        assert!(Op::Ge(5).matches(5) && !Op::Ge(5).matches(4));
+    }
+
+    #[test]
+    fn between_and_sets_match() {
+        let b = Op::between(3, 7).unwrap();
+        assert!(b.matches(3) && b.matches(7) && !b.matches(8) && !b.matches(2));
+        let i = Op::in_set(vec![9, 1, 5, 1]).unwrap();
+        assert!(i.matches(1) && i.matches(5) && i.matches(9) && !i.matches(2));
+        let n = Op::not_in_set(vec![1, 5]).unwrap();
+        assert!(!n.matches(1) && n.matches(2));
+    }
+
+    #[test]
+    fn canonical_set_sorts_and_dedups() {
+        match Op::in_set(vec![3, 1, 3, 2]).unwrap() {
+            Op::In(set) => assert_eq!(&*set, &[1, 2, 3]),
+            _ => unreachable!(),
+        }
+        assert_eq!(Op::in_set(Vec::new()), Err(BexprError::EmptySet));
+        assert_eq!(
+            Op::between(9, 2),
+            Err(BexprError::EmptyRange { lo: 9, hi: 2 })
+        );
+    }
+
+    #[test]
+    fn intervals_cover_all_operators() {
+        let ops = [
+            Op::Eq(50),
+            Op::Ne(50),
+            Op::Lt(50),
+            Op::Le(50),
+            Op::Gt(50),
+            Op::Ge(50),
+            Op::Between(10, 20),
+            Op::in_set(vec![1, 2, 3, 10, 50]).unwrap(),
+            Op::not_in_set(vec![0, 40, 99]).unwrap(),
+        ];
+        for op in &ops {
+            assert_intervals_consistent(op, dom());
+        }
+    }
+
+    #[test]
+    fn intervals_at_domain_edges() {
+        // Ne at the domain boundary produces a single interval.
+        assert_eq!(Op::Ne(0).satisfying_intervals(dom()), vec![(1, 99)]);
+        assert_eq!(Op::Ne(99).satisfying_intervals(dom()), vec![(0, 98)]);
+        // Unsatisfiable within the domain → empty.
+        assert!(Op::Eq(500).satisfying_intervals(dom()).is_empty());
+        assert!(Op::Lt(0).satisfying_intervals(dom()).is_empty());
+        // NotIn of entire 1-value domain is empty.
+        let tiny = Domain::new(5, 5);
+        assert!(Op::not_in_set(vec![5])
+            .unwrap()
+            .satisfying_intervals(tiny)
+            .is_empty());
+    }
+
+    #[test]
+    fn in_set_merges_runs() {
+        let op = Op::in_set(vec![1, 2, 3, 7, 9, 10]).unwrap();
+        assert_eq!(
+            op.satisfying_intervals(dom()),
+            vec![(1, 3), (7, 7), (9, 10)]
+        );
+    }
+
+    #[test]
+    fn selectivity_values() {
+        let d = Domain::new(0, 99);
+        assert!((Op::Eq(5).selectivity(d) - 0.01).abs() < 1e-12);
+        assert!((Op::Ne(5).selectivity(d) - 0.99).abs() < 1e-12);
+        assert!((Op::Between(0, 49).selectivity(d) - 0.5).abs() < 1e-12);
+        assert!((Op::Ge(0).selectivity(d) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predicate_absent_attribute_never_matches() {
+        let p = Predicate::new(AttrId(0), Op::Ne(5));
+        assert!(!p.matches(None), "negation must not match absent attribute");
+        assert!(p.matches(Some(4)));
+    }
+
+    #[test]
+    fn validation_against_schema() {
+        let mut schema = Schema::new();
+        let a = schema.add_attr("x", Domain::new(0, 9)).unwrap();
+        assert!(Predicate::new(a, Op::Eq(5)).validate(&schema).is_ok());
+        assert!(matches!(
+            Predicate::new(a, Op::Eq(50)).validate(&schema),
+            Err(BexprError::ValueOutOfDomain { .. })
+        ));
+        assert!(matches!(
+            Predicate::new(AttrId(7), Op::Eq(1)).validate(&schema),
+            Err(BexprError::InvalidAttrId(_))
+        ));
+        assert!(matches!(
+            Predicate::new(a, Op::Between(8, 2)).validate(&schema),
+            Err(BexprError::EmptyRange { .. })
+        ));
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut schema = Schema::new();
+        let a = schema.add_attr("age", Domain::new(0, 120)).unwrap();
+        let cases = [
+            (Op::Eq(5), "age = 5"),
+            (Op::Ne(5), "age != 5"),
+            (Op::Le(5), "age <= 5"),
+            (Op::Between(1, 9), "age BETWEEN 1 AND 9"),
+            (Op::in_set(vec![2, 1]).unwrap(), "age IN {1, 2}"),
+            (Op::not_in_set(vec![3]).unwrap(), "age NOT IN {3}"),
+        ];
+        for (op, expect) in cases {
+            let p = Predicate::new(a, op);
+            assert_eq!(p.display(&schema).to_string(), expect);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        let v = -5i64..105i64;
+        prop_oneof![
+            v.clone().prop_map(Op::Eq),
+            v.clone().prop_map(Op::Ne),
+            v.clone().prop_map(Op::Lt),
+            v.clone().prop_map(Op::Le),
+            v.clone().prop_map(Op::Gt),
+            v.clone().prop_map(Op::Ge),
+            (v.clone(), 0i64..30i64).prop_map(|(lo, w)| Op::Between(lo, lo + w)),
+            proptest::collection::vec(v.clone(), 1..8)
+                .prop_map(|vs| Op::in_set(vs).expect("non-empty")),
+            proptest::collection::vec(v, 1..8)
+                .prop_map(|vs| Op::not_in_set(vs).expect("non-empty")),
+        ]
+    }
+
+    proptest! {
+        /// For every operator and every domain value, interval membership and
+        /// direct evaluation agree.
+        #[test]
+        fn intervals_equal_pointwise_eval(op in arb_op(), probe in 0i64..100i64) {
+            let domain = Domain::new(0, 99);
+            let ivs = op.satisfying_intervals(domain);
+            let in_iv = ivs.iter().any(|&(lo, hi)| lo <= probe && probe <= hi);
+            prop_assert_eq!(in_iv, op.matches(probe));
+        }
+
+        /// Selectivity is always a valid probability.
+        #[test]
+        fn selectivity_in_unit_interval(op in arb_op()) {
+            let s = op.selectivity(Domain::new(0, 99));
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        /// Satisfying and violating intervals exactly partition the domain.
+        #[test]
+        fn violations_complement_satisfactions(op in arb_op(), probe in 0i64..100i64) {
+            let domain = Domain::new(0, 99);
+            let violated = op
+                .violating_intervals(domain)
+                .iter()
+                .any(|&(lo, hi)| lo <= probe && probe <= hi);
+            prop_assert_eq!(violated, !op.matches(probe));
+        }
+    }
+}

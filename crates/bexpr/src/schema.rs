@@ -1,0 +1,258 @@
+//! Attribute dictionary and discrete domains.
+
+use crate::{AttrId, BexprError, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An inclusive discrete value range `[min, max]` — the domain of one
+/// attribute (one dimension of the BE-Tree discrete space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Domain {
+    min: Value,
+    max: Value,
+}
+
+impl Domain {
+    /// Creates the inclusive domain `[min, max]`.
+    ///
+    /// # Panics
+    /// Panics if `min > max`; use [`Domain::try_new`] for fallible creation.
+    pub fn new(min: Value, max: Value) -> Self {
+        Self::try_new(min, max).expect("empty domain")
+    }
+
+    /// Fallible counterpart of [`Domain::new`].
+    pub fn try_new(min: Value, max: Value) -> Result<Self, BexprError> {
+        if min > max {
+            return Err(BexprError::EmptyDomain { min, max });
+        }
+        if max.checked_sub(min).is_none() {
+            return Err(BexprError::DomainTooWide { min, max });
+        }
+        Ok(Self { min, max })
+    }
+
+    /// Smallest value in the domain.
+    #[inline]
+    pub fn min(&self) -> Value {
+        self.min
+    }
+
+    /// Largest value in the domain.
+    #[inline]
+    pub fn max(&self) -> Value {
+        self.max
+    }
+
+    /// Number of distinct values (the domain cardinality).
+    #[inline]
+    pub fn cardinality(&self) -> u64 {
+        (self.max - self.min) as u64 + 1
+    }
+
+    /// Whether `v` lies inside the domain.
+    #[inline]
+    pub fn contains(&self, v: Value) -> bool {
+        self.min <= v && v <= self.max
+    }
+
+    /// Clamps `v` into the domain.
+    #[inline]
+    pub fn clamp(&self, v: Value) -> Value {
+        v.clamp(self.min, self.max)
+    }
+}
+
+/// One registered attribute: its name and domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttrInfo {
+    name: String,
+    domain: Domain,
+}
+
+impl AttrInfo {
+    /// Attribute name as registered.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's value domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+}
+
+/// The attribute dictionary: maps names to dense [`AttrId`]s and records each
+/// attribute's [`Domain`].
+///
+/// Schemas are append-only; ids are assigned in registration order, so every
+/// structure keyed by `AttrId` can use a plain vector.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Schema {
+    attrs: Vec<AttrInfo>,
+    #[serde(skip)]
+    by_name: HashMap<String, AttrId>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a uniform schema with `dims` attributes named `a0..a{dims-1}`,
+    /// each with domain `[0, cardinality - 1]`. This is the shape used by the
+    /// BE-Gen-style workload generator.
+    pub fn uniform(dims: usize, cardinality: u64) -> Self {
+        assert!(cardinality > 0, "cardinality must be positive");
+        let mut schema = Self::new();
+        for i in 0..dims {
+            schema
+                .add_attr(&format!("a{i}"), Domain::new(0, cardinality as Value - 1))
+                .expect("generated names are unique");
+        }
+        schema
+    }
+
+    /// Registers a new attribute; returns its id.
+    pub fn add_attr(&mut self, name: &str, domain: Domain) -> Result<AttrId, BexprError> {
+        if self.by_name.contains_key(name) {
+            return Err(BexprError::DuplicateAttr(name.to_string()));
+        }
+        let id = AttrId::from_index(self.attrs.len());
+        self.attrs.push(AttrInfo {
+            name: name.to_string(),
+            domain,
+        });
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Looks an attribute up by name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the info record for `id`, or `None` if out of range.
+    pub fn attr(&self, id: AttrId) -> Option<&AttrInfo> {
+        self.attrs.get(id.index())
+    }
+
+    /// Returns the domain of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is not registered. Use [`Schema::attr`] when the id may
+    /// come from untrusted input.
+    #[inline]
+    pub fn domain(&self, id: AttrId) -> Domain {
+        self.attrs[id.index()].domain
+    }
+
+    /// Number of registered attributes (the dimensionality).
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Iterates over `(id, info)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &AttrInfo)> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .map(|(i, info)| (AttrId::from_index(i), info))
+    }
+
+    /// Rebuilds the name index after deserialization (the map is skipped by
+    /// serde to avoid storing every name twice).
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .attrs
+            .iter()
+            .enumerate()
+            .map(|(i, info)| (info.name.clone(), AttrId::from_index(i)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_basics() {
+        let d = Domain::new(10, 19);
+        assert_eq!(d.cardinality(), 10);
+        assert!(d.contains(10) && d.contains(19));
+        assert!(!d.contains(9) && !d.contains(20));
+        assert_eq!(d.clamp(-5), 10);
+        assert_eq!(d.clamp(100), 19);
+        assert_eq!(d.clamp(15), 15);
+    }
+
+    #[test]
+    fn domain_singleton() {
+        let d = Domain::new(7, 7);
+        assert_eq!(d.cardinality(), 1);
+        assert!(d.contains(7));
+    }
+
+    #[test]
+    fn empty_domain_rejected() {
+        assert_eq!(
+            Domain::try_new(5, 4),
+            Err(BexprError::EmptyDomain { min: 5, max: 4 })
+        );
+    }
+
+    #[test]
+    fn overflowing_domain_rejected() {
+        assert!(matches!(
+            Domain::try_new(i64::MIN, i64::MAX),
+            Err(BexprError::DomainTooWide { .. })
+        ));
+        // A huge but representable domain is fine.
+        assert!(Domain::try_new(i64::MIN / 2 + 1, i64::MAX / 2).is_ok());
+    }
+
+    #[test]
+    fn schema_registration_and_lookup() {
+        let mut s = Schema::new();
+        let a = s.add_attr("age", Domain::new(0, 120)).unwrap();
+        let b = s.add_attr("city", Domain::new(0, 999)).unwrap();
+        assert_eq!(s.dims(), 2);
+        assert_eq!(s.attr_id("age"), Some(a));
+        assert_eq!(s.attr_id("city"), Some(b));
+        assert_eq!(s.attr_id("nope"), None);
+        assert_eq!(s.attr(a).unwrap().name(), "age");
+        assert_eq!(s.domain(b).max(), 999);
+    }
+
+    #[test]
+    fn duplicate_attr_rejected() {
+        let mut s = Schema::new();
+        s.add_attr("x", Domain::new(0, 1)).unwrap();
+        assert!(matches!(
+            s.add_attr("x", Domain::new(0, 5)),
+            Err(BexprError::DuplicateAttr(_))
+        ));
+    }
+
+    #[test]
+    fn uniform_schema_shape() {
+        let s = Schema::uniform(4, 100);
+        assert_eq!(s.dims(), 4);
+        for (id, info) in s.iter() {
+            assert_eq!(info.name(), format!("a{}", id.index()));
+            assert_eq!(info.domain().cardinality(), 100);
+        }
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut s = Schema::uniform(3, 10);
+        s.by_name.clear();
+        assert_eq!(s.attr_id("a1"), None);
+        s.rebuild_index();
+        assert_eq!(s.attr_id("a1"), Some(AttrId(1)));
+    }
+}

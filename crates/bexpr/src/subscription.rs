@@ -1,0 +1,173 @@
+//! Subscriptions: conjunctions of predicates (Boolean expressions).
+
+use crate::{BexprError, Event, Predicate, Schema, SubId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Boolean expression: the conjunction of one or more [`Predicate`]s,
+/// tagged with an application-assigned [`SubId`].
+///
+/// Predicates are stored sorted by `(attribute, operator)` so two
+/// subscriptions with the same predicate multiset compare equal and encode to
+/// the same bitmap. Multiple predicates on the same attribute are allowed
+/// (e.g. `x > 3 AND x != 7`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Subscription {
+    id: SubId,
+    preds: Box<[Predicate]>,
+}
+
+impl Subscription {
+    /// Builds a subscription, canonicalizing predicate order.
+    ///
+    /// Fails if `preds` is empty; per-predicate validity is checked
+    /// separately by [`Subscription::validate`] so that ids can be minted
+    /// before a schema exists.
+    pub fn new(id: SubId, mut preds: Vec<Predicate>) -> Result<Self, BexprError> {
+        if preds.is_empty() {
+            return Err(BexprError::EmptySubscription);
+        }
+        preds.sort_unstable();
+        preds.dedup();
+        Ok(Self {
+            id,
+            preds: preds.into_boxed_slice(),
+        })
+    }
+
+    /// The subscription's identifier.
+    #[inline]
+    pub fn id(&self) -> SubId {
+        self.id
+    }
+
+    /// The predicates, sorted by `(attribute, operator)`.
+    #[inline]
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.preds
+    }
+
+    /// Number of predicates (the "expression size" axis of the evaluation).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Always `false` by construction; provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Reference semantics: `true` iff every predicate is satisfied by `ev`.
+    ///
+    /// This brute-force evaluation is the ground truth every indexed matcher
+    /// in the workspace is tested against.
+    pub fn matches(&self, ev: &Event) -> bool {
+        self.preds.iter().all(|p| p.matches(ev.value(p.attr)))
+    }
+
+    /// Validates every predicate against `schema`.
+    pub fn validate(&self, schema: &Schema) -> Result<(), BexprError> {
+        self.preds.iter().try_for_each(|p| p.validate(schema))
+    }
+
+    /// Renders the expression as `p1 AND p2 AND …` using attribute names;
+    /// parses back via [`crate::parser::parse_subscription`].
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> SubscriptionDisplay<'a> {
+        SubscriptionDisplay { sub: self, schema }
+    }
+}
+
+/// `Display` adaptor produced by [`Subscription::display`].
+pub struct SubscriptionDisplay<'a> {
+    sub: &'a Subscription,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for SubscriptionDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.sub.preds.iter().enumerate() {
+            if i > 0 {
+                write!(f, " AND ")?;
+            }
+            write!(f, "{}", p.display(self.schema))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttrId, Op};
+
+    fn ev(pairs: &[(u32, i64)]) -> Event {
+        Event::new(pairs.iter().map(|&(a, v)| (AttrId(a), v)).collect()).unwrap()
+    }
+
+    #[test]
+    fn conjunction_semantics() {
+        let sub = Subscription::new(
+            SubId(1),
+            vec![
+                Predicate::new(AttrId(0), Op::Ge(10)),
+                Predicate::new(AttrId(1), Op::Eq(5)),
+            ],
+        )
+        .unwrap();
+        assert!(sub.matches(&ev(&[(0, 10), (1, 5)])));
+        assert!(sub.matches(&ev(&[(0, 99), (1, 5), (2, 1)])));
+        assert!(!sub.matches(&ev(&[(0, 9), (1, 5)])), "one predicate fails");
+        assert!(!sub.matches(&ev(&[(0, 10)])), "missing attribute fails");
+    }
+
+    #[test]
+    fn predicates_canonicalized() {
+        let a = Predicate::new(AttrId(3), Op::Eq(1));
+        let b = Predicate::new(AttrId(1), Op::Lt(9));
+        let s1 = Subscription::new(SubId(0), vec![a.clone(), b.clone()]).unwrap();
+        let s2 = Subscription::new(SubId(0), vec![b, a.clone(), a]).unwrap();
+        assert_eq!(s1, s2, "order and duplicates do not affect identity");
+        assert_eq!(s1.len(), 2);
+    }
+
+    #[test]
+    fn multiple_predicates_same_attribute() {
+        let sub = Subscription::new(
+            SubId(2),
+            vec![
+                Predicate::new(AttrId(0), Op::Gt(3)),
+                Predicate::new(AttrId(0), Op::Ne(7)),
+            ],
+        )
+        .unwrap();
+        assert!(sub.matches(&ev(&[(0, 5)])));
+        assert!(!sub.matches(&ev(&[(0, 7)])));
+        assert!(!sub.matches(&ev(&[(0, 2)])));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            Subscription::new(SubId(0), vec![]),
+            Err(BexprError::EmptySubscription)
+        );
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let schema = Schema::uniform(4, 1000);
+        let sub = Subscription::new(
+            SubId(9),
+            vec![
+                Predicate::new(AttrId(0), Op::Between(10, 20)),
+                Predicate::new(AttrId(2), Op::in_set(vec![4, 2]).unwrap()),
+            ],
+        )
+        .unwrap();
+        let text = sub.display(&schema).to_string();
+        let reparsed = crate::parser::parse_subscription(&schema, &text).unwrap();
+        assert_eq!(reparsed.predicates(), sub.predicates());
+    }
+}

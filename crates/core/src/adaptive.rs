@@ -1,0 +1,259 @@
+//! Adaptive maintenance policy — the "A" in A-PCM.
+//!
+//! Compression is a bet: the shared-mask test pays when it prunes. Workload
+//! drift (different hot attributes, different hot values) can leave a
+//! cluster's mask always-contained — every probe then pays the mask test
+//! *and* the member sweep. The adaptive controller watches per-cluster
+//! counters and, once per epoch:
+//!
+//! 1. folds newly subscribed expressions from the pending buffer into real
+//!    clusters,
+//! 2. re-clusters hot clusters whose prune rate fell below threshold
+//!    (members are pooled and regrouped; groups that no longer share
+//!    predicates fall out as direct clusters automatically),
+//! 3. drops clusters emptied by unsubscriptions, and
+//! 4. resets the counters for the next epoch.
+//!
+//! The decision logic lives here; the mutation itself is in
+//! [`crate::ApcmMatcher::maintain`], which holds the write lock.
+
+use crate::Cluster;
+use std::sync::atomic::Ordering;
+
+/// Controller settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Master switch; disabled means [`crate::ApcmMatcher`] behaves like PCM
+    /// plus a pending buffer.
+    pub enabled: bool,
+    /// Run maintenance after this many matched events.
+    pub epoch_events: u64,
+    /// Clusters whose *productive* probe fraction (pruned immediately or
+    /// yielding matches) falls below this are re-clustered.
+    pub min_prune_rate: f64,
+    /// Minimum probes before a cluster's prune rate is trusted (avoids
+    /// rebuilding on noise).
+    pub min_probes: u64,
+    /// Fold the pending buffer as soon as it exceeds this size, even
+    /// mid-epoch (bounds the per-event pending scan).
+    pub max_pending: usize,
+    /// An unproductive cluster is re-clustered only when its key fires at
+    /// least this factor above the key's design selectivity (with a 2%
+    /// absolute floor) — otherwise the key is already as selective as the
+    /// members allow and re-clustering cannot improve it.
+    pub hot_key_factor: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            epoch_events: 4096,
+            min_prune_rate: 0.50,
+            min_probes: 64,
+            max_pending: 1024,
+            hot_key_factor: 8.0,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Adaptivity off (the PCM configurations).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the settings.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.epoch_events == 0 {
+            return Err("epoch_events must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.min_prune_rate) {
+            return Err("min_prune_rate must be in [0, 1]".into());
+        }
+        if self.max_pending == 0 {
+            return Err("max_pending must be positive".into());
+        }
+        if self.hot_key_factor.is_nan() || self.hot_key_factor < 1.0 {
+            return Err("hot_key_factor must be ≥ 1".into());
+        }
+        Ok(())
+    }
+
+    /// Whether `cluster` should be pooled for re-clustering this epoch.
+    ///
+    /// A probe is *productive* when it is either pruned immediately by the
+    /// shared mask (work saved) or yields member matches (work needed). A
+    /// hot cluster whose probes are mostly unproductive — its access key
+    /// fires, the mask passes, and the members still fail — is paying the
+    /// full member sweep for nothing, which is the signature of workload
+    /// drift: the key predicate became hot without its subscriptions
+    /// becoming relevant. Such clusters are pooled and re-keyed using the
+    /// observed firing rates (see `ApcmMatcher::maintain`).
+    pub fn should_rebuild(&self, cluster: &Cluster) -> bool {
+        if cluster.is_empty() {
+            return true;
+        }
+        let probes = cluster.probes.load(Ordering::Relaxed);
+        if probes < self.min_probes {
+            return false;
+        }
+        let prunes = cluster.prunes.load(Ordering::Relaxed);
+        let hits = cluster.hits.load(Ordering::Relaxed);
+        let productive = prunes + hits.min(probes - prunes);
+        (productive as f64 / probes as f64) < self.min_prune_rate
+    }
+}
+
+/// What a maintenance pass did; returned by [`crate::ApcmMatcher::maintain`]
+/// and accumulated into [`crate::MatcherStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// Pending expressions folded into clusters.
+    pub folded_pending: usize,
+    /// Clusters pooled and re-clustered.
+    pub rebuilt_clusters: usize,
+    /// Empty clusters dropped.
+    pub dropped_clusters: usize,
+}
+
+impl MaintenanceReport {
+    /// Whether the pass changed anything.
+    pub fn is_noop(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apcm_bexpr::SubId;
+    use apcm_encoding::{EncodedSub, FixedBitSet};
+
+    fn enc(id: u32, bits: &[u32]) -> EncodedSub {
+        crate::cluster::enc_for_test(id, bits, &[])
+    }
+
+    #[test]
+    fn default_validates() {
+        assert_eq!(AdaptiveConfig::default().validate(), Ok(()));
+        assert_eq!(AdaptiveConfig::disabled().validate(), Ok(()));
+        assert!(!AdaptiveConfig::disabled().enabled);
+    }
+
+    #[test]
+    fn invalid_settings_rejected() {
+        let c = AdaptiveConfig {
+            epoch_events: 0,
+            ..AdaptiveConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = AdaptiveConfig {
+            min_prune_rate: 1.5,
+            ..AdaptiveConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = AdaptiveConfig {
+            max_pending: 0,
+            ..AdaptiveConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn cold_clusters_not_rebuilt() {
+        let config = AdaptiveConfig::default();
+        let cluster = Cluster::compressed(&[enc(0, &[1, 2])]);
+        // Zero probes: below min_probes, leave it alone.
+        assert!(!config.should_rebuild(&cluster));
+    }
+
+    #[test]
+    fn hot_unproductive_cluster_rebuilt() {
+        let config = AdaptiveConfig {
+            min_probes: 10,
+            min_prune_rate: 0.5,
+            ..AdaptiveConfig::default()
+        };
+        // Two members sharing bit 1; the event has bit 1 but never the
+        // residuals, so every probe passes the mask and still matches
+        // nothing: pure waste.
+        let cluster = Cluster::compressed(&[enc(0, &[1, 2]), enc(1, &[1, 3])]);
+        let ebits = FixedBitSet::from_indices(32, [1usize]);
+        let mut out = Vec::new();
+        for _ in 0..20 {
+            cluster.match_into(&ebits, &mut out);
+        }
+        assert!(out.is_empty());
+        assert!(config.should_rebuild(&cluster));
+
+        // The same cluster probed with matching events is productive.
+        let productive = Cluster::compressed(&[enc(0, &[1, 2]), enc(1, &[1, 3])]);
+        let full = FixedBitSet::from_indices(32, [1usize, 2, 3]);
+        for _ in 0..20 {
+            productive.match_into(&full, &mut out);
+        }
+        assert!(!config.should_rebuild(&productive));
+    }
+
+    #[test]
+    fn hot_pruning_cluster_kept() {
+        let config = AdaptiveConfig {
+            min_probes: 10,
+            min_prune_rate: 0.5,
+            ..AdaptiveConfig::default()
+        };
+        let cluster = Cluster::compressed(&[enc(0, &[1, 2])]);
+        let miss = FixedBitSet::from_indices(32, [5usize]);
+        let mut out = Vec::new();
+        for _ in 0..20 {
+            cluster.match_into(&miss, &mut out);
+        }
+        assert!(!config.should_rebuild(&cluster), "prune rate 1.0 is healthy");
+    }
+
+    #[test]
+    fn empty_clusters_always_rebuilt() {
+        let config = AdaptiveConfig::default();
+        let mut emptied = Cluster::compressed(&[enc(0, &[1])]);
+        emptied.remove(SubId(0));
+        assert!(config.should_rebuild(&emptied));
+    }
+
+    #[test]
+    fn unproductive_direct_cluster_rebuilt() {
+        let config = AdaptiveConfig {
+            min_probes: 10,
+            min_prune_rate: 0.5,
+            ..AdaptiveConfig::default()
+        };
+        let direct = Cluster::direct(&[enc(0, &[1]), enc(1, &[2])]);
+        // 20 probes, no prunes (direct cannot prune), no hits → waste.
+        let miss = FixedBitSet::from_indices(32, [9usize]);
+        let mut out = Vec::new();
+        for _ in 0..20 {
+            direct.match_into(&miss, &mut out);
+        }
+        assert!(config.should_rebuild(&direct));
+        // A matching direct cluster is productive and kept.
+        let hot = Cluster::direct(&[enc(0, &[1])]);
+        let hit = FixedBitSet::from_indices(32, [1usize]);
+        for _ in 0..20 {
+            hot.match_into(&hit, &mut out);
+        }
+        assert!(!config.should_rebuild(&hot));
+    }
+
+    #[test]
+    fn report_noop_detection() {
+        assert!(MaintenanceReport::default().is_noop());
+        let r = MaintenanceReport {
+            folded_pending: 1,
+            ..Default::default()
+        };
+        assert!(!r.is_noop());
+    }
+}

@@ -1,0 +1,480 @@
+//! Compressed subscription clusters — the "C" in PCM.
+
+use apcm_bexpr::SubId;
+use apcm_encoding::{EncodedSub, FixedBitSet, SparseBits};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One member of a compressed cluster: a subscription id, the sparse
+/// `required` bits it needs *beyond* the cluster's shared mask, and its
+/// `blocked` bits (broad predicates, none of which may be set — see
+/// `apcm_encoding::index` for the polarity rules).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Member {
+    /// The subscription.
+    pub id: SubId,
+    /// `required \ shared`; the member matches when the shared mask, this
+    /// residual, and the blocked test all pass.
+    pub residual: SparseBits,
+    /// Bits that must be absent from the event bitmap.
+    pub blocked: SparseBits,
+}
+
+/// Cluster payload: compressed (shared mask + residuals) or direct (full
+/// encodings, no shared test). The adaptive controller switches
+/// representations when compression stops paying.
+///
+/// The shared mask is stored **sparse**: it is the intersection of
+/// subscription `required` sets, so its population is bounded by the
+/// smallest expression size (a handful of bits), and testing it costs
+/// `O(|shared|)` indexed probes into the dense event bitmap — independent
+/// of the predicate-space width. This is where compressed matching beats
+/// scanning: the shared predicates of a whole cluster are evaluated once,
+/// in a few probes.
+#[derive(Debug, Clone)]
+pub enum ClusterRepr {
+    /// Intersection-factored storage with whole-cluster pruning.
+    Compressed {
+        /// AND of every member's `required` set; `shared ⊆ event` is
+        /// necessary for any member to match, so a failed test skips the
+        /// whole cluster.
+        shared: SparseBits,
+        /// Per-member leftovers.
+        members: Vec<Member>,
+    },
+    /// Plain storage: every member keeps its full encoding. Chosen when
+    /// members share no required bits (empty mask ⇒ the shared test never
+    /// prunes and only costs time).
+    Direct {
+        /// Full member encodings.
+        members: Vec<EncodedSub>,
+    },
+}
+
+/// A cluster plus its runtime counters (updated with relaxed atomics from
+/// the read-locked match path).
+#[derive(Debug)]
+pub struct Cluster {
+    /// Storage representation.
+    pub repr: ClusterRepr,
+    /// Events whose bitmap was tested against this cluster.
+    pub probes: AtomicU64,
+    /// Probes rejected by the shared-mask test (compressed only).
+    pub prunes: AtomicU64,
+    /// Matches produced.
+    pub hits: AtomicU64,
+}
+
+impl Cluster {
+    /// Builds the compressed representation of `members`, factoring out the
+    /// intersection of their `required` sets. Falls back to
+    /// [`ClusterRepr::Direct`] when the intersection is empty (no
+    /// compression possible) — unless the cluster is a singleton, where the
+    /// "shared mask" is the whole required set, which is still the cheapest
+    /// test order.
+    pub fn compressed(members: &[EncodedSub]) -> Self {
+        assert!(!members.is_empty(), "a cluster needs members");
+        let mut shared = members[0].required.clone();
+        for m in &members[1..] {
+            shared = shared.intersect(&m.required);
+            if shared.is_empty() {
+                break;
+            }
+        }
+        if shared.is_empty() && members.len() > 1 {
+            return Self::direct(members);
+        }
+        let members = members
+            .iter()
+            .map(|m| Member {
+                id: m.id,
+                residual: m.required.difference(&shared),
+                blocked: m.blocked.clone(),
+            })
+            .collect();
+        Self::new(ClusterRepr::Compressed { shared, members })
+    }
+
+    /// Builds the direct (uncompressed) representation.
+    pub fn direct(members: &[EncodedSub]) -> Self {
+        assert!(!members.is_empty(), "a cluster needs members");
+        Self::new(ClusterRepr::Direct {
+            members: members.to_vec(),
+        })
+    }
+
+    fn new(repr: ClusterRepr) -> Self {
+        Self {
+            repr,
+            probes: AtomicU64::new(0),
+            prunes: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of member subscriptions.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            ClusterRepr::Compressed { members, .. } => members.len(),
+            ClusterRepr::Direct { members } => members.len(),
+        }
+    }
+
+    /// Whether the cluster has no members (possible after removals; the
+    /// next maintenance sweep drops it).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The matching kernel: appends every member whose required bits are
+    /// contained in `ebits` and whose blocked bits are absent from it.
+    #[inline]
+    pub fn match_into(&self, ebits: &FixedBitSet, out: &mut Vec<SubId>) {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        match &self.repr {
+            ClusterRepr::Compressed { shared, members } => {
+                if !shared.subset_of_dense(ebits) {
+                    self.prunes.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                for m in members {
+                    if m.residual.subset_of_dense(ebits) && m.blocked.disjoint_from_dense(ebits)
+                    {
+                        out.push(m.id);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            ClusterRepr::Direct { members } => {
+                for m in members {
+                    if m.matches_bitmap(ebits) {
+                        out.push(m.id);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether the whole cluster can be skipped for a batch whose event
+    /// bitmaps union to `batch_union`: if the shared mask is not contained
+    /// in the union, it is contained in no event of the batch. (Blocked
+    /// bits cannot batch-prune: a bit set in the union may come from a
+    /// different event.)
+    #[inline]
+    pub fn batch_prunable(&self, batch_union: &FixedBitSet) -> bool {
+        match &self.repr {
+            ClusterRepr::Compressed { shared, .. } => !shared.subset_of_dense(batch_union),
+            ClusterRepr::Direct { .. } => false,
+        }
+    }
+
+    /// Reconstructs every member's full encoding (used by re-clustering).
+    pub fn to_encoded(&self) -> Vec<EncodedSub> {
+        match &self.repr {
+            ClusterRepr::Compressed { shared, members } => members
+                .iter()
+                .map(|m| EncodedSub {
+                    id: m.id,
+                    required: m.residual.union(shared),
+                    blocked: m.blocked.clone(),
+                })
+                .collect(),
+            ClusterRepr::Direct { members } => members.clone(),
+        }
+    }
+
+    /// Iterates member subscription ids without materializing encodings.
+    pub fn member_ids(&self) -> impl Iterator<Item = SubId> + '_ {
+        let (compressed, direct) = match &self.repr {
+            ClusterRepr::Compressed { members, .. } => (Some(members.iter()), None),
+            ClusterRepr::Direct { members } => (None, Some(members.iter())),
+        };
+        compressed
+            .into_iter()
+            .flatten()
+            .map(|m| m.id)
+            .chain(direct.into_iter().flatten().map(|m| m.id))
+    }
+
+    /// Removes a member by id; returns whether it was present.
+    ///
+    /// Shrinking a compressed cluster keeps the shared mask valid (the
+    /// intersection over a superset is contained in every remaining member);
+    /// the mask is re-tightened at the next maintenance rebuild.
+    pub fn remove(&mut self, id: SubId) -> bool {
+        match &mut self.repr {
+            ClusterRepr::Compressed { members, .. } => {
+                if let Some(pos) = members.iter().position(|m| m.id == id) {
+                    members.swap_remove(pos);
+                    return true;
+                }
+                false
+            }
+            ClusterRepr::Direct { members } => {
+                if let Some(pos) = members.iter().position(|m| m.id == id) {
+                    members.swap_remove(pos);
+                    return true;
+                }
+                false
+            }
+        }
+    }
+
+    /// Heap bytes of the stored bitmaps (compression-ratio experiment).
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            ClusterRepr::Compressed { shared, members } => {
+                shared.heap_bytes()
+                    + members
+                        .iter()
+                        .map(|m| {
+                            m.residual.heap_bytes()
+                                + m.blocked.heap_bytes()
+                                + std::mem::size_of::<Member>()
+                        })
+                        .sum::<usize>()
+            }
+            ClusterRepr::Direct { members } => members
+                .iter()
+                .map(|m| m.heap_bytes() + std::mem::size_of::<EncodedSub>())
+                .sum(),
+        }
+    }
+
+    /// Observed prune rate: fraction of probes rejected by the shared mask.
+    pub fn prune_rate(&self) -> f64 {
+        let probes = self.probes.load(Ordering::Relaxed);
+        if probes == 0 {
+            return 0.0;
+        }
+        self.prunes.load(Ordering::Relaxed) as f64 / probes as f64
+    }
+
+    /// Resets the runtime counters (start of an adaptive epoch).
+    pub fn reset_stats(&self) {
+        self.probes.store(0, Ordering::Relaxed);
+        self.prunes.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn enc_for_test(id: u32, required: &[u32], blocked: &[u32]) -> EncodedSub {
+    EncodedSub {
+        id: SubId(id),
+        required: SparseBits::new(required.to_vec()),
+        blocked: SparseBits::new(blocked.to_vec()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc(id: u32, bits: &[u32]) -> EncodedSub {
+        enc_for_test(id, bits, &[])
+    }
+
+    fn ev(width: usize, bits: &[usize]) -> FixedBitSet {
+        FixedBitSet::from_indices(width, bits.iter().copied())
+    }
+
+    #[test]
+    fn compression_factors_intersection() {
+        let members = [enc(0, &[1, 2, 3]), enc(1, &[1, 2, 4]), enc(2, &[1, 2])];
+        let c = Cluster::compressed(&members);
+        match &c.repr {
+            ClusterRepr::Compressed { shared, members } => {
+                assert_eq!(shared.ids(), &[1, 2]);
+                assert_eq!(members[0].residual.ids(), &[3]);
+                assert_eq!(members[1].residual.ids(), &[4]);
+                assert!(members[2].residual.is_empty());
+            }
+            _ => panic!("expected compressed"),
+        }
+    }
+
+    #[test]
+    fn empty_intersection_falls_back_to_direct() {
+        let members = [enc(0, &[1]), enc(1, &[2])];
+        let c = Cluster::compressed(&members);
+        assert!(matches!(c.repr, ClusterRepr::Direct { .. }));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn singleton_stays_compressed() {
+        let c = Cluster::compressed(&[enc(7, &[3, 4])]);
+        match &c.repr {
+            ClusterRepr::Compressed { shared, members } => {
+                assert_eq!(shared.len(), 2);
+                assert!(members[0].residual.is_empty());
+            }
+            _ => panic!("singleton should compress to shared-only"),
+        }
+    }
+
+    #[test]
+    fn match_kernel_compressed() {
+        let members = [enc(0, &[1, 2, 3]), enc(1, &[1, 2, 4])];
+        let c = Cluster::compressed(&members);
+        let mut out = Vec::new();
+
+        c.match_into(&ev(10, &[1, 2, 3]), &mut out);
+        assert_eq!(out, vec![SubId(0)]);
+
+        out.clear();
+        c.match_into(&ev(10, &[1, 2, 3, 4]), &mut out);
+        assert_eq!(out, vec![SubId(0), SubId(1)]);
+
+        out.clear();
+        // Shared mask fails → pruned, no member checks.
+        c.match_into(&ev(10, &[1, 3, 4]), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(c.prunes.load(Ordering::Relaxed), 1);
+        assert_eq!(c.probes.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn blocked_bits_veto_members() {
+        // Member 0 requires {1} and blocks {5}; member 1 requires {1} only.
+        let members = [enc_for_test(0, &[1], &[5]), enc(1, &[1])];
+        let c = Cluster::compressed(&members);
+        let mut out = Vec::new();
+        c.match_into(&ev(10, &[1]), &mut out);
+        assert_eq!(out, vec![SubId(0), SubId(1)]);
+        out.clear();
+        c.match_into(&ev(10, &[1, 5]), &mut out);
+        assert_eq!(out, vec![SubId(1)], "bit 5 blocks member 0");
+    }
+
+    #[test]
+    fn match_kernel_direct() {
+        let members = [enc(0, &[1]), enc_for_test(1, &[2], &[3])];
+        let c = Cluster::direct(&members);
+        let mut out = Vec::new();
+        c.match_into(&ev(10, &[2]), &mut out);
+        assert_eq!(out, vec![SubId(1)]);
+        out.clear();
+        c.match_into(&ev(10, &[2, 3]), &mut out);
+        assert!(out.is_empty(), "blocked in direct representation too");
+        assert_eq!(c.prunes.load(Ordering::Relaxed), 0, "direct never prunes");
+    }
+
+    #[test]
+    fn batch_prune_logic() {
+        let c = Cluster::compressed(&[enc(0, &[1, 2, 3])]);
+        assert!(!c.batch_prunable(&ev(10, &[1, 2, 3, 5])));
+        assert!(c.batch_prunable(&ev(10, &[1, 2])));
+        let d = Cluster::direct(&[enc(0, &[1])]);
+        assert!(!d.batch_prunable(&ev(10, &[])), "direct clusters never batch-prune");
+    }
+
+    #[test]
+    fn to_encoded_round_trips() {
+        let members = [
+            enc_for_test(3, &[1, 2, 3], &[9]),
+            enc_for_test(4, &[1, 2, 7], &[]),
+        ];
+        let c = Cluster::compressed(&members);
+        let back = c.to_encoded();
+        assert_eq!(back, members.to_vec());
+        let d = Cluster::direct(&members);
+        assert_eq!(d.to_encoded(), members.to_vec());
+    }
+
+    #[test]
+    fn remove_member_keeps_mask_sound() {
+        let members = [enc(0, &[1, 2, 3]), enc(1, &[1, 2, 4])];
+        let mut c = Cluster::compressed(&members);
+        assert!(c.remove(SubId(0)));
+        assert!(!c.remove(SubId(0)));
+        assert_eq!(c.len(), 1);
+        // Remaining member still matches exactly its own bitmap.
+        let mut out = Vec::new();
+        c.match_into(&ev(10, &[1, 2, 4]), &mut out);
+        assert_eq!(out, vec![SubId(1)]);
+        out.clear();
+        c.match_into(&ev(10, &[1, 2]), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stats_reset() {
+        let c = Cluster::compressed(&[enc(0, &[5])]);
+        let mut out = Vec::new();
+        c.match_into(&ev(10, &[5]), &mut out);
+        c.match_into(&ev(10, &[1]), &mut out);
+        assert!(c.prune_rate() > 0.0);
+        c.reset_stats();
+        assert_eq!(c.prune_rate(), 0.0);
+        assert_eq!(c.probes.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn heap_accounting_smaller_when_compressed() {
+        // 32 members sharing 6 of their 8 bits: compression must beat
+        // direct storage.
+        let members: Vec<EncodedSub> = (0..32)
+            .map(|i| enc(i, &[0, 1, 2, 3, 4, 5, 100 + i, 200 + i]))
+            .collect();
+        let c = Cluster::compressed(&members);
+        let d = Cluster::direct(&members);
+        assert!(
+            c.heap_bytes() < d.heap_bytes(),
+            "compressed {} vs direct {}",
+            c.heap_bytes(),
+            d.heap_bytes()
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Compressed and direct representations produce identical matches
+        /// for any member set and any event.
+        #[test]
+        fn representations_agree(
+            member_bits in proptest::collection::vec(
+                (
+                    proptest::collection::btree_set(0u32..48, 1..8),
+                    proptest::collection::btree_set(48u32..64, 0..3),
+                ),
+                1..12,
+            ),
+            event_bits in proptest::collection::btree_set(0usize..64, 0..32),
+        ) {
+            let members: Vec<EncodedSub> = member_bits
+                .iter()
+                .enumerate()
+                .map(|(i, (req, blk))| EncodedSub {
+                    id: SubId(i as u32),
+                    required: SparseBits::new(req.iter().copied().collect()),
+                    blocked: SparseBits::new(blk.iter().copied().collect()),
+                })
+                .collect();
+            let ebits = FixedBitSet::from_indices(64, event_bits.iter().copied());
+            let compressed = Cluster::compressed(&members);
+            let direct = Cluster::direct(&members);
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            compressed.match_into(&ebits, &mut a);
+            direct.match_into(&ebits, &mut b);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(&a, &b);
+            // Both agree with the reference predicate.
+            let mut expect: Vec<SubId> = members
+                .iter()
+                .filter(|m| m.matches_bitmap(&ebits))
+                .map(|m| m.id)
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(a, expect);
+        }
+    }
+}

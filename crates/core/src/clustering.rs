@@ -1,0 +1,445 @@
+//! Clustering policies: grouping similar subscription bitmaps.
+//!
+//! Compression quality is decided here: the larger the intersection within a
+//! cluster, the more work the shared-mask test saves. Three policies are
+//! provided and ablated in experiment E9:
+//!
+//! * [`ClusteringPolicy::PivotPredicate`] (default) — group subscriptions by
+//!   their most corpus-frequent predicate. Guarantees a non-empty shared
+//!   mask (the pivot), which powers the pivot access index.
+//! * [`ClusteringPolicy::SortedSignature`] — sort bitmaps lexicographically
+//!   by their sorted bit ids and cut into fixed-size runs. `O(n log n)`,
+//!   cache-friendly, and effective because lexicographic neighbors share
+//!   their most significant (lowest-id) predicates — typically the popular
+//!   ones.
+//! * [`ClusteringPolicy::GreedyLeader`] — single-pass leader clustering: each
+//!   bitmap joins the first recent leader within a Jaccard similarity
+//!   threshold, else founds a new cluster. Produces tighter clusters on
+//!   heterogeneous corpora at a higher build cost.
+
+use crate::Cluster;
+use apcm_encoding::{EncodedSub, PredicateSpace};
+use std::collections::HashMap;
+
+/// Per-predicate selectivity (fraction of the attribute's domain the
+/// predicate accepts), indexed by predicate bit. The pivot policy uses it to
+/// guard each cluster behind its members' most selective shared predicate —
+/// the access-predicate rule from the k-index / BE-Tree literature.
+pub fn selectivity_table(space: &PredicateSpace) -> Vec<f64> {
+    let schema = space.schema();
+    // Bit layout: presence bits first (see `apcm_encoding::index`). A
+    // presence bit fires whenever the attribute appears in an event, so it
+    // is a poor pivot; 0.99 keeps it available as a last resort for
+    // subscriptions whose predicates are all broad.
+    let mut table = vec![0.99; schema.dims()];
+    table.extend(
+        space
+            .registry()
+            .iter()
+            .map(|(_, pred)| pred.op.selectivity(schema.domain(pred.attr))),
+    );
+    table
+}
+
+/// How subscription bitmaps are grouped; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum ClusteringPolicy {
+    /// Group by each subscription's most corpus-frequent predicate (the
+    /// default). Every cluster gets a non-empty shared mask containing the
+    /// pivot, so the pivot index (`crate::index`) skips the cluster whenever
+    /// the event misses that predicate, and popular predicates — the ones
+    /// most subscriptions hang off — are evaluated once per cluster instead
+    /// of once per subscription.
+    #[default]
+    PivotPredicate,
+    /// Lexicographic sort + fixed-size runs.
+    SortedSignature,
+    /// Greedy leader clustering with the given Jaccard threshold in
+    /// `[0, 1]`, scanning at most `window` most-recent leaders per insert.
+    GreedyLeader {
+        /// Minimum Jaccard similarity to join a leader's cluster.
+        threshold: f64,
+        /// Leaders scanned per insertion (bounds build time to `O(n·window)`).
+        window: usize,
+    },
+}
+
+
+impl ClusteringPolicy {
+    /// Groups `subs` into clusters of at most `max_size` members and builds
+    /// the compressed representation of each group.
+    ///
+    /// `selectivity` maps predicate bit → selectivity (see
+    /// [`selectivity_table`]); pass an empty slice to fall back to pure
+    /// frequency-based pivots (only the pivot policy reads it).
+    pub fn cluster(
+        &self,
+        subs: &[EncodedSub],
+        max_size: usize,
+        selectivity: &[f64],
+    ) -> Vec<Cluster> {
+        assert!(max_size > 0, "max cluster size must be positive");
+        if subs.is_empty() {
+            return Vec::new();
+        }
+        match self {
+            ClusteringPolicy::PivotPredicate => pivot_predicate(subs, max_size, selectivity),
+            ClusteringPolicy::SortedSignature => sorted_signature(subs, max_size),
+            ClusteringPolicy::GreedyLeader { threshold, window } => {
+                greedy_leader(subs, max_size, *threshold, *window)
+            }
+        }
+    }
+}
+
+/// Pivots with selectivity above this are "weak": they fire on a large
+/// fraction of events, so building one tiny cluster per weak pivot would
+/// create thousands of frequently-probed clusters. Weak subscriptions are
+/// pooled and clustered by signature into few, larger clusters instead.
+const WEAK_PIVOT_SELECTIVITY: f64 = 0.35;
+
+fn pivot_predicate(subs: &[EncodedSub], max_size: usize, selectivity: &[f64]) -> Vec<Cluster> {
+    // Corpus-wide predicate frequency (sharing potential).
+    let mut freq: HashMap<u32, u32> = HashMap::new();
+    for sub in subs {
+        for &bit in sub.required.ids() {
+            *freq.entry(bit).or_insert(0) += 1;
+        }
+    }
+    // Guard each subscription behind its most *selective* predicate: the
+    // probability the pivot index probes the cluster equals the pivot's
+    // selectivity. Ties (e.g. all equality predicates on same-cardinality
+    // domains) break toward the most frequent predicate so clusters share,
+    // then toward the lower bit id for determinism.
+    let sel = |bit: u32| -> f64 {
+        selectivity.get(bit as usize).copied().unwrap_or(1.0)
+    };
+    let mut groups: HashMap<u32, Vec<&EncodedSub>> = HashMap::new();
+    let mut weak: Vec<&EncodedSub> = Vec::new();
+    for sub in subs {
+        let pivot = sub
+            .required
+            .ids()
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                sel(a)
+                    .partial_cmp(&sel(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| freq[&b].cmp(&freq[&a]))
+                    .then_with(|| a.cmp(&b))
+            })
+            .expect("subscriptions have at least one predicate");
+        if sel(pivot) > WEAK_PIVOT_SELECTIVITY {
+            weak.push(sub);
+        } else {
+            groups.entry(pivot).or_default().push(sub);
+        }
+    }
+    // Deterministic cluster order: by pivot id.
+    let mut pivots: Vec<u32> = groups.keys().copied().collect();
+    pivots.sort_unstable();
+    let mut clusters = Vec::new();
+    for pivot in pivots {
+        let mut members = groups.remove(&pivot).expect("key from iteration");
+        // Lexicographic order within the group maximizes sharing beyond the
+        // pivot inside each chunk.
+        members.sort_by(|a, b| a.required.ids().cmp(b.required.ids()));
+        for chunk in members.chunks(max_size) {
+            let owned: Vec<EncodedSub> = chunk.iter().map(|&e| e.clone()).collect();
+            clusters.push(Cluster::compressed(&owned));
+        }
+    }
+    // Weak subscriptions: few large signature-sorted clusters, probed on
+    // most events but cheap per probe.
+    if !weak.is_empty() {
+        weak.sort_by(|a, b| a.required.ids().cmp(b.required.ids()));
+        for chunk in weak.chunks(max_size) {
+            let owned: Vec<EncodedSub> = chunk.iter().map(|&e| e.clone()).collect();
+            clusters.push(Cluster::compressed(&owned));
+        }
+    }
+    clusters
+}
+
+fn sorted_signature(subs: &[EncodedSub], max_size: usize) -> Vec<Cluster> {
+    let mut order: Vec<&EncodedSub> = subs.iter().collect();
+    order.sort_by(|a, b| a.required.ids().cmp(b.required.ids()));
+    order
+        .chunks(max_size)
+        .map(|chunk| {
+            let owned: Vec<EncodedSub> = chunk.iter().map(|&e| e.clone()).collect();
+            Cluster::compressed(&owned)
+        })
+        .collect()
+}
+
+fn greedy_leader(
+    subs: &[EncodedSub],
+    max_size: usize,
+    threshold: f64,
+    window: usize,
+) -> Vec<Cluster> {
+    struct Group {
+        leader: Vec<u32>,
+        members: Vec<EncodedSub>,
+    }
+    let jaccard = |a: &[u32], b: &[u32]| -> f64 {
+        // Sorted-merge intersection count.
+        let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let union = a.len() + b.len() - inter;
+        if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        }
+    };
+
+    let mut groups: Vec<Group> = Vec::new();
+    let mut open: Vec<usize> = Vec::new(); // indexes of groups still accepting
+    for sub in subs {
+        let mut placed = false;
+        for &gi in open.iter().rev().take(window) {
+            let group = &mut groups[gi];
+            if jaccard(&group.leader, sub.required.ids()) >= threshold {
+                group.members.push(sub.clone());
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            groups.push(Group {
+                leader: sub.required.ids().to_vec(),
+                members: vec![sub.clone()],
+            });
+            open.push(groups.len() - 1);
+        }
+        // Close groups that reached capacity.
+        open.retain(|&gi| groups[gi].members.len() < max_size);
+    }
+    groups
+        .into_iter()
+        .map(|g| Cluster::compressed(&g.members))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apcm_bexpr::SubId;
+
+    fn enc(id: u32, bits: &[u32]) -> EncodedSub {
+        crate::cluster::enc_for_test(id, bits, &[])
+    }
+
+    fn total_members(clusters: &[Cluster]) -> usize {
+        clusters.iter().map(Cluster::len).sum()
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        for policy in [
+            ClusteringPolicy::PivotPredicate,
+            ClusteringPolicy::SortedSignature,
+            ClusteringPolicy::GreedyLeader {
+                threshold: 0.5,
+                window: 8,
+            },
+        ] {
+            assert!(policy.cluster(&[], 4, &[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn pivot_predicate_groups_by_popular_bit() {
+        // Bit 7 appears in every subscription; it must be every pivot and
+        // every cluster's shared mask must contain it.
+        let subs: Vec<EncodedSub> = (0..30).map(|i| enc(i, &[7, 100 + i])).collect();
+        let clusters = ClusteringPolicy::PivotPredicate.cluster(&subs, 8, &[]);
+        assert_eq!(total_members(&clusters), 30);
+        for c in &clusters {
+            assert_eq!(c.pivot(), Some(7));
+            match &c.repr {
+                crate::ClusterRepr::Compressed { shared, .. } => assert!(shared.contains(7)),
+                _ => panic!("pivot policy must produce compressed clusters"),
+            }
+        }
+    }
+
+    #[test]
+    fn pivot_predicate_never_produces_direct_clusters_with_selective_bits() {
+        // Even completely disjoint subscriptions compress when their bits
+        // are selective: each becomes its own pivot group with itself as
+        // the shared mask.
+        let subs: Vec<EncodedSub> = (0..20).map(|i| enc(i, &[i * 3, i * 3 + 1])).collect();
+        let table = vec![0.01f64; 64];
+        let clusters = ClusteringPolicy::PivotPredicate.cluster(&subs, 8, &table);
+        for c in &clusters {
+            assert!(c.pivot().is_some());
+        }
+        assert_eq!(total_members(&clusters), 20);
+    }
+
+    #[test]
+    fn weak_pivot_subs_pooled_into_large_clusters() {
+        // All bits weak (empty table → sel 1.0): the policy pools everything
+        // into few signature-sorted clusters instead of one per pivot.
+        let subs: Vec<EncodedSub> = (0..100).map(|i| enc(i, &[i * 2, i * 2 + 1])).collect();
+        let clusters = ClusteringPolicy::PivotPredicate.cluster(&subs, 25, &[]);
+        assert_eq!(total_members(&clusters), 100);
+        assert!(
+            clusters.len() <= 4,
+            "weak subs must be pooled, got {} clusters",
+            clusters.len()
+        );
+    }
+
+    #[test]
+    fn every_sub_lands_in_exactly_one_cluster() {
+        let subs: Vec<EncodedSub> = (0..100)
+            .map(|i| enc(i, &[i % 7, 10 + i % 3, 20 + i]))
+            .collect();
+        for policy in [
+            ClusteringPolicy::SortedSignature,
+            ClusteringPolicy::GreedyLeader {
+                threshold: 0.3,
+                window: 16,
+            },
+        ] {
+            let clusters = policy.cluster(&subs, 8, &[]);
+            assert_eq!(total_members(&clusters), 100, "{policy:?}");
+            for c in &clusters {
+                assert!(c.len() <= 8, "{policy:?} violates max size");
+            }
+            // All 100 distinct ids present.
+            let mut ids: Vec<SubId> = clusters
+                .iter()
+                .flat_map(|c| c.to_encoded().into_iter().map(|e| e.id))
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 100, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn sorted_signature_groups_identical_bitmaps() {
+        // 20 identical + 20 distinct: identical ones must share clusters
+        // with full compression (empty residuals).
+        let mut subs: Vec<EncodedSub> = (0..20).map(|i| enc(i, &[1, 2, 3])).collect();
+        subs.extend((20..40).map(|i| enc(i, &[i, i + 50])));
+        let clusters = ClusteringPolicy::SortedSignature.cluster(&subs, 20, &[]);
+        let full = clusters
+            .iter()
+            .find(|c| c.len() == 20)
+            .expect("identical bitmaps form one full cluster");
+        match &full.repr {
+            crate::ClusterRepr::Compressed { shared, members } => {
+                assert_eq!(shared.len(), 3);
+                assert!(members.iter().all(|m| m.residual.is_empty()));
+            }
+            _ => panic!("identical bitmaps must compress"),
+        }
+    }
+
+    #[test]
+    fn greedy_leader_respects_threshold() {
+        // Two families with zero cross-family overlap: a high threshold must
+        // never mix them.
+        let mut subs = Vec::new();
+        for i in 0..10 {
+            subs.push(enc(i, &[0, 1, 2, 3, 10 + i]));
+        }
+        for i in 10..20 {
+            subs.push(enc(i, &[50, 51, 52, 53, 60 + i]));
+        }
+        let clusters = ClusteringPolicy::GreedyLeader {
+            threshold: 0.4,
+            window: 32,
+        }
+        .cluster(&subs, 64, &[]);
+        for c in &clusters {
+            let ids: Vec<u32> = c.to_encoded().iter().map(|e| e.id.0).collect();
+            let fam_a = ids.iter().all(|&i| i < 10);
+            let fam_b = ids.iter().all(|&i| i >= 10);
+            assert!(fam_a || fam_b, "mixed cluster: {ids:?}");
+        }
+    }
+
+    #[test]
+    fn greedy_leader_window_bounds_membership() {
+        let subs: Vec<EncodedSub> = (0..50).map(|i| enc(i, &[1, 2, 3])).collect();
+        let clusters = ClusteringPolicy::GreedyLeader {
+            threshold: 0.9,
+            window: 4,
+        }
+        .cluster(&subs, 10, &[]);
+        assert_eq!(total_members(&clusters), 50);
+        for c in &clusters {
+            assert!(c.len() <= 10);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    
+    
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Clustering is a partition: every input id appears exactly once
+        /// regardless of policy or parameters.
+        #[test]
+        fn clustering_is_a_partition(
+            bitsets in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..48, 1..6),
+                1..60,
+            ),
+            max_size in 1usize..20,
+            threshold in 0.0f64..1.0,
+        ) {
+            let subs: Vec<EncodedSub> = bitsets
+                .iter()
+                .enumerate()
+                .map(|(i, bits)| {
+                    crate::cluster::enc_for_test(
+                        i as u32,
+                        &bits.iter().copied().collect::<Vec<_>>(),
+                        &[],
+                    )
+                })
+                .collect();
+            for policy in [
+                ClusteringPolicy::PivotPredicate,
+                ClusteringPolicy::SortedSignature,
+                ClusteringPolicy::GreedyLeader { threshold, window: 8 },
+            ] {
+                let clusters = policy.cluster(&subs, max_size, &[]);
+                let mut seen: Vec<u32> = clusters
+                    .iter()
+                    .flat_map(|c| c.to_encoded().into_iter().map(|e| e.id.0))
+                    .collect();
+                seen.sort_unstable();
+                let expect: Vec<u32> = (0..subs.len() as u32).collect();
+                prop_assert_eq!(&seen, &expect, "{:?}", policy);
+                for c in &clusters {
+                    prop_assert!(c.len() <= max_size);
+                }
+            }
+        }
+    }
+}

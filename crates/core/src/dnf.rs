@@ -1,0 +1,245 @@
+//! Matching full DNF expressions on the conjunction engine.
+//!
+//! The engines in this workspace index conjunctions (the ICDE model). The
+//! BE-Tree journal version handles arbitrary Boolean expressions by
+//! normalizing to DNF and indexing each clause separately; [`DnfEngine`]
+//! provides that layer over [`ApcmMatcher`]: every clause of a
+//! [`DnfSubscription`] is registered as an internal conjunction, and match
+//! results are translated back to the owning expression (deduplicated — an
+//! event satisfying several clauses reports the expression once).
+
+use crate::{ApcmConfig, ApcmMatcher, MatcherStats};
+use apcm_bexpr::{BexprError, DnfSubscription, Event, Matcher, Schema, SubId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+#[derive(Debug, Default)]
+struct OwnerMap {
+    /// Internal clause id (dense index) → owning user expression.
+    owner: Vec<SubId>,
+    /// User expression → its internal clause ids.
+    clauses_of: HashMap<SubId, Vec<SubId>>,
+}
+
+impl OwnerMap {
+    fn mint(&mut self, user: SubId, n_clauses: usize) -> Vec<SubId> {
+        let ids: Vec<SubId> = (0..n_clauses)
+            .map(|_| {
+                let internal = SubId::from_index(self.owner.len());
+                self.owner.push(user);
+                internal
+            })
+            .collect();
+        self.clauses_of.insert(user, ids.clone());
+        ids
+    }
+}
+
+/// DNF matching engine; see the module docs.
+#[derive(Debug)]
+pub struct DnfEngine {
+    matcher: ApcmMatcher,
+    owners: RwLock<OwnerMap>,
+    schema: Schema,
+}
+
+impl DnfEngine {
+    /// Builds the engine over a DNF corpus.
+    ///
+    /// Fails on duplicate expression ids or invalid predicates.
+    pub fn build(
+        schema: &Schema,
+        dnfs: &[DnfSubscription],
+        config: &ApcmConfig,
+    ) -> Result<Self, BexprError> {
+        let mut owners = OwnerMap::default();
+        let mut clause_subs = Vec::new();
+        for dnf in dnfs {
+            assert!(
+                !owners.clauses_of.contains_key(&dnf.id()),
+                "duplicate DNF expression id {:?}",
+                dnf.id()
+            );
+            let ids = owners.mint(dnf.id(), dnf.len());
+            clause_subs.extend(dnf.clause_subscriptions(ids.into_iter()));
+        }
+        let matcher = ApcmMatcher::build(schema, &clause_subs, config)?;
+        Ok(Self {
+            matcher,
+            owners: RwLock::new(owners),
+            schema: schema.clone(),
+        })
+    }
+
+    /// Registers a new DNF expression; returns `false` if its id is taken.
+    pub fn subscribe(&self, dnf: &DnfSubscription) -> Result<bool, BexprError> {
+        let mut owners = self.owners.write();
+        if owners.clauses_of.contains_key(&dnf.id()) {
+            return Ok(false);
+        }
+        // Validate up front: a failure mid-registration would leave earlier
+        // clauses live.
+        dnf.validate(&self.schema)?;
+        let ids = owners.mint(dnf.id(), dnf.len());
+        for clause in dnf.clause_subscriptions(ids.into_iter()) {
+            let fresh = self.matcher.subscribe(&clause)?;
+            debug_assert!(fresh, "internal clause ids are never reused");
+        }
+        Ok(true)
+    }
+
+    /// Removes a DNF expression by id; returns whether it was present.
+    pub fn unsubscribe(&self, id: SubId) -> bool {
+        let mut owners = self.owners.write();
+        let Some(ids) = owners.clauses_of.remove(&id) else {
+            return false;
+        };
+        for internal in ids {
+            let removed = self.matcher.unsubscribe(internal);
+            debug_assert!(removed, "clause ids tracked in the owner map");
+        }
+        true
+    }
+
+    /// Number of registered DNF expressions.
+    pub fn len(&self) -> usize {
+        self.owners.read().clauses_of.len()
+    }
+
+    /// Whether no expression is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Engine statistics (clause-level: `subscriptions` counts clauses).
+    pub fn stats(&self) -> MatcherStats {
+        self.matcher.stats()
+    }
+
+    fn translate(&self, internal: Vec<SubId>) -> Vec<SubId> {
+        let owners = self.owners.read();
+        let mut out: Vec<SubId> = internal
+            .into_iter()
+            .map(|i| owners.owner[i.index()])
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// All DNF expressions matched by `ev` (sorted, deduplicated).
+    pub fn match_event(&self, ev: &Event) -> Vec<SubId> {
+        self.translate(self.matcher.match_event(ev))
+    }
+
+    /// Batch counterpart of [`DnfEngine::match_event`], preserving input
+    /// order.
+    pub fn match_batch(&self, events: &[Event]) -> Vec<Vec<SubId>> {
+        self.matcher
+            .match_batch(events)
+            .into_iter()
+            .map(|row| self.translate(row))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apcm_bexpr::parser;
+    use apcm_workload::WorkloadSpec;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn schema() -> Schema {
+        Schema::uniform(6, 100)
+    }
+
+    #[test]
+    fn or_semantics() {
+        let schema = schema();
+        let dnf = parser::parse_dnf_with_id(
+            &schema,
+            SubId(3),
+            "(a0 = 1 AND a1 = 2) OR (a0 = 9)",
+        )
+        .unwrap();
+        let engine = DnfEngine::build(&schema, &[dnf], &ApcmConfig::default()).unwrap();
+        let hit_a = parser::parse_event(&schema, "a0 = 1, a1 = 2").unwrap();
+        let hit_b = parser::parse_event(&schema, "a0 = 9").unwrap();
+        let miss = parser::parse_event(&schema, "a0 = 1").unwrap();
+        assert_eq!(engine.match_event(&hit_a), vec![SubId(3)]);
+        assert_eq!(engine.match_event(&hit_b), vec![SubId(3)]);
+        assert!(engine.match_event(&miss).is_empty());
+    }
+
+    #[test]
+    fn overlapping_clauses_report_once() {
+        let schema = schema();
+        // Both clauses match the same event.
+        let dnf = parser::parse_dnf_with_id(&schema, SubId(1), "(a0 < 50) OR (a0 < 60)").unwrap();
+        let engine = DnfEngine::build(&schema, &[dnf], &ApcmConfig::default()).unwrap();
+        let ev = parser::parse_event(&schema, "a0 = 10").unwrap();
+        assert_eq!(engine.match_event(&ev), vec![SubId(1)]);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_dnfs() {
+        // Pair random conjunctions from the generator into 2–3 clause DNFs.
+        let wl = WorkloadSpec::new(600).seed(81).planted_fraction(0.3).build();
+        let mut rng = StdRng::seed_from_u64(82);
+        let mut dnfs = Vec::new();
+        let mut iter = wl.subs.iter();
+        let mut uid = 0u32;
+        while let Some(first) = iter.next() {
+            let mut clauses = vec![first.predicates().to_vec()];
+            for _ in 0..rng.gen_range(0..3) {
+                if let Some(next) = iter.next() {
+                    clauses.push(next.predicates().to_vec());
+                }
+            }
+            dnfs.push(DnfSubscription::new(SubId(uid), clauses).unwrap());
+            uid += 1;
+        }
+        let engine = DnfEngine::build(&wl.schema, &dnfs, &ApcmConfig::default()).unwrap();
+        assert_eq!(engine.len(), dnfs.len());
+        let events = wl.events(60);
+        let rows = engine.match_batch(&events);
+        for (ev, row) in events.iter().zip(rows.iter()) {
+            let mut expect: Vec<SubId> = dnfs
+                .iter()
+                .filter(|d| d.matches(ev))
+                .map(|d| d.id())
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(row, &expect);
+            assert_eq!(&engine.match_event(ev), &expect);
+        }
+    }
+
+    #[test]
+    fn dynamic_subscribe_unsubscribe() {
+        let schema = schema();
+        let engine = DnfEngine::build(&schema, &[], &ApcmConfig::default()).unwrap();
+        let dnf = parser::parse_dnf_with_id(&schema, SubId(7), "(a0 = 1) OR (a1 = 2)").unwrap();
+        assert!(engine.subscribe(&dnf).unwrap());
+        assert!(!engine.subscribe(&dnf).unwrap(), "duplicate id is a no-op");
+        assert_eq!(engine.len(), 1);
+
+        let ev = parser::parse_event(&schema, "a1 = 2").unwrap();
+        assert_eq!(engine.match_event(&ev), vec![SubId(7)]);
+
+        assert!(engine.unsubscribe(SubId(7)));
+        assert!(!engine.unsubscribe(SubId(7)));
+        assert!(engine.match_event(&ev).is_empty());
+        assert!(engine.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate DNF expression id")]
+    fn duplicate_corpus_ids_rejected() {
+        let schema = schema();
+        let a = parser::parse_dnf_with_id(&schema, SubId(0), "a0 = 1").unwrap();
+        let b = parser::parse_dnf_with_id(&schema, SubId(0), "a1 = 2").unwrap();
+        let _ = DnfEngine::build(&schema, &[a, b], &ApcmConfig::default());
+    }
+}

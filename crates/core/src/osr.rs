@@ -1,0 +1,177 @@
+//! OSR: online event stream re-ordering.
+//!
+//! Events arrive in arbitrary order, but nearby-in-content events exercise
+//! the same clusters. OSR buffers a window, reorders it so that similar
+//! events are adjacent, and lets the matcher process the window in
+//! *batches*: per batch, the union of the event bitmaps prunes clusters for
+//! the whole batch (a cluster whose shared mask is not contained in the
+//! union matches no event of the batch), and cluster data stays hot in cache
+//! across the batch's events.
+//!
+//! Re-ordering is content-based and cheap: events are sorted by the word
+//! prefix of their satisfied-predicate bitmaps, so events sharing their
+//! low-id (typically most popular) predicates become neighbors. Matching
+//! results are always reported in the **original arrival order** — OSR is an
+//! internal execution strategy, not a semantic change.
+
+use apcm_bexpr::Event;
+use apcm_encoding::FixedBitSet;
+
+/// Computes the processing order for a window of encoded events: indices
+/// into `encoded`, sorted by bitmap content (lexicographic over words,
+/// original index as the tiebreak for determinism).
+pub fn reorder_permutation(encoded: &[FixedBitSet]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..encoded.len()).collect();
+    order.sort_by(|&a, &b| {
+        encoded[a]
+            .words()
+            .cmp(encoded[b].words())
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// The union of a batch's event bitmaps — the whole-batch pruning mask.
+pub fn batch_union(width: usize, batch: &[&FixedBitSet]) -> FixedBitSet {
+    let mut union = FixedBitSet::new(width);
+    for ebits in batch {
+        union.union_with(ebits);
+    }
+    union
+}
+
+/// A fixed-capacity buffer that hands out full windows for batch matching.
+///
+/// Streaming applications push events as they arrive; every `capacity`-th
+/// push returns the full window to run through
+/// [`crate::ApcmMatcher::match_batch`]. [`OsrBuffer::flush`] drains a
+/// partial window at stream end (or on a latency deadline — the buffer
+/// itself imposes no timing policy).
+#[derive(Debug)]
+pub struct OsrBuffer {
+    capacity: usize,
+    buf: Vec<Event>,
+}
+
+impl OsrBuffer {
+    /// A buffer holding up to `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "OSR window capacity must be positive");
+        Self {
+            capacity,
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Adds an event; returns the full window when it reaches capacity.
+    pub fn push(&mut self, ev: Event) -> Option<Vec<Event>> {
+        self.buf.push(ev);
+        if self.buf.len() == self.capacity {
+            Some(std::mem::replace(
+                &mut self.buf,
+                Vec::with_capacity(self.capacity),
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Drains whatever is buffered (possibly empty).
+    pub fn flush(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apcm_bexpr::AttrId;
+
+    fn bits(width: usize, ids: &[usize]) -> FixedBitSet {
+        FixedBitSet::from_indices(width, ids.iter().copied())
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let encoded = vec![
+            bits(128, &[5, 9]),
+            bits(128, &[1, 2]),
+            bits(128, &[5, 9]),
+            bits(128, &[]),
+        ];
+        let mut perm = reorder_permutation(&encoded);
+        assert_eq!(perm.len(), 4);
+        perm.sort_unstable();
+        assert_eq!(perm, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn identical_events_become_adjacent() {
+        let encoded = vec![
+            bits(128, &[5, 9]),
+            bits(128, &[1, 2]),
+            bits(128, &[5, 9]),
+            bits(128, &[1, 2]),
+        ];
+        let perm = reorder_permutation(&encoded);
+        // The two [1,2] events and the two [5,9] events end up adjacent.
+        assert_eq!(encoded[perm[0]], encoded[perm[1]]);
+        assert_eq!(encoded[perm[2]], encoded[perm[3]]);
+    }
+
+    #[test]
+    fn permutation_deterministic_with_ties() {
+        let encoded = vec![bits(64, &[1]), bits(64, &[1]), bits(64, &[1])];
+        assert_eq!(reorder_permutation(&encoded), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn union_covers_all_members() {
+        let a = bits(128, &[1, 64]);
+        let b = bits(128, &[2, 100]);
+        let union = batch_union(128, &[&a, &b]);
+        assert_eq!(union.ones().collect::<Vec<_>>(), vec![1, 2, 64, 100]);
+        assert!(a.is_subset(&union) && b.is_subset(&union));
+    }
+
+    #[test]
+    fn empty_batch_union_is_empty() {
+        assert!(batch_union(64, &[]).is_empty());
+    }
+
+    #[test]
+    fn buffer_windows_and_flush() {
+        let ev = |v| Event::new(vec![(AttrId(0), v)]).unwrap();
+        let mut buf = OsrBuffer::new(3);
+        assert!(buf.push(ev(1)).is_none());
+        assert!(buf.push(ev(2)).is_none());
+        let window = buf.push(ev(3)).expect("third push fills the window");
+        assert_eq!(window.len(), 3);
+        assert!(buf.is_empty());
+
+        assert!(buf.push(ev(4)).is_none());
+        let rest = buf.flush();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(buf.len(), 0);
+        assert!(buf.flush().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = OsrBuffer::new(0);
+    }
+}

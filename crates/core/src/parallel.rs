@@ -1,0 +1,183 @@
+//! Parallel execution layer.
+//!
+//! Clusters are independent, and so are the events of a batch, so matching
+//! parallelizes along either axis. This module wraps the two executors
+//! behind one interface:
+//!
+//! * **rayon** (default) — a thread pool owned by the matcher, so the
+//!   thread-count sweep (experiment E2) controls parallelism per matcher
+//!   instance instead of fighting over the global pool;
+//! * **crossbeam** scoped threads — one spawn per chunk per call, kept as a
+//!   dependency-minimal comparison point for the executor ablation.
+
+use crate::config::Executor;
+
+/// An executor instance bound to a thread count.
+#[derive(Debug)]
+pub struct Pool {
+    executor: Executor,
+    rayon: Option<rayon::ThreadPool>,
+    threads: usize,
+}
+
+impl Pool {
+    /// Builds the pool; `threads = None` uses all available parallelism.
+    pub fn new(executor: Executor, threads: Option<usize>) -> Self {
+        let available = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let threads = threads.unwrap_or(available).max(1);
+        let rayon = match executor {
+            Executor::Rayon => Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("building a rayon pool cannot fail with valid thread count"),
+            ),
+            _ => None,
+        };
+        Self {
+            executor,
+            rayon,
+            threads: match executor {
+                Executor::Sequential => 1,
+                _ => threads,
+            },
+        }
+    }
+
+    /// Worker threads this pool fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Parallel ordered map: `out[i] = f(i)` for `i in 0..n`.
+    ///
+    /// Every executor preserves index order in the result, so batch matching
+    /// keeps event order without a post-pass.
+    pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync + Send,
+    {
+        match self.executor {
+            Executor::Sequential => (0..n).map(f).collect(),
+            Executor::Rayon => {
+                use rayon::prelude::*;
+                self.rayon
+                    .as_ref()
+                    .expect("rayon pool built in constructor")
+                    .install(|| (0..n).into_par_iter().map(f).collect())
+            }
+            Executor::Crossbeam => {
+                if n == 0 {
+                    return Vec::new();
+                }
+                let chunk = n.div_ceil(self.threads);
+                let mut slots: Vec<Vec<T>> = Vec::new();
+                crossbeam::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for t in 0..self.threads {
+                        let lo = t * chunk;
+                        if lo >= n {
+                            break;
+                        }
+                        let hi = (lo + chunk).min(n);
+                        let f = &f;
+                        handles.push(scope.spawn(move |_| (lo..hi).map(f).collect::<Vec<T>>()));
+                    }
+                    for h in handles {
+                        slots.push(h.join().expect("matching worker panicked"));
+                    }
+                })
+                .expect("crossbeam scope panicked");
+                slots.into_iter().flatten().collect()
+            }
+        }
+    }
+
+    /// Parallel flat-map over chunks: applies `f` to each contiguous chunk
+    /// of `items` and concatenates the results in chunk order.
+    pub fn flat_map_chunks<I, T, F>(&self, items: &[I], chunk_size: usize, f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&[I]) -> Vec<T> + Sync + Send,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let chunk_size = chunk_size.max(1);
+        let n_chunks = items.len().div_ceil(chunk_size);
+        self.map_indexed(n_chunks, |c| {
+            let lo = c * chunk_size;
+            let hi = (lo + chunk_size).min(items.len());
+            f(&items[lo..hi])
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Chunk size that gives each worker several chunks to steal.
+    pub fn cluster_chunk_size(&self, n_clusters: usize) -> usize {
+        (n_clusters / (self.threads * 8)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pools() -> Vec<Pool> {
+        vec![
+            Pool::new(Executor::Sequential, None),
+            Pool::new(Executor::Rayon, Some(4)),
+            Pool::new(Executor::Crossbeam, Some(4)),
+        ]
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        for pool in pools() {
+            let out = pool.map_indexed(100, |i| i * 2);
+            assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>(), "{:?}", pool.executor);
+        }
+    }
+
+    #[test]
+    fn map_indexed_empty() {
+        for pool in pools() {
+            assert!(pool.map_indexed(0, |i| i).is_empty());
+        }
+    }
+
+    #[test]
+    fn flat_map_chunks_concatenates_in_order() {
+        let items: Vec<u32> = (0..97).collect();
+        for pool in pools() {
+            let out = pool.flat_map_chunks(&items, 10, |chunk| chunk.to_vec());
+            assert_eq!(out, items, "{:?}", pool.executor);
+        }
+    }
+
+    #[test]
+    fn sequential_pool_reports_one_thread() {
+        assert_eq!(Pool::new(Executor::Sequential, Some(8)).threads(), 1);
+        assert_eq!(Pool::new(Executor::Rayon, Some(3)).threads(), 3);
+    }
+
+    #[test]
+    fn chunk_size_positive() {
+        let pool = Pool::new(Executor::Rayon, Some(4));
+        assert!(pool.cluster_chunk_size(0) >= 1);
+        assert!(pool.cluster_chunk_size(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn crossbeam_more_threads_than_items() {
+        let pool = Pool::new(Executor::Crossbeam, Some(16));
+        let out = pool.map_indexed(3, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Top-k scored matching.
+//!
+//! The paper's first motivating application is computational advertising,
+//! where matching is followed by ranking: of all campaigns eligible for an
+//! impression, only the highest-value few reach the auction.
+//! [`ScoredMatcher`] attaches a weight (bid, priority) to every subscription
+//! and answers *top-k* queries: the k highest-weighted matches, without
+//! materializing scores for the rest of the corpus.
+
+use crate::{ApcmConfig, ApcmMatcher};
+use apcm_bexpr::{BexprError, Event, Matcher, Schema, SubId, Subscription};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// A matcher whose subscriptions carry scores; see the module docs.
+#[derive(Debug)]
+pub struct ScoredMatcher {
+    matcher: ApcmMatcher,
+    weights: RwLock<HashMap<SubId, f64>>,
+}
+
+impl ScoredMatcher {
+    /// Builds from `(subscription, weight)` pairs.
+    ///
+    /// # Panics
+    /// Panics if any weight is non-finite (NaN weights would make ranking
+    /// unstable).
+    pub fn build(
+        schema: &Schema,
+        subs: &[(Subscription, f64)],
+        config: &ApcmConfig,
+    ) -> Result<Self, BexprError> {
+        let mut weights = HashMap::with_capacity(subs.len());
+        let mut plain = Vec::with_capacity(subs.len());
+        for (sub, weight) in subs {
+            assert!(weight.is_finite(), "weights must be finite");
+            weights.insert(sub.id(), *weight);
+            plain.push(sub.clone());
+        }
+        Ok(Self {
+            matcher: ApcmMatcher::build(schema, &plain, config)?,
+            weights: RwLock::new(weights),
+        })
+    }
+
+    /// Registers a subscription with a weight; `false` if the id is taken.
+    pub fn subscribe(&self, sub: &Subscription, weight: f64) -> Result<bool, BexprError> {
+        assert!(weight.is_finite(), "weights must be finite");
+        if self.matcher.subscribe(sub)? {
+            self.weights.write().insert(sub.id(), weight);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Removes a subscription; returns whether it was present.
+    pub fn unsubscribe(&self, id: SubId) -> bool {
+        if self.matcher.unsubscribe(id) {
+            self.weights.write().remove(&id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Updates a weight in place (no re-indexing); `false` if unknown id.
+    pub fn set_weight(&self, id: SubId, weight: f64) -> bool {
+        assert!(weight.is_finite(), "weights must be finite");
+        match self.weights.write().get_mut(&id) {
+            Some(slot) => {
+                *slot = weight;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of scored subscriptions.
+    pub fn len(&self) -> usize {
+        self.matcher.len()
+    }
+
+    /// Whether the matcher is empty.
+    pub fn is_empty(&self) -> bool {
+        self.matcher.is_empty()
+    }
+
+    /// The k highest-weighted matches for `ev`, sorted by descending weight
+    /// (ties: ascending id, so results are deterministic).
+    pub fn match_top_k(&self, ev: &Event, k: usize) -> Vec<(SubId, f64)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let matched = self.matcher.match_event(ev);
+        let weights = self.weights.read();
+        let mut scored: Vec<(SubId, f64)> = matched
+            .into_iter()
+            .map(|id| (id, weights.get(&id).copied().unwrap_or(0.0)))
+            .collect();
+        drop(weights);
+        let k = k.min(scored.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        // Partial selection: O(n) to isolate the top k, then sort just them.
+        scored.select_nth_unstable_by(k - 1, |a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite weights")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite weights")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        scored
+    }
+
+    /// All matches with their weights, descending (the `k = ∞` case).
+    pub fn match_scored(&self, ev: &Event) -> Vec<(SubId, f64)> {
+        self.match_top_k(ev, usize::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apcm_bexpr::parser;
+
+    fn setup(weights: &[f64]) -> (Schema, ScoredMatcher) {
+        let schema = Schema::uniform(3, 100);
+        // All subscriptions match any event with a0 = 1.
+        let subs: Vec<(Subscription, f64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                (
+                    parser::parse_subscription_with_id(&schema, SubId(i as u32), "a0 = 1")
+                        .unwrap(),
+                    w,
+                )
+            })
+            .collect();
+        let matcher = ScoredMatcher::build(&schema, &subs, &ApcmConfig::default()).unwrap();
+        (schema, matcher)
+    }
+
+    #[test]
+    fn top_k_orders_by_weight() {
+        let (schema, matcher) = setup(&[1.0, 5.0, 3.0, 4.0, 2.0]);
+        let ev = parser::parse_event(&schema, "a0 = 1").unwrap();
+        let top = matcher.match_top_k(&ev, 3);
+        assert_eq!(
+            top,
+            vec![(SubId(1), 5.0), (SubId(3), 4.0), (SubId(2), 3.0)]
+        );
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let (schema, matcher) = setup(&[2.0, 2.0, 2.0]);
+        let ev = parser::parse_event(&schema, "a0 = 1").unwrap();
+        let top = matcher.match_top_k(&ev, 2);
+        assert_eq!(top, vec![(SubId(0), 2.0), (SubId(1), 2.0)]);
+    }
+
+    #[test]
+    fn k_larger_than_matches_and_zero() {
+        let (schema, matcher) = setup(&[1.0, 2.0]);
+        let ev = parser::parse_event(&schema, "a0 = 1").unwrap();
+        assert_eq!(matcher.match_top_k(&ev, 100).len(), 2);
+        assert!(matcher.match_top_k(&ev, 0).is_empty());
+        let miss = parser::parse_event(&schema, "a0 = 2").unwrap();
+        assert!(matcher.match_top_k(&miss, 3).is_empty());
+    }
+
+    #[test]
+    fn only_matching_subscriptions_are_ranked() {
+        let schema = Schema::uniform(3, 100);
+        let subs = vec![
+            (
+                parser::parse_subscription_with_id(&schema, SubId(0), "a0 = 1").unwrap(),
+                10.0,
+            ),
+            (
+                parser::parse_subscription_with_id(&schema, SubId(1), "a0 = 2").unwrap(),
+                99.0,
+            ),
+        ];
+        let matcher = ScoredMatcher::build(&schema, &subs, &ApcmConfig::default()).unwrap();
+        let ev = parser::parse_event(&schema, "a0 = 1").unwrap();
+        // The heavy subscription does not match and must not appear.
+        assert_eq!(matcher.match_top_k(&ev, 5), vec![(SubId(0), 10.0)]);
+    }
+
+    #[test]
+    fn weight_update_and_churn() {
+        let (schema, matcher) = setup(&[1.0, 2.0]);
+        let ev = parser::parse_event(&schema, "a0 = 1").unwrap();
+        assert!(matcher.set_weight(SubId(0), 9.0));
+        assert!(!matcher.set_weight(SubId(7), 1.0));
+        assert_eq!(matcher.match_top_k(&ev, 1), vec![(SubId(0), 9.0)]);
+
+        let fresh = parser::parse_subscription_with_id(&schema, SubId(9), "a0 = 1").unwrap();
+        matcher.subscribe(&fresh, 100.0).unwrap();
+        assert_eq!(matcher.match_top_k(&ev, 1), vec![(SubId(9), 100.0)]);
+        assert!(matcher.unsubscribe(SubId(9)));
+        assert_eq!(matcher.match_top_k(&ev, 1), vec![(SubId(0), 9.0)]);
+        assert_eq!(matcher.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_weight_rejected() {
+        let (_, matcher) = setup(&[1.0]);
+        matcher.set_weight(SubId(0), f64::NAN);
+    }
+
+    #[test]
+    fn match_scored_returns_everything() {
+        let (schema, matcher) = setup(&[1.0, 3.0, 2.0]);
+        let ev = parser::parse_event(&schema, "a0 = 1").unwrap();
+        let all = matcher.match_scored(&ev);
+        assert_eq!(all.len(), 3);
+        assert!(all.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+}

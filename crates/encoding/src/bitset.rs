@@ -1,0 +1,390 @@
+//! Dense fixed-width bitsets with the word-level kernels the matcher runs on.
+//!
+//! A purpose-built bitset (rather than an external crate) keeps the hot
+//! subset/union kernels in one screen of code, gives the compression layer
+//! direct word access, and avoids generic-block indirection.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const BITS: usize = u64::BITS as usize;
+
+/// A fixed-capacity dense bitset backed by `u64` words.
+///
+/// Capacity is fixed at construction; all binary operations require equal
+/// capacity (enforced by `debug_assert!` in release-hot paths and by
+/// `assert!` in constructors).
+#[derive(Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FixedBitSet {
+    nbits: usize,
+    words: Box<[u64]>,
+}
+
+impl FixedBitSet {
+    /// An empty bitset with capacity for `nbits` bits.
+    pub fn new(nbits: usize) -> Self {
+        Self {
+            nbits,
+            words: vec![0u64; nbits.div_ceil(BITS)].into_boxed_slice(),
+        }
+    }
+
+    /// Builds a bitset of capacity `nbits` with the given bits set.
+    ///
+    /// # Panics
+    /// Panics if any index is `>= nbits`.
+    pub fn from_indices(nbits: usize, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut set = Self::new(nbits);
+        for i in indices {
+            set.insert(i);
+        }
+        set
+    }
+
+    /// Bit capacity.
+    #[inline]
+    pub fn nbits(&self) -> usize {
+        self.nbits
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= nbits` (in all build profiles — an out-of-range write
+    /// would silently corrupt matching results).
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.nbits, "bit {i} out of range {}", self.nbits);
+        self.words[i / BITS] |= 1u64 << (i % BITS);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.nbits, "bit {i} out of range {}", self.nbits);
+        self.words[i / BITS] &= !(1u64 << (i % BITS));
+    }
+
+    /// Whether bit `i` is set. Out-of-range reads return `false`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.nbits {
+            return false;
+        }
+        self.words[i / BITS] & (1u64 << (i % BITS)) != 0
+    }
+
+    /// Clears all bits, keeping capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The matcher's hot kernel: `self ⊆ other`, i.e. every set bit of
+    /// `self` is also set in `other`. Early-exits on the first word that
+    /// fails.
+    ///
+    /// Read-only comparisons tolerate unequal capacities (bits beyond a
+    /// set's capacity are treated as unset) so that structures built before
+    /// a dynamic predicate-space growth remain directly comparable.
+    #[inline]
+    pub fn is_subset(&self, other: &FixedBitSet) -> bool {
+        let n = self.words.len().min(other.words.len());
+        self.words[..n]
+            .iter()
+            .zip(other.words[..n].iter())
+            .all(|(&a, &b)| a & !b == 0)
+            && self.words[n..].iter().all(|&a| a == 0)
+    }
+
+    /// Whether `self` and `other` share at least one set bit. Tolerates
+    /// unequal capacities like [`FixedBitSet::is_subset`].
+    #[inline]
+    pub fn intersects(&self, other: &FixedBitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(&a, &b)| a & b != 0)
+    }
+
+    /// `self |= other`.
+    #[inline]
+    pub fn union_with(&mut self, other: &FixedBitSet) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// `self &= other`.
+    #[inline]
+    pub fn intersect_with(&mut self, other: &FixedBitSet) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= b;
+        }
+    }
+
+    /// `self &= !other`.
+    #[inline]
+    pub fn difference_with(&mut self, other: &FixedBitSet) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+        }
+    }
+
+    /// Number of bits set in both `self` and `other` without materializing
+    /// the intersection. Tolerates unequal capacities.
+    #[inline]
+    pub fn intersection_count(&self, other: &FixedBitSet) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of bits set in `self` or `other`. Tolerates unequal
+    /// capacities.
+    #[inline]
+    pub fn union_count(&self, other: &FixedBitSet) -> usize {
+        let n = self.words.len().min(other.words.len());
+        let shared: usize = self.words[..n]
+            .iter()
+            .zip(other.words[..n].iter())
+            .map(|(&a, &b)| (a | b).count_ones() as usize)
+            .sum();
+        let tail_a: usize = self.words[n..].iter().map(|w| w.count_ones() as usize).sum();
+        let tail_b: usize = other.words[n..].iter().map(|w| w.count_ones() as usize).sum();
+        shared + tail_a + tail_b
+    }
+
+    /// Jaccard similarity `|A∩B| / |A∪B|`; two empty sets are defined as
+    /// similarity 1.0 (they are identical). Used by the clustering policies.
+    pub fn jaccard(&self, other: &FixedBitSet) -> f64 {
+        let union = self.union_count(other);
+        if union == 0 {
+            return 1.0;
+        }
+        self.intersection_count(other) as f64 / union as f64
+    }
+
+    /// Iterates over set bit indices in ascending order.
+    pub fn ones(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Raw word access (read), for the compression layer.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Approximate heap footprint in bytes, for the memory experiments.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+}
+
+impl fmt::Debug for FixedBitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FixedBitSet({}; ", self.nbits)?;
+        f.debug_set().entries(self.ones()).finish()?;
+        write!(f, ")")
+    }
+}
+
+/// Iterator over set bits; see [`FixedBitSet::ones`].
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let tz = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * BITS + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = FixedBitSet::new(130);
+        assert!(!s.contains(0));
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1) && !s.contains(128));
+        assert!(!s.contains(999), "out-of-range read is false");
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        FixedBitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let s = FixedBitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.count_ones(), 0);
+        assert_eq!(s.ones().count(), 0);
+    }
+
+    #[test]
+    fn subset_and_intersects() {
+        let a = FixedBitSet::from_indices(200, [1, 70, 150]);
+        let b = FixedBitSet::from_indices(200, [1, 2, 70, 150, 151]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a), "subset is reflexive");
+        assert!(a.intersects(&b));
+        let c = FixedBitSet::from_indices(200, [3, 4]);
+        assert!(!a.intersects(&c));
+        assert!(FixedBitSet::new(200).is_subset(&c), "empty ⊆ anything");
+    }
+
+    #[test]
+    fn binary_ops() {
+        let mut a = FixedBitSet::from_indices(100, [1, 2, 3]);
+        let b = FixedBitSet::from_indices(100, [3, 4]);
+        a.union_with(&b);
+        assert_eq!(a.ones().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        a.intersect_with(&b);
+        assert_eq!(a.ones().collect::<Vec<_>>(), vec![3, 4]);
+        a.difference_with(&FixedBitSet::from_indices(100, [4]));
+        assert_eq!(a.ones().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn counting_ops() {
+        let a = FixedBitSet::from_indices(128, [0, 1, 2, 64]);
+        let b = FixedBitSet::from_indices(128, [2, 64, 100]);
+        assert_eq!(a.intersection_count(&b), 2);
+        assert_eq!(a.union_count(&b), 5);
+        assert!((a.jaccard(&b) - 0.4).abs() < 1e-12);
+        let empty = FixedBitSet::new(128);
+        assert!((empty.jaccard(&empty) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ones_iterates_across_words() {
+        let idx = vec![0, 5, 63, 64, 65, 127, 128, 300];
+        let s = FixedBitSet::from_indices(301, idx.clone());
+        assert_eq!(s.ones().collect::<Vec<_>>(), idx);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = FixedBitSet::from_indices(64, [5, 6]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.nbits(), 64);
+    }
+
+    #[test]
+    fn debug_render() {
+        let s = FixedBitSet::from_indices(70, [3, 65]);
+        assert_eq!(format!("{s:?}"), "FixedBitSet(70; {3, 65})");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn arb_indices() -> impl Strategy<Value = BTreeSet<usize>> {
+        proptest::collection::btree_set(0usize..256, 0..40)
+    }
+
+    proptest! {
+        /// The bitset behaves exactly like a set of indices.
+        #[test]
+        fn models_btreeset(a in arb_indices(), b in arb_indices()) {
+            let sa = FixedBitSet::from_indices(256, a.iter().copied());
+            let sb = FixedBitSet::from_indices(256, b.iter().copied());
+
+            prop_assert_eq!(sa.count_ones(), a.len());
+            prop_assert_eq!(sa.ones().collect::<Vec<_>>(), a.iter().copied().collect::<Vec<_>>());
+            prop_assert_eq!(sa.is_subset(&sb), a.is_subset(&b));
+            prop_assert_eq!(sa.intersects(&sb), !a.is_disjoint(&b));
+            prop_assert_eq!(sa.intersection_count(&sb), a.intersection(&b).count());
+            prop_assert_eq!(sa.union_count(&sb), a.union(&b).count());
+
+            let mut u = sa.clone();
+            u.union_with(&sb);
+            prop_assert_eq!(
+                u.ones().collect::<Vec<_>>(),
+                a.union(&b).copied().collect::<Vec<_>>()
+            );
+
+            let mut i = sa.clone();
+            i.intersect_with(&sb);
+            prop_assert_eq!(
+                i.ones().collect::<Vec<_>>(),
+                a.intersection(&b).copied().collect::<Vec<_>>()
+            );
+
+            let mut d = sa.clone();
+            d.difference_with(&sb);
+            prop_assert_eq!(
+                d.ones().collect::<Vec<_>>(),
+                a.difference(&b).copied().collect::<Vec<_>>()
+            );
+        }
+
+        /// `A∩B ⊆ A ⊆ A∪B` holds for any pair.
+        #[test]
+        fn lattice_laws(a in arb_indices(), b in arb_indices()) {
+            let sa = FixedBitSet::from_indices(256, a.iter().copied());
+            let sb = FixedBitSet::from_indices(256, b.iter().copied());
+            let mut inter = sa.clone();
+            inter.intersect_with(&sb);
+            let mut uni = sa.clone();
+            uni.union_with(&sb);
+            prop_assert!(inter.is_subset(&sa));
+            prop_assert!(sa.is_subset(&uni));
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Event satisfaction index: event → bitmap over presence + predicate bits.
+//!
+//! ## Bit layout
+//!
+//! The event bitmap has `dims + |predicates|` bits:
+//!
+//! * bits `0..dims` — **presence**: bit `a` is set iff the event carries
+//!   attribute `a`;
+//! * bit `dims + p` — predicate `p`'s slot, whose meaning depends on the
+//!   predicate's *polarity* (below).
+//!
+//! Presence bits come first so the layout is stable under dynamic predicate
+//! interning (new predicates append bits; nothing shifts).
+//!
+//! ## Polarity flipping
+//!
+//! A *narrow* predicate (selectivity ≤ ½: equalities, small `IN` sets,
+//! short ranges) is indexed by its **satisfying** values: its bit is set
+//! when the event satisfies it, and subscriptions list it in their
+//! `required` set.
+//!
+//! A *broad* predicate (selectivity > ½: `≠`, `NOT IN`, wide ranges) is
+//! satisfied by almost every event; materializing all those bits would make
+//! per-event cost `Σ selectivity` — tens of thousands of bit writes. It is
+//! instead indexed by its **violating** values: its bit is set only when the
+//! event carries the attribute *and* the value violates the predicate.
+//! Subscriptions list it in their `blocked` set together with the
+//! attribute's presence bit in `required` (absence must fail the match).
+//! Per-event cost becomes `Σ min(sel, 1 − sel)`, which is what makes the
+//! bitmap encoding viable on negation-heavy corpora.
+//!
+//! A subscription therefore matches iff `required ⊆ B` and
+//! `blocked ∩ B = ∅` over the event bitmap `B`.
+//!
+//! For each attribute the index stores predicate intervals in three forms
+//! chosen by their geometry: singleton intervals in a point hash map, wider
+//! intervals in a centered [`IntervalTree`], and post-build insertions in a
+//! linear overflow list folded in by [`EventIndex::rebuild`].
+
+use crate::{FixedBitSet, IntervalTree, PredicateRegistry};
+use apcm_bexpr::{Event, PredId, Predicate, Schema, Value};
+use std::collections::HashMap;
+
+#[derive(Debug, Default)]
+struct AttrIndex {
+    points: HashMap<Value, Vec<PredId>>,
+    tree: Option<IntervalTree<PredId>>,
+    /// `(lo, hi, id)` triples inserted since the last [`EventIndex::rebuild`].
+    overflow: Vec<(Value, Value, PredId)>,
+}
+
+impl AttrIndex {
+    fn visit(&self, v: Value, f: &mut impl FnMut(PredId)) {
+        if let Some(ids) = self.points.get(&v) {
+            ids.iter().copied().for_each(&mut *f);
+        }
+        if let Some(tree) = &self.tree {
+            tree.stab_visit(v, |&id| f(id));
+        }
+        for &(lo, hi, id) in &self.overflow {
+            if lo <= v && v <= hi {
+                f(id);
+            }
+        }
+    }
+}
+
+/// The per-attribute satisfaction index; see the module docs.
+#[derive(Debug)]
+pub struct EventIndex {
+    dims: usize,
+    attrs: Vec<AttrIndex>,
+    /// Polarity by predicate: `true` means the predicate is broad and
+    /// indexed by violations.
+    flips: Vec<bool>,
+    overflow_len: usize,
+}
+
+impl EventIndex {
+    /// Selectivity above which a predicate is indexed by violations.
+    pub const FLIP_THRESHOLD: f64 = 0.5;
+
+    /// Builds the index for every predicate currently in `registry`.
+    pub fn build(schema: &Schema, registry: &PredicateRegistry) -> Self {
+        let mut index = Self {
+            dims: schema.dims(),
+            attrs: (0..schema.dims()).map(|_| AttrIndex::default()).collect(),
+            flips: Vec::with_capacity(registry.len()),
+            overflow_len: 0,
+        };
+        let mut tree_input: Vec<Vec<(Value, Value, PredId)>> = vec![Vec::new(); schema.dims()];
+        for (id, pred) in registry.iter() {
+            let (slot, flipped, intervals) = index.classify(schema, pred);
+            index.flips.push(flipped);
+            debug_assert_eq!(id.index() + 1, index.flips.len());
+            for (lo, hi) in intervals {
+                if lo == hi {
+                    index.attrs[slot].points.entry(lo).or_default().push(id);
+                } else {
+                    tree_input[slot].push((lo, hi, id));
+                }
+            }
+        }
+        for (slot, input) in tree_input.into_iter().enumerate() {
+            if !input.is_empty() {
+                index.attrs[slot].tree = Some(IntervalTree::build(input));
+            }
+        }
+        index
+    }
+
+    /// Decides polarity and returns the interval set to index.
+    fn classify(
+        &self,
+        schema: &Schema,
+        pred: &Predicate,
+    ) -> (usize, bool, Vec<(Value, Value)>) {
+        let slot = pred.attr.index();
+        assert!(slot < self.attrs.len(), "predicate attribute outside the schema");
+        let domain = schema.domain(pred.attr);
+        let flipped = pred.op.selectivity(domain) > Self::FLIP_THRESHOLD;
+        let intervals = if flipped {
+            pred.op.violating_intervals(domain)
+        } else {
+            pred.op.satisfying_intervals(domain)
+        };
+        (slot, flipped, intervals)
+    }
+
+    /// Registers a predicate added after the build. Singleton intervals go
+    /// straight into the point maps; wider intervals land in the overflow
+    /// list until the next [`EventIndex::rebuild`].
+    ///
+    /// # Panics
+    /// Panics if ids are not interned densely in order (`id` must be the
+    /// next unseen predicate).
+    pub fn insert(&mut self, schema: &Schema, pred: &Predicate, id: PredId) {
+        assert_eq!(id.index(), self.flips.len(), "predicates must be interned in order");
+        let (slot, flipped, intervals) = self.classify(schema, pred);
+        self.flips.push(flipped);
+        for (lo, hi) in intervals {
+            if lo == hi {
+                self.attrs[slot].points.entry(lo).or_default().push(id);
+            } else {
+                self.attrs[slot].overflow.push((lo, hi, id));
+                self.overflow_len += 1;
+            }
+        }
+    }
+
+    /// Number of interval predicates waiting in overflow lists; callers use
+    /// this to decide when a [`EventIndex::rebuild`] pays off.
+    pub fn overflow_len(&self) -> usize {
+        self.overflow_len
+    }
+
+    /// Folds all overflow intervals into the per-attribute trees.
+    pub fn rebuild(&mut self) {
+        for attr in &mut self.attrs {
+            if attr.overflow.is_empty() {
+                continue;
+            }
+            let mut input = std::mem::take(&mut attr.overflow);
+            if let Some(tree) = attr.tree.take() {
+                input.extend(tree.into_entries());
+            }
+            attr.tree = Some(IntervalTree::build(input));
+        }
+        self.overflow_len = 0;
+    }
+
+    /// Number of presence bits (= schema dimensionality).
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Whether predicate `id` is broad (indexed by violations).
+    #[inline]
+    pub fn is_flipped(&self, id: PredId) -> bool {
+        self.flips[id.index()]
+    }
+
+    /// Total bitmap width: presence bits plus one bit per predicate.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.dims + self.flips.len()
+    }
+
+    /// The bitmap slot of predicate `id`.
+    #[inline]
+    pub fn bit_of(&self, id: PredId) -> u32 {
+        (self.dims + id.index()) as u32
+    }
+
+    /// The bitmap slot of attribute `attr`'s presence bit.
+    #[inline]
+    pub fn presence_bit(&self, attr: apcm_bexpr::AttrId) -> u32 {
+        attr.0
+    }
+
+    /// Encodes `ev` into a fresh bitmap.
+    pub fn encode(&self, ev: &Event) -> FixedBitSet {
+        let mut out = FixedBitSet::new(self.width());
+        self.encode_into(ev, &mut out);
+        out
+    }
+
+    /// Encodes `ev` into `out` (cleared first). `out` must be at least
+    /// [`EventIndex::width`] bits wide; reusing one buffer per worker thread
+    /// avoids an allocation per event on the hot path.
+    pub fn encode_into(&self, ev: &Event, out: &mut FixedBitSet) {
+        assert!(
+            out.nbits() >= self.width(),
+            "event bitmap narrower than the predicate space"
+        );
+        out.clear();
+        let dims = self.dims;
+        for &(attr, v) in ev.pairs() {
+            if let Some(index) = self.attrs.get(attr.index()) {
+                out.insert(attr.index());
+                index.visit(v, &mut |id: PredId| out.insert(dims + id.index()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apcm_bexpr::{AttrId, Domain, Op};
+
+    /// Two narrow, one broad (Ne), one broad range, one In.
+    fn setup() -> (Schema, PredicateRegistry, Vec<PredId>) {
+        let mut schema = Schema::new();
+        schema.add_attr("x", Domain::new(0, 99)).unwrap();
+        schema.add_attr("y", Domain::new(0, 99)).unwrap();
+        let mut reg = PredicateRegistry::new();
+        let ids = vec![
+            reg.intern(&Predicate::new(AttrId(0), Op::Eq(5))), // narrow
+            reg.intern(&Predicate::new(AttrId(0), Op::Between(3, 10))), // narrow
+            reg.intern(&Predicate::new(AttrId(0), Op::Ne(7))), // broad → flipped
+            reg.intern(&Predicate::new(AttrId(1), Op::Ge(50))), // sel 0.5 → narrow
+            reg.intern(&Predicate::new(AttrId(1), Op::in_set(vec![1, 2, 3, 60]).unwrap())),
+        ];
+        (schema, reg, ids)
+    }
+
+    fn encode(index: &EventIndex, schema: &Schema, text: &str) -> FixedBitSet {
+        let ev = apcm_bexpr::parser::parse_event(schema, text).unwrap();
+        index.encode(&ev)
+    }
+
+    #[test]
+    fn polarity_classification() {
+        let (schema, reg, ids) = setup();
+        let index = EventIndex::build(&schema, &reg);
+        assert!(!index.is_flipped(ids[0]), "Eq is narrow");
+        assert!(!index.is_flipped(ids[1]), "narrow Between");
+        assert!(index.is_flipped(ids[2]), "Ne is broad");
+        assert!(!index.is_flipped(ids[3]), "Ge(50) is exactly 0.5");
+        assert!(!index.is_flipped(ids[4]), "small IN is narrow");
+        assert_eq!(index.width(), 2 + 5);
+    }
+
+    #[test]
+    fn presence_bits_set_for_event_attrs() {
+        let (schema, reg, _) = setup();
+        let index = EventIndex::build(&schema, &reg);
+        let b = encode(&index, &schema, "x = 50");
+        assert!(b.contains(0), "x present");
+        assert!(!b.contains(1), "y absent");
+        let b = encode(&index, &schema, "x = 50, y = 2");
+        assert!(b.contains(0) && b.contains(1));
+    }
+
+    #[test]
+    fn narrow_bits_mean_satisfied() {
+        let (schema, reg, ids) = setup();
+        let index = EventIndex::build(&schema, &reg);
+        let b = encode(&index, &schema, "x = 5, y = 60");
+        assert!(b.contains(index.bit_of(ids[0]) as usize), "Eq(5) satisfied");
+        assert!(b.contains(index.bit_of(ids[1]) as usize), "Between satisfied");
+        assert!(b.contains(index.bit_of(ids[3]) as usize), "Ge(50) satisfied");
+        assert!(b.contains(index.bit_of(ids[4]) as usize), "In satisfied");
+    }
+
+    #[test]
+    fn broad_bits_mean_violated() {
+        let (schema, reg, ids) = setup();
+        let index = EventIndex::build(&schema, &reg);
+        let ne_bit = index.bit_of(ids[2]) as usize;
+        // x = 7 violates Ne(7) → bit SET.
+        assert!(encode(&index, &schema, "x = 7").contains(ne_bit));
+        // x = 8 satisfies Ne(7) → bit clear.
+        assert!(!encode(&index, &schema, "x = 8").contains(ne_bit));
+        // x absent → bit clear (absence handled via presence bits).
+        assert!(!encode(&index, &schema, "y = 1").contains(ne_bit));
+    }
+
+    #[test]
+    fn event_popcount_is_small_despite_negations() {
+        // A corpus of negations: the old satisfaction encoding would set
+        // one bit per Ne predicate per event; the flipped encoding sets at
+        // most one.
+        let mut schema = Schema::new();
+        schema.add_attr("x", Domain::new(0, 999)).unwrap();
+        let mut reg = PredicateRegistry::new();
+        for v in 0..500 {
+            reg.intern(&Predicate::new(AttrId(0), Op::Ne(v)));
+        }
+        let index = EventIndex::build(&schema, &reg);
+        let ev = apcm_bexpr::Event::new(vec![(AttrId(0), 42)]).unwrap();
+        let b = index.encode(&ev);
+        // presence bit + the single violated Ne(42).
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn dynamic_insert_and_rebuild() {
+        let (schema, mut reg, _) = setup();
+        let mut index = EventIndex::build(&schema, &reg);
+        let p_point = Predicate::new(AttrId(1), Op::Eq(42));
+        let p_range = Predicate::new(AttrId(0), Op::Lt(20));
+        let p_broad = Predicate::new(AttrId(0), Op::not_in_set(vec![9]).unwrap());
+        for pred in [&p_point, &p_range, &p_broad] {
+            let id = reg.intern(pred);
+            index.insert(&schema, pred, id);
+        }
+        assert_eq!(index.width(), 2 + 8);
+        assert!(index.is_flipped(reg.get(&p_broad).unwrap()));
+        assert_eq!(index.overflow_len(), 1, "only the range predicate overflows");
+
+        let range_bit = index.bit_of(reg.get(&p_range).unwrap()) as usize;
+        let broad_bit = index.bit_of(reg.get(&p_broad).unwrap()) as usize;
+        let b = encode(&index, &schema, "x = 9");
+        assert!(b.contains(range_bit));
+        assert!(b.contains(broad_bit), "x = 9 violates NOT IN {{9}}");
+
+        index.rebuild();
+        assert_eq!(index.overflow_len(), 0);
+        let b = encode(&index, &schema, "x = 9");
+        assert!(b.contains(range_bit), "rebuild preserves predicates");
+        // Pre-existing tree predicates survive the rebuild too.
+        assert!(encode(&index, &schema, "x = 4").contains(index.bit_of(PredId(1)) as usize));
+    }
+
+    #[test]
+    fn encode_into_reuses_wider_buffer() {
+        let (schema, reg, _) = setup();
+        let index = EventIndex::build(&schema, &reg);
+        let mut buf = FixedBitSet::new(64);
+        let ev = apcm_bexpr::Event::new(vec![(AttrId(0), 5)]).unwrap();
+        index.encode_into(&ev, &mut buf);
+        assert!(buf.contains(0));
+        // A second encode clears the previous contents.
+        let ev2 = apcm_bexpr::Event::new(vec![(AttrId(1), 0)]).unwrap();
+        index.encode_into(&ev2, &mut buf);
+        assert!(!buf.contains(0));
+        assert!(buf.contains(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "narrower")]
+    fn encode_into_narrow_buffer_panics() {
+        let (schema, reg, _) = setup();
+        let index = EventIndex::build(&schema, &reg);
+        let mut buf = FixedBitSet::new(2);
+        let ev = apcm_bexpr::Event::new(vec![(AttrId(0), 5)]).unwrap();
+        index.encode_into(&ev, &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "interned in order")]
+    fn out_of_order_insert_panics() {
+        let (schema, reg, _) = setup();
+        let mut index = EventIndex::build(&schema, &reg);
+        index.insert(&schema, &Predicate::new(AttrId(0), Op::Eq(1)), PredId(99));
+    }
+}

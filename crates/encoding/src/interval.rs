@@ -1,0 +1,304 @@
+//! Static centered interval tree for stabbing queries.
+//!
+//! The event index must answer, per attribute, "which registered range
+//! predicates does value `v` satisfy?". Predicates reduce to inclusive
+//! intervals (see `apcm_bexpr::Op::satisfying_intervals`), so this is a
+//! classic stabbing query: `O(log n + k)` with a centered interval tree,
+//! versus `O(n)` for a flat scan — the difference dominates event-encoding
+//! cost on corpora with many range predicates per attribute.
+
+use apcm_bexpr::Value;
+
+/// One stored interval with its payload.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    lo: Value,
+    hi: Value,
+    payload: T,
+}
+
+#[derive(Debug)]
+struct Node<T> {
+    center: Value,
+    /// Intervals overlapping `center`, sorted ascending by `lo`.
+    by_lo: Box<[Entry<T>]>,
+    /// The same intervals, sorted descending by `hi`.
+    by_hi: Box<[Entry<T>]>,
+    left: Option<u32>,
+    right: Option<u32>,
+}
+
+/// An immutable interval tree over inclusive `[lo, hi]` intervals.
+///
+/// Built once from the full interval list; the encoding layer handles
+/// post-build predicate insertions with a small linear overflow list and
+/// periodically rebuilds (see `EventIndex`).
+#[derive(Debug)]
+pub struct IntervalTree<T> {
+    nodes: Vec<Node<T>>,
+    root: Option<u32>,
+    len: usize,
+}
+
+impl<T: Clone> IntervalTree<T> {
+    /// Builds a tree from `(lo, hi, payload)` triples.
+    ///
+    /// # Panics
+    /// Panics if any interval has `lo > hi` (upstream predicate
+    /// normalization guarantees non-empty intervals).
+    pub fn build(intervals: Vec<(Value, Value, T)>) -> Self {
+        let entries: Vec<Entry<T>> = intervals
+            .into_iter()
+            .map(|(lo, hi, payload)| {
+                assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+                Entry { lo, hi, payload }
+            })
+            .collect();
+        let len = entries.len();
+        let mut tree = Self {
+            nodes: Vec::new(),
+            root: None,
+            len,
+        };
+        tree.root = tree.build_node(entries);
+        tree
+    }
+
+    fn build_node(&mut self, mut entries: Vec<Entry<T>>) -> Option<u32> {
+        if entries.is_empty() {
+            return None;
+        }
+        // Center on the median interval midpoint: the median interval itself
+        // always overlaps its own midpoint, so every recursion strictly
+        // shrinks the input and the build terminates.
+        let mut mids: Vec<Value> = entries.iter().map(|e| e.lo + (e.hi - e.lo) / 2).collect();
+        let mid_idx = mids.len() / 2;
+        let (_, center, _) = mids.select_nth_unstable(mid_idx);
+        let center = *center;
+
+        let mut overlapping = Vec::new();
+        let mut left_entries = Vec::new();
+        let mut right_entries = Vec::new();
+        for e in entries.drain(..) {
+            if e.hi < center {
+                left_entries.push(e);
+            } else if e.lo > center {
+                right_entries.push(e);
+            } else {
+                overlapping.push(e);
+            }
+        }
+        debug_assert!(!overlapping.is_empty(), "median midpoint must overlap");
+
+        let mut by_lo = overlapping.clone();
+        by_lo.sort_by_key(|e| e.lo);
+        let mut by_hi = overlapping;
+        by_hi.sort_by_key(|e| std::cmp::Reverse(e.hi));
+
+        let left = self.build_node(left_entries);
+        let right = self.build_node(right_entries);
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            center,
+            by_lo: by_lo.into_boxed_slice(),
+            by_hi: by_hi.into_boxed_slice(),
+            left,
+            right,
+        });
+        Some(idx)
+    }
+
+    /// Number of stored intervals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree stores no intervals.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Visits the payload of every interval containing `v`.
+    pub fn stab_visit(&self, v: Value, mut f: impl FnMut(&T)) {
+        let mut cursor = self.root;
+        while let Some(idx) = cursor {
+            let node = &self.nodes[idx as usize];
+            match v.cmp(&node.center) {
+                std::cmp::Ordering::Less => {
+                    // Only intervals starting at or before v can contain it;
+                    // by_lo is ascending, so stop at the first lo > v.
+                    for e in node.by_lo.iter().take_while(|e| e.lo <= v) {
+                        f(&e.payload);
+                    }
+                    cursor = node.left;
+                }
+                std::cmp::Ordering::Greater => {
+                    // Symmetric: by_hi is descending, stop at first hi < v.
+                    for e in node.by_hi.iter().take_while(|e| e.hi >= v) {
+                        f(&e.payload);
+                    }
+                    cursor = node.right;
+                }
+                std::cmp::Ordering::Equal => {
+                    // Every interval at this node contains the center.
+                    for e in node.by_lo.iter() {
+                        f(&e.payload);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Collects the payloads of every interval containing `v`.
+    pub fn stab_collect(&self, v: Value) -> Vec<T> {
+        let mut out = Vec::new();
+        self.stab_visit(v, |p| out.push(p.clone()));
+        out
+    }
+
+    /// Consumes the tree, returning every stored `(lo, hi, payload)` triple.
+    /// Used when merging a tree with freshly inserted intervals into a new
+    /// build.
+    pub fn into_entries(self) -> Vec<(Value, Value, T)> {
+        self.nodes
+            .into_iter()
+            .flat_map(|n| {
+                n.by_lo
+                    .into_vec()
+                    .into_iter()
+                    .map(|e| (e.lo, e.hi, e.payload))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stab_sorted(tree: &IntervalTree<u32>, v: Value) -> Vec<u32> {
+        let mut out = tree.stab_collect(v);
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree: IntervalTree<u32> = IntervalTree::build(vec![]);
+        assert!(tree.is_empty());
+        assert!(tree.stab_collect(5).is_empty());
+    }
+
+    #[test]
+    fn single_interval() {
+        let tree = IntervalTree::build(vec![(3, 7, 1u32)]);
+        assert_eq!(tree.len(), 1);
+        for v in 3..=7 {
+            assert_eq!(stab_sorted(&tree, v), vec![1]);
+        }
+        assert!(tree.stab_collect(2).is_empty());
+        assert!(tree.stab_collect(8).is_empty());
+    }
+
+    #[test]
+    fn point_intervals() {
+        let tree = IntervalTree::build(vec![(5, 5, 1u32), (5, 5, 2), (6, 6, 3)]);
+        assert_eq!(stab_sorted(&tree, 5), vec![1, 2]);
+        assert_eq!(stab_sorted(&tree, 6), vec![3]);
+    }
+
+    #[test]
+    fn nested_and_disjoint() {
+        let tree = IntervalTree::build(vec![
+            (0, 100, 0u32),
+            (10, 20, 1),
+            (15, 17, 2),
+            (50, 60, 3),
+            (200, 210, 4),
+        ]);
+        assert_eq!(stab_sorted(&tree, 16), vec![0, 1, 2]);
+        assert_eq!(stab_sorted(&tree, 55), vec![0, 3]);
+        assert_eq!(stab_sorted(&tree, 205), vec![4]);
+        assert_eq!(stab_sorted(&tree, 150), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn identical_intervals() {
+        let tree = IntervalTree::build((0..50).map(|i| (10, 20, i as u32)).collect());
+        assert_eq!(stab_sorted(&tree, 15).len(), 50);
+        assert!(tree.stab_collect(21).is_empty());
+    }
+
+    #[test]
+    fn negative_values() {
+        let tree = IntervalTree::build(vec![(-50, -10, 0u32), (-20, 5, 1)]);
+        assert_eq!(stab_sorted(&tree, -15), vec![0, 1]);
+        assert_eq!(stab_sorted(&tree, 0), vec![1]);
+        assert_eq!(stab_sorted(&tree, -60), Vec::<u32>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn rejects_inverted_interval() {
+        let _ = IntervalTree::build(vec![(5, 3, 0u32)]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Tree stabbing agrees with a brute-force scan for every probe.
+        #[test]
+        fn agrees_with_linear_scan(
+            intervals in proptest::collection::vec((-100i64..100, 0i64..50), 0..60),
+            probes in proptest::collection::vec(-120i64..160, 1..20),
+        ) {
+            let triples: Vec<(i64, i64, u32)> = intervals
+                .iter()
+                .enumerate()
+                .map(|(i, &(lo, w))| (lo, lo + w, i as u32))
+                .collect();
+            let tree = IntervalTree::build(triples.clone());
+            for &v in &probes {
+                let mut expect: Vec<u32> = triples
+                    .iter()
+                    .filter(|&&(lo, hi, _)| lo <= v && v <= hi)
+                    .map(|&(_, _, id)| id)
+                    .collect();
+                expect.sort_unstable();
+                let mut got = tree.stab_collect(v);
+                got.sort_unstable();
+                prop_assert_eq!(got, expect, "probe {}", v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod entry_tests {
+    use super::*;
+
+    #[test]
+    fn into_entries_returns_every_interval() {
+        let input: Vec<(i64, i64, u32)> =
+            (0..40).map(|i| (i, i + (i % 7), i as u32)).collect();
+        let tree = IntervalTree::build(input.clone());
+        let mut out = tree.into_entries();
+        out.sort_by_key(|&(_, _, id)| id);
+        let mut expect = input;
+        expect.sort_by_key(|&(_, _, id)| id);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn into_entries_empty_tree() {
+        let tree: IntervalTree<u8> = IntervalTree::build(vec![]);
+        assert!(tree.into_entries().is_empty());
+    }
+}

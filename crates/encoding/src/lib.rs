@@ -1,0 +1,33 @@
+//! Encoding layer for compressed Boolean-expression matching.
+//!
+//! A-PCM reduces expression matching to bit-parallel subset tests. This crate
+//! provides the machinery for that reduction:
+//!
+//! * [`FixedBitSet`] / [`SparseBits`] — dense and sparse bit vectors with the
+//!   word-level subset kernels the matcher's hot loop runs on,
+//! * [`PredicateRegistry`] — deduplicates the corpus' predicates and assigns
+//!   each distinct predicate a bit position (the *predicate space*),
+//! * [`IntervalTree`] — a static centered interval tree used to answer
+//!   stabbing queries ("which range predicates does value `v` satisfy?"),
+//! * [`EventIndex`] — the per-attribute satisfaction index that turns an
+//!   event into the bitmap of all predicates it satisfies, and
+//! * [`PredicateSpace`] — the bundle of registry + index + subscription
+//!   encodings that every bitmap-based engine builds on.
+//!
+//! With an event bitmap `E` and a subscription bitmap `S`, the subscription
+//! matches iff `S ⊆ E`. The compressed matcher in `apcm-core` additionally
+//! factors clusters of similar `S` into a shared mask plus sparse residuals.
+
+pub mod bitset;
+pub mod index;
+pub mod interval;
+pub mod registry;
+pub mod space;
+pub mod sparse;
+
+pub use bitset::FixedBitSet;
+pub use index::EventIndex;
+pub use interval::IntervalTree;
+pub use registry::PredicateRegistry;
+pub use space::{EncodedSub, PredicateSpace};
+pub use sparse::SparseBits;

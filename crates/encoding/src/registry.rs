@@ -1,0 +1,105 @@
+//! Predicate registry: the corpus-wide predicate space.
+
+use apcm_bexpr::{PredId, Predicate};
+use std::collections::HashMap;
+
+/// Deduplicates predicates and assigns each distinct predicate a dense
+/// [`PredId`] — the bit position used by every bitmap in the system.
+///
+/// Real corpora reuse predicates heavily (millions of expressions share tens
+/// of thousands of distinct predicates), which is exactly what makes
+/// bitmap-based matching compact: the predicate space, not the corpus size,
+/// determines bitmap width.
+#[derive(Debug, Default)]
+pub struct PredicateRegistry {
+    preds: Vec<Predicate>,
+    ids: HashMap<Predicate, PredId>,
+}
+
+impl PredicateRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `pred`, registering it if unseen.
+    pub fn intern(&mut self, pred: &Predicate) -> PredId {
+        if let Some(&id) = self.ids.get(pred) {
+            return id;
+        }
+        let id = PredId::from_index(self.preds.len());
+        self.preds.push(pred.clone());
+        self.ids.insert(pred.clone(), id);
+        id
+    }
+
+    /// Returns the id for `pred` if already registered.
+    pub fn get(&self, pred: &Predicate) -> Option<PredId> {
+        self.ids.get(pred).copied()
+    }
+
+    /// Returns the predicate registered under `id`.
+    pub fn predicate(&self, id: PredId) -> Option<&Predicate> {
+        self.preds.get(id.index())
+    }
+
+    /// Number of distinct predicates — the bitmap width of the system.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the registry is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Iterates `(id, predicate)` in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (PredId, &Predicate)> {
+        self.preds
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PredId::from_index(i), p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apcm_bexpr::{AttrId, Op};
+
+    #[test]
+    fn intern_dedups() {
+        let mut reg = PredicateRegistry::new();
+        let p1 = Predicate::new(AttrId(0), Op::Eq(5));
+        let p2 = Predicate::new(AttrId(0), Op::Eq(5));
+        let p3 = Predicate::new(AttrId(0), Op::Eq(6));
+        let a = reg.intern(&p1);
+        let b = reg.intern(&p2);
+        let c = reg.intern(&p3);
+        assert_eq!(a, b, "identical predicates share a bit");
+        assert_ne!(a, c);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get(&p1), Some(a));
+        assert_eq!(reg.predicate(a), Some(&p1));
+    }
+
+    #[test]
+    fn canonical_sets_share_bits() {
+        let mut reg = PredicateRegistry::new();
+        let a = reg.intern(&Predicate::new(AttrId(1), Op::in_set(vec![3, 1]).unwrap()));
+        let b = reg.intern(&Predicate::new(AttrId(1), Op::in_set(vec![1, 3, 3]).unwrap()));
+        assert_eq!(a, b, "IN-set canonicalization makes these identical");
+    }
+
+    #[test]
+    fn iteration_order_is_registration_order() {
+        let mut reg = PredicateRegistry::new();
+        reg.intern(&Predicate::new(AttrId(0), Op::Lt(1)));
+        reg.intern(&Predicate::new(AttrId(0), Op::Lt(2)));
+        let ids: Vec<u32> = reg.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert!(!reg.is_empty());
+    }
+}

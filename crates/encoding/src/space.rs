@@ -1,0 +1,386 @@
+//! The predicate space: registry + event index + subscription encodings.
+
+use crate::{EventIndex, FixedBitSet, PredicateRegistry, SparseBits};
+use apcm_bexpr::{BexprError, Event, Schema, SubId, Subscription};
+
+/// A subscription encoded into the bitmap space (see the layout and
+/// polarity rules in [`crate::index`]):
+///
+/// * `required` — bits that must **all** be set in the event bitmap:
+///   narrow predicate bits plus the presence bit of every attribute a broad
+///   predicate constrains;
+/// * `blocked` — broad (violation-indexed) predicate bits, **none** of
+///   which may be set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedSub {
+    /// The subscription's identifier.
+    pub id: SubId,
+    /// Bits that must all be present.
+    pub required: SparseBits,
+    /// Bits that must all be absent.
+    pub blocked: SparseBits,
+}
+
+impl EncodedSub {
+    /// Whether an event with bitmap `b` matches this subscription.
+    #[inline]
+    pub fn matches_bitmap(&self, b: &FixedBitSet) -> bool {
+        self.required.subset_of_dense(b) && self.blocked.disjoint_from_dense(b)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.required.heap_bytes() + self.blocked.heap_bytes()
+    }
+}
+
+/// The corpus-wide predicate space every bitmap engine builds on.
+///
+/// Owns the [`PredicateRegistry`], the [`EventIndex`], and a copy of the
+/// schema, and keeps them consistent across dynamic subscription inserts.
+#[derive(Debug)]
+pub struct PredicateSpace {
+    schema: Schema,
+    registry: PredicateRegistry,
+    index: EventIndex,
+    /// Rebuild the event index once this many interval predicates sit in
+    /// overflow lists.
+    rebuild_threshold: usize,
+}
+
+impl PredicateSpace {
+    /// Builds the space from a corpus, returning the space and each
+    /// subscription's encoding.
+    ///
+    /// Every subscription is validated against `schema`; encoding an invalid
+    /// corpus is rejected up front rather than yielding silently-wrong
+    /// bitmaps.
+    pub fn build(
+        schema: &Schema,
+        subs: &[Subscription],
+    ) -> Result<(Self, Vec<EncodedSub>), BexprError> {
+        let mut registry = PredicateRegistry::new();
+        for sub in subs {
+            sub.validate(schema)?;
+            for pred in sub.predicates() {
+                registry.intern(pred);
+            }
+        }
+        let index = EventIndex::build(schema, &registry);
+        let space = Self {
+            schema: schema.clone(),
+            registry,
+            index,
+            rebuild_threshold: 256,
+        };
+        let encoded = subs
+            .iter()
+            .map(|sub| space.encode_subscription(sub))
+            .collect();
+        Ok((space, encoded))
+    }
+
+    /// Encodes a subscription whose predicates are all interned.
+    fn encode_subscription(&self, sub: &Subscription) -> EncodedSub {
+        let mut required = Vec::with_capacity(sub.len());
+        let mut blocked = Vec::new();
+        for pred in sub.predicates() {
+            let id = self
+                .registry
+                .get(pred)
+                .expect("predicate interned during build/add");
+            if self.index.is_flipped(id) {
+                required.push(self.index.presence_bit(pred.attr));
+                blocked.push(self.index.bit_of(id));
+            } else {
+                required.push(self.index.bit_of(id));
+            }
+        }
+        EncodedSub {
+            id: sub.id(),
+            required: SparseBits::new(required),
+            blocked: SparseBits::new(blocked),
+        }
+    }
+
+    /// Encodes a subscription whose predicates are all already interned;
+    /// `None` if any predicate is unknown to the registry. Used by engines
+    /// that organize an existing corpus (e.g. per-bucket compression) and
+    /// must never mutate the space while doing so.
+    pub fn try_encode(&self, sub: &Subscription) -> Option<EncodedSub> {
+        for pred in sub.predicates() {
+            self.registry.get(pred)?;
+        }
+        Some(self.encode_subscription(sub))
+    }
+
+    /// Adds one subscription after the build, interning any new predicates
+    /// and lazily maintaining the event index.
+    pub fn add_subscription(&mut self, sub: &Subscription) -> Result<EncodedSub, BexprError> {
+        sub.validate(&self.schema)?;
+        for pred in sub.predicates() {
+            if self.registry.get(pred).is_none() {
+                let id = self.registry.intern(pred);
+                self.index.insert(&self.schema, pred, id);
+            }
+        }
+        if self.index.overflow_len() >= self.rebuild_threshold {
+            self.index.rebuild();
+        }
+        Ok(self.encode_subscription(sub))
+    }
+
+    /// Current bitmap width (presence bits + one bit per distinct
+    /// predicate).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.index.width()
+    }
+
+    /// The schema the space was built for.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The deduplicated predicate registry.
+    pub fn registry(&self) -> &PredicateRegistry {
+        &self.registry
+    }
+
+    /// The event index (polarity queries, bit layout).
+    pub fn index(&self) -> &EventIndex {
+        &self.index
+    }
+
+    /// Encodes `ev` into a fresh event bitmap.
+    pub fn encode_event(&self, ev: &Event) -> FixedBitSet {
+        self.index.encode(ev)
+    }
+
+    /// Encodes `ev` into a reusable buffer; see [`EventIndex::encode_into`].
+    pub fn encode_event_into(&self, ev: &Event, out: &mut FixedBitSet) {
+        self.index.encode_into(ev, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apcm_bexpr::{parser, Domain};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_attr("x", Domain::new(0, 99)).unwrap();
+        s.add_attr("y", Domain::new(0, 99)).unwrap();
+        s
+    }
+
+    fn subs(schema: &Schema, texts: &[&str]) -> Vec<Subscription> {
+        texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                parser::parse_subscription_with_id(schema, SubId(i as u32), t).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_dedups_predicates_across_subs() {
+        let schema = schema();
+        let corpus = subs(
+            &schema,
+            &["x = 5 AND y > 10", "x = 5 AND y > 20", "y > 10"],
+        );
+        let (space, encoded) = PredicateSpace::build(&schema, &corpus).unwrap();
+        // Distinct predicates: x=5, y>10, y>20 → width = 2 presence + 3.
+        assert_eq!(space.width(), 5);
+        assert_eq!(encoded.len(), 3);
+        // Sub 0 and sub 2 share the `y > 10` bit.
+        let shared: Vec<u32> = encoded[0]
+            .required
+            .ids()
+            .iter()
+            .copied()
+            .filter(|b| encoded[2].required.contains(*b))
+            .collect();
+        assert_eq!(shared.len(), 1);
+    }
+
+    #[test]
+    fn encoded_test_equals_brute_force() {
+        let schema = schema();
+        let corpus = subs(
+            &schema,
+            &[
+                "x BETWEEN 10 AND 20",
+                "x != 15 AND y <= 50",
+                "x IN {1, 15, 30} AND y NOT IN {7}",
+                "y = 7",
+                "x != 3 AND x != 4",
+            ],
+        );
+        let (space, encoded) = PredicateSpace::build(&schema, &corpus).unwrap();
+        for x in [0, 1, 3, 4, 10, 15, 20, 30, 99] {
+            for y in [0, 7, 50, 51] {
+                let ev = parser::parse_event(&schema, &format!("x = {x}, y = {y}")).unwrap();
+                let b = space.encode_event(&ev);
+                for (sub, enc) in corpus.iter().zip(encoded.iter()) {
+                    assert_eq!(
+                        enc.matches_bitmap(&b),
+                        sub.matches(&ev),
+                        "sub {:?} at x={x} y={y}",
+                        sub.id()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn absent_attribute_fails_broad_predicates() {
+        let schema = schema();
+        let corpus = subs(&schema, &["x != 5"]);
+        let (space, encoded) = PredicateSpace::build(&schema, &corpus).unwrap();
+        // Event without x: the presence bit is missing from `required`.
+        let ev = parser::parse_event(&schema, "y = 1").unwrap();
+        assert!(!encoded[0].matches_bitmap(&space.encode_event(&ev)));
+        // Event with x = 6 satisfies.
+        let ev = parser::parse_event(&schema, "x = 6").unwrap();
+        assert!(encoded[0].matches_bitmap(&space.encode_event(&ev)));
+        // Event with x = 5 is blocked.
+        let ev = parser::parse_event(&schema, "x = 5").unwrap();
+        assert!(!encoded[0].matches_bitmap(&space.encode_event(&ev)));
+    }
+
+    #[test]
+    fn invalid_corpus_rejected() {
+        let schema = schema();
+        let bad = Subscription::new(
+            SubId(0),
+            vec![apcm_bexpr::Predicate::new(
+                apcm_bexpr::AttrId(9),
+                apcm_bexpr::Op::Eq(1),
+            )],
+        )
+        .unwrap();
+        assert!(PredicateSpace::build(&schema, &[bad]).is_err());
+    }
+
+    #[test]
+    fn dynamic_add_grows_width_and_matches() {
+        let schema = schema();
+        let corpus = subs(&schema, &["x = 1"]);
+        let (mut space, _) = PredicateSpace::build(&schema, &corpus).unwrap();
+        assert_eq!(space.width(), 3);
+
+        let new_sub =
+            parser::parse_subscription_with_id(&schema, SubId(9), "x > 40 AND y != 2").unwrap();
+        let enc = space.add_subscription(&new_sub).unwrap();
+        assert_eq!(space.width(), 5);
+
+        let ev = parser::parse_event(&schema, "x = 50, y = 3").unwrap();
+        assert!(enc.matches_bitmap(&space.encode_event(&ev)));
+        let ev = parser::parse_event(&schema, "x = 50, y = 2").unwrap();
+        assert!(!enc.matches_bitmap(&space.encode_event(&ev)), "blocked by y != 2");
+        let ev = parser::parse_event(&schema, "x = 50").unwrap();
+        assert!(
+            !enc.matches_bitmap(&space.encode_event(&ev)),
+            "y absent fails the broad predicate"
+        );
+        let ev = parser::parse_event(&schema, "x = 30, y = 3").unwrap();
+        assert!(!enc.matches_bitmap(&space.encode_event(&ev)));
+    }
+
+    #[test]
+    fn dynamic_add_reuses_existing_bits() {
+        let schema = schema();
+        let corpus = subs(&schema, &["x = 1 AND y = 2"]);
+        let (mut space, encoded) = PredicateSpace::build(&schema, &corpus).unwrap();
+        let dup = parser::parse_subscription_with_id(&schema, SubId(5), "y = 2 AND x = 1").unwrap();
+        let enc = space.add_subscription(&dup).unwrap();
+        assert_eq!(enc.required, encoded[0].required, "identical expressions share bits");
+        assert_eq!(space.width(), 4);
+    }
+
+    #[test]
+    fn overflow_rebuild_keeps_results_stable() {
+        let schema = schema();
+        let corpus = subs(&schema, &["x = 0"]);
+        let (mut space, _) = PredicateSpace::build(&schema, &corpus).unwrap();
+        space.rebuild_threshold = 8;
+        let mut encs = Vec::new();
+        for i in 0..40 {
+            let sub = parser::parse_subscription_with_id(
+                &schema,
+                SubId(100 + i),
+                &format!("x > {}", i % 30),
+            )
+            .unwrap();
+            encs.push(space.add_subscription(&sub).unwrap());
+        }
+        let ev = parser::parse_event(&schema, "x = 35").unwrap();
+        let b = space.encode_event(&ev);
+        for (i, enc) in encs.iter().enumerate() {
+            let expect = 35 > (i as i64 % 30);
+            assert_eq!(enc.matches_bitmap(&b), expect, "sub {i}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use apcm_bexpr::{AttrId, Op, Predicate};
+    use proptest::prelude::*;
+
+    fn arb_op(card: i64) -> impl Strategy<Value = Op> {
+        let v = 0..card;
+        prop_oneof![
+            v.clone().prop_map(Op::Eq),
+            v.clone().prop_map(Op::Ne),
+            (1..card).prop_map(Op::Lt),
+            v.clone().prop_map(Op::Le),
+            (0..card - 1).prop_map(Op::Gt),
+            v.clone().prop_map(Op::Ge),
+            (v.clone(), 0..card / 2).prop_map(move |(lo, w)| Op::Between(lo, (lo + w).min(card - 1))),
+            proptest::collection::vec(v.clone(), 1..6).prop_map(|vs| Op::in_set(vs).unwrap()),
+            proptest::collection::vec(v, 1..6).prop_map(|vs| Op::not_in_set(vs).unwrap()),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// The whole encoding pipeline — registry, polarity flipping,
+        /// interval trees, presence bits, required/blocked split — agrees
+        /// with direct predicate evaluation for arbitrary subscriptions and
+        /// events, including events missing attributes.
+        #[test]
+        fn pipeline_equals_brute_force(
+            preds in proptest::collection::vec((0u32..5, arb_op(40)), 1..7),
+            pairs in proptest::collection::vec((0u32..5, 0i64..40), 1..5),
+        ) {
+            let schema = Schema::uniform(5, 40);
+            let sub = Subscription::new(
+                SubId(0),
+                preds
+                    .into_iter()
+                    .map(|(a, op)| Predicate::new(AttrId(a), op))
+                    .collect(),
+            )
+            .unwrap();
+            // Dedup attrs for the event; first value wins.
+            let mut dedup: Vec<(AttrId, i64)> = Vec::new();
+            for (a, v) in pairs {
+                if dedup.iter().all(|&(x, _)| x != AttrId(a)) {
+                    dedup.push((AttrId(a), v));
+                }
+            }
+            let ev = Event::new(dedup).unwrap();
+
+            let (space, encoded) = PredicateSpace::build(&schema, std::slice::from_ref(&sub)).unwrap();
+            let b = space.encode_event(&ev);
+            prop_assert_eq!(encoded[0].matches_bitmap(&b), sub.matches(&ev));
+        }
+    }
+}

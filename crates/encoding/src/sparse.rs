@@ -1,0 +1,328 @@
+//! Sparse bit vectors: sorted id lists.
+//!
+//! Subscription bitmaps are extremely sparse (an expression with 7 predicates
+//! sets 7 bits out of a predicate space of tens of thousands), so cluster
+//! *residuals* are stored as sorted `u32` id lists rather than dense words.
+//! A residual subset test is then a handful of indexed bit probes into the
+//! dense event bitmap instead of a full-width word sweep — this is where the
+//! "compressed" in PCM saves its time and memory.
+
+use crate::FixedBitSet;
+use serde::{Deserialize, Serialize};
+
+/// A sparse bitset: a sorted, deduplicated list of set-bit indices.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SparseBits {
+    ids: Box<[u32]>,
+}
+
+impl SparseBits {
+    /// Builds from indices in any order; sorts and deduplicates.
+    pub fn new(mut ids: Vec<u32>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        Self {
+            ids: ids.into_boxed_slice(),
+        }
+    }
+
+    /// An empty sparse set.
+    pub fn empty() -> Self {
+        Self { ids: Box::new([]) }
+    }
+
+    /// Extracts the set bits of a dense bitset.
+    pub fn from_dense(dense: &FixedBitSet) -> Self {
+        Self {
+            ids: dense.ones().map(|i| i as u32).collect(),
+        }
+    }
+
+    /// Materializes into a dense bitset of capacity `nbits`.
+    pub fn to_dense(&self, nbits: usize) -> FixedBitSet {
+        FixedBitSet::from_indices(nbits, self.ids.iter().map(|&i| i as usize))
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Sorted indices.
+    #[inline]
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Whether index `i` is set (binary search).
+    pub fn contains(&self, i: u32) -> bool {
+        self.ids.binary_search(&i).is_ok()
+    }
+
+    /// The residual-test kernel: every bit of `self` is set in `dense`.
+    /// Probes `dense` per id with early exit, so cost is `O(len)` regardless
+    /// of the dense set's width.
+    #[inline]
+    pub fn subset_of_dense(&self, dense: &FixedBitSet) -> bool {
+        self.ids.iter().all(|&i| dense.contains(i as usize))
+    }
+
+    /// The blocked-test kernel: no bit of `self` is set in `dense`. Probes
+    /// per id with early exit.
+    #[inline]
+    pub fn disjoint_from_dense(&self, dense: &FixedBitSet) -> bool {
+        self.ids.iter().all(|&i| !dense.contains(i as usize))
+    }
+
+    /// Sorted-merge subset test against another sparse set.
+    pub fn subset_of_sparse(&self, other: &SparseBits) -> bool {
+        let mut oi = 0;
+        'outer: for &x in self.ids.iter() {
+            while oi < other.ids.len() {
+                match other.ids[oi].cmp(&x) {
+                    std::cmp::Ordering::Less => oi += 1,
+                    std::cmp::Ordering::Equal => {
+                        oi += 1;
+                        continue 'outer;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// The ids of `self` that are **not** in `mask` — used to compute cluster
+    /// residuals (`member \ shared`).
+    pub fn difference_dense(&self, mask: &FixedBitSet) -> SparseBits {
+        SparseBits {
+            ids: self
+                .ids
+                .iter()
+                .copied()
+                .filter(|&i| !mask.contains(i as usize))
+                .collect(),
+        }
+    }
+
+    /// Sorted-merge intersection `self ∩ other`.
+    pub fn intersect(&self, other: &SparseBits) -> SparseBits {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut out = Vec::with_capacity(self.ids.len().min(other.ids.len()));
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        SparseBits {
+            ids: out.into_boxed_slice(),
+        }
+    }
+
+    /// Sorted-merge union `self ∪ other`.
+    pub fn union(&self, other: &SparseBits) -> SparseBits {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut out = Vec::with_capacity(self.ids.len() + other.ids.len());
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.ids[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.ids[i..]);
+        out.extend_from_slice(&other.ids[j..]);
+        SparseBits {
+            ids: out.into_boxed_slice(),
+        }
+    }
+
+    /// Sorted-merge difference `self \ other`.
+    pub fn difference(&self, other: &SparseBits) -> SparseBits {
+        let mut j = 0usize;
+        let mut out = Vec::with_capacity(self.ids.len());
+        for &x in self.ids.iter() {
+            while j < other.ids.len() && other.ids[j] < x {
+                j += 1;
+            }
+            if j >= other.ids.len() || other.ids[j] != x {
+                out.push(x);
+            }
+        }
+        SparseBits {
+            ids: out.into_boxed_slice(),
+        }
+    }
+
+    /// Approximate heap footprint in bytes, for the memory experiments.
+    pub fn heap_bytes(&self) -> usize {
+        self.ids.len() * std::mem::size_of::<u32>()
+    }
+}
+
+impl FromIterator<u32> for SparseBits {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let s = SparseBits::new(vec![9, 1, 9, 4]);
+        assert_eq!(s.ids(), &[1, 4, 9]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(4) && !s.contains(5));
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let dense = FixedBitSet::from_indices(300, [0, 64, 128, 299]);
+        let sparse = SparseBits::from_dense(&dense);
+        assert_eq!(sparse.ids(), &[0, 64, 128, 299]);
+        assert_eq!(sparse.to_dense(300), dense);
+    }
+
+    #[test]
+    fn subset_of_dense_kernel() {
+        let dense = FixedBitSet::from_indices(100, [2, 5, 9, 70]);
+        assert!(SparseBits::new(vec![2, 70]).subset_of_dense(&dense));
+        assert!(!SparseBits::new(vec![2, 3]).subset_of_dense(&dense));
+        assert!(SparseBits::empty().subset_of_dense(&dense));
+    }
+
+    #[test]
+    fn disjoint_from_dense_kernel() {
+        let dense = FixedBitSet::from_indices(100, [2, 5, 9]);
+        assert!(SparseBits::new(vec![1, 3, 70]).disjoint_from_dense(&dense));
+        assert!(!SparseBits::new(vec![1, 5]).disjoint_from_dense(&dense));
+        assert!(SparseBits::empty().disjoint_from_dense(&dense));
+    }
+
+    #[test]
+    fn subset_of_sparse_merge() {
+        let big = SparseBits::new(vec![1, 3, 5, 7, 9]);
+        assert!(SparseBits::new(vec![3, 9]).subset_of_sparse(&big));
+        assert!(SparseBits::new(vec![]).subset_of_sparse(&big));
+        assert!(!SparseBits::new(vec![3, 4]).subset_of_sparse(&big));
+        assert!(!SparseBits::new(vec![10]).subset_of_sparse(&big));
+        assert!(big.subset_of_sparse(&big));
+    }
+
+    #[test]
+    fn difference_dense_computes_residual() {
+        let member = SparseBits::new(vec![1, 2, 3, 4]);
+        let shared = FixedBitSet::from_indices(10, [2, 4]);
+        assert_eq!(member.difference_dense(&shared).ids(), &[1, 3]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: SparseBits = [5u32, 1, 5].into_iter().collect();
+        assert_eq!(s.ids(), &[1, 5]);
+    }
+
+    #[test]
+    fn sparse_set_algebra() {
+        let a = SparseBits::new(vec![1, 3, 5, 7]);
+        let b = SparseBits::new(vec![3, 4, 7, 9]);
+        assert_eq!(a.intersect(&b).ids(), &[3, 7]);
+        assert_eq!(a.union(&b).ids(), &[1, 3, 4, 5, 7, 9]);
+        assert_eq!(a.difference(&b).ids(), &[1, 5]);
+        assert_eq!(b.difference(&a).ids(), &[4, 9]);
+        let empty = SparseBits::empty();
+        assert_eq!(a.intersect(&empty).ids(), &[] as &[u32]);
+        assert_eq!(a.union(&empty), a);
+        assert_eq!(a.difference(&empty), a);
+        assert_eq!(empty.difference(&a).ids(), &[] as &[u32]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    proptest! {
+        /// Sparse and dense subset tests agree.
+        #[test]
+        fn sparse_dense_subset_agree(
+            a in proptest::collection::btree_set(0u32..200, 0..20),
+            b in proptest::collection::btree_set(0u32..200, 0..40),
+        ) {
+            let sa = SparseBits::new(a.iter().copied().collect());
+            let sb = SparseBits::new(b.iter().copied().collect());
+            let db = sb.to_dense(200);
+            prop_assert_eq!(sa.subset_of_dense(&db), a.is_subset(&b));
+            prop_assert_eq!(sa.subset_of_sparse(&sb), a.is_subset(&b));
+        }
+
+        /// Sparse set algebra models BTreeSet algebra.
+        #[test]
+        fn algebra_models_btreeset(
+            a in proptest::collection::btree_set(0u32..100, 0..30),
+            b in proptest::collection::btree_set(0u32..100, 0..30),
+        ) {
+            let sa = SparseBits::new(a.iter().copied().collect());
+            let sb = SparseBits::new(b.iter().copied().collect());
+            prop_assert_eq!(
+                sa.intersect(&sb).ids().to_vec(),
+                a.intersection(&b).copied().collect::<Vec<_>>()
+            );
+            prop_assert_eq!(
+                sa.union(&sb).ids().to_vec(),
+                a.union(&b).copied().collect::<Vec<_>>()
+            );
+            prop_assert_eq!(
+                sa.difference(&sb).ids().to_vec(),
+                a.difference(&b).copied().collect::<Vec<_>>()
+            );
+        }
+
+        /// shared ∪ residual reconstructs the member exactly.
+        #[test]
+        fn residual_reconstructs(
+            member in proptest::collection::btree_set(0u32..200, 1..20),
+            shared in proptest::collection::btree_set(0u32..200, 0..20),
+        ) {
+            let m = SparseBits::new(member.iter().copied().collect());
+            let s = FixedBitSet::from_indices(200, shared.iter().map(|&i| i as usize));
+            let residual = m.difference_dense(&s);
+            let reconstructed: BTreeSet<u32> = residual
+                .ids()
+                .iter()
+                .copied()
+                .chain(member.intersection(&shared).copied())
+                .collect();
+            prop_assert_eq!(reconstructed, member);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Drifting event streams for the adaptivity experiments.
+
+use crate::{EventStream, Workload};
+use apcm_bexpr::Event;
+
+/// An event stream whose value distribution rotates over time.
+///
+/// Every `period` events the stream advances its *phase*: sampled value
+/// ranks are shifted by `step` positions around the domain. Under a skewed
+/// value distribution this moves the hot values — and therefore which
+/// clusters of the compressed matcher run hot — which is precisely the
+/// non-stationarity A-PCM's adaptive re-clustering is designed to track.
+/// Under a uniform distribution the rotation is a no-op by symmetry.
+pub struct DriftingStream<'a> {
+    inner: EventStream<'a>,
+    period: usize,
+    step: u64,
+    emitted: usize,
+}
+
+impl<'a> DriftingStream<'a> {
+    /// Wraps a workload's stream; the phase advances by `step` value ranks
+    /// every `period` events.
+    ///
+    /// # Panics
+    /// Panics if `period == 0`.
+    pub fn new(workload: &'a Workload, period: usize, step: u64, seed: u64) -> Self {
+        assert!(period > 0, "drift period must be positive");
+        Self {
+            inner: EventStream::new(workload, seed),
+            period,
+            step,
+            emitted: 0,
+        }
+    }
+
+    /// Number of phase shifts performed so far.
+    pub fn shifts(&self) -> usize {
+        self.emitted / self.period
+    }
+
+    /// Generates the next event under the current phase.
+    pub fn next_event(&mut self) -> Event {
+        let ev = self.inner.next_event();
+        self.emitted += 1;
+        if self.emitted.is_multiple_of(self.period) {
+            self.inner.phase = self.inner.phase.wrapping_add(self.step);
+        }
+        ev
+    }
+}
+
+impl Iterator for DriftingStream<'_> {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        Some(self.next_event())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ValueDist, WorkloadSpec};
+
+    #[test]
+    fn phase_advances_every_period() {
+        let wl = WorkloadSpec::new(10).seed(1).build();
+        let mut stream = DriftingStream::new(&wl, 5, 100, 7);
+        for _ in 0..14 {
+            let _ = stream.next_event();
+        }
+        assert_eq!(stream.shifts(), 2);
+    }
+
+    #[test]
+    fn drift_moves_hot_values_under_skew() {
+        let wl = WorkloadSpec::new(1)
+            .values(ValueDist::Zipf(1.5))
+            .planted_fraction(0.0)
+            .seed(2)
+            .build();
+        // Phase 0: hot values near 0. After a large shift, hot values move.
+        let mut stream = DriftingStream::new(&wl, 1000, 500, 3);
+        let before: Vec<i64> = (&mut stream)
+            .take(1000)
+            .flat_map(|e| e.pairs().iter().map(|&(_, v)| v).collect::<Vec<_>>())
+            .collect();
+        let after: Vec<i64> = stream
+            .take(1000)
+            .flat_map(|e| e.pairs().iter().map(|&(_, v)| v).collect::<Vec<_>>())
+            .collect();
+        let low = |vs: &[i64]| vs.iter().filter(|&&v| v < 250).count() as f64 / vs.len() as f64;
+        assert!(
+            low(&before) > low(&after) + 0.3,
+            "hot mass should move away from low values: {} vs {}",
+            low(&before),
+            low(&after)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let wl = WorkloadSpec::new(1).build();
+        let _ = DriftingStream::new(&wl, 0, 1, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let wl = WorkloadSpec::new(10).seed(5).build();
+        let a: Vec<Event> = DriftingStream::new(&wl, 3, 17, 9).take(20).collect();
+        let b: Vec<Event> = DriftingStream::new(&wl, 3, 17, 9).take(20).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,446 @@
+//! Corpus and event-stream generation.
+
+use crate::{ValueDist, WorkloadSpec, Zipf};
+use apcm_bexpr::{AttrId, Domain, Event, Op, Predicate, Schema, SubId, Subscription, Value};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A generated corpus: the schema and the subscriptions, plus the spec that
+/// produced them (kept for event-stream construction).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Uniform schema with `spec.dims` attributes of `spec.cardinality`
+    /// values each.
+    pub schema: Schema,
+    /// The Boolean-expression corpus, ids `0..n_subs`.
+    pub subs: Vec<Subscription>,
+    /// The generating parameters.
+    pub spec: WorkloadSpec,
+}
+
+impl WorkloadSpec {
+    /// Generates the corpus described by this spec.
+    ///
+    /// # Panics
+    /// Panics if the spec fails [`WorkloadSpec::validate`].
+    pub fn build(&self) -> Workload {
+        if let Err(msg) = self.validate() {
+            panic!("invalid workload spec: {msg}");
+        }
+        let schema = Schema::uniform(self.dims, self.cardinality);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let sampler = Samplers::new(self);
+        let subs = (0..self.n_subs)
+            .map(|i| sampler.gen_subscription(SubId::from_index(i), &schema, self, &mut rng))
+            .collect();
+        Workload {
+            schema,
+            subs,
+            spec: self.clone(),
+        }
+    }
+}
+
+impl Workload {
+    /// An infinite deterministic event stream for this corpus. The stream
+    /// seed is derived from the spec seed so corpus and stream are
+    /// independent draws.
+    pub fn stream(&self) -> EventStream<'_> {
+        EventStream::new(self, self.spec.seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// The first `n` events of [`Workload::stream`].
+    pub fn events(&self, n: usize) -> Vec<Event> {
+        self.stream().take(n).collect()
+    }
+}
+
+/// Shared samplers derived from a spec: attribute popularity and value skew.
+pub(crate) struct Samplers {
+    attr: Zipf,
+    value: Option<Zipf>,
+}
+
+impl Samplers {
+    pub(crate) fn new(spec: &WorkloadSpec) -> Self {
+        Self {
+            attr: Zipf::new(spec.dims, spec.attr_skew),
+            value: match spec.values {
+                ValueDist::Uniform => None,
+                ValueDist::Zipf(s) => Some(Zipf::new(spec.cardinality as usize, s)),
+            },
+        }
+    }
+
+    /// Samples a value from `domain` under the spec's value distribution,
+    /// shifted by `phase` ranks (used by the drifting stream; 0 otherwise).
+    pub(crate) fn value(&self, rng: &mut StdRng, domain: Domain, phase: u64) -> Value {
+        let card = domain.cardinality();
+        let rank = match &self.value {
+            None => rng.gen_range(0..card),
+            Some(z) => z.sample(rng) as u64,
+        };
+        domain.min() + ((rank + phase) % card) as Value
+    }
+
+    /// Samples `n` distinct attributes under the popularity distribution.
+    pub(crate) fn distinct_attrs(&self, rng: &mut StdRng, n: usize, dims: usize) -> Vec<AttrId> {
+        debug_assert!(n <= dims);
+        // Dense request: a partial Fisher–Yates shuffle is cheaper and
+        // cannot stall on collisions.
+        if n * 3 >= dims {
+            let mut all: Vec<u32> = (0..dims as u32).collect();
+            for i in 0..n {
+                let j = rng.gen_range(i..dims);
+                all.swap(i, j);
+            }
+            all.truncate(n);
+            return all.into_iter().map(AttrId).collect();
+        }
+        let mut picked: Vec<u32> = Vec::with_capacity(n);
+        let mut attempts = 0usize;
+        while picked.len() < n {
+            let candidate = self.attr.sample(rng) as u32;
+            if !picked.contains(&candidate) {
+                picked.push(candidate);
+            }
+            attempts += 1;
+            if attempts > 64 * n {
+                // Heavy skew can make the popular head collide forever; fall
+                // back to uniform fill for the remainder.
+                for a in 0..dims as u32 {
+                    if picked.len() == n {
+                        break;
+                    }
+                    if !picked.contains(&a) {
+                        picked.push(a);
+                    }
+                }
+            }
+        }
+        picked.into_iter().map(AttrId).collect()
+    }
+
+    fn gen_subscription(
+        &self,
+        id: SubId,
+        schema: &Schema,
+        spec: &WorkloadSpec,
+        rng: &mut StdRng,
+    ) -> Subscription {
+        let k = rng.gen_range(spec.sub_preds.0..=spec.sub_preds.1);
+        let attrs = self.distinct_attrs(rng, k, spec.dims);
+        let preds = attrs
+            .into_iter()
+            .map(|attr| Predicate::new(attr, self.gen_op(rng, schema.domain(attr), spec)))
+            .collect();
+        Subscription::new(id, preds).expect("k ≥ 1 by validation")
+    }
+
+    fn gen_op(&self, rng: &mut StdRng, domain: Domain, spec: &WorkloadSpec) -> Op {
+        let mix = &spec.operators;
+        let mut pick = rng.gen_range(0.0..mix.total());
+        let v = |rng: &mut StdRng| self.value(rng, domain, 0);
+        let distinct_values = |rng: &mut StdRng, n: usize| -> Vec<Value> {
+            let n = n.min(domain.cardinality() as usize);
+            let mut out: Vec<Value> = Vec::with_capacity(n);
+            let mut attempts = 0;
+            while out.len() < n {
+                let candidate = self.value(rng, domain, 0);
+                if !out.contains(&candidate) {
+                    out.push(candidate);
+                }
+                attempts += 1;
+                if attempts > 64 * n {
+                    // Tiny or heavily-skewed domains: fill sequentially.
+                    let mut c = domain.min();
+                    while out.len() < n && c <= domain.max() {
+                        if !out.contains(&c) {
+                            out.push(c);
+                        }
+                        c += 1;
+                    }
+                }
+            }
+            out
+        };
+
+        pick -= mix.eq;
+        if pick < 0.0 {
+            return Op::Eq(v(rng));
+        }
+        pick -= mix.ne;
+        if pick < 0.0 {
+            return Op::Ne(v(rng));
+        }
+        pick -= mix.lt;
+        if pick < 0.0 {
+            if domain.cardinality() == 1 {
+                return Op::Eq(domain.min());
+            }
+            // Keep the predicate satisfiable: `< min` accepts nothing.
+            let x = v(rng).max(domain.min() + 1);
+            return if rng.gen_bool(0.5) {
+                Op::Lt(x)
+            } else {
+                Op::Le(x - 1)
+            };
+        }
+        pick -= mix.gt;
+        if pick < 0.0 {
+            if domain.cardinality() == 1 {
+                return Op::Eq(domain.min());
+            }
+            let x = v(rng).min(domain.max() - 1);
+            return if rng.gen_bool(0.5) {
+                Op::Gt(x)
+            } else {
+                Op::Ge(x + 1)
+            };
+        }
+        pick -= mix.between;
+        if pick < 0.0 {
+            let width = ((spec.range_width * domain.cardinality() as f64) as Value).max(1);
+            let lo = v(rng);
+            let hi = (lo + width - 1).min(domain.max());
+            return Op::Between(lo.min(hi), hi);
+        }
+        pick -= mix.in_set;
+        if pick < 0.0 {
+            return Op::in_set(distinct_values(rng, spec.set_size)).expect("set_size ≥ 1");
+        }
+        Op::not_in_set(distinct_values(rng, spec.set_size)).expect("set_size ≥ 1")
+    }
+}
+
+/// Infinite deterministic event iterator over a [`Workload`].
+///
+/// A `planted_fraction` of events are *planted*: generated to satisfy a
+/// uniformly-chosen subscription (each of its predicates is assigned a
+/// satisfying value, remaining event attributes are random). Planting pins
+/// the lower bound of the matching probability independently of corpus
+/// geometry, which is how the matching-probability axis of the evaluation is
+/// swept.
+pub struct EventStream<'a> {
+    workload: &'a Workload,
+    samplers: Samplers,
+    rng: StdRng,
+    /// Value-rank rotation applied to non-planted values; the drifting
+    /// stream advances this.
+    pub(crate) phase: u64,
+}
+
+impl<'a> EventStream<'a> {
+    /// Creates a stream over `workload` with an explicit seed.
+    pub fn new(workload: &'a Workload, seed: u64) -> Self {
+        Self {
+            workload,
+            samplers: Samplers::new(&workload.spec),
+            rng: StdRng::seed_from_u64(seed),
+            phase: 0,
+        }
+    }
+
+    /// Generates the next event.
+    pub fn next_event(&mut self) -> Event {
+        let spec = &self.workload.spec;
+        let schema = &self.workload.schema;
+        let planted = !self.workload.subs.is_empty()
+            && spec.planted_fraction > 0.0
+            && self.rng.gen_bool(spec.planted_fraction);
+
+        let mut pairs: Vec<(AttrId, Value)> = Vec::with_capacity(spec.event_size);
+        if planted {
+            let sub = &self.workload.subs[self.rng.gen_range(0..self.workload.subs.len())];
+            for pred in sub.predicates() {
+                let domain = schema.domain(pred.attr);
+                pairs.push((pred.attr, satisfying_value(&mut self.rng, pred, domain)));
+            }
+        }
+        // Fill with random attributes up to the event size.
+        let mut guard = 0usize;
+        while pairs.len() < spec.event_size {
+            let attr = AttrId(self.samplers.attr.sample(&mut self.rng) as u32);
+            if pairs.iter().all(|&(a, _)| a != attr) {
+                let v = self
+                    .samplers
+                    .value(&mut self.rng, schema.domain(attr), self.phase);
+                pairs.push((attr, v));
+            }
+            guard += 1;
+            if guard > 64 * spec.event_size {
+                for a in 0..spec.dims as u32 {
+                    if pairs.len() == spec.event_size {
+                        break;
+                    }
+                    let attr = AttrId(a);
+                    if pairs.iter().all(|&(x, _)| x != attr) {
+                        let v = self
+                            .samplers
+                            .value(&mut self.rng, schema.domain(attr), self.phase);
+                        pairs.push((attr, v));
+                    }
+                }
+            }
+        }
+        Event::new(pairs).expect("event_size ≥ 1 and attrs distinct")
+    }
+}
+
+impl Iterator for EventStream<'_> {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        Some(self.next_event())
+    }
+}
+
+/// Picks a value of `domain` satisfying `pred`, or a random in-domain value
+/// if the predicate is unsatisfiable within the domain.
+fn satisfying_value(rng: &mut StdRng, pred: &Predicate, domain: Domain) -> Value {
+    let intervals = pred.op.satisfying_intervals(domain);
+    if intervals.is_empty() {
+        return rng.gen_range(domain.min()..=domain.max());
+    }
+    let (lo, hi) = intervals[rng.gen_range(0..intervals.len())];
+    rng.gen_range(lo..=hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OperatorMix;
+
+    #[test]
+    fn corpus_is_deterministic_and_sized() {
+        let spec = WorkloadSpec::new(200).seed(5);
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.subs.len(), 200);
+        assert_eq!(a.subs, b.subs);
+        assert_eq!(a.schema.dims(), spec.dims);
+    }
+
+    #[test]
+    fn subscriptions_respect_spec_bounds() {
+        let wl = WorkloadSpec::new(300).sub_preds(2, 5).seed(1).build();
+        for sub in &wl.subs {
+            assert!((2..=5).contains(&sub.len()), "sub size {}", sub.len());
+            sub.validate(&wl.schema).expect("generated subs validate");
+            // One predicate per attribute.
+            let mut attrs: Vec<_> = sub.predicates().iter().map(|p| p.attr).collect();
+            attrs.dedup();
+            assert_eq!(attrs.len(), sub.len());
+        }
+    }
+
+    #[test]
+    fn events_respect_spec_bounds() {
+        let wl = WorkloadSpec::new(50).event_size(10).seed(2).build();
+        for ev in wl.events(200) {
+            assert_eq!(ev.len(), 10);
+            for &(attr, v) in ev.pairs() {
+                assert!(wl.schema.domain(attr).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn planted_events_match_something() {
+        let wl = WorkloadSpec::new(100)
+            .planted_fraction(1.0)
+            .seed(3)
+            .build();
+        for ev in wl.events(100) {
+            let matched = wl.subs.iter().any(|s| s.matches(&ev));
+            assert!(matched, "every planted event matches ≥ 1 subscription");
+        }
+    }
+
+    #[test]
+    fn zero_planting_is_mostly_misses() {
+        // With 20 dims of cardinality 1000 and equality-heavy expressions,
+        // random events essentially never match.
+        let wl = WorkloadSpec::new(100)
+            .planted_fraction(0.0)
+            .seed(4)
+            .build();
+        let hits: usize = wl
+            .events(100)
+            .iter()
+            .map(|ev| wl.subs.iter().filter(|s| s.matches(ev)).count())
+            .sum();
+        // < 1% of the 10,000 (event, sub) pairs.
+        assert!(hits < 100, "expected sparse matches, got {hits}");
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let wl = WorkloadSpec::new(20).seed(6).build();
+        assert_eq!(wl.events(50), wl.events(50));
+    }
+
+    #[test]
+    fn operator_mixes_generate() {
+        for mix in [
+            OperatorMix::balanced(),
+            OperatorMix::equality_only(),
+            OperatorMix::range_heavy(),
+        ] {
+            let wl = WorkloadSpec::new(100).operators(mix).seed(7).build();
+            assert_eq!(wl.subs.len(), 100);
+        }
+    }
+
+    #[test]
+    fn equality_only_produces_only_eq() {
+        let wl = WorkloadSpec::new(100)
+            .operators(OperatorMix::equality_only())
+            .seed(8)
+            .build();
+        for sub in &wl.subs {
+            for p in sub.predicates() {
+                assert!(matches!(p.op, Op::Eq(_)), "unexpected {:?}", p.op);
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_values_skew_event_values() {
+        let wl = WorkloadSpec::new(1)
+            .values(ValueDist::Zipf(1.2))
+            .planted_fraction(0.0)
+            .seed(9)
+            .build();
+        let events = wl.events(2000);
+        let low = events
+            .iter()
+            .flat_map(|e| e.pairs())
+            .filter(|&&(_, v)| v < 100)
+            .count();
+        let total = events.iter().map(|e| e.len()).sum::<usize>();
+        assert!(
+            low as f64 / total as f64 > 0.5,
+            "Zipf should concentrate mass at low ranks: {low}/{total}"
+        );
+    }
+
+    #[test]
+    fn tiny_domain_and_dims_work() {
+        let wl = WorkloadSpec::new(50)
+            .dims(3)
+            .cardinality(2)
+            .sub_preds(1, 3)
+            .event_size(3)
+            .set_size(2)
+            .seed(10)
+            .build();
+        assert_eq!(wl.subs.len(), 50);
+        let _ = wl.events(50);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload spec")]
+    fn build_panics_on_invalid_spec() {
+        let _ = WorkloadSpec::new(1).dims(0).build();
+    }
+}

@@ -1,0 +1,43 @@
+//! BE-Gen-style workload generation.
+//!
+//! The paper evaluates matching algorithms on synthetic workloads produced by
+//! the authors' BE-Gen tool, sweeping: corpus size, expression size, event
+//! size, dimensionality, domain cardinality, operator mix, value skew
+//! (uniform vs Zipf), and matching probability. This crate is the
+//! reproduction's substitute (see DESIGN.md): a deterministic, seedable
+//! generator exposing the same axes.
+//!
+//! * [`WorkloadSpec`] — the parameter set, one field per evaluation axis,
+//! * [`Workload`] — a generated corpus (schema + subscriptions),
+//! * [`EventStream`] — an infinite deterministic event iterator with
+//!   *planted* matches to control matching probability,
+//! * [`DriftingStream`] — a stream whose value skew rotates over time, used
+//!   by the adaptivity experiments,
+//! * [`Zipf`] — a bounded Zipf sampler.
+//!
+//! ```
+//! use apcm_workload::WorkloadSpec;
+//!
+//! let wl = WorkloadSpec::new(1_000).seed(7).build();
+//! assert_eq!(wl.subs.len(), 1_000);
+//! let events = wl.events(100);
+//! assert_eq!(events.len(), 100);
+//! // Same seed → same workload.
+//! assert_eq!(WorkloadSpec::new(1_000).seed(7).build().subs, wl.subs);
+//! ```
+
+pub mod drift;
+pub mod generator;
+pub mod spec;
+pub mod trace;
+pub mod zipf;
+
+pub use drift::DriftingStream;
+pub use generator::{EventStream, Workload};
+pub use spec::{OperatorMix, ValueDist, WorkloadSpec};
+pub use trace::{Trace, TraceError};
+pub use zipf::Zipf;
+
+/// Builder alias kept for API discoverability: `WorkloadSpec` *is* the
+/// builder (fluent setters, terminal [`WorkloadSpec::build`]).
+pub type WorkloadBuilder = WorkloadSpec;

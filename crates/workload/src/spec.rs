@@ -1,0 +1,306 @@
+//! Workload parameters — one field per evaluation axis.
+
+use serde::{Deserialize, Serialize};
+
+/// Relative weights for each predicate operator in generated expressions.
+///
+/// Weights need not sum to anything in particular; they are normalized at
+/// sampling time. A zero weight disables the operator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatorMix {
+    /// Weight of `=`.
+    pub eq: f64,
+    /// Weight of `!=`.
+    pub ne: f64,
+    /// Weight of `<` / `<=` (split evenly).
+    pub lt: f64,
+    /// Weight of `>` / `>=` (split evenly).
+    pub gt: f64,
+    /// Weight of `BETWEEN`.
+    pub between: f64,
+    /// Weight of `IN`.
+    pub in_set: f64,
+    /// Weight of `NOT IN`.
+    pub not_in: f64,
+}
+
+impl OperatorMix {
+    /// The default mix used across the evaluation: equality-heavy with a
+    /// substantial range component, mirroring the BE-Tree experiments.
+    pub fn balanced() -> Self {
+        Self {
+            eq: 0.40,
+            ne: 0.03,
+            lt: 0.07,
+            gt: 0.07,
+            between: 0.28,
+            in_set: 0.12,
+            not_in: 0.03,
+        }
+    }
+
+    /// Equality-only workload (the easiest case for inverted-list baselines
+    /// such as the k-index; used in the operator-mix ablation).
+    pub fn equality_only() -> Self {
+        Self {
+            eq: 1.0,
+            ne: 0.0,
+            lt: 0.0,
+            gt: 0.0,
+            between: 0.0,
+            in_set: 0.0,
+            not_in: 0.0,
+        }
+    }
+
+    /// Range-heavy workload (stresses the interval machinery).
+    pub fn range_heavy() -> Self {
+        Self {
+            eq: 0.10,
+            ne: 0.05,
+            lt: 0.15,
+            gt: 0.15,
+            between: 0.45,
+            in_set: 0.05,
+            not_in: 0.05,
+        }
+    }
+
+    pub(crate) fn total(&self) -> f64 {
+        self.eq + self.ne + self.lt + self.gt + self.between + self.in_set + self.not_in
+    }
+}
+
+impl Default for OperatorMix {
+    fn default() -> Self {
+        Self::balanced()
+    }
+}
+
+/// Distribution of operand / event values over an attribute's domain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ValueDist {
+    /// Every domain value equally likely.
+    Uniform,
+    /// Zipf-skewed with the given exponent; rank 0 maps to the domain
+    /// minimum.
+    Zipf(f64),
+}
+
+/// All generation parameters. Construct with [`WorkloadSpec::new`], adjust
+/// with the fluent setters, and call [`WorkloadSpec::build`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of subscriptions (corpus size; the paper sweeps to 5M).
+    pub n_subs: usize,
+    /// Number of attributes (the dimensionality axis).
+    pub dims: usize,
+    /// Values per attribute domain (the cardinality axis).
+    pub cardinality: u64,
+    /// Inclusive range of predicates per subscription.
+    pub sub_preds: (usize, usize),
+    /// Attributes per event (the event-size axis); capped at `dims`.
+    pub event_size: usize,
+    /// Operator weights.
+    pub operators: OperatorMix,
+    /// Distribution of predicate operands and event values.
+    pub values: ValueDist,
+    /// Zipf exponent over *attribute popularity* (0 = uniform). Skewed
+    /// attribute popularity concentrates predicates on few dimensions, which
+    /// is what makes real corpora compressible.
+    pub attr_skew: f64,
+    /// Fraction of events planted to match a random subscription — the
+    /// matching-probability axis.
+    pub planted_fraction: f64,
+    /// Width of `BETWEEN` ranges as a fraction of the domain.
+    pub range_width: f64,
+    /// Values per `IN` / `NOT IN` set.
+    pub set_size: usize,
+    /// RNG seed; same spec + same seed → identical workload and streams.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A spec with the evaluation's default shape: 20 dimensions of
+    /// cardinality 1000, 3–7 predicates per expression, 15-attribute events,
+    /// balanced operators, uniform values, 1% planted matches.
+    pub fn new(n_subs: usize) -> Self {
+        Self {
+            n_subs,
+            dims: 20,
+            cardinality: 1000,
+            sub_preds: (3, 7),
+            event_size: 15,
+            operators: OperatorMix::balanced(),
+            values: ValueDist::Uniform,
+            attr_skew: 0.6,
+            planted_fraction: 0.01,
+            range_width: 0.05,
+            set_size: 4,
+            seed: 42,
+        }
+    }
+
+    /// Sets the dimensionality.
+    pub fn dims(mut self, dims: usize) -> Self {
+        self.dims = dims;
+        self
+    }
+
+    /// Sets the domain cardinality.
+    pub fn cardinality(mut self, cardinality: u64) -> Self {
+        self.cardinality = cardinality;
+        self
+    }
+
+    /// Sets the predicates-per-subscription range (inclusive).
+    pub fn sub_preds(mut self, min: usize, max: usize) -> Self {
+        self.sub_preds = (min, max);
+        self
+    }
+
+    /// Sets the event size.
+    pub fn event_size(mut self, n: usize) -> Self {
+        self.event_size = n;
+        self
+    }
+
+    /// Sets the operator mix.
+    pub fn operators(mut self, mix: OperatorMix) -> Self {
+        self.operators = mix;
+        self
+    }
+
+    /// Sets the value distribution.
+    pub fn values(mut self, dist: ValueDist) -> Self {
+        self.values = dist;
+        self
+    }
+
+    /// Sets the attribute-popularity skew.
+    pub fn attr_skew(mut self, s: f64) -> Self {
+        self.attr_skew = s;
+        self
+    }
+
+    /// Sets the planted-match fraction.
+    pub fn planted_fraction(mut self, f: f64) -> Self {
+        self.planted_fraction = f;
+        self
+    }
+
+    /// Sets the `BETWEEN` width fraction.
+    pub fn range_width(mut self, w: f64) -> Self {
+        self.range_width = w;
+        self
+    }
+
+    /// Sets the `IN`-set size.
+    pub fn set_size(mut self, n: usize) -> Self {
+        self.set_size = n;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the spec; called by `build`, public for config loaders.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dims == 0 {
+            return Err("dims must be positive".into());
+        }
+        if self.cardinality == 0 {
+            return Err("cardinality must be positive".into());
+        }
+        if self.sub_preds.0 == 0 || self.sub_preds.0 > self.sub_preds.1 {
+            return Err(format!("invalid sub_preds range {:?}", self.sub_preds));
+        }
+        if self.sub_preds.1 > self.dims {
+            return Err("sub_preds.1 exceeds dims (one predicate per attribute)".into());
+        }
+        if self.event_size == 0 || self.event_size > self.dims {
+            return Err(format!(
+                "event_size {} must be in 1..=dims ({})",
+                self.event_size, self.dims
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.planted_fraction) {
+            return Err("planted_fraction must be in [0, 1]".into());
+        }
+        if self.operators.total() <= 0.0 {
+            return Err("operator mix must have positive total weight".into());
+        }
+        if !(0.0..=1.0).contains(&self.range_width) {
+            return Err("range_width must be in [0, 1]".into());
+        }
+        if self.set_size == 0 {
+            return Err("set_size must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_valid() {
+        assert_eq!(WorkloadSpec::new(10).validate(), Ok(()));
+    }
+
+    #[test]
+    fn fluent_setters_apply() {
+        let spec = WorkloadSpec::new(5)
+            .dims(8)
+            .cardinality(64)
+            .sub_preds(2, 4)
+            .event_size(6)
+            .values(ValueDist::Zipf(1.2))
+            .attr_skew(0.0)
+            .planted_fraction(0.5)
+            .range_width(0.2)
+            .set_size(3)
+            .seed(99);
+        assert_eq!(spec.dims, 8);
+        assert_eq!(spec.cardinality, 64);
+        assert_eq!(spec.sub_preds, (2, 4));
+        assert_eq!(spec.event_size, 6);
+        assert_eq!(spec.values, ValueDist::Zipf(1.2));
+        assert_eq!(spec.seed, 99);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        assert!(WorkloadSpec::new(1).dims(0).validate().is_err());
+        assert!(WorkloadSpec::new(1).cardinality(0).validate().is_err());
+        assert!(WorkloadSpec::new(1).sub_preds(0, 3).validate().is_err());
+        assert!(WorkloadSpec::new(1).sub_preds(5, 3).validate().is_err());
+        assert!(WorkloadSpec::new(1).sub_preds(3, 100).validate().is_err());
+        assert!(WorkloadSpec::new(1).event_size(0).validate().is_err());
+        assert!(WorkloadSpec::new(1).event_size(9999).validate().is_err());
+        assert!(WorkloadSpec::new(1).planted_fraction(1.5).validate().is_err());
+        assert!(WorkloadSpec::new(1).set_size(0).validate().is_err());
+        let zero_ops = OperatorMix {
+            eq: 0.0,
+            ne: 0.0,
+            lt: 0.0,
+            gt: 0.0,
+            between: 0.0,
+            in_set: 0.0,
+            not_in: 0.0,
+        };
+        assert!(WorkloadSpec::new(1).operators(zero_ops).validate().is_err());
+    }
+
+    #[test]
+    fn preset_mixes_have_positive_weight() {
+        assert!(OperatorMix::balanced().total() > 0.0);
+        assert!(OperatorMix::equality_only().total() > 0.0);
+        assert!(OperatorMix::range_heavy().total() > 0.0);
+    }
+}

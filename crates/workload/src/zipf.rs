@@ -1,0 +1,123 @@
+//! Bounded Zipf sampler.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability proportional to `1 / (rank+1)^s`.
+///
+/// Uses a precomputed CDF with binary-search inversion: `O(n)` memory and
+/// build, `O(log n)` per sample. Domain cardinalities in the evaluation stay
+/// ≤ 100k, so the table is small; exactness and determinism matter more here
+/// than the constant factor a rejection sampler would save.
+///
+/// `s = 0` degenerates to the uniform distribution.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with exponent `s ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and ≥ 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point drift: the last bucket must cover 1.0.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Self { cdf }
+    }
+
+    /// Support size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index whose cdf ≥ u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let p = c as f64 / 100_000.0;
+            assert!((p - 0.1).abs() < 0.01, "uniform bucket off: {p}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_s_positive() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50]);
+        // Rank 0 of Zipf(1.0, n=100) has probability 1/H_100 ≈ 0.1928.
+        let p0 = counts[0] as f64 / 100_000.0;
+        assert!((p0 - 0.1928).abs() < 0.01, "rank-0 mass off: {p0}");
+    }
+
+    #[test]
+    fn all_ranks_in_range() {
+        let z = Zipf::new(7, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn singleton_support() {
+        let z = Zipf::new(1, 1.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.n(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(50, 0.8);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

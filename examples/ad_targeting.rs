@@ -1,0 +1,166 @@
+//! Computational advertising: match ad impressions against campaign
+//! targeting expressions — the abstract's first motivating application.
+//!
+//! Campaigns target user segments with Boolean expressions over profile
+//! attributes ("age 25–40, region in {US, CA}, interest = sports, device !=
+//! desktop"). Every impression (one user visit) must be matched against the
+//! whole campaign book within the ad-serving latency budget.
+//!
+//! String-valued attributes are dictionary-encoded into the discrete space,
+//! which is how production systems front a bitmap matcher.
+//!
+//! ```sh
+//! cargo run --release --example ad_targeting
+//! ```
+
+use apcm::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Dictionary-encodes strings to dense domain values.
+struct Dict {
+    ids: HashMap<String, Value>,
+}
+
+impl Dict {
+    fn new(terms: &[&str]) -> Self {
+        Self {
+            ids: terms
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.to_string(), i as Value))
+                .collect(),
+        }
+    }
+    fn id(&self, term: &str) -> Value {
+        self.ids[term]
+    }
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+fn main() {
+    let regions = Dict::new(&["us", "ca", "uk", "de", "fr", "jp", "br", "in"]);
+    let devices = Dict::new(&["desktop", "mobile", "tablet", "tv"]);
+    let interests = Dict::new(&[
+        "sports", "tech", "fashion", "travel", "food", "autos", "finance", "gaming", "music",
+        "film",
+    ]);
+
+    let mut schema = Schema::new();
+    let a_age = schema.add_attr("age", Domain::new(13, 99)).unwrap();
+    let a_region = schema
+        .add_attr("region", Domain::new(0, regions.len() as Value - 1))
+        .unwrap();
+    let a_device = schema
+        .add_attr("device", Domain::new(0, devices.len() as Value - 1))
+        .unwrap();
+    let a_interest = schema
+        .add_attr("interest", Domain::new(0, interests.len() as Value - 1))
+        .unwrap();
+    let a_hour = schema.add_attr("hour", Domain::new(0, 23)).unwrap();
+    let a_income = schema.add_attr("income_band", Domain::new(0, 9)).unwrap();
+
+    // Build a campaign book: 50k campaigns with realistic targeting shapes.
+    let mut rng = StdRng::seed_from_u64(2014);
+    let mut campaigns = Vec::new();
+    for i in 0..50_000u32 {
+        let lo = rng.gen_range(13..60);
+        let hi = lo + rng.gen_range(5..25);
+        let mut preds = vec![
+            Predicate::new(a_age, Op::Between(lo, hi.min(99))),
+            Predicate::new(
+                a_interest,
+                Op::Eq(rng.gen_range(0..interests.len() as Value)),
+            ),
+        ];
+        if rng.gen_bool(0.6) {
+            let k = rng.gen_range(1..4);
+            let set: Vec<Value> = (0..k)
+                .map(|_| rng.gen_range(0..regions.len() as Value))
+                .collect();
+            preds.push(Predicate::new(a_region, Op::in_set(set).unwrap()));
+        }
+        if rng.gen_bool(0.3) {
+            preds.push(Predicate::new(
+                a_device,
+                Op::Ne(rng.gen_range(0..devices.len() as Value)),
+            ));
+        }
+        if rng.gen_bool(0.2) {
+            let start = rng.gen_range(0..20);
+            preds.push(Predicate::new(a_hour, Op::Between(start, start + 4)));
+        }
+        if rng.gen_bool(0.25) {
+            preds.push(Predicate::new(
+                a_income,
+                Op::Ge(rng.gen_range(0..8)),
+            ));
+        }
+        campaigns.push(Subscription::new(SubId(i), preds).unwrap());
+    }
+
+    let matcher = ApcmMatcher::build(&schema, &campaigns, &ApcmConfig::default()).unwrap();
+    println!("campaign book: {} targeting expressions indexed", matcher.len());
+
+    // Serve a stream of impressions in OSR windows.
+    let mut impressions = Vec::with_capacity(20_000);
+    for _ in 0..20_000 {
+        impressions.push(
+            EventBuilder::new()
+                .set(a_age, rng.gen_range(13..=99))
+                .set(a_region, rng.gen_range(0..regions.len() as Value))
+                .set(a_device, rng.gen_range(0..devices.len() as Value))
+                .set(a_interest, rng.gen_range(0..interests.len() as Value))
+                .set(a_hour, rng.gen_range(0..=23))
+                .set(a_income, rng.gen_range(0..=9))
+                .build()
+                .unwrap(),
+        );
+    }
+
+    let start = Instant::now();
+    let rows = matcher.match_batch(&impressions);
+    let elapsed = start.elapsed();
+    let total_eligible: usize = rows.iter().map(Vec::len).sum();
+    println!(
+        "served {} impressions in {:.2?} ({:.0} impressions/s)",
+        impressions.len(),
+        elapsed,
+        impressions.len() as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "eligible campaigns per impression: {:.1} average",
+        total_eligible as f64 / rows.len() as f64
+    );
+
+    // Show one auction's candidate set.
+    let sample = parser::parse_event(
+        &schema,
+        &format!(
+            "age = 30, region = {}, device = {}, interest = {}, hour = 20, income_band = 5",
+            regions.id("us"),
+            devices.id("mobile"),
+            interests.id("tech"),
+        ),
+    )
+    .unwrap();
+    let eligible = matcher.match_event(&sample);
+    println!(
+        "sample impression (30yo, us, mobile, tech, 8pm): {} eligible campaigns",
+        eligible.len()
+    );
+    for id in eligible.iter().take(3) {
+        println!("  e.g. campaign {}: {}", id, campaigns[id.index()].display(&schema));
+    }
+
+    let stats = matcher.stats();
+    println!(
+        "engine: {} clusters, prune rate {:.1}%, {:.1} MiB of bitmaps",
+        stats.clusters,
+        100.0 * stats.prune_rate(),
+        stats.heap_bytes as f64 / (1024.0 * 1024.0)
+    );
+}

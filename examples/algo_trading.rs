@@ -1,0 +1,158 @@
+//! Computational finance: price/volume alerting over a market tick stream —
+//! the abstract's "computational finance" application.
+//!
+//! Traders register alert expressions ("MSFT below 310 on heavy volume",
+//! "any symbol in my watchlist moving more than 2%"). Ticks arrive in
+//! bursts; alerts churn constantly as positions open and close, which
+//! exercises A-PCM's dynamic subscribe/unsubscribe path and its adaptive
+//! maintenance (hot symbols shift during the session).
+//!
+//! ```sh
+//! cargo run --release --example algo_trading
+//! ```
+
+use apcm::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::time::Instant;
+
+const SYMBOLS: usize = 500;
+
+fn main() {
+    let mut schema = Schema::new();
+    let a_sym = schema
+        .add_attr("symbol", Domain::new(0, SYMBOLS as Value - 1))
+        .unwrap();
+    // Prices in cents, changes in basis points (offset so the domain stays
+    // non-negative: 10_000 = unchanged).
+    let a_price = schema.add_attr("price_c", Domain::new(0, 500_000)).unwrap();
+    let a_vol = schema.add_attr("volume_k", Domain::new(0, 100_000)).unwrap();
+    let a_chg = schema.add_attr("change_bp", Domain::new(0, 20_000)).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let base_price: Vec<Value> = (0..SYMBOLS).map(|_| rng.gen_range(1_000..400_000)).collect();
+
+    // Alert book: price floors/ceilings, volume spikes, movers.
+    let mut alerts = Vec::new();
+    let mut next_id = 0u32;
+    for _ in 0..30_000 {
+        let sym = rng.gen_range(0..SYMBOLS) as Value;
+        let p = base_price[sym as usize];
+        let kind = rng.gen_range(0..4);
+        let preds = match kind {
+            0 => vec![
+                // Stop-loss: symbol below a floor.
+                Predicate::new(a_sym, Op::Eq(sym)),
+                Predicate::new(a_price, Op::Lt(p - rng.gen_range(0..p / 10).max(1))),
+            ],
+            1 => vec![
+                // Breakout: symbol above a ceiling on volume.
+                Predicate::new(a_sym, Op::Eq(sym)),
+                Predicate::new(a_price, Op::Gt(p + rng.gen_range(0..p / 10).max(1))),
+                Predicate::new(a_vol, Op::Ge(rng.gen_range(100..2_000))),
+            ],
+            2 => vec![
+                // Watchlist mover: any of a few symbols over ±2%.
+                Predicate::new(
+                    a_sym,
+                    Op::in_set(
+                        (0..rng.gen_range(2..6))
+                            .map(|_| rng.gen_range(0..SYMBOLS) as Value)
+                            .collect::<Vec<_>>(),
+                    )
+                    .unwrap(),
+                ),
+                Predicate::new(a_chg, Op::Between(10_200, 20_000)),
+            ],
+            _ => vec![
+                // Volume spike anywhere except the megacaps.
+                Predicate::new(a_sym, Op::not_in_set(vec![0, 1, 2, 3]).unwrap()),
+                Predicate::new(a_vol, Op::Gt(rng.gen_range(5_000..50_000))),
+            ],
+        };
+        alerts.push(Subscription::new(SubId(next_id), preds).unwrap());
+        next_id += 1;
+    }
+
+    let config = ApcmConfig {
+        batch_size: 256,
+        ..ApcmConfig::default()
+    };
+    let matcher = ApcmMatcher::build(&schema, &alerts, &config).unwrap();
+    println!("alert book: {} expressions indexed", matcher.len());
+
+    // Session: ticks arrive in windows; alert churn interleaves.
+    let gen_tick = |rng: &mut StdRng, hot: usize| -> Event {
+        // A "hot" sector concentrates activity on 1/10th of symbols.
+        let sym = if rng.gen_bool(0.7) {
+            (hot * SYMBOLS / 10 + rng.gen_range(0..SYMBOLS / 10)) as Value
+        } else {
+            rng.gen_range(0..SYMBOLS) as Value
+        };
+        let p = base_price[sym as usize];
+        let swing = rng.gen_range(-(p / 8)..=(p / 8));
+        EventBuilder::new()
+            .set(a_sym, sym)
+            .set(a_price, (p + swing).clamp(0, 500_000))
+            .set(
+                a_vol,
+                // Volume is mostly quiet with occasional spikes, so spike
+                // alerts fire rarely (as they would in production).
+                if rng.gen_bool(0.02) {
+                    rng.gen_range(5_000..100_000)
+                } else {
+                    rng.gen_range(0..3_000)
+                },
+            )
+            .set(a_chg, (10_000 + swing * 10_000 / p.max(1)).clamp(0, 20_000))
+            .build()
+            .unwrap()
+    };
+
+    let start = Instant::now();
+    let mut fired = 0usize;
+    let mut ticks = 0usize;
+    for minute in 0..20 {
+        // The hot sector rotates during the session (drift).
+        let hot = minute % 10;
+        let window: Vec<Event> = (0..2_000).map(|_| gen_tick(&mut rng, hot)).collect();
+        ticks += window.len();
+        for row in matcher.match_batch(&window) {
+            fired += row.len();
+        }
+        // Alert churn: cancel 50, register 50 fresh ones.
+        for _ in 0..50 {
+            let victim = SubId(rng.gen_range(0..next_id));
+            if matcher.unsubscribe(victim) {
+                let sym = rng.gen_range(0..SYMBOLS) as Value;
+                let fresh = Subscription::new(
+                    SubId(next_id),
+                    vec![
+                        Predicate::new(a_sym, Op::Eq(sym)),
+                        Predicate::new(a_vol, Op::Gt(rng.gen_range(1_000..10_000))),
+                    ],
+                )
+                .unwrap();
+                matcher.subscribe(&fresh).unwrap();
+                next_id += 1;
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "session: {ticks} ticks in {elapsed:.2?} ({:.0} ticks/s), {fired} alerts fired",
+        ticks as f64 / elapsed.as_secs_f64()
+    );
+
+    let stats = matcher.stats();
+    println!(
+        "engine after churn: {} alerts, {} clusters ({} compressed / {} direct), \
+         {} maintenance passes, pending {}",
+        stats.subscriptions,
+        stats.clusters,
+        stats.compressed_clusters,
+        stats.direct_clusters,
+        stats.maintenance_runs,
+        stats.pending,
+    );
+    println!("prune rate {:.1}%", 100.0 * stats.prune_rate());
+}

@@ -1,0 +1,121 @@
+//! DNF targeting + top-k ranking: a miniature ad auction.
+//!
+//! Campaigns target with full Boolean expressions — OR across audience
+//! segments, AND within each — and carry a bid. Serving an impression means
+//! (1) finding every eligible campaign and (2) ranking the top bids into
+//! the auction. This example drives `DnfEngine` and `ScoredMatcher`
+//! together on the same schema.
+//!
+//! ```sh
+//! cargo run --release --example dnf_auction
+//! ```
+
+use apcm::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    let mut schema = Schema::new();
+    let a_age = schema.add_attr("age", Domain::new(13, 99)).unwrap();
+    let a_geo = schema.add_attr("geo", Domain::new(0, 49)).unwrap();
+    let a_interest = schema.add_attr("interest", Domain::new(0, 19)).unwrap();
+    let a_device = schema.add_attr("device", Domain::new(0, 3)).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(2026);
+
+    // DNF campaigns: "segment A or segment B".
+    let mut dnfs = Vec::new();
+    for i in 0..20_000u32 {
+        let seg = |rng: &mut StdRng| -> Vec<Predicate> {
+            let lo = rng.gen_range(13..70);
+            let mut preds = vec![
+                Predicate::new(a_age, Op::Between(lo, (lo + rng.gen_range(5..20)).min(99))),
+                Predicate::new(a_interest, Op::Eq(rng.gen_range(0..20))),
+            ];
+            if rng.gen_bool(0.5) {
+                preds.push(Predicate::new(a_geo, Op::Eq(rng.gen_range(0..50))));
+            }
+            preds
+        };
+        let n_segments = rng.gen_range(1..4);
+        let clauses: Vec<Vec<Predicate>> = (0..n_segments).map(|_| seg(&mut rng)).collect();
+        dnfs.push(DnfSubscription::new(SubId(i), clauses).unwrap());
+    }
+    let engine = DnfEngine::build(&schema, &dnfs, &ApcmConfig::default()).unwrap();
+    println!(
+        "DNF book: {} campaigns ({} clauses indexed)",
+        engine.len(),
+        engine.stats().subscriptions
+    );
+
+    // Flat (single-segment) variant of the same campaigns with bids, for
+    // ranking. In production the DNF and scoring layers share one engine;
+    // here they are separated to show both APIs.
+    let bids: Vec<(Subscription, f64)> = dnfs
+        .iter()
+        .map(|d| {
+            let clause = d.clauses().next().expect("non-empty");
+            (
+                Subscription::new(d.id(), clause.to_vec()).unwrap(),
+                rng.gen_range(0.10..25.0),
+            )
+        })
+        .collect();
+    let auction = ScoredMatcher::build(&schema, &bids, &ApcmConfig::default()).unwrap();
+
+    // Impressions.
+    let impressions: Vec<Event> = (0..10_000)
+        .map(|_| {
+            EventBuilder::new()
+                .set(a_age, rng.gen_range(13..=99))
+                .set(a_geo, rng.gen_range(0..50))
+                .set(a_interest, rng.gen_range(0..20))
+                .set(a_device, rng.gen_range(0..4))
+                .build()
+                .unwrap()
+        })
+        .collect();
+
+    let start = Instant::now();
+    let eligible: usize = engine
+        .match_batch(&impressions)
+        .iter()
+        .map(Vec::len)
+        .sum();
+    let dnf_time = start.elapsed();
+    println!(
+        "DNF eligibility: {} impressions in {:.2?} ({:.0}/s), {:.1} eligible campaigns each",
+        impressions.len(),
+        dnf_time,
+        impressions.len() as f64 / dnf_time.as_secs_f64(),
+        eligible as f64 / impressions.len() as f64
+    );
+
+    let start = Instant::now();
+    let mut auction_fills = 0usize;
+    let mut revenue = 0.0f64;
+    for imp in &impressions {
+        let podium = auction.match_top_k(imp, 3);
+        if let Some(&(_, winning_bid)) = podium.first() {
+            auction_fills += 1;
+            // Second-price: the winner pays the runner-up's bid.
+            revenue += podium.get(1).map(|&(_, b)| b).unwrap_or(winning_bid);
+        }
+    }
+    let auction_time = start.elapsed();
+    println!(
+        "auction: {:.0} impressions/s, fill rate {:.1}%, second-price revenue ${:.2}",
+        impressions.len() as f64 / auction_time.as_secs_f64(),
+        100.0 * auction_fills as f64 / impressions.len() as f64,
+        revenue
+    );
+
+    // One concrete auction, end to end.
+    let sample = parser::parse_event(&schema, "age = 30, geo = 7, interest = 4, device = 1")
+        .unwrap();
+    let podium = auction.match_top_k(&sample, 3);
+    println!("sample impression podium:");
+    for (rank, (id, bid)) in podium.iter().enumerate() {
+        println!("  #{} campaign {} bidding ${:.2}", rank + 1, id, bid);
+    }
+}

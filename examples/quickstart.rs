@@ -1,0 +1,73 @@
+//! Quickstart: index a handful of Boolean expressions and match events.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use apcm::prelude::*;
+
+fn main() {
+    // 1. Declare the attribute space: each attribute has a discrete domain.
+    let mut schema = Schema::new();
+    schema.add_attr("age", Domain::new(0, 120)).unwrap();
+    schema.add_attr("city", Domain::new(0, 999)).unwrap();
+    schema.add_attr("category", Domain::new(0, 49)).unwrap();
+    schema.add_attr("price", Domain::new(0, 10_000)).unwrap();
+
+    // 2. Author subscriptions in the text format (conjunctions only).
+    let texts = [
+        "age >= 18 AND city = 7",
+        "age BETWEEN 25 AND 35 AND category IN {3, 4, 5}",
+        "price < 500 AND category = 3",
+        "city != 7 AND price BETWEEN 100 AND 200",
+    ];
+    let subs: Vec<Subscription> = texts
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            parser::parse_subscription_with_id(&schema, SubId(i as u32), t)
+                .expect("example subscriptions parse")
+        })
+        .collect();
+
+    // 3. Build the A-PCM matcher (compressed clusters, all cores, OSR on).
+    let matcher = ApcmMatcher::build(&schema, &subs, &ApcmConfig::default())
+        .expect("corpus validates against the schema");
+    println!("indexed {} subscriptions", matcher.len());
+
+    // 4. Match events. Results arrive as sorted subscription ids.
+    let events = [
+        "age = 30, city = 7, category = 3, price = 450",
+        "age = 30, city = 2, category = 3, price = 150",
+        "age = 16, city = 7",
+    ];
+    for text in events {
+        let ev = parser::parse_event(&schema, text).expect("example events parse");
+        let matches = matcher.match_event(&ev);
+        println!("event [{text}]");
+        match matches.as_slice() {
+            [] => println!("  -> no subscription matches"),
+            ids => {
+                for id in ids {
+                    println!("  -> matches #{id}: {}", subs[id.index()].display(&schema));
+                }
+            }
+        }
+    }
+
+    // 5. Subscriptions can be added and removed at runtime.
+    let late = parser::parse_subscription_with_id(&schema, SubId(99), "price > 9000").unwrap();
+    matcher.subscribe(&late).unwrap();
+    let ev = parser::parse_event(&schema, "price = 9500").unwrap();
+    assert_eq!(matcher.match_event(&ev), vec![SubId(99)]);
+    matcher.unsubscribe(SubId(99));
+    assert!(matcher.match_event(&ev).is_empty());
+    println!("dynamic subscribe/unsubscribe ok");
+
+    // 6. Inspect the engine.
+    let stats = matcher.stats();
+    println!(
+        "stats: {} clusters ({} compressed, {} direct), predicate space {} bits",
+        stats.clusters, stats.compressed_clusters, stats.direct_clusters, stats.width
+    );
+}

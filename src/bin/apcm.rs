@@ -1,0 +1,238 @@
+//! `apcm` — command-line front end: generate workload traces, replay them
+//! through any engine, and inspect engine statistics.
+//!
+//! ```sh
+//! apcm gen --subs 100000 --events 20000 --out trace.txt
+//! apcm match --trace trace.txt --engine apcm
+//! apcm match --trace trace.txt --engine scan --limit 100
+//! apcm stats --trace trace.txt
+//! ```
+
+use apcm::baselines::{CountingMatcher, KIndex, ParallelScan, SequentialScan};
+use apcm::betree::{BeTree, HybridPcmTree};
+use apcm::core::{ApcmConfig, ApcmMatcher, PcmMatcher};
+use apcm::prelude::*;
+use apcm::workload::{Trace, ValueDist, WorkloadSpec};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "gen" => cmd_gen(&flags),
+        "match" => cmd_match(&flags),
+        "stats" => cmd_stats(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  apcm gen   --subs N [--events N] [--dims N] [--cardinality N] [--preds MIN:MAX]
+             [--event-size N] [--planted F] [--zipf S] [--seed N] [--out FILE]
+  apcm match --trace FILE [--engine apcm|pcm|hybrid|betree|scan|pscan|counting|kindex]
+             [--batch N] [--limit N]
+  apcm stats --trace FILE";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, found `{flag}`"));
+        };
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(text) => text
+            .parse()
+            .map_err(|_| format!("flag --{name}: cannot parse `{text}`")),
+    }
+}
+
+fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
+    let n_subs: usize = get(flags, "subs", 10_000)?;
+    let n_events: usize = get(flags, "events", 10_000)?;
+    let mut spec = WorkloadSpec::new(n_subs)
+        .dims(get(flags, "dims", 20)?)
+        .cardinality(get(flags, "cardinality", 1000)?)
+        .event_size(get(flags, "event-size", 15)?)
+        .planted_fraction(get(flags, "planted", 0.01)?)
+        .seed(get(flags, "seed", 42)?);
+    if let Some(preds) = flags.get("preds") {
+        let (lo, hi) = preds
+            .split_once(':')
+            .ok_or("flag --preds: expected MIN:MAX")?;
+        spec = spec.sub_preds(
+            lo.parse().map_err(|_| "flag --preds: bad MIN")?,
+            hi.parse().map_err(|_| "flag --preds: bad MAX")?,
+        );
+    }
+    let zipf: f64 = get(flags, "zipf", 0.0)?;
+    if zipf > 0.0 {
+        spec = spec.values(ValueDist::Zipf(zipf));
+    }
+    spec.validate()?;
+
+    let wl = spec.build();
+    let trace = Trace::from_workload(&wl, n_events);
+    let out = flags.get("out").cloned().unwrap_or("trace.txt".to_string());
+    trace
+        .save_to_path(&out)
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} attributes, {} subscriptions, {} events",
+        trace.schema.dims(),
+        trace.subs.len(),
+        trace.events.len()
+    );
+    Ok(())
+}
+
+fn load_trace(flags: &HashMap<String, String>) -> Result<Trace, String> {
+    let path = flags.get("trace").ok_or("--trace FILE is required")?;
+    Trace::load_from_path(path).map_err(|e| e.to_string())
+}
+
+fn cmd_match(flags: &HashMap<String, String>) -> Result<(), String> {
+    let trace = load_trace(flags)?;
+    let engine_name = flags
+        .get("engine")
+        .map(String::as_str)
+        .unwrap_or("apcm");
+    let limit: usize = get(flags, "limit", usize::MAX)?;
+    let batch: usize = get(flags, "batch", 256)?;
+
+    let build_start = Instant::now();
+    let engine: Box<dyn Matcher> = match engine_name {
+        "apcm" => Box::new(
+            ApcmMatcher::build(
+                &trace.schema,
+                &trace.subs,
+                &ApcmConfig::default().with_batch_size(batch.max(1)),
+            )
+            .map_err(|e| e.to_string())?,
+        ),
+        "pcm" => Box::new(
+            PcmMatcher::build(&trace.schema, &trace.subs, &ApcmConfig::pcm())
+                .map_err(|e| e.to_string())?,
+        ),
+        "betree" => Box::new(
+            BeTree::build(&trace.schema, &trace.subs).map_err(|e| e.to_string())?,
+        ),
+        "hybrid" => Box::new(
+            HybridPcmTree::build(&trace.schema, &trace.subs).map_err(|e| e.to_string())?,
+        ),
+        "scan" => Box::new(SequentialScan::new(&trace.subs)),
+        "pscan" => Box::new(ParallelScan::new(&trace.subs)),
+        "counting" => Box::new(
+            CountingMatcher::build(&trace.schema, &trace.subs).map_err(|e| e.to_string())?,
+        ),
+        "kindex" => Box::new(KIndex::build(&trace.schema, &trace.subs)),
+        other => return Err(format!("unknown engine `{other}`")),
+    };
+    let build_time = build_start.elapsed();
+
+    let events = &trace.events[..trace.events.len().min(limit)];
+    if events.is_empty() {
+        return Err("trace has no events (generate with --events)".into());
+    }
+    let start = Instant::now();
+    let mut matches = 0usize;
+    for chunk in events.chunks(batch.max(1)) {
+        for row in engine.match_batch(chunk) {
+            matches += row.len();
+        }
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{}: {} subscriptions built in {:.2?}",
+        engine.name(),
+        engine.len(),
+        build_time
+    );
+    println!(
+        "matched {} events in {:.2?} ({:.0} events/s), {} total matches \
+         ({:.2} per event)",
+        events.len(),
+        elapsed,
+        events.len() as f64 / elapsed.as_secs_f64(),
+        matches,
+        matches as f64 / events.len() as f64
+    );
+    Ok(())
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let trace = load_trace(flags)?;
+    println!("schema: {} attributes", trace.schema.dims());
+    for (_, info) in trace.schema.iter() {
+        println!(
+            "  {} in [{}, {}] ({} values)",
+            info.name(),
+            info.domain().min(),
+            info.domain().max(),
+            info.domain().cardinality()
+        );
+    }
+    println!("subscriptions: {}", trace.subs.len());
+    let mut by_size: HashMap<usize, usize> = HashMap::new();
+    for sub in &trace.subs {
+        *by_size.entry(sub.len()).or_insert(0) += 1;
+    }
+    let mut sizes: Vec<_> = by_size.into_iter().collect();
+    sizes.sort_unstable();
+    for (k, n) in sizes {
+        println!("  {n} with {k} predicate(s)");
+    }
+    println!("events: {}", trace.events.len());
+
+    let matcher = ApcmMatcher::build(&trace.schema, &trace.subs, &ApcmConfig::default())
+        .map_err(|e| e.to_string())?;
+    let stats = matcher.stats();
+    println!(
+        "A-PCM index: {} clusters ({} compressed, {} direct), predicate space {} bits, \
+         bitmap heap {} bytes",
+        stats.clusters,
+        stats.compressed_clusters,
+        stats.direct_clusters,
+        stats.width,
+        stats.heap_bytes
+    );
+    Ok(())
+}

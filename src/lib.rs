@@ -1,0 +1,39 @@
+//! # apcm — Adaptive Parallel Compressed Event Matching
+//!
+//! Umbrella crate for the A-PCM workspace (reproduction of Sadoghi &
+//! Jacobsen, *Adaptive parallel compressed event matching*, ICDE 2014).
+//! Re-exports the public API of every member crate; see the workspace
+//! README for the architecture overview and DESIGN.md for the system
+//! inventory.
+//!
+//! ```
+//! use apcm::prelude::*;
+//!
+//! let schema = Schema::uniform(8, 100);
+//! let mut subs = Vec::new();
+//! subs.push(parser::parse_subscription_with_id(&schema, SubId(0), "a0 >= 10 AND a1 = 5").unwrap());
+//! subs.push(parser::parse_subscription_with_id(&schema, SubId(1), "a0 < 10").unwrap());
+//!
+//! let matcher = ApcmMatcher::build(&schema, &subs, &ApcmConfig::default()).unwrap();
+//! let ev = parser::parse_event(&schema, "a0 = 42, a1 = 5").unwrap();
+//! assert_eq!(matcher.match_event(&ev), vec![SubId(0)]);
+//! ```
+
+pub use apcm_baselines as baselines;
+pub use apcm_betree as betree;
+pub use apcm_bexpr as bexpr;
+pub use apcm_core as core;
+pub use apcm_encoding as encoding;
+pub use apcm_workload as workload;
+
+/// One-stop import for applications.
+pub mod prelude {
+    pub use apcm_bexpr::{
+        parser, AttrId, DnfSubscription, Domain, Event, EventBuilder, Matcher, Op, Predicate,
+        Schema, SubId, Subscription, Value,
+    };
+    pub use apcm_core::{
+        ApcmConfig, ApcmMatcher, DnfEngine, OsrBuffer, PcmMatcher, ScoredMatcher,
+    };
+    pub use apcm_workload::{Trace, WorkloadBuilder, WorkloadSpec};
+}

@@ -1,0 +1,156 @@
+//! Cross-engine agreement: every matcher in the workspace must return the
+//! exact same result set on the same workload. Brute-force scan is ground
+//! truth; each engine's divergence would be a correctness bug in that
+//! engine.
+
+use apcm::baselines::{CountingMatcher, KIndex, ParallelScan, SequentialScan};
+use apcm::betree::{BeTree, BeTreeConfig, HybridPcmTree};
+use apcm::core::{ApcmConfig, ApcmMatcher, PcmMatcher};
+use apcm::prelude::*;
+use apcm::workload::{OperatorMix, ValueDist, WorkloadSpec};
+
+/// Builds one of every engine over the same corpus.
+fn all_engines(wl: &apcm::workload::Workload) -> Vec<Box<dyn Matcher>> {
+    vec![
+        Box::new(SequentialScan::new(&wl.subs)),
+        Box::new(ParallelScan::new(&wl.subs)),
+        Box::new(CountingMatcher::build(&wl.schema, &wl.subs).unwrap()),
+        Box::new(KIndex::build(&wl.schema, &wl.subs)),
+        Box::new(
+            BeTree::build_with_config(
+                &wl.schema,
+                &wl.subs,
+                BeTreeConfig {
+                    max_bucket: 16,
+                    max_cdir_depth: 10,
+                },
+            )
+            .unwrap(),
+        ),
+        Box::new(
+            HybridPcmTree::build_with_config(
+                &wl.schema,
+                &wl.subs,
+                BeTreeConfig {
+                    max_bucket: 16,
+                    max_cdir_depth: 10,
+                },
+            )
+            .unwrap(),
+        ),
+        Box::new(PcmMatcher::build(&wl.schema, &wl.subs, &ApcmConfig::pcm()).unwrap()),
+        Box::new(ApcmMatcher::build(&wl.schema, &wl.subs, &ApcmConfig::default()).unwrap()),
+    ]
+}
+
+fn assert_all_agree(wl: &apcm::workload::Workload, n_events: usize) {
+    let engines = all_engines(wl);
+    let events = wl.events(n_events);
+    let truth: Vec<Vec<SubId>> = events
+        .iter()
+        .map(|ev| engines[0].match_event(ev))
+        .collect();
+    for engine in &engines[1..] {
+        for (ev, expect) in events.iter().zip(truth.iter()) {
+            assert_eq!(
+                &engine.match_event(ev),
+                expect,
+                "{} diverges from SCAN on {:?}",
+                engine.name(),
+                ev
+            );
+        }
+        // Batch APIs must agree with their own per-event results.
+        let batch = engine.match_batch(&events);
+        assert_eq!(&batch, &truth, "{} batch diverges", engine.name());
+    }
+}
+
+#[test]
+fn default_workload() {
+    let wl = WorkloadSpec::new(1500).seed(101).planted_fraction(0.3).build();
+    assert_all_agree(&wl, 50);
+}
+
+#[test]
+fn equality_only_workload() {
+    let wl = WorkloadSpec::new(1000)
+        .operators(OperatorMix::equality_only())
+        .planted_fraction(0.4)
+        .seed(102)
+        .build();
+    assert_all_agree(&wl, 50);
+}
+
+#[test]
+fn range_heavy_workload() {
+    let wl = WorkloadSpec::new(1000)
+        .operators(OperatorMix::range_heavy())
+        .planted_fraction(0.4)
+        .seed(103)
+        .build();
+    assert_all_agree(&wl, 50);
+}
+
+#[test]
+fn zipf_skewed_values() {
+    let wl = WorkloadSpec::new(1000)
+        .values(ValueDist::Zipf(1.2))
+        .planted_fraction(0.3)
+        .seed(104)
+        .build();
+    assert_all_agree(&wl, 50);
+}
+
+#[test]
+fn high_dimensional_sparse() {
+    let wl = WorkloadSpec::new(800)
+        .dims(200)
+        .event_size(30)
+        .sub_preds(2, 6)
+        .planted_fraction(0.3)
+        .seed(105)
+        .build();
+    assert_all_agree(&wl, 30);
+}
+
+#[test]
+fn low_cardinality_dense_matches() {
+    // Tiny domains → very high match probability; stresses result merging.
+    let wl = WorkloadSpec::new(600)
+        .dims(6)
+        .cardinality(4)
+        .sub_preds(1, 3)
+        .event_size(6)
+        .set_size(2)
+        .planted_fraction(0.0)
+        .seed(106)
+        .build();
+    assert_all_agree(&wl, 30);
+}
+
+#[test]
+fn large_expressions() {
+    let wl = WorkloadSpec::new(600)
+        .dims(30)
+        .sub_preds(10, 15)
+        .event_size(25)
+        .planted_fraction(0.5)
+        .seed(107)
+        .build();
+    assert_all_agree(&wl, 30);
+}
+
+#[test]
+fn output_is_sorted_and_deduplicated() {
+    let wl = WorkloadSpec::new(500).seed(108).planted_fraction(0.8).build();
+    for engine in all_engines(&wl) {
+        for ev in wl.events(30) {
+            let out = engine.match_event(&ev);
+            let mut normalized = out.clone();
+            normalized.sort_unstable();
+            normalized.dedup();
+            assert_eq!(out, normalized, "{} output not canonical", engine.name());
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Integration tests for the extension layers: DNF expressions, top-k
+//! scored matching, and trace persistence — exercised together, across
+//! crates, the way an application would compose them.
+
+use apcm::prelude::*;
+use apcm::workload::WorkloadSpec;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+#[test]
+fn dnf_engine_tracks_brute_force_under_churn() {
+    let schema = Schema::uniform(8, 50);
+    let mut rng = StdRng::seed_from_u64(401);
+    let engine = DnfEngine::build(&schema, &[], &ApcmConfig::default()).unwrap();
+    let mut live: Vec<DnfSubscription> = Vec::new();
+
+    for round in 0..10 {
+        // Add a few random DNFs.
+        for _ in 0..20 {
+            let id = SubId(rng.gen_range(0..10_000));
+            let n_clauses = rng.gen_range(1..4);
+            let clauses: Vec<Vec<Predicate>> = (0..n_clauses)
+                .map(|_| {
+                    (0..rng.gen_range(1..3))
+                        .map(|_| {
+                            Predicate::new(
+                                AttrId(rng.gen_range(0..8)),
+                                Op::Eq(rng.gen_range(0..50)),
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            let dnf = DnfSubscription::new(id, clauses).unwrap();
+            if engine.subscribe(&dnf).unwrap() {
+                live.push(dnf);
+            }
+        }
+        // Remove a few.
+        for _ in 0..5 {
+            if live.is_empty() {
+                break;
+            }
+            let victim = rng.gen_range(0..live.len());
+            let dnf = live.swap_remove(victim);
+            assert!(engine.unsubscribe(dnf.id()), "round {round}");
+        }
+        assert_eq!(engine.len(), live.len());
+
+        // Verify against brute force on random events.
+        for _ in 0..20 {
+            let ev = Event::new(
+                (0..8)
+                    .map(|a| (AttrId(a), rng.gen_range(0..50)))
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+            let mut expect: Vec<SubId> = live
+                .iter()
+                .filter(|d| d.matches(&ev))
+                .map(|d| d.id())
+                .collect();
+            expect.sort_unstable();
+            expect.dedup();
+            assert_eq!(engine.match_event(&ev), expect, "round {round}");
+        }
+    }
+}
+
+#[test]
+fn top_k_agrees_with_full_ranking() {
+    let wl = WorkloadSpec::new(500).seed(402).planted_fraction(0.6).build();
+    let mut rng = StdRng::seed_from_u64(403);
+    let weighted: Vec<(Subscription, f64)> = wl
+        .subs
+        .iter()
+        .map(|s| (s.clone(), rng.gen_range(0.0..100.0)))
+        .collect();
+    let scored = ScoredMatcher::build(&wl.schema, &weighted, &ApcmConfig::default()).unwrap();
+
+    for ev in wl.events(40) {
+        let all = scored.match_scored(&ev);
+        for k in [0usize, 1, 3, 10, 1000] {
+            let top = scored.match_top_k(&ev, k);
+            assert_eq!(top.len(), k.min(all.len()));
+            assert_eq!(&all[..top.len()], top.as_slice(), "k={k}");
+        }
+        // Descending weights.
+        assert!(all.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+}
+
+#[test]
+fn trace_round_trip_preserves_matching_exactly() {
+    let wl = WorkloadSpec::new(400).seed(404).planted_fraction(0.4).build();
+    let trace = Trace::from_workload(&wl, 100);
+
+    let mut buf = Vec::new();
+    trace.save(&mut buf).unwrap();
+    let loaded = Trace::load(buf.as_slice()).unwrap();
+
+    let original = ApcmMatcher::build(&trace.schema, &trace.subs, &ApcmConfig::default()).unwrap();
+    let replayed = ApcmMatcher::build(&loaded.schema, &loaded.subs, &ApcmConfig::default()).unwrap();
+    assert_eq!(
+        original.match_batch(&trace.events),
+        replayed.match_batch(&loaded.events),
+        "replaying a saved trace must reproduce the original results"
+    );
+}
+
+#[test]
+fn dnf_of_workload_conjunctions_via_parser() {
+    // Build DNFs from parser text and match with every clause shape.
+    let schema = Schema::uniform(4, 100);
+    let texts = [
+        "(a0 < 10 AND a1 = 5) OR (a2 >= 90)",
+        "a3 IN {1, 2, 3} OR a3 IN {97, 98}",
+        "(a0 != 0) OR (a1 != 0) OR (a2 != 0)",
+    ];
+    let dnfs: Vec<DnfSubscription> = texts
+        .iter()
+        .enumerate()
+        .map(|(i, t)| parser::parse_dnf_with_id(&schema, SubId(i as u32), t).unwrap())
+        .collect();
+    let engine = DnfEngine::build(&schema, &dnfs, &ApcmConfig::default()).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(405);
+    for _ in 0..200 {
+        let ev = Event::new(
+            (0..4)
+                .map(|a| (AttrId(a), rng.gen_range(0..100)))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let mut expect: Vec<SubId> = dnfs
+            .iter()
+            .filter(|d| d.matches(&ev))
+            .map(|d| d.id())
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(engine.match_event(&ev), expect);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based cross-engine differential testing: random workload shapes,
+//! random engine configurations, one oracle (brute-force scan).
+
+use apcm::baselines::{CountingMatcher, KIndex, SequentialScan};
+use apcm::betree::{BeTree, BeTreeConfig};
+use apcm::core::{ApcmConfig, ApcmMatcher};
+use apcm::prelude::*;
+use apcm::workload::{OperatorMix, ValueDist, WorkloadSpec};
+use proptest::prelude::*;
+
+fn arb_mix() -> impl Strategy<Value = OperatorMix> {
+    prop_oneof![
+        Just(OperatorMix::balanced()),
+        Just(OperatorMix::equality_only()),
+        Just(OperatorMix::range_heavy()),
+    ]
+}
+
+fn arb_values() -> impl Strategy<Value = ValueDist> {
+    prop_oneof![
+        Just(ValueDist::Uniform),
+        (0.5f64..2.0).prop_map(ValueDist::Zipf),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every engine agrees with brute force on arbitrary workload shapes.
+    #[test]
+    fn engines_agree_on_arbitrary_workloads(
+        seed in 0u64..10_000,
+        dims in 3usize..40,
+        cardinality in 2u64..500,
+        mix in arb_mix(),
+        values in arb_values(),
+        planted in 0.0f64..1.0,
+    ) {
+        let max_preds = dims.min(6);
+        let wl = WorkloadSpec::new(300)
+            .dims(dims)
+            .cardinality(cardinality)
+            .sub_preds(1, max_preds)
+            .event_size(dims.min(12))
+            .operators(mix)
+            .values(values)
+            .planted_fraction(planted)
+            .seed(seed)
+            .build();
+
+        let scan = SequentialScan::new(&wl.subs);
+        let counting = CountingMatcher::build(&wl.schema, &wl.subs).unwrap();
+        let kindex = KIndex::build(&wl.schema, &wl.subs);
+        let betree = BeTree::build_with_config(
+            &wl.schema,
+            &wl.subs,
+            BeTreeConfig { max_bucket: 8, max_cdir_depth: 8 },
+        ).unwrap();
+        let apcm = ApcmMatcher::build(&wl.schema, &wl.subs, &ApcmConfig::default()).unwrap();
+
+        for ev in wl.events(10) {
+            let expect = scan.match_event(&ev);
+            prop_assert_eq!(&counting.match_event(&ev), &expect, "counting");
+            prop_assert_eq!(&kindex.match_event(&ev), &expect, "k-index");
+            prop_assert_eq!(&betree.match_event(&ev), &expect, "be-tree");
+            prop_assert_eq!(&apcm.match_event(&ev), &expect, "a-pcm");
+        }
+    }
+
+    /// Hand-built single-subscription corpora: parse, index, and verify the
+    /// matcher result equals direct predicate evaluation for random events.
+    #[test]
+    fn single_subscription_exactness(
+        lo in 0i64..90,
+        width in 0i64..10,
+        eq in 0i64..100,
+        probe_a in 0i64..100,
+        probe_b in 0i64..100,
+    ) {
+        let schema = Schema::uniform(3, 100);
+        let text = format!("a0 BETWEEN {lo} AND {} AND a1 != {eq}", lo + width);
+        let sub = parser::parse_subscription_with_id(&schema, SubId(7), &text).unwrap();
+        let apcm = ApcmMatcher::build(&schema, std::slice::from_ref(&sub), &ApcmConfig::default()).unwrap();
+        let ev = Event::new(vec![(AttrId(0), probe_a), (AttrId(1), probe_b)]).unwrap();
+        let expect = sub.matches(&ev);
+        prop_assert_eq!(apcm.match_event(&ev) == vec![SubId(7)], expect);
+    }
+}

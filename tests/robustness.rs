@@ -1,0 +1,134 @@
+//! Robustness: inputs at the edges of the model — unknown attributes,
+//! extreme domains, degenerate corpora — must degrade gracefully and
+//! consistently across engines.
+
+use apcm::baselines::{CountingMatcher, KIndex, SequentialScan};
+use apcm::betree::BeTree;
+use apcm::core::{ApcmConfig, ApcmMatcher};
+use apcm::prelude::*;
+
+#[test]
+fn events_with_unknown_attributes_are_consistent() {
+    // Events may carry attribute ids the schema never registered (e.g. a
+    // producer running a newer schema). Every engine must treat them as
+    // irrelevant — identical to the brute-force semantics where no
+    // predicate references them.
+    let schema = Schema::uniform(3, 100);
+    let subs = vec![
+        parser::parse_subscription_with_id(&schema, SubId(0), "a0 = 5").unwrap(),
+        parser::parse_subscription_with_id(&schema, SubId(1), "a1 != 9").unwrap(),
+    ];
+    let ev = Event::new(vec![(AttrId(0), 5), (AttrId(1), 2), (AttrId(99), 7)]).unwrap();
+
+    let scan = SequentialScan::new(&subs);
+    let expect = scan.match_event(&ev);
+    assert_eq!(expect, vec![SubId(0), SubId(1)]);
+
+    let apcm = ApcmMatcher::build(&schema, &subs, &ApcmConfig::default()).unwrap();
+    assert_eq!(apcm.match_event(&ev), expect);
+    let counting = CountingMatcher::build(&schema, &subs).unwrap();
+    assert_eq!(counting.match_event(&ev), expect);
+    let kindex = KIndex::build(&schema, &subs);
+    assert_eq!(kindex.match_event(&ev), expect);
+    let betree = BeTree::build(&schema, &subs).unwrap();
+    assert_eq!(betree.match_event(&ev), expect);
+}
+
+#[test]
+fn negative_and_offset_domains() {
+    let mut schema = Schema::new();
+    schema.add_attr("temp", Domain::new(-100, 100)).unwrap();
+    schema.add_attr("epoch", Domain::new(1_600_000_000, 1_700_000_000)).unwrap();
+    let subs = vec![
+        parser::parse_subscription_with_id(&schema, SubId(0), "temp BETWEEN -20 AND -5").unwrap(),
+        parser::parse_subscription_with_id(
+            &schema,
+            SubId(1),
+            "epoch >= 1650000000 AND temp != 0",
+        )
+        .unwrap(),
+    ];
+    let apcm = ApcmMatcher::build(&schema, &subs, &ApcmConfig::default()).unwrap();
+    let scan = SequentialScan::new(&subs);
+    for (t, e) in [
+        (-20i64, 1_600_000_000i64),
+        (-5, 1_650_000_000),
+        (0, 1_699_999_999),
+        (100, 1_650_000_001),
+        (-100, 1_600_000_001),
+    ] {
+        let ev = parser::parse_event(&schema, &format!("temp = {t}, epoch = {e}")).unwrap();
+        assert_eq!(apcm.match_event(&ev), scan.match_event(&ev), "t={t} e={e}");
+    }
+}
+
+#[test]
+fn single_value_domains() {
+    let mut schema = Schema::new();
+    schema.add_attr("flag", Domain::new(1, 1)).unwrap();
+    schema.add_attr("x", Domain::new(0, 9)).unwrap();
+    let subs = vec![
+        parser::parse_subscription_with_id(&schema, SubId(0), "flag = 1").unwrap(),
+        parser::parse_subscription_with_id(&schema, SubId(1), "flag != 1 AND x = 3").unwrap(),
+    ];
+    let apcm = ApcmMatcher::build(&schema, &subs, &ApcmConfig::default()).unwrap();
+    let ev = parser::parse_event(&schema, "flag = 1, x = 3").unwrap();
+    // `flag != 1` is unsatisfiable within the domain.
+    assert_eq!(apcm.match_event(&ev), vec![SubId(0)]);
+}
+
+#[test]
+fn unsatisfiable_predicates_never_match() {
+    // BETWEEN entirely below the domain after validation is impossible via
+    // the parser, but direct construction can produce satisfiable-looking
+    // predicates that cover nothing once intersected with a small domain.
+    let mut schema = Schema::new();
+    schema.add_attr("x", Domain::new(10, 20)).unwrap();
+    let sub = Subscription::new(
+        SubId(0),
+        vec![Predicate::new(
+            AttrId(0),
+            Op::not_in_set((10..=20).collect::<Vec<_>>()).unwrap(),
+        )],
+    )
+    .unwrap();
+    let apcm = ApcmMatcher::build(&schema, std::slice::from_ref(&sub), &ApcmConfig::default()).unwrap();
+    let scan = SequentialScan::new(&[sub]);
+    for v in 10..=20 {
+        let ev = Event::new(vec![(AttrId(0), v)]).unwrap();
+        assert!(scan.match_event(&ev).is_empty());
+        assert!(apcm.match_event(&ev).is_empty(), "v={v}");
+    }
+}
+
+#[test]
+fn duplicate_ids_in_corpus_collapse_consistently() {
+    // Two subscriptions with the same id: match output is id-based and
+    // deduplicated, so engines agree even though both entries are indexed.
+    let schema = Schema::uniform(2, 10);
+    let subs = vec![
+        parser::parse_subscription_with_id(&schema, SubId(7), "a0 = 1").unwrap(),
+        parser::parse_subscription_with_id(&schema, SubId(7), "a1 = 2").unwrap(),
+    ];
+    let scan = SequentialScan::new(&subs);
+    let apcm = ApcmMatcher::build(&schema, &subs, &ApcmConfig::default()).unwrap();
+    for text in ["a0 = 1", "a1 = 2", "a0 = 1, a1 = 2", "a0 = 3"] {
+        let ev = parser::parse_event(&schema, text).unwrap();
+        assert_eq!(apcm.match_event(&ev), scan.match_event(&ev), "{text}");
+    }
+}
+
+#[test]
+fn very_long_conjunction() {
+    let schema = Schema::uniform(64, 4);
+    let preds: Vec<Predicate> = (0..64)
+        .map(|a| Predicate::new(AttrId(a), Op::Le(3))) // always true
+        .collect();
+    let sub = Subscription::new(SubId(0), preds).unwrap();
+    let apcm = ApcmMatcher::build(&schema, &[sub], &ApcmConfig::default()).unwrap();
+    let full = Event::new((0..64).map(|a| (AttrId(a), 0)).collect::<Vec<_>>()).unwrap();
+    assert_eq!(apcm.match_event(&full), vec![SubId(0)]);
+    // Missing one attribute → no match.
+    let partial = Event::new((0..63).map(|a| (AttrId(a), 0)).collect::<Vec<_>>()).unwrap();
+    assert!(apcm.match_event(&partial).is_empty());
+}

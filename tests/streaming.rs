@@ -1,0 +1,124 @@
+//! Streaming behavior: OSR windows, drifting streams, and batch processing
+//! must never change *what* matches — only how fast.
+
+use apcm::baselines::SequentialScan;
+use apcm::core::{AdaptiveConfig, ApcmConfig, ApcmMatcher, OsrBuffer};
+use apcm::prelude::*;
+use apcm::workload::{DriftingStream, ValueDist, WorkloadSpec};
+
+#[test]
+fn osr_buffer_pipeline_equals_per_event_matching() {
+    let wl = WorkloadSpec::new(800).seed(301).planted_fraction(0.4).build();
+    let apcm = ApcmMatcher::build(
+        &wl.schema,
+        &wl.subs,
+        &ApcmConfig {
+            batch_size: 64,
+            reorder: true,
+            ..ApcmConfig::default()
+        },
+    )
+    .unwrap();
+    let scan = SequentialScan::new(&wl.subs);
+
+    let events = wl.events(500);
+    let mut buffer = OsrBuffer::new(64);
+    let mut streamed: Vec<Vec<SubId>> = Vec::new();
+    for ev in &events {
+        if let Some(window) = buffer.push(ev.clone()) {
+            streamed.extend(apcm.match_batch(&window));
+        }
+    }
+    streamed.extend(apcm.match_batch(&buffer.flush()));
+
+    assert_eq!(streamed.len(), events.len());
+    for (ev, row) in events.iter().zip(streamed.iter()) {
+        assert_eq!(row, &scan.match_event(ev));
+    }
+}
+
+#[test]
+fn batch_size_sweep_is_result_invariant() {
+    let wl = WorkloadSpec::new(500).seed(302).planted_fraction(0.5).build();
+    let events = wl.events(300);
+    let reference = {
+        let apcm = ApcmMatcher::build(&wl.schema, &wl.subs, &ApcmConfig::pcm()).unwrap();
+        apcm.match_batch(&events)
+    };
+    for batch in [1usize, 2, 7, 32, 100, 300, 1000] {
+        for reorder in [false, true] {
+            let apcm = ApcmMatcher::build(
+                &wl.schema,
+                &wl.subs,
+                &ApcmConfig {
+                    batch_size: batch,
+                    reorder,
+                    ..ApcmConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                apcm.match_batch(&events),
+                reference,
+                "batch={batch} reorder={reorder}"
+            );
+        }
+    }
+}
+
+#[test]
+fn drifting_stream_matches_stay_correct_across_epochs() {
+    let wl = WorkloadSpec::new(600)
+        .values(ValueDist::Zipf(1.1))
+        .planted_fraction(0.2)
+        .seed(303)
+        .build();
+    let apcm = ApcmMatcher::build(
+        &wl.schema,
+        &wl.subs,
+        &ApcmConfig {
+            batch_size: 50,
+            adaptive: AdaptiveConfig {
+                epoch_events: 100,
+                min_probes: 8,
+                ..AdaptiveConfig::default()
+            },
+            ..ApcmConfig::default()
+        },
+    )
+    .unwrap();
+    let scan = SequentialScan::new(&wl.subs);
+
+    let mut stream = DriftingStream::new(&wl, 150, 333, 304);
+    for window_idx in 0..8 {
+        let window: Vec<Event> = (&mut stream).take(100).collect();
+        let rows = apcm.match_batch(&window);
+        for (ev, row) in window.iter().zip(rows.iter()) {
+            assert_eq!(row, &scan.match_event(ev), "window {window_idx}");
+        }
+    }
+    let stats = apcm.stats();
+    assert!(stats.maintenance_runs > 0, "drift must trigger maintenance");
+}
+
+#[test]
+fn throughput_counters_accumulate() {
+    let wl = WorkloadSpec::new(300).seed(305).build();
+    let apcm = ApcmMatcher::build(&wl.schema, &wl.subs, &ApcmConfig::pcm()).unwrap();
+    let before = apcm.stats();
+    assert_eq!(before.probes, 0);
+    let _ = apcm.match_batch(&wl.events(100));
+    let after = apcm.stats();
+    assert!(after.probes > 0);
+    assert!(after.probes >= after.prunes);
+}
+
+#[test]
+fn single_event_window_behaves() {
+    let wl = WorkloadSpec::new(200).seed(306).planted_fraction(1.0).build();
+    let apcm = ApcmMatcher::build(&wl.schema, &wl.subs, &ApcmConfig::default()).unwrap();
+    let scan = SequentialScan::new(&wl.subs);
+    for ev in wl.events(10) {
+        assert_eq!(apcm.match_batch(std::slice::from_ref(&ev))[0], scan.match_event(&ev));
+    }
+}
