@@ -49,10 +49,7 @@ impl KIndex {
             for pred in sub.predicates() {
                 let domain = schema.domain(pred.attr);
                 let intervals = pred.op.satisfying_intervals(domain);
-                let width: u64 = intervals
-                    .iter()
-                    .map(|(lo, hi)| (hi - lo) as u64 + 1)
-                    .sum();
+                let width: u64 = intervals.iter().map(|(lo, hi)| (hi - lo) as u64 + 1).sum();
                 if width == 0 || width > max_expand {
                     residual.push(sub.clone());
                     continue 'subs;
@@ -197,12 +194,8 @@ mod tests {
         let schema = apcm_bexpr::Schema::uniform(5, 10);
         let subs = vec![
             parser::parse_subscription_with_id(&schema, SubId(0), "a0 = 1").unwrap(),
-            parser::parse_subscription_with_id(
-                &schema,
-                SubId(1),
-                "a0 = 1 AND a1 = 2 AND a2 = 3",
-            )
-            .unwrap(),
+            parser::parse_subscription_with_id(&schema, SubId(1), "a0 = 1 AND a1 = 2 AND a2 = 3")
+                .unwrap(),
         ];
         let kindex = KIndex::build(&schema, &subs);
         // One-attribute event can only reach the k=1 partition.

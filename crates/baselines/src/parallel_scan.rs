@@ -83,7 +83,10 @@ mod tests {
 
     #[test]
     fn agrees_with_sequential_scan() {
-        let wl = WorkloadSpec::new(500).seed(11).planted_fraction(0.2).build();
+        let wl = WorkloadSpec::new(500)
+            .seed(11)
+            .planted_fraction(0.2)
+            .build();
         let seq = SequentialScan::new(&wl.subs);
         let par = ParallelScan::with_chunk_size(&wl.subs, 64);
         for ev in wl.events(50) {
@@ -93,7 +96,10 @@ mod tests {
 
     #[test]
     fn batch_agrees_with_per_event() {
-        let wl = WorkloadSpec::new(200).seed(12).planted_fraction(0.5).build();
+        let wl = WorkloadSpec::new(200)
+            .seed(12)
+            .planted_fraction(0.5)
+            .build();
         let par = ParallelScan::new(&wl.subs);
         let events = wl.events(30);
         let batch = par.match_batch(&events);

@@ -68,10 +68,7 @@ mod tests {
         assert_eq!(scan.len(), 3);
 
         let ev = parser::parse_event(&schema, "a0 = 5, a1 = 60, a2 = 3").unwrap();
-        assert_eq!(
-            scan.match_event(&ev),
-            vec![SubId(0), SubId(1), SubId(2)]
-        );
+        assert_eq!(scan.match_event(&ev), vec![SubId(0), SubId(1), SubId(2)]);
         let ev = parser::parse_event(&schema, "a0 = 5, a1 = 10").unwrap();
         assert_eq!(scan.match_event(&ev), vec![SubId(0)]);
         let ev = parser::parse_event(&schema, "a3 = 1").unwrap();
@@ -83,9 +80,7 @@ mod tests {
         let schema = Schema::uniform(2, 10);
         let subs: Vec<_> = [9u32, 3, 7]
             .iter()
-            .map(|&id| {
-                parser::parse_subscription_with_id(&schema, SubId(id), "a0 >= 0").unwrap()
-            })
+            .map(|&id| parser::parse_subscription_with_id(&schema, SubId(id), "a0 >= 0").unwrap())
             .collect();
         let scan = SequentialScan::new(&subs);
         let ev = parser::parse_event(&schema, "a0 = 1").unwrap();

@@ -34,11 +34,9 @@ fn bench(c: &mut Criterion) {
                 ..ApcmConfig::default().with_threads(threads)
             };
             let matcher = ApcmMatcher::build(&wl.schema, &wl.subs, &config).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(label, threads),
-                &events,
-                |b, evs| b.iter(|| matcher.match_batch(evs)),
-            );
+            group.bench_with_input(BenchmarkId::new(label, threads), &events, |b, evs| {
+                b.iter(|| matcher.match_batch(evs))
+            });
         }
     }
     group.finish();

@@ -8,7 +8,10 @@ use apcm_workload::WorkloadSpec;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench(c: &mut Criterion) {
-    let wl = WorkloadSpec::new(20_000).seed(42).planted_fraction(0.05).build();
+    let wl = WorkloadSpec::new(20_000)
+        .seed(42)
+        .planted_fraction(0.05)
+        .build();
     let events = wl.events(1024);
 
     let mut group = c.benchmark_group("e03_osr");

@@ -9,7 +9,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e05_event_size");
     for m in [5usize, 20, 60] {
-        let wl = WorkloadSpec::new(10_000).dims(60).event_size(m).seed(42).build();
+        let wl = WorkloadSpec::new(10_000)
+            .dims(60)
+            .event_size(m)
+            .seed(42)
+            .build();
         let events = wl.events(256);
         group.throughput(Throughput::Elements(events.len() as u64));
         for kind in [EngineKind::BeTree, EngineKind::Pcm, EngineKind::Apcm] {

@@ -9,7 +9,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e07_match_prob");
     for p in [0.001f64, 0.05, 0.5] {
-        let wl = WorkloadSpec::new(10_000).planted_fraction(p).seed(42).build();
+        let wl = WorkloadSpec::new(10_000)
+            .planted_fraction(p)
+            .seed(42)
+            .build();
         let events = wl.events(256);
         group.throughput(Throughput::Elements(events.len() as u64));
         for kind in [EngineKind::BeTree, EngineKind::Pcm, EngineKind::Apcm] {

@@ -3,8 +3,8 @@
 //!
 //! Full sweep with memory and prune-rate columns: `harness --experiment e9`.
 
-use apcm_core::{ApcmConfig, ClusteringPolicy, PcmMatcher};
 use apcm_bexpr::Matcher;
+use apcm_core::{ApcmConfig, ClusteringPolicy, PcmMatcher};
 use apcm_workload::WorkloadSpec;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -32,11 +32,9 @@ fn bench(c: &mut Criterion) {
                 ..ApcmConfig::pcm()
             };
             let matcher = PcmMatcher::build(&wl.schema, &wl.subs, &config).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(pname, max_size),
-                &events,
-                |b, evs| b.iter(|| matcher.match_batch(evs)),
-            );
+            group.bench_with_input(BenchmarkId::new(pname, max_size), &events, |b, evs| {
+                b.iter(|| matcher.match_batch(evs))
+            });
         }
     }
     group.finish();

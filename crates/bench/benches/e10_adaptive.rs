@@ -3,8 +3,8 @@
 //!
 //! Full phase-by-phase sweep: `harness --experiment e10`.
 
-use apcm_core::{AdaptiveConfig, ApcmConfig, ApcmMatcher};
 use apcm_bexpr::{Event, Matcher};
+use apcm_core::{AdaptiveConfig, ApcmConfig, ApcmMatcher};
 use apcm_workload::{DriftingStream, ValueDist, WorkloadSpec};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 

@@ -4,8 +4,8 @@
 //! Full table with per-engine build rates: `harness --experiment e12`.
 
 use apcm_bench::EngineKind;
-use apcm_core::{ApcmConfig, ApcmMatcher};
 use apcm_bexpr::{SubId, Subscription};
+use apcm_core::{ApcmConfig, ApcmMatcher};
 use apcm_workload::WorkloadSpec;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 

@@ -22,6 +22,72 @@ struct Args {
     scale: f64,
     budget: Duration,
     seed: u64,
+    /// `--json PATH`: also write every measured cell as a JSON array.
+    json: Option<String>,
+    records: std::cell::RefCell<Vec<Record>>,
+}
+
+/// One measured cell, for machine-readable output.
+struct Record {
+    experiment: &'static str,
+    algorithm: String,
+    /// The swept parameter for this cell (e.g. `n=100000`, `b=64`).
+    param: String,
+    events_per_sec: f64,
+}
+
+impl Args {
+    /// Records one measured cell for `--json` output (no-op without it).
+    fn record(&self, experiment: &'static str, algorithm: &str, param: String, rate: f64) {
+        if self.json.is_some() {
+            self.records.borrow_mut().push(Record {
+                experiment,
+                algorithm: algorithm.to_string(),
+                param,
+                events_per_sec: rate,
+            });
+        }
+    }
+
+    fn write_json(&self) -> std::io::Result<()> {
+        let Some(path) = &self.json else {
+            return Ok(());
+        };
+        let records = self.records.borrow();
+        let mut out = String::from("[\n");
+        for (i, r) in records.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"experiment\": {}, \"algorithm\": {}, \"param\": {}, \
+                 \"events_per_sec\": {:.3}}}{}\n",
+                json_str(r.experiment),
+                json_str(&r.algorithm),
+                json_str(&r.param),
+                r.events_per_sec,
+                if i + 1 < records.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(path, out)?;
+        println!("wrote {} records to {path}", records.len());
+        Ok(())
+    }
+}
+
+/// JSON string literal; the harness only emits ASCII labels, so escaping
+/// quotes and backslashes (plus control characters) is sufficient.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn parse_args() -> Args {
@@ -30,6 +96,8 @@ fn parse_args() -> Args {
         scale: 0.02,
         budget: Duration::from_millis(1500),
         seed: 42,
+        json: None,
+        records: std::cell::RefCell::new(Vec::new()),
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -44,9 +112,11 @@ fn parse_args() -> Args {
                 args.budget = Duration::from_millis(value().parse().expect("numeric --budget-ms"))
             }
             "--seed" => args.seed = value().parse().expect("numeric --seed"),
+            "--json" => args.json = Some(value()),
             "--help" | "-h" => {
                 println!(
-                    "usage: harness [--experiment e1..e12|all] [--scale F] [--budget-ms N] [--seed N]"
+                    "usage: harness [--experiment e1..e12|all] [--scale F] [--budget-ms N] \
+                     [--seed N] [--json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -72,7 +142,9 @@ fn main() {
         args.scale,
         args.budget,
         args.seed,
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     );
     println!();
     let run_all = args.experiment == "all";
@@ -114,6 +186,10 @@ fn main() {
     if want("e12") {
         e12_build(&args);
     }
+    if let Err(e) = args.write_json() {
+        eprintln!("error writing --json output: {e}");
+        std::process::exit(1);
+    }
 }
 
 /// E1 — headline: throughput vs corpus size, all engines. The abstract's
@@ -135,10 +211,11 @@ fn e1_corpus_size(args: &Args) {
         .collect();
     for kind in EngineKind::ALL {
         let mut cells = vec![kind.name().to_string()];
-        for wl in &workloads {
+        for (wl, &n) in workloads.iter().zip(&sizes) {
             let (matcher, _) = kind.build(wl);
             let events = wl.events(20_000);
             let t = measure_throughput(matcher.as_ref(), &events, args.budget);
+            args.record("e1", kind.name(), format!("n={n}"), t.events_per_sec);
             cells.push(fmt_rate(t.events_per_sec));
         }
         table.row(cells);
@@ -168,7 +245,10 @@ fn e2_threads(args: &Args) {
     let mut headers = vec!["executor".to_string()];
     headers.extend(threads.iter().map(|t| format!("{t}t")));
     let mut table = Table::new(headers);
-    for (label, executor) in [("A-PCM/rayon", Executor::Rayon), ("A-PCM/crossbeam", Executor::Crossbeam)] {
+    for (label, executor) in [
+        ("A-PCM/rayon", Executor::Rayon),
+        ("A-PCM/crossbeam", Executor::Crossbeam),
+    ] {
         let mut cells = vec![label.to_string()];
         for &t in &threads {
             let config = ApcmConfig {
@@ -177,6 +257,7 @@ fn e2_threads(args: &Args) {
             };
             let matcher = ApcmMatcher::build(&wl.schema, &wl.subs, &config).unwrap();
             let m = measure_throughput(&matcher, &events, args.budget);
+            args.record("e2", label, format!("threads={t}"), m.events_per_sec);
             cells.push(fmt_rate(m.events_per_sec));
         }
         table.row(cells);
@@ -206,6 +287,16 @@ fn e3_osr(args: &Args) {
             };
             let matcher = ApcmMatcher::build(&wl.schema, &wl.subs, &config).unwrap();
             let m = measure_throughput(&matcher, &events, args.budget);
+            args.record(
+                "e3",
+                if reorder {
+                    "OSR/reorder"
+                } else {
+                    "OSR/no-reorder"
+                },
+                format!("batch={batch}"),
+                m.events_per_sec,
+            );
             cells.push(fmt_rate(m.events_per_sec));
         }
         table.row(cells);
@@ -219,9 +310,13 @@ fn e4_sub_size(args: &Args) {
     println!("## E4 — throughput vs expression size (events/s)\n");
     let n = scaled(1_000_000, args.scale);
     let ks = [3usize, 5, 7, 9, 12, 15];
-    sweep_indexed(args, &ks, |&k| {
-        base_spec(n, args.seed).sub_preds(k, k).event_size(18)
-    }, |k| format!("k={k}"));
+    sweep_indexed(
+        args,
+        "e4",
+        &ks,
+        |&k| base_spec(n, args.seed).sub_preds(k, k).event_size(18),
+        |k| format!("k={k}"),
+    );
 }
 
 /// E5 — event size (attributes per event).
@@ -229,9 +324,13 @@ fn e5_event_size(args: &Args) {
     println!("## E5 — throughput vs event size (events/s)\n");
     let n = scaled(1_000_000, args.scale);
     let sizes = [5usize, 10, 20, 40, 60];
-    sweep_indexed(args, &sizes, |&m| {
-        base_spec(n, args.seed).dims(60).event_size(m)
-    }, |m| format!("m={m}"));
+    sweep_indexed(
+        args,
+        "e5",
+        &sizes,
+        |&m| base_spec(n, args.seed).dims(60).event_size(m),
+        |m| format!("m={m}"),
+    );
 }
 
 /// E6 — dimensionality of the attribute space.
@@ -239,12 +338,18 @@ fn e6_dims(args: &Args) {
     println!("## E6 — throughput vs dimensionality (events/s)\n");
     let n = scaled(1_000_000, args.scale);
     let dims = [10usize, 100, 1_000, 10_000];
-    sweep_indexed(args, &dims, |&d| {
-        base_spec(n, args.seed)
-            .dims(d)
-            .event_size(d.min(15))
-            .sub_preds(3, 7.min(d))
-    }, |d| format!("d={d}"));
+    sweep_indexed(
+        args,
+        "e6",
+        &dims,
+        |&d| {
+            base_spec(n, args.seed)
+                .dims(d)
+                .event_size(d.min(15))
+                .sub_preds(3, 7.min(d))
+        },
+        |d| format!("d={d}"),
+    );
 }
 
 /// E7 — matching probability (planted-match fraction).
@@ -252,9 +357,13 @@ fn e7_match_prob(args: &Args) {
     println!("## E7 — throughput vs matching probability (events/s)\n");
     let n = scaled(1_000_000, args.scale);
     let fractions = [0.001f64, 0.01, 0.05, 0.2, 0.5];
-    sweep_indexed(args, &fractions, |&p| {
-        base_spec(n, args.seed).planted_fraction(p)
-    }, |p| format!("p={p}"));
+    sweep_indexed(
+        args,
+        "e7",
+        &fractions,
+        |&p| base_spec(n, args.seed).planted_fraction(p),
+        |p| format!("p={p}"),
+    );
 }
 
 /// E8 — value skew (uniform vs Zipf).
@@ -262,20 +371,27 @@ fn e8_skew(args: &Args) {
     println!("## E8 — throughput vs value skew (events/s)\n");
     let n = scaled(1_000_000, args.scale);
     let skews = [0.0f64, 0.5, 1.0, 1.5, 2.0];
-    sweep_indexed(args, &skews, |&s| {
-        let dist = if s == 0.0 {
-            ValueDist::Uniform
-        } else {
-            ValueDist::Zipf(s)
-        };
-        base_spec(n, args.seed).values(dist)
-    }, |s| format!("s={s}"));
+    sweep_indexed(
+        args,
+        "e8",
+        &skews,
+        |&s| {
+            let dist = if s == 0.0 {
+                ValueDist::Uniform
+            } else {
+                ValueDist::Zipf(s)
+            };
+            base_spec(n, args.seed).values(dist)
+        },
+        |s| format!("s={s}"),
+    );
 }
 
 /// Shared sweep body for E4–E8: one column per parameter value, one row per
 /// indexed engine.
 fn sweep_indexed<P>(
     args: &Args,
+    experiment: &'static str,
     params: &[P],
     spec_for: impl Fn(&P) -> WorkloadSpec,
     label: impl Fn(&P) -> String,
@@ -286,10 +402,11 @@ fn sweep_indexed<P>(
     let mut table = Table::new(headers);
     for kind in EngineKind::INDEXED {
         let mut cells = vec![kind.name().to_string()];
-        for wl in &workloads {
+        for (wl, param) in workloads.iter().zip(params) {
             let (matcher, _) = kind.build(wl);
             let events = wl.events(20_000);
             let t = measure_throughput(matcher.as_ref(), &events, args.budget);
+            args.record(experiment, kind.name(), label(param), t.events_per_sec);
             cells.push(fmt_rate(t.events_per_sec));
         }
         table.row(cells);
@@ -306,7 +423,13 @@ fn e9_compression(args: &Args) {
     let wl = base_spec(n, args.seed).build();
     let events = wl.events(10_000);
     let mut table = Table::new(vec![
-        "policy", "max_size", "clusters", "bitmap mem", "build", "events/s", "prune%",
+        "policy",
+        "max_size",
+        "clusters",
+        "bitmap mem",
+        "build",
+        "events/s",
+        "prune%",
     ]);
     for (pname, policy) in [
         ("pivot", ClusteringPolicy::PivotPredicate),
@@ -329,6 +452,12 @@ fn e9_compression(args: &Args) {
             let matcher = PcmMatcher::build(&wl.schema, &wl.subs, &config).unwrap();
             let build = start.elapsed();
             let t = measure_throughput(&matcher, &events, args.budget);
+            args.record(
+                "e9",
+                &format!("PCM/{pname}"),
+                format!("max_size={max_size}"),
+                t.events_per_sec,
+            );
             let (probes, prunes) = matcher.clusters().iter().fold((0u64, 0u64), |acc, c| {
                 (
                     acc.0 + c.probes.load(std::sync::atomic::Ordering::Relaxed),
@@ -411,7 +540,7 @@ fn e10_adaptive(args: &Args) {
         let mut stream = DriftingStream::new(&wl, phase_events, 211, args.seed ^ 0xE10);
         let mut cells = vec![label.to_string()];
         let mut total_probes = 0u64;
-        for _ in 0..phases {
+        for phase in 0..phases {
             let window: Vec<Event> = (&mut stream).take(phase_events).collect();
             let before = matcher.stats();
             let start = Instant::now();
@@ -424,13 +553,12 @@ fn e10_adaptive(args: &Args) {
             // conservatively (post-reset snapshots undercount, which biases
             // against the adaptive engine, never for it).
             total_probes += after.probes.saturating_sub(before.probes);
-            cells.push(fmt_rate(phase_events as f64 / elapsed.as_secs_f64()));
+            let rate = phase_events as f64 / elapsed.as_secs_f64();
+            args.record("e10", label, format!("phase={}", phase + 1), rate);
+            cells.push(fmt_rate(rate));
         }
         let stats = matcher.stats();
-        cells.push(format!(
-            "{}",
-            total_probes / (phases * phase_events) as u64
-        ));
+        cells.push(format!("{}", total_probes / (phases * phase_events) as u64));
         cells.push(format!("{}", stats.maintenance_runs));
         table.row(cells);
     }

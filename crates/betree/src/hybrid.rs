@@ -135,7 +135,11 @@ mod tests {
             let scan = SequentialScan::new(&wl.subs);
             assert_eq!(hybrid.len(), 1000);
             for ev in wl.events(40) {
-                assert_eq!(hybrid.match_event(&ev), scan.match_event(&ev), "seed {seed}");
+                assert_eq!(
+                    hybrid.match_event(&ev),
+                    scan.match_event(&ev),
+                    "seed {seed}"
+                );
             }
         }
     }
@@ -187,7 +191,12 @@ mod tests {
                 parser::parse_subscription_with_id(
                     &schema,
                     SubId(i),
-                    &format!("a0 != {} AND a1 NOT IN {{{}, {}}}", i % 50, i % 50, (i + 7) % 50),
+                    &format!(
+                        "a0 != {} AND a1 NOT IN {{{}, {}}}",
+                        i % 50,
+                        i % 50,
+                        (i + 7) % 50
+                    ),
                 )
                 .unwrap()
             })
@@ -195,8 +204,8 @@ mod tests {
         let hybrid = HybridPcmTree::build_with_config(&schema, &subs, config()).unwrap();
         let scan = SequentialScan::new(&subs);
         for v in 0..50 {
-            let ev = parser::parse_event(&schema, &format!("a0 = {v}, a1 = {}", (v + 3) % 50))
-                .unwrap();
+            let ev =
+                parser::parse_event(&schema, &format!("a0 = {v}, a1 = {}", (v + 3) % 50)).unwrap();
             assert_eq!(hybrid.match_event(&ev), scan.match_event(&ev), "v={v}");
         }
     }

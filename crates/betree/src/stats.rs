@@ -61,7 +61,10 @@ mod tests {
         .unwrap();
         let stats = tree.stats();
         assert_eq!(stats.resident, tree.len());
-        assert!(stats.cnodes >= stats.clusters, "every cluster owns a c-node");
+        assert!(
+            stats.cnodes >= stats.clusters,
+            "every cluster owns a c-node"
+        );
         assert!(stats.max_bucket >= 1);
     }
 

@@ -1,6 +1,8 @@
 //! The BE-Tree structure: insertion, matching, deletion.
 
-use apcm_bexpr::{AttrId, BexprError, Event, Matcher, Predicate, Schema, SubId, Subscription, Value};
+use apcm_bexpr::{
+    AttrId, BexprError, Event, Matcher, Predicate, Schema, SubId, Subscription, Value,
+};
 
 /// Tuning knobs. Defaults follow the ranges explored in the BE-Tree papers.
 #[derive(Debug, Clone, Copy)]
@@ -184,9 +186,7 @@ impl BeTree {
     fn descend_cluster(&mut self, root: ClusterId, interval: (Value, Value)) -> ClusterId {
         let mut cur = root;
         loop {
-            let Cluster {
-                lo, hi, depth, ..
-            } = self.clusters[cur as usize];
+            let Cluster { lo, hi, depth, .. } = self.clusters[cur as usize];
             if depth >= self.config.max_cdir_depth || lo == hi {
                 return cur;
             }
@@ -235,10 +235,9 @@ impl BeTree {
         };
         let domain = self.schema.domain(attr);
         let root_cluster = self.alloc_cluster(domain.min(), domain.max(), 0);
-        self.pnodes[pnode as usize].entries.push(PEntry {
-            attr,
-            root_cluster,
-        });
+        self.pnodes[pnode as usize]
+            .entries
+            .push(PEntry { attr, root_cluster });
 
         // Re-route every bucket expression that carries the new attribute.
         let bucket = std::mem::take(&mut self.cnodes[cnode as usize].bucket);
@@ -255,9 +254,7 @@ impl BeTree {
                 .iter()
                 .find(|p| p.attr == attr)
                 .expect("partitioned by presence");
-            let interval = self
-                .enclosing_interval(pred)
-                .expect("checked in partition");
+            let interval = self.enclosing_interval(pred).expect("checked in partition");
             let cluster = self.descend_cluster(root_cluster, interval);
             let target = self.clusters[cluster as usize].cnode;
             self.insert_into(target, sub, used);
@@ -281,16 +278,14 @@ impl BeTree {
                 }
             }
         }
-        let best = (0..dims)
-            .filter(|&a| count[a] >= 2)
-            .max_by(|&a, &b| {
-                count[a].cmp(&count[b]).then_with(|| {
-                    // Lower mean selectivity wins the tie.
-                    let ma = sel_sum[a] / count[a] as f64;
-                    let mb = sel_sum[b] / count[b] as f64;
-                    mb.partial_cmp(&ma).unwrap_or(std::cmp::Ordering::Equal)
-                })
-            })?;
+        let best = (0..dims).filter(|&a| count[a] >= 2).max_by(|&a, &b| {
+            count[a].cmp(&count[b]).then_with(|| {
+                // Lower mean selectivity wins the tie.
+                let ma = sel_sum[a] / count[a] as f64;
+                let mb = sel_sum[b] / count[b] as f64;
+                mb.partial_cmp(&ma).unwrap_or(std::cmp::Ordering::Equal)
+            })
+        })?;
         Some(AttrId::from_index(best))
     }
 
@@ -394,7 +389,11 @@ impl BeTree {
                 }
                 self.visit_cnode(cluster.cnode, ev, f);
                 let mid = cluster.lo + (cluster.hi - cluster.lo) / 2;
-                cur = if v <= mid { cluster.left } else { cluster.right };
+                cur = if v <= mid {
+                    cluster.left
+                } else {
+                    cluster.right
+                };
             }
         }
     }
@@ -483,7 +482,10 @@ mod tests {
 
     #[test]
     fn splits_and_still_agrees_with_scan() {
-        let wl = WorkloadSpec::new(2000).seed(31).planted_fraction(0.3).build();
+        let wl = WorkloadSpec::new(2000)
+            .seed(31)
+            .planted_fraction(0.3)
+            .build();
         let config = BeTreeConfig {
             max_bucket: 8,
             max_cdir_depth: 8,
@@ -491,7 +493,10 @@ mod tests {
         let tree = BeTree::build_with_config(&wl.schema, &wl.subs, config).unwrap();
         assert_eq!(tree.len(), 2000);
         let (cn, pn, cl) = tree.arena_sizes();
-        assert!(pn > 0 && cl > 0, "tree must split: {cn} c-nodes, {pn} p-nodes, {cl} clusters");
+        assert!(
+            pn > 0 && cl > 0,
+            "tree must split: {cn} c-nodes, {pn} p-nodes, {cl} clusters"
+        );
         for ev in wl.events(60) {
             assert_eq!(tree.match_event(&ev), scan_match(&wl.subs, &ev));
         }
@@ -532,9 +537,8 @@ mod tests {
             },
         );
         for i in 0..100 {
-            let sub =
-                parser::parse_subscription_with_id(&schema, SubId(i), "a0 BETWEEN 10 AND 20")
-                    .unwrap();
+            let sub = parser::parse_subscription_with_id(&schema, SubId(i), "a0 BETWEEN 10 AND 20")
+                .unwrap();
             tree.insert(sub).unwrap();
         }
         let ev = parser::parse_event(&schema, "a0 = 15").unwrap();
@@ -561,8 +565,8 @@ mod tests {
         )
         .unwrap();
         for v in 0..50 {
-            let ev = parser::parse_event(&schema, &format!("a0 = {v}, a1 = {}", (v + 1) % 50))
-                .unwrap();
+            let ev =
+                parser::parse_event(&schema, &format!("a0 = {v}, a1 = {}", (v + 1) % 50)).unwrap();
             assert_eq!(tree.match_event(&ev), scan_match(&subs, &ev));
         }
     }
@@ -622,9 +626,11 @@ mod tests {
             tree.insert(renumbered).unwrap();
         }
         let mut all = wl.subs.clone();
-        all.extend(extra.subs.iter().map(|s| {
-            Subscription::new(SubId(1000 + s.id().0), s.predicates().to_vec()).unwrap()
-        }));
+        all.extend(
+            extra.subs.iter().map(|s| {
+                Subscription::new(SubId(1000 + s.id().0), s.predicates().to_vec()).unwrap()
+            }),
+        );
         for ev in wl.events(40) {
             assert_eq!(tree.match_event(&ev), scan_match(&all, &ev));
         }

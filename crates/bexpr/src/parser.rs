@@ -131,11 +131,7 @@ impl<'a> Lexer<'a> {
             }
             b'-' | b'0'..=b'9' => {
                 self.pos += 1;
-                while self
-                    .bytes
-                    .get(self.pos)
-                    .is_some_and(|c| c.is_ascii_digit())
-                {
+                while self.bytes.get(self.pos).is_some_and(|c| c.is_ascii_digit()) {
                     self.pos += 1;
                 }
                 let text = &self.src[start..self.pos];
@@ -349,7 +345,10 @@ pub fn parse_subscription_with_id(
         match p.advance()? {
             Some((Tok::And, _)) => preds.push(p.parse_predicate()?),
             Some((tok, off)) => {
-                return Err(p.err_at(off, format!("expected `AND` or end of input, found {tok:?}")))
+                return Err(p.err_at(
+                    off,
+                    format!("expected `AND` or end of input, found {tok:?}"),
+                ))
             }
             None => break,
         }
@@ -422,10 +421,7 @@ mod tests {
     fn parses_negative_values() {
         let s = schema();
         let sub = parse_subscription(&s, "temp = -20").unwrap();
-        assert_eq!(
-            sub.predicates()[0],
-            Predicate::new(AttrId(2), Op::Eq(-20))
-        );
+        assert_eq!(sub.predicates()[0], Predicate::new(AttrId(2), Op::Eq(-20)));
     }
 
     #[test]
@@ -556,12 +552,15 @@ mod proptests {
     fn arb_pred(dims: u32, card: i64) -> impl Strategy<Value = Predicate> {
         let attr = 0..dims;
         let v = 0..card;
-        (attr, prop_oneof![
-            v.clone().prop_map(Op::Eq),
-            v.clone().prop_map(Op::Ne),
-            (0..card - 1).prop_map(move |lo| Op::Between(lo, (lo + 7).min(card - 1))),
-            proptest::collection::vec(v, 1..5).prop_map(|vs| Op::in_set(vs).unwrap()),
-        ])
+        (
+            attr,
+            prop_oneof![
+                v.clone().prop_map(Op::Eq),
+                v.clone().prop_map(Op::Ne),
+                (0..card - 1).prop_map(move |lo| Op::Between(lo, (lo + 7).min(card - 1))),
+                proptest::collection::vec(v, 1..5).prop_map(|vs| Op::in_set(vs).unwrap()),
+            ],
+        )
             .prop_map(|(a, op)| Predicate::new(crate::AttrId(a), op))
     }
 

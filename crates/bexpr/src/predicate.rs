@@ -254,10 +254,7 @@ impl Predicate {
 
     /// Renders the predicate with the attribute's registered name.
     pub fn display<'a>(&'a self, schema: &'a Schema) -> PredicateDisplay<'a> {
-        PredicateDisplay {
-            pred: self,
-            schema,
-        }
+        PredicateDisplay { pred: self, schema }
     }
 }
 

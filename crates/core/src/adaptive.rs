@@ -212,7 +212,10 @@ mod tests {
         for _ in 0..20 {
             cluster.match_into(&miss, &mut out);
         }
-        assert!(!config.should_rebuild(&cluster), "prune rate 1.0 is healthy");
+        assert!(
+            !config.should_rebuild(&cluster),
+            "prune rate 1.0 is healthy"
+        );
     }
 
     #[test]

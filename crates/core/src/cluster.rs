@@ -137,8 +137,7 @@ impl Cluster {
                     return;
                 }
                 for m in members {
-                    if m.residual.subset_of_dense(ebits) && m.blocked.disjoint_from_dense(ebits)
-                    {
+                    if m.residual.subset_of_dense(ebits) && m.blocked.disjoint_from_dense(ebits) {
                         out.push(m.id);
                         self.hits.fetch_add(1, Ordering::Relaxed);
                     }
@@ -367,7 +366,10 @@ mod tests {
         assert!(!c.batch_prunable(&ev(10, &[1, 2, 3, 5])));
         assert!(c.batch_prunable(&ev(10, &[1, 2])));
         let d = Cluster::direct(&[enc(0, &[1])]);
-        assert!(!d.batch_prunable(&ev(10, &[])), "direct clusters never batch-prune");
+        assert!(
+            !d.batch_prunable(&ev(10, &[])),
+            "direct clusters never batch-prune"
+        );
     }
 
     #[test]

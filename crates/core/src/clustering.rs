@@ -42,8 +42,7 @@ pub fn selectivity_table(space: &PredicateSpace) -> Vec<f64> {
 }
 
 /// How subscription bitmaps are grouped; see the module docs.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ClusteringPolicy {
     /// Group by each subscription's most corpus-frequent predicate (the
     /// default). Every cluster gets a non-empty shared mask containing the
@@ -64,7 +63,6 @@ pub enum ClusteringPolicy {
         window: usize,
     },
 }
-
 
 impl ClusteringPolicy {
     /// Groups `subs` into clusters of at most `max_size` members and builds
@@ -112,9 +110,7 @@ fn pivot_predicate(subs: &[EncodedSub], max_size: usize, selectivity: &[f64]) ->
     // selectivity. Ties (e.g. all equality predicates on same-cardinality
     // domains) break toward the most frequent predicate so clusters share,
     // then toward the lower bit id for determinism.
-    let sel = |bit: u32| -> f64 {
-        selectivity.get(bit as usize).copied().unwrap_or(1.0)
-    };
+    let sel = |bit: u32| -> f64 { selectivity.get(bit as usize).copied().unwrap_or(1.0) };
     let mut groups: HashMap<u32, Vec<&EncodedSub>> = HashMap::new();
     let mut weak: Vec<&EncodedSub> = Vec::new();
     for sub in subs {
@@ -396,8 +392,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    
-    
+
     use proptest::prelude::*;
 
     proptest! {

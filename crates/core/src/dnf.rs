@@ -157,12 +157,8 @@ mod tests {
     #[test]
     fn or_semantics() {
         let schema = schema();
-        let dnf = parser::parse_dnf_with_id(
-            &schema,
-            SubId(3),
-            "(a0 = 1 AND a1 = 2) OR (a0 = 9)",
-        )
-        .unwrap();
+        let dnf = parser::parse_dnf_with_id(&schema, SubId(3), "(a0 = 1 AND a1 = 2) OR (a0 = 9)")
+            .unwrap();
         let engine = DnfEngine::build(&schema, &[dnf], &ApcmConfig::default()).unwrap();
         let hit_a = parser::parse_event(&schema, "a0 = 1, a1 = 2").unwrap();
         let hit_b = parser::parse_event(&schema, "a0 = 9").unwrap();
@@ -185,7 +181,10 @@ mod tests {
     #[test]
     fn agrees_with_brute_force_on_random_dnfs() {
         // Pair random conjunctions from the generator into 2–3 clause DNFs.
-        let wl = WorkloadSpec::new(600).seed(81).planted_fraction(0.3).build();
+        let wl = WorkloadSpec::new(600)
+            .seed(81)
+            .planted_fraction(0.3)
+            .build();
         let mut rng = StdRng::seed_from_u64(82);
         let mut dnfs = Vec::new();
         let mut iter = wl.subs.iter();

@@ -43,23 +43,19 @@ impl ClusterIndex {
     /// higher bit id, which prefers predicate bits over the low-id presence
     /// bits. Pass an empty table to key purely by highest shared bit.
     pub fn build(clusters: Vec<Cluster>, width: usize, selectivity: &[f64]) -> Self {
-        let sel = |bit: u32| -> f64 {
-            selectivity.get(bit as usize).copied().unwrap_or(1.0)
-        };
+        let sel = |bit: u32| -> f64 { selectivity.get(bit as usize).copied().unwrap_or(1.0) };
         let mut by_pivot: Vec<Vec<u32>> = vec![Vec::new(); width];
         let mut pivot_mask = FixedBitSet::new(width);
         let mut unpivoted = Vec::new();
         let mut keys = Vec::with_capacity(clusters.len());
         for (i, cluster) in clusters.iter().enumerate() {
             let key = cluster.shared_bits().and_then(|bits| {
-                bits.iter()
-                    .copied()
-                    .min_by(|&a, &b| {
-                        sel(a)
-                            .partial_cmp(&sel(b))
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                            .then_with(|| b.cmp(&a))
-                    })
+                bits.iter().copied().min_by(|&a, &b| {
+                    sel(a)
+                        .partial_cmp(&sel(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| b.cmp(&a))
+                })
             });
             match key {
                 Some(bit) if (bit as usize) < width => {

@@ -52,12 +52,12 @@ pub mod pcm;
 pub mod stats;
 pub mod topk;
 
-pub use adaptive::AdaptiveConfig;
+pub use adaptive::{AdaptiveConfig, MaintenanceReport};
 pub use cluster::{Cluster, ClusterRepr};
-pub use index::ClusterIndex;
 pub use clustering::ClusteringPolicy;
 pub use config::{ApcmConfig, Executor};
 pub use dnf::DnfEngine;
+pub use index::ClusterIndex;
 pub use matcher::ApcmMatcher;
 pub use osr::OsrBuffer;
 pub use pcm::PcmMatcher;

@@ -77,9 +77,7 @@ impl ApcmMatcher {
     /// next maintenance pass folds them into compressed clusters.
     pub fn subscribe(&self, sub: &Subscription) -> Result<bool, BexprError> {
         let mut inner = self.inner.write();
-        if inner.locator.contains_key(&sub.id())
-            || inner.pending.iter().any(|p| p.id == sub.id())
-        {
+        if inner.locator.contains_key(&sub.id()) || inner.pending.iter().any(|p| p.id == sub.id()) {
             return Ok(false);
         }
         let enc = inner.space.add_subscription(sub)?;
@@ -187,12 +185,9 @@ impl ApcmMatcher {
             }
         } else {
             // Single window: parallelize the cluster sweep instead.
-            for (idx, row) in inner.match_batch_cluster_parallel(
-                &order,
-                &encoded,
-                width,
-                &self.pool,
-            ) {
+            for (idx, row) in
+                inner.match_batch_cluster_parallel(&order, &encoded, width, &self.pool)
+            {
                 results[idx] = row;
             }
         }
@@ -203,9 +198,11 @@ impl ApcmMatcher {
     }
 
     fn after_match(&self, n_events: u64, pending_overdue: bool) {
-        let seen = self.events_since_epoch.fetch_add(n_events, Ordering::Relaxed) + n_events;
-        let epoch_due =
-            self.config.adaptive.enabled && seen >= self.config.adaptive.epoch_events;
+        let seen = self
+            .events_since_epoch
+            .fetch_add(n_events, Ordering::Relaxed)
+            + n_events;
+        let epoch_due = self.config.adaptive.enabled && seen >= self.config.adaptive.epoch_events;
         if epoch_due || pending_overdue {
             let epoch_events = self.events_since_epoch.swap(0, Ordering::Relaxed);
             // try_write: if a mutator already holds the lock, skip — the
@@ -224,8 +221,7 @@ impl Inner {
     }
 
     fn build_locator(index: &ClusterIndex) -> HashMap<SubId, u32> {
-        let mut locator =
-            HashMap::with_capacity(index.clusters().iter().map(Cluster::len).sum());
+        let mut locator = HashMap::with_capacity(index.clusters().iter().map(Cluster::len).sum());
         for (i, cluster) in index.clusters().iter().enumerate() {
             for id in cluster.member_ids() {
                 locator.insert(id, i as u32);
@@ -287,7 +283,6 @@ impl Inner {
         _width: usize,
         pool: &Pool,
     ) -> Vec<(usize, Vec<SubId>)> {
-        
         pool.map_indexed(order.len(), |j| {
             let idx = order[j];
             let ebits = &encoded[idx];
@@ -346,8 +341,8 @@ impl Inner {
                 match self.index.key_of(i as u32) {
                     None => true, // direct cluster: always worth retrying
                     Some(bit) => {
-                        let observed = c.probes.load(Ordering::Relaxed) as f64
-                            / epoch_events as f64;
+                        let observed =
+                            c.probes.load(Ordering::Relaxed) as f64 / epoch_events as f64;
                         let design = self
                             .static_selectivity
                             .get(bit as usize)
@@ -373,8 +368,7 @@ impl Inner {
         if config.adaptive.enabled && epoch_events > 0 {
             for (i, cluster) in self.index.clusters().iter().enumerate() {
                 if let Some(bit) = self.index.key_of(i as u32) {
-                    let rate = cluster.probes.load(Ordering::Relaxed) as f64
-                        / epoch_events as f64;
+                    let rate = cluster.probes.load(Ordering::Relaxed) as f64 / epoch_events as f64;
                     let slot = &mut selectivity[bit as usize];
                     *slot = slot.max(rate.min(1.0));
                 }
@@ -475,7 +469,10 @@ mod tests {
 
     #[test]
     fn agrees_with_scan_per_event_and_batch() {
-        let wl = WorkloadSpec::new(700).seed(61).planted_fraction(0.3).build();
+        let wl = WorkloadSpec::new(700)
+            .seed(61)
+            .planted_fraction(0.3)
+            .build();
         let scan = SequentialScan::new(&wl.subs);
         let apcm = ApcmMatcher::build(&wl.schema, &wl.subs, &ApcmConfig::default()).unwrap();
         let events = wl.events(80);
@@ -489,7 +486,10 @@ mod tests {
 
     #[test]
     fn osr_reordering_preserves_result_order() {
-        let wl = WorkloadSpec::new(300).seed(62).planted_fraction(0.6).build();
+        let wl = WorkloadSpec::new(300)
+            .seed(62)
+            .planted_fraction(0.6)
+            .build();
         let with_osr = ApcmMatcher::build(
             &wl.schema,
             &wl.subs,

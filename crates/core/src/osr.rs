@@ -22,12 +22,7 @@ use apcm_encoding::FixedBitSet;
 /// original index as the tiebreak for determinism).
 pub fn reorder_permutation(encoded: &[FixedBitSet]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..encoded.len()).collect();
-    order.sort_by(|&a, &b| {
-        encoded[a]
-            .words()
-            .cmp(encoded[b].words())
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| encoded[a].words().cmp(encoded[b].words()).then(a.cmp(&b)));
     order
 }
 

@@ -141,7 +141,12 @@ mod tests {
     fn map_indexed_preserves_order() {
         for pool in pools() {
             let out = pool.map_indexed(100, |i| i * 2);
-            assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>(), "{:?}", pool.executor);
+            assert_eq!(
+                out,
+                (0..100).map(|i| i * 2).collect::<Vec<_>>(),
+                "{:?}",
+                pool.executor
+            );
         }
     }
 

@@ -145,7 +145,10 @@ mod tests {
 
     #[test]
     fn agrees_with_scan_across_configs() {
-        let wl = WorkloadSpec::new(800).seed(51).planted_fraction(0.3).build();
+        let wl = WorkloadSpec::new(800)
+            .seed(51)
+            .planted_fraction(0.3)
+            .build();
         let scan = SequentialScan::new(&wl.subs);
         let events = wl.events(40);
         for config in configs() {
@@ -163,7 +166,10 @@ mod tests {
 
     #[test]
     fn batch_matches_per_event_results() {
-        let wl = WorkloadSpec::new(500).seed(52).planted_fraction(0.5).build();
+        let wl = WorkloadSpec::new(500)
+            .seed(52)
+            .planted_fraction(0.5)
+            .build();
         let pcm = PcmMatcher::build(&wl.schema, &wl.subs, &ApcmConfig::pcm()).unwrap();
         let events = wl.events(64);
         let rows = pcm.match_batch(&events);

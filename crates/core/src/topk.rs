@@ -137,8 +137,7 @@ mod tests {
             .enumerate()
             .map(|(i, &w)| {
                 (
-                    parser::parse_subscription_with_id(&schema, SubId(i as u32), "a0 = 1")
-                        .unwrap(),
+                    parser::parse_subscription_with_id(&schema, SubId(i as u32), "a0 = 1").unwrap(),
                     w,
                 )
             })
@@ -152,10 +151,7 @@ mod tests {
         let (schema, matcher) = setup(&[1.0, 5.0, 3.0, 4.0, 2.0]);
         let ev = parser::parse_event(&schema, "a0 = 1").unwrap();
         let top = matcher.match_top_k(&ev, 3);
-        assert_eq!(
-            top,
-            vec![(SubId(1), 5.0), (SubId(3), 4.0), (SubId(2), 3.0)]
-        );
+        assert_eq!(top, vec![(SubId(1), 5.0), (SubId(3), 4.0), (SubId(2), 3.0)]);
     }
 
     #[test]

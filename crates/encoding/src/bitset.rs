@@ -167,8 +167,14 @@ impl FixedBitSet {
             .zip(other.words[..n].iter())
             .map(|(&a, &b)| (a | b).count_ones() as usize)
             .sum();
-        let tail_a: usize = self.words[n..].iter().map(|w| w.count_ones() as usize).sum();
-        let tail_b: usize = other.words[n..].iter().map(|w| w.count_ones() as usize).sum();
+        let tail_a: usize = self.words[n..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        let tail_b: usize = other.words[n..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
         shared + tail_a + tail_b
     }
 

@@ -110,13 +110,12 @@ impl EventIndex {
     }
 
     /// Decides polarity and returns the interval set to index.
-    fn classify(
-        &self,
-        schema: &Schema,
-        pred: &Predicate,
-    ) -> (usize, bool, Vec<(Value, Value)>) {
+    fn classify(&self, schema: &Schema, pred: &Predicate) -> (usize, bool, Vec<(Value, Value)>) {
         let slot = pred.attr.index();
-        assert!(slot < self.attrs.len(), "predicate attribute outside the schema");
+        assert!(
+            slot < self.attrs.len(),
+            "predicate attribute outside the schema"
+        );
         let domain = schema.domain(pred.attr);
         let flipped = pred.op.selectivity(domain) > Self::FLIP_THRESHOLD;
         let intervals = if flipped {
@@ -135,7 +134,11 @@ impl EventIndex {
     /// Panics if ids are not interned densely in order (`id` must be the
     /// next unseen predicate).
     pub fn insert(&mut self, schema: &Schema, pred: &Predicate, id: PredId) {
-        assert_eq!(id.index(), self.flips.len(), "predicates must be interned in order");
+        assert_eq!(
+            id.index(),
+            self.flips.len(),
+            "predicates must be interned in order"
+        );
         let (slot, flipped, intervals) = self.classify(schema, pred);
         self.flips.push(flipped);
         for (lo, hi) in intervals {
@@ -241,7 +244,10 @@ mod tests {
             reg.intern(&Predicate::new(AttrId(0), Op::Between(3, 10))), // narrow
             reg.intern(&Predicate::new(AttrId(0), Op::Ne(7))), // broad → flipped
             reg.intern(&Predicate::new(AttrId(1), Op::Ge(50))), // sel 0.5 → narrow
-            reg.intern(&Predicate::new(AttrId(1), Op::in_set(vec![1, 2, 3, 60]).unwrap())),
+            reg.intern(&Predicate::new(
+                AttrId(1),
+                Op::in_set(vec![1, 2, 3, 60]).unwrap(),
+            )),
         ];
         (schema, reg, ids)
     }
@@ -280,8 +286,14 @@ mod tests {
         let index = EventIndex::build(&schema, &reg);
         let b = encode(&index, &schema, "x = 5, y = 60");
         assert!(b.contains(index.bit_of(ids[0]) as usize), "Eq(5) satisfied");
-        assert!(b.contains(index.bit_of(ids[1]) as usize), "Between satisfied");
-        assert!(b.contains(index.bit_of(ids[3]) as usize), "Ge(50) satisfied");
+        assert!(
+            b.contains(index.bit_of(ids[1]) as usize),
+            "Between satisfied"
+        );
+        assert!(
+            b.contains(index.bit_of(ids[3]) as usize),
+            "Ge(50) satisfied"
+        );
         assert!(b.contains(index.bit_of(ids[4]) as usize), "In satisfied");
     }
 
@@ -329,7 +341,11 @@ mod tests {
         }
         assert_eq!(index.width(), 2 + 8);
         assert!(index.is_flipped(reg.get(&p_broad).unwrap()));
-        assert_eq!(index.overflow_len(), 1, "only the range predicate overflows");
+        assert_eq!(
+            index.overflow_len(),
+            1,
+            "only the range predicate overflows"
+        );
 
         let range_bit = index.bit_of(reg.get(&p_range).unwrap()) as usize;
         let broad_bit = index.bit_of(reg.get(&p_broad).unwrap()) as usize;

@@ -286,8 +286,7 @@ mod entry_tests {
 
     #[test]
     fn into_entries_returns_every_interval() {
-        let input: Vec<(i64, i64, u32)> =
-            (0..40).map(|i| (i, i + (i % 7), i as u32)).collect();
+        let input: Vec<(i64, i64, u32)> = (0..40).map(|i| (i, i + (i % 7), i as u32)).collect();
         let tree = IntervalTree::build(input.clone());
         let mut out = tree.into_entries();
         out.sort_by_key(|&(_, _, id)| id);

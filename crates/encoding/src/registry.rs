@@ -89,7 +89,10 @@ mod tests {
     fn canonical_sets_share_bits() {
         let mut reg = PredicateRegistry::new();
         let a = reg.intern(&Predicate::new(AttrId(1), Op::in_set(vec![3, 1]).unwrap()));
-        let b = reg.intern(&Predicate::new(AttrId(1), Op::in_set(vec![1, 3, 3]).unwrap()));
+        let b = reg.intern(&Predicate::new(
+            AttrId(1),
+            Op::in_set(vec![1, 3, 3]).unwrap(),
+        ));
         assert_eq!(a, b, "IN-set canonicalization makes these identical");
     }
 

@@ -179,19 +179,14 @@ mod tests {
         texts
             .iter()
             .enumerate()
-            .map(|(i, t)| {
-                parser::parse_subscription_with_id(schema, SubId(i as u32), t).unwrap()
-            })
+            .map(|(i, t)| parser::parse_subscription_with_id(schema, SubId(i as u32), t).unwrap())
             .collect()
     }
 
     #[test]
     fn build_dedups_predicates_across_subs() {
         let schema = schema();
-        let corpus = subs(
-            &schema,
-            &["x = 5 AND y > 10", "x = 5 AND y > 20", "y > 10"],
-        );
+        let corpus = subs(&schema, &["x = 5 AND y > 10", "x = 5 AND y > 20", "y > 10"]);
         let (space, encoded) = PredicateSpace::build(&schema, &corpus).unwrap();
         // Distinct predicates: x=5, y>10, y>20 → width = 2 presence + 3.
         assert_eq!(space.width(), 5);
@@ -282,7 +277,10 @@ mod tests {
         let ev = parser::parse_event(&schema, "x = 50, y = 3").unwrap();
         assert!(enc.matches_bitmap(&space.encode_event(&ev)));
         let ev = parser::parse_event(&schema, "x = 50, y = 2").unwrap();
-        assert!(!enc.matches_bitmap(&space.encode_event(&ev)), "blocked by y != 2");
+        assert!(
+            !enc.matches_bitmap(&space.encode_event(&ev)),
+            "blocked by y != 2"
+        );
         let ev = parser::parse_event(&schema, "x = 50").unwrap();
         assert!(
             !enc.matches_bitmap(&space.encode_event(&ev)),
@@ -299,7 +297,10 @@ mod tests {
         let (mut space, encoded) = PredicateSpace::build(&schema, &corpus).unwrap();
         let dup = parser::parse_subscription_with_id(&schema, SubId(5), "y = 2 AND x = 1").unwrap();
         let enc = space.add_subscription(&dup).unwrap();
-        assert_eq!(enc.required, encoded[0].required, "identical expressions share bits");
+        assert_eq!(
+            enc.required, encoded[0].required,
+            "identical expressions share bits"
+        );
         assert_eq!(space.width(), 4);
     }
 
@@ -343,7 +344,8 @@ mod proptests {
             v.clone().prop_map(Op::Le),
             (0..card - 1).prop_map(Op::Gt),
             v.clone().prop_map(Op::Ge),
-            (v.clone(), 0..card / 2).prop_map(move |(lo, w)| Op::Between(lo, (lo + w).min(card - 1))),
+            (v.clone(), 0..card / 2)
+                .prop_map(move |(lo, w)| Op::Between(lo, (lo + w).min(card - 1))),
             proptest::collection::vec(v.clone(), 1..6).prop_map(|vs| Op::in_set(vs).unwrap()),
             proptest::collection::vec(v, 1..6).prop_map(|vs| Op::not_in_set(vs).unwrap()),
         ]

@@ -1,0 +1,479 @@
+//! TCP broker: accept loop, per-connection worker threads, result
+//! delivery, background maintenance, and graceful shutdown.
+//!
+//! Threading model (`std::net` + threads, no async runtime):
+//!
+//! * one **accept** thread polling a non-blocking listener;
+//! * per connection, a **reader** thread (parses requests, executes
+//!   control commands inline, queues publishes into the ingest pipeline)
+//!   and a **writer** thread draining the connection's bounded outbound
+//!   queue — the slow-consumer boundary;
+//! * one **matcher** thread inside [`IngestPipeline`];
+//! * one **maintenance** thread sweeping every shard's `maintain()`.
+//!
+//! Subscriptions are durable: a closed connection keeps its subscriptions
+//! live (notifications for them are silently discarded until another
+//! connection re-subscribes or unsubscribes the ids).
+
+use apcm_bexpr::{Schema, SubId};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::config::{ServerConfig, SlowConsumerPolicy};
+use crate::ingest::{IngestItem, IngestPipeline, ResultSink};
+use crate::protocol::{self, Request};
+use crate::shard::ShardedEngine;
+use crate::stats::ServerStats;
+
+/// Outbound handle for one connection.
+struct ConnHandle {
+    out: Sender<String>,
+    stream: TcpStream,
+}
+
+/// State shared by every thread: the registry of live connections and
+/// subscription ownership, plus delivery policy. Doubles as the ingest
+/// pipeline's [`ResultSink`].
+struct Hub {
+    schema: Schema,
+    stats: Arc<ServerStats>,
+    policy: SlowConsumerPolicy,
+    conns: Mutex<HashMap<u64, ConnHandle>>,
+    /// Which connection owns (receives `EVENT` notifications for) each id.
+    owners: RwLock<HashMap<SubId, u64>>,
+}
+
+impl Hub {
+    /// Queues `line` on a connection's outbound queue, applying the
+    /// slow-consumer policy on overflow. Unknown connections (already
+    /// closed) discard silently.
+    fn push_line(&self, conn_id: u64, line: String) {
+        let mut conns = self.conns.lock();
+        let Some(handle) = conns.get(&conn_id) else {
+            return;
+        };
+        match handle.out.try_send(line) {
+            Ok(()) => {
+                ServerStats::add(&self.stats.replies_sent, 1);
+            }
+            Err(TrySendError::Full(_)) => match self.policy {
+                SlowConsumerPolicy::Drop => {
+                    ServerStats::add(&self.stats.replies_dropped, 1);
+                }
+                SlowConsumerPolicy::Disconnect => {
+                    ServerStats::add(&self.stats.slow_disconnects, 1);
+                    let handle = conns.remove(&conn_id).expect("checked above");
+                    // Reader unblocks on the socket shutdown and cleans up;
+                    // the writer exits once the last queue sender drops.
+                    let _ = handle.stream.shutdown(Shutdown::Both);
+                }
+            },
+            Err(TrySendError::Disconnected(_)) => {
+                conns.remove(&conn_id);
+            }
+        }
+    }
+}
+
+impl ResultSink for Hub {
+    fn on_window(&self, items: &[IngestItem], rows: &[Vec<SubId>]) {
+        for (item, row) in items.iter().zip(rows) {
+            self.push_line(item.conn, protocol::render_result(item.seq, row));
+            for &id in row {
+                let owner = self.owners.read().get(&id).copied();
+                if let Some(owner) = owner {
+                    self.push_line(
+                        owner,
+                        protocol::render_event_notification(id, &item.event, &self.schema),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Everything a connection's reader thread needs.
+struct ConnCtx {
+    hub: Arc<Hub>,
+    engine: Arc<ShardedEngine>,
+    ingest: Sender<IngestItem>,
+    /// Receiver clone used only for `len()` (queue depth in `STATS`).
+    ingest_depth: Receiver<IngestItem>,
+}
+
+/// A running broker. Dropping without calling [`Server::shutdown`] aborts
+/// connections ungracefully; call `shutdown` for an orderly stop.
+pub struct Server {
+    hub: Arc<Hub>,
+    engine: Arc<ShardedEngine>,
+    stats: Arc<ServerStats>,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    maintenance_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    pipeline: Option<IngestPipeline>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts all
+    /// background threads.
+    pub fn start(schema: Schema, config: ServerConfig, addr: &str) -> std::io::Result<Server> {
+        config
+            .validate()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        let engine =
+            Arc::new(ShardedEngine::new(&schema, &config).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
+            })?);
+        let stats = Arc::new(ServerStats::default());
+        let hub = Arc::new(Hub {
+            schema,
+            stats: stats.clone(),
+            policy: config.slow_consumer,
+            conns: Mutex::new(HashMap::new()),
+            owners: RwLock::new(HashMap::new()),
+        });
+        let pipeline = IngestPipeline::start(engine.clone(), stats.clone(), hub.clone(), &config);
+
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let ingest_tx = pipeline.sender();
+
+        let accept_thread = {
+            let hub = hub.clone();
+            let engine = engine.clone();
+            let stats = stats.clone();
+            let shutdown = shutdown.clone();
+            let conn_threads = conn_threads.clone();
+            let conn_queue = config.conn_queue;
+            let ingest_depth = pipeline.depth_handle();
+            std::thread::Builder::new()
+                .name("apcm-accept".into())
+                .spawn(move || {
+                    let mut next_conn = 1u64;
+                    while !shutdown.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                let conn_id = next_conn;
+                                next_conn += 1;
+                                ServerStats::add(&stats.conns_total, 1);
+                                ServerStats::add(&stats.conns_active, 1);
+                                let ctx = Arc::new(ConnCtx {
+                                    hub: hub.clone(),
+                                    engine: engine.clone(),
+                                    ingest: ingest_tx.clone(),
+                                    ingest_depth: ingest_depth.clone(),
+                                });
+                                spawn_connection(ctx, stream, conn_id, conn_queue, &conn_threads);
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("spawning accept thread")
+        };
+
+        let maintenance_thread = {
+            let engine = engine.clone();
+            let stats = stats.clone();
+            let shutdown = shutdown.clone();
+            let interval = config.maintenance_interval;
+            std::thread::Builder::new()
+                .name("apcm-maintenance".into())
+                .spawn(move || {
+                    // Sleep in small quanta so shutdown latency stays
+                    // bounded regardless of the maintenance interval.
+                    let quantum = Duration::from_millis(20).min(interval);
+                    'outer: loop {
+                        let mut waited = Duration::ZERO;
+                        while waited < interval {
+                            if shutdown.load(Ordering::SeqCst) {
+                                break 'outer;
+                            }
+                            std::thread::sleep(quantum);
+                            waited += quantum;
+                        }
+                        let report = engine.maintain();
+                        stats.record_maintenance(&report);
+                    }
+                })
+                .expect("spawning maintenance thread")
+        };
+
+        Ok(Server {
+            hub,
+            engine,
+            stats,
+            addr: local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            maintenance_thread: Some(maintenance_thread),
+            conn_threads,
+            pipeline: Some(pipeline),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    pub fn engine(&self) -> &ShardedEngine {
+        &self.engine
+    }
+
+    /// Graceful shutdown: stop accepting, close every connection, join all
+    /// worker threads, drain the ingest pipeline, and return the final
+    /// rendered stats. Bounded: sockets are shut down before joining, so no
+    /// thread is left blocked on I/O.
+    pub fn shutdown(mut self) -> String {
+        self.shutdown.store(true, Ordering::SeqCst);
+
+        if let Some(t) = self.maintenance_thread.take() {
+            let _ = t.join(); // exits within one sleep quantum
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join(); // exits within one poll interval
+        }
+
+        // Closing the sockets unblocks every reader; readers drop their
+        // ingest senders and outbound queue handles on the way out.
+        {
+            let conns = self.hub.conns.lock();
+            for handle in conns.values() {
+                let _ = handle.stream.shutdown(Shutdown::Both);
+            }
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conn_threads.lock());
+        for t in handles {
+            let _ = t.join();
+        }
+        // All publisher senders are gone; the matcher drains and exits.
+        let depth = self
+            .pipeline
+            .take()
+            .map(|p| {
+                let d = p.depth();
+                p.shutdown();
+                d
+            })
+            .unwrap_or(0);
+
+        let mut out = self.stats.render(&self.engine.per_shard_len(), depth);
+        out.push_str(&format!("engine {}\n", self.engine.engine_name()));
+        out.push_str(&format!("shards {}\n", self.engine.shard_count()));
+        out
+    }
+}
+
+/// Spawns the reader + writer thread pair for one accepted connection.
+fn spawn_connection(
+    ctx: Arc<ConnCtx>,
+    stream: TcpStream,
+    conn_id: u64,
+    conn_queue: usize,
+    conn_threads: &Mutex<Vec<JoinHandle<()>>>,
+) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let (out_tx, out_rx) = bounded::<String>(conn_queue);
+
+    let writer = {
+        let stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => {
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        std::thread::Builder::new()
+            .name(format!("apcm-conn-{conn_id}-w"))
+            .spawn(move || write_loop(stream, out_rx))
+            .expect("spawning connection writer")
+    };
+
+    let reader = {
+        let registry_stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => {
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        ctx.hub.conns.lock().insert(
+            conn_id,
+            ConnHandle {
+                out: out_tx.clone(),
+                stream: registry_stream,
+            },
+        );
+        std::thread::Builder::new()
+            .name(format!("apcm-conn-{conn_id}-r"))
+            .spawn(move || {
+                read_loop(&ctx, stream, conn_id, out_tx);
+                // Cleanup: deregister and release the writer.
+                ctx.hub.conns.lock().remove(&conn_id);
+                ServerStats::sub(&ctx.hub.stats.conns_active, 1);
+            })
+            .expect("spawning connection reader")
+    };
+
+    let mut threads = conn_threads.lock();
+    threads.push(writer);
+    threads.push(reader);
+}
+
+fn write_loop(stream: TcpStream, out_rx: Receiver<String>) {
+    let mut w = BufWriter::new(stream);
+    while let Ok(line) = out_rx.recv() {
+        if w.write_all(line.as_bytes()).is_err() || w.write_all(b"\n").is_err() {
+            return;
+        }
+        // Batch flushes: only force the buffer out when the queue is idle.
+        if out_rx.is_empty() && w.flush().is_err() {
+            return;
+        }
+    }
+    let _ = w.flush();
+}
+
+/// Parses and executes requests until EOF, error, or QUIT.
+fn read_loop(ctx: &ConnCtx, stream: TcpStream, conn_id: u64, out: Sender<String>) {
+    let stats = &ctx.hub.stats;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut next_seq = 0u64;
+    // Control replies go through the same queue as async results; a
+    // blocking send here only ever waits on this connection's own writer.
+    let reply = |text: String| {
+        let _ = out.send(text);
+        ServerStats::add(&stats.replies_sent, 1);
+    };
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let request = match protocol::parse_request(&ctx.hub.schema, &line) {
+            Ok(Some(req)) => req,
+            Ok(None) => continue,
+            Err(msg) => {
+                ServerStats::add(&stats.protocol_errors, 1);
+                reply(format!("-ERR {msg}"));
+                continue;
+            }
+        };
+        match request {
+            Request::Sub { id, sub } => match ctx.engine.subscribe(&sub) {
+                Ok(true) => {
+                    ctx.hub.owners.write().insert(id, conn_id);
+                    ServerStats::add(&stats.subs_added, 1);
+                    reply(format!("+OK {}", id.0));
+                }
+                Ok(false) => {
+                    ServerStats::add(&stats.protocol_errors, 1);
+                    reply(format!("-ERR duplicate subscription {}", id.0));
+                }
+                Err(e) => {
+                    ServerStats::add(&stats.protocol_errors, 1);
+                    reply(format!("-ERR bad subscription: {e}"));
+                }
+            },
+            Request::Unsub { id } => {
+                if ctx.engine.unsubscribe(id) {
+                    ctx.hub.owners.write().remove(&id);
+                    ServerStats::add(&stats.subs_removed, 1);
+                    reply(format!("+OK {}", id.0));
+                } else {
+                    ServerStats::add(&stats.protocol_errors, 1);
+                    reply(format!("-ERR unknown subscription {}", id.0));
+                }
+            }
+            Request::Pub { event } => {
+                let seq = next_seq;
+                next_seq += 1;
+                ServerStats::add(&stats.events_in, 1);
+                if ctx
+                    .ingest
+                    .send(IngestItem {
+                        conn: conn_id,
+                        seq,
+                        event,
+                    })
+                    .is_err()
+                {
+                    reply("-ERR server shutting down".into());
+                    return;
+                }
+                reply(format!("+OK {seq}"));
+            }
+            Request::Batch { count } => {
+                let first = next_seq;
+                let mut accepted = 0usize;
+                for i in 0..count {
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(0) | Err(_) => return,
+                        Ok(_) => {}
+                    }
+                    match apcm_bexpr::parser::parse_event(&ctx.hub.schema, line.trim()) {
+                        Ok(event) => {
+                            let seq = next_seq;
+                            next_seq += 1;
+                            accepted += 1;
+                            ServerStats::add(&stats.events_in, 1);
+                            if ctx
+                                .ingest
+                                .send(IngestItem {
+                                    conn: conn_id,
+                                    seq,
+                                    event,
+                                })
+                                .is_err()
+                            {
+                                reply("-ERR server shutting down".into());
+                                return;
+                            }
+                        }
+                        Err(e) => {
+                            ServerStats::add(&stats.protocol_errors, 1);
+                            reply(format!("-ERR batch line {i}: bad event: {e}"));
+                        }
+                    }
+                }
+                reply(format!("+OK batch {first} {accepted}"));
+            }
+            Request::Stats => {
+                let body = stats.render(&ctx.engine.per_shard_len(), ctx.ingest_depth.len());
+                // One queued string so async RESULT/EVENT lines cannot
+                // interleave inside the multi-line response.
+                reply(format!("+OK stats\n{body}."));
+            }
+            Request::Ping => reply("+PONG".into()),
+            Request::Quit => {
+                reply("+OK bye".into());
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Minimal blocking client for the broker's text protocol — used by the
+//! `apcm client` subcommand and integration tests.
+
+use apcm_bexpr::{Event, Schema, SubId, Subscription};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::protocol;
+
+pub struct BrokerClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl BrokerClient {
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Caps how long any single read waits; `None` blocks indefinitely.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one raw protocol line.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads one line (without the trailing newline). `Ok(None)` on EOF.
+    pub fn read_line(&mut self) -> std::io::Result<Option<String>> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+
+    fn expect_ok(&mut self, context: &str) -> std::io::Result<String> {
+        // Skip asynchronous RESULT/EVENT lines; the next command reply
+        // (+/-) on this connection belongs to the command just sent.
+        loop {
+            let line = self.read_line()?.ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, context.to_string())
+            })?;
+            if line.starts_with("RESULT ") || line.starts_with("EVENT ") {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('+') {
+                return Ok(rest.to_string());
+            }
+            return Err(std::io::Error::other(format!("{context}: {line}")));
+        }
+    }
+
+    /// `SUB id expr`, waiting for the acknowledgment.
+    pub fn subscribe(&mut self, sub: &Subscription, schema: &Schema) -> std::io::Result<()> {
+        self.send_line(&format!("SUB {} {}", sub.id().0, sub.display(schema)))?;
+        self.expect_ok("SUB").map(|_| ())
+    }
+
+    /// `UNSUB id`, waiting for the acknowledgment.
+    pub fn unsubscribe(&mut self, id: SubId) -> std::io::Result<()> {
+        self.send_line(&format!("UNSUB {}", id.0))?;
+        self.expect_ok("UNSUB").map(|_| ())
+    }
+
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        self.send_line("PING")?;
+        self.expect_ok("PING").map(|_| ())
+    }
+
+    /// Publishes `events` as one `BATCH` and collects the `RESULT` row for
+    /// each, keyed by this connection's event sequence number.
+    pub fn publish_batch(
+        &mut self,
+        events: &[Event],
+        schema: &Schema,
+    ) -> std::io::Result<BTreeMap<u64, Vec<SubId>>> {
+        self.send_line(&format!("BATCH {}", events.len()))?;
+        for ev in events {
+            self.send_line(&ev.display(schema).to_string())?;
+        }
+        let mut results = BTreeMap::new();
+        let mut acked = false;
+        while !acked || results.len() < events.len() {
+            let line = self
+                .read_line()?
+                .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "BATCH"))?;
+            if let Some(rest) = line.strip_prefix("RESULT ") {
+                let (seq, ids) = protocol::parse_result(&format!("RESULT {rest}"))
+                    .map_err(std::io::Error::other)?;
+                results.insert(seq, ids);
+            } else if line.starts_with("+OK batch ") {
+                acked = true;
+            } else if line.starts_with("-ERR") {
+                return Err(std::io::Error::other(line));
+            }
+            // EVENT notifications for our own subscriptions are ignored.
+        }
+        Ok(results)
+    }
+
+    /// `STATS`: returns the key/value body.
+    pub fn stats(&mut self) -> std::io::Result<BTreeMap<String, u64>> {
+        self.send_line("STATS")?;
+        let header = self.expect_ok("STATS")?;
+        if header.trim() != "OK stats" && !header.starts_with("OK stats") {
+            return Err(std::io::Error::other(format!("bad STATS header: {header}")));
+        }
+        let mut out = BTreeMap::new();
+        loop {
+            let line = self.read_line()?.ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "STATS body")
+            })?;
+            if line == "." {
+                return Ok(out);
+            }
+            if line.starts_with("RESULT ") || line.starts_with("EVENT ") {
+                continue;
+            }
+            if let Some((key, value)) = line.rsplit_once(' ') {
+                if let Ok(v) = value.parse::<u64>() {
+                    out.insert(key.to_string(), v);
+                }
+            }
+        }
+    }
+
+    /// `QUIT` and wait for the goodbye (best-effort).
+    pub fn quit(&mut self) -> std::io::Result<()> {
+        self.send_line("QUIT")?;
+        let _ = self.expect_ok("QUIT");
+        Ok(())
+    }
+}

@@ -1,0 +1,167 @@
+//! Server configuration: shard layout, engine choice, ingest tuning, and
+//! connection policies.
+
+use apcm_core::ApcmConfig;
+use std::time::Duration;
+
+/// Which matching engine each shard runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// A-PCM (`apcm_core::ApcmMatcher`) — native dynamic churn, OSR + batch
+    /// pruning inside each shard. The default.
+    Apcm,
+    /// BE-Tree with compressed buckets (`apcm_betree::HybridPcmTree`),
+    /// made dynamic with an overlay buffer folded in by maintenance.
+    BetreeHybrid,
+    /// Brute-force scan over the shard's live set. The correctness
+    /// baseline and the fallback when index build cost is not worth it.
+    Scan,
+}
+
+impl EngineChoice {
+    /// Parses the CLI / protocol spelling.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "apcm" => Ok(Self::Apcm),
+            "betree-hybrid" | "hybrid" => Ok(Self::BetreeHybrid),
+            "scan" => Ok(Self::Scan),
+            other => Err(format!(
+                "unknown engine `{other}` (expected apcm|betree-hybrid|scan)"
+            )),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Apcm => "apcm",
+            Self::BetreeHybrid => "betree-hybrid",
+            Self::Scan => "scan",
+        }
+    }
+}
+
+/// What to do with a connection whose outbound queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlowConsumerPolicy {
+    /// Drop the notification and count it (`replies_dropped`); the
+    /// connection stays up. The default.
+    Drop,
+    /// Disconnect the consumer; a client that cannot keep up loses its
+    /// session rather than wedging the matcher.
+    Disconnect,
+}
+
+impl SlowConsumerPolicy {
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "drop" => Ok(Self::Drop),
+            "disconnect" => Ok(Self::Disconnect),
+            other => Err(format!(
+                "unknown slow-consumer policy `{other}` (expected drop|disconnect)"
+            )),
+        }
+    }
+}
+
+/// Tuning for the sharded matching service.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of hash partitions of the subscription space.
+    pub shards: usize,
+    /// Engine run by every shard.
+    pub engine: EngineChoice,
+    /// Worker threads per shard for engines with internal parallelism.
+    /// `None` divides available cores evenly across shards.
+    pub threads_per_shard: Option<usize>,
+    /// OSR ingest window: events are matched in windows of this many.
+    pub window: usize,
+    /// Capacity of the bounded ingest queue (events). Producers block when
+    /// it is full — this is the backpressure boundary.
+    pub ingest_queue: usize,
+    /// Capacity of each connection's bounded outbound queue (lines).
+    pub conn_queue: usize,
+    /// Flush a partial ingest window after this long without new events.
+    pub flush_interval: Duration,
+    /// Period of the background per-shard `maintain()` sweep.
+    pub maintenance_interval: Duration,
+    /// Policy for consumers whose outbound queue is full.
+    pub slow_consumer: SlowConsumerPolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            engine: EngineChoice::Apcm,
+            threads_per_shard: None,
+            window: 128,
+            ingest_queue: 4096,
+            conn_queue: 1024,
+            flush_interval: Duration::from_millis(5),
+            maintenance_interval: Duration::from_millis(250),
+            slow_consumer: SlowConsumerPolicy::Drop,
+        }
+    }
+}
+
+impl ServerConfig {
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("shards must be positive".into());
+        }
+        if self.window == 0 {
+            return Err("window must be positive".into());
+        }
+        if self.ingest_queue == 0 || self.conn_queue == 0 {
+            return Err("queue capacities must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Engine configuration for one shard: with several shards the fan-out
+    /// happens at the shard level, so each shard runs sequentially on its
+    /// share of the cores; a single shard keeps the engine's own pool.
+    pub fn shard_engine_config(&self) -> ApcmConfig {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let per_shard = self
+            .threads_per_shard
+            .unwrap_or_else(|| (cores / self.shards).max(1));
+        if per_shard <= 1 {
+            ApcmConfig::sequential()
+        } else {
+            ApcmConfig::default().with_threads(per_shard)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        ServerConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_zero_shards() {
+        let config = ServerConfig {
+            shards: 0,
+            ..ServerConfig::default()
+        };
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn engine_choice_parses() {
+        assert_eq!(EngineChoice::parse("apcm").unwrap(), EngineChoice::Apcm);
+        assert_eq!(
+            EngineChoice::parse("betree-hybrid").unwrap(),
+            EngineChoice::BetreeHybrid
+        );
+        assert_eq!(EngineChoice::parse("scan").unwrap(), EngineChoice::Scan);
+        assert!(EngineChoice::parse("nope").is_err());
+    }
+}

@@ -1,0 +1,351 @@
+//! Per-shard dynamic matching engines.
+//!
+//! A shard needs live `subscribe` / `unsubscribe` / `maintain` on top of
+//! window matching. Only `ApcmMatcher` supports churn natively; the other
+//! engine kinds are adapted here:
+//!
+//! * [`ScanEngine`] keeps the shard's live set in a `Vec` behind a lock and
+//!   brute-forces every event — the correctness oracle.
+//! * [`HybridEngine`] runs the static `HybridPcmTree` over a *base* set plus
+//!   a linear overlay of recent subscribes; unsubscribes tombstone the base
+//!   and `maintain()` folds overlay + tombstones into a rebuilt tree. This
+//!   mirrors the A-PCM pending-buffer design at the index level.
+
+use apcm_betree::HybridPcmTree;
+use apcm_bexpr::{BexprError, Event, Matcher, Schema, SubId, Subscription};
+use apcm_core::{ApcmConfig, ApcmMatcher, MaintenanceReport};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+use crate::config::{EngineChoice, ServerConfig};
+
+/// Object-safe dynamic engine run by each shard.
+pub trait ShardEngine: Send + Sync {
+    /// Adds a subscription. `Ok(false)` if the id is already live.
+    fn subscribe(&self, sub: &Subscription) -> Result<bool, BexprError>;
+    /// Removes a subscription; `false` if the id was unknown.
+    fn unsubscribe(&self, id: SubId) -> bool;
+    /// Matches a window of events; row `i` holds the ascending, deduplicated
+    /// ids matching `events[i]`.
+    fn match_window(&self, events: &[Event]) -> Vec<Vec<SubId>>;
+    /// One maintenance pass (fold pending work, rebuild stale structures).
+    fn maintain(&self) -> MaintenanceReport;
+    /// Live subscription count.
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    fn name(&self) -> &'static str;
+}
+
+/// Builds an empty engine of the configured kind for one shard.
+pub fn build_engine(
+    schema: &Schema,
+    config: &ServerConfig,
+) -> Result<Box<dyn ShardEngine>, BexprError> {
+    Ok(match config.engine {
+        EngineChoice::Apcm => Box::new(ApcmEngine::new(schema, config.shard_engine_config())?),
+        EngineChoice::BetreeHybrid => Box::new(HybridEngine::new(schema)),
+        EngineChoice::Scan => Box::new(ScanEngine::default()),
+    })
+}
+
+/// Native A-PCM shard: churn and maintenance are first-class.
+pub struct ApcmEngine {
+    matcher: ApcmMatcher,
+}
+
+impl ApcmEngine {
+    pub fn new(schema: &Schema, config: ApcmConfig) -> Result<Self, BexprError> {
+        Ok(Self {
+            matcher: ApcmMatcher::build(schema, &[], &config)?,
+        })
+    }
+}
+
+impl ShardEngine for ApcmEngine {
+    fn subscribe(&self, sub: &Subscription) -> Result<bool, BexprError> {
+        self.matcher.subscribe(sub)
+    }
+
+    fn unsubscribe(&self, id: SubId) -> bool {
+        self.matcher.unsubscribe(id)
+    }
+
+    fn match_window(&self, events: &[Event]) -> Vec<Vec<SubId>> {
+        self.matcher.match_window(events)
+    }
+
+    fn maintain(&self) -> MaintenanceReport {
+        self.matcher.maintain()
+    }
+
+    fn len(&self) -> usize {
+        self.matcher.stats().subscriptions
+    }
+
+    fn name(&self) -> &'static str {
+        "apcm"
+    }
+}
+
+/// Brute-force scan shard: a locked `Vec` of live subscriptions.
+#[derive(Default)]
+pub struct ScanEngine {
+    subs: RwLock<Vec<Subscription>>,
+}
+
+impl ShardEngine for ScanEngine {
+    fn subscribe(&self, sub: &Subscription) -> Result<bool, BexprError> {
+        let mut subs = self.subs.write();
+        if subs.iter().any(|s| s.id() == sub.id()) {
+            return Ok(false);
+        }
+        subs.push(sub.clone());
+        Ok(true)
+    }
+
+    fn unsubscribe(&self, id: SubId) -> bool {
+        let mut subs = self.subs.write();
+        let before = subs.len();
+        subs.retain(|s| s.id() != id);
+        subs.len() != before
+    }
+
+    fn match_window(&self, events: &[Event]) -> Vec<Vec<SubId>> {
+        let subs = self.subs.read();
+        events
+            .iter()
+            .map(|ev| {
+                let mut row: Vec<SubId> = subs
+                    .iter()
+                    .filter(|s| s.matches(ev))
+                    .map(|s| s.id())
+                    .collect();
+                row.sort_unstable();
+                row
+            })
+            .collect()
+    }
+
+    fn maintain(&self) -> MaintenanceReport {
+        MaintenanceReport::default()
+    }
+
+    fn len(&self) -> usize {
+        self.subs.read().len()
+    }
+
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+}
+
+struct HybridState {
+    /// Compressed index over `base`; `None` until the first fold.
+    tree: Option<HybridPcmTree>,
+    /// Subscriptions the current `tree` was built from.
+    base: HashMap<SubId, Subscription>,
+    /// Live subscribes since the last fold, matched by linear scan.
+    overlay: Vec<Subscription>,
+    /// Ids unsubscribed from `base` since the last fold; the stale tree
+    /// still reports them, so match results are filtered against this.
+    tombstones: Vec<SubId>,
+}
+
+/// BE-Tree hybrid shard with overlay churn.
+pub struct HybridEngine {
+    schema: Schema,
+    state: RwLock<HybridState>,
+}
+
+impl HybridEngine {
+    pub fn new(schema: &Schema) -> Self {
+        Self {
+            schema: schema.clone(),
+            state: RwLock::new(HybridState {
+                tree: None,
+                base: HashMap::new(),
+                overlay: Vec::new(),
+                tombstones: Vec::new(),
+            }),
+        }
+    }
+}
+
+impl ShardEngine for HybridEngine {
+    fn subscribe(&self, sub: &Subscription) -> Result<bool, BexprError> {
+        sub.validate(&self.schema)?;
+        let mut state = self.state.write();
+        if state.base.contains_key(&sub.id()) || state.overlay.iter().any(|s| s.id() == sub.id()) {
+            return Ok(false);
+        }
+        // Re-subscribing a tombstoned id is allowed: the tombstone keeps
+        // suppressing the stale tree entry and the overlay copy answers
+        // until the next fold rebuilds the tree without the old version.
+        state.overlay.push(sub.clone());
+        Ok(true)
+    }
+
+    fn unsubscribe(&self, id: SubId) -> bool {
+        let mut state = self.state.write();
+        let before = state.overlay.len();
+        state.overlay.retain(|s| s.id() != id);
+        if state.overlay.len() != before {
+            return true;
+        }
+        if state.base.remove(&id).is_some() {
+            state.tombstones.push(id);
+            return true;
+        }
+        false
+    }
+
+    fn match_window(&self, events: &[Event]) -> Vec<Vec<SubId>> {
+        let state = self.state.read();
+        events
+            .iter()
+            .map(|ev| {
+                let mut row: Vec<SubId> = match &state.tree {
+                    Some(tree) => tree
+                        .match_event(ev)
+                        .into_iter()
+                        .filter(|id| !state.tombstones.contains(id))
+                        .collect(),
+                    None => Vec::new(),
+                };
+                row.extend(
+                    state
+                        .overlay
+                        .iter()
+                        .filter(|s| s.matches(ev))
+                        .map(|s| s.id()),
+                );
+                row.sort_unstable();
+                row.dedup();
+                row
+            })
+            .collect()
+    }
+
+    fn maintain(&self) -> MaintenanceReport {
+        let mut state = self.state.write();
+        let folded = state.overlay.len();
+        if folded == 0 && state.tombstones.is_empty() {
+            return MaintenanceReport::default();
+        }
+        let overlay = std::mem::take(&mut state.overlay);
+        for sub in overlay {
+            state.base.insert(sub.id(), sub);
+        }
+        state.tombstones.clear();
+        let subs: Vec<Subscription> = state.base.values().cloned().collect();
+        let rebuilt = if subs.is_empty() {
+            state.tree = None;
+            0
+        } else {
+            // Validated at subscribe time, so a build failure here would be
+            // a logic error; surface it loudly instead of dropping subs.
+            state.tree = Some(
+                HybridPcmTree::build(&self.schema, &subs)
+                    .expect("rebuilding hybrid tree from validated subscriptions"),
+            );
+            1
+        };
+        MaintenanceReport {
+            folded_pending: folded,
+            rebuilt_clusters: rebuilt,
+            dropped_clusters: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        let state = self.state.read();
+        state.base.len() + state.overlay.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "betree-hybrid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apcm_bexpr::parser;
+
+    fn schema() -> Schema {
+        Schema::uniform(4, 16)
+    }
+
+    fn sub(schema: &Schema, id: u32, text: &str) -> Subscription {
+        parser::parse_subscription_with_id(schema, SubId(id), text).unwrap()
+    }
+
+    fn event(schema: &Schema, text: &str) -> Event {
+        parser::parse_event(schema, text).unwrap()
+    }
+
+    fn engines(schema: &Schema) -> Vec<Box<dyn ShardEngine>> {
+        let mut out: Vec<Box<dyn ShardEngine>> = vec![
+            Box::new(ScanEngine::default()),
+            Box::new(HybridEngine::new(schema)),
+        ];
+        out.push(Box::new(
+            ApcmEngine::new(schema, ApcmConfig::sequential()).unwrap(),
+        ));
+        out
+    }
+
+    #[test]
+    fn churn_and_match_agree_across_engines() {
+        let schema = schema();
+        for engine in engines(&schema) {
+            assert!(engine.subscribe(&sub(&schema, 1, "a0 = 3")).unwrap());
+            assert!(engine.subscribe(&sub(&schema, 2, "a1 >= 5")).unwrap());
+            // Duplicate id is rejected without error.
+            assert!(!engine.subscribe(&sub(&schema, 1, "a2 = 0")).unwrap());
+            assert_eq!(engine.len(), 2, "{}", engine.name());
+
+            let window = vec![
+                event(&schema, "a0 = 3, a1 = 9"),
+                event(&schema, "a0 = 1, a1 = 2"),
+            ];
+            let rows = engine.match_window(&window);
+            assert_eq!(rows[0], vec![SubId(1), SubId(2)], "{}", engine.name());
+            assert!(rows[1].is_empty());
+
+            engine.maintain();
+            let rows = engine.match_window(&window);
+            assert_eq!(rows[0], vec![SubId(1), SubId(2)], "{}", engine.name());
+
+            assert!(engine.unsubscribe(SubId(1)));
+            assert!(!engine.unsubscribe(SubId(99)));
+            let rows = engine.match_window(&window);
+            assert_eq!(rows[0], vec![SubId(2)], "{}", engine.name());
+            assert_eq!(engine.len(), 1);
+        }
+    }
+
+    #[test]
+    fn hybrid_resubscribe_after_fold_uses_new_predicates() {
+        let schema = schema();
+        let engine = HybridEngine::new(&schema);
+        assert!(engine.subscribe(&sub(&schema, 7, "a0 = 1")).unwrap());
+        engine.maintain(); // id 7 now lives in the tree
+        assert!(engine.unsubscribe(SubId(7)));
+        assert!(engine.subscribe(&sub(&schema, 7, "a0 = 2")).unwrap());
+
+        let hit_old = event(&schema, "a0 = 1");
+        let hit_new = event(&schema, "a0 = 2");
+        let rows = engine.match_window(&[hit_old.clone(), hit_new.clone()]);
+        assert!(rows[0].is_empty(), "stale tree entry must be suppressed");
+        assert_eq!(rows[1], vec![SubId(7)]);
+
+        let report = engine.maintain();
+        assert_eq!(report.folded_pending, 1);
+        let rows = engine.match_window(&[hit_old, hit_new]);
+        assert!(rows[0].is_empty());
+        assert_eq!(rows[1], vec![SubId(7)]);
+    }
+}

@@ -1,0 +1,229 @@
+//! OSR-batched ingest pipeline.
+//!
+//! Publishers push events into a bounded channel (the backpressure
+//! boundary: `send` blocks when the queue is full). A single matcher
+//! thread drains the queue into an [`OsrBuffer`] window; full windows — or
+//! partial windows older than the flush interval — are matched through the
+//! sharded engine and the per-event match rows are handed to a sink.
+
+use apcm_bexpr::Event;
+use apcm_core::osr::OsrBuffer;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::config::ServerConfig;
+use crate::shard::ShardedEngine;
+use crate::stats::ServerStats;
+
+/// One queued publish: the event plus enough routing context to deliver
+/// its `RESULT` row back to the publisher.
+#[derive(Debug)]
+pub struct IngestItem {
+    pub conn: u64,
+    /// Publisher-scoped event sequence number.
+    pub seq: u64,
+    pub event: Event,
+}
+
+/// Where match results go. Implemented by the broker (delivery to client
+/// queues) and by tests (capture).
+pub trait ResultSink: Send + Sync + 'static {
+    /// Called once per matched window, in window order; `items[i]`
+    /// produced `rows[i]`.
+    fn on_window(&self, items: &[IngestItem], rows: &[Vec<apcm_bexpr::SubId>]);
+}
+
+pub struct IngestPipeline {
+    tx: Sender<IngestItem>,
+    worker: Option<JoinHandle<()>>,
+    depth: Arc<Receiver<IngestItem>>,
+}
+
+impl IngestPipeline {
+    pub fn start(
+        engine: Arc<ShardedEngine>,
+        stats: Arc<ServerStats>,
+        sink: Arc<dyn ResultSink>,
+        config: &ServerConfig,
+    ) -> Self {
+        let (tx, rx) = bounded::<IngestItem>(config.ingest_queue);
+        let window = config.window;
+        let flush_interval = config.flush_interval;
+        let depth = Arc::new(rx.clone());
+        let worker = std::thread::Builder::new()
+            .name("apcm-ingest".into())
+            .spawn(move || run_matcher(rx, engine, stats, sink, window, flush_interval))
+            .expect("spawning ingest thread");
+        Self {
+            tx,
+            worker: Some(worker),
+            depth,
+        }
+    }
+
+    /// A handle publishers use to enqueue events (blocking on a full queue).
+    pub fn sender(&self) -> Sender<IngestItem> {
+        self.tx.clone()
+    }
+
+    /// Current queue depth, for `STATS`.
+    pub fn depth(&self) -> usize {
+        self.depth.len()
+    }
+
+    /// A receiver clone used only for depth observation (never consumed).
+    pub fn depth_handle(&self) -> Receiver<IngestItem> {
+        (*self.depth).clone()
+    }
+
+    /// Drops the pipeline's own sender and joins the matcher thread once
+    /// every outstanding publisher handle is gone. Remaining queued events
+    /// are flushed before the thread exits.
+    pub fn shutdown(mut self) {
+        drop(self.tx);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn run_matcher(
+    rx: Receiver<IngestItem>,
+    engine: Arc<ShardedEngine>,
+    stats: Arc<ServerStats>,
+    sink: Arc<dyn ResultSink>,
+    window: usize,
+    flush_interval: Duration,
+) {
+    // OsrBuffer hands windows back in arrival order (re-ordering is an
+    // internal strategy of match_window), so `pending` — the routing
+    // context — stays aligned 1:1 with every flushed window.
+    let mut pending: Vec<IngestItem> = Vec::new();
+    let mut buffer = OsrBuffer::new(window);
+    loop {
+        match rx.recv_timeout(flush_interval) {
+            Ok(item) => {
+                let flushed = buffer.push(item.event.clone());
+                pending.push(item);
+                if let Some(events) = flushed {
+                    process_window(&engine, &stats, &sink, &mut pending, events);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                let events = buffer.flush();
+                if !events.is_empty() {
+                    process_window(&engine, &stats, &sink, &mut pending, events);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                let events = buffer.flush();
+                if !events.is_empty() {
+                    process_window(&engine, &stats, &sink, &mut pending, events);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Matches one flushed window and routes results back to their items.
+fn process_window(
+    engine: &ShardedEngine,
+    stats: &ServerStats,
+    sink: &Arc<dyn ResultSink>,
+    pending: &mut Vec<IngestItem>,
+    events: Vec<Event>,
+) {
+    let t0 = Instant::now();
+    let rows = engine.match_window(&events);
+    stats.latency.record(t0.elapsed());
+    ServerStats::add(&stats.windows, 1);
+    ServerStats::add(&stats.events_matched, events.len() as u64);
+    ServerStats::add(
+        &stats.matches,
+        rows.iter().map(|r| r.len() as u64).sum::<u64>(),
+    );
+
+    let window_items: Vec<IngestItem> = pending.drain(..events.len()).collect();
+    debug_assert!(window_items
+        .iter()
+        .zip(&events)
+        .all(|(item, ev)| item.event == *ev));
+    sink.on_window(&window_items, &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineChoice;
+    use apcm_bexpr::{parser, Schema, SubId};
+    use parking_lot::Mutex;
+
+    struct Capture {
+        rows: Mutex<Vec<(u64, u64, Vec<SubId>)>>,
+    }
+
+    impl ResultSink for Capture {
+        fn on_window(&self, items: &[IngestItem], rows: &[Vec<SubId>]) {
+            let mut out = self.rows.lock();
+            for (item, row) in items.iter().zip(rows) {
+                out.push((item.conn, item.seq, row.clone()));
+            }
+        }
+    }
+
+    #[test]
+    fn windows_flush_by_size_and_timeout() {
+        let schema = Schema::uniform(2, 8);
+        let config = ServerConfig {
+            shards: 2,
+            engine: EngineChoice::Scan,
+            window: 4,
+            flush_interval: Duration::from_millis(10),
+            ..ServerConfig::default()
+        };
+        let engine = Arc::new(ShardedEngine::new(&schema, &config).unwrap());
+        for id in 0..8u32 {
+            let text = format!("a0 = {}", id % 4);
+            let sub = parser::parse_subscription_with_id(&schema, SubId(id), &text).unwrap();
+            engine.subscribe(&sub).unwrap();
+        }
+        let stats = Arc::new(ServerStats::default());
+        let capture = Arc::new(Capture {
+            rows: Mutex::new(Vec::new()),
+        });
+        let pipeline =
+            IngestPipeline::start(engine.clone(), stats.clone(), capture.clone(), &config);
+
+        let tx = pipeline.sender();
+        // 6 events: one full window of 4, then 2 flushed by timeout/shutdown.
+        for seq in 0..6u64 {
+            let event = parser::parse_event(&schema, &format!("a0 = {}", seq % 4)).unwrap();
+            tx.send(IngestItem {
+                conn: 1,
+                seq,
+                event,
+            })
+            .unwrap();
+        }
+        drop(tx);
+        pipeline.shutdown();
+
+        let rows = capture.rows.lock();
+        assert_eq!(rows.len(), 6);
+        for (conn, seq, row) in rows.iter() {
+            assert_eq!(*conn, 1);
+            // a0 = s%4 matches subs with id % 4 == s % 4 (ids 0..8).
+            let expect: Vec<SubId> = (0..8u32)
+                .filter(|id| (id % 4) as u64 == seq % 4)
+                .map(SubId)
+                .collect();
+            assert_eq!(row, &expect, "seq {seq}");
+        }
+        assert_eq!(ServerStats::get(&stats.events_matched), 6);
+        assert!(ServerStats::get(&stats.windows) >= 2);
+        assert_eq!(ServerStats::get(&stats.matches), 12);
+    }
+}

@@ -1,0 +1,32 @@
+//! apcm-server: a concurrent matching service over the A-PCM engines.
+//!
+//! The paper's matcher is a library; this crate turns it into a broker:
+//!
+//! * [`ShardedEngine`] hash-partitions the subscription space across N
+//!   shards, each owning a dynamic engine ([`EngineChoice`]: native A-PCM,
+//!   the BE-Tree hybrid behind an overlay, or a brute-force scan), fans
+//!   event windows out across shards on scoped threads, and merges rows.
+//! * [`IngestPipeline`] applies OSR at the service boundary: publishes
+//!   flow through a bounded queue (backpressure) into
+//!   [`apcm_core::osr::OsrBuffer`] windows matched by a dedicated thread.
+//! * [`Server`] is a TCP broker (`std::net` + threads) speaking a
+//!   newline-delimited text protocol (see [`protocol`]) with live
+//!   `SUB`/`UNSUB`, batch publishing, per-connection slow-consumer policy,
+//!   a background maintenance sweep, and [`ServerStats`] counters.
+
+pub mod broker;
+pub mod client;
+pub mod config;
+pub mod engine;
+pub mod ingest;
+pub mod protocol;
+pub mod shard;
+pub mod stats;
+
+pub use broker::Server;
+pub use client::BrokerClient;
+pub use config::{EngineChoice, ServerConfig, SlowConsumerPolicy};
+pub use engine::ShardEngine;
+pub use ingest::{IngestItem, IngestPipeline, ResultSink};
+pub use shard::ShardedEngine;
+pub use stats::ServerStats;

@@ -1,0 +1,250 @@
+//! Newline-delimited text protocol.
+//!
+//! Requests (one per line; verbs are case-insensitive, arguments reuse the
+//! `bexpr` parser syntax):
+//!
+//! ```text
+//! SUB <id> <expr>      subscribe, e.g. SUB 7 a0 = 3 AND a1 >= 5
+//! UNSUB <id>           unsubscribe
+//! PUB <event>          publish one event, e.g. PUB a0 = 3, a1 = 9
+//! BATCH <n>            the next n lines are events, published as one batch
+//! STATS                server counters
+//! PING                 liveness probe
+//! QUIT                 close this connection
+//! ```
+//!
+//! Replies: `+OK ...` / `-ERR <message>` for commands, and asynchronous
+//! lines pushed by the matcher:
+//!
+//! ```text
+//! RESULT <seq> <n> [id,id,...]   match row for the publisher's event <seq>
+//! EVENT <id> <event>             notification to the subscriber owning <id>
+//! ```
+//!
+//! `STATS` replies with `+OK stats`, `key value` lines, then `.` alone.
+
+use apcm_bexpr::{parser, BexprError, Event, Schema, SubId, Subscription};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Sub { id: SubId, sub: Subscription },
+    Unsub { id: SubId },
+    Pub { event: Event },
+    Batch { count: usize },
+    Stats,
+    Ping,
+    Quit,
+}
+
+/// Parses one request line. `None` for blank lines and `#` comments.
+pub fn parse_request(schema: &Schema, line: &str) -> Result<Option<Request>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    let request = match verb.to_ascii_uppercase().as_str() {
+        "SUB" => {
+            let (id_text, expr) = rest
+                .split_once(char::is_whitespace)
+                .ok_or("usage: SUB <id> <expr>")?;
+            let id = parse_id(id_text)?;
+            let sub = parser::parse_subscription_with_id(schema, id, expr.trim())
+                .map_err(|e| bexpr_msg("expression", &e))?;
+            Request::Sub { id, sub }
+        }
+        "UNSUB" => {
+            if rest.is_empty() {
+                return Err("usage: UNSUB <id>".into());
+            }
+            Request::Unsub {
+                id: parse_id(rest)?,
+            }
+        }
+        "PUB" => {
+            if rest.is_empty() {
+                return Err("usage: PUB <event>".into());
+            }
+            let event = parser::parse_event(schema, rest).map_err(|e| bexpr_msg("event", &e))?;
+            Request::Pub { event }
+        }
+        "BATCH" => {
+            let count: usize = rest
+                .parse()
+                .map_err(|_| format!("bad batch size `{rest}`"))?;
+            if count == 0 {
+                return Err("batch size must be positive".into());
+            }
+            Request::Batch { count }
+        }
+        "STATS" => Request::Stats,
+        "PING" => Request::Ping,
+        "QUIT" => Request::Quit,
+        other => return Err(format!("unknown verb `{other}`")),
+    };
+    Ok(Some(request))
+}
+
+fn parse_id(text: &str) -> Result<SubId, String> {
+    text.trim()
+        .parse::<u32>()
+        .map(SubId)
+        .map_err(|_| format!("bad subscription id `{text}`"))
+}
+
+fn bexpr_msg(what: &str, err: &BexprError) -> String {
+    format!("bad {what}: {err}")
+}
+
+/// Renders a `RESULT` line for event `seq` of a publish.
+pub fn render_result(seq: u64, ids: &[SubId]) -> String {
+    let mut out = format!("RESULT {seq} {}", ids.len());
+    if !ids.is_empty() {
+        out.push(' ');
+        for (i, id) in ids.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&id.0.to_string());
+        }
+    }
+    out
+}
+
+/// Parses a `RESULT` line back into `(seq, ids)` — used by the bundled
+/// client and tests.
+pub fn parse_result(line: &str) -> Result<(u64, Vec<SubId>), String> {
+    let rest = line
+        .strip_prefix("RESULT ")
+        .ok_or_else(|| format!("not a RESULT line: `{line}`"))?;
+    let mut parts = rest.split_whitespace();
+    let seq: u64 = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or("RESULT missing seq")?;
+    let count: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or("RESULT missing count")?;
+    let ids = match parts.next() {
+        None if count == 0 => Vec::new(),
+        Some(csv) => csv
+            .split(',')
+            .map(|t| t.parse::<u32>().map(SubId))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| format!("bad RESULT ids: {e}"))?,
+        None => return Err("RESULT ids missing".into()),
+    };
+    if ids.len() != count {
+        return Err(format!("RESULT count {count} != {} ids", ids.len()));
+    }
+    Ok((seq, ids))
+}
+
+/// Renders an `EVENT` notification for a subscriber.
+pub fn render_event_notification(id: SubId, event: &Event, schema: &Schema) -> String {
+    format!("EVENT {} {}", id.0, event.display(schema))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::uniform(3, 16)
+    }
+
+    #[test]
+    fn parses_all_verbs() {
+        let schema = schema();
+        let req = parse_request(&schema, "SUB 7 a0 = 3 AND a1 >= 5")
+            .unwrap()
+            .unwrap();
+        match req {
+            Request::Sub { id, sub } => {
+                assert_eq!(id, SubId(7));
+                assert_eq!(sub.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse_request(&schema, "unsub 9").unwrap().unwrap(),
+            Request::Unsub { id: SubId(9) }
+        );
+        assert!(matches!(
+            parse_request(&schema, "PUB a0 = 1, a1 = 2")
+                .unwrap()
+                .unwrap(),
+            Request::Pub { .. }
+        ));
+        assert_eq!(
+            parse_request(&schema, "BATCH 16").unwrap().unwrap(),
+            Request::Batch { count: 16 }
+        );
+        assert_eq!(
+            parse_request(&schema, "STATS").unwrap().unwrap(),
+            Request::Stats
+        );
+        assert_eq!(
+            parse_request(&schema, "PING").unwrap().unwrap(),
+            Request::Ping
+        );
+        assert_eq!(
+            parse_request(&schema, "QUIT").unwrap().unwrap(),
+            Request::Quit
+        );
+    }
+
+    #[test]
+    fn blank_and_comment_lines_are_skipped() {
+        let schema = schema();
+        assert_eq!(parse_request(&schema, "   ").unwrap(), None);
+        assert_eq!(parse_request(&schema, "# hi").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        let schema = schema();
+        for bad in [
+            "SUB",
+            "SUB x a0 = 1",
+            "SUB 1 a9 = 1",
+            "UNSUB",
+            "UNSUB x",
+            "PUB",
+            "PUB nonsense",
+            "BATCH",
+            "BATCH 0",
+            "BATCH -3",
+            "FROB 1",
+        ] {
+            assert!(parse_request(&schema, bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn result_round_trips() {
+        let ids = vec![SubId(1), SubId(5), SubId(9)];
+        let line = render_result(42, &ids);
+        assert_eq!(line, "RESULT 42 3 1,5,9");
+        assert_eq!(parse_result(&line).unwrap(), (42, ids));
+
+        let empty = render_result(7, &[]);
+        assert_eq!(empty, "RESULT 7 0");
+        assert_eq!(parse_result(&empty).unwrap(), (7, Vec::new()));
+    }
+
+    #[test]
+    fn event_notification_renders_through_schema() {
+        let schema = schema();
+        let ev = parser::parse_event(&schema, "a0 = 1, a2 = 5").unwrap();
+        let line = render_event_notification(SubId(3), &ev, &schema);
+        assert!(line.starts_with("EVENT 3 "));
+        let body = line.strip_prefix("EVENT 3 ").unwrap();
+        assert_eq!(parser::parse_event(&schema, body).unwrap(), ev);
+    }
+}

@@ -1,0 +1,201 @@
+//! Hash-partitioned subscription space: N shards, each owning a dynamic
+//! engine, with window matching fanned out across shards and merged.
+
+use apcm_bexpr::{BexprError, Event, Schema, SubId, Subscription};
+use apcm_core::MaintenanceReport;
+
+use crate::config::ServerConfig;
+use crate::engine::{build_engine, ShardEngine};
+
+/// A fleet of per-shard engines behind a single dynamic-matching facade.
+///
+/// Subscriptions are routed to a shard by a Fibonacci hash of their id, so
+/// routing is stable, stateless, and balanced for both dense and sparse id
+/// spaces. Every shard sees every event window; a subscription lives in
+/// exactly one shard, so merged rows need no deduplication.
+pub struct ShardedEngine {
+    shards: Vec<Box<dyn ShardEngine>>,
+}
+
+impl ShardedEngine {
+    pub fn new(schema: &Schema, config: &ServerConfig) -> Result<Self, BexprError> {
+        let shards = (0..config.shards)
+            .map(|_| build_engine(schema, config))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { shards })
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn engine_name(&self) -> &'static str {
+        self.shards[0].name()
+    }
+
+    /// Stable shard index for a subscription id.
+    pub fn shard_of(&self, id: SubId) -> usize {
+        let h = (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        (h % self.shards.len() as u64) as usize
+    }
+
+    /// Routes to the owning shard. `Ok(false)` if the id is already live.
+    pub fn subscribe(&self, sub: &Subscription) -> Result<bool, BexprError> {
+        self.shards[self.shard_of(sub.id())].subscribe(sub)
+    }
+
+    /// Routes to the owning shard; `false` if the id was unknown.
+    pub fn unsubscribe(&self, id: SubId) -> bool {
+        self.shards[self.shard_of(id)].unsubscribe(id)
+    }
+
+    /// Matches a window against every shard and merges per-event rows.
+    ///
+    /// With more than one populated shard the fan-out uses scoped threads —
+    /// one per shard, the paper's parallel fan-out at the partition level.
+    pub fn match_window(&self, events: &[Event]) -> Vec<Vec<SubId>> {
+        if events.is_empty() {
+            return Vec::new();
+        }
+        let active: Vec<&dyn ShardEngine> = self
+            .shards
+            .iter()
+            .map(|s| s.as_ref())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let per_shard: Vec<Vec<Vec<SubId>>> = match active.len() {
+            0 => return vec![Vec::new(); events.len()],
+            1 => vec![active[0].match_window(events)],
+            _ => std::thread::scope(|scope| {
+                let handles: Vec<_> = active
+                    .iter()
+                    .map(|&shard| scope.spawn(move || shard.match_window(events)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            }),
+        };
+        let mut merged = vec![Vec::new(); events.len()];
+        for rows in per_shard {
+            for (slot, mut row) in merged.iter_mut().zip(rows) {
+                if slot.is_empty() {
+                    *slot = row;
+                } else {
+                    slot.append(&mut row);
+                }
+            }
+        }
+        // Each id lives in one shard, so concatenation has no duplicates;
+        // sorting restores the ascending contract after the merge.
+        for row in &mut merged {
+            row.sort_unstable();
+        }
+        merged
+    }
+
+    /// Runs one maintenance pass on every shard, aggregating the reports.
+    pub fn maintain(&self) -> MaintenanceReport {
+        let mut total = MaintenanceReport::default();
+        for shard in &self.shards {
+            let report = shard.maintain();
+            total.folded_pending += report.folded_pending;
+            total.rebuilt_clusters += report.rebuilt_clusters;
+            total.dropped_clusters += report.dropped_clusters;
+        }
+        total
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// Live subscription count per shard (for `STATS`).
+    pub fn per_shard_len(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineChoice;
+    use apcm_bexpr::parser;
+
+    fn setup(shards: usize, engine: EngineChoice) -> (Schema, ShardedEngine) {
+        let schema = Schema::uniform(4, 32);
+        let config = ServerConfig {
+            shards,
+            engine,
+            ..ServerConfig::default()
+        };
+        let sharded = ShardedEngine::new(&schema, &config).unwrap();
+        (schema, sharded)
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let (_, engine) = setup(4, EngineChoice::Scan);
+        for id in 0..1000 {
+            let s = engine.shard_of(SubId(id));
+            assert!(s < 4);
+            assert_eq!(s, engine.shard_of(SubId(id)));
+        }
+    }
+
+    #[test]
+    fn routing_spreads_dense_ids() {
+        let (_, engine) = setup(4, EngineChoice::Scan);
+        let mut counts = [0usize; 4];
+        for id in 0..1024 {
+            counts[engine.shard_of(SubId(id))] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 128, "unbalanced shard assignment: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_match_merges_sorted_rows() {
+        for kind in [EngineChoice::Scan, EngineChoice::Apcm] {
+            let (schema, engine) = setup(3, kind);
+            for id in 0..64u32 {
+                let text = format!("a0 <= {}", id % 8);
+                let sub = parser::parse_subscription_with_id(&schema, SubId(id), &text).unwrap();
+                assert!(engine.subscribe(&sub).unwrap());
+            }
+            assert_eq!(engine.len(), 64);
+            assert_eq!(engine.per_shard_len().iter().sum::<usize>(), 64);
+
+            let ev = parser::parse_event(&schema, "a0 = 3, a1 = 0, a2 = 0, a3 = 0").unwrap();
+            let rows = engine.match_window(&[ev]);
+            // a0 <= k matches a0 = 3 iff k >= 3 -> ids with id % 8 in 3..8.
+            let expect: Vec<SubId> = (0..64u32).filter(|id| id % 8 >= 3).map(SubId).collect();
+            assert_eq!(rows[0], expect, "engine {}", engine.engine_name());
+
+            assert!(engine.unsubscribe(SubId(3)));
+            assert!(!engine.unsubscribe(SubId(3)));
+            let rows = engine.match_window(&[parser::parse_event(
+                &schema,
+                "a0 = 3, a1 = 0, a2 = 0, a3 = 0",
+            )
+            .unwrap()]);
+            assert!(!rows[0].contains(&SubId(3)));
+        }
+    }
+
+    #[test]
+    fn maintain_aggregates_across_shards() {
+        let (schema, engine) = setup(2, EngineChoice::BetreeHybrid);
+        for id in 0..10u32 {
+            let sub = parser::parse_subscription_with_id(&schema, SubId(id), "a0 >= 0").unwrap();
+            engine.subscribe(&sub).unwrap();
+        }
+        let report = engine.maintain();
+        assert_eq!(report.folded_pending, 10);
+        assert!(report.rebuilt_clusters >= 1);
+        assert!(engine.maintain().is_noop());
+    }
+}

@@ -1,0 +1,194 @@
+//! Lock-free server counters and the `STATS` snapshot.
+
+use apcm_core::MaintenanceReport;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Power-of-two latency histogram in microseconds: bucket `i` counts
+/// samples in `[2^i, 2^(i+1))` µs, with bucket 0 catching sub-µs samples
+/// and the last bucket open-ended.
+pub const LATENCY_BUCKETS: usize = 20;
+
+#[derive(Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros() as u64;
+        let idx = (64 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> [u64; LATENCY_BUCKETS] {
+        let mut out = [0u64; LATENCY_BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Smallest bucket upper bound (µs) covering `q` of the samples, or
+    /// `None` with no samples. Coarse by construction — buckets are
+    /// powers of two — but monotone and cheap.
+    pub fn quantile_upper_bound_us(&self, q: f64) -> Option<u64> {
+        let snap = self.snapshot();
+        let total: u64 = snap.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = (total as f64 * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &count) in snap.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Some(1u64 << i);
+            }
+        }
+        Some(1u64 << (LATENCY_BUCKETS - 1))
+    }
+}
+
+/// Counters shared by every server thread. All relaxed: these are
+/// monitoring data, not synchronization.
+#[derive(Default)]
+pub struct ServerStats {
+    /// Events accepted into the ingest queue.
+    pub events_in: AtomicU64,
+    /// Events matched (windows fully processed).
+    pub events_matched: AtomicU64,
+    /// Windows flushed through the engine.
+    pub windows: AtomicU64,
+    /// Total (event, subscription) match pairs produced.
+    pub matches: AtomicU64,
+    /// Notification / result lines delivered to client queues.
+    pub replies_sent: AtomicU64,
+    /// Lines dropped because a consumer's queue was full.
+    pub replies_dropped: AtomicU64,
+    /// Connections force-closed by the slow-consumer policy.
+    pub slow_disconnects: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    pub conns_total: AtomicU64,
+    /// Currently open connections.
+    pub conns_active: AtomicU64,
+    /// Successful SUB commands.
+    pub subs_added: AtomicU64,
+    /// Successful UNSUB commands.
+    pub subs_removed: AtomicU64,
+    /// Protocol errors returned to clients.
+    pub protocol_errors: AtomicU64,
+    /// Background maintenance passes that did work.
+    pub maintenance_passes: AtomicU64,
+    /// Aggregate `MaintenanceReport` fields across all passes and shards.
+    pub maintenance_folded: AtomicU64,
+    pub maintenance_rebuilt: AtomicU64,
+    pub maintenance_dropped: AtomicU64,
+    /// Per-window matching latency (queue pop to results ready).
+    pub latency: LatencyHistogram,
+}
+
+impl ServerStats {
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn sub(counter: &AtomicU64, n: u64) {
+        counter.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    pub fn record_maintenance(&self, report: &MaintenanceReport) {
+        if report.is_noop() {
+            return;
+        }
+        Self::add(&self.maintenance_passes, 1);
+        Self::add(&self.maintenance_folded, report.folded_pending as u64);
+        Self::add(&self.maintenance_rebuilt, report.rebuilt_clusters as u64);
+        Self::add(&self.maintenance_dropped, report.dropped_clusters as u64);
+    }
+
+    /// Renders the `STATS` body: `key value` lines, one per metric.
+    /// Transport-independent so the CLI can reuse it on shutdown.
+    pub fn render(&self, per_shard_subs: &[usize], ingest_depth: usize) -> String {
+        let mut out = String::new();
+        let mut push = |key: &str, value: u64| {
+            out.push_str(key);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        };
+        push("events_in", Self::get(&self.events_in));
+        push("events_matched", Self::get(&self.events_matched));
+        push("windows", Self::get(&self.windows));
+        push("matches", Self::get(&self.matches));
+        push("replies_sent", Self::get(&self.replies_sent));
+        push("replies_dropped", Self::get(&self.replies_dropped));
+        push("slow_disconnects", Self::get(&self.slow_disconnects));
+        push("conns_total", Self::get(&self.conns_total));
+        push("conns_active", Self::get(&self.conns_active));
+        push("subs_added", Self::get(&self.subs_added));
+        push("subs_removed", Self::get(&self.subs_removed));
+        push("protocol_errors", Self::get(&self.protocol_errors));
+        push("maintenance_passes", Self::get(&self.maintenance_passes));
+        push("maintenance_folded", Self::get(&self.maintenance_folded));
+        push("maintenance_rebuilt", Self::get(&self.maintenance_rebuilt));
+        push("maintenance_dropped", Self::get(&self.maintenance_dropped));
+        push("ingest_queue_depth", ingest_depth as u64);
+        for (i, &n) in per_shard_subs.iter().enumerate() {
+            push(&format!("shard_{i}_subs"), n as u64);
+        }
+        for (q, label) in [(0.5, "p50"), (0.99, "p99")] {
+            if let Some(us) = self.latency.quantile_upper_bound_us(q) {
+                push(&format!("window_latency_{label}_us_le"), us);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_magnitude() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(0));
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(1000));
+        let snap = h.snapshot();
+        assert_eq!(snap[0], 1); // sub-µs
+        assert_eq!(snap[1], 1); // [1,2)
+        assert_eq!(snap[2], 1); // [2,4)
+        assert_eq!(snap[10], 1); // [512,1024) ... 1000µs
+        assert_eq!(snap.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_upper_bound_us(0.5), None);
+        for us in [1u64, 2, 4, 100, 5000] {
+            h.record(Duration::from_micros(us));
+        }
+        let p50 = h.quantile_upper_bound_us(0.5).unwrap();
+        let p99 = h.quantile_upper_bound_us(0.99).unwrap();
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn render_includes_shards_and_counters() {
+        let stats = ServerStats::default();
+        ServerStats::add(&stats.events_in, 7);
+        let text = stats.render(&[3, 4], 2);
+        assert!(text.contains("events_in 7\n"));
+        assert!(text.contains("shard_0_subs 3\n"));
+        assert!(text.contains("shard_1_subs 4\n"));
+        assert!(text.contains("ingest_queue_depth 2\n"));
+    }
+}

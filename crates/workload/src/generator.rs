@@ -346,10 +346,7 @@ mod tests {
 
     #[test]
     fn planted_events_match_something() {
-        let wl = WorkloadSpec::new(100)
-            .planted_fraction(1.0)
-            .seed(3)
-            .build();
+        let wl = WorkloadSpec::new(100).planted_fraction(1.0).seed(3).build();
         for ev in wl.events(100) {
             let matched = wl.subs.iter().any(|s| s.matches(&ev));
             assert!(matched, "every planted event matches ≥ 1 subscription");
@@ -360,10 +357,7 @@ mod tests {
     fn zero_planting_is_mostly_misses() {
         // With 20 dims of cardinality 1000 and equality-heavy expressions,
         // random events essentially never match.
-        let wl = WorkloadSpec::new(100)
-            .planted_fraction(0.0)
-            .seed(4)
-            .build();
+        let wl = WorkloadSpec::new(100).planted_fraction(0.0).seed(4).build();
         let hits: usize = wl
             .events(100)
             .iter()

@@ -283,7 +283,10 @@ mod tests {
         assert!(WorkloadSpec::new(1).sub_preds(3, 100).validate().is_err());
         assert!(WorkloadSpec::new(1).event_size(0).validate().is_err());
         assert!(WorkloadSpec::new(1).event_size(9999).validate().is_err());
-        assert!(WorkloadSpec::new(1).planted_fraction(1.5).validate().is_err());
+        assert!(WorkloadSpec::new(1)
+            .planted_fraction(1.5)
+            .validate()
+            .is_err());
         assert!(WorkloadSpec::new(1).set_size(0).validate().is_err());
         let zero_ops = OperatorMix {
             eq: 0.0,

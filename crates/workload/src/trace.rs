@@ -129,8 +129,8 @@ impl Trace {
                         .next()
                         .and_then(|t| t.parse().ok())
                         .ok_or_else(|| err("attr needs an integer max".into()))?;
-                    let domain = Domain::try_new(min, max)
-                        .map_err(|e| err(format!("bad domain: {e}")))?;
+                    let domain =
+                        Domain::try_new(min, max).map_err(|e| err(format!("bad domain: {e}")))?;
                     schema
                         .add_attr(name, domain)
                         .map_err(|e| err(format!("bad attribute: {e}")))?;
@@ -199,12 +199,11 @@ mod tests {
     fn round_trips_negative_domains() {
         let mut schema = Schema::new();
         schema.add_attr("temp", Domain::new(-50, 60)).unwrap();
-        let subs = vec![parser::parse_subscription_with_id(
-            &schema,
-            SubId(3),
-            "temp BETWEEN -10 AND 5",
-        )
-        .unwrap()];
+        let subs =
+            vec![
+                parser::parse_subscription_with_id(&schema, SubId(3), "temp BETWEEN -10 AND 5")
+                    .unwrap(),
+            ];
         let events = vec![parser::parse_event(&schema, "temp = -7").unwrap()];
         let trace = Trace {
             schema,
@@ -267,7 +266,10 @@ event x = 3
 
     #[test]
     fn loaded_trace_is_matchable() {
-        let wl = WorkloadSpec::new(100).seed(93).planted_fraction(0.5).build();
+        let wl = WorkloadSpec::new(100)
+            .seed(93)
+            .planted_fraction(0.5)
+            .build();
         let trace = round_trip(&Trace::from_workload(&wl, 30));
         // Matching over the reloaded trace equals matching the original.
         for (orig, loaded) in wl.events(30).iter().zip(trace.events.iter()) {

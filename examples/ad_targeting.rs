@@ -94,16 +94,16 @@ fn main() {
             preds.push(Predicate::new(a_hour, Op::Between(start, start + 4)));
         }
         if rng.gen_bool(0.25) {
-            preds.push(Predicate::new(
-                a_income,
-                Op::Ge(rng.gen_range(0..8)),
-            ));
+            preds.push(Predicate::new(a_income, Op::Ge(rng.gen_range(0..8))));
         }
         campaigns.push(Subscription::new(SubId(i), preds).unwrap());
     }
 
     let matcher = ApcmMatcher::build(&schema, &campaigns, &ApcmConfig::default()).unwrap();
-    println!("campaign book: {} targeting expressions indexed", matcher.len());
+    println!(
+        "campaign book: {} targeting expressions indexed",
+        matcher.len()
+    );
 
     // Serve a stream of impressions in OSR windows.
     let mut impressions = Vec::with_capacity(20_000);
@@ -153,7 +153,11 @@ fn main() {
         eligible.len()
     );
     for id in eligible.iter().take(3) {
-        println!("  e.g. campaign {}: {}", id, campaigns[id.index()].display(&schema));
+        println!(
+            "  e.g. campaign {}: {}",
+            id,
+            campaigns[id.index()].display(&schema)
+        );
     }
 
     let stats = matcher.stats();

@@ -25,11 +25,17 @@ fn main() {
     // Prices in cents, changes in basis points (offset so the domain stays
     // non-negative: 10_000 = unchanged).
     let a_price = schema.add_attr("price_c", Domain::new(0, 500_000)).unwrap();
-    let a_vol = schema.add_attr("volume_k", Domain::new(0, 100_000)).unwrap();
-    let a_chg = schema.add_attr("change_bp", Domain::new(0, 20_000)).unwrap();
+    let a_vol = schema
+        .add_attr("volume_k", Domain::new(0, 100_000))
+        .unwrap();
+    let a_chg = schema
+        .add_attr("change_bp", Domain::new(0, 20_000))
+        .unwrap();
 
     let mut rng = StdRng::seed_from_u64(7);
-    let base_price: Vec<Value> = (0..SYMBOLS).map(|_| rng.gen_range(1_000..400_000)).collect();
+    let base_price: Vec<Value> = (0..SYMBOLS)
+        .map(|_| rng.gen_range(1_000..400_000))
+        .collect();
 
     // Alert book: price floors/ceilings, volume spikes, movers.
     let mut alerts = Vec::new();

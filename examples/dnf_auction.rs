@@ -77,11 +77,7 @@ fn main() {
         .collect();
 
     let start = Instant::now();
-    let eligible: usize = engine
-        .match_batch(&impressions)
-        .iter()
-        .map(Vec::len)
-        .sum();
+    let eligible: usize = engine.match_batch(&impressions).iter().map(Vec::len).sum();
     let dnf_time = start.elapsed();
     println!(
         "DNF eligibility: {} impressions in {:.2?} ({:.0}/s), {:.1} eligible campaigns each",
@@ -111,8 +107,8 @@ fn main() {
     );
 
     // One concrete auction, end to end.
-    let sample = parser::parse_event(&schema, "age = 30, geo = 7, interest = 4, device = 1")
-        .unwrap();
+    let sample =
+        parser::parse_event(&schema, "age = 30, geo = 7, interest = 4, device = 1").unwrap();
     let podium = auction.match_top_k(&sample, 3);
     println!("sample impression podium:");
     for (rank, (id, bid)) in podium.iter().enumerate() {

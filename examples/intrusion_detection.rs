@@ -11,8 +11,8 @@
 //! cargo run --release --example intrusion_detection
 //! ```
 
-use apcm::prelude::*;
 use apcm::core::OsrBuffer;
+use apcm::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::time::Instant;
 
@@ -79,7 +79,10 @@ fn main() {
         } else {
             EventBuilder::new()
                 .set(a_proto, rng.gen_range(0..3))
-                .set(a_dport, *[80, 443, 22, 53, 8080].get(rng.gen_range(0..5)).unwrap())
+                .set(
+                    a_dport,
+                    *[80, 443, 22, 53, 8080].get(rng.gen_range(0..5)).unwrap(),
+                )
                 .set(a_sport, rng.gen_range(1024..65_536))
                 .set(a_bytes, rng.gen_range(0..800))
                 .set(a_pkts, rng.gen_range(1..900))

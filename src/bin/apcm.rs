@@ -6,16 +6,20 @@
 //! apcm match --trace trace.txt --engine apcm
 //! apcm match --trace trace.txt --engine scan --limit 100
 //! apcm stats --trace trace.txt
+//! apcm serve --addr 127.0.0.1:7401 --shards 4 --engine apcm
+//! apcm client --addr 127.0.0.1:7401
 //! ```
 
 use apcm::baselines::{CountingMatcher, KIndex, ParallelScan, SequentialScan};
 use apcm::betree::{BeTree, HybridPcmTree};
 use apcm::core::{ApcmConfig, ApcmMatcher, PcmMatcher};
 use apcm::prelude::*;
+use apcm::server::{EngineChoice, Server, ServerConfig, SlowConsumerPolicy};
 use apcm::workload::{Trace, ValueDist, WorkloadSpec};
 use std::collections::HashMap;
+use std::io::BufRead;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +38,8 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&flags),
         "match" => cmd_match(&flags),
         "stats" => cmd_stats(&flags),
+        "serve" => cmd_serve(&flags),
+        "client" => cmd_client(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -55,7 +61,11 @@ usage:
              [--event-size N] [--planted F] [--zipf S] [--seed N] [--out FILE]
   apcm match --trace FILE [--engine apcm|pcm|hybrid|betree|scan|pscan|counting|kindex]
              [--batch N] [--limit N]
-  apcm stats --trace FILE";
+  apcm stats --trace FILE
+  apcm serve [--addr HOST:PORT] [--dims N] [--cardinality N] [--shards N]
+             [--engine apcm|betree-hybrid|scan] [--window N] [--queue N]
+             [--flush-ms N] [--maintenance-ms N] [--slow-consumer drop|disconnect]
+  apcm client [--addr HOST:PORT]   (reads protocol lines from stdin)";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -131,10 +141,7 @@ fn load_trace(flags: &HashMap<String, String>) -> Result<Trace, String> {
 
 fn cmd_match(flags: &HashMap<String, String>) -> Result<(), String> {
     let trace = load_trace(flags)?;
-    let engine_name = flags
-        .get("engine")
-        .map(String::as_str)
-        .unwrap_or("apcm");
+    let engine_name = flags.get("engine").map(String::as_str).unwrap_or("apcm");
     let limit: usize = get(flags, "limit", usize::MAX)?;
     let batch: usize = get(flags, "batch", 256)?;
 
@@ -152,17 +159,15 @@ fn cmd_match(flags: &HashMap<String, String>) -> Result<(), String> {
             PcmMatcher::build(&trace.schema, &trace.subs, &ApcmConfig::pcm())
                 .map_err(|e| e.to_string())?,
         ),
-        "betree" => Box::new(
-            BeTree::build(&trace.schema, &trace.subs).map_err(|e| e.to_string())?,
-        ),
-        "hybrid" => Box::new(
-            HybridPcmTree::build(&trace.schema, &trace.subs).map_err(|e| e.to_string())?,
-        ),
+        "betree" => Box::new(BeTree::build(&trace.schema, &trace.subs).map_err(|e| e.to_string())?),
+        "hybrid" => {
+            Box::new(HybridPcmTree::build(&trace.schema, &trace.subs).map_err(|e| e.to_string())?)
+        }
         "scan" => Box::new(SequentialScan::new(&trace.subs)),
         "pscan" => Box::new(ParallelScan::new(&trace.subs)),
-        "counting" => Box::new(
-            CountingMatcher::build(&trace.schema, &trace.subs).map_err(|e| e.to_string())?,
-        ),
+        "counting" => {
+            Box::new(CountingMatcher::build(&trace.schema, &trace.subs).map_err(|e| e.to_string())?)
+        }
         "kindex" => Box::new(KIndex::build(&trace.schema, &trace.subs)),
         other => return Err(format!("unknown engine `{other}`")),
     };
@@ -195,6 +200,87 @@ fn cmd_match(flags: &HashMap<String, String>) -> Result<(), String> {
         matches,
         matches as f64 / events.len() as f64
     );
+    Ok(())
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7401".to_string());
+    let schema = Schema::uniform(get(flags, "dims", 20)?, get(flags, "cardinality", 1000)?);
+    let mut config = ServerConfig {
+        shards: get(flags, "shards", 4)?,
+        window: get(flags, "window", 128)?,
+        ingest_queue: get(flags, "queue", 4096)?,
+        flush_interval: Duration::from_millis(get(flags, "flush-ms", 5)?),
+        maintenance_interval: Duration::from_millis(get(flags, "maintenance-ms", 250)?),
+        ..ServerConfig::default()
+    };
+    if let Some(engine) = flags.get("engine") {
+        config.engine = EngineChoice::parse(engine)?;
+    }
+    if let Some(policy) = flags.get("slow-consumer") {
+        config.slow_consumer = SlowConsumerPolicy::parse(policy)?;
+    }
+    config.validate()?;
+
+    let server = Server::start(schema, config, &addr).map_err(|e| e.to_string())?;
+    println!(
+        "listening on {} ({} shards, engine {}); close stdin or type `stop` to shut down",
+        server.local_addr(),
+        server.engine().shard_count(),
+        server.engine().engine_name()
+    );
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(text) if text.trim() == "stop" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    println!("shutting down...");
+    print!("{}", server.shutdown());
+    Ok(())
+}
+
+fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7401".to_string());
+    let stream = std::net::TcpStream::connect(&addr).map_err(|e| e.to_string())?;
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    let read_half = stream.try_clone().map_err(|e| e.to_string())?;
+
+    // A background thread prints everything the broker sends, while this
+    // thread pumps stdin lines to the socket (netcat-style).
+    let printer = std::thread::spawn(move || {
+        let reader = std::io::BufReader::new(read_half);
+        for line in reader.lines() {
+            let Ok(text) = line else { break };
+            println!("{text}");
+        }
+    });
+    {
+        use std::io::Write;
+        let mut write_half = std::io::BufWriter::new(&stream);
+        for line in std::io::stdin().lock().lines() {
+            let Ok(text) = line else { break };
+            if write_half.write_all(text.as_bytes()).is_err()
+                || write_half.write_all(b"\n").is_err()
+                || write_half.flush().is_err()
+            {
+                break;
+            }
+            if text.trim().eq_ignore_ascii_case("QUIT") {
+                break;
+            }
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = printer.join();
     Ok(())
 }
 

@@ -46,10 +46,7 @@ fn all_engines(wl: &apcm::workload::Workload) -> Vec<Box<dyn Matcher>> {
 fn assert_all_agree(wl: &apcm::workload::Workload, n_events: usize) {
     let engines = all_engines(wl);
     let events = wl.events(n_events);
-    let truth: Vec<Vec<SubId>> = events
-        .iter()
-        .map(|ev| engines[0].match_event(ev))
-        .collect();
+    let truth: Vec<Vec<SubId>> = events.iter().map(|ev| engines[0].match_event(ev)).collect();
     for engine in &engines[1..] {
         for (ev, expect) in events.iter().zip(truth.iter()) {
             assert_eq!(
@@ -68,7 +65,10 @@ fn assert_all_agree(wl: &apcm::workload::Workload, n_events: usize) {
 
 #[test]
 fn default_workload() {
-    let wl = WorkloadSpec::new(1500).seed(101).planted_fraction(0.3).build();
+    let wl = WorkloadSpec::new(1500)
+        .seed(101)
+        .planted_fraction(0.3)
+        .build();
     assert_all_agree(&wl, 50);
 }
 
@@ -143,7 +143,10 @@ fn large_expressions() {
 
 #[test]
 fn output_is_sorted_and_deduplicated() {
-    let wl = WorkloadSpec::new(500).seed(108).planted_fraction(0.8).build();
+    let wl = WorkloadSpec::new(500)
+        .seed(108)
+        .planted_fraction(0.8)
+        .build();
     for engine in all_engines(&wl) {
         for ev in wl.events(30) {
             let out = engine.match_event(&ev);

@@ -68,7 +68,10 @@ fn dnf_engine_tracks_brute_force_under_churn() {
 
 #[test]
 fn top_k_agrees_with_full_ranking() {
-    let wl = WorkloadSpec::new(500).seed(402).planted_fraction(0.6).build();
+    let wl = WorkloadSpec::new(500)
+        .seed(402)
+        .planted_fraction(0.6)
+        .build();
     let mut rng = StdRng::seed_from_u64(403);
     let weighted: Vec<(Subscription, f64)> = wl
         .subs
@@ -91,7 +94,10 @@ fn top_k_agrees_with_full_ranking() {
 
 #[test]
 fn trace_round_trip_preserves_matching_exactly() {
-    let wl = WorkloadSpec::new(400).seed(404).planted_fraction(0.4).build();
+    let wl = WorkloadSpec::new(400)
+        .seed(404)
+        .planted_fraction(0.4)
+        .build();
     let trace = Trace::from_workload(&wl, 100);
 
     let mut buf = Vec::new();
@@ -99,7 +105,8 @@ fn trace_round_trip_preserves_matching_exactly() {
     let loaded = Trace::load(buf.as_slice()).unwrap();
 
     let original = ApcmMatcher::build(&trace.schema, &trace.subs, &ApcmConfig::default()).unwrap();
-    let replayed = ApcmMatcher::build(&loaded.schema, &loaded.subs, &ApcmConfig::default()).unwrap();
+    let replayed =
+        ApcmMatcher::build(&loaded.schema, &loaded.subs, &ApcmConfig::default()).unwrap();
     assert_eq!(
         original.match_batch(&trace.events),
         replayed.match_batch(&loaded.events),

@@ -38,15 +38,13 @@ fn events_with_unknown_attributes_are_consistent() {
 fn negative_and_offset_domains() {
     let mut schema = Schema::new();
     schema.add_attr("temp", Domain::new(-100, 100)).unwrap();
-    schema.add_attr("epoch", Domain::new(1_600_000_000, 1_700_000_000)).unwrap();
+    schema
+        .add_attr("epoch", Domain::new(1_600_000_000, 1_700_000_000))
+        .unwrap();
     let subs = vec![
         parser::parse_subscription_with_id(&schema, SubId(0), "temp BETWEEN -20 AND -5").unwrap(),
-        parser::parse_subscription_with_id(
-            &schema,
-            SubId(1),
-            "epoch >= 1650000000 AND temp != 0",
-        )
-        .unwrap(),
+        parser::parse_subscription_with_id(&schema, SubId(1), "epoch >= 1650000000 AND temp != 0")
+            .unwrap(),
     ];
     let apcm = ApcmMatcher::build(&schema, &subs, &ApcmConfig::default()).unwrap();
     let scan = SequentialScan::new(&subs);
@@ -92,7 +90,8 @@ fn unsatisfiable_predicates_never_match() {
         )],
     )
     .unwrap();
-    let apcm = ApcmMatcher::build(&schema, std::slice::from_ref(&sub), &ApcmConfig::default()).unwrap();
+    let apcm =
+        ApcmMatcher::build(&schema, std::slice::from_ref(&sub), &ApcmConfig::default()).unwrap();
     let scan = SequentialScan::new(&[sub]);
     for v in 10..=20 {
         let ev = Event::new(vec![(AttrId(0), v)]).unwrap();

@@ -8,7 +8,10 @@ use apcm::workload::{DriftingStream, ValueDist, WorkloadSpec};
 
 #[test]
 fn osr_buffer_pipeline_equals_per_event_matching() {
-    let wl = WorkloadSpec::new(800).seed(301).planted_fraction(0.4).build();
+    let wl = WorkloadSpec::new(800)
+        .seed(301)
+        .planted_fraction(0.4)
+        .build();
     let apcm = ApcmMatcher::build(
         &wl.schema,
         &wl.subs,
@@ -39,7 +42,10 @@ fn osr_buffer_pipeline_equals_per_event_matching() {
 
 #[test]
 fn batch_size_sweep_is_result_invariant() {
-    let wl = WorkloadSpec::new(500).seed(302).planted_fraction(0.5).build();
+    let wl = WorkloadSpec::new(500)
+        .seed(302)
+        .planted_fraction(0.5)
+        .build();
     let events = wl.events(300);
     let reference = {
         let apcm = ApcmMatcher::build(&wl.schema, &wl.subs, &ApcmConfig::pcm()).unwrap();
@@ -115,10 +121,16 @@ fn throughput_counters_accumulate() {
 
 #[test]
 fn single_event_window_behaves() {
-    let wl = WorkloadSpec::new(200).seed(306).planted_fraction(1.0).build();
+    let wl = WorkloadSpec::new(200)
+        .seed(306)
+        .planted_fraction(1.0)
+        .build();
     let apcm = ApcmMatcher::build(&wl.schema, &wl.subs, &ApcmConfig::default()).unwrap();
     let scan = SequentialScan::new(&wl.subs);
     for ev in wl.events(10) {
-        assert_eq!(apcm.match_batch(std::slice::from_ref(&ev))[0], scan.match_event(&ev));
+        assert_eq!(
+            apcm.match_batch(std::slice::from_ref(&ev))[0],
+            scan.match_event(&ev)
+        );
     }
 }

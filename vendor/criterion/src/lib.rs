@@ -1,0 +1,286 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Supports the benchmark surface used by `crates/bench/benches/*`:
+//! `criterion_group! { name/config/targets }`, `criterion_main!`,
+//! benchmark groups, `Throughput::Elements`, `BenchmarkId::new`, and
+//! `Bencher::iter`. Measurement is honest but simple — warm-up then a
+//! fixed-duration sampling loop reporting mean time per iteration and
+//! derived throughput — with none of criterion's statistics, plots, or
+//! state directory.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level harness configuration (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n## {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(self, &id.label(), None, &mut f);
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            function: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self {
+            function: name,
+            parameter: None,
+        }
+    }
+}
+
+/// Work-per-iteration declaration used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A named set of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    #[allow(dead_code)]
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(self.criterion, &id.label(), self.throughput, &mut f);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(self.criterion, &id.label(), self.throughput, &mut |b| {
+            f(b, input)
+        });
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure; `iter` runs and times the workload.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run untimed until the warm-up budget elapses.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        // Estimate per-iter cost to split the measurement budget into
+        // `sample_size` samples of roughly equal iteration counts.
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let budget = self.measurement.as_secs_f64();
+        let iters_per_sample =
+            ((budget / self.sample_size as f64 / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut total_ns = 0f64;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            total_ns += start.elapsed().as_nanos() as f64;
+            total_iters += iters_per_sample;
+        }
+        self.mean_ns = total_ns / total_iters.max(1) as f64;
+    }
+}
+
+fn run_bench(
+    criterion: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        warm_up: criterion.warm_up,
+        measurement: criterion.measurement,
+        sample_size: criterion.sample_size,
+        mean_ns: f64::NAN,
+    };
+    f(&mut bencher);
+    let mean_ns = bencher.mean_ns;
+    let rate = |per_iter: u64| per_iter as f64 / (mean_ns / 1e9);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            println!(
+                "{label}: {} /iter  ({:.0} elem/s)",
+                fmt_ns(mean_ns),
+                rate(n)
+            );
+        }
+        Some(Throughput::Bytes(n)) => {
+            println!("{label}: {} /iter  ({:.0} B/s)", fmt_ns(mean_ns), rate(n));
+        }
+        None => println!("{label}: {} /iter", fmt_ns(mean_ns)),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Prevents the optimizer from eliding a value (re-export convenience).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut group = c.benchmark_group("shim_smoke");
+        group.throughput(Throughput::Elements(4));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("sum", 4), &[1u64, 2, 3, 4][..], |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>());
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

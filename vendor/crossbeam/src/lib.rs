@@ -1,0 +1,440 @@
+//! Offline shim for the `crossbeam` facade.
+//!
+//! Two pieces of crossbeam are used in this workspace and both are
+//! reimplemented here on std primitives:
+//!
+//! * [`scope`] — scoped spawning with crossbeam's `Result`-returning shape,
+//!   backed by `std::thread::scope`;
+//! * [`channel`] — multi-producer multi-consumer bounded/unbounded channels
+//!   (mutex + condvar ring), used by the matching engines' executor ablation
+//!   and by `apcm-server`'s backpressured ingest pipeline.
+
+use std::any::Any;
+
+/// Scoped-thread error payload (a captured panic).
+pub type ScopeResult<R> = Result<R, Box<dyn Any + Send + 'static>>;
+
+/// Mirrors `crossbeam::scope`: spawns scoped threads whose closures receive
+/// the scope handle. std's scope propagates child panics as a panic in
+/// `scope` itself, so the `Err` arm here is never constructed; callers'
+/// `.expect(..)` unwrapping stays well-typed either way.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Wrapper over `std::thread::Scope` exposing crossbeam's spawn signature
+/// (the closure takes the scope handle, enabling nested spawns).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Join handle matching crossbeam's `Result`-returning `join`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> ScopeResult<T> {
+        self.inner.join()
+    }
+}
+
+pub mod channel {
+    //! MPMC channels: `bounded(cap)` blocks producers at capacity (the
+    //! backpressure primitive), `unbounded()` never blocks producers.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Creates a channel that holds at most `cap` messages; `send` blocks
+    /// while full. `cap == 0` is normalized to 1 (this shim has no
+    /// rendezvous mode; no caller in-tree uses one).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        make(Some(cap.max(1)))
+    }
+
+    /// Creates a channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        make(None)
+    }
+
+    fn make<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Error on `send` to a channel with no remaining receivers.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error on `try_send`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    /// Error on `recv` from an empty channel with no remaining senders.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error on `try_recv`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    /// Error on `recv_timeout`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    /// The sending half; cloneable (multi-producer).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloneable (multi-consumer).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks while the channel is full; errors once all receivers drop.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let shared = &*self.shared;
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match shared.cap {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = shared.not_full.wait(state).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Never blocks: fails fast when full or disconnected.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let shared = &*self.shared;
+            let mut state = shared.state.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = shared.cap {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message or full disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let shared = &*self.shared;
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    drop(state);
+                    shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = shared.not_empty.wait(state).unwrap();
+            }
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let shared = &*self.shared;
+            let deadline = Instant::now() + timeout;
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    drop(state);
+                    shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (s, timed_out) = shared
+                    .not_empty
+                    .wait_timeout(state, deadline - now)
+                    .unwrap();
+                state = s;
+                if timed_out.timed_out() && state.queue.is_empty() {
+                    if state.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Never blocks.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let shared = &*self.shared;
+            let mut state = shared.state.lock().unwrap();
+            if let Some(v) = state.queue.pop_front() {
+                drop(state);
+                shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().senders += 1;
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().receivers += 1;
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().unwrap();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bounded_backpressure_and_order() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.send(3).unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_semantics() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(7).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(rx.recv(), Err(RecvError));
+
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (_tx, rx) = bounded::<u32>(1);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+
+        #[test]
+        fn mpmc_across_threads() {
+            let (tx, rx) = bounded::<usize>(4);
+            let n = 1000;
+            std::thread::scope(|s| {
+                for p in 0..3 {
+                    let tx = tx.clone();
+                    s.spawn(move || {
+                        for i in 0..n {
+                            tx.send(p * n + i).unwrap();
+                        }
+                    });
+                }
+                drop(tx);
+                let mut got = Vec::new();
+                let mut handles = Vec::new();
+                for _ in 0..2 {
+                    let rx = rx.clone();
+                    handles.push(s.spawn(move || {
+                        let mut v = Vec::new();
+                        while let Ok(x) = rx.recv() {
+                            v.push(x);
+                        }
+                        v
+                    }));
+                }
+                drop(rx);
+                for h in handles {
+                    got.extend(h.join().unwrap());
+                }
+                got.sort_unstable();
+                assert_eq!(got, (0..3 * n).collect::<Vec<_>>());
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_in_order() {
+        let data = [1, 2, 3, 4];
+        let total = crate::scope(|s| {
+            let mut handles = Vec::new();
+            for &x in &data {
+                handles.push(s.spawn(move |_| x * 2));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let out = crate::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 41).join().unwrap() + 1)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

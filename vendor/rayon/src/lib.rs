@@ -1,0 +1,378 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! Implements the slice of rayon's API this workspace uses — `ThreadPool` /
+//! `ThreadPoolBuilder`, `into_par_iter()` on ranges, `par_iter()` /
+//! `par_chunks()` on slices, and the `map` / `flat_map_iter` / `collect`
+//! adapters — on top of `std::thread::scope`.
+//!
+//! Execution model: a parallel iterator is a lazy description with indexed
+//! random access; the terminal `collect` splits the index space into one
+//! contiguous chunk per worker, evaluates chunks on scoped threads, and
+//! concatenates the per-chunk outputs, so result order always matches the
+//! source order (rayon's indexed collect gives the same guarantee). There is
+//! no work stealing: static partitioning is enough for the regular,
+//! evenly-sized workloads in this repo.
+//!
+//! `ThreadPool::install` scopes a thread-count override through thread-local
+//! state, which preserves the property the matcher relies on: each matcher
+//! instance controls its own parallelism degree rather than sharing one
+//! global pool.
+
+use std::cell::Cell;
+use std::fmt;
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator, ParallelSlice};
+}
+
+thread_local! {
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Worker count in effect on this thread (0 in TLS means "unset").
+pub(crate) fn current_threads() -> usize {
+    let t = CURRENT_THREADS.with(Cell::get);
+    if t == 0 {
+        default_threads()
+    } else {
+        t
+    }
+}
+
+/// Error type mirroring `rayon::ThreadPoolBuildError` (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` (the default) means "use all available parallelism".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A handle carrying a thread-count; threads are spawned per `collect`, not
+/// parked in a pool, so the handle itself is trivially cheap.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's thread count scoped onto the calling
+    /// thread: parallel iterators evaluated inside fan out to
+    /// `self.threads` workers.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(CURRENT_THREADS.with(|c| c.replace(self.threads)));
+        op()
+    }
+}
+
+pub mod iter {
+    use std::ops::Range;
+
+    /// A lazy, index-addressable parallel computation.
+    ///
+    /// `eval_range` must append the outputs for source indices `lo..hi`, in
+    /// index order, onto `out`; `collect` stitches chunk outputs back
+    /// together in chunk order, which yields a fully order-preserving
+    /// parallel map (and flat-map).
+    pub trait ParallelIterator: Sync + Sized {
+        type Item: Send;
+
+        /// Number of source positions.
+        fn par_len(&self) -> usize;
+
+        /// Evaluates source positions `lo..hi` in order, appending to `out`.
+        fn eval_range(&self, lo: usize, hi: usize, out: &mut Vec<Self::Item>);
+
+        fn map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            O: Send,
+            F: Fn(Self::Item) -> O + Sync + Send,
+        {
+            Map { base: self, f }
+        }
+
+        /// Maps each item to a serial iterator and flattens, preserving
+        /// order (rayon's `flat_map_iter`).
+        fn flat_map_iter<I, F>(self, f: F) -> FlatMapIter<Self, F>
+        where
+            I: IntoIterator,
+            I::Item: Send,
+            F: Fn(Self::Item) -> I + Sync + Send,
+        {
+            FlatMapIter { base: self, f }
+        }
+
+        fn collect<C>(self) -> C
+        where
+            C: FromIterator<Self::Item>,
+        {
+            drive(&self).into_iter().collect()
+        }
+    }
+
+    /// Executes the computation across scoped threads.
+    fn drive<P: ParallelIterator>(p: &P) -> Vec<P::Item> {
+        let n = p.par_len();
+        let threads = crate::current_threads().max(1).min(n.max(1));
+        if threads <= 1 {
+            let mut out = Vec::with_capacity(n);
+            p.eval_range(0, n, &mut out);
+            return out;
+        }
+        let chunk = n.div_ceil(threads);
+        let mut slots: Vec<Vec<P::Item>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let lo = t * chunk;
+                if lo >= n {
+                    break;
+                }
+                let hi = (lo + chunk).min(n);
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::with_capacity(hi - lo);
+                    p.eval_range(lo, hi, &mut out);
+                    out
+                }));
+            }
+            for h in handles {
+                slots.push(h.join().expect("parallel worker panicked"));
+            }
+        });
+        slots.into_iter().flatten().collect()
+    }
+
+    /// `rayon::iter::IntoParallelIterator`, for the owned sources we need.
+    pub trait IntoParallelIterator {
+        type Iter: ParallelIterator<Item = Self::Item>;
+        type Item: Send;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    macro_rules! impl_range_par_iter {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for Range<$t> {
+                type Iter = ParRange<$t>;
+                type Item = $t;
+                fn into_par_iter(self) -> ParRange<$t> {
+                    ParRange(self)
+                }
+            }
+
+            impl ParallelIterator for ParRange<$t> {
+                type Item = $t;
+                fn par_len(&self) -> usize {
+                    (self.0.end.saturating_sub(self.0.start)) as usize
+                }
+                fn eval_range(&self, lo: usize, hi: usize, out: &mut Vec<$t>) {
+                    for i in lo..hi {
+                        out.push(self.0.start + i as $t);
+                    }
+                }
+            }
+        )*};
+    }
+
+    /// Parallel iterator over an integer range.
+    pub struct ParRange<T>(Range<T>);
+
+    impl_range_par_iter!(usize, u32, u64);
+
+    /// Parallel iterator over slice elements.
+    pub struct ParSliceIter<'a, T>(&'a [T]);
+
+    impl<'a, T: Sync> ParallelIterator for ParSliceIter<'a, T> {
+        type Item = &'a T;
+        fn par_len(&self) -> usize {
+            self.0.len()
+        }
+        fn eval_range(&self, lo: usize, hi: usize, out: &mut Vec<&'a T>) {
+            out.extend(&self.0[lo..hi]);
+        }
+    }
+
+    /// Slice extension providing `par_iter` / `par_chunks` (merges rayon's
+    /// `IntoParallelRefIterator` and `ParallelSlice` for the shim).
+    pub trait ParallelSlice<T: Sync> {
+        fn par_iter(&self) -> ParSliceIter<'_, T>;
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> ParSliceIter<'_, T> {
+            ParSliceIter(self)
+        }
+
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParChunks {
+                slice: self,
+                chunk_size,
+            }
+        }
+    }
+
+    /// Parallel iterator over contiguous chunks of a slice.
+    pub struct ParChunks<'a, T> {
+        slice: &'a [T],
+        chunk_size: usize,
+    }
+
+    impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+        type Item = &'a [T];
+        fn par_len(&self) -> usize {
+            self.slice.len().div_ceil(self.chunk_size)
+        }
+        fn eval_range(&self, lo: usize, hi: usize, out: &mut Vec<&'a [T]>) {
+            for c in lo..hi {
+                let start = c * self.chunk_size;
+                let end = (start + self.chunk_size).min(self.slice.len());
+                out.push(&self.slice[start..end]);
+            }
+        }
+    }
+
+    /// Output of [`ParallelIterator::map`].
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, O, F> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        O: Send,
+        F: Fn(B::Item) -> O + Sync + Send,
+    {
+        type Item = O;
+        fn par_len(&self) -> usize {
+            self.base.par_len()
+        }
+        fn eval_range(&self, lo: usize, hi: usize, out: &mut Vec<O>) {
+            let mut items = Vec::with_capacity(hi - lo);
+            self.base.eval_range(lo, hi, &mut items);
+            out.extend(items.into_iter().map(&self.f));
+        }
+    }
+
+    /// Output of [`ParallelIterator::flat_map_iter`].
+    pub struct FlatMapIter<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, I, F> ParallelIterator for FlatMapIter<B, F>
+    where
+        B: ParallelIterator,
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(B::Item) -> I + Sync + Send,
+    {
+        type Item = I::Item;
+        fn par_len(&self) -> usize {
+            self.base.par_len()
+        }
+        fn eval_range(&self, lo: usize, hi: usize, out: &mut Vec<I::Item>) {
+            let mut items = Vec::with_capacity(hi - lo);
+            self.base.eval_range(lo, hi, &mut items);
+            for item in items {
+                out.extend((self.f)(item));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_par_iter_matches_serial() {
+        let data: Vec<u32> = (0..513).collect();
+        let out: Vec<u32> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, data.iter().map(|&x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_flat_map_iter_round_trips() {
+        let data: Vec<u32> = (0..97).collect();
+        let out: Vec<u32> = data
+            .par_chunks(10)
+            .flat_map_iter(|c| c.iter().copied())
+            .collect();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| {
+            assert_eq!(current_threads(), 3);
+            let out: Vec<usize> = (0..10usize).into_par_iter().map(|i| i).collect();
+            assert_eq!(out, (0..10).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn empty_sources() {
+        let out: Vec<usize> = (0..0usize).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

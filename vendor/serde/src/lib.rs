@@ -1,0 +1,15 @@
+//! Offline shim for the `serde` facade.
+//!
+//! Provides the `Serialize` / `Deserialize` names in both the trait and
+//! derive-macro namespaces so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile without crates.io access.
+//! No data format ships in the sanctioned dependency set, so the traits are
+//! empty markers and the derives are no-ops (see `vendor/serde_derive`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as metadata
+//! today — nothing serializes through a serde data format (there is no
+//! `serde_json` in the sanctioned dependency set). These derives therefore
+//! expand to nothing; they exist so the annotations (and `#[serde(...)]`
+//! helper attributes) keep compiling offline.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
