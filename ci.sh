@@ -12,4 +12,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -p apcm-server --test recovery (crash/recovery harness)"
+cargo test -q -p apcm-server --test recovery
+
 echo "==> ci.sh: all green"

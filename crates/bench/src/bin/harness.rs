@@ -27,24 +27,36 @@ struct Args {
     records: std::cell::RefCell<Vec<Record>>,
 }
 
-/// One measured cell, for machine-readable output.
+/// One measured cell, for machine-readable output. `metric` names what
+/// `value` measures (`events_per_sec`, `latency_p99_us`, `build_secs`,
+/// `ops_per_sec`, ...), so every experiment — throughput sweeps, latency
+/// percentiles, build/maintenance costs — lands in one JSON shape.
 struct Record {
     experiment: &'static str,
     algorithm: String,
     /// The swept parameter for this cell (e.g. `n=100000`, `b=64`).
     param: String,
-    events_per_sec: f64,
+    metric: &'static str,
+    value: f64,
 }
 
 impl Args {
     /// Records one measured cell for `--json` output (no-op without it).
-    fn record(&self, experiment: &'static str, algorithm: &str, param: String, rate: f64) {
+    fn record(
+        &self,
+        experiment: &'static str,
+        algorithm: &str,
+        param: String,
+        metric: &'static str,
+        value: f64,
+    ) {
         if self.json.is_some() {
             self.records.borrow_mut().push(Record {
                 experiment,
                 algorithm: algorithm.to_string(),
                 param,
-                events_per_sec: rate,
+                metric,
+                value,
             });
         }
     }
@@ -58,11 +70,12 @@ impl Args {
         for (i, r) in records.iter().enumerate() {
             out.push_str(&format!(
                 "  {{\"experiment\": {}, \"algorithm\": {}, \"param\": {}, \
-                 \"events_per_sec\": {:.3}}}{}\n",
+                 \"metric\": {}, \"value\": {:.3}}}{}\n",
                 json_str(r.experiment),
                 json_str(&r.algorithm),
                 json_str(&r.param),
-                r.events_per_sec,
+                json_str(r.metric),
+                r.value,
                 if i + 1 < records.len() { "," } else { "" }
             ));
         }
@@ -215,7 +228,13 @@ fn e1_corpus_size(args: &Args) {
             let (matcher, _) = kind.build(wl);
             let events = wl.events(20_000);
             let t = measure_throughput(matcher.as_ref(), &events, args.budget);
-            args.record("e1", kind.name(), format!("n={n}"), t.events_per_sec);
+            args.record(
+                "e1",
+                kind.name(),
+                format!("n={n}"),
+                "events_per_sec",
+                t.events_per_sec,
+            );
             cells.push(fmt_rate(t.events_per_sec));
         }
         table.row(cells);
@@ -257,7 +276,13 @@ fn e2_threads(args: &Args) {
             };
             let matcher = ApcmMatcher::build(&wl.schema, &wl.subs, &config).unwrap();
             let m = measure_throughput(&matcher, &events, args.budget);
-            args.record("e2", label, format!("threads={t}"), m.events_per_sec);
+            args.record(
+                "e2",
+                label,
+                format!("threads={t}"),
+                "events_per_sec",
+                m.events_per_sec,
+            );
             cells.push(fmt_rate(m.events_per_sec));
         }
         table.row(cells);
@@ -295,6 +320,7 @@ fn e3_osr(args: &Args) {
                     "OSR/no-reorder"
                 },
                 format!("batch={batch}"),
+                "events_per_sec",
                 m.events_per_sec,
             );
             cells.push(fmt_rate(m.events_per_sec));
@@ -406,7 +432,13 @@ fn sweep_indexed<P>(
             let (matcher, _) = kind.build(wl);
             let events = wl.events(20_000);
             let t = measure_throughput(matcher.as_ref(), &events, args.budget);
-            args.record(experiment, kind.name(), label(param), t.events_per_sec);
+            args.record(
+                experiment,
+                kind.name(),
+                label(param),
+                "events_per_sec",
+                t.events_per_sec,
+            );
             cells.push(fmt_rate(t.events_per_sec));
         }
         table.row(cells);
@@ -456,6 +488,7 @@ fn e9_compression(args: &Args) {
                 "e9",
                 &format!("PCM/{pname}"),
                 format!("max_size={max_size}"),
+                "events_per_sec",
                 t.events_per_sec,
             );
             let (probes, prunes) = matcher.clusters().iter().fold((0u64, 0u64), |acc, c| {
@@ -554,7 +587,13 @@ fn e10_adaptive(args: &Args) {
             // against the adaptive engine, never for it).
             total_probes += after.probes.saturating_sub(before.probes);
             let rate = phase_events as f64 / elapsed.as_secs_f64();
-            args.record("e10", label, format!("phase={}", phase + 1), rate);
+            args.record(
+                "e10",
+                label,
+                format!("phase={}", phase + 1),
+                "events_per_sec",
+                rate,
+            );
             cells.push(fmt_rate(rate));
         }
         let stats = matcher.stats();
@@ -582,6 +621,14 @@ fn e11_latency(args: &Args) {
             &events[..]
         };
         let l = measure_latency(matcher.as_ref(), sample);
+        for (metric, value) in [
+            ("latency_p50_us", l.p50_us),
+            ("latency_p95_us", l.p95_us),
+            ("latency_p99_us", l.p99_us),
+            ("latency_max_us", l.max_us),
+        ] {
+            args.record("e11", kind.name(), format!("n={n}"), metric, value);
+        }
         table.row(vec![
             kind.name().to_string(),
             format!("{:.1}", l.p50_us),
@@ -603,6 +650,20 @@ fn e12_build(args: &Args) {
     let mut table = Table::new(vec!["engine", "build time", "subs/s (build)"]);
     for kind in EngineKind::ALL {
         let (_, build) = kind.build(&wl);
+        args.record(
+            "e12",
+            kind.name(),
+            format!("n={n}"),
+            "build_secs",
+            build.as_secs_f64(),
+        );
+        args.record(
+            "e12",
+            kind.name(),
+            format!("n={n}"),
+            "build_subs_per_sec",
+            n as f64 / build.as_secs_f64(),
+        );
         table.row(vec![
             kind.name().to_string(),
             format!("{build:.2?}"),
@@ -630,6 +691,20 @@ fn e12_build(args: &Args) {
         matcher.unsubscribe(sub.id());
     }
     let unsub_time = start.elapsed();
+    args.record(
+        "e12",
+        "A-PCM subscribe",
+        format!("ops={}", fresh.len()),
+        "ops_per_sec",
+        fresh.len() as f64 / sub_time.as_secs_f64(),
+    );
+    args.record(
+        "e12",
+        "A-PCM unsubscribe",
+        format!("ops={}", fresh.len()),
+        "ops_per_sec",
+        fresh.len() as f64 / unsub_time.as_secs_f64(),
+    );
     let mut table = Table::new(vec!["operation", "ops", "time", "ops/s"]);
     table.row(vec![
         "A-PCM subscribe".to_string(),

@@ -9,11 +9,21 @@
 //!   and a **writer** thread draining the connection's bounded outbound
 //!   queue — the slow-consumer boundary;
 //! * one **matcher** thread inside [`IngestPipeline`];
-//! * one **maintenance** thread sweeping every shard's `maintain()`.
+//! * one **maintenance** thread sweeping every shard's `maintain()`, the
+//!   persister's [`Persister::maintenance_tick`], and idle connections.
 //!
-//! Subscriptions are durable: a closed connection keeps its subscriptions
-//! live (notifications for them are silently discarded until another
-//! connection re-subscribes or unsubscribes the ids).
+//! Subscriptions are durable within a run: a closed connection keeps its
+//! subscriptions live (notifications for them are silently discarded until
+//! another connection re-subscribes or unsubscribes the ids). With
+//! `ServerConfig::persist` set they are durable across runs too — churn is
+//! acknowledged only after it reaches the append log, and startup restores
+//! the snapshot + log into the engine before the listener opens.
+//!
+//! Inbound hardening: every protocol line is read through a byte-capped
+//! reader (`max_line_bytes`) — an oversized line is discarded up to its
+//! newline and answered with a structured `-ERR`, never buffered
+//! unboundedly. Connections silent for longer than `idle_timeout` are
+//! reaped by the maintenance sweep.
 
 use apcm_bexpr::{Schema, SubId};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
@@ -21,13 +31,14 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::config::{ServerConfig, SlowConsumerPolicy};
 use crate::ingest::{IngestItem, IngestPipeline, ResultSink};
+use crate::persist::{ChurnError, Persister, RecoveryReport};
 use crate::protocol::{self, Request};
 use crate::shard::ShardedEngine;
 use crate::stats::ServerStats;
@@ -36,6 +47,9 @@ use crate::stats::ServerStats;
 struct ConnHandle {
     out: Sender<String>,
     stream: TcpStream,
+    /// Milliseconds since the server epoch of the last inbound line; the
+    /// idle sweep compares this against `idle_timeout`.
+    activity: Arc<AtomicU64>,
 }
 
 /// State shared by every thread: the registry of live connections and
@@ -80,6 +94,24 @@ impl Hub {
             }
         }
     }
+
+    /// Shuts down connections idle longer than `timeout`. The socket
+    /// shutdown unblocks the reader, which then deregisters itself.
+    fn reap_idle(&self, epoch: Instant, timeout: Duration) {
+        let now_ms = epoch.elapsed().as_millis() as u64;
+        let limit_ms = timeout.as_millis() as u64;
+        let mut conns = self.conns.lock();
+        conns.retain(|_, handle| {
+            let idle = now_ms.saturating_sub(handle.activity.load(Ordering::Relaxed));
+            if idle > limit_ms {
+                ServerStats::add(&self.stats.idle_reaped, 1);
+                let _ = handle.stream.shutdown(Shutdown::Both);
+                false
+            } else {
+                true
+            }
+        });
+    }
 }
 
 impl ResultSink for Hub {
@@ -103,9 +135,79 @@ impl ResultSink for Hub {
 struct ConnCtx {
     hub: Arc<Hub>,
     engine: Arc<ShardedEngine>,
+    persist: Option<Arc<Persister>>,
     ingest: Sender<IngestItem>,
     /// Receiver clone used only for `len()` (queue depth in `STATS`).
     ingest_depth: Receiver<IngestItem>,
+    epoch: Instant,
+    max_line_bytes: usize,
+}
+
+/// Outcome of one capped line read.
+enum LineOutcome {
+    /// A complete line (newline stripped) is in the caller's buffer.
+    Line,
+    /// The line exceeded the cap; it was discarded through its newline.
+    TooLong,
+    Eof,
+}
+
+/// Reads one `\n`-terminated line into `line`, refusing to buffer more
+/// than `max` bytes: once a line overflows, the remainder is consumed and
+/// discarded until its newline and `TooLong` is returned. Works on
+/// `fill_buf`/`consume` so no input byte is ever lost or double-read. A
+/// final unterminated line at EOF is returned as a normal line.
+fn read_capped_line(
+    reader: &mut impl BufRead,
+    line: &mut String,
+    max: usize,
+) -> std::io::Result<LineOutcome> {
+    line.clear();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflowed = false;
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(if overflowed {
+                LineOutcome::TooLong
+            } else if buf.is_empty() {
+                LineOutcome::Eof
+            } else {
+                *line = String::from_utf8_lossy(&buf).into_owned();
+                LineOutcome::Line
+            });
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !overflowed && buf.len() + pos <= max {
+                    buf.extend_from_slice(&available[..pos]);
+                } else {
+                    overflowed = true;
+                }
+                reader.consume(pos + 1);
+                return Ok(if overflowed {
+                    LineOutcome::TooLong
+                } else {
+                    *line = String::from_utf8_lossy(&buf).into_owned();
+                    LineOutcome::Line
+                });
+            }
+            None => {
+                let n = available.len();
+                if !overflowed && buf.len() + n <= max {
+                    buf.extend_from_slice(available);
+                } else {
+                    overflowed = true;
+                    buf.clear();
+                }
+                reader.consume(n);
+            }
+        }
+    }
 }
 
 /// A running broker. Dropping without calling [`Server::shutdown`] aborts
@@ -113,6 +215,7 @@ struct ConnCtx {
 pub struct Server {
     hub: Arc<Hub>,
     engine: Arc<ShardedEngine>,
+    persist: Option<Arc<Persister>>,
     stats: Arc<ServerStats>,
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
@@ -124,7 +227,9 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts all
-    /// background threads.
+    /// background threads. With `config.persist` set, recovery (snapshot
+    /// load + log replay + engine restore) completes before the listener
+    /// accepts its first connection.
     pub fn start(schema: Schema, config: ServerConfig, addr: &str) -> std::io::Result<Server> {
         config
             .validate()
@@ -134,6 +239,19 @@ impl Server {
                 std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
             })?);
         let stats = Arc::new(ServerStats::default());
+
+        let persist = match &config.persist {
+            Some(pconfig) => {
+                let (persister, restored) =
+                    Persister::open(pconfig.clone(), schema.clone(), stats.clone())?;
+                engine.bulk_restore(&restored).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                })?;
+                Some(Arc::new(persister))
+            }
+            None => None,
+        };
+
         let hub = Arc::new(Hub {
             schema,
             stats: stats.clone(),
@@ -150,14 +268,17 @@ impl Server {
         let shutdown = Arc::new(AtomicBool::new(false));
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
         let ingest_tx = pipeline.sender();
+        let epoch = Instant::now();
 
         let accept_thread = {
             let hub = hub.clone();
             let engine = engine.clone();
+            let persist = persist.clone();
             let stats = stats.clone();
             let shutdown = shutdown.clone();
             let conn_threads = conn_threads.clone();
             let conn_queue = config.conn_queue;
+            let max_line_bytes = config.max_line_bytes;
             let ingest_depth = pipeline.depth_handle();
             std::thread::Builder::new()
                 .name("apcm-accept".into())
@@ -173,8 +294,11 @@ impl Server {
                                 let ctx = Arc::new(ConnCtx {
                                     hub: hub.clone(),
                                     engine: engine.clone(),
+                                    persist: persist.clone(),
                                     ingest: ingest_tx.clone(),
                                     ingest_depth: ingest_depth.clone(),
+                                    epoch,
+                                    max_line_bytes,
                                 });
                                 spawn_connection(ctx, stream, conn_id, conn_queue, &conn_threads);
                             }
@@ -189,10 +313,13 @@ impl Server {
         };
 
         let maintenance_thread = {
+            let hub = hub.clone();
             let engine = engine.clone();
+            let persist = persist.clone();
             let stats = stats.clone();
             let shutdown = shutdown.clone();
             let interval = config.maintenance_interval;
+            let idle_timeout = config.idle_timeout;
             std::thread::Builder::new()
                 .name("apcm-maintenance".into())
                 .spawn(move || {
@@ -210,6 +337,12 @@ impl Server {
                         }
                         let report = engine.maintain();
                         stats.record_maintenance(&report);
+                        if let Some(persister) = &persist {
+                            persister.maintenance_tick();
+                        }
+                        if let Some(timeout) = idle_timeout {
+                            hub.reap_idle(epoch, timeout);
+                        }
                     }
                 })
                 .expect("spawning maintenance thread")
@@ -218,6 +351,7 @@ impl Server {
         Ok(Server {
             hub,
             engine,
+            persist,
             stats,
             addr: local_addr,
             shutdown,
@@ -241,11 +375,14 @@ impl Server {
         &self.engine
     }
 
-    /// Graceful shutdown: stop accepting, close every connection, join all
-    /// worker threads, drain the ingest pipeline, and return the final
-    /// rendered stats. Bounded: sockets are shut down before joining, so no
-    /// thread is left blocked on I/O.
-    pub fn shutdown(mut self) -> String {
+    /// What startup recovery found; `None` without persistence.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.persist.as_ref().map(|p| p.recovery_report())
+    }
+
+    /// Stops threads and closes sockets; shared by the graceful and
+    /// abortive paths. Returns the residual ingest queue depth.
+    fn teardown(&mut self) -> usize {
         self.shutdown.store(true, Ordering::SeqCst);
 
         if let Some(t) = self.maintenance_thread.take() {
@@ -268,20 +405,37 @@ impl Server {
             let _ = t.join();
         }
         // All publisher senders are gone; the matcher drains and exits.
-        let depth = self
-            .pipeline
+        self.pipeline
             .take()
             .map(|p| {
                 let d = p.depth();
                 p.shutdown();
                 d
             })
-            .unwrap_or(0);
+            .unwrap_or(0)
+    }
 
+    /// Graceful shutdown: stop accepting, close every connection, join all
+    /// worker threads, drain the ingest pipeline, flush the durable log,
+    /// and return the final rendered stats. Bounded: sockets are shut down
+    /// before joining, so no thread is left blocked on I/O.
+    pub fn shutdown(mut self) -> String {
+        let depth = self.teardown();
+        if let Some(persister) = &self.persist {
+            persister.flush();
+        }
         let mut out = self.stats.render(&self.engine.per_shard_len(), depth);
         out.push_str(&format!("engine {}\n", self.engine.engine_name()));
         out.push_str(&format!("shards {}\n", self.engine.shard_count()));
         out
+    }
+
+    /// Abortive stop for crash tests: threads are joined (no leaked
+    /// resources in-process) but the durable log is **not** flushed and no
+    /// final snapshot is taken — on-disk state is exactly what the write
+    /// path had produced at the moment of the "crash".
+    pub fn abort(mut self) {
+        let _ = self.teardown();
     }
 }
 
@@ -296,6 +450,7 @@ fn spawn_connection(
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_nodelay(true);
     let (out_tx, out_rx) = bounded::<String>(conn_queue);
+    let activity = Arc::new(AtomicU64::new(ctx.epoch.elapsed().as_millis() as u64));
 
     let writer = {
         let stream = match stream.try_clone() {
@@ -324,12 +479,13 @@ fn spawn_connection(
             ConnHandle {
                 out: out_tx.clone(),
                 stream: registry_stream,
+                activity: activity.clone(),
             },
         );
         std::thread::Builder::new()
             .name(format!("apcm-conn-{conn_id}-r"))
             .spawn(move || {
-                read_loop(&ctx, stream, conn_id, out_tx);
+                read_loop(&ctx, stream, conn_id, out_tx, &activity);
                 // Cleanup: deregister and release the writer.
                 ctx.hub.conns.lock().remove(&conn_id);
                 ServerStats::sub(&ctx.hub.stats.conns_active, 1);
@@ -357,8 +513,15 @@ fn write_loop(stream: TcpStream, out_rx: Receiver<String>) {
 }
 
 /// Parses and executes requests until EOF, error, or QUIT.
-fn read_loop(ctx: &ConnCtx, stream: TcpStream, conn_id: u64, out: Sender<String>) {
+fn read_loop(
+    ctx: &ConnCtx,
+    stream: TcpStream,
+    conn_id: u64,
+    out: Sender<String>,
+    activity: &AtomicU64,
+) {
     let stats = &ctx.hub.stats;
+    let max_line = ctx.max_line_bytes;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     let mut next_seq = 0u64;
@@ -369,11 +532,17 @@ fn read_loop(ctx: &ConnCtx, stream: TcpStream, conn_id: u64, out: Sender<String>
         ServerStats::add(&stats.replies_sent, 1);
     };
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return,
-            Ok(_) => {}
+        match read_capped_line(&mut reader, &mut line, max_line) {
+            Ok(LineOutcome::Line) => {}
+            Ok(LineOutcome::TooLong) => {
+                ServerStats::add(&stats.oversized_lines, 1);
+                ServerStats::add(&stats.protocol_errors, 1);
+                reply(format!("-ERR line too long (max {max_line} bytes)"));
+                continue;
+            }
+            Ok(LineOutcome::Eof) | Err(_) => return,
         }
+        activity.store(ctx.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
         let request = match protocol::parse_request(&ctx.hub.schema, &line) {
             Ok(Some(req)) => req,
             Ok(None) => continue,
@@ -384,29 +553,48 @@ fn read_loop(ctx: &ConnCtx, stream: TcpStream, conn_id: u64, out: Sender<String>
             }
         };
         match request {
-            Request::Sub { id, sub } => match ctx.engine.subscribe(&sub) {
-                Ok(true) => {
-                    ctx.hub.owners.write().insert(id, conn_id);
-                    ServerStats::add(&stats.subs_added, 1);
-                    reply(format!("+OK {}", id.0));
+            Request::Sub { id, sub } => {
+                let outcome = match &ctx.persist {
+                    Some(p) => p.apply_sub(&ctx.engine, &sub),
+                    None => ctx.engine.subscribe(&sub).map_err(ChurnError::Engine),
+                };
+                match outcome {
+                    Ok(true) => {
+                        ctx.hub.owners.write().insert(id, conn_id);
+                        ServerStats::add(&stats.subs_added, 1);
+                        reply(format!("+OK {}", id.0));
+                    }
+                    Ok(false) => {
+                        ServerStats::add(&stats.protocol_errors, 1);
+                        reply(format!("-ERR duplicate subscription {}", id.0));
+                    }
+                    Err(e @ ChurnError::Engine(_)) => {
+                        ServerStats::add(&stats.protocol_errors, 1);
+                        reply(format!("-ERR {e}"));
+                    }
+                    Err(e @ ChurnError::Persist(_)) => {
+                        // Counted as persist_errors by the persister, not
+                        // as a protocol error — the request was valid.
+                        reply(format!("-ERR {e}"));
+                    }
                 }
-                Ok(false) => {
-                    ServerStats::add(&stats.protocol_errors, 1);
-                    reply(format!("-ERR duplicate subscription {}", id.0));
-                }
-                Err(e) => {
-                    ServerStats::add(&stats.protocol_errors, 1);
-                    reply(format!("-ERR bad subscription: {e}"));
-                }
-            },
+            }
             Request::Unsub { id } => {
-                if ctx.engine.unsubscribe(id) {
-                    ctx.hub.owners.write().remove(&id);
-                    ServerStats::add(&stats.subs_removed, 1);
-                    reply(format!("+OK {}", id.0));
-                } else {
-                    ServerStats::add(&stats.protocol_errors, 1);
-                    reply(format!("-ERR unknown subscription {}", id.0));
+                let outcome = match &ctx.persist {
+                    Some(p) => p.apply_unsub(&ctx.engine, id),
+                    None => Ok(ctx.engine.unsubscribe(id)),
+                };
+                match outcome {
+                    Ok(true) => {
+                        ctx.hub.owners.write().remove(&id);
+                        ServerStats::add(&stats.subs_removed, 1);
+                        reply(format!("+OK {}", id.0));
+                    }
+                    Ok(false) => {
+                        ServerStats::add(&stats.protocol_errors, 1);
+                        reply(format!("-ERR unknown subscription {}", id.0));
+                    }
+                    Err(e) => reply(format!("-ERR {e}")),
                 }
             }
             Request::Pub { event } => {
@@ -431,11 +619,17 @@ fn read_loop(ctx: &ConnCtx, stream: TcpStream, conn_id: u64, out: Sender<String>
                 let first = next_seq;
                 let mut accepted = 0usize;
                 for i in 0..count {
-                    line.clear();
-                    match reader.read_line(&mut line) {
-                        Ok(0) | Err(_) => return,
-                        Ok(_) => {}
+                    match read_capped_line(&mut reader, &mut line, max_line) {
+                        Ok(LineOutcome::Line) => {}
+                        Ok(LineOutcome::TooLong) => {
+                            ServerStats::add(&stats.oversized_lines, 1);
+                            ServerStats::add(&stats.protocol_errors, 1);
+                            reply(format!("-ERR batch line {i}: line too long"));
+                            continue;
+                        }
+                        Ok(LineOutcome::Eof) | Err(_) => return,
                     }
+                    activity.store(ctx.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
                     match apcm_bexpr::parser::parse_event(&ctx.hub.schema, line.trim()) {
                         Ok(event) => {
                             let seq = next_seq;
@@ -469,11 +663,79 @@ fn read_loop(ctx: &ConnCtx, stream: TcpStream, conn_id: u64, out: Sender<String>
                 // interleave inside the multi-line response.
                 reply(format!("+OK stats\n{body}."));
             }
+            Request::Snapshot => match &ctx.persist {
+                Some(p) => match p.snapshot() {
+                    Ok(outcome) => reply(format!(
+                        "+OK snapshot subs {} seq {} bytes {}",
+                        outcome.subs, outcome.seq, outcome.bytes
+                    )),
+                    Err(e) => reply(format!("-ERR snapshot failed: {e}")),
+                },
+                None => {
+                    ServerStats::add(&stats.protocol_errors, 1);
+                    reply("-ERR persistence disabled".into());
+                }
+            },
             Request::Ping => reply("+PONG".into()),
             Request::Quit => {
                 reply("+OK bye".into());
                 return;
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn capped(input: &[u8], max: usize) -> Vec<(String, bool)> {
+        let mut reader = BufReader::with_capacity(4, Cursor::new(input.to_vec()));
+        let mut line = String::new();
+        let mut out = Vec::new();
+        loop {
+            match read_capped_line(&mut reader, &mut line, max).unwrap() {
+                LineOutcome::Line => out.push((line.clone(), false)),
+                LineOutcome::TooLong => out.push((String::new(), true)),
+                LineOutcome::Eof => return out,
+            }
+        }
+    }
+
+    #[test]
+    fn capped_reader_splits_lines() {
+        let out = capped(b"alpha\nbeta\n", 64);
+        assert_eq!(out, vec![("alpha".into(), false), ("beta".into(), false)]);
+    }
+
+    #[test]
+    fn capped_reader_returns_final_unterminated_line() {
+        let out = capped(b"alpha\nbeta", 64);
+        assert_eq!(out, vec![("alpha".into(), false), ("beta".into(), false)]);
+    }
+
+    #[test]
+    fn capped_reader_discards_oversized_line_and_recovers() {
+        let mut input = vec![b'x'; 100];
+        input.push(b'\n');
+        input.extend_from_slice(b"ok\n");
+        let out = capped(&input, 10);
+        assert_eq!(out, vec![(String::new(), true), ("ok".into(), false)]);
+    }
+
+    #[test]
+    fn capped_reader_handles_oversized_tail_without_newline() {
+        let input = vec![b'y'; 50];
+        let out = capped(&input, 10);
+        assert_eq!(out, vec![(String::new(), true)]);
+    }
+
+    #[test]
+    fn capped_reader_accepts_line_exactly_at_cap() {
+        let mut input = vec![b'z'; 10];
+        input.push(b'\n');
+        let out = capped(&input, 10);
+        assert_eq!(out, vec![("z".repeat(10), false)]);
     }
 }

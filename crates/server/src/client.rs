@@ -4,10 +4,83 @@
 use apcm_bexpr::{Event, Schema, SubId, Subscription};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::protocol;
+
+/// Connection policy for [`BrokerClient::connect_with`]: bounded dial and
+/// read waits plus a jittered exponential-backoff retry loop, so a client
+/// racing a (re)starting broker converges instead of failing or hammering.
+#[derive(Debug, Clone)]
+pub struct ConnectOptions {
+    /// Cap on one TCP dial; `None` uses the OS default.
+    pub connect_timeout: Option<Duration>,
+    /// Read timeout installed on the connected socket; `None` blocks.
+    pub read_timeout: Option<Duration>,
+    /// Total connection attempts (>= 1).
+    pub attempts: u32,
+    /// Delay before the second attempt; doubles per failure.
+    pub backoff: Duration,
+    /// Ceiling for the exponential backoff.
+    pub max_backoff: Duration,
+    /// Seed for the +/-50% jitter applied to each delay; two clients
+    /// restarted together should pass different seeds.
+    pub jitter_seed: u64,
+}
+
+impl Default for ConnectOptions {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: None,
+            attempts: 1,
+            backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            jitter_seed: 0x9E37_79B9,
+        }
+    }
+}
+
+impl ConnectOptions {
+    /// Jittered delay before attempt `attempt` (1-based count of failures
+    /// so far): `backoff * 2^(attempt-1)`, clamped, then scaled by a
+    /// deterministic factor in `[0.5, 1.5)` from an xorshift of the seed.
+    fn delay_before_retry(&self, attempt: u32) -> Duration {
+        let base = self
+            .backoff
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.max_backoff);
+        let mut x = self.jitter_seed ^ (attempt as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let factor = 0.5 + (x % 1000) as f64 / 1000.0;
+        base.mul_f64(factor)
+    }
+}
+
+/// Dials `addr` under `options` and returns the configured raw stream —
+/// the retry/backoff loop shared by [`BrokerClient::connect_with`] and
+/// raw-stream users like the `apcm client` pump.
+pub fn connect_stream(addr: &str, options: &ConnectOptions) -> std::io::Result<TcpStream> {
+    let attempts = options.attempts.max(1);
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(options.delay_before_retry(attempt));
+        }
+        match BrokerClient::dial(addr, options.connect_timeout) {
+            Ok(stream) => {
+                stream.set_nodelay(true)?;
+                stream.set_read_timeout(options.read_timeout)?;
+                return Ok(stream);
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| std::io::Error::other("no connection attempts made")))
+}
 
 pub struct BrokerClient {
     reader: BufReader<TcpStream>,
@@ -16,13 +89,40 @@ pub struct BrokerClient {
 
 impl BrokerClient {
     pub fn connect(addr: &str) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+        Self::connect_with(addr, &ConnectOptions::default())
+    }
+
+    /// Connects under `options`: each attempt dials with the connect
+    /// timeout, failures back off exponentially with jitter, and the last
+    /// error is returned once attempts are exhausted.
+    pub fn connect_with(addr: &str, options: &ConnectOptions) -> std::io::Result<Self> {
+        let stream = connect_stream(addr, options)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Self {
             reader,
             writer: BufWriter::new(stream),
         })
+    }
+
+    fn dial(addr: &str, timeout: Option<Duration>) -> std::io::Result<TcpStream> {
+        match timeout {
+            None => TcpStream::connect(addr),
+            Some(timeout) => {
+                let mut last_err = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, timeout) {
+                        Ok(stream) => return Ok(stream),
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                Err(last_err.unwrap_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        format!("`{addr}` resolved to no addresses"),
+                    )
+                }))
+            }
+        }
     }
 
     /// Caps how long any single read waits; `None` blocks indefinitely.
@@ -140,10 +240,67 @@ impl BrokerClient {
         }
     }
 
+    /// `SNAPSHOT`: forces a durable snapshot + log rotation on the broker.
+    pub fn snapshot(&mut self) -> std::io::Result<String> {
+        self.send_line("SNAPSHOT")?;
+        self.expect_ok("SNAPSHOT")
+    }
+
     /// `QUIT` and wait for the goodbye (best-effort).
     pub fn quit(&mut self) -> std::io::Result<()> {
         self.send_line("QUIT")?;
         let _ = self.expect_ok("QUIT");
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_is_clamped() {
+        let options = ConnectOptions {
+            backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+            ..ConnectOptions::default()
+        };
+        // Jitter is in [0.5, 1.5), so each delay sits inside its band.
+        for attempt in 1..=10u32 {
+            let base = Duration::from_millis(10)
+                .saturating_mul(1 << (attempt - 1).min(16))
+                .min(Duration::from_millis(80));
+            let d = options.delay_before_retry(attempt);
+            assert!(
+                d >= base.mul_f64(0.5) && d < base.mul_f64(1.5),
+                "{attempt}: {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_depends_on_seed() {
+        let a = ConnectOptions {
+            jitter_seed: 1,
+            ..ConnectOptions::default()
+        };
+        let b = ConnectOptions {
+            jitter_seed: 2,
+            ..ConnectOptions::default()
+        };
+        assert_ne!(a.delay_before_retry(3), b.delay_before_retry(3));
+    }
+
+    #[test]
+    fn connect_with_retries_exhausts_attempts() {
+        // Port 1 on localhost refuses instantly; three fast attempts fail.
+        let options = ConnectOptions {
+            connect_timeout: Some(Duration::from_millis(200)),
+            attempts: 3,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            ..ConnectOptions::default()
+        };
+        assert!(BrokerClient::connect_with("127.0.0.1:1", &options).is_err());
     }
 }

@@ -1,7 +1,8 @@
-//! Server configuration: shard layout, engine choice, ingest tuning, and
-//! connection policies.
+//! Server configuration: shard layout, engine choice, ingest tuning,
+//! connection policies, and durability.
 
 use apcm_core::ApcmConfig;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Which matching engine each shard runs.
@@ -63,6 +64,85 @@ impl SlowConsumerPolicy {
     }
 }
 
+/// When appended churn records are forced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every append — an acknowledged SUB/UNSUB survives
+    /// a machine crash, at per-op syscall cost.
+    Always,
+    /// Sync once per maintenance sweep. A process crash loses nothing (the
+    /// kernel has the bytes); a machine crash can lose up to one sweep of
+    /// churn. The default.
+    Interval,
+    /// Never force; the OS flushes when it pleases.
+    Never,
+}
+
+impl FsyncPolicy {
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "always" => Ok(Self::Always),
+            "interval" => Ok(Self::Interval),
+            "never" => Ok(Self::Never),
+            other => Err(format!(
+                "unknown fsync policy `{other}` (expected always|interval|never)"
+            )),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Always => "always",
+            Self::Interval => "interval",
+            Self::Never => "never",
+        }
+    }
+}
+
+/// Durability settings. `ServerConfig::persist = Some(..)` turns the
+/// broker's subscription set into durable state (see [`crate::persist`]).
+#[derive(Debug, Clone)]
+pub struct PersistConfig {
+    /// Directory holding `snapshot.apcm` and `churn.log` (created if
+    /// missing).
+    pub dir: PathBuf,
+    /// When appends reach stable storage.
+    pub fsync: FsyncPolicy,
+    /// Background snapshot period; `None` disables age-triggered
+    /// snapshots (size rotation and the `SNAPSHOT` command still work).
+    pub snapshot_interval: Option<Duration>,
+    /// Snapshot + rotate once the churn log exceeds this many bytes.
+    pub rotate_log_bytes: u64,
+    /// Initial retry delay after a failed append (doubles per failure).
+    pub retry_backoff: Duration,
+    /// Ceiling for the exponential backoff.
+    pub max_retry_backoff: Duration,
+}
+
+impl PersistConfig {
+    /// Defaults for a given directory.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Interval,
+            snapshot_interval: Some(Duration::from_secs(60)),
+            rotate_log_bytes: 16 * 1024 * 1024,
+            retry_backoff: Duration::from_millis(100),
+            max_retry_backoff: Duration::from_secs(10),
+        }
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rotate_log_bytes == 0 {
+            return Err("rotate_log_bytes must be positive".into());
+        }
+        if self.retry_backoff.is_zero() || self.max_retry_backoff < self.retry_backoff {
+            return Err("retry backoff must be positive and <= its ceiling".into());
+        }
+        Ok(())
+    }
+}
+
 /// Tuning for the sharded matching service.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -86,6 +166,15 @@ pub struct ServerConfig {
     pub maintenance_interval: Duration,
     /// Policy for consumers whose outbound queue is full.
     pub slow_consumer: SlowConsumerPolicy,
+    /// Hard cap on one protocol line; longer lines get `-ERR line too
+    /// long` and are discarded without unbounded buffering.
+    pub max_line_bytes: usize,
+    /// Close connections with no inbound traffic for this long (the
+    /// maintenance thread sweeps); `None` disables reaping.
+    pub idle_timeout: Option<Duration>,
+    /// Durable subscription state; `None` keeps the pre-durability
+    /// behavior (everything lost on restart).
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +189,9 @@ impl Default for ServerConfig {
             flush_interval: Duration::from_millis(5),
             maintenance_interval: Duration::from_millis(250),
             slow_consumer: SlowConsumerPolicy::Drop,
+            max_line_bytes: 1024 * 1024,
+            idle_timeout: None,
+            persist: None,
         }
     }
 }
@@ -114,6 +206,12 @@ impl ServerConfig {
         }
         if self.ingest_queue == 0 || self.conn_queue == 0 {
             return Err("queue capacities must be positive".into());
+        }
+        if self.max_line_bytes < 16 {
+            return Err("max_line_bytes must be at least 16".into());
+        }
+        if let Some(persist) = &self.persist {
+            persist.validate()?;
         }
         Ok(())
     }
@@ -149,6 +247,46 @@ mod tests {
     fn rejects_zero_shards() {
         let config = ServerConfig {
             shards: 0,
+            ..ServerConfig::default()
+        };
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn fsync_policy_parses() {
+        assert_eq!(FsyncPolicy::parse("always").unwrap(), FsyncPolicy::Always);
+        assert_eq!(
+            FsyncPolicy::parse("interval").unwrap(),
+            FsyncPolicy::Interval
+        );
+        assert_eq!(FsyncPolicy::parse("never").unwrap(), FsyncPolicy::Never);
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+    }
+
+    #[test]
+    fn persist_config_validates() {
+        let mut p = PersistConfig::new("/tmp/somewhere");
+        p.validate().unwrap();
+        p.rotate_log_bytes = 0;
+        assert!(p.validate().is_err());
+        let mut p = PersistConfig::new("/tmp/somewhere");
+        p.max_retry_backoff = Duration::from_millis(1);
+        assert!(p.validate().is_err());
+
+        let config = ServerConfig {
+            persist: Some(PersistConfig {
+                rotate_log_bytes: 0,
+                ..PersistConfig::new("/tmp/x")
+            }),
+            ..ServerConfig::default()
+        };
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_tiny_line_cap() {
+        let config = ServerConfig {
+            max_line_bytes: 4,
             ..ServerConfig::default()
         };
         assert!(config.validate().is_err());

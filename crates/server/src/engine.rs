@@ -25,6 +25,18 @@ pub trait ShardEngine: Send + Sync {
     fn subscribe(&self, sub: &Subscription) -> Result<bool, BexprError>;
     /// Removes a subscription; `false` if the id was unknown.
     fn unsubscribe(&self, id: SubId) -> bool;
+    /// Bulk-loads recovered subscriptions (startup restore path). Returns
+    /// how many were added; duplicates are skipped. The default loops
+    /// `subscribe`; engines with a cheaper batched path override it.
+    fn bulk_subscribe(&self, subs: &[Subscription]) -> Result<usize, BexprError> {
+        let mut added = 0;
+        for sub in subs {
+            if self.subscribe(sub)? {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
     /// Matches a window of events; row `i` holds the ascending, deduplicated
     /// ids matching `events[i]`.
     fn match_window(&self, events: &[Event]) -> Vec<Vec<SubId>>;
@@ -110,6 +122,18 @@ impl ShardEngine for ScanEngine {
         let before = subs.len();
         subs.retain(|s| s.id() != id);
         subs.len() != before
+    }
+
+    /// One write lock for the whole restore batch instead of one per sub.
+    fn bulk_subscribe(&self, batch: &[Subscription]) -> Result<usize, BexprError> {
+        let mut subs = self.subs.write();
+        let before = subs.len();
+        for sub in batch {
+            if !subs.iter().any(|s| s.id() == sub.id()) {
+                subs.push(sub.clone());
+            }
+        }
+        Ok(subs.len() - before)
     }
 
     fn match_window(&self, events: &[Event]) -> Vec<Vec<SubId>> {

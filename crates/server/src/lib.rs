@@ -13,20 +13,25 @@
 //!   newline-delimited text protocol (see [`protocol`]) with live
 //!   `SUB`/`UNSUB`, batch publishing, per-connection slow-consumer policy,
 //!   a background maintenance sweep, and [`ServerStats`] counters.
+//! * [`persist`] makes the subscription set durable: a checksummed
+//!   snapshot plus a CRC-framed append-only churn log, replayed at
+//!   startup with torn-tail truncation and corrupt-record skipping.
 
 pub mod broker;
 pub mod client;
 pub mod config;
 pub mod engine;
 pub mod ingest;
+pub mod persist;
 pub mod protocol;
 pub mod shard;
 pub mod stats;
 
 pub use broker::Server;
-pub use client::BrokerClient;
-pub use config::{EngineChoice, ServerConfig, SlowConsumerPolicy};
+pub use client::{BrokerClient, ConnectOptions};
+pub use config::{EngineChoice, FsyncPolicy, PersistConfig, ServerConfig, SlowConsumerPolicy};
 pub use engine::ShardEngine;
 pub use ingest::{IngestItem, IngestPipeline, ResultSink};
+pub use persist::{Persister, RecoveryReport};
 pub use shard::ShardedEngine;
 pub use stats::ServerStats;

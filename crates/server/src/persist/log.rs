@@ -1,0 +1,458 @@
+//! Append-only churn log: one framed record per SUB/UNSUB.
+//!
+//! Record framing (one line each, ASCII):
+//!
+//! ```text
+//! <crc32:8-hex> <seq> S <id> <expr>
+//! <crc32:8-hex> <seq> U <id>
+//! ```
+//!
+//! The CRC covers everything after the first space (`<seq> …`), so a torn
+//! or bit-flipped record is detected on replay. Sequence numbers increase
+//! monotonically across rotations; a snapshot records the sequence it
+//! covers, and replay skips records at or below it.
+//!
+//! Append failures attempt an immediate *repair* — truncating the file
+//! back to the last known-good length — so a partially written record
+//! never corrupts the framing of the next successful append. If the repair
+//! itself fails (disk gone, or the `persist.log.repair` failpoint), the
+//! log is marked dirty and every append fails fast until a later repair
+//! succeeds; recovery handles whatever tail the crash left behind.
+
+use apcm_bexpr::{parser, Schema, SubId, Subscription};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use super::crc::crc32;
+use super::failpoint::{self, FailAction};
+
+/// File name of the live churn log inside the persist directory.
+pub const LOG_FILE: &str = "churn.log";
+
+/// One churn operation, borrowed for appending.
+pub enum ChurnOp<'a> {
+    Sub(&'a Subscription),
+    Unsub(SubId),
+}
+
+/// One churn operation, owned, as read back by replay.
+#[derive(Debug, Clone)]
+pub enum ReplayOp {
+    Sub(Subscription),
+    Unsub(SubId),
+}
+
+/// A replayed record: sequence number plus the operation.
+#[derive(Debug, Clone)]
+pub struct ReplayRecord {
+    pub seq: u64,
+    pub op: ReplayOp,
+}
+
+/// What replay found (and fixed) in the log file.
+#[derive(Debug, Default)]
+pub struct LogReplay {
+    /// CRC-valid records, in file order.
+    pub records: Vec<ReplayRecord>,
+    /// CRC-valid but semantically unparseable (schema drift) or mid-file
+    /// corrupt records that were skipped.
+    pub corrupt_skipped: u64,
+    /// Bytes cut off the tail (torn final record / trailing garbage).
+    pub truncated_bytes: u64,
+    /// Highest sequence number seen in a valid record.
+    pub last_seq: u64,
+    /// Human-readable description of everything dropped.
+    pub notes: Vec<String>,
+}
+
+/// The open, append-mode churn log.
+pub struct ChurnLog {
+    file: File,
+    path: PathBuf,
+    /// File length after the last successful append — the repair point.
+    good_len: u64,
+    /// Last sequence number assigned to a durable record.
+    seq: u64,
+    /// Set when a failed append could not be repaired: the on-disk tail is
+    /// suspect and appends fail fast until `repair` succeeds.
+    dirty: bool,
+}
+
+fn render_payload(op: &ChurnOp<'_>, schema: &Schema) -> String {
+    match op {
+        ChurnOp::Sub(sub) => format!("S {} {}", sub.id().0, sub.display(schema)),
+        ChurnOp::Unsub(id) => format!("U {}", id.0),
+    }
+}
+
+impl ChurnLog {
+    /// Opens (creating if missing) the log for appending. `start_seq` is
+    /// the highest sequence already durable (from snapshot + replay).
+    pub fn open(dir: &Path, start_seq: u64) -> io::Result<Self> {
+        let path = dir.join(LOG_FILE);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let good_len = file.metadata()?.len();
+        Ok(Self {
+            file,
+            path,
+            good_len,
+            seq: start_seq,
+            dirty: false,
+        })
+    }
+
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    pub fn len_bytes(&self) -> u64 {
+        self.good_len
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record. On success returns its sequence number; on
+    /// failure the in-file damage is repaired (or the log marked dirty) and
+    /// the error returned — the caller must roll back the in-memory
+    /// operation so acknowledged state always equals durable state.
+    pub fn append(&mut self, op: &ChurnOp<'_>, schema: &Schema, sync: bool) -> io::Result<u64> {
+        if self.dirty {
+            return Err(io::Error::other(
+                "churn log has an unrepaired torn tail; append refused",
+            ));
+        }
+        let seq = self.seq + 1;
+        let payload = format!("{seq} {}", render_payload(op, schema));
+        let line = format!("{:08x} {payload}\n", crc32(payload.as_bytes()));
+        let bytes = line.as_bytes();
+
+        let write_result = match failpoint::fire("persist.log.append") {
+            Some(FailAction::Error) => Err(failpoint::injected_error("persist.log.append")),
+            Some(FailAction::TornWrite(n)) => {
+                let n = n.min(bytes.len());
+                // Write the torn prefix for real so recovery sees it.
+                self.file
+                    .write_all(&bytes[..n])
+                    .and_then(|()| self.file.flush())
+                    .and(Err(failpoint::injected_error("persist.log.append")))
+            }
+            None => self.file.write_all(bytes).and_then(|()| self.file.flush()),
+        };
+
+        match write_result {
+            Ok(()) => {
+                if sync {
+                    if let Err(e) = self.file.sync_data() {
+                        // The record may or may not be durable; treat as a
+                        // failed append and cut it back out.
+                        self.repair_after_failure();
+                        return Err(e);
+                    }
+                }
+                self.good_len += bytes.len() as u64;
+                self.seq = seq;
+                Ok(seq)
+            }
+            Err(e) => {
+                self.repair_after_failure();
+                Err(e)
+            }
+        }
+    }
+
+    /// Truncates any partial bytes a failed append left behind. Marks the
+    /// log dirty when that is impossible, so later appends refuse until a
+    /// `repair` succeeds.
+    fn repair_after_failure(&mut self) {
+        self.dirty = self.repair().is_err();
+    }
+
+    /// Restores the file to the last known-good length. Used inline after
+    /// append failures and by the maintenance retry path.
+    pub fn repair(&mut self) -> io::Result<()> {
+        if let Some(FailAction::Error | FailAction::TornWrite(_)) =
+            failpoint::fire("persist.log.repair")
+        {
+            return Err(failpoint::injected_error("persist.log.repair"));
+        }
+        self.file.set_len(self.good_len)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Whether the log currently refuses appends (unrepaired tail).
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Flushes OS buffers to disk (the `FsyncPolicy::Interval` path).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Starts a fresh log after a successful snapshot: truncates to zero.
+    /// Sequence numbers keep counting — the snapshot records the cutoff.
+    pub fn rotate(&mut self) -> io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.good_len = 0;
+        self.dirty = false;
+        Ok(())
+    }
+}
+
+/// Reads and validates the log at `dir`, truncating it back to the last
+/// good frame so subsequent appends start from a clean point. Returns every
+/// valid record in file order; corruption is reported, never fatal.
+pub fn replay(dir: &Path, schema: &Schema) -> io::Result<LogReplay> {
+    let path = dir.join(LOG_FILE);
+    let mut out = LogReplay::default();
+    let data = match std::fs::read(&path) {
+        Ok(data) => data,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+
+    // Offset of the first byte that is NOT part of a fully valid prefix of
+    // frames; everything from the last bad frame onward is truncated iff
+    // no valid frame follows it (torn tail). Mid-file bad frames followed
+    // by valid ones are skipped individually (bit rot, not a crash).
+    let mut pos = 0usize;
+    let mut keep_len = 0usize; // file keeps [0, keep_len)
+    let mut pending_bad: Vec<(usize, String)> = Vec::new(); // (offset, note)
+    while pos < data.len() {
+        let Some(nl) = data[pos..].iter().position(|&b| b == b'\n') else {
+            // Unterminated tail: a record that never finished writing.
+            out.notes.push(format!(
+                "torn tail: {} unterminated byte(s) at offset {pos}",
+                data.len() - pos
+            ));
+            out.truncated_bytes += (data.len() - pos) as u64;
+            break;
+        };
+        let line_end = pos + nl;
+        let line = &data[pos..line_end];
+        match parse_record(line, schema) {
+            Ok(record) => {
+                // Bad frames strictly inside the file are skips, not tears.
+                for (off, note) in pending_bad.drain(..) {
+                    out.corrupt_skipped += 1;
+                    out.notes
+                        .push(format!("corrupt record at offset {off} skipped: {note}"));
+                }
+                out.last_seq = out.last_seq.max(record.seq);
+                out.records.push(record);
+                keep_len = line_end + 1;
+            }
+            Err(note) => {
+                pending_bad.push((pos, note));
+            }
+        }
+        pos = line_end + 1;
+    }
+    // Bad frames with no valid frame after them are a torn/corrupt tail:
+    // truncate at the first of them.
+    if let Some((off, note)) = pending_bad.first() {
+        out.truncated_bytes += (pos - off) as u64;
+        out.notes
+            .push(format!("truncated tail at offset {off}: {note}"));
+    }
+
+    if keep_len < data.len() {
+        let file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(keep_len as u64)?;
+        file.sync_data()?;
+    }
+    Ok(out)
+}
+
+/// Parses and CRC-checks one record line. The error string says what was
+/// wrong (it ends up in the recovery report).
+fn parse_record(line: &[u8], schema: &Schema) -> Result<ReplayRecord, String> {
+    let text = std::str::from_utf8(line).map_err(|_| "not utf-8".to_string())?;
+    let (crc_text, payload) = text.split_once(' ').ok_or("missing crc field")?;
+    let stored = u32::from_str_radix(crc_text, 16).map_err(|_| format!("bad crc `{crc_text}`"))?;
+    let actual = crc32(payload.as_bytes());
+    if stored != actual {
+        return Err(format!(
+            "crc mismatch (stored {stored:08x}, actual {actual:08x})"
+        ));
+    }
+    let (seq_text, rest) = payload.split_once(' ').ok_or("missing seq field")?;
+    let seq: u64 = seq_text
+        .parse()
+        .map_err(|_| format!("bad seq `{seq_text}`"))?;
+    let op = match rest.split_once(' ') {
+        Some(("S", sub_text)) => {
+            let (id_text, expr) = sub_text
+                .split_once(' ')
+                .ok_or("S record missing expression")?;
+            let id: u32 = id_text
+                .parse()
+                .map_err(|_| format!("bad sub id `{id_text}`"))?;
+            let sub = parser::parse_subscription_with_id(schema, SubId(id), expr)
+                .map_err(|e| format!("unparseable subscription: {e}"))?;
+            ReplayOp::Sub(sub)
+        }
+        Some(("U", id_text)) => {
+            let id: u32 = id_text
+                .parse()
+                .map_err(|_| format!("bad unsub id `{id_text}`"))?;
+            ReplayOp::Unsub(SubId(id))
+        }
+        None if rest.starts_with("U") => {
+            return Err("U record missing id".into());
+        }
+        _ => return Err(format!("unknown record kind in `{rest}`")),
+    };
+    Ok(ReplayRecord { seq, op })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apcm_bexpr::Schema;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("apcm_log_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sub(schema: &Schema, id: u32, text: &str) -> Subscription {
+        parser::parse_subscription_with_id(schema, SubId(id), text).unwrap()
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let schema = Schema::uniform(3, 16);
+        let dir = tmpdir("roundtrip");
+        let mut log = ChurnLog::open(&dir, 0).unwrap();
+        let s1 = sub(&schema, 1, "a0 = 3 AND a1 >= 5");
+        let s2 = sub(&schema, 2, "a2 != 7");
+        assert_eq!(log.append(&ChurnOp::Sub(&s1), &schema, true).unwrap(), 1);
+        assert_eq!(log.append(&ChurnOp::Sub(&s2), &schema, false).unwrap(), 2);
+        assert_eq!(
+            log.append(&ChurnOp::Unsub(SubId(1)), &schema, true)
+                .unwrap(),
+            3
+        );
+        drop(log);
+
+        let replayed = replay(&dir, &schema).unwrap();
+        assert_eq!(replayed.records.len(), 3);
+        assert_eq!(replayed.last_seq, 3);
+        assert_eq!(replayed.corrupt_skipped, 0);
+        assert_eq!(replayed.truncated_bytes, 0);
+        match &replayed.records[0].op {
+            ReplayOp::Sub(s) => assert_eq!(*s, s1),
+            other => panic!("{other:?}"),
+        }
+        match &replayed.records[2].op {
+            ReplayOp::Unsub(id) => assert_eq!(*id, SubId(1)),
+            other => panic!("{other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let schema = Schema::uniform(2, 8);
+        let dir = tmpdir("torn");
+        let mut log = ChurnLog::open(&dir, 0).unwrap();
+        let s1 = sub(&schema, 1, "a0 = 1");
+        log.append(&ChurnOp::Sub(&s1), &schema, true).unwrap();
+        drop(log);
+        // Simulate a crash mid-record: raw partial bytes, no newline.
+        let path = dir.join(LOG_FILE);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"deadbeef 2 S 9 a0").unwrap();
+        drop(f);
+
+        let replayed = replay(&dir, &schema).unwrap();
+        assert_eq!(replayed.records.len(), 1);
+        assert!(replayed.truncated_bytes > 0);
+        // The file was physically truncated back to the good frame.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let mut log = ChurnLog::open(&dir, replayed.last_seq).unwrap();
+        assert_eq!(log.len_bytes(), len);
+        let s2 = sub(&schema, 2, "a1 = 2");
+        log.append(&ChurnOp::Sub(&s2), &schema, true).unwrap();
+        drop(log);
+        let replayed = replay(&dir, &schema).unwrap();
+        assert_eq!(replayed.records.len(), 2);
+        assert_eq!(replayed.truncated_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_skipped_with_report() {
+        let schema = Schema::uniform(2, 8);
+        let dir = tmpdir("midcorrupt");
+        let mut log = ChurnLog::open(&dir, 0).unwrap();
+        for id in 1..=3u32 {
+            let s = sub(&schema, id, "a0 = 1");
+            log.append(&ChurnOp::Sub(&s), &schema, false).unwrap();
+        }
+        drop(log);
+        // Flip a byte inside the second record.
+        let path = dir.join(LOG_FILE);
+        let mut data = std::fs::read(&path).unwrap();
+        let second_start = data.iter().position(|&b| b == b'\n').unwrap() + 1;
+        data[second_start + 12] ^= 0x40;
+        std::fs::write(&path, &data).unwrap();
+
+        let replayed = replay(&dir, &schema).unwrap();
+        assert_eq!(replayed.records.len(), 2);
+        assert_eq!(replayed.corrupt_skipped, 1);
+        assert_eq!(replayed.truncated_bytes, 0);
+        assert!(!replayed.notes.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_failpoint_repairs_inline() {
+        let schema = Schema::uniform(2, 8);
+        let dir = tmpdir("fp_torn");
+        let mut log = ChurnLog::open(&dir, 0).unwrap();
+        let s1 = sub(&schema, 1, "a0 = 1");
+        log.append(&ChurnOp::Sub(&s1), &schema, true).unwrap();
+        let good = log.len_bytes();
+
+        failpoint::arm("persist.log.append", FailAction::TornWrite(5), Some(1));
+        let s2 = sub(&schema, 2, "a0 = 2");
+        assert!(log.append(&ChurnOp::Sub(&s2), &schema, true).is_err());
+        // Inline repair cut the torn bytes back out.
+        assert!(!log.is_dirty());
+        assert_eq!(std::fs::metadata(dir.join(LOG_FILE)).unwrap().len(), good);
+        // And the next append lands cleanly with the same seq.
+        assert_eq!(log.append(&ChurnOp::Sub(&s2), &schema, true).unwrap(), 2);
+        failpoint::reset();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_repair_marks_dirty_until_fixed() {
+        let schema = Schema::uniform(2, 8);
+        let dir = tmpdir("fp_dirty");
+        let mut log = ChurnLog::open(&dir, 0).unwrap();
+        failpoint::arm("persist.log.append", FailAction::TornWrite(3), Some(1));
+        failpoint::arm("persist.log.repair", FailAction::Error, Some(1));
+        let s1 = sub(&schema, 1, "a0 = 1");
+        assert!(log.append(&ChurnOp::Sub(&s1), &schema, true).is_err());
+        assert!(log.is_dirty());
+        // Appends fail fast while dirty.
+        assert!(log.append(&ChurnOp::Sub(&s1), &schema, true).is_err());
+        // A later repair (failpoint exhausted) restores service.
+        log.repair().unwrap();
+        assert!(!log.is_dirty());
+        assert_eq!(log.append(&ChurnOp::Sub(&s1), &schema, true).unwrap(), 1);
+        failpoint::reset();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

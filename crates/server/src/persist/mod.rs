@@ -1,0 +1,446 @@
+//! Durable subscription state: snapshot + append-log persistence and
+//! crash recovery for the broker's live subscription set.
+//!
+//! Layout of the persist directory:
+//!
+//! * `snapshot.apcm` — checksummed full snapshot (see [`snapshot`]),
+//!   written atomically (temp file + rename) by the maintenance thread,
+//!   the `SNAPSHOT` admin command, or log-size rotation.
+//! * `churn.log` — append-only SUB/UNSUB records with per-record CRC and
+//!   monotone sequence numbers (see [`log`]); rotated (truncated) after
+//!   every successful snapshot.
+//!
+//! Recovery loads the snapshot (if any), replays log records with a higher
+//! sequence, truncates torn tails, skips CRC-invalid records, and reports
+//! exactly what was dropped — corruption is counted, never a panic.
+//!
+//! The write path is **ack-after-append**: a `SUB`/`UNSUB` is applied to
+//! the in-memory engine first, then logged; if the append fails the engine
+//! change is rolled back and the client sees `-ERR`, so acknowledged churn
+//! always equals durable churn. Append failures put the persister into a
+//! *degraded* state: churn is refused (fast) while matching continues,
+//! the maintenance thread retries with exponential backoff, and the
+//! `STATS` counters surface everything.
+
+pub mod crc;
+pub mod failpoint;
+pub mod log;
+pub mod snapshot;
+
+use apcm_bexpr::{BexprError, Schema, SubId, Subscription};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::config::{FsyncPolicy, PersistConfig};
+use crate::shard::ShardedEngine;
+use crate::stats::ServerStats;
+use log::{ChurnLog, ChurnOp, ReplayOp};
+
+/// Why a churn operation was rejected.
+#[derive(Debug)]
+pub enum ChurnError {
+    /// The expression itself is invalid — the engine never saw it.
+    Engine(BexprError),
+    /// The engine accepted it but the durable append failed; the engine
+    /// change was rolled back.
+    Persist(String),
+}
+
+impl fmt::Display for ChurnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChurnError::Engine(e) => write!(f, "bad subscription: {e}"),
+            ChurnError::Persist(msg) => write!(f, "persist: {msg}"),
+        }
+    }
+}
+
+/// What startup recovery found. Rendered by `apcm serve` and exposed via
+/// [`crate::Server::recovery_report`].
+#[derive(Debug, Default, Clone)]
+pub struct RecoveryReport {
+    /// Subscriptions restored from the snapshot.
+    pub snapshot_subs: usize,
+    /// Log sequence the snapshot covered.
+    pub snapshot_seq: u64,
+    /// Set when a snapshot existed but was corrupt (recovery continued
+    /// from the log alone).
+    pub snapshot_error: Option<String>,
+    /// Log records applied on top of the snapshot.
+    pub log_records_applied: u64,
+    /// Log records skipped because the snapshot already covered them.
+    pub log_records_obsolete: u64,
+    /// CRC-invalid or unparseable records dropped.
+    pub corrupt_records_dropped: u64,
+    /// Torn-tail bytes truncated off the log.
+    pub truncated_bytes: u64,
+    /// UNSUB records whose id was not live (double-unsub across a crash).
+    pub unknown_unsubs: u64,
+    /// Live subscriptions after recovery.
+    pub live_subs: usize,
+    /// Human-readable notes about everything dropped.
+    pub notes: Vec<String>,
+}
+
+impl RecoveryReport {
+    /// Whether recovery had to drop anything.
+    pub fn is_clean(&self) -> bool {
+        self.snapshot_error.is_none()
+            && self.corrupt_records_dropped == 0
+            && self.truncated_bytes == 0
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "recovered {} live subscription(s): {} from snapshot (seq {}), {} log record(s) replayed",
+            self.live_subs, self.snapshot_subs, self.snapshot_seq, self.log_records_applied
+        )?;
+        if let Some(err) = &self.snapshot_error {
+            writeln!(f, "  snapshot unusable: {err}")?;
+        }
+        if self.corrupt_records_dropped > 0 || self.truncated_bytes > 0 {
+            writeln!(
+                f,
+                "  dropped {} corrupt record(s), truncated {} torn byte(s)",
+                self.corrupt_records_dropped, self.truncated_bytes
+            )?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of one snapshot pass.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotOutcome {
+    pub subs: usize,
+    pub seq: u64,
+    pub bytes: u64,
+}
+
+struct PersistInner {
+    log: ChurnLog,
+    /// `false` after an append/sync failure until a retry succeeds.
+    healthy: bool,
+    next_retry: Instant,
+    backoff: Duration,
+    last_snapshot: Instant,
+}
+
+/// The durability layer: owns the churn log, the canonical catalog of live
+/// subscriptions (the snapshot source), and the degraded/retry state.
+pub struct Persister {
+    config: PersistConfig,
+    schema: Schema,
+    stats: Arc<ServerStats>,
+    /// Serializes churn appends, snapshots, and rotation — the ordering of
+    /// log records always equals the ordering of engine mutations.
+    inner: Mutex<PersistInner>,
+    /// Canonical live set, keyed by id. Updated only after a successful
+    /// append, so it never disagrees with the durable state.
+    catalog: RwLock<HashMap<SubId, Subscription>>,
+    recovery: RecoveryReport,
+}
+
+impl Persister {
+    /// Opens (or creates) the persist directory, runs recovery, and
+    /// returns the persister plus the recovered subscriptions in ascending
+    /// id order, ready for [`ShardedEngine::bulk_restore`].
+    pub fn open(
+        config: PersistConfig,
+        schema: Schema,
+        stats: Arc<ServerStats>,
+    ) -> io::Result<(Self, Vec<Subscription>)> {
+        config
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        std::fs::create_dir_all(&config.dir)?;
+
+        let mut report = RecoveryReport::default();
+        let mut catalog: HashMap<SubId, Subscription> = HashMap::new();
+        let mut base_seq = 0u64;
+        match snapshot::load(&config.dir, &schema) {
+            Ok(Some(snap)) => {
+                report.snapshot_subs = snap.subs.len();
+                report.snapshot_seq = snap.seq;
+                base_seq = snap.seq;
+                for sub in snap.subs {
+                    catalog.insert(sub.id(), sub);
+                }
+            }
+            Ok(None) => {}
+            Err(snapshot::SnapshotError::Corrupt(msg)) => {
+                report.snapshot_error = Some(msg.clone());
+                report
+                    .notes
+                    .push(format!("snapshot discarded as corrupt: {msg}"));
+            }
+            Err(snapshot::SnapshotError::SchemaMismatch(msg)) => {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+            }
+            Err(snapshot::SnapshotError::Io(e)) => return Err(e),
+        }
+
+        let replay = log::replay(&config.dir, &schema)?;
+        report.corrupt_records_dropped += replay.corrupt_skipped;
+        report.truncated_bytes += replay.truncated_bytes;
+        report.notes.extend(replay.notes.iter().cloned());
+        for record in &replay.records {
+            if record.seq <= base_seq {
+                report.log_records_obsolete += 1;
+                continue;
+            }
+            report.log_records_applied += 1;
+            match &record.op {
+                ReplayOp::Sub(sub) => {
+                    catalog.insert(sub.id(), sub.clone());
+                }
+                ReplayOp::Unsub(id) => {
+                    if catalog.remove(id).is_none() {
+                        report.unknown_unsubs += 1;
+                    }
+                }
+            }
+        }
+        let last_seq = base_seq.max(replay.last_seq);
+        report.live_subs = catalog.len();
+
+        ServerStats::add(&stats.recovered_subs, report.live_subs as u64);
+        ServerStats::add(&stats.recovery_log_applied, report.log_records_applied);
+        ServerStats::add(
+            &stats.recovery_corrupt_dropped,
+            report.corrupt_records_dropped + u64::from(report.snapshot_error.is_some()),
+        );
+        ServerStats::add(&stats.recovery_truncated_bytes, report.truncated_bytes);
+
+        let log = ChurnLog::open(&config.dir, last_seq)?;
+        let now = Instant::now();
+        let mut restored: Vec<Subscription> = catalog.values().cloned().collect();
+        restored.sort_by_key(|s| s.id());
+        let persister = Self {
+            inner: Mutex::new(PersistInner {
+                log,
+                healthy: true,
+                next_retry: now,
+                backoff: config.retry_backoff,
+                last_snapshot: now,
+            }),
+            config,
+            schema,
+            stats,
+            catalog: RwLock::new(catalog),
+            recovery: report,
+        };
+        Ok((persister, restored))
+    }
+
+    /// What startup recovery found.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Whether churn is currently refused pending a retry.
+    pub fn is_degraded(&self) -> bool {
+        !self.inner.lock().healthy
+    }
+
+    fn fsync_per_append(&self) -> bool {
+        self.config.fsync == FsyncPolicy::Always
+    }
+
+    /// Degradation bookkeeping after a failed append/sync.
+    fn note_failure(&self, inner: &mut PersistInner) {
+        ServerStats::add(&self.stats.persist_errors, 1);
+        if inner.healthy {
+            inner.backoff = self.config.retry_backoff;
+        } else {
+            inner.backoff = (inner.backoff * 2).min(self.config.max_retry_backoff);
+        }
+        inner.healthy = false;
+        inner.next_retry = Instant::now() + inner.backoff;
+        self.stats
+            .persist_degraded
+            .store(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    fn note_success(&self, inner: &mut PersistInner) {
+        if !inner.healthy {
+            inner.healthy = true;
+            inner.backoff = self.config.retry_backoff;
+            self.stats
+                .persist_degraded
+                .store(0, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Gate for churn while degraded: fail fast inside the backoff window,
+    /// attempt a repair when one is due.
+    fn gate(&self, inner: &mut PersistInner) -> Result<(), ChurnError> {
+        if inner.healthy {
+            return Ok(());
+        }
+        if Instant::now() < inner.next_retry {
+            return Err(ChurnError::Persist(
+                "durable log degraded; retry in progress".into(),
+            ));
+        }
+        ServerStats::add(&self.stats.persist_retries, 1);
+        match inner.log.repair() {
+            Ok(()) => Ok(()), // the append below is the real probe
+            Err(e) => {
+                self.note_failure(inner);
+                Err(ChurnError::Persist(format!("retry failed: {e}")))
+            }
+        }
+    }
+
+    /// Applies a SUB through engine + log with rollback. `Ok(false)` for a
+    /// duplicate id (nothing written).
+    pub fn apply_sub(
+        &self,
+        engine: &ShardedEngine,
+        sub: &Subscription,
+    ) -> Result<bool, ChurnError> {
+        let mut inner = self.inner.lock();
+        self.gate(&mut inner)?;
+        match engine.subscribe(sub) {
+            Ok(true) => {}
+            Ok(false) => return Ok(false),
+            Err(e) => return Err(ChurnError::Engine(e)),
+        }
+        match inner
+            .log
+            .append(&ChurnOp::Sub(sub), &self.schema, self.fsync_per_append())
+        {
+            Ok(_seq) => {
+                ServerStats::add(&self.stats.persist_appends, 1);
+                self.note_success(&mut inner);
+                self.catalog.write().insert(sub.id(), sub.clone());
+                Ok(true)
+            }
+            Err(e) => {
+                engine.unsubscribe(sub.id());
+                self.note_failure(&mut inner);
+                Err(ChurnError::Persist(e.to_string()))
+            }
+        }
+    }
+
+    /// Applies an UNSUB through engine + log with rollback. `Ok(false)`
+    /// when the id was not live (nothing written).
+    pub fn apply_unsub(&self, engine: &ShardedEngine, id: SubId) -> Result<bool, ChurnError> {
+        let mut inner = self.inner.lock();
+        self.gate(&mut inner)?;
+        if !engine.unsubscribe(id) {
+            return Ok(false);
+        }
+        match inner
+            .log
+            .append(&ChurnOp::Unsub(id), &self.schema, self.fsync_per_append())
+        {
+            Ok(_seq) => {
+                ServerStats::add(&self.stats.persist_appends, 1);
+                self.note_success(&mut inner);
+                self.catalog.write().remove(&id);
+                Ok(true)
+            }
+            Err(e) => {
+                // Roll the engine back from the catalog copy (still present
+                // because the catalog is only updated after a good append).
+                if let Some(sub) = self.catalog.read().get(&id).cloned() {
+                    let _ = engine.subscribe(&sub);
+                }
+                self.note_failure(&mut inner);
+                Err(ChurnError::Persist(e.to_string()))
+            }
+        }
+    }
+
+    /// Writes a snapshot of the live set and rotates the log. Churn is
+    /// paused for the duration (matching is not).
+    pub fn snapshot(&self) -> io::Result<SnapshotOutcome> {
+        let mut inner = self.inner.lock();
+        self.snapshot_locked(&mut inner)
+    }
+
+    fn snapshot_locked(&self, inner: &mut PersistInner) -> io::Result<SnapshotOutcome> {
+        let seq = inner.log.seq();
+        let mut subs: Vec<Subscription> = self.catalog.read().values().cloned().collect();
+        subs.sort_by_key(|s| s.id());
+        match snapshot::write(&self.config.dir, &self.schema, &subs, seq) {
+            Ok(bytes) => {
+                inner.log.rotate()?;
+                inner.last_snapshot = Instant::now();
+                ServerStats::add(&self.stats.snapshots_taken, 1);
+                Ok(SnapshotOutcome {
+                    subs: subs.len(),
+                    seq,
+                    bytes,
+                })
+            }
+            Err(e) => {
+                ServerStats::add(&self.stats.snapshot_errors, 1);
+                Err(e)
+            }
+        }
+    }
+
+    /// Periodic work, called from the broker's maintenance thread:
+    /// interval fsync, degraded-log repair retries (with backoff), and
+    /// background snapshotting (age- or size-triggered) with log rotation.
+    pub fn maintenance_tick(&self) {
+        let mut inner = self.inner.lock();
+
+        if !inner.healthy && Instant::now() >= inner.next_retry {
+            ServerStats::add(&self.stats.persist_retries, 1);
+            match inner.log.repair() {
+                Ok(()) => self.note_success(&mut inner),
+                Err(_) => self.note_failure(&mut inner),
+            }
+        }
+
+        if inner.healthy && self.config.fsync == FsyncPolicy::Interval {
+            if let Err(_e) = inner.log.sync() {
+                self.note_failure(&mut inner);
+            }
+        }
+
+        let due_by_age = self
+            .config
+            .snapshot_interval
+            .map(|iv| inner.last_snapshot.elapsed() >= iv)
+            .unwrap_or(false);
+        let due_by_size = inner.log.len_bytes() >= self.config.rotate_log_bytes;
+        if inner.healthy && (due_by_size || (due_by_age && inner.log.len_bytes() > 0)) {
+            let _ = self.snapshot_locked(&mut inner);
+        }
+    }
+
+    /// Final flush on graceful shutdown: make everything appended durable.
+    /// (No snapshot — the log replays equivalently on the next start.)
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock();
+        if inner.log.sync().is_err() {
+            self.note_failure(&mut inner);
+        }
+    }
+
+    /// Number of live subscriptions in the durable catalog.
+    pub fn catalog_len(&self) -> usize {
+        self.catalog.read().len()
+    }
+
+    /// Current churn-log size in bytes (for `STATS`).
+    pub fn log_bytes(&self) -> u64 {
+        self.inner.lock().log.len_bytes()
+    }
+}

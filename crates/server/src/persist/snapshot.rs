@@ -1,0 +1,319 @@
+//! Checksummed snapshot of the live subscription set.
+//!
+//! The body reuses the workload `Trace` line syntax (`attr` / `sub`), so a
+//! snapshot is human-readable and hand-editable like every other artifact
+//! in this repository. Layout:
+//!
+//! ```text
+//! # apcm-snapshot v1
+//! seq <last-covered-log-sequence>
+//! attr <name> <min> <max>
+//! sub <id> <conjunction>
+//! # crc <crc32:8-hex> subs <count>
+//! ```
+//!
+//! The trailing CRC covers every byte before the trailer line; the `subs`
+//! count cross-checks truncation. Snapshots are written to a temp file,
+//! fsynced, then renamed over the live name, so a crash mid-write never
+//! damages the previous snapshot.
+
+use apcm_bexpr::{parser, Schema, SubId, Subscription};
+use std::io::{self, Write};
+use std::path::Path;
+
+use super::crc::crc32;
+use super::failpoint::{self, FailAction};
+
+/// File name of the live snapshot inside the persist directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.apcm";
+const TMP_FILE: &str = "snapshot.apcm.tmp";
+const HEADER: &str = "# apcm-snapshot v1";
+
+/// A successfully loaded snapshot.
+#[derive(Debug)]
+pub struct SnapshotData {
+    /// Subscriptions live at snapshot time, ascending id order.
+    pub subs: Vec<Subscription>,
+    /// Highest churn-log sequence the snapshot covers; replay skips
+    /// records at or below it.
+    pub seq: u64,
+}
+
+/// Why a snapshot could not be used.
+#[derive(Debug)]
+pub enum SnapshotError {
+    Io(io::Error),
+    /// Checksum/format damage — recovery continues from the log alone.
+    Corrupt(String),
+    /// The snapshot was taken under a different schema. Starting anyway
+    /// would silently mis-evaluate every expression, so this is fatal.
+    SchemaMismatch(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Corrupt(msg) => write!(f, "snapshot corrupt: {msg}"),
+            SnapshotError::SchemaMismatch(msg) => write!(f, "snapshot schema mismatch: {msg}"),
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Writes a snapshot atomically. Returns the byte size written.
+pub fn write(dir: &Path, schema: &Schema, subs: &[Subscription], seq: u64) -> io::Result<u64> {
+    let mut body = String::new();
+    body.push_str(HEADER);
+    body.push('\n');
+    body.push_str(&format!("seq {seq}\n"));
+    for (_, info) in schema.iter() {
+        body.push_str(&format!(
+            "attr {} {} {}\n",
+            info.name(),
+            info.domain().min(),
+            info.domain().max()
+        ));
+    }
+    for sub in subs {
+        body.push_str(&format!("sub {} {}\n", sub.id().0, sub.display(schema)));
+    }
+    let trailer = format!("# crc {:08x} subs {}\n", crc32(body.as_bytes()), subs.len());
+    body.push_str(&trailer);
+
+    if let Some(FailAction::Error | FailAction::TornWrite(_)) =
+        failpoint::fire("persist.snapshot.write")
+    {
+        return Err(failpoint::injected_error("persist.snapshot.write"));
+    }
+
+    let tmp = dir.join(TMP_FILE);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(body.as_bytes())?;
+        file.sync_data()?;
+    }
+    if let Some(FailAction::Error | FailAction::TornWrite(_)) =
+        failpoint::fire("persist.snapshot.rename")
+    {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(failpoint::injected_error("persist.snapshot.rename"));
+    }
+    std::fs::rename(&tmp, dir.join(SNAPSHOT_FILE))?;
+    // Best-effort directory sync so the rename itself is durable.
+    if let Ok(dirf) = std::fs::File::open(dir) {
+        let _ = dirf.sync_all();
+    }
+    Ok(body.len() as u64)
+}
+
+/// Loads the snapshot at `dir`, if any. `Ok(None)` when no snapshot
+/// exists; `Err(Corrupt)` when one exists but fails validation (the caller
+/// reports it and recovers from the log alone).
+pub fn load(dir: &Path, schema: &Schema) -> Result<Option<SnapshotData>, SnapshotError> {
+    let path = dir.join(SNAPSHOT_FILE);
+    let data = match std::fs::read_to_string(&path) {
+        Ok(data) => data,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+
+    // Split off the trailer (the final non-empty line).
+    let trimmed = data.trim_end_matches('\n');
+    let Some(trailer_start) = trimmed.rfind('\n') else {
+        return Err(SnapshotError::Corrupt("missing trailer".into()));
+    };
+    let trailer = &trimmed[trailer_start + 1..];
+    let body = &data[..trailer_start + 1];
+    let mut parts = trailer.split_whitespace();
+    if (parts.next(), parts.next()) != (Some("#"), Some("crc")) {
+        return Err(SnapshotError::Corrupt(format!(
+            "bad trailer line `{trailer}`"
+        )));
+    }
+    let stored = parts
+        .next()
+        .and_then(|t| u32::from_str_radix(t, 16).ok())
+        .ok_or_else(|| SnapshotError::Corrupt("trailer missing crc".into()))?;
+    let count: usize = match (parts.next(), parts.next()) {
+        (Some("subs"), Some(n)) => n
+            .parse()
+            .map_err(|_| SnapshotError::Corrupt("bad subs count".into()))?,
+        _ => return Err(SnapshotError::Corrupt("trailer missing subs count".into())),
+    };
+    let actual = crc32(body.as_bytes());
+    if stored != actual {
+        return Err(SnapshotError::Corrupt(format!(
+            "crc mismatch (stored {stored:08x}, actual {actual:08x})"
+        )));
+    }
+
+    // Body is CRC-clean; parse it strictly (any error now is a bug or
+    // schema drift, not disk damage).
+    let mut lines = body.lines();
+    if lines.next() != Some(HEADER) {
+        return Err(SnapshotError::Corrupt("bad header".into()));
+    }
+    let mut seq = 0u64;
+    let mut subs = Vec::new();
+    let mut attr_idx = 0usize;
+    let expected_attrs: Vec<_> = schema.iter().collect();
+    for line in lines {
+        let Some((kind, rest)) = line.split_once(' ') else {
+            return Err(SnapshotError::Corrupt(format!("bad line `{line}`")));
+        };
+        match kind {
+            "seq" => {
+                seq = rest
+                    .parse()
+                    .map_err(|_| SnapshotError::Corrupt(format!("bad seq `{rest}`")))?;
+            }
+            "attr" => {
+                // Validate against the serving schema attribute-by-attribute.
+                let mut parts = rest.split_whitespace();
+                let (name, min, max) = (parts.next(), parts.next(), parts.next());
+                let expected = expected_attrs.get(attr_idx);
+                let matches = match (name, min, max, expected) {
+                    (Some(n), Some(lo), Some(hi), Some((_, info))) => {
+                        n == info.name()
+                            && lo.parse() == Ok(info.domain().min())
+                            && hi.parse() == Ok(info.domain().max())
+                    }
+                    _ => false,
+                };
+                if !matches {
+                    return Err(SnapshotError::SchemaMismatch(format!(
+                        "snapshot attr {attr_idx} is `{rest}`, serving schema disagrees"
+                    )));
+                }
+                attr_idx += 1;
+            }
+            "sub" => {
+                let (id_text, expr) = rest.split_once(' ').ok_or_else(|| {
+                    SnapshotError::Corrupt(format!("sub line missing expression: `{rest}`"))
+                })?;
+                let id: u32 = id_text.parse().map_err(|_| {
+                    SnapshotError::Corrupt(format!("bad subscription id `{id_text}`"))
+                })?;
+                let sub =
+                    parser::parse_subscription_with_id(schema, SubId(id), expr).map_err(|e| {
+                        SnapshotError::SchemaMismatch(format!(
+                            "subscription {id} no longer parses: {e}"
+                        ))
+                    })?;
+                subs.push(sub);
+            }
+            other => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "unknown record kind `{other}`"
+                )))
+            }
+        }
+    }
+    if attr_idx != schema.dims() {
+        return Err(SnapshotError::SchemaMismatch(format!(
+            "snapshot has {attr_idx} attributes, serving schema has {}",
+            schema.dims()
+        )));
+    }
+    if subs.len() != count {
+        return Err(SnapshotError::Corrupt(format!(
+            "trailer says {count} subs, body has {}",
+            subs.len()
+        )));
+    }
+    Ok(Some(SnapshotData { subs, seq }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("apcm_snap_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn corpus(schema: &Schema, n: u32) -> Vec<Subscription> {
+        (0..n)
+            .map(|id| {
+                parser::parse_subscription_with_id(schema, SubId(id), &format!("a0 <= {}", id % 8))
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip() {
+        let schema = Schema::uniform(3, 16);
+        let dir = tmpdir("roundtrip");
+        let subs = corpus(&schema, 40);
+        write(&dir, &schema, &subs, 123).unwrap();
+        let loaded = load(&dir, &schema).unwrap().unwrap();
+        assert_eq!(loaded.seq, 123);
+        assert_eq!(loaded.subs, subs);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_is_none() {
+        let dir = tmpdir("missing");
+        assert!(load(&dir, &Schema::uniform(2, 8)).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let schema = Schema::uniform(2, 8);
+        let dir = tmpdir("corrupt");
+        write(&dir, &schema, &corpus(&schema, 10), 7).unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut data = std::fs::read(&path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0x01;
+        std::fs::write(&path, &data).unwrap();
+        match load(&dir, &schema) {
+            Err(SnapshotError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn schema_mismatch_is_fatal() {
+        let schema = Schema::uniform(2, 8);
+        let dir = tmpdir("mismatch");
+        write(&dir, &schema, &corpus(&schema, 5), 1).unwrap();
+        match load(&dir, &Schema::uniform(3, 8)) {
+            Err(SnapshotError::SchemaMismatch(_)) => {}
+            other => panic!("expected SchemaMismatch, got {other:?}"),
+        }
+        match load(&dir, &Schema::uniform(2, 4)) {
+            Err(SnapshotError::SchemaMismatch(_)) => {}
+            other => panic!("expected SchemaMismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_failpoint_preserves_previous_snapshot() {
+        let schema = Schema::uniform(2, 8);
+        let dir = tmpdir("fp_write");
+        write(&dir, &schema, &corpus(&schema, 5), 1).unwrap();
+        failpoint::arm("persist.snapshot.write", FailAction::Error, Some(1));
+        assert!(write(&dir, &schema, &corpus(&schema, 9), 2).is_err());
+        let loaded = load(&dir, &schema).unwrap().unwrap();
+        assert_eq!(loaded.seq, 1);
+        assert_eq!(loaded.subs.len(), 5);
+        failpoint::reset();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

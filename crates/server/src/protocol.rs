@@ -9,6 +9,7 @@
 //! PUB <event>          publish one event, e.g. PUB a0 = 3, a1 = 9
 //! BATCH <n>            the next n lines are events, published as one batch
 //! STATS                server counters
+//! SNAPSHOT             force a durable snapshot + log rotation now
 //! PING                 liveness probe
 //! QUIT                 close this connection
 //! ```
@@ -28,11 +29,22 @@ use apcm_bexpr::{parser, BexprError, Event, Schema, SubId, Subscription};
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    Sub { id: SubId, sub: Subscription },
-    Unsub { id: SubId },
-    Pub { event: Event },
-    Batch { count: usize },
+    Sub {
+        id: SubId,
+        sub: Subscription,
+    },
+    Unsub {
+        id: SubId,
+    },
+    Pub {
+        event: Event,
+    },
+    Batch {
+        count: usize,
+    },
     Stats,
+    /// Force a snapshot + log rotation now (requires persistence).
+    Snapshot,
     Ping,
     Quit,
 }
@@ -82,6 +94,7 @@ pub fn parse_request(schema: &Schema, line: &str) -> Result<Option<Request>, Str
             Request::Batch { count }
         }
         "STATS" => Request::Stats,
+        "SNAPSHOT" => Request::Snapshot,
         "PING" => Request::Ping,
         "QUIT" => Request::Quit,
         other => return Err(format!("unknown verb `{other}`")),
@@ -188,6 +201,10 @@ mod tests {
         assert_eq!(
             parse_request(&schema, "STATS").unwrap().unwrap(),
             Request::Stats
+        );
+        assert_eq!(
+            parse_request(&schema, "snapshot").unwrap().unwrap(),
+            Request::Snapshot
         );
         assert_eq!(
             parse_request(&schema, "PING").unwrap().unwrap(),

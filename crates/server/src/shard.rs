@@ -49,6 +49,42 @@ impl ShardedEngine {
         self.shards[self.shard_of(id)].unsubscribe(id)
     }
 
+    /// Loads a recovered subscription set: groups by owning shard, then
+    /// bulk-subscribes each group on its own scoped thread (the same
+    /// partition-level fan-out as matching), and finishes with one
+    /// maintenance pass so overlay-based engines start from a built index.
+    /// Returns how many subscriptions were added.
+    pub fn bulk_restore(&self, subs: &[Subscription]) -> Result<usize, BexprError> {
+        if subs.is_empty() {
+            return Ok(0);
+        }
+        let mut groups: Vec<Vec<&Subscription>> = vec![Vec::new(); self.shards.len()];
+        for sub in subs {
+            groups[self.shard_of(sub.id())].push(sub);
+        }
+        let added = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .zip(&groups)
+                .filter(|(_, group)| !group.is_empty())
+                .map(|(shard, group)| {
+                    scope.spawn(move || {
+                        let owned: Vec<Subscription> = group.iter().map(|&s| s.clone()).collect();
+                        shard.bulk_subscribe(&owned)
+                    })
+                })
+                .collect();
+            let mut added = 0usize;
+            for handle in handles {
+                added += handle.join().unwrap()?;
+            }
+            Ok::<usize, BexprError>(added)
+        })?;
+        self.maintain();
+        Ok(added)
+    }
+
     /// Matches a window against every shard and merges per-event rows.
     ///
     /// With more than one populated shard the fan-out uses scoped threads —
@@ -183,6 +219,39 @@ mod tests {
             )
             .unwrap()]);
             assert!(!rows[0].contains(&SubId(3)));
+        }
+    }
+
+    #[test]
+    fn bulk_restore_matches_incremental_subscribe() {
+        for kind in [
+            EngineChoice::Scan,
+            EngineChoice::Apcm,
+            EngineChoice::BetreeHybrid,
+        ] {
+            let (schema, incremental) = setup(3, kind);
+            let (_, restored) = setup(3, kind);
+            let subs: Vec<Subscription> = (0..50u32)
+                .map(|id| {
+                    let text = format!("a0 <= {}", id % 8);
+                    parser::parse_subscription_with_id(&schema, SubId(id), &text).unwrap()
+                })
+                .collect();
+            for sub in &subs {
+                incremental.subscribe(sub).unwrap();
+            }
+            assert_eq!(restored.bulk_restore(&subs).unwrap(), 50);
+            assert_eq!(restored.len(), 50);
+            // Duplicate restore is a no-op.
+            assert_eq!(restored.bulk_restore(&subs).unwrap(), 0);
+
+            let ev = parser::parse_event(&schema, "a0 = 5, a1 = 0, a2 = 0, a3 = 0").unwrap();
+            assert_eq!(
+                restored.match_window(std::slice::from_ref(&ev)),
+                incremental.match_window(&[ev]),
+                "engine {}",
+                restored.engine_name()
+            );
         }
     }
 

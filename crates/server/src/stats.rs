@@ -78,6 +78,30 @@ pub struct ServerStats {
     pub subs_removed: AtomicU64,
     /// Protocol errors returned to clients.
     pub protocol_errors: AtomicU64,
+    /// Lines rejected (and discarded) for exceeding `max_line_bytes`.
+    pub oversized_lines: AtomicU64,
+    /// Connections closed by the idle-reaping sweep.
+    pub idle_reaped: AtomicU64,
+    /// Churn records durably appended to the log.
+    pub persist_appends: AtomicU64,
+    /// Failed appends/syncs (each rolled back and surfaced as `-ERR`).
+    pub persist_errors: AtomicU64,
+    /// Repair/retry attempts made while degraded.
+    pub persist_retries: AtomicU64,
+    /// Gauge: 1 while the durable log is degraded (churn refused), else 0.
+    pub persist_degraded: AtomicU64,
+    /// Snapshots successfully written (background, rotation, or SNAPSHOT).
+    pub snapshots_taken: AtomicU64,
+    /// Snapshot attempts that failed (previous snapshot left intact).
+    pub snapshot_errors: AtomicU64,
+    /// Subscriptions restored at startup (snapshot + log replay).
+    pub recovered_subs: AtomicU64,
+    /// Log records replayed on top of the snapshot at startup.
+    pub recovery_log_applied: AtomicU64,
+    /// Corrupt records (or snapshots) dropped during recovery.
+    pub recovery_corrupt_dropped: AtomicU64,
+    /// Torn-tail bytes truncated off the log during recovery.
+    pub recovery_truncated_bytes: AtomicU64,
     /// Background maintenance passes that did work.
     pub maintenance_passes: AtomicU64,
     /// Aggregate `MaintenanceReport` fields across all passes and shards.
@@ -133,6 +157,27 @@ impl ServerStats {
         push("subs_added", Self::get(&self.subs_added));
         push("subs_removed", Self::get(&self.subs_removed));
         push("protocol_errors", Self::get(&self.protocol_errors));
+        push("oversized_lines", Self::get(&self.oversized_lines));
+        push("idle_reaped", Self::get(&self.idle_reaped));
+        push("persist_appends", Self::get(&self.persist_appends));
+        push("persist_errors", Self::get(&self.persist_errors));
+        push("persist_retries", Self::get(&self.persist_retries));
+        push("persist_degraded", Self::get(&self.persist_degraded));
+        push("snapshots_taken", Self::get(&self.snapshots_taken));
+        push("snapshot_errors", Self::get(&self.snapshot_errors));
+        push("recovered_subs", Self::get(&self.recovered_subs));
+        push(
+            "recovery_log_applied",
+            Self::get(&self.recovery_log_applied),
+        );
+        push(
+            "recovery_corrupt_dropped",
+            Self::get(&self.recovery_corrupt_dropped),
+        );
+        push(
+            "recovery_truncated_bytes",
+            Self::get(&self.recovery_truncated_bytes),
+        );
         push("maintenance_passes", Self::get(&self.maintenance_passes));
         push("maintenance_folded", Self::get(&self.maintenance_folded));
         push("maintenance_rebuilt", Self::get(&self.maintenance_rebuilt));
@@ -190,5 +235,9 @@ mod tests {
         assert!(text.contains("shard_0_subs 3\n"));
         assert!(text.contains("shard_1_subs 4\n"));
         assert!(text.contains("ingest_queue_depth 2\n"));
+        assert!(text.contains("persist_appends 0\n"));
+        assert!(text.contains("recovered_subs 0\n"));
+        assert!(text.contains("idle_reaped 0\n"));
+        assert!(text.contains("oversized_lines 0\n"));
     }
 }

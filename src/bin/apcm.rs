@@ -14,7 +14,10 @@ use apcm::baselines::{CountingMatcher, KIndex, ParallelScan, SequentialScan};
 use apcm::betree::{BeTree, HybridPcmTree};
 use apcm::core::{ApcmConfig, ApcmMatcher, PcmMatcher};
 use apcm::prelude::*;
-use apcm::server::{EngineChoice, Server, ServerConfig, SlowConsumerPolicy};
+use apcm::server::client::{connect_stream, ConnectOptions};
+use apcm::server::{
+    EngineChoice, FsyncPolicy, PersistConfig, Server, ServerConfig, SlowConsumerPolicy,
+};
 use apcm::workload::{Trace, ValueDist, WorkloadSpec};
 use std::collections::HashMap;
 use std::io::BufRead;
@@ -65,7 +68,10 @@ usage:
   apcm serve [--addr HOST:PORT] [--dims N] [--cardinality N] [--shards N]
              [--engine apcm|betree-hybrid|scan] [--window N] [--queue N]
              [--flush-ms N] [--maintenance-ms N] [--slow-consumer drop|disconnect]
-  apcm client [--addr HOST:PORT]   (reads protocol lines from stdin)";
+             [--persist-dir DIR] [--fsync always|interval|never] [--snapshot-secs N]
+             [--rotate-bytes N] [--idle-timeout-ms N] [--max-line-bytes N]
+  apcm client [--addr HOST:PORT] [--connect-timeout-ms N] [--retries N]
+             (reads protocol lines from stdin)";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -223,9 +229,27 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(policy) = flags.get("slow-consumer") {
         config.slow_consumer = SlowConsumerPolicy::parse(policy)?;
     }
+    config.max_line_bytes = get(flags, "max-line-bytes", config.max_line_bytes)?;
+    let idle_ms: u64 = get(flags, "idle-timeout-ms", 0)?;
+    if idle_ms > 0 {
+        config.idle_timeout = Some(Duration::from_millis(idle_ms));
+    }
+    if let Some(dir) = flags.get("persist-dir") {
+        let mut persist = PersistConfig::new(dir);
+        if let Some(policy) = flags.get("fsync") {
+            persist.fsync = FsyncPolicy::parse(policy)?;
+        }
+        let snapshot_secs: u64 = get(flags, "snapshot-secs", 60)?;
+        persist.snapshot_interval = (snapshot_secs > 0).then(|| Duration::from_secs(snapshot_secs));
+        persist.rotate_log_bytes = get(flags, "rotate-bytes", persist.rotate_log_bytes)?;
+        config.persist = Some(persist);
+    }
     config.validate()?;
 
     let server = Server::start(schema, config, &addr).map_err(|e| e.to_string())?;
+    if let Some(report) = server.recovery_report() {
+        print!("{report}");
+    }
     println!(
         "listening on {} ({} shards, engine {}); close stdin or type `stop` to shut down",
         server.local_addr(),
@@ -245,12 +269,31 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Dials the broker with a bounded connect timeout and `retries` extra
+/// jittered-backoff attempts (seeded per-process so simultaneous clients
+/// spread out).
+fn dial_with_retries(
+    addr: &str,
+    connect_ms: u64,
+    retries: u32,
+) -> Result<std::net::TcpStream, String> {
+    let options = ConnectOptions {
+        connect_timeout: (connect_ms > 0).then(|| Duration::from_millis(connect_ms)),
+        attempts: retries.saturating_add(1),
+        jitter_seed: std::process::id() as u64,
+        ..ConnectOptions::default()
+    };
+    connect_stream(addr, &options).map_err(|e| format!("connecting to {addr}: {e}"))
+}
+
 fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
     let addr = flags
         .get("addr")
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:7401".to_string());
-    let stream = std::net::TcpStream::connect(&addr).map_err(|e| e.to_string())?;
+    let connect_ms: u64 = get(flags, "connect-timeout-ms", 5000)?;
+    let retries: u32 = get(flags, "retries", 0)?;
+    let stream = dial_with_retries(&addr, connect_ms, retries)?;
     stream.set_nodelay(true).map_err(|e| e.to_string())?;
     let read_half = stream.try_clone().map_err(|e| e.to_string())?;
 

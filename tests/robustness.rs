@@ -118,6 +118,100 @@ fn duplicate_ids_in_corpus_collapse_consistently() {
 }
 
 #[test]
+fn broker_rejects_oversized_line_and_stays_up() {
+    use apcm::server::{BrokerClient, Server, ServerConfig};
+    use std::io::{BufRead, BufReader, Write};
+
+    let schema = Schema::uniform(3, 16);
+    let config = ServerConfig {
+        shards: 2,
+        max_line_bytes: 64,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(schema, config, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Raw socket: an oversized line (no protocol framing assumptions) must
+    // be answered with a structured error, not buffered or fatal.
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let mut big = vec![b'x'; 4096];
+    big.push(b'\n');
+    stream.write_all(&big).unwrap();
+    stream.write_all(b"PING\n").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("-ERR line too long"), "{line}");
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), "+PONG"); // same connection still works
+
+    // A second, clean connection is unaffected and sees the counter.
+    let mut client = BrokerClient::connect(&addr).unwrap();
+    client
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats["oversized_lines"], 1);
+    server.shutdown();
+}
+
+#[test]
+fn broker_survives_slow_reader_under_drop_policy() {
+    use apcm::server::{BrokerClient, EngineChoice, Server, ServerConfig};
+
+    let schema = Schema::uniform(3, 16);
+    let config = ServerConfig {
+        shards: 2,
+        engine: EngineChoice::Scan,
+        window: 8,
+        conn_queue: 4, // tiny outbound queue: overflows immediately
+        flush_interval: std::time::Duration::from_millis(2),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(schema.clone(), config, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().to_string();
+
+    // The slow reader subscribes to everything and never reads.
+    let mut slow = BrokerClient::connect(&addr).unwrap();
+    slow.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let sub = parser::parse_subscription_with_id(&schema, SubId(1), "a0 >= 0").unwrap();
+    slow.subscribe(&sub, &schema).unwrap();
+
+    // A publisher floods events that all notify the slow reader.
+    let mut publisher = BrokerClient::connect(&addr).unwrap();
+    publisher
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    for _ in 0..40 {
+        publisher.send_line("PUB a0 = 1, a1 = 1, a2 = 1").unwrap();
+    }
+    // The server stays responsive on another connection while dropping.
+    let mut probe = BrokerClient::connect(&addr).unwrap();
+    probe
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        probe.ping().unwrap();
+        let stats = probe.stats().unwrap();
+        if stats["replies_dropped"] > 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no drops recorded: {stats:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    server.shutdown();
+}
+
+#[test]
 fn very_long_conjunction() {
     let schema = Schema::uniform(64, 4);
     let preds: Vec<Predicate> = (0..64)
