@@ -15,4 +15,12 @@ cargo test -q
 echo "==> cargo test -p apcm-server --test recovery (crash/recovery harness)"
 cargo test -q -p apcm-server --test recovery
 
+echo "==> cargo bench --workspace --no-run (benches stay compilable)"
+cargo bench --workspace --no-run
+
+echo "==> harness smoke run (appends one record set to BENCH_pr3.json)"
+cargo run --release -q -p apcm-bench --bin harness -- \
+    --experiment e2 --scale 0.002 --budget-ms 50 --seed 42 \
+    --json-append BENCH_pr3.json
+
 echo "==> ci.sh: all green"

@@ -1,0 +1,170 @@
+//! Kernel micro-benchmark for the flattened match hot path (PR 3).
+//!
+//! Three variants of the same single-event kernel over one workload:
+//!
+//! * `alloc_per_event` — the pre-refactor shape: a fresh encoded bitmap,
+//!   candidate list, and result row allocated for every event;
+//! * `scratch_reuse` — the shipped path: one thread-local
+//!   [`apcm_core::MatchScratch`] reused across events (including probe
+//!   counting and the batched counter flush);
+//! * `arena_sweep` — the raw CSR arena kernel with the pivot index disabled:
+//!   every cluster's `match_words` on every event, upper-bounding kernel
+//!   cost without access pruning.
+//!
+//! The binary also installs a counting global allocator and, after a warm-up
+//! pass has sized every scratch buffer, *asserts* that the steady-state
+//! scratch path performs zero heap allocations per event — the
+//! demonstration backing the PR's zero-alloc claim.
+
+use apcm_core::{clustering, scratch, ApcmConfig, ClusterIndex};
+use apcm_encoding::PredicateSpace;
+use apcm_workload::WorkloadSpec;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every heap allocation made by this benchmark binary.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+struct Fixture {
+    space: PredicateSpace,
+    index: ClusterIndex,
+    events: Vec<apcm_bexpr::Event>,
+}
+
+fn fixture() -> Fixture {
+    let wl = WorkloadSpec::new(20_000)
+        .planted_fraction(0.05)
+        .seed(42)
+        .build();
+    let events = wl.events(256);
+    let (space, encoded) = PredicateSpace::build(&wl.schema, &wl.subs).unwrap();
+    let config = ApcmConfig::default();
+    let selectivity = clustering::selectivity_table(&space);
+    let clusters = config
+        .clustering
+        .cluster(&encoded, config.max_cluster_size, &selectivity);
+    let index = ClusterIndex::build(clusters, space.width(), &selectivity);
+    Fixture {
+        space,
+        index,
+        events,
+    }
+}
+
+/// One full pass over the event set on the scratch path; returns total hits.
+fn scratch_pass(f: &Fixture) -> usize {
+    scratch::with_scratch(|s| {
+        s.ensure_width(f.space.width());
+        s.counts.ensure(f.index.len());
+        let mut total = 0usize;
+        for ev in &f.events {
+            f.space.encode_event_into(ev, &mut s.ebits);
+            f.index.candidates_into(s.ebits.words(), &mut s.candidates);
+            s.row.clear();
+            for &idx in &s.candidates {
+                let probe = f.index.probe_words(idx, s.ebits.words(), &mut s.row);
+                s.counts.count(idx, probe);
+            }
+            s.counts.flush(f.index.clusters(), None);
+            total += s.row.len();
+        }
+        total
+    })
+}
+
+/// The same pass with the pre-refactor allocation shape.
+fn alloc_pass(f: &Fixture) -> usize {
+    let mut total = 0usize;
+    for ev in &f.events {
+        let ebits = f.space.encode_event(ev);
+        let candidates = f.index.candidates(&ebits);
+        let mut row = Vec::new();
+        for &idx in &candidates {
+            let _ = f.index.probe_words(idx, ebits.words(), &mut row);
+        }
+        total += row.len();
+    }
+    total
+}
+
+fn bench(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("kernel_match");
+    group.throughput(Throughput::Elements(f.events.len() as u64));
+
+    group.bench_function("alloc_per_event", |b| b.iter(|| alloc_pass(&f)));
+    group.bench_function("scratch_reuse", |b| b.iter(|| scratch_pass(&f)));
+
+    // Raw arena kernel: no pivot pruning, every cluster probed per event.
+    let enc: Vec<_> = f.events.iter().map(|ev| f.space.encode_event(ev)).collect();
+    let mut out = Vec::new();
+    group.bench_function("arena_sweep", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for ebits in &enc {
+                for cluster in f.index.clusters() {
+                    out.clear();
+                    hits += u64::from(cluster.match_words(ebits.words(), &mut out).hits);
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+/// Allocation counts per event, measured (not timed) on both paths.
+fn steady_state_allocs(_c: &mut Criterion) {
+    let f = fixture();
+    const PASSES: u64 = 10;
+    let per_event = |pass: &dyn Fn(&Fixture) -> usize| -> f64 {
+        let _ = pass(&f); // warm-up sizes every reused buffer
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..PASSES {
+            let _ = std::hint::black_box(pass(&f));
+        }
+        let after = ALLOCS.load(Ordering::Relaxed);
+        (after - before) as f64 / (PASSES * f.events.len() as u64) as f64
+    };
+
+    let reused = per_event(&scratch_pass);
+    let fresh = per_event(&alloc_pass);
+    println!("\n## kernel_match/steady_state_allocs");
+    println!("scratch_reuse: {reused:.3} allocs/event");
+    println!("alloc_per_event: {fresh:.3} allocs/event");
+    assert_eq!(
+        reused, 0.0,
+        "steady-state scratch path must not allocate per event"
+    );
+    assert!(
+        fresh >= 1.0,
+        "per-event allocation baseline should allocate at least once per event"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench, steady_state_allocs
+}
+criterion_main!(benches);

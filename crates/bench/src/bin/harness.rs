@@ -24,6 +24,10 @@ struct Args {
     seed: u64,
     /// `--json PATH`: also write every measured cell as a JSON array.
     json: Option<String>,
+    /// `--json-append PATH`: merge this run's cells into an existing JSON
+    /// array file (created if absent) — used to accumulate before/after
+    /// records across runs into one committed file.
+    json_append: Option<String>,
     records: std::cell::RefCell<Vec<Record>>,
 }
 
@@ -50,7 +54,7 @@ impl Args {
         metric: &'static str,
         value: f64,
     ) {
-        if self.json.is_some() {
+        if self.json.is_some() || self.json_append.is_some() {
             self.records.borrow_mut().push(Record {
                 experiment,
                 algorithm: algorithm.to_string(),
@@ -62,28 +66,60 @@ impl Args {
     }
 
     fn write_json(&self) -> std::io::Result<()> {
-        let Some(path) = &self.json else {
-            return Ok(());
-        };
         let records = self.records.borrow();
-        let mut out = String::from("[\n");
-        for (i, r) in records.iter().enumerate() {
-            out.push_str(&format!(
-                "  {{\"experiment\": {}, \"algorithm\": {}, \"param\": {}, \
-                 \"metric\": {}, \"value\": {:.3}}}{}\n",
-                json_str(r.experiment),
-                json_str(&r.algorithm),
-                json_str(&r.param),
-                json_str(r.metric),
-                r.value,
-                if i + 1 < records.len() { "," } else { "" }
-            ));
+        let lines: Vec<String> = records
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"experiment\": {}, \"algorithm\": {}, \"param\": {}, \
+                     \"metric\": {}, \"value\": {:.3}}}",
+                    json_str(r.experiment),
+                    json_str(&r.algorithm),
+                    json_str(&r.param),
+                    json_str(r.metric),
+                    r.value,
+                )
+            })
+            .collect();
+        if let Some(path) = &self.json {
+            std::fs::write(path, render_array(&lines))?;
+            println!("wrote {} records to {path}", lines.len());
         }
-        out.push_str("]\n");
-        std::fs::write(path, out)?;
-        println!("wrote {} records to {path}", records.len());
+        if let Some(path) = &self.json_append {
+            // The file is the harness's own line-per-record array format, so
+            // merging is re-collecting the record lines and rewriting.
+            let mut merged: Vec<String> = match std::fs::read_to_string(path) {
+                Ok(text) => text
+                    .lines()
+                    .map(str::trim)
+                    .filter(|l| l.starts_with('{'))
+                    .map(|l| l.trim_end_matches(',').to_string())
+                    .collect(),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+                Err(e) => return Err(e),
+            };
+            merged.extend(lines.iter().cloned());
+            std::fs::write(path, render_array(&merged))?;
+            println!(
+                "appended {} records to {path} ({} total)",
+                lines.len(),
+                merged.len()
+            );
+        }
         Ok(())
     }
+}
+
+/// Renders record lines as a pretty-printed JSON array.
+fn render_array(lines: &[String]) -> String {
+    let mut out = String::from("[\n");
+    for (i, line) in lines.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push_str(if i + 1 < lines.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
 }
 
 /// JSON string literal; the harness only emits ASCII labels, so escaping
@@ -110,6 +146,7 @@ fn parse_args() -> Args {
         budget: Duration::from_millis(1500),
         seed: 42,
         json: None,
+        json_append: None,
         records: std::cell::RefCell::new(Vec::new()),
     };
     let mut iter = std::env::args().skip(1);
@@ -126,10 +163,11 @@ fn parse_args() -> Args {
             }
             "--seed" => args.seed = value().parse().expect("numeric --seed"),
             "--json" => args.json = Some(value()),
+            "--json-append" => args.json_append = Some(value()),
             "--help" | "-h" => {
                 println!(
                     "usage: harness [--experiment e1..e12|all] [--scale F] [--budget-ms N] \
-                     [--seed N] [--json PATH]"
+                     [--seed N] [--json PATH] [--json-append PATH]"
                 );
                 std::process::exit(0);
             }
@@ -582,10 +620,10 @@ fn e10_adaptive(args: &Args) {
             }
             let elapsed = start.elapsed();
             let after = matcher.stats();
-            // Counters reset at each maintenance pass; accumulate the delta
-            // conservatively (post-reset snapshots undercount, which biases
-            // against the adaptive engine, never for it).
-            total_probes += after.probes.saturating_sub(before.probes);
+            // `stats().probes` is a lifetime total (maintenance resets only
+            // the per-cluster epoch counters), so the per-phase delta is
+            // exact.
+            total_probes += after.probes - before.probes;
             let rate = phase_events as f64 / elapsed.as_secs_f64();
             args.record(
                 "e10",

@@ -1,22 +1,19 @@
 //! Compressed subscription clusters — the "C" in PCM.
 
 use apcm_bexpr::SubId;
-use apcm_encoding::{EncodedSub, FixedBitSet, SparseBits};
+use apcm_encoding::{arena, EncodedSub, FixedBitSet, MemberArena, SparseBits};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// One member of a compressed cluster: a subscription id, the sparse
-/// `required` bits it needs *beyond* the cluster's shared mask, and its
-/// `blocked` bits (broad predicates, none of which may be set — see
-/// `apcm_encoding::index` for the polarity rules).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Member {
-    /// The subscription.
-    pub id: SubId,
-    /// `required \ shared`; the member matches when the shared mask, this
-    /// residual, and the blocked test all pass.
-    pub residual: SparseBits,
-    /// Bits that must be absent from the event bitmap.
-    pub blocked: SparseBits,
+/// Outcome of probing one cluster with one event: whether the shared mask
+/// rejected the whole cluster, and how many members matched. The kernel
+/// returns this instead of touching shared atomics so concurrent workers can
+/// batch counter updates in thread-local cells (see `crate::scratch`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Probe {
+    /// The shared-mask test failed; no member was swept.
+    pub pruned: bool,
+    /// Members appended to the output row.
+    pub hits: u32,
 }
 
 /// Cluster payload: compressed (shared mask + residuals) or direct (full
@@ -30,6 +27,11 @@ pub struct Member {
 /// of the predicate-space width. This is where compressed matching beats
 /// scanning: the shared predicates of a whole cluster are evaluated once,
 /// in a few probes.
+///
+/// Members live in a [`MemberArena`]: ids in one SoA slice, residual and
+/// blocked bits packed into a single contiguous `u32` arena addressed by
+/// `(offset, len)` spans. A member sweep is a linear walk over two flat
+/// buffers instead of two `Box<[u32]>` dereferences per member.
 #[derive(Debug, Clone)]
 pub enum ClusterRepr {
     /// Intersection-factored storage with whole-cluster pruning.
@@ -38,20 +40,26 @@ pub enum ClusterRepr {
         /// necessary for any member to match, so a failed test skips the
         /// whole cluster.
         shared: SparseBits,
-        /// Per-member leftovers.
-        members: Vec<Member>,
+        /// Per-member leftovers (`required \ shared` in the residual span).
+        members: MemberArena,
     },
-    /// Plain storage: every member keeps its full encoding. Chosen when
-    /// members share no required bits (empty mask ⇒ the shared test never
-    /// prunes and only costs time).
+    /// Plain storage: every member keeps its full encoding (the full
+    /// `required` set sits in the residual span). Chosen when members share
+    /// no required bits (empty mask ⇒ the shared test never prunes and only
+    /// costs time).
     Direct {
         /// Full member encodings.
-        members: Vec<EncodedSub>,
+        members: MemberArena,
     },
 }
 
-/// A cluster plus its runtime counters (updated with relaxed atomics from
-/// the read-locked match path).
+/// A cluster plus its runtime counters.
+///
+/// The counters are epoch-scoped inputs to the adaptive controller. The
+/// matching kernel itself ([`Cluster::match_words`]) never touches them;
+/// workers accumulate per-probe outcomes thread-locally and flush them here
+/// in one `fetch_add` per touched cluster per window (see
+/// `crate::scratch::ProbeCounts`).
 #[derive(Debug)]
 pub struct Cluster {
     /// Storage representation.
@@ -83,23 +91,37 @@ impl Cluster {
         if shared.is_empty() && members.len() > 1 {
             return Self::direct(members);
         }
-        let members = members
+        let residuals: Vec<SparseBits> = members
             .iter()
-            .map(|m| Member {
-                id: m.id,
-                residual: m.required.difference(&shared),
-                blocked: m.blocked.clone(),
-            })
+            .map(|m| m.required.difference(&shared))
             .collect();
-        Self::new(ClusterRepr::Compressed { shared, members })
+        let bit_cap: usize = members
+            .iter()
+            .zip(&residuals)
+            .map(|(m, r)| r.len() + m.blocked.len())
+            .sum();
+        let mut arena = MemberArena::with_capacity(members.len(), bit_cap);
+        for (m, res) in members.iter().zip(&residuals) {
+            arena.push(m.id.0, res.ids(), m.blocked.ids());
+        }
+        Self::new(ClusterRepr::Compressed {
+            shared,
+            members: arena,
+        })
     }
 
     /// Builds the direct (uncompressed) representation.
     pub fn direct(members: &[EncodedSub]) -> Self {
         assert!(!members.is_empty(), "a cluster needs members");
-        Self::new(ClusterRepr::Direct {
-            members: members.to_vec(),
-        })
+        let bit_cap: usize = members
+            .iter()
+            .map(|m| m.required.len() + m.blocked.len())
+            .sum();
+        let mut arena = MemberArena::with_capacity(members.len(), bit_cap);
+        for m in members {
+            arena.push(m.id.0, m.required.ids(), m.blocked.ids());
+        }
+        Self::new(ClusterRepr::Direct { members: arena })
     }
 
     fn new(repr: ClusterRepr) -> Self {
@@ -111,46 +133,90 @@ impl Cluster {
         }
     }
 
+    #[inline]
+    fn members(&self) -> &MemberArena {
+        match &self.repr {
+            ClusterRepr::Compressed { members, .. } => members,
+            ClusterRepr::Direct { members } => members,
+        }
+    }
+
     /// Number of member subscriptions.
     pub fn len(&self) -> usize {
-        match &self.repr {
-            ClusterRepr::Compressed { members, .. } => members.len(),
-            ClusterRepr::Direct { members } => members.len(),
-        }
+        self.members().len()
     }
 
     /// Whether the cluster has no members (possible after removals; the
     /// next maintenance sweep drops it).
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.members().is_empty()
     }
 
     /// The matching kernel: appends every member whose required bits are
-    /// contained in `ebits` and whose blocked bits are absent from it.
+    /// contained in the event row and whose blocked bits are absent from it.
+    /// Pure — no atomics, no allocation beyond `out` growth; the returned
+    /// [`Probe`] carries the counter deltas for the caller to accumulate.
+    #[inline]
+    pub fn match_words(&self, ewords: &[u64], out: &mut Vec<SubId>) -> Probe {
+        let members = match &self.repr {
+            ClusterRepr::Compressed { shared, members } => {
+                if !arena::contains_all(ewords, shared.ids()) {
+                    return Probe {
+                        pruned: true,
+                        hits: 0,
+                    };
+                }
+                members
+            }
+            ClusterRepr::Direct { members } => members,
+        };
+        let mut hits = 0u32;
+        for (id, residual, blocked) in members.iter() {
+            if arena::contains_all(ewords, residual) && arena::disjoint(ewords, blocked) {
+                out.push(SubId(id));
+                hits += 1;
+            }
+        }
+        Probe {
+            pruned: false,
+            hits,
+        }
+    }
+
+    /// Counting convenience over [`Cluster::match_words`] for callers
+    /// probing one cluster at a time outside the batched scratch path.
     #[inline]
     pub fn match_into(&self, ebits: &FixedBitSet, out: &mut Vec<SubId>) {
+        let probe = self.match_words(ebits.words(), out);
+        self.record(probe);
+    }
+
+    /// Folds one probe outcome into the cluster counters.
+    #[inline]
+    pub fn record(&self, probe: Probe) {
         self.probes.fetch_add(1, Ordering::Relaxed);
-        match &self.repr {
-            ClusterRepr::Compressed { shared, members } => {
-                if !shared.subset_of_dense(ebits) {
-                    self.prunes.fetch_add(1, Ordering::Relaxed);
-                    return;
-                }
-                for m in members {
-                    if m.residual.subset_of_dense(ebits) && m.blocked.disjoint_from_dense(ebits) {
-                        out.push(m.id);
-                        self.hits.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
-            ClusterRepr::Direct { members } => {
-                for m in members {
-                    if m.matches_bitmap(ebits) {
-                        out.push(m.id);
-                        self.hits.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
+        if probe.pruned {
+            self.prunes.fetch_add(1, Ordering::Relaxed);
+        }
+        if probe.hits > 0 {
+            self.hits
+                .fetch_add(u64::from(probe.hits), Ordering::Relaxed);
+        }
+    }
+
+    /// Folds a batch of probe outcomes into the cluster counters — one
+    /// `fetch_add` per non-zero counter, the flush half of the thread-local
+    /// accumulation scheme.
+    #[inline]
+    pub fn add_counts(&self, probes: u64, prunes: u64, hits: u64) {
+        if probes > 0 {
+            self.probes.fetch_add(probes, Ordering::Relaxed);
+        }
+        if prunes > 0 {
+            self.prunes.fetch_add(prunes, Ordering::Relaxed);
+        }
+        if hits > 0 {
+            self.hits.fetch_add(hits, Ordering::Relaxed);
         }
     }
 
@@ -172,27 +238,26 @@ impl Cluster {
         match &self.repr {
             ClusterRepr::Compressed { shared, members } => members
                 .iter()
-                .map(|m| EncodedSub {
-                    id: m.id,
-                    required: m.residual.union(shared),
-                    blocked: m.blocked.clone(),
+                .map(|(id, residual, blocked)| EncodedSub {
+                    id: SubId(id),
+                    required: SparseBits::new(residual.to_vec()).union(shared),
+                    blocked: SparseBits::new(blocked.to_vec()),
                 })
                 .collect(),
-            ClusterRepr::Direct { members } => members.clone(),
+            ClusterRepr::Direct { members } => members
+                .iter()
+                .map(|(id, required, blocked)| EncodedSub {
+                    id: SubId(id),
+                    required: SparseBits::new(required.to_vec()),
+                    blocked: SparseBits::new(blocked.to_vec()),
+                })
+                .collect(),
         }
     }
 
     /// Iterates member subscription ids without materializing encodings.
     pub fn member_ids(&self) -> impl Iterator<Item = SubId> + '_ {
-        let (compressed, direct) = match &self.repr {
-            ClusterRepr::Compressed { members, .. } => (Some(members.iter()), None),
-            ClusterRepr::Direct { members } => (None, Some(members.iter())),
-        };
-        compressed
-            .into_iter()
-            .flatten()
-            .map(|m| m.id)
-            .chain(direct.into_iter().flatten().map(|m| m.id))
+        self.members().ids().iter().map(|&id| SubId(id))
     }
 
     /// Removes a member by id; returns whether it was present.
@@ -201,21 +266,16 @@ impl Cluster {
     /// intersection over a superset is contained in every remaining member);
     /// the mask is re-tightened at the next maintenance rebuild.
     pub fn remove(&mut self, id: SubId) -> bool {
-        match &mut self.repr {
-            ClusterRepr::Compressed { members, .. } => {
-                if let Some(pos) = members.iter().position(|m| m.id == id) {
-                    members.swap_remove(pos);
-                    return true;
-                }
-                false
+        let members = match &mut self.repr {
+            ClusterRepr::Compressed { members, .. } => members,
+            ClusterRepr::Direct { members } => members,
+        };
+        match members.position(id.0) {
+            Some(pos) => {
+                members.swap_remove(pos);
+                true
             }
-            ClusterRepr::Direct { members } => {
-                if let Some(pos) = members.iter().position(|m| m.id == id) {
-                    members.swap_remove(pos);
-                    return true;
-                }
-                false
-            }
+            None => false,
         }
     }
 
@@ -223,20 +283,9 @@ impl Cluster {
     pub fn heap_bytes(&self) -> usize {
         match &self.repr {
             ClusterRepr::Compressed { shared, members } => {
-                shared.heap_bytes()
-                    + members
-                        .iter()
-                        .map(|m| {
-                            m.residual.heap_bytes()
-                                + m.blocked.heap_bytes()
-                                + std::mem::size_of::<Member>()
-                        })
-                        .sum::<usize>()
+                shared.heap_bytes() + members.heap_bytes()
             }
-            ClusterRepr::Direct { members } => members
-                .iter()
-                .map(|m| m.heap_bytes() + std::mem::size_of::<EncodedSub>())
-                .sum(),
+            ClusterRepr::Direct { members } => members.heap_bytes(),
         }
     }
 
@@ -285,9 +334,9 @@ mod tests {
         match &c.repr {
             ClusterRepr::Compressed { shared, members } => {
                 assert_eq!(shared.ids(), &[1, 2]);
-                assert_eq!(members[0].residual.ids(), &[3]);
-                assert_eq!(members[1].residual.ids(), &[4]);
-                assert!(members[2].residual.is_empty());
+                assert_eq!(members.member(0).1, &[3]);
+                assert_eq!(members.member(1).1, &[4]);
+                assert!(members.member(2).1.is_empty());
             }
             _ => panic!("expected compressed"),
         }
@@ -307,7 +356,7 @@ mod tests {
         match &c.repr {
             ClusterRepr::Compressed { shared, members } => {
                 assert_eq!(shared.len(), 2);
-                assert!(members[0].residual.is_empty());
+                assert!(members.member(0).1.is_empty());
             }
             _ => panic!("singleton should compress to shared-only"),
         }
@@ -332,6 +381,36 @@ mod tests {
         assert!(out.is_empty());
         assert_eq!(c.prunes.load(Ordering::Relaxed), 1);
         assert_eq!(c.probes.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn probe_outcomes_reported_without_counting() {
+        let members = [enc(0, &[1, 2, 3]), enc(1, &[1, 2, 4])];
+        let c = Cluster::compressed(&members);
+        let mut out = Vec::new();
+        let hit = c.match_words(ev(10, &[1, 2, 3, 4]).words(), &mut out);
+        assert_eq!(
+            hit,
+            Probe {
+                pruned: false,
+                hits: 2
+            }
+        );
+        let pruned = c.match_words(ev(10, &[3, 4]).words(), &mut out);
+        assert_eq!(
+            pruned,
+            Probe {
+                pruned: true,
+                hits: 0
+            }
+        );
+        // The pure kernel leaves the counters alone …
+        assert_eq!(c.probes.load(Ordering::Relaxed), 0);
+        // … and a batched flush lands them exactly.
+        c.add_counts(2, 1, 2);
+        assert_eq!(c.probes.load(Ordering::Relaxed), 2);
+        assert_eq!(c.prunes.load(Ordering::Relaxed), 1);
+        assert_eq!(c.hits.load(Ordering::Relaxed), 2);
     }
 
     #[test]
@@ -435,6 +514,7 @@ mod tests {
 mod proptests {
     use super::*;
     use proptest::prelude::*;
+    use std::collections::BTreeSet;
 
     proptest! {
         /// Compressed and direct representations produce identical matches
@@ -477,6 +557,76 @@ mod proptests {
                 .collect();
             expect.sort_unstable();
             prop_assert_eq!(a, expect);
+        }
+
+        /// The arena-backed kernel agrees with a `BTreeSet`-model oracle:
+        /// a member matches iff `required ⊆ event` and `blocked ∩ event = ∅`
+        /// over the raw id sets — including empty residuals (members whose
+        /// `required` equals the shared mask) and blocked-only vetoes, and
+        /// still after removing a member mid-life.
+        #[test]
+        fn arena_kernel_agrees_with_set_model(
+            // A common core many members share, so empty residuals occur.
+            core in proptest::collection::btree_set(0u32..16, 1..4),
+            extras in proptest::collection::vec(
+                (
+                    proptest::collection::btree_set(16u32..48, 0..5),
+                    proptest::collection::btree_set(48u32..64, 0..3),
+                ),
+                1..10,
+            ),
+            event_bits in proptest::collection::btree_set(0usize..64, 0..40),
+            removed in 0usize..64,
+        ) {
+            let members: Vec<(BTreeSet<u32>, BTreeSet<u32>)> = extras
+                .iter()
+                .map(|(req, blk)| {
+                    let req: BTreeSet<u32> = core.union(req).copied().collect();
+                    (req, blk.clone())
+                })
+                .collect();
+            let encoded: Vec<EncodedSub> = members
+                .iter()
+                .enumerate()
+                .map(|(i, (req, blk))| EncodedSub {
+                    id: SubId(i as u32),
+                    required: SparseBits::new(req.iter().copied().collect()),
+                    blocked: SparseBits::new(blk.iter().copied().collect()),
+                })
+                .collect();
+            let event: BTreeSet<u32> = event_bits.iter().map(|&i| i as u32).collect();
+            let ewords = FixedBitSet::from_indices(64, event_bits.iter().copied());
+
+            let oracle = |skip: Option<usize>| -> Vec<SubId> {
+                members
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| Some(i) != skip)
+                    .filter(|(_, (req, blk))| {
+                        req.is_subset(&event) && blk.is_disjoint(&event)
+                    })
+                    .map(|(i, _)| SubId(i as u32))
+                    .collect()
+            };
+
+            for mut cluster in [Cluster::compressed(&encoded), Cluster::direct(&encoded)] {
+                let mut got = Vec::new();
+                let probe = cluster.match_words(ewords.words(), &mut got);
+                got.sort_unstable();
+                prop_assert_eq!(&got, &oracle(None));
+                prop_assert_eq!(probe.hits as usize, got.len());
+                if probe.pruned {
+                    prop_assert!(got.is_empty());
+                }
+
+                // Removal keeps the surviving members' semantics exact.
+                let victim = removed % encoded.len();
+                cluster.remove(SubId(victim as u32));
+                let mut after = Vec::new();
+                cluster.match_words(ewords.words(), &mut after);
+                after.sort_unstable();
+                prop_assert_eq!(after, oracle(Some(victim)));
+            }
         }
     }
 }

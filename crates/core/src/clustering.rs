@@ -344,7 +344,7 @@ mod tests {
         match &full.repr {
             crate::ClusterRepr::Compressed { shared, members } => {
                 assert_eq!(shared.len(), 3);
-                assert!(members.iter().all(|m| m.residual.is_empty()));
+                assert!(members.iter().all(|(_, residual, _)| residual.is_empty()));
             }
             _ => panic!("identical bitmaps must compress"),
         }

@@ -12,7 +12,7 @@
 //! pivot and stay on an always-probed list; the pivot-aware clustering
 //! policy makes these rare.
 
-use crate::Cluster;
+use crate::{Cluster, Probe};
 use apcm_bexpr::SubId;
 use apcm_encoding::FixedBitSet;
 
@@ -109,16 +109,18 @@ impl ClusterIndex {
         self.clusters.is_empty()
     }
 
-    /// Indexes of every cluster that could match an event whose bitmap is
-    /// `ebits`: pivot hits plus the always-probed list. Each cluster appears
-    /// at most once (a cluster has exactly one pivot).
-    pub fn candidates(&self, ebits: &FixedBitSet) -> Vec<u32> {
-        let mut out: Vec<u32> = Vec::with_capacity(self.unpivoted.len() + 16);
+    /// Gathers into `out` (cleared first) the index of every cluster that
+    /// could match an event whose encoded word row is `ewords`: pivot hits
+    /// plus the always-probed list. Each cluster appears at most once (a
+    /// cluster has exactly one pivot). Reusing `out` across events keeps the
+    /// gather allocation-free on the hot path.
+    pub fn candidates_into(&self, ewords: &[u64], out: &mut Vec<u32>) {
+        out.clear();
         out.extend_from_slice(&self.unpivoted);
-        // Word-wise sweep over `ebits ∩ pivot_mask`: only satisfied bits
+        // Word-wise sweep over `ewords ∩ pivot_mask`: only satisfied bits
         // that actually are pivots reach the posting-list lookup.
-        let n = ebits.words().len().min(self.pivot_mask.words().len());
-        for (w, (&ew, &mw)) in ebits.words()[..n]
+        let n = ewords.len().min(self.pivot_mask.words().len());
+        for (w, (&ew, &mw)) in ewords[..n]
             .iter()
             .zip(self.pivot_mask.words()[..n].iter())
             .enumerate()
@@ -130,10 +132,45 @@ impl ClusterIndex {
                 out.extend_from_slice(&self.by_pivot[bit]);
             }
         }
+    }
+
+    /// Allocating convenience over [`ClusterIndex::candidates_into`].
+    pub fn candidates(&self, ebits: &FixedBitSet) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.unpivoted.len() + 16);
+        self.candidates_into(ebits.words(), &mut out);
         out
     }
 
-    /// Probes candidate cluster `idx` against `ebits`.
+    /// How many clusters [`ClusterIndex::candidates_into`] would gather,
+    /// without materializing them: posting-list lengths are summed directly
+    /// off the pivot sweep.
+    pub fn candidate_count(&self, ewords: &[u64]) -> usize {
+        let mut count = self.unpivoted.len();
+        let n = ewords.len().min(self.pivot_mask.words().len());
+        for (w, (&ew, &mw)) in ewords[..n]
+            .iter()
+            .zip(self.pivot_mask.words()[..n].iter())
+            .enumerate()
+        {
+            let mut word = ew & mw;
+            while word != 0 {
+                let bit = w * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                count += self.by_pivot[bit].len();
+            }
+        }
+        count
+    }
+
+    /// Probes candidate cluster `idx` against the raw event row, returning
+    /// the counter deltas for the caller's thread-local accumulator.
+    #[inline]
+    pub fn probe_words(&self, idx: u32, ewords: &[u64], out: &mut Vec<SubId>) -> Probe {
+        self.clusters[idx as usize].match_words(ewords, out)
+    }
+
+    /// Probes candidate cluster `idx` against `ebits`, counting directly on
+    /// the cluster's atomics (the unbatched convenience path).
     #[inline]
     pub fn probe(&self, idx: u32, ebits: &FixedBitSet, out: &mut Vec<SubId>) {
         self.clusters[idx as usize].match_into(ebits, out);
@@ -147,9 +184,10 @@ impl ClusterIndex {
     }
 
     /// Clusters the pivot index skipped for this event — used by the stats
-    /// tables to report access-pruning effectiveness.
+    /// tables to report access-pruning effectiveness. Counts without
+    /// gathering the candidate list.
     pub fn skipped(&self, ebits: &FixedBitSet) -> usize {
-        self.clusters.len() - self.candidates(ebits).len()
+        self.clusters.len() - self.candidate_count(ebits.words())
     }
 }
 
@@ -217,6 +255,19 @@ mod tests {
         // Event with no key bits → only the unpivoted cluster.
         assert_eq!(index.candidates(&ev(16, &[1, 4])), vec![2]);
         assert_eq!(index.skipped(&ev(16, &[1, 4])), 2);
+    }
+
+    #[test]
+    fn candidate_count_matches_gather() {
+        let index = build_index();
+        for bits in [vec![], vec![2usize], vec![2, 9], vec![1, 4], vec![3, 9]] {
+            let e = ev(16, &bits);
+            assert_eq!(
+                index.candidate_count(e.words()),
+                index.candidates(&e).len(),
+                "bits {bits:?}"
+            );
+        }
     }
 
     #[test]

@@ -43,23 +43,27 @@ pub mod adaptive;
 pub mod cluster;
 pub mod clustering;
 pub mod config;
+pub mod counters;
 pub mod dnf;
 pub mod index;
 pub mod matcher;
 pub mod osr;
 pub mod parallel;
 pub mod pcm;
+pub mod scratch;
 pub mod stats;
 pub mod topk;
 
 pub use adaptive::{AdaptiveConfig, MaintenanceReport};
-pub use cluster::{Cluster, ClusterRepr};
+pub use cluster::{Cluster, ClusterRepr, Probe};
 pub use clustering::ClusteringPolicy;
 pub use config::{ApcmConfig, Executor};
+pub use counters::{CounterCell, CounterShards};
 pub use dnf::DnfEngine;
 pub use index::ClusterIndex;
 pub use matcher::ApcmMatcher;
 pub use osr::OsrBuffer;
 pub use pcm::PcmMatcher;
+pub use scratch::{EncTable, MatchScratch};
 pub use stats::MatcherStats;
 pub use topk::ScoredMatcher;

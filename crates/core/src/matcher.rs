@@ -1,11 +1,11 @@
 //! The A-PCM matcher: compression + parallelism + OSR + adaptivity.
 
 use crate::{
-    adaptive::MaintenanceReport, osr, parallel::Pool, ApcmConfig, Cluster, ClusterIndex,
-    ClusterRepr, MatcherStats,
+    adaptive::MaintenanceReport, osr, parallel::Pool, scratch, scratch::EncTable, ApcmConfig,
+    Cluster, ClusterIndex, ClusterRepr, CounterShards, MatcherStats,
 };
 use apcm_bexpr::{BexprError, Event, Matcher, Schema, SubId, Subscription};
-use apcm_encoding::{EncodedSub, FixedBitSet, PredicateSpace};
+use apcm_encoding::{EncodedSub, PredicateSpace};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,6 +23,9 @@ pub struct ApcmMatcher {
     inner: RwLock<Inner>,
     events_since_epoch: AtomicU64,
     maintenance_runs: AtomicU64,
+    /// Lifetime probe/prune/hit totals, sharded per worker so the kernel
+    /// never writes a shared cache line per probe.
+    counters: CounterShards,
 }
 
 #[derive(Debug)]
@@ -55,8 +58,10 @@ impl ApcmMatcher {
             .cluster(&encoded, config.max_cluster_size, &selectivity);
         let index = ClusterIndex::build(clusters, space.width(), &selectivity);
         let locator = Inner::build_locator(&index);
+        let pool = Pool::new(config.executor, config.threads);
         Ok(Self {
-            pool: Pool::new(config.executor, config.threads),
+            counters: CounterShards::new(pool.threads()),
+            pool,
             config: config.clone(),
             inner: RwLock::new(Inner {
                 space,
@@ -133,10 +138,11 @@ impl ApcmMatcher {
                 ClusterRepr::Direct { .. } => stats.direct_clusters += 1,
             }
             stats.heap_bytes += c.heap_bytes();
-            stats.probes += c.probes.load(Ordering::Relaxed);
-            stats.prunes += c.prunes.load(Ordering::Relaxed);
-            stats.hits += c.hits.load(Ordering::Relaxed);
         }
+        // Lifetime totals come from the sharded worker cells, not the
+        // per-cluster atomics (those are epoch-scoped adaptivity inputs,
+        // reset at every maintenance pass).
+        (stats.probes, stats.prunes, stats.hits) = self.counters.totals();
         stats
     }
 
@@ -157,40 +163,55 @@ impl ApcmMatcher {
         let n = events.len();
         let width = inner.space.width();
 
-        // Encode every event in parallel.
-        let encoded: Vec<FixedBitSet> = self
-            .pool
-            .map_indexed(n, |i| inner.space.encode_event(&events[i]));
+        // Encode the window into one flat word table — one buffer per
+        // window (reused across windows via thread-local storage) instead of
+        // one bitmap allocation per event — filled in parallel in
+        // row-aligned chunks.
+        let mut table = scratch::take_table();
+        table.reset(n, width);
+        let stride = table.stride();
+        {
+            let space = &inner.space;
+            self.pool
+                .for_each_chunk_mut(table.words_mut(), stride, |start, chunk| {
+                    let first = start / stride;
+                    for (r, row) in chunk.chunks_mut(stride).enumerate() {
+                        space.encode_event_into_words(&events[first + r], row);
+                    }
+                });
+        }
 
         let batch = self.config.batch_size.max(1).min(n);
         let order: Vec<usize> = if self.config.reorder && batch > 1 {
-            osr::reorder_permutation(&encoded)
+            osr::reorder_permutation_rows(&table)
         } else {
             (0..n).collect()
         };
         let n_windows = n.div_ceil(batch);
 
-        let mut results: Vec<Vec<SubId>> = vec![Vec::new(); n];
-        if n_windows >= 2 * self.pool.threads().max(1) || n_windows > 1 {
+        let mut rows: Vec<(usize, Vec<SubId>)> = if n_windows > 1 {
             // Enough windows: parallelize across them.
-            let rows = self.pool.map_indexed(n_windows, |w| {
-                let lo = w * batch;
-                let hi = (lo + batch).min(n);
-                inner.match_ordered_batch(&order[lo..hi], &encoded, width)
-            });
-            for window_rows in rows {
-                for (idx, row) in window_rows {
-                    results[idx] = row;
-                }
-            }
+            self.pool
+                .map_indexed(n_windows, |w| {
+                    let lo = w * batch;
+                    let hi = (lo + batch).min(n);
+                    inner.match_ordered_batch(&order[lo..hi], &table, &self.counters)
+                })
+                .into_iter()
+                .flatten()
+                .collect()
         } else {
-            // Single window: parallelize the cluster sweep instead.
-            for (idx, row) in
-                inner.match_batch_cluster_parallel(&order, &encoded, width, &self.pool)
-            {
-                results[idx] = row;
-            }
-        }
+            // Single window: parallelize the per-event sweep instead.
+            inner.match_batch_cluster_parallel(&order, &table, &self.pool, &self.counters)
+        };
+        scratch::put_table(table);
+
+        // Scatter back to arrival order: every original index appears
+        // exactly once, so sorting by index is the whole permutation — no
+        // placeholder rows allocated and reassigned.
+        rows.sort_unstable_by_key(|&(idx, _)| idx);
+        let results: Vec<Vec<SubId>> = rows.into_iter().map(|(_, row)| row).collect();
+
         let pending_overdue = inner.pending.len() > self.config.adaptive.max_pending;
         drop(inner);
         self.after_match(n as u64, pending_overdue);
@@ -230,9 +251,9 @@ impl Inner {
         locator
     }
 
-    fn match_pending_into(&self, ebits: &FixedBitSet, out: &mut Vec<SubId>) {
+    fn match_pending_words(&self, ewords: &[u64], out: &mut Vec<SubId>) {
         for p in &self.pending {
-            if p.matches_bitmap(ebits) {
+            if p.matches_words(ewords) {
                 out.push(p.id);
             }
         }
@@ -243,55 +264,75 @@ impl Inner {
     /// pivot index, then probed **cluster-major**: all of a cluster's
     /// events are processed back-to-back so its shared mask and residuals
     /// stay cache-hot across the batch — the locality OSR's reordering sets
-    /// up. Returns `(original index, sorted matches)` rows.
+    /// up. The candidate list, probe schedule, and counter deltas all come
+    /// from the worker's thread-local scratch; counters are flushed once at
+    /// window end. Returns `(original index, sorted matches)` rows.
     fn match_ordered_batch(
         &self,
         order: &[usize],
-        encoded: &[FixedBitSet],
-        _width: usize,
+        table: &EncTable,
+        counters: &CounterShards,
     ) -> Vec<(usize, Vec<SubId>)> {
-        let mut pairs: Vec<(u32, u32)> = Vec::new();
-        for (j, &i) in order.iter().enumerate() {
-            for idx in self.index.candidates(&encoded[i]) {
-                pairs.push((idx, j as u32));
+        scratch::with_scratch(|s| {
+            s.counts.ensure(self.index.len());
+            s.pairs.clear();
+            for (j, &i) in order.iter().enumerate() {
+                self.index.candidates_into(table.row(i), &mut s.candidates);
+                for &idx in &s.candidates {
+                    s.pairs.push((idx, j as u32));
+                }
             }
-        }
-        // Cluster-major; events within a cluster keep window order.
-        pairs.sort_unstable();
-        let mut outs: Vec<Vec<SubId>> = vec![Vec::new(); order.len()];
-        for (idx, j) in pairs {
-            self.index
-                .probe(idx, &encoded[order[j as usize]], &mut outs[j as usize]);
-        }
-        order
-            .iter()
-            .zip(outs)
-            .map(|(&idx, mut row)| {
-                self.match_pending_into(&encoded[idx], &mut row);
-                row.sort_unstable();
-                row.dedup();
-                (idx, row)
-            })
-            .collect()
+            // Cluster-major; events within a cluster keep window order.
+            s.pairs.sort_unstable();
+            let mut outs: Vec<Vec<SubId>> = vec![Vec::new(); order.len()];
+            for &(idx, j) in &s.pairs {
+                let probe = self.index.probe_words(
+                    idx,
+                    table.row(order[j as usize]),
+                    &mut outs[j as usize],
+                );
+                s.counts.count(idx, probe);
+            }
+            s.counts.flush(self.index.clusters(), Some(counters.cell()));
+            order
+                .iter()
+                .zip(outs)
+                .map(|(&idx, mut row)| {
+                    self.match_pending_words(table.row(idx), &mut row);
+                    row.sort_unstable();
+                    row.dedup();
+                    (idx, row)
+                })
+                .collect()
+        })
     }
 
-    /// Single-window path: fan the per-event work across the pool.
+    /// Single-window path: fan the per-event work across the pool, each
+    /// worker probing out of its own thread-local scratch.
     fn match_batch_cluster_parallel(
         &self,
         order: &[usize],
-        encoded: &[FixedBitSet],
-        _width: usize,
+        table: &EncTable,
         pool: &Pool,
+        counters: &CounterShards,
     ) -> Vec<(usize, Vec<SubId>)> {
         pool.map_indexed(order.len(), |j| {
             let idx = order[j];
-            let ebits = &encoded[idx];
-            let mut row = Vec::new();
-            self.index.match_into(ebits, &mut row);
-            self.match_pending_into(ebits, &mut row);
-            row.sort_unstable();
-            row.dedup();
-            (idx, row)
+            let ewords = table.row(idx);
+            scratch::with_scratch(|s| {
+                s.counts.ensure(self.index.len());
+                self.index.candidates_into(ewords, &mut s.candidates);
+                s.row.clear();
+                for &c in &s.candidates {
+                    let probe = self.index.probe_words(c, ewords, &mut s.row);
+                    s.counts.count(c, probe);
+                }
+                self.match_pending_words(ewords, &mut s.row);
+                s.row.sort_unstable();
+                s.row.dedup();
+                s.counts.flush(self.index.clusters(), Some(counters.cell()));
+                (idx, s.row.as_slice().to_vec())
+            })
         })
     }
 
@@ -407,27 +448,46 @@ impl Inner {
 impl Matcher for ApcmMatcher {
     fn match_event(&self, ev: &Event) -> Vec<SubId> {
         let inner = self.inner.read();
-        let ebits = inner.space.encode_event(ev);
-        let mut out = Vec::new();
-        let candidates = inner.index.candidates(&ebits);
-        if candidates.len() >= 64 && self.pool.threads() > 1 {
-            let chunk = self.pool.cluster_chunk_size(candidates.len());
-            out = self.pool.flat_map_chunks(&candidates, chunk, |idxs| {
-                let mut local = Vec::new();
-                for &idx in idxs {
-                    inner.index.probe(idx, &ebits, &mut local);
+        let out = scratch::with_scratch(|s| {
+            s.ensure_width(inner.space.width());
+            inner.space.encode_event_into(ev, &mut s.ebits);
+            inner
+                .index
+                .candidates_into(s.ebits.words(), &mut s.candidates);
+            s.row.clear();
+            if s.candidates.len() >= 64 && self.pool.threads() > 1 {
+                let chunk = self.pool.cluster_chunk_size(s.candidates.len());
+                let index = &inner.index;
+                let counters = &self.counters;
+                let ebits = &s.ebits;
+                let mut gathered = self.pool.flat_map_chunks(&s.candidates, chunk, |idxs| {
+                    // Worker threads count on their own scratch.
+                    scratch::with_scratch(|ws| {
+                        ws.counts.ensure(index.len());
+                        let mut local = Vec::new();
+                        for &idx in idxs {
+                            let probe = index.probe_words(idx, ebits.words(), &mut local);
+                            ws.counts.count(idx, probe);
+                        }
+                        ws.counts.flush(index.clusters(), Some(counters.cell()));
+                        local
+                    })
+                });
+                s.row.append(&mut gathered);
+            } else {
+                s.counts.ensure(inner.index.len());
+                for &idx in &s.candidates {
+                    let probe = inner.index.probe_words(idx, s.ebits.words(), &mut s.row);
+                    s.counts.count(idx, probe);
                 }
-                local
-            });
-            inner.match_pending_into(&ebits, &mut out);
-        } else {
-            for idx in candidates {
-                inner.index.probe(idx, &ebits, &mut out);
+                s.counts
+                    .flush(inner.index.clusters(), Some(self.counters.cell()));
             }
-            inner.match_pending_into(&ebits, &mut out);
-        }
-        out.sort_unstable();
-        out.dedup();
+            inner.match_pending_words(s.ebits.words(), &mut s.row);
+            s.row.sort_unstable();
+            s.row.dedup();
+            s.row.as_slice().to_vec()
+        });
         let pending_overdue = inner.pending.len() > self.config.adaptive.max_pending;
         drop(inner);
         self.after_match(1, pending_overdue);
@@ -625,6 +685,51 @@ mod tests {
         assert!(stats.width > 0);
         let _ = apcm.match_batch(&wl.events(32));
         assert!(apcm.stats().probes > 0);
+    }
+
+    #[test]
+    fn sharded_counters_stay_exact_under_concurrent_matching() {
+        let wl = WorkloadSpec::new(300)
+            .seed(67)
+            .planted_fraction(0.3)
+            .build();
+        // Adaptivity off: the cluster structure (and thus the probe counts
+        // per event) stays fixed across runs.
+        let config = ApcmConfig {
+            adaptive: crate::AdaptiveConfig::disabled(),
+            batch_size: 16,
+            ..ApcmConfig::default()
+        };
+        let events = wl.events(64);
+
+        // Reference totals from one single-threaded pass over the workload.
+        let reference = ApcmMatcher::build(&wl.schema, &wl.subs, &config).unwrap();
+        let _ = reference.match_batch(&events);
+        for ev in &events[..8] {
+            let _ = reference.match_event(ev);
+        }
+        let expect = reference.stats();
+        assert!(expect.probes > 0 && expect.hits > 0);
+
+        // T concurrent threads each run the identical workload: lifetime
+        // totals must land exactly T times the reference — counter sharding
+        // may defer visibility, never lose or double-count.
+        const T: u64 = 4;
+        let apcm = ApcmMatcher::build(&wl.schema, &wl.subs, &config).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..T {
+                scope.spawn(|| {
+                    let _ = apcm.match_batch(&events);
+                    for ev in &events[..8] {
+                        let _ = apcm.match_event(ev);
+                    }
+                });
+            }
+        });
+        let got = apcm.stats();
+        assert_eq!(got.probes, T * expect.probes);
+        assert_eq!(got.prunes, T * expect.prunes);
+        assert_eq!(got.hits, T * expect.hits);
     }
 
     #[test]

@@ -26,6 +26,15 @@ pub fn reorder_permutation(encoded: &[FixedBitSet]) -> Vec<usize> {
     order
 }
 
+/// [`reorder_permutation`] over a flat encoded-event word table (the
+/// matcher's per-window [`crate::EncTable`]) — same ordering, no per-event
+/// bitmap objects.
+pub fn reorder_permutation_rows(table: &crate::EncTable) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..table.rows()).collect();
+    order.sort_by(|&a, &b| table.row(a).cmp(table.row(b)).then(a.cmp(&b)));
+    order
+}
+
 /// The union of a batch's event bitmaps — the whole-batch pruning mask.
 pub fn batch_union(width: usize, batch: &[&FixedBitSet]) -> FixedBitSet {
     let mut union = FixedBitSet::new(width);

@@ -123,6 +123,45 @@ impl Pool {
     pub fn cluster_chunk_size(&self, n_clusters: usize) -> usize {
         (n_clusters / (self.threads * 8)).max(1)
     }
+
+    /// Splits `data` into per-worker contiguous chunks — each a multiple of
+    /// `align` elements — and runs `f(chunk_start, chunk)` on each in
+    /// parallel. Used to fill one flat output buffer (e.g. a window's
+    /// encoded-event table, `align` = words per row) without per-item
+    /// allocation.
+    pub fn for_each_chunk_mut<T, F>(&self, data: &mut [T], align: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync + Send,
+    {
+        let n = data.len();
+        let align = align.max(1);
+        debug_assert_eq!(n % align, 0, "buffer must be whole rows");
+        if n == 0 {
+            return;
+        }
+        let rows = n / align;
+        let workers = self.threads.min(rows).max(1);
+        if workers <= 1 {
+            f(0, data);
+            return;
+        }
+        let rows_per = rows.div_ceil(workers);
+        let chunk = rows_per * align;
+        std::thread::scope(|scope| {
+            let f = &f;
+            let mut rest = data;
+            let mut start = 0usize;
+            while !rest.is_empty() {
+                let take = chunk.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                let lo = start;
+                scope.spawn(move || f(lo, head));
+                start += take;
+                rest = tail;
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +216,22 @@ mod tests {
         let pool = Pool::new(Executor::Rayon, Some(4));
         assert!(pool.cluster_chunk_size(0) >= 1);
         assert!(pool.cluster_chunk_size(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn for_each_chunk_mut_covers_every_row_once() {
+        for pool in pools() {
+            let mut data = vec![0u32; 7 * 3]; // 7 rows of 3
+            pool.for_each_chunk_mut(&mut data, 3, |start, chunk| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot += (start + i) as u32 + 1;
+                }
+            });
+            let expect: Vec<u32> = (1..=21).collect();
+            assert_eq!(data, expect, "{:?}", pool.executor);
+            // Empty buffer is a no-op.
+            pool.for_each_chunk_mut(&mut [] as &mut [u32], 3, |_, _| panic!("no chunks"));
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! PCM: parallel compressed matching (static engine).
 
-use crate::{parallel::Pool, ApcmConfig, Cluster, ClusterIndex};
+use crate::{parallel::Pool, scratch, ApcmConfig, Cluster, ClusterIndex};
 use apcm_bexpr::{BexprError, Event, Matcher, Schema, SubId, Subscription};
 use apcm_encoding::{FixedBitSet, PredicateSpace};
 
@@ -48,18 +48,37 @@ impl PcmMatcher {
     /// predicate the event satisfies; those candidates are then fanned out
     /// across the pool.
     pub fn match_encoded(&self, ebits: &FixedBitSet) -> Vec<SubId> {
-        let candidates = self.index.candidates(ebits);
-        let chunk = self.pool.cluster_chunk_size(candidates.len());
-        let mut out = self.pool.flat_map_chunks(&candidates, chunk, |chunk| {
-            let mut local = Vec::new();
-            for &idx in chunk {
-                self.index.probe(idx, ebits, &mut local);
+        scratch::with_scratch(|s| {
+            self.index.candidates_into(ebits.words(), &mut s.candidates);
+            s.row.clear();
+            if self.pool.threads() > 1 && s.candidates.len() >= 64 {
+                let index = &self.index;
+                let chunk = self.pool.cluster_chunk_size(s.candidates.len());
+                let found = self.pool.flat_map_chunks(&s.candidates, chunk, |idxs| {
+                    scratch::with_scratch(|ws| {
+                        ws.counts.ensure(index.len());
+                        let mut local = Vec::new();
+                        for &idx in idxs {
+                            let probe = index.probe_words(idx, ebits.words(), &mut local);
+                            ws.counts.count(idx, probe);
+                        }
+                        ws.counts.flush(index.clusters(), None);
+                        local
+                    })
+                });
+                s.row.extend(found);
+            } else {
+                s.counts.ensure(self.index.len());
+                for &idx in &s.candidates {
+                    let probe = self.index.probe_words(idx, ebits.words(), &mut s.row);
+                    s.counts.count(idx, probe);
+                }
+                s.counts.flush(self.index.clusters(), None);
             }
-            local
-        });
-        out.sort_unstable();
-        out.dedup();
-        out
+            s.row.sort_unstable();
+            s.row.dedup();
+            s.row.as_slice().to_vec()
+        })
     }
 
     /// The underlying predicate space (shared with the harness for encode
@@ -92,20 +111,42 @@ impl PcmMatcher {
 
 impl Matcher for PcmMatcher {
     fn match_event(&self, ev: &Event) -> Vec<SubId> {
-        let ebits = self.space.encode_event(ev);
-        self.match_encoded(&ebits)
+        // Borrow the thread's scratch bitmap for the encode, then hand it to
+        // the shared single-event kernel. (`match_encoded` re-enters
+        // `with_scratch`, so the bitmap is moved out rather than borrowed
+        // across the call.)
+        let ebits = scratch::with_scratch(|s| {
+            s.ensure_width(self.space.width());
+            self.space.encode_event_into(ev, &mut s.ebits);
+            std::mem::take(&mut s.ebits)
+        });
+        let out = self.match_encoded(&ebits);
+        scratch::with_scratch(|s| s.ebits = ebits);
+        out
     }
 
     fn match_batch(&self, events: &[Event]) -> Vec<Vec<SubId>> {
         // Parallelize along the event axis — better locality than fanning
-        // every single event across all cores.
+        // every single event across all cores. Each worker reuses its own
+        // thread-local scratch across the events it processes.
+        let width = self.space.width();
         self.pool.map_indexed(events.len(), |i| {
-            let ebits = self.space.encode_event(&events[i]);
-            let mut out = Vec::new();
-            self.index.match_into(&ebits, &mut out);
-            out.sort_unstable();
-            out.dedup();
-            out
+            scratch::with_scratch(|s| {
+                s.ensure_width(width);
+                self.space.encode_event_into(&events[i], &mut s.ebits);
+                s.counts.ensure(self.index.len());
+                self.index
+                    .candidates_into(s.ebits.words(), &mut s.candidates);
+                s.row.clear();
+                for &idx in &s.candidates {
+                    let probe = self.index.probe_words(idx, s.ebits.words(), &mut s.row);
+                    s.counts.count(idx, probe);
+                }
+                s.counts.flush(self.index.clusters(), None);
+                s.row.sort_unstable();
+                s.row.dedup();
+                s.row.as_slice().to_vec()
+            })
         })
     }
 

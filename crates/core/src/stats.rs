@@ -18,11 +18,16 @@ pub struct MatcherStats {
     pub width: usize,
     /// Heap bytes of stored bitmaps.
     pub heap_bytes: usize,
-    /// Cluster probes since the counters were last reset.
+    /// Lifetime cluster probes across all workers.
+    ///
+    /// `probes`/`prunes`/`hits` are monotone totals aggregated lazily from
+    /// per-worker counter cells ([`crate::CounterShards`]); maintenance
+    /// resets only the per-cluster epoch counters that drive adaptivity,
+    /// never these.
     pub probes: u64,
-    /// Probes rejected by shared-mask or batch-union pruning.
+    /// Probes rejected by shared-mask or batch-union pruning (lifetime).
     pub prunes: u64,
-    /// Member matches produced.
+    /// Member matches produced (lifetime).
     pub hits: u64,
     /// Maintenance passes executed (epoch-triggered or explicit).
     pub maintenance_runs: u64,

@@ -1,0 +1,242 @@
+//! CSR member arena and raw word-slice kernels.
+//!
+//! The matching hot loop probes thousands of cluster members per event. With
+//! members stored as `Vec<Member>`-of-`SparseBits`, every probe chases two
+//! `Box<[u32]>` pointers (residual + blocked) scattered across the heap. The
+//! [`MemberArena`] flattens a whole cluster into three contiguous buffers —
+//! member ids (SoA), per-member spans, and one shared `u32` bit arena — so a
+//! member sweep is a linear walk over at most two slices.
+//!
+//! The free functions at the top are the word-level kernels: they operate on
+//! raw `&[u64]` event rows so the matcher can probe flat encoded-event tables
+//! without materializing a `FixedBitSet` per event.
+
+use serde::{Deserialize, Serialize};
+
+const BITS: usize = u64::BITS as usize;
+
+/// Whether bit `i` is set in a raw word row. Out-of-range reads are `false`,
+/// matching `FixedBitSet::contains`.
+#[inline(always)]
+pub fn has_bit(words: &[u64], i: usize) -> bool {
+    match words.get(i / BITS) {
+        Some(w) => (w >> (i % BITS)) & 1 != 0,
+        None => false,
+    }
+}
+
+/// Sets bit `i` in a raw word row. Panics when `i` is out of range, matching
+/// `FixedBitSet::insert`.
+#[inline(always)]
+pub fn set_bit(words: &mut [u64], i: usize) {
+    words[i / BITS] |= 1u64 << (i % BITS);
+}
+
+/// The residual-test kernel: every id in `ids` is set in `words`.
+#[inline(always)]
+pub fn contains_all(words: &[u64], ids: &[u32]) -> bool {
+    ids.iter().all(|&i| has_bit(words, i as usize))
+}
+
+/// The blocked-test kernel: no id in `ids` is set in `words`.
+#[inline(always)]
+pub fn disjoint(words: &[u64], ids: &[u32]) -> bool {
+    ids.iter().all(|&i| !has_bit(words, i as usize))
+}
+
+/// Bit ranges of one member inside the arena: `bits[start..start+res_len]`
+/// is the residual, the next `blk_len` ids are the blocked set. Lengths are
+/// `u16` — a single subscription holds at most a few dozen predicates.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Span {
+    start: u32,
+    res_len: u16,
+    blk_len: u16,
+}
+
+/// Cluster members in CSR form: ids as a SoA slice, residual/blocked bits in
+/// one contiguous `u32` arena addressed by `(offset, len)` spans.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemberArena {
+    ids: Vec<u32>,
+    spans: Vec<Span>,
+    bits: Vec<u32>,
+}
+
+impl MemberArena {
+    /// An empty arena sized for `members` entries and `bit_capacity` total
+    /// residual + blocked ids.
+    pub fn with_capacity(members: usize, bit_capacity: usize) -> Self {
+        Self {
+            ids: Vec::with_capacity(members),
+            spans: Vec::with_capacity(members),
+            bits: Vec::with_capacity(bit_capacity),
+        }
+    }
+
+    /// Appends a member. `residual` and `blocked` must each be sorted id
+    /// lists (as produced by `SparseBits::ids`).
+    pub fn push(&mut self, id: u32, residual: &[u32], blocked: &[u32]) {
+        assert!(
+            residual.len() <= u16::MAX as usize && blocked.len() <= u16::MAX as usize,
+            "member bit list exceeds span width"
+        );
+        let start = u32::try_from(self.bits.len()).expect("cluster arena exceeds u32 offsets");
+        self.bits.extend_from_slice(residual);
+        self.bits.extend_from_slice(blocked);
+        self.ids.push(id);
+        self.spans.push(Span {
+            start,
+            res_len: residual.len() as u16,
+            blk_len: blocked.len() as u16,
+        });
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the arena holds no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Member ids in arena order.
+    #[inline]
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// The `k`-th member as `(id, residual, blocked)`.
+    #[inline]
+    pub fn member(&self, k: usize) -> (u32, &[u32], &[u32]) {
+        let span = self.spans[k];
+        let start = span.start as usize;
+        let mid = start + span.res_len as usize;
+        let end = mid + span.blk_len as usize;
+        (self.ids[k], &self.bits[start..mid], &self.bits[mid..end])
+    }
+
+    /// Iterates members as `(id, residual, blocked)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[u32], &[u32])> + '_ {
+        (0..self.len()).map(move |k| self.member(k))
+    }
+
+    /// Position of member `id`, if present.
+    pub fn position(&self, id: u32) -> Option<usize> {
+        self.ids.iter().position(|&m| m == id)
+    }
+
+    /// Removes the `k`-th member by swap, leaving its bits as a hole in the
+    /// arena until the cluster is next rebuilt. Returns the removed id.
+    pub fn swap_remove(&mut self, k: usize) -> u32 {
+        self.spans.swap_remove(k);
+        self.ids.swap_remove(k)
+    }
+
+    /// The member sweep: appends every member whose residual is contained in
+    /// the event row and whose blocked set is disjoint from it. Returns the
+    /// number of hits. Pure — no counters, no allocation beyond `out` growth.
+    #[inline]
+    pub fn match_into(&self, ewords: &[u64], out: &mut Vec<u32>) -> u32 {
+        let mut hits = 0u32;
+        for (k, &span) in self.spans.iter().enumerate() {
+            let start = span.start as usize;
+            let mid = start + span.res_len as usize;
+            let end = mid + span.blk_len as usize;
+            if contains_all(ewords, &self.bits[start..mid])
+                && disjoint(ewords, &self.bits[mid..end])
+            {
+                out.push(self.ids[k]);
+                hits += 1;
+            }
+        }
+        hits
+    }
+
+    /// Heap footprint in bytes, counting removal holes until rebuild.
+    pub fn heap_bytes(&self) -> usize {
+        self.ids.capacity() * std::mem::size_of::<u32>()
+            + self.spans.capacity() * std::mem::size_of::<Span>()
+            + self.bits.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(nbits: usize, set: &[usize]) -> Vec<u64> {
+        let mut words = vec![0u64; nbits.div_ceil(BITS)];
+        for &i in set {
+            set_bit(&mut words, i);
+        }
+        words
+    }
+
+    #[test]
+    fn word_kernels_match_bit_semantics() {
+        let words = row(130, &[0, 63, 64, 129]);
+        assert!(has_bit(&words, 0) && has_bit(&words, 63) && has_bit(&words, 64));
+        assert!(!has_bit(&words, 1) && !has_bit(&words, 128));
+        // Out-of-range reads are false, like FixedBitSet::contains.
+        assert!(!has_bit(&words, 4096));
+        assert!(contains_all(&words, &[0, 64, 129]));
+        assert!(!contains_all(&words, &[0, 1]));
+        assert!(contains_all(&words, &[]));
+        assert!(disjoint(&words, &[1, 62, 128]));
+        assert!(!disjoint(&words, &[63]));
+        assert!(disjoint(&words, &[]));
+    }
+
+    #[test]
+    fn arena_layout_and_member_access() {
+        let mut a = MemberArena::with_capacity(2, 8);
+        a.push(7, &[1, 5], &[9]);
+        a.push(8, &[], &[2, 3]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.ids(), &[7, 8]);
+        assert_eq!(a.member(0), (7, &[1u32, 5][..], &[9u32][..]));
+        assert_eq!(a.member(1), (8, &[][..], &[2u32, 3][..]));
+        assert_eq!(a.position(8), Some(1));
+        assert_eq!(a.position(99), None);
+    }
+
+    #[test]
+    fn arena_sweep_applies_residual_and_blocked() {
+        let mut a = MemberArena::with_capacity(3, 8);
+        a.push(1, &[2, 4], &[]); // matches iff bits 2 and 4 set
+        a.push(2, &[2], &[4]); // vetoed by bit 4
+        a.push(3, &[], &[]); // empty residual always matches
+        let mut out = Vec::new();
+        let hits = a.match_into(&row(64, &[2, 4]), &mut out);
+        assert_eq!(out, vec![1, 3]);
+        assert_eq!(hits, 2);
+
+        out.clear();
+        a.match_into(&row(64, &[2]), &mut out);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn swap_remove_keeps_survivors_intact() {
+        let mut a = MemberArena::with_capacity(3, 8);
+        a.push(1, &[2], &[]);
+        a.push(2, &[3], &[]);
+        a.push(3, &[4], &[]);
+        let before = a.heap_bytes();
+        assert_eq!(a.swap_remove(0), 1);
+        assert_eq!(a.ids(), &[3, 2]);
+        assert_eq!(a.member(0), (3, &[4u32][..], &[][..]));
+        assert_eq!(a.member(1), (2, &[3u32][..], &[][..]));
+        // The hole stays until rebuild; the footprint does not shrink.
+        assert_eq!(a.heap_bytes(), before);
+        let mut out = Vec::new();
+        a.match_into(&row(64, &[3, 4]), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![2, 3]);
+    }
+}

@@ -203,6 +203,12 @@ impl FixedBitSet {
         &self.words
     }
 
+    /// Raw word access (write), for encoders that fill the set word-wise.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Approximate heap footprint in bytes, for the memory experiments.
     pub fn heap_bytes(&self) -> usize {
         self.words.len() * std::mem::size_of::<u64>()

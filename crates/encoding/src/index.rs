@@ -217,12 +217,26 @@ impl EventIndex {
             out.nbits() >= self.width(),
             "event bitmap narrower than the predicate space"
         );
-        out.clear();
+        self.encode_into_words(ev, out.words_mut());
+    }
+
+    /// Encodes `ev` into a raw word row (cleared first). `words` must span at
+    /// least [`EventIndex::width`] bits; this is the kernel behind
+    /// [`EventIndex::encode_into`] and the matcher's flat per-window event
+    /// tables, which hold many encoded events in one contiguous buffer.
+    pub fn encode_into_words(&self, ev: &Event, words: &mut [u64]) {
+        assert!(
+            words.len() * 64 >= self.width(),
+            "event word row narrower than the predicate space"
+        );
+        words.fill(0);
         let dims = self.dims;
         for &(attr, v) in ev.pairs() {
             if let Some(index) = self.attrs.get(attr.index()) {
-                out.insert(attr.index());
-                index.visit(v, &mut |id: PredId| out.insert(dims + id.index()));
+                crate::arena::set_bit(words, attr.index());
+                index.visit(v, &mut |id: PredId| {
+                    crate::arena::set_bit(words, dims + id.index())
+                });
             }
         }
     }

@@ -18,6 +18,7 @@
 //! matches iff `S ⊆ E`. The compressed matcher in `apcm-core` additionally
 //! factors clusters of similar `S` into a shared mask plus sparse residuals.
 
+pub mod arena;
 pub mod bitset;
 pub mod index;
 pub mod interval;
@@ -25,6 +26,7 @@ pub mod registry;
 pub mod space;
 pub mod sparse;
 
+pub use arena::MemberArena;
 pub use bitset::FixedBitSet;
 pub use index::EventIndex;
 pub use interval::IntervalTree;

@@ -25,7 +25,15 @@ impl EncodedSub {
     /// Whether an event with bitmap `b` matches this subscription.
     #[inline]
     pub fn matches_bitmap(&self, b: &FixedBitSet) -> bool {
-        self.required.subset_of_dense(b) && self.blocked.disjoint_from_dense(b)
+        self.matches_words(b.words())
+    }
+
+    /// Whether an event with raw word row `ewords` matches this
+    /// subscription; the kernel behind [`EncodedSub::matches_bitmap`].
+    #[inline]
+    pub fn matches_words(&self, ewords: &[u64]) -> bool {
+        crate::arena::contains_all(ewords, self.required.ids())
+            && crate::arena::disjoint(ewords, self.blocked.ids())
     }
 
     /// Approximate heap footprint in bytes.
@@ -160,6 +168,12 @@ impl PredicateSpace {
     /// Encodes `ev` into a reusable buffer; see [`EventIndex::encode_into`].
     pub fn encode_event_into(&self, ev: &Event, out: &mut FixedBitSet) {
         self.index.encode_into(ev, out)
+    }
+
+    /// Encodes `ev` into a raw word row; see
+    /// [`EventIndex::encode_into_words`].
+    pub fn encode_event_into_words(&self, ev: &Event, words: &mut [u64]) {
+        self.index.encode_into_words(ev, words)
     }
 }
 

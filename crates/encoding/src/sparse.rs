@@ -71,14 +71,14 @@ impl SparseBits {
     /// of the dense set's width.
     #[inline]
     pub fn subset_of_dense(&self, dense: &FixedBitSet) -> bool {
-        self.ids.iter().all(|&i| dense.contains(i as usize))
+        crate::arena::contains_all(dense.words(), &self.ids)
     }
 
     /// The blocked-test kernel: no bit of `self` is set in `dense`. Probes
     /// per id with early exit.
     #[inline]
     pub fn disjoint_from_dense(&self, dense: &FixedBitSet) -> bool {
-        self.ids.iter().all(|&i| !dense.contains(i as usize))
+        crate::arena::disjoint(dense.words(), &self.ids)
     }
 
     /// Sorted-merge subset test against another sparse set.

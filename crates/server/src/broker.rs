@@ -424,7 +424,11 @@ impl Server {
         if let Some(persister) = &self.persist {
             persister.flush();
         }
-        let mut out = self.stats.render(&self.engine.per_shard_len(), depth);
+        let mut out = self.stats.render(
+            &self.engine.per_shard_len(),
+            depth,
+            self.engine.kernel_counters(),
+        );
         out.push_str(&format!("engine {}\n", self.engine.engine_name()));
         out.push_str(&format!("shards {}\n", self.engine.shard_count()));
         out
@@ -658,7 +662,11 @@ fn read_loop(
                 reply(format!("+OK batch {first} {accepted}"));
             }
             Request::Stats => {
-                let body = stats.render(&ctx.engine.per_shard_len(), ctx.ingest_depth.len());
+                let body = stats.render(
+                    &ctx.engine.per_shard_len(),
+                    ctx.ingest_depth.len(),
+                    ctx.engine.kernel_counters(),
+                );
                 // One queued string so async RESULT/EVENT lines cannot
                 // interleave inside the multi-line response.
                 reply(format!("+OK stats\n{body}."));

@@ -42,6 +42,12 @@ pub trait ShardEngine: Send + Sync {
     fn match_window(&self, events: &[Event]) -> Vec<Vec<SubId>>;
     /// One maintenance pass (fold pending work, rebuild stale structures).
     fn maintain(&self) -> MaintenanceReport;
+    /// Lifetime matching-kernel counters `(probes, prunes, hits)`, when the
+    /// engine tracks them. Aggregated lazily from per-worker cells, so
+    /// reading them never contends with the hot path.
+    fn kernel_counters(&self) -> Option<(u64, u64, u64)> {
+        None
+    }
     /// Live subscription count.
     fn len(&self) -> usize;
     fn is_empty(&self) -> bool {
@@ -90,6 +96,11 @@ impl ShardEngine for ApcmEngine {
 
     fn maintain(&self) -> MaintenanceReport {
         self.matcher.maintain()
+    }
+
+    fn kernel_counters(&self) -> Option<(u64, u64, u64)> {
+        let stats = self.matcher.stats();
+        Some((stats.probes, stats.prunes, stats.hits))
     }
 
     fn len(&self) -> usize {

@@ -152,6 +152,15 @@ impl ShardedEngine {
     pub fn per_shard_len(&self) -> Vec<usize> {
         self.shards.iter().map(|s| s.len()).collect()
     }
+
+    /// Lifetime kernel counters `(probes, prunes, hits)` summed across
+    /// shards; `None` when the engine kind does not track them.
+    pub fn kernel_counters(&self) -> Option<(u64, u64, u64)> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.kernel_counters())
+            .reduce(|a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2))
+    }
 }
 
 #[cfg(test)]

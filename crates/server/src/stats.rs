@@ -137,7 +137,14 @@ impl ServerStats {
 
     /// Renders the `STATS` body: `key value` lines, one per metric.
     /// Transport-independent so the CLI can reuse it on shutdown.
-    pub fn render(&self, per_shard_subs: &[usize], ingest_depth: usize) -> String {
+    /// `kernel_counters` is the engine's lifetime `(probes, prunes, hits)`
+    /// when it tracks them (see [`crate::ShardedEngine::kernel_counters`]).
+    pub fn render(
+        &self,
+        per_shard_subs: &[usize],
+        ingest_depth: usize,
+        kernel_counters: Option<(u64, u64, u64)>,
+    ) -> String {
         let mut out = String::new();
         let mut push = |key: &str, value: u64| {
             out.push_str(key);
@@ -183,6 +190,11 @@ impl ServerStats {
         push("maintenance_rebuilt", Self::get(&self.maintenance_rebuilt));
         push("maintenance_dropped", Self::get(&self.maintenance_dropped));
         push("ingest_queue_depth", ingest_depth as u64);
+        if let Some((probes, prunes, hits)) = kernel_counters {
+            push("kernel_probes", probes);
+            push("kernel_prunes", prunes);
+            push("kernel_hits", hits);
+        }
         for (i, &n) in per_shard_subs.iter().enumerate() {
             push(&format!("shard_{i}_subs"), n as u64);
         }
@@ -230,7 +242,7 @@ mod tests {
     fn render_includes_shards_and_counters() {
         let stats = ServerStats::default();
         ServerStats::add(&stats.events_in, 7);
-        let text = stats.render(&[3, 4], 2);
+        let text = stats.render(&[3, 4], 2, None);
         assert!(text.contains("events_in 7\n"));
         assert!(text.contains("shard_0_subs 3\n"));
         assert!(text.contains("shard_1_subs 4\n"));
@@ -239,5 +251,11 @@ mod tests {
         assert!(text.contains("recovered_subs 0\n"));
         assert!(text.contains("idle_reaped 0\n"));
         assert!(text.contains("oversized_lines 0\n"));
+        assert!(!text.contains("kernel_probes"));
+
+        let text = stats.render(&[3, 4], 2, Some((10, 4, 6)));
+        assert!(text.contains("kernel_probes 10\n"));
+        assert!(text.contains("kernel_prunes 4\n"));
+        assert!(text.contains("kernel_hits 6\n"));
     }
 }
