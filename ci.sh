@@ -15,6 +15,9 @@ cargo test -q
 echo "==> cargo test -p apcm-server --test recovery (crash/recovery harness)"
 cargo test -q -p apcm-server --test recovery
 
+echo "==> cargo test -p apcm-cluster --test cluster (routing/failover harness)"
+cargo test -q -p apcm-cluster --test cluster
+
 echo "==> cargo bench --workspace --no-run (benches stay compilable)"
 cargo bench --workspace --no-run
 
@@ -22,5 +25,10 @@ echo "==> harness smoke run (appends one record set to BENCH_pr3.json)"
 cargo run --release -q -p apcm-bench --bin harness -- \
     --experiment e2 --scale 0.002 --budget-ms 50 --seed 42 \
     --json-append BENCH_pr3.json
+
+echo "==> cluster harness smoke run (appends e13 records to BENCH_pr4.json)"
+cargo run --release -q -p apcm-bench --bin harness -- \
+    --experiment e13 --scale 0.002 --budget-ms 50 --seed 42 \
+    --json-append BENCH_pr4.json
 
 echo "==> ci.sh: all green"

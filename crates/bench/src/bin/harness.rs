@@ -13,7 +13,9 @@
 
 use apcm_bench::{fmt_bytes, fmt_rate, measure_latency, measure_throughput, EngineKind, Table};
 use apcm_bexpr::{Event, Matcher, SubId, Subscription};
+use apcm_cluster::{ClusterHandle, RouterConfig};
 use apcm_core::{AdaptiveConfig, ApcmConfig, ApcmMatcher, ClusteringPolicy, Executor, PcmMatcher};
+use apcm_server::{BrokerClient, EngineChoice, Server, ServerConfig};
 use apcm_workload::{DriftingStream, ValueDist, Workload, WorkloadSpec};
 use std::time::{Duration, Instant};
 
@@ -166,7 +168,7 @@ fn parse_args() -> Args {
             "--json-append" => args.json_append = Some(value()),
             "--help" | "-h" => {
                 println!(
-                    "usage: harness [--experiment e1..e12|all] [--scale F] [--budget-ms N] \
+                    "usage: harness [--experiment e1..e13|all] [--scale F] [--budget-ms N] \
                      [--seed N] [--json PATH] [--json-append PATH]"
                 );
                 std::process::exit(0);
@@ -236,6 +238,9 @@ fn main() {
     }
     if want("e12") {
         e12_build(&args);
+    }
+    if want("e13") {
+        e13_cluster(&args);
     }
     if let Err(e) = args.write_json() {
         eprintln!("error writing --json output: {e}");
@@ -677,6 +682,108 @@ fn e11_latency(args: &Args) {
     }
     table.print();
     println!("(corpus {n})\n");
+}
+
+/// Drives `BATCH` publishes at `client` until the budget elapses and
+/// returns end-to-end events/s (ack + all RESULT rows received).
+fn pump_batches(client: &mut BrokerClient, wl: &Workload, budget: Duration) -> f64 {
+    let events = wl.events(256);
+    let start = Instant::now();
+    let mut sent = 0usize;
+    loop {
+        let results = client
+            .publish_batch(&events, &wl.schema)
+            .expect("publish through the broker");
+        assert_eq!(results.len(), events.len());
+        sent += events.len();
+        if start.elapsed() >= budget {
+            return sent as f64 / start.elapsed().as_secs_f64();
+        }
+    }
+}
+
+/// E13 — cluster tier: routed (front router fanning to N backend servers)
+/// vs direct (one server, same client path) publish throughput, and the
+/// router's scatter-gather/merge overhead. Everything runs in-process on
+/// loopback, so the deltas measure protocol + merge cost, not the network.
+fn e13_cluster(args: &Args) {
+    println!("## E13 — cluster routing: routed vs direct throughput\n");
+    let n = scaled(250_000, args.scale).min(20_000);
+    let wl = base_spec(n, args.seed).build();
+    let backend_config = || ServerConfig {
+        shards: 2,
+        engine: EngineChoice::Apcm,
+        flush_interval: Duration::from_millis(2),
+        ..ServerConfig::default()
+    };
+    let client_timeout = Duration::from_secs(60);
+
+    // Direct baseline: one standalone server.
+    let server = Server::start(wl.schema.clone(), backend_config(), "127.0.0.1:0")
+        .expect("starting the direct server");
+    let mut client = BrokerClient::connect(&server.local_addr().to_string()).unwrap();
+    client.set_read_timeout(Some(client_timeout)).unwrap();
+    for sub in &wl.subs {
+        client.subscribe(sub, &wl.schema).unwrap();
+    }
+    let direct = pump_batches(&mut client, &wl, args.budget);
+    args.record(
+        "e13",
+        "direct",
+        "n_backends=1".into(),
+        "events_per_sec",
+        direct,
+    );
+    drop(client);
+    server.shutdown();
+
+    let mut table = Table::new(vec!["path", "backends", "events/s", "merge overhead %"]);
+    table.row(vec![
+        "direct".into(),
+        "1".into(),
+        fmt_rate(direct),
+        "-".into(),
+    ]);
+
+    for n_backends in [1usize, 2, 3] {
+        let cluster = ClusterHandle::start(
+            wl.schema.clone(),
+            (0..n_backends).map(|_| backend_config()).collect(),
+            RouterConfig::default(),
+        )
+        .expect("starting the cluster");
+        let mut client = BrokerClient::connect(&cluster.router_addr()).unwrap();
+        client.set_read_timeout(Some(client_timeout)).unwrap();
+        for sub in &wl.subs {
+            client.subscribe(sub, &wl.schema).unwrap();
+        }
+        let routed = pump_batches(&mut client, &wl, args.budget);
+        let overhead = 100.0 * (direct / routed - 1.0);
+        args.record(
+            "e13",
+            "routed",
+            format!("n_backends={n_backends}"),
+            "events_per_sec",
+            routed,
+        );
+        args.record(
+            "e13",
+            "routed",
+            format!("n_backends={n_backends}"),
+            "merge_overhead_pct",
+            overhead,
+        );
+        table.row(vec![
+            "routed".into(),
+            format!("{n_backends}"),
+            fmt_rate(routed),
+            format!("{overhead:.1}"),
+        ]);
+        drop(client);
+        cluster.shutdown();
+    }
+    table.print();
+    println!("(corpus {n}; overhead is direct/routed - 1 at the same corpus)\n");
 }
 
 /// E12 — construction and maintenance: build time per engine, dynamic

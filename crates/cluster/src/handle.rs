@@ -1,0 +1,119 @@
+//! In-process cluster: N backend shard servers plus a front router, all on
+//! loopback ephemeral ports. The harness for integration tests, failure
+//! injection (`kill_backend` / `restart_backend`), and benchmarks.
+
+use apcm_bexpr::Schema;
+use apcm_server::{Server, ServerConfig};
+
+use crate::router::{Router, RouterConfig};
+
+struct BackendSlot {
+    /// Bound address, pinned at first start so a restart rebinds the same
+    /// port the router's membership table knows.
+    addr: String,
+    config: ServerConfig,
+    server: Option<Server>,
+}
+
+pub struct ClusterHandle {
+    schema: Schema,
+    backends: Vec<BackendSlot>,
+    router: Option<Router>,
+}
+
+impl ClusterHandle {
+    /// Starts one backend server per config (ephemeral loopback ports) and
+    /// a router fronting all of them. Backend order is partition order.
+    pub fn start(
+        schema: Schema,
+        backend_configs: Vec<ServerConfig>,
+        router_config: RouterConfig,
+    ) -> std::io::Result<Self> {
+        if backend_configs.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a cluster needs at least one backend",
+            ));
+        }
+        let mut backends = Vec::with_capacity(backend_configs.len());
+        for config in backend_configs {
+            let server = Server::start(schema.clone(), config.clone(), "127.0.0.1:0")?;
+            backends.push(BackendSlot {
+                addr: server.local_addr().to_string(),
+                config,
+                server: Some(server),
+            });
+        }
+        let addrs: Vec<String> = backends.iter().map(|b| b.addr.clone()).collect();
+        let router = Router::start(schema.clone(), &addrs, router_config, "127.0.0.1:0")?;
+        Ok(Self {
+            schema,
+            backends,
+            router: Some(router),
+        })
+    }
+
+    pub fn router(&self) -> &Router {
+        self.router.as_ref().expect("router is running")
+    }
+
+    /// The router's client-facing address.
+    pub fn router_addr(&self) -> String {
+        self.router().local_addr().to_string()
+    }
+
+    pub fn backend_count(&self) -> usize {
+        self.backends.len()
+    }
+
+    pub fn backend_addr(&self, index: usize) -> &str {
+        &self.backends[index].addr
+    }
+
+    /// The backend server, if it is currently running.
+    pub fn backend(&self, index: usize) -> Option<&Server> {
+        self.backends[index].server.as_ref()
+    }
+
+    /// Simulates a crash: the backend's sockets close and its threads
+    /// join, but nothing is flushed — on-disk state is whatever the write
+    /// path had produced (see `Server::abort`). The router notices on its
+    /// next probe or publish.
+    pub fn kill_backend(&mut self, index: usize) {
+        if let Some(server) = self.backends[index].server.take() {
+            server.abort();
+        }
+    }
+
+    /// Restarts a killed backend on its original port with its original
+    /// config; with persistence configured, recovery replays the snapshot
+    /// and churn log before the listener opens. The router's health sweep
+    /// reconnects it after its backoff delay.
+    pub fn restart_backend(&mut self, index: usize) -> std::io::Result<()> {
+        let slot = &mut self.backends[index];
+        if slot.server.is_some() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                "backend is already running",
+            ));
+        }
+        slot.server = Some(Server::start(
+            self.schema.clone(),
+            slot.config.clone(),
+            &slot.addr,
+        )?);
+        Ok(())
+    }
+
+    /// Stops the router, then every backend; returns the router's final
+    /// rendered stats.
+    pub fn shutdown(mut self) -> String {
+        let rendered = self.router.take().map(Router::shutdown).unwrap_or_default();
+        for slot in &mut self.backends {
+            if let Some(server) = slot.server.take() {
+                let _ = server.shutdown();
+            }
+        }
+        rendered
+    }
+}

@@ -1,0 +1,34 @@
+//! apcm-cluster: a multi-node shard tier over `apcm-server`.
+//!
+//! One [`Router`] fronts N backend shard servers. Clients speak the same
+//! newline text protocol they would to a standalone server; the router
+//! owns no subscriptions:
+//!
+//! * **Routing** — `SUB`/`UNSUB`/`CLAIM` go to exactly one backend,
+//!   chosen by the same Fibonacci hash (`apcm_server::route_partition`)
+//!   that `ShardedEngine` uses in-process. The hash is a wire-visible
+//!   contract, pinned by tests in both crates.
+//! * **Scatter-gather** — `PUB`/`BATCH` windows fan to every live backend
+//!   on scoped threads; rows are merged (sorted, deduplicated) and the
+//!   router synthesizes `EVENT` notifications from the merged rows.
+//! * **Membership** — a health thread `PING`s every backend each sweep
+//!   and redials down backends on the jittered exponential-backoff
+//!   schedule of `apcm_server::ConnectOptions`. Churn routed at a down
+//!   backend is refused (`-ERR backend <i> unavailable`); matching
+//!   degrades to the surviving partitions with rows flagged `partial`
+//!   and `cluster_degraded` counted. `TOPOLOGY` reports the table.
+//! * **[`ClusterHandle`]** — an in-process cluster (backends + router on
+//!   loopback) with `kill_backend`/`restart_backend` fault injection for
+//!   tests and benchmarks.
+
+pub mod backend;
+pub mod handle;
+pub mod membership;
+pub mod router;
+pub mod stats;
+
+pub use backend::BackendConn;
+pub use handle::ClusterHandle;
+pub use membership::{Backend, Membership};
+pub use router::{Router, RouterConfig};
+pub use stats::ClusterStats;

@@ -1,0 +1,255 @@
+//! Cluster membership: one entry per backend shard server, with health
+//! state maintained by periodic `PING` probes and jittered
+//! exponential-backoff reconnects.
+//!
+//! Lock order is always connection, then metadata — both the health sweep
+//! and the request/scatter paths follow it, so a backend can be marked
+//! down from either side without deadlock.
+
+use crate::backend::BackendConn;
+use crate::stats::ClusterStats;
+use apcm_bexpr::SubId;
+use apcm_server::client::ConnectOptions;
+use apcm_server::route_partition;
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Health metadata for one backend, guarded separately from the
+/// connection so `TOPOLOGY` never waits behind an in-flight window.
+pub struct BackendMeta {
+    /// Round-trip of the last successful `PING`, microseconds.
+    pub last_ping_us: Option<u64>,
+    /// Successful reconnects after a failure.
+    pub reconnects: u64,
+    /// Times the backend was marked down.
+    pub failures: u64,
+    /// Consecutive failed reconnect attempts since the last success.
+    attempt: u32,
+    /// Earliest time the sweep may dial again.
+    next_retry: Instant,
+}
+
+pub struct Backend {
+    pub index: usize,
+    pub addr: String,
+    conn: Mutex<Option<BackendConn>>,
+    meta: Mutex<BackendMeta>,
+}
+
+impl Backend {
+    fn new(index: usize, addr: String) -> Self {
+        Self {
+            index,
+            addr,
+            conn: Mutex::new(None),
+            meta: Mutex::new(BackendMeta {
+                last_ping_us: None,
+                reconnects: 0,
+                failures: 0,
+                attempt: 0,
+                next_retry: Instant::now(),
+            }),
+        }
+    }
+
+    /// Locks the connection slot; `None` inside means the backend is down.
+    pub fn lock_conn(&self) -> MutexGuard<'_, Option<BackendConn>> {
+        self.conn.lock()
+    }
+
+    pub fn is_up(&self) -> bool {
+        self.conn.lock().is_some()
+    }
+
+    /// Drops the connection and schedules the first reconnect attempt.
+    /// Call with the connection guard already held (the failing caller
+    /// owns it) so a concurrent request cannot use the dead stream.
+    pub fn mark_down_locked(
+        &self,
+        conn: &mut Option<BackendConn>,
+        connect: &ConnectOptions,
+        stats: &ClusterStats,
+    ) {
+        if conn.take().is_some() {
+            ClusterStats::add(&stats.backend_errors, 1);
+            let mut meta = self.meta.lock();
+            meta.failures += 1;
+            meta.attempt = 1;
+            meta.last_ping_us = None;
+            meta.next_retry = Instant::now() + connect.delay_before_retry(1);
+        }
+    }
+
+    /// One `TOPOLOGY` report line for this backend.
+    fn topology_line(&self) -> String {
+        let up = self.is_up();
+        let meta = self.meta.lock();
+        let ping = meta
+            .last_ping_us
+            .map(|us| us.to_string())
+            .unwrap_or_else(|| "-".into());
+        format!(
+            "backend {} {} {} ping_us {} reconnects {}",
+            self.index,
+            self.addr,
+            if up { "up" } else { "down" },
+            ping,
+            meta.reconnects
+        )
+    }
+}
+
+/// The routing table: backend order is the partition order, so
+/// [`Membership::route`] and `ShardedEngine::shard_of` agree by
+/// construction (both call [`route_partition`]).
+pub struct Membership {
+    backends: Vec<Arc<Backend>>,
+    connect: ConnectOptions,
+}
+
+impl Membership {
+    /// Builds the table and eagerly dials every backend once; failures are
+    /// left down with a scheduled retry, so a router can start ahead of
+    /// its backends.
+    pub fn connect_all(addrs: &[String], connect: ConnectOptions, stats: &ClusterStats) -> Self {
+        let membership = Self {
+            backends: addrs
+                .iter()
+                .enumerate()
+                .map(|(i, addr)| Arc::new(Backend::new(i, addr.clone())))
+                .collect(),
+            connect,
+        };
+        membership.sweep(stats);
+        membership
+    }
+
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+
+    pub fn backends(&self) -> &[Arc<Backend>] {
+        &self.backends
+    }
+
+    pub fn up_count(&self) -> usize {
+        self.backends.iter().filter(|b| b.is_up()).count()
+    }
+
+    pub fn connect_options(&self) -> &ConnectOptions {
+        &self.connect
+    }
+
+    /// The backend owning subscription `id` — the shared routing contract.
+    pub fn route(&self, id: SubId) -> &Arc<Backend> {
+        &self.backends[route_partition(id, self.backends.len())]
+    }
+
+    /// One health pass: `PING` every connected backend (marking failures
+    /// down), and re-dial every down backend whose backoff delay expired.
+    pub fn sweep(&self, stats: &ClusterStats) {
+        for backend in &self.backends {
+            let mut conn = backend.conn.lock();
+            match conn.as_mut() {
+                Some(c) => {
+                    let start = Instant::now();
+                    match c.request("PING") {
+                        Ok(reply) if reply.starts_with('+') => {
+                            backend.meta.lock().last_ping_us =
+                                Some(start.elapsed().as_micros() as u64);
+                        }
+                        _ => backend.mark_down_locked(&mut conn, &self.connect, stats),
+                    }
+                }
+                None => {
+                    let mut meta = backend.meta.lock();
+                    if Instant::now() < meta.next_retry {
+                        continue;
+                    }
+                    let one_shot = ConnectOptions {
+                        attempts: 1,
+                        ..self.connect.clone()
+                    };
+                    match BackendConn::connect(&backend.addr, &one_shot) {
+                        Ok(c) => {
+                            *conn = Some(c);
+                            if meta.attempt > 0 {
+                                meta.reconnects += 1;
+                                ClusterStats::add(&stats.backend_reconnects, 1);
+                            }
+                            meta.attempt = 0;
+                        }
+                        Err(_) => {
+                            meta.attempt = meta.attempt.saturating_add(1);
+                            meta.next_retry =
+                                Instant::now() + self.connect.delay_before_retry(meta.attempt);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The `TOPOLOGY` report: one line per backend, partition order.
+    pub fn topology_lines(&self) -> Vec<String> {
+        self.backends.iter().map(|b| b.topology_line()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn fast_options() -> ConnectOptions {
+        ConnectOptions {
+            connect_timeout: Some(Duration::from_millis(200)),
+            attempts: 1,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            ..ConnectOptions::default()
+        }
+    }
+
+    #[test]
+    fn unreachable_backends_start_down_and_backoff() {
+        // Port 1 refuses instantly; both backends stay down.
+        let stats = ClusterStats::default();
+        let membership = Membership::connect_all(
+            &["127.0.0.1:1".into(), "127.0.0.1:1".into()],
+            fast_options(),
+            &stats,
+        );
+        assert_eq!(membership.len(), 2);
+        assert_eq!(membership.up_count(), 0);
+        let lines = membership.topology_lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("down"), "{}", lines[0]);
+        assert!(lines[1].starts_with("backend 1 "), "{}", lines[1]);
+        // Sweeping again respects (and eventually passes) the backoff.
+        std::thread::sleep(Duration::from_millis(10));
+        membership.sweep(&stats);
+        assert_eq!(membership.up_count(), 0);
+    }
+
+    #[test]
+    fn route_follows_the_shared_contract() {
+        let stats = ClusterStats::default();
+        let membership = Membership::connect_all(
+            &["a".into(), "b".into(), "c".into()],
+            fast_options(),
+            &stats,
+        );
+        for id in 0..500u32 {
+            assert_eq!(
+                membership.route(SubId(id)).index,
+                route_partition(SubId(id), 3)
+            );
+        }
+    }
+}

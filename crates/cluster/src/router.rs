@@ -1,0 +1,655 @@
+//! The routing front broker.
+//!
+//! Speaks the same newline text protocol as `apcm-server` to clients but
+//! owns no subscriptions itself:
+//!
+//! * `SUB`/`UNSUB`/`CLAIM` are routed to exactly one backend by the
+//!   shared Fibonacci hash (`apcm_server::route_partition`) of the id;
+//! * `PUB`/`BATCH` windows are fanned to every live backend on scoped
+//!   threads, and the returned rows are merged (concatenate, sort,
+//!   deduplicate — ids partition across backends, so duplicates only
+//!   appear if a backend was restored from a stale snapshot);
+//! * a window matched while one or more backends were down is still
+//!   served from the surviving partitions, with the `RESULT` rows flagged
+//!   `partial` and `cluster_degraded` counted;
+//! * `TOPOLOGY` reports the membership table; `STATS` reports router
+//!   counters; everything else (`PING`, `QUIT`, `SNAPSHOT`) behaves as a
+//!   client of a standalone server would expect.
+//!
+//! Threading mirrors the server broker: an accept thread, a reader plus
+//! writer thread per client connection, and a health thread running the
+//! membership sweep. Scatter-gather runs on the publishing connection's
+//! reader thread with one scoped thread per live backend.
+
+use apcm_bexpr::{Event, Schema, SubId};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use apcm_server::client::ConnectOptions;
+use apcm_server::protocol::{self, Request};
+use apcm_server::{read_capped_line, LineOutcome};
+
+use crate::membership::Membership;
+use crate::stats::ClusterStats;
+
+/// Router tuning. The connection-facing knobs mirror `ServerConfig`; the
+/// `connect` policy governs backend dials and the reconnect backoff
+/// schedule reused by the health sweep.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Capacity of each client connection's bounded outbound queue.
+    pub conn_queue: usize,
+    /// Hard cap on one inbound protocol line.
+    pub max_line_bytes: usize,
+    /// Period of the membership sweep (`PING` probes + reconnects).
+    pub health_interval: Duration,
+    /// Backend dial policy; `delay_before_retry` drives reconnect backoff.
+    pub connect: ConnectOptions,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            conn_queue: 1024,
+            max_line_bytes: 1024 * 1024,
+            health_interval: Duration::from_millis(100),
+            connect: ConnectOptions {
+                connect_timeout: Some(Duration::from_secs(1)),
+                read_timeout: Some(Duration::from_secs(10)),
+                attempts: 1,
+                ..ConnectOptions::default()
+            },
+        }
+    }
+}
+
+impl RouterConfig {
+    pub fn validate(&self) -> Result<(), String> {
+        if self.conn_queue == 0 {
+            return Err("conn_queue must be positive".into());
+        }
+        if self.max_line_bytes < 16 {
+            return Err("max_line_bytes must be at least 16".into());
+        }
+        if self.health_interval.is_zero() {
+            return Err("health_interval must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Outbound handle for one client connection.
+struct ConnHandle {
+    out: Sender<String>,
+    stream: TcpStream,
+}
+
+/// State shared by every router thread.
+struct RouterHub {
+    schema: Schema,
+    stats: Arc<ClusterStats>,
+    membership: Arc<Membership>,
+    conns: Mutex<HashMap<u64, ConnHandle>>,
+    /// Which client connection owns (receives `EVENT` notifications for)
+    /// each id. The router synthesizes notifications from merged rows;
+    /// backend-side ownership never reaches clients.
+    owners: RwLock<HashMap<SubId, u64>>,
+}
+
+impl RouterHub {
+    /// Queues `line` on a client's outbound queue; overflow drops the line
+    /// (`replies_dropped`) — a router never disconnects a slow consumer,
+    /// because it cannot replay what the backends already matched.
+    fn push_line(&self, conn_id: u64, line: String) {
+        let conns = self.conns.lock();
+        let Some(handle) = conns.get(&conn_id) else {
+            return;
+        };
+        match handle.out.try_send(line) {
+            Ok(()) => ClusterStats::add(&self.stats.replies_sent, 1),
+            Err(TrySendError::Full(_)) => ClusterStats::add(&self.stats.replies_dropped, 1),
+            Err(TrySendError::Disconnected(_)) => {}
+        }
+    }
+}
+
+/// A running router. Call [`Router::shutdown`] for an orderly stop.
+pub struct Router {
+    hub: Arc<RouterHub>,
+    membership: Arc<Membership>,
+    stats: Arc<ClusterStats>,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    health_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Router {
+    /// Binds `addr` (port 0 for ephemeral), dials every backend once, and
+    /// starts the accept and health threads. The router comes up even if
+    /// every backend is down — churn is refused per-backend and matching
+    /// degrades to partial rows until the sweep reconnects them.
+    pub fn start(
+        schema: Schema,
+        backend_addrs: &[String],
+        config: RouterConfig,
+        addr: &str,
+    ) -> std::io::Result<Router> {
+        config
+            .validate()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        if backend_addrs.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a router needs at least one backend",
+            ));
+        }
+        let stats = Arc::new(ClusterStats::default());
+        let membership = Arc::new(Membership::connect_all(
+            backend_addrs,
+            config.connect.clone(),
+            &stats,
+        ));
+        let hub = Arc::new(RouterHub {
+            schema,
+            stats: stats.clone(),
+            membership: membership.clone(),
+            conns: Mutex::new(HashMap::new()),
+            owners: RwLock::new(HashMap::new()),
+        });
+
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_thread = {
+            let hub = hub.clone();
+            let stats = stats.clone();
+            let shutdown = shutdown.clone();
+            let conn_threads = conn_threads.clone();
+            let conn_queue = config.conn_queue;
+            let max_line_bytes = config.max_line_bytes;
+            std::thread::Builder::new()
+                .name("apcm-route-accept".into())
+                .spawn(move || {
+                    let mut next_conn = 1u64;
+                    while !shutdown.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                let conn_id = next_conn;
+                                next_conn += 1;
+                                ClusterStats::add(&stats.conns_total, 1);
+                                ClusterStats::add(&stats.conns_active, 1);
+                                spawn_connection(
+                                    hub.clone(),
+                                    stream,
+                                    conn_id,
+                                    conn_queue,
+                                    max_line_bytes,
+                                    &conn_threads,
+                                );
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("spawning router accept thread")
+        };
+
+        let health_thread = {
+            let membership = membership.clone();
+            let stats = stats.clone();
+            let shutdown = shutdown.clone();
+            let interval = config.health_interval;
+            std::thread::Builder::new()
+                .name("apcm-route-health".into())
+                .spawn(move || {
+                    let quantum = Duration::from_millis(20).min(interval);
+                    'outer: loop {
+                        let mut waited = Duration::ZERO;
+                        while waited < interval {
+                            if shutdown.load(Ordering::SeqCst) {
+                                break 'outer;
+                            }
+                            std::thread::sleep(quantum);
+                            waited += quantum;
+                        }
+                        membership.sweep(&stats);
+                    }
+                })
+                .expect("spawning router health thread")
+        };
+
+        Ok(Router {
+            hub,
+            membership,
+            stats,
+            addr: local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            health_thread: Some(health_thread),
+            conn_threads,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn stats(&self) -> &ClusterStats {
+        &self.stats
+    }
+
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Graceful stop: join the accept and health threads, close every
+    /// client connection, join the workers, and return the final rendered
+    /// stats plus topology.
+    pub fn shutdown(mut self) -> String {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.health_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        {
+            let conns = self.hub.conns.lock();
+            for handle in conns.values() {
+                let _ = handle.stream.shutdown(Shutdown::Both);
+            }
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conn_threads.lock());
+        for t in handles {
+            let _ = t.join();
+        }
+        let mut out = self
+            .stats
+            .render(self.membership.len(), self.membership.up_count());
+        for line in self.membership.topology_lines() {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn spawn_connection(
+    hub: Arc<RouterHub>,
+    stream: TcpStream,
+    conn_id: u64,
+    conn_queue: usize,
+    max_line_bytes: usize,
+    conn_threads: &Mutex<Vec<JoinHandle<()>>>,
+) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let (out_tx, out_rx) = bounded::<String>(conn_queue);
+
+    let writer = {
+        let stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => {
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        std::thread::Builder::new()
+            .name(format!("apcm-route-{conn_id}-w"))
+            .spawn(move || write_loop(stream, out_rx))
+            .expect("spawning router connection writer")
+    };
+
+    let reader = {
+        let registry_stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => {
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        hub.conns.lock().insert(
+            conn_id,
+            ConnHandle {
+                out: out_tx.clone(),
+                stream: registry_stream,
+            },
+        );
+        std::thread::Builder::new()
+            .name(format!("apcm-route-{conn_id}-r"))
+            .spawn(move || {
+                read_loop(&hub, stream, conn_id, out_tx, max_line_bytes);
+                hub.conns.lock().remove(&conn_id);
+                ClusterStats::sub(&hub.stats.conns_active, 1);
+            })
+            .expect("spawning router connection reader")
+    };
+
+    let mut threads = conn_threads.lock();
+    threads.push(writer);
+    threads.push(reader);
+}
+
+fn write_loop(stream: TcpStream, out_rx: Receiver<String>) {
+    let mut w = BufWriter::new(stream);
+    while let Ok(line) = out_rx.recv() {
+        if w.write_all(line.as_bytes()).is_err() || w.write_all(b"\n").is_err() {
+            return;
+        }
+        if out_rx.is_empty() && w.flush().is_err() {
+            return;
+        }
+    }
+    let _ = w.flush();
+}
+
+/// Forwards one command line to the backend owning `id` and returns the
+/// backend's reply, or a `-ERR backend <i> unavailable` refusal when the
+/// backend is down (or fails mid-request, which also marks it down).
+fn route_command(hub: &RouterHub, id: SubId, line: &str) -> String {
+    let backend = hub.membership.route(id);
+    let mut conn = backend.lock_conn();
+    let reply = match conn.as_mut() {
+        Some(c) => c.request(line),
+        None => Err(std::io::Error::other("down")),
+    };
+    match reply {
+        Ok(reply) => reply,
+        Err(_) => {
+            backend.mark_down_locked(&mut conn, hub.membership.connect_options(), &hub.stats);
+            ClusterStats::add(&hub.stats.protocol_errors, 1);
+            format!("-ERR backend {} unavailable", backend.index)
+        }
+    }
+}
+
+/// Fans `events` to every live backend and merges the per-event rows.
+/// Returns `(rows, partial)`; `partial` is set when any backend was down
+/// or failed, in which case the rows cover the surviving partitions only.
+fn scatter_window(hub: &RouterHub, events: &[Event]) -> (Vec<Vec<SubId>>, bool) {
+    let event_lines: Vec<String> = events
+        .iter()
+        .map(|ev| ev.display(&hub.schema).to_string())
+        .collect();
+    let per_backend: Vec<Option<Vec<Vec<SubId>>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = hub
+            .membership
+            .backends()
+            .iter()
+            .map(|backend| {
+                let event_lines = &event_lines;
+                let stats = &hub.stats;
+                let connect = hub.membership.connect_options();
+                scope.spawn(move || {
+                    let mut conn = backend.lock_conn();
+                    let result = conn.as_mut().map(|c| c.publish_window(event_lines));
+                    match result {
+                        Some(Ok(rows)) => Some(rows),
+                        Some(Err(_)) => {
+                            backend.mark_down_locked(&mut conn, connect, stats);
+                            None
+                        }
+                        None => None,
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let partial = per_backend.iter().any(Option::is_none);
+    let mut merged = vec![Vec::new(); events.len()];
+    for rows in per_backend.into_iter().flatten() {
+        for (slot, mut row) in merged.iter_mut().zip(rows) {
+            if slot.is_empty() {
+                *slot = row;
+            } else {
+                slot.append(&mut row);
+            }
+        }
+    }
+    for row in &mut merged {
+        row.sort_unstable();
+        row.dedup();
+    }
+    (merged, partial)
+}
+
+/// Emits the `RESULT` rows of one window to the publisher and synthesizes
+/// `EVENT` notifications to each matched id's owning client connection.
+fn deliver_window(
+    hub: &RouterHub,
+    conn_id: u64,
+    first_seq: u64,
+    events: &[Event],
+    rows: &[Vec<SubId>],
+    partial: bool,
+) {
+    ClusterStats::add(&hub.stats.windows, 1);
+    if partial {
+        ClusterStats::add(&hub.stats.cluster_degraded, 1);
+    }
+    for (i, (event, row)) in events.iter().zip(rows).enumerate() {
+        ClusterStats::add(&hub.stats.matches, row.len() as u64);
+        hub.push_line(
+            conn_id,
+            protocol::render_result_ext(first_seq + i as u64, row, partial),
+        );
+        for &id in row {
+            let owner = hub.owners.read().get(&id).copied();
+            if let Some(owner) = owner {
+                hub.push_line(
+                    owner,
+                    protocol::render_event_notification(id, event, &hub.schema),
+                );
+            }
+        }
+    }
+}
+
+/// Parses and executes client requests until EOF, error, or QUIT.
+fn read_loop(
+    hub: &RouterHub,
+    stream: TcpStream,
+    conn_id: u64,
+    out: Sender<String>,
+    max_line_bytes: usize,
+) {
+    let stats = &hub.stats;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut next_seq = 0u64;
+    let reply = |text: String| {
+        let _ = out.send(text);
+        ClusterStats::add(&stats.replies_sent, 1);
+    };
+    loop {
+        match read_capped_line(&mut reader, &mut line, max_line_bytes) {
+            Ok(LineOutcome::Line) => {}
+            Ok(LineOutcome::TooLong) => {
+                ClusterStats::add(&stats.oversized_lines, 1);
+                ClusterStats::add(&stats.protocol_errors, 1);
+                reply(format!("-ERR line too long (max {max_line_bytes} bytes)"));
+                continue;
+            }
+            Ok(LineOutcome::Eof) | Err(_) => return,
+        }
+        let request = match protocol::parse_request(&hub.schema, &line) {
+            Ok(Some(req)) => req,
+            Ok(None) => continue,
+            Err(msg) => {
+                ClusterStats::add(&stats.protocol_errors, 1);
+                reply(format!("-ERR {msg}"));
+                continue;
+            }
+        };
+        match request {
+            Request::Sub { id, sub } => {
+                // Re-render canonically; the backend fingerprints the
+                // parsed expression, so takeover semantics survive the
+                // extra parse/render hop.
+                let forwarded = format!("SUB {} {}", id.0, sub.display(&hub.schema));
+                let backend_reply = route_command(hub, id, &forwarded);
+                if backend_reply.starts_with("+OK claimed") {
+                    hub.owners.write().insert(id, conn_id);
+                    ClusterStats::add(&stats.claims_routed, 1);
+                } else if backend_reply.starts_with('+') {
+                    hub.owners.write().insert(id, conn_id);
+                    ClusterStats::add(&stats.subs_routed, 1);
+                }
+                // `-ERR duplicate <id>` passes through verbatim so the
+                // client can drive CLAIM.
+                reply(backend_reply);
+            }
+            Request::Unsub { id } => {
+                let backend_reply = route_command(hub, id, &format!("UNSUB {}", id.0));
+                if backend_reply.starts_with('+') {
+                    hub.owners.write().remove(&id);
+                    ClusterStats::add(&stats.unsubs_routed, 1);
+                }
+                reply(backend_reply);
+            }
+            Request::Claim { id } => {
+                let backend_reply = route_command(hub, id, &format!("CLAIM {}", id.0));
+                if backend_reply.starts_with('+') {
+                    hub.owners.write().insert(id, conn_id);
+                    ClusterStats::add(&stats.claims_routed, 1);
+                }
+                reply(backend_reply);
+            }
+            Request::Pub { event } => {
+                let seq = next_seq;
+                next_seq += 1;
+                ClusterStats::add(&stats.events_in, 1);
+                reply(format!("+OK {seq}"));
+                let events = [event];
+                let (rows, partial) = scatter_window(hub, &events);
+                deliver_window(hub, conn_id, seq, &events, &rows, partial);
+            }
+            Request::Batch { count } => {
+                let first = next_seq;
+                let mut events = Vec::with_capacity(count);
+                for i in 0..count {
+                    match read_capped_line(&mut reader, &mut line, max_line_bytes) {
+                        Ok(LineOutcome::Line) => {}
+                        Ok(LineOutcome::TooLong) => {
+                            ClusterStats::add(&stats.oversized_lines, 1);
+                            ClusterStats::add(&stats.protocol_errors, 1);
+                            reply(format!("-ERR batch line {i}: line too long"));
+                            continue;
+                        }
+                        Ok(LineOutcome::Eof) | Err(_) => return,
+                    }
+                    match apcm_bexpr::parser::parse_event(&hub.schema, line.trim()) {
+                        Ok(event) => {
+                            next_seq += 1;
+                            ClusterStats::add(&stats.events_in, 1);
+                            events.push(event);
+                        }
+                        Err(e) => {
+                            ClusterStats::add(&stats.protocol_errors, 1);
+                            reply(format!("-ERR batch line {i}: bad event: {e}"));
+                        }
+                    }
+                }
+                reply(format!("+OK batch {first} {}", events.len()));
+                if !events.is_empty() {
+                    let (rows, partial) = scatter_window(hub, &events);
+                    deliver_window(hub, conn_id, first, &events, &rows, partial);
+                }
+            }
+            Request::Stats => {
+                let body = stats.render(hub.membership.len(), hub.membership.up_count());
+                reply(format!("+OK stats\n{body}."));
+            }
+            Request::Snapshot => {
+                // Fan the snapshot request to every live backend.
+                let mut ok = 0usize;
+                for backend in hub.membership.backends() {
+                    let mut conn = backend.lock_conn();
+                    match conn.as_mut().map(|c| c.request("SNAPSHOT")) {
+                        Some(Ok(r)) if r.starts_with('+') => ok += 1,
+                        Some(Ok(_)) | None => {}
+                        Some(Err(_)) => backend.mark_down_locked(
+                            &mut conn,
+                            hub.membership.connect_options(),
+                            stats,
+                        ),
+                    }
+                }
+                reply(format!(
+                    "+OK snapshot {ok} of {} backends",
+                    hub.membership.len()
+                ));
+            }
+            Request::Topology => {
+                // One queued string so async lines cannot interleave.
+                let mut body = format!("+OK topology {}\n", hub.membership.len());
+                for line in hub.membership.topology_lines() {
+                    body.push_str(&line);
+                    body.push('\n');
+                }
+                body.push('.');
+                reply(body);
+            }
+            Request::Ping => reply("+PONG".into()),
+            Request::Quit => {
+                reply("+OK bye".into());
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        RouterConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn config_rejects_bad_knobs() {
+        for config in [
+            RouterConfig {
+                conn_queue: 0,
+                ..RouterConfig::default()
+            },
+            RouterConfig {
+                max_line_bytes: 4,
+                ..RouterConfig::default()
+            },
+            RouterConfig {
+                health_interval: Duration::ZERO,
+                ..RouterConfig::default()
+            },
+        ] {
+            assert!(config.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn start_requires_backends() {
+        let schema = Schema::uniform(2, 8);
+        assert!(Router::start(schema, &[], RouterConfig::default(), "127.0.0.1:0").is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Router-side counters and the `STATS` snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters shared by every router thread. All relaxed: monitoring data,
+/// not synchronization. Mirrors the spirit of `apcm_server::ServerStats`
+/// but counts routing work, not matching work — the backends keep their
+/// own engine counters.
+#[derive(Default)]
+pub struct ClusterStats {
+    /// Client connections accepted over the router's lifetime.
+    pub conns_total: AtomicU64,
+    /// Currently open client connections.
+    pub conns_active: AtomicU64,
+    /// `SUB` commands successfully routed to a backend.
+    pub subs_routed: AtomicU64,
+    /// `UNSUB` commands successfully routed to a backend.
+    pub unsubs_routed: AtomicU64,
+    /// Ownership reclaims routed (`CLAIM`, or a `SUB` the backend answered
+    /// `+OK claimed`).
+    pub claims_routed: AtomicU64,
+    /// Events accepted for fan-out.
+    pub events_in: AtomicU64,
+    /// Scatter-gather windows executed.
+    pub windows: AtomicU64,
+    /// Total (event, subscription) match pairs in merged rows.
+    pub matches: AtomicU64,
+    /// Windows served with one or more backends unreachable — the merged
+    /// rows were flagged `partial`.
+    pub cluster_degraded: AtomicU64,
+    /// Backend requests that failed with an I/O error (each one marks the
+    /// backend down until the health sweep reconnects it).
+    pub backend_errors: AtomicU64,
+    /// Successful backend reconnects by the health sweep.
+    pub backend_reconnects: AtomicU64,
+    /// Lines delivered to client connections.
+    pub replies_sent: AtomicU64,
+    /// Lines dropped because a client's outbound queue was full.
+    pub replies_dropped: AtomicU64,
+    /// Protocol errors returned to clients (including `-ERR backend ...
+    /// unavailable` refusals for churn routed at a down backend).
+    pub protocol_errors: AtomicU64,
+    /// Lines rejected for exceeding the router's `max_line_bytes`.
+    pub oversized_lines: AtomicU64,
+}
+
+impl ClusterStats {
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn sub(counter: &AtomicU64, n: u64) {
+        counter.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Renders the `STATS` body: `key value` lines, one per metric, plus
+    /// the membership gauges passed in by the router.
+    pub fn render(&self, backends: usize, backends_up: usize) -> String {
+        let mut out = String::new();
+        let mut push = |key: &str, value: u64| {
+            out.push_str(key);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        };
+        push("conns_total", Self::get(&self.conns_total));
+        push("conns_active", Self::get(&self.conns_active));
+        push("subs_routed", Self::get(&self.subs_routed));
+        push("unsubs_routed", Self::get(&self.unsubs_routed));
+        push("claims_routed", Self::get(&self.claims_routed));
+        push("events_in", Self::get(&self.events_in));
+        push("windows", Self::get(&self.windows));
+        push("matches", Self::get(&self.matches));
+        push("cluster_degraded", Self::get(&self.cluster_degraded));
+        push("backend_errors", Self::get(&self.backend_errors));
+        push("backend_reconnects", Self::get(&self.backend_reconnects));
+        push("replies_sent", Self::get(&self.replies_sent));
+        push("replies_dropped", Self::get(&self.replies_dropped));
+        push("protocol_errors", Self::get(&self.protocol_errors));
+        push("oversized_lines", Self::get(&self.oversized_lines));
+        push("backends", backends as u64);
+        push("backends_up", backends_up as u64);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_membership_gauges() {
+        let stats = ClusterStats::default();
+        ClusterStats::add(&stats.windows, 3);
+        ClusterStats::add(&stats.cluster_degraded, 1);
+        let text = stats.render(3, 2);
+        assert!(text.contains("windows 3\n"));
+        assert!(text.contains("cluster_degraded 1\n"));
+        assert!(text.contains("backends 3\n"));
+        assert!(text.contains("backends_up 2\n"));
+        assert!(text.contains("claims_routed 0\n"));
+    }
+}

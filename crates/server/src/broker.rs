@@ -25,10 +25,11 @@
 //! unboundedly. Connections silent for longer than `idle_timeout` are
 //! reaped by the maintenance sweep.
 
-use apcm_bexpr::{Schema, SubId};
+use apcm_bexpr::{Schema, SubId, Subscription};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -52,6 +53,17 @@ struct ConnHandle {
     activity: Arc<AtomicU64>,
 }
 
+/// Compact fingerprint of a subscription's expression, used to decide
+/// whether a duplicate `SUB` is a reconnect offering the byte-identical
+/// expression (ownership takeover) or a genuinely conflicting id. The
+/// parser normalizes predicate order, so two byte-identical protocol lines
+/// always fingerprint equal.
+fn sub_fingerprint(sub: &Subscription) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    sub.hash(&mut h);
+    h.finish()
+}
+
 /// State shared by every thread: the registry of live connections and
 /// subscription ownership, plus delivery policy. Doubles as the ingest
 /// pipeline's [`ResultSink`].
@@ -62,6 +74,10 @@ struct Hub {
     conns: Mutex<HashMap<u64, ConnHandle>>,
     /// Which connection owns (receives `EVENT` notifications for) each id.
     owners: RwLock<HashMap<SubId, u64>>,
+    /// Fingerprint of every live subscription's expression (seeded from
+    /// recovery, maintained by SUB/UNSUB). Backs `CLAIM` liveness checks
+    /// and identical-expression takeover without cloning expressions.
+    live: RwLock<HashMap<SubId, u64>>,
 }
 
 impl Hub {
@@ -144,7 +160,7 @@ struct ConnCtx {
 }
 
 /// Outcome of one capped line read.
-enum LineOutcome {
+pub enum LineOutcome {
     /// A complete line (newline stripped) is in the caller's buffer.
     Line,
     /// The line exceeded the cap; it was discarded through its newline.
@@ -157,7 +173,10 @@ enum LineOutcome {
 /// discarded until its newline and `TooLong` is returned. Works on
 /// `fill_buf`/`consume` so no input byte is ever lost or double-read. A
 /// final unterminated line at EOF is returned as a normal line.
-fn read_capped_line(
+///
+/// Public so the cluster router (`apcm-cluster`) applies the same inbound
+/// hardening to its client connections.
+pub fn read_capped_line(
     reader: &mut impl BufRead,
     line: &mut String,
     max: usize,
@@ -240,6 +259,7 @@ impl Server {
             })?);
         let stats = Arc::new(ServerStats::default());
 
+        let mut recovered_live: HashMap<SubId, u64> = HashMap::new();
         let persist = match &config.persist {
             Some(pconfig) => {
                 let (persister, restored) =
@@ -247,6 +267,13 @@ impl Server {
                 engine.bulk_restore(&restored).map_err(|e| {
                     std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
                 })?;
+                // Recovered subscriptions have no owning connection yet;
+                // seeding their fingerprints is what lets a reconnecting
+                // client CLAIM them (or re-SUB the identical expression).
+                recovered_live = restored
+                    .iter()
+                    .map(|sub| (sub.id(), sub_fingerprint(sub)))
+                    .collect();
                 Some(Arc::new(persister))
             }
             None => None,
@@ -258,6 +285,7 @@ impl Server {
             policy: config.slow_consumer,
             conns: Mutex::new(HashMap::new()),
             owners: RwLock::new(HashMap::new()),
+            live: RwLock::new(recovered_live),
         });
         let pipeline = IngestPipeline::start(engine.clone(), stats.clone(), hub.clone(), &config);
 
@@ -565,12 +593,25 @@ fn read_loop(
                 match outcome {
                     Ok(true) => {
                         ctx.hub.owners.write().insert(id, conn_id);
+                        ctx.hub.live.write().insert(id, sub_fingerprint(&sub));
                         ServerStats::add(&stats.subs_added, 1);
                         reply(format!("+OK {}", id.0));
                     }
                     Ok(false) => {
-                        ServerStats::add(&stats.protocol_errors, 1);
-                        reply(format!("-ERR duplicate subscription {}", id.0));
+                        // Duplicate id. A byte-identical expression is a
+                        // reconnect reclaiming its subscription: transfer
+                        // ownership, no engine or durable churn. Anything
+                        // else is the structured duplicate error.
+                        let identical =
+                            ctx.hub.live.read().get(&id).copied() == Some(sub_fingerprint(&sub));
+                        if identical {
+                            ctx.hub.owners.write().insert(id, conn_id);
+                            ServerStats::add(&stats.subs_reclaimed, 1);
+                            reply(format!("+OK claimed {}", id.0));
+                        } else {
+                            ServerStats::add(&stats.protocol_errors, 1);
+                            reply(protocol::render_duplicate_error(id));
+                        }
                     }
                     Err(e @ ChurnError::Engine(_)) => {
                         ServerStats::add(&stats.protocol_errors, 1);
@@ -591,6 +632,7 @@ fn read_loop(
                 match outcome {
                     Ok(true) => {
                         ctx.hub.owners.write().remove(&id);
+                        ctx.hub.live.write().remove(&id);
                         ServerStats::add(&stats.subs_removed, 1);
                         reply(format!("+OK {}", id.0));
                     }
@@ -599,6 +641,19 @@ fn read_loop(
                         reply(format!("-ERR unknown subscription {}", id.0));
                     }
                     Err(e) => reply(format!("-ERR {e}")),
+                }
+            }
+            Request::Claim { id } => {
+                // Ownership transfer for a live id: the reclaim path after
+                // a broker restart (recovered subscriptions have no owning
+                // connection until someone claims them).
+                if ctx.hub.live.read().contains_key(&id) {
+                    ctx.hub.owners.write().insert(id, conn_id);
+                    ServerStats::add(&stats.subs_reclaimed, 1);
+                    reply(format!("+OK claimed {}", id.0));
+                } else {
+                    ServerStats::add(&stats.protocol_errors, 1);
+                    reply(format!("-ERR unknown subscription {}", id.0));
                 }
             }
             Request::Pub { event } => {
@@ -684,6 +739,11 @@ fn read_loop(
                     reply("-ERR persistence disabled".into());
                 }
             },
+            Request::Topology => {
+                // A standalone server is its own (only) partition; the
+                // multi-line backend report is the cluster router's.
+                reply("+OK topology standalone".into());
+            }
             Request::Ping => reply("+PONG".into()),
             Request::Quit => {
                 reply("+OK bye".into());

@@ -46,7 +46,11 @@ impl ConnectOptions {
     /// Jittered delay before attempt `attempt` (1-based count of failures
     /// so far): `backoff * 2^(attempt-1)`, clamped, then scaled by a
     /// deterministic factor in `[0.5, 1.5)` from an xorshift of the seed.
-    fn delay_before_retry(&self, attempt: u32) -> Duration {
+    ///
+    /// Public so long-lived reconnect loops (the cluster router's
+    /// membership sweep) can reuse the same jittered schedule across
+    /// sweeps instead of burning all attempts in one call.
+    pub fn delay_before_retry(&self, attempt: u32) -> Duration {
         let base = self
             .backoff
             .saturating_mul(1u32 << (attempt - 1).min(16))
@@ -178,6 +182,41 @@ impl BrokerClient {
         self.expect_ok("UNSUB").map(|_| ())
     }
 
+    /// `CLAIM id`: take over ownership (notifications) of a live id.
+    pub fn claim(&mut self, id: SubId) -> std::io::Result<()> {
+        self.send_line(&format!("CLAIM {}", id.0))?;
+        self.expect_ok("CLAIM").map(|_| ())
+    }
+
+    /// `SUB` that drives `CLAIM` automatically: a structured
+    /// `-ERR duplicate <id>` answer (live id, different expression) is
+    /// followed up with `CLAIM <id>`. Returns `true` when ownership was
+    /// reclaimed (either the server's identical-expression takeover or the
+    /// explicit claim), `false` for a plain new subscription.
+    pub fn subscribe_or_claim(
+        &mut self,
+        sub: &Subscription,
+        schema: &Schema,
+    ) -> std::io::Result<bool> {
+        self.send_line(&format!("SUB {} {}", sub.id().0, sub.display(schema)))?;
+        loop {
+            let line = self.read_line()?.ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "SUB".to_string())
+            })?;
+            if line.starts_with("RESULT ") || line.starts_with("EVENT ") {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('+') {
+                return Ok(rest.starts_with("OK claimed"));
+            }
+            if let Some(id) = protocol::parse_duplicate_error(&line) {
+                self.claim(id)?;
+                return Ok(true);
+            }
+            return Err(std::io::Error::other(format!("SUB: {line}")));
+        }
+    }
+
     pub fn ping(&mut self) -> std::io::Result<()> {
         self.send_line("PING")?;
         self.expect_ok("PING").map(|_| ())
@@ -190,6 +229,22 @@ impl BrokerClient {
         events: &[Event],
         schema: &Schema,
     ) -> std::io::Result<BTreeMap<u64, Vec<SubId>>> {
+        Ok(self
+            .publish_batch_flagged(events, schema)?
+            .into_iter()
+            .map(|(seq, (ids, _partial))| (seq, ids))
+            .collect())
+    }
+
+    /// Like [`Self::publish_batch`], but each row carries the router's
+    /// partial-result flag (`true` when one or more cluster backends were
+    /// unreachable for that window; always `false` from a standalone
+    /// server).
+    pub fn publish_batch_flagged(
+        &mut self,
+        events: &[Event],
+        schema: &Schema,
+    ) -> std::io::Result<BTreeMap<u64, (Vec<SubId>, bool)>> {
         self.send_line(&format!("BATCH {}", events.len()))?;
         for ev in events {
             self.send_line(&ev.display(schema).to_string())?;
@@ -201,9 +256,9 @@ impl BrokerClient {
                 .read_line()?
                 .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "BATCH"))?;
             if let Some(rest) = line.strip_prefix("RESULT ") {
-                let (seq, ids) = protocol::parse_result(&format!("RESULT {rest}"))
+                let (seq, ids, partial) = protocol::parse_result_ext(&format!("RESULT {rest}"))
                     .map_err(std::io::Error::other)?;
-                results.insert(seq, ids);
+                results.insert(seq, (ids, partial));
             } else if line.starts_with("+OK batch ") {
                 acked = true;
             } else if line.starts_with("-ERR") {
@@ -244,6 +299,30 @@ impl BrokerClient {
     pub fn snapshot(&mut self) -> std::io::Result<String> {
         self.send_line("SNAPSHOT")?;
         self.expect_ok("SNAPSHOT")
+    }
+
+    /// `TOPOLOGY`: the cluster membership report. Returns one line per
+    /// backend (`backend <i> <addr> <up|down> ...`); empty from a
+    /// standalone server (which answers `+OK topology standalone`).
+    pub fn topology(&mut self) -> std::io::Result<Vec<String>> {
+        self.send_line("TOPOLOGY")?;
+        let header = self.expect_ok("TOPOLOGY")?;
+        if header.contains("standalone") {
+            return Ok(Vec::new());
+        }
+        let mut lines = Vec::new();
+        loop {
+            let line = self.read_line()?.ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "TOPOLOGY body")
+            })?;
+            if line == "." {
+                return Ok(lines);
+            }
+            if line.starts_with("RESULT ") || line.starts_with("EVENT ") {
+                continue;
+            }
+            lines.push(line);
+        }
     }
 
     /// `QUIT` and wait for the goodbye (best-effort).

@@ -27,11 +27,11 @@ pub mod protocol;
 pub mod shard;
 pub mod stats;
 
-pub use broker::Server;
+pub use broker::{read_capped_line, LineOutcome, Server};
 pub use client::{BrokerClient, ConnectOptions};
 pub use config::{EngineChoice, FsyncPolicy, PersistConfig, ServerConfig, SlowConsumerPolicy};
 pub use engine::ShardEngine;
 pub use ingest::{IngestItem, IngestPipeline, ResultSink};
 pub use persist::{Persister, RecoveryReport};
-pub use shard::ShardedEngine;
+pub use shard::{route_partition, ShardedEngine};
 pub use stats::ServerStats;

@@ -6,10 +6,13 @@
 //! ```text
 //! SUB <id> <expr>      subscribe, e.g. SUB 7 a0 = 3 AND a1 >= 5
 //! UNSUB <id>           unsubscribe
+//! CLAIM <id>           take over ownership (notifications) of a live id
 //! PUB <event>          publish one event, e.g. PUB a0 = 3, a1 = 9
 //! BATCH <n>            the next n lines are events, published as one batch
 //! STATS                server counters
 //! SNAPSHOT             force a durable snapshot + log rotation now
+//! TOPOLOGY             cluster membership report (routers; servers answer
+//!                      `+OK topology standalone`)
 //! PING                 liveness probe
 //! QUIT                 close this connection
 //! ```
@@ -18,11 +21,21 @@
 //! lines pushed by the matcher:
 //!
 //! ```text
-//! RESULT <seq> <n> [id,id,...]   match row for the publisher's event <seq>
+//! RESULT <seq> <n> [id,id,...] [partial]   match row for event <seq>
 //! EVENT <id> <event>             notification to the subscriber owning <id>
 //! ```
 //!
+//! The trailing `partial` token is emitted only by the cluster router, when
+//! one or more backends were unreachable while the window was matched — the
+//! row covers the surviving partitions only.
+//!
 //! `STATS` replies with `+OK stats`, `key value` lines, then `.` alone.
+//!
+//! A `SUB` whose id is already live answers the *structured* error
+//! `-ERR duplicate <id>` (see [`render_duplicate_error`]) so routers and
+//! clients can drive `CLAIM` automatically — unless the offered expression
+//! is byte-identical to the live one, in which case the server treats it as
+//! a claim and transfers ownership (`+OK claimed <id>`).
 
 use apcm_bexpr::{parser, BexprError, Event, Schema, SubId, Subscription};
 
@@ -36,6 +49,11 @@ pub enum Request {
     Unsub {
         id: SubId,
     },
+    /// Take over ownership of a live subscription (notifications resume on
+    /// this connection). The reclaim path after a broker restart.
+    Claim {
+        id: SubId,
+    },
     Pub {
         event: Event,
     },
@@ -45,6 +63,8 @@ pub enum Request {
     Stats,
     /// Force a snapshot + log rotation now (requires persistence).
     Snapshot,
+    /// Cluster membership/health report (meaningful on a router).
+    Topology,
     Ping,
     Quit,
 }
@@ -77,6 +97,14 @@ pub fn parse_request(schema: &Schema, line: &str) -> Result<Option<Request>, Str
                 id: parse_id(rest)?,
             }
         }
+        "CLAIM" => {
+            if rest.is_empty() {
+                return Err("usage: CLAIM <id>".into());
+            }
+            Request::Claim {
+                id: parse_id(rest)?,
+            }
+        }
         "PUB" => {
             if rest.is_empty() {
                 return Err("usage: PUB <event>".into());
@@ -95,6 +123,7 @@ pub fn parse_request(schema: &Schema, line: &str) -> Result<Option<Request>, Str
         }
         "STATS" => Request::Stats,
         "SNAPSHOT" => Request::Snapshot,
+        "TOPOLOGY" => Request::Topology,
         "PING" => Request::Ping,
         "QUIT" => Request::Quit,
         other => return Err(format!("unknown verb `{other}`")),
@@ -115,6 +144,12 @@ fn bexpr_msg(what: &str, err: &BexprError) -> String {
 
 /// Renders a `RESULT` line for event `seq` of a publish.
 pub fn render_result(seq: u64, ids: &[SubId]) -> String {
+    render_result_ext(seq, ids, false)
+}
+
+/// Renders a `RESULT` line, optionally flagged `partial` (cluster router:
+/// one or more backends were unreachable for this window).
+pub fn render_result_ext(seq: u64, ids: &[SubId], partial: bool) -> String {
     let mut out = format!("RESULT {seq} {}", ids.len());
     if !ids.is_empty() {
         out.push(' ');
@@ -125,12 +160,21 @@ pub fn render_result(seq: u64, ids: &[SubId]) -> String {
             out.push_str(&id.0.to_string());
         }
     }
+    if partial {
+        out.push_str(" partial");
+    }
     out
 }
 
 /// Parses a `RESULT` line back into `(seq, ids)` — used by the bundled
-/// client and tests.
+/// client and tests. Tolerates (and discards) a `partial` flag; use
+/// [`parse_result_ext`] to observe it.
 pub fn parse_result(line: &str) -> Result<(u64, Vec<SubId>), String> {
+    parse_result_ext(line).map(|(seq, ids, _)| (seq, ids))
+}
+
+/// Parses a `RESULT` line into `(seq, ids, partial)`.
+pub fn parse_result_ext(line: &str) -> Result<(u64, Vec<SubId>, bool), String> {
     let rest = line
         .strip_prefix("RESULT ")
         .ok_or_else(|| format!("not a RESULT line: `{line}`"))?;
@@ -143,8 +187,13 @@ pub fn parse_result(line: &str) -> Result<(u64, Vec<SubId>), String> {
         .next()
         .and_then(|t| t.parse().ok())
         .ok_or("RESULT missing count")?;
+    let mut partial = false;
     let ids = match parts.next() {
         None if count == 0 => Vec::new(),
+        Some("partial") if count == 0 => {
+            partial = true;
+            Vec::new()
+        }
         Some(csv) => csv
             .split(',')
             .map(|t| t.parse::<u32>().map(SubId))
@@ -152,10 +201,28 @@ pub fn parse_result(line: &str) -> Result<(u64, Vec<SubId>), String> {
             .map_err(|e| format!("bad RESULT ids: {e}"))?,
         None => return Err("RESULT ids missing".into()),
     };
+    match parts.next() {
+        None => {}
+        Some("partial") if !partial => partial = true,
+        Some(extra) => return Err(format!("unexpected RESULT token `{extra}`")),
+    }
     if ids.len() != count {
         return Err(format!("RESULT count {count} != {} ids", ids.len()));
     }
-    Ok((seq, ids))
+    Ok((seq, ids, partial))
+}
+
+/// The structured duplicate-subscription error: `-ERR duplicate <id>`.
+/// Routers and clients match on this exact shape to drive `CLAIM`.
+pub fn render_duplicate_error(id: SubId) -> String {
+    format!("-ERR duplicate {}", id.0)
+}
+
+/// Recognizes [`render_duplicate_error`] output, returning the id.
+pub fn parse_duplicate_error(line: &str) -> Option<SubId> {
+    line.strip_prefix("-ERR duplicate ")
+        .and_then(|rest| rest.trim().parse::<u32>().ok())
+        .map(SubId)
 }
 
 /// Renders an `EVENT` notification for a subscriber.
@@ -207,6 +274,14 @@ mod tests {
             Request::Snapshot
         );
         assert_eq!(
+            parse_request(&schema, "CLAIM 12").unwrap().unwrap(),
+            Request::Claim { id: SubId(12) }
+        );
+        assert_eq!(
+            parse_request(&schema, "topology").unwrap().unwrap(),
+            Request::Topology
+        );
+        assert_eq!(
             parse_request(&schema, "PING").unwrap().unwrap(),
             Request::Ping
         );
@@ -232,6 +307,8 @@ mod tests {
             "SUB 1 a9 = 1",
             "UNSUB",
             "UNSUB x",
+            "CLAIM",
+            "CLAIM x",
             "PUB",
             "PUB nonsense",
             "BATCH",
@@ -253,6 +330,33 @@ mod tests {
         let empty = render_result(7, &[]);
         assert_eq!(empty, "RESULT 7 0");
         assert_eq!(parse_result(&empty).unwrap(), (7, Vec::new()));
+    }
+
+    #[test]
+    fn partial_results_round_trip() {
+        let ids = vec![SubId(2), SubId(8)];
+        let line = render_result_ext(5, &ids, true);
+        assert_eq!(line, "RESULT 5 2 2,8 partial");
+        assert_eq!(parse_result_ext(&line).unwrap(), (5, ids.clone(), true));
+        // The legacy parser tolerates the flag.
+        assert_eq!(parse_result(&line).unwrap(), (5, ids));
+
+        let empty = render_result_ext(9, &[], true);
+        assert_eq!(empty, "RESULT 9 0 partial");
+        assert_eq!(parse_result_ext(&empty).unwrap(), (9, Vec::new(), true));
+
+        let full = render_result_ext(3, &[SubId(1)], false);
+        assert_eq!(parse_result_ext(&full).unwrap(), (3, vec![SubId(1)], false));
+        assert!(parse_result_ext("RESULT 1 1 4 bogus").is_err());
+    }
+
+    #[test]
+    fn duplicate_error_round_trips() {
+        let line = render_duplicate_error(SubId(77));
+        assert_eq!(line, "-ERR duplicate 77");
+        assert_eq!(parse_duplicate_error(&line), Some(SubId(77)));
+        assert_eq!(parse_duplicate_error("-ERR duplicate subscription 7"), None);
+        assert_eq!(parse_duplicate_error("-ERR unknown subscription 7"), None);
     }
 
     #[test]

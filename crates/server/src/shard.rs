@@ -7,6 +7,21 @@ use apcm_core::MaintenanceReport;
 use crate::config::ServerConfig;
 use crate::engine::{build_engine, ShardEngine};
 
+/// Stable Fibonacci-hash partition of a subscription id over `n` slots.
+///
+/// This is the single routing contract shared by the in-process
+/// [`ShardedEngine`] and the multi-node cluster router (`apcm-cluster`):
+/// both tiers MUST send a given id to the same partition index, otherwise
+/// a router would churn one backend while the id lives on another. Any
+/// change here is a wire-visible resharding of every deployed cluster —
+/// treat it as a protocol break (see the pin test below and in
+/// `apcm-cluster`).
+pub fn route_partition(id: SubId, n: usize) -> usize {
+    debug_assert!(n > 0, "cannot route over zero partitions");
+    let h = (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+    (h % n as u64) as usize
+}
+
 /// A fleet of per-shard engines behind a single dynamic-matching facade.
 ///
 /// Subscriptions are routed to a shard by a Fibonacci hash of their id, so
@@ -33,10 +48,9 @@ impl ShardedEngine {
         self.shards[0].name()
     }
 
-    /// Stable shard index for a subscription id.
+    /// Stable shard index for a subscription id (see [`route_partition`]).
     pub fn shard_of(&self, id: SubId) -> usize {
-        let h = (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
-        (h % self.shards.len() as u64) as usize
+        route_partition(id, self.shards.len())
     }
 
     /// Routes to the owning shard. `Ok(false)` if the id is already live.
@@ -178,6 +192,30 @@ mod tests {
         };
         let sharded = ShardedEngine::new(&schema, &config).unwrap();
         (schema, sharded)
+    }
+
+    /// Pins the routing contract to literal values: a change to
+    /// [`route_partition`] breaks this test before it silently resharded
+    /// every cluster. The same pins are asserted from `apcm-cluster`.
+    #[test]
+    fn route_partition_is_pinned() {
+        let ids = [0u32, 1, 2, 3, 7, 42, 1000, 123_456_789];
+        let expect3 = [0, 0, 2, 0, 2, 1, 2, 2];
+        let expect4 = [0, 1, 2, 0, 2, 2, 1, 0];
+        let expect8 = [0, 1, 2, 4, 2, 6, 1, 4];
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(route_partition(SubId(id), 3), expect3[i], "id {id} n=3");
+            assert_eq!(route_partition(SubId(id), 4), expect4[i], "id {id} n=4");
+            assert_eq!(route_partition(SubId(id), 8), expect8[i], "id {id} n=8");
+        }
+    }
+
+    #[test]
+    fn shard_of_equals_route_partition() {
+        let (_, engine) = setup(5, EngineChoice::Scan);
+        for id in 0..2000 {
+            assert_eq!(engine.shard_of(SubId(id)), route_partition(SubId(id), 5));
+        }
     }
 
     #[test]

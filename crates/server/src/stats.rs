@@ -76,6 +76,9 @@ pub struct ServerStats {
     pub subs_added: AtomicU64,
     /// Successful UNSUB commands.
     pub subs_removed: AtomicU64,
+    /// Ownership reclaims: `CLAIM` commands plus `SUB`s whose expression
+    /// was byte-identical to the live subscription (takeover).
+    pub subs_reclaimed: AtomicU64,
     /// Protocol errors returned to clients.
     pub protocol_errors: AtomicU64,
     /// Lines rejected (and discarded) for exceeding `max_line_bytes`.
@@ -163,6 +166,7 @@ impl ServerStats {
         push("conns_active", Self::get(&self.conns_active));
         push("subs_added", Self::get(&self.subs_added));
         push("subs_removed", Self::get(&self.subs_removed));
+        push("subs_reclaimed", Self::get(&self.subs_reclaimed));
         push("protocol_errors", Self::get(&self.protocol_errors));
         push("oversized_lines", Self::get(&self.oversized_lines));
         push("idle_reaped", Self::get(&self.idle_reaped));
@@ -251,6 +255,7 @@ mod tests {
         assert!(text.contains("recovered_subs 0\n"));
         assert!(text.contains("idle_reaped 0\n"));
         assert!(text.contains("oversized_lines 0\n"));
+        assert!(text.contains("subs_reclaimed 0\n"));
         assert!(!text.contains("kernel_probes"));
 
         let text = stats.render(&[3, 4], 2, Some((10, 4, 6)));

@@ -119,8 +119,29 @@ fn live_churn_and_error_replies() {
     for sub in &wl.subs[..40] {
         client.subscribe(sub, &wl.schema).unwrap();
     }
-    // Duplicate subscribe and unknown unsubscribe produce structured errors.
-    assert!(client.subscribe(&wl.subs[0], &wl.schema).is_err());
+    // Re-subscribing the byte-identical expression is an ownership
+    // takeover (+OK claimed), not an error; a *different* expression for a
+    // live id gets the structured duplicate error, and unknown
+    // unsubscribes stay structured errors too.
+    client
+        .send_line(&format!(
+            "SUB {} {}",
+            wl.subs[0].id().0,
+            wl.subs[0].display(&wl.schema)
+        ))
+        .unwrap();
+    let line = client.read_line().unwrap().unwrap();
+    assert_eq!(line, format!("+OK claimed {}", wl.subs[0].id().0), "{line}");
+    client
+        .send_line(&format!("SUB {} a0 >= 0", wl.subs[0].id().0))
+        .unwrap();
+    let line = client.read_line().unwrap().unwrap();
+    assert_eq!(line, format!("-ERR duplicate {}", wl.subs[0].id().0));
+    // CLAIM works for live ids and errors for unknown ones.
+    client.claim(wl.subs[1].id()).unwrap();
+    client.send_line("CLAIM 9999").unwrap();
+    let line = client.read_line().unwrap().unwrap();
+    assert!(line.starts_with("-ERR unknown subscription"), "{line}");
     client.send_line("UNSUB 9999").unwrap();
     let line = client.read_line().unwrap().unwrap();
     assert!(line.starts_with("-ERR unknown subscription"), "{line}");

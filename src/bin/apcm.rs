@@ -7,11 +7,13 @@
 //! apcm match --trace trace.txt --engine scan --limit 100
 //! apcm stats --trace trace.txt
 //! apcm serve --addr 127.0.0.1:7401 --shards 4 --engine apcm
+//! apcm route --addr 127.0.0.1:7400 --backends 127.0.0.1:7401,127.0.0.1:7402
 //! apcm client --addr 127.0.0.1:7401
 //! ```
 
 use apcm::baselines::{CountingMatcher, KIndex, ParallelScan, SequentialScan};
 use apcm::betree::{BeTree, HybridPcmTree};
+use apcm::cluster::{Router, RouterConfig};
 use apcm::core::{ApcmConfig, ApcmMatcher, PcmMatcher};
 use apcm::prelude::*;
 use apcm::server::client::{connect_stream, ConnectOptions};
@@ -42,6 +44,7 @@ fn main() -> ExitCode {
         "match" => cmd_match(&flags),
         "stats" => cmd_stats(&flags),
         "serve" => cmd_serve(&flags),
+        "route" => cmd_route(&flags),
         "client" => cmd_client(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -70,6 +73,9 @@ usage:
              [--flush-ms N] [--maintenance-ms N] [--slow-consumer drop|disconnect]
              [--persist-dir DIR] [--fsync always|interval|never] [--snapshot-secs N]
              [--rotate-bytes N] [--idle-timeout-ms N] [--max-line-bytes N]
+  apcm route --backends HOST:PORT,HOST:PORT,... [--addr HOST:PORT] [--dims N]
+             [--cardinality N] [--health-ms N] [--connect-timeout-ms N]
+             [--read-timeout-ms N] [--queue N] [--max-line-bytes N]
   apcm client [--addr HOST:PORT] [--connect-timeout-ms N] [--retries N]
              (reads protocol lines from stdin)";
 
@@ -266,6 +272,60 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     println!("shutting down...");
     print!("{}", server.shutdown());
+    Ok(())
+}
+
+/// The cluster front: routes churn by id hash, fans publishes to every
+/// live backend, and merges rows. Backends are `apcm serve` instances
+/// sharing this router's `--dims`/`--cardinality` schema.
+fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
+    let backends: Vec<String> = flags
+        .get("backends")
+        .ok_or("--backends HOST:PORT,... is required")?
+        .split(',')
+        .map(|a| a.trim().to_string())
+        .filter(|a| !a.is_empty())
+        .collect();
+    if backends.is_empty() {
+        return Err("--backends must name at least one backend".into());
+    }
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7400".to_string());
+    let schema = Schema::uniform(get(flags, "dims", 20)?, get(flags, "cardinality", 1000)?);
+    let mut config = RouterConfig {
+        health_interval: Duration::from_millis(get(flags, "health-ms", 100)?),
+        ..RouterConfig::default()
+    };
+    config.conn_queue = get(flags, "queue", config.conn_queue)?;
+    config.max_line_bytes = get(flags, "max-line-bytes", config.max_line_bytes)?;
+    let connect_ms: u64 = get(flags, "connect-timeout-ms", 1000)?;
+    config.connect.connect_timeout = (connect_ms > 0).then(|| Duration::from_millis(connect_ms));
+    let read_ms: u64 = get(flags, "read-timeout-ms", 10_000)?;
+    config.connect.read_timeout = (read_ms > 0).then(|| Duration::from_millis(read_ms));
+    config.validate()?;
+
+    let router = Router::start(schema, &backends, config, &addr).map_err(|e| e.to_string())?;
+    println!(
+        "routing on {} over {} backends ({} up); close stdin or type `stop` to shut down",
+        router.local_addr(),
+        router.membership().len(),
+        router.membership().up_count()
+    );
+    for line in router.membership().topology_lines() {
+        println!("  {line}");
+    }
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(text) if text.trim() == "stop" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    println!("shutting down...");
+    print!("{}", router.shutdown());
     Ok(())
 }
 

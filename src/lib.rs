@@ -22,6 +22,7 @@
 pub use apcm_baselines as baselines;
 pub use apcm_betree as betree;
 pub use apcm_bexpr as bexpr;
+pub use apcm_cluster as cluster;
 pub use apcm_core as core;
 pub use apcm_encoding as encoding;
 pub use apcm_server as server;
@@ -33,6 +34,7 @@ pub mod prelude {
         parser, AttrId, DnfSubscription, Domain, Event, EventBuilder, Matcher, Op, Predicate,
         Schema, SubId, Subscription, Value,
     };
+    pub use apcm_cluster::{ClusterHandle, Router, RouterConfig};
     pub use apcm_core::{ApcmConfig, ApcmMatcher, DnfEngine, OsrBuffer, PcmMatcher, ScoredMatcher};
     pub use apcm_server::{BrokerClient, Server, ServerConfig, ShardedEngine};
     pub use apcm_workload::{Trace, WorkloadBuilder, WorkloadSpec};

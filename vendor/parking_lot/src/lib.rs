@@ -7,9 +7,10 @@
 //! holding the guard) is transparently recovered, which matches
 //! parking_lot's no-poisoning semantics.
 
-use std::sync::{
-    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
-};
+use std::sync::{Mutex as StdMutex, RwLock as StdRwLock};
+
+// parking_lot exports its guard types; the shim's guards are std's.
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock that does not poison.
 #[derive(Debug, Default)]
