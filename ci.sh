@@ -18,6 +18,12 @@ cargo test -q -p apcm-server --test recovery
 echo "==> cargo test -p apcm-cluster --test cluster (routing/failover harness)"
 cargo test -q -p apcm-cluster --test cluster
 
+echo "==> cargo test -p apcm-server --test replication (follower/promotion harness)"
+cargo test -q -p apcm-server --test replication
+
+echo "==> cargo test -p apcm-cluster --test failover (failover + chaos drill)"
+cargo test -q -p apcm-cluster --test failover
+
 echo "==> cargo bench --workspace --no-run (benches stay compilable)"
 cargo bench --workspace --no-run
 
@@ -30,5 +36,10 @@ echo "==> cluster harness smoke run (appends e13 records to BENCH_pr4.json)"
 cargo run --release -q -p apcm-bench --bin harness -- \
     --experiment e13 --scale 0.002 --budget-ms 50 --seed 42 \
     --json-append BENCH_pr4.json
+
+echo "==> replication harness smoke run (appends e14 records to BENCH_pr5.json)"
+cargo run --release -q -p apcm-bench --bin harness -- \
+    --experiment e14 --scale 0.002 --budget-ms 50 --seed 42 \
+    --json-append BENCH_pr5.json
 
 echo "==> ci.sh: all green"

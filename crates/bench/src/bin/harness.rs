@@ -15,7 +15,7 @@ use apcm_bench::{fmt_bytes, fmt_rate, measure_latency, measure_throughput, Engin
 use apcm_bexpr::{Event, Matcher, SubId, Subscription};
 use apcm_cluster::{ClusterHandle, RouterConfig};
 use apcm_core::{AdaptiveConfig, ApcmConfig, ApcmMatcher, ClusteringPolicy, Executor, PcmMatcher};
-use apcm_server::{BrokerClient, EngineChoice, Server, ServerConfig};
+use apcm_server::{BrokerClient, EngineChoice, PersistConfig, Server, ServerConfig};
 use apcm_workload::{DriftingStream, ValueDist, Workload, WorkloadSpec};
 use std::time::{Duration, Instant};
 
@@ -168,7 +168,7 @@ fn parse_args() -> Args {
             "--json-append" => args.json_append = Some(value()),
             "--help" | "-h" => {
                 println!(
-                    "usage: harness [--experiment e1..e13|all] [--scale F] [--budget-ms N] \
+                    "usage: harness [--experiment e1..e14|all] [--scale F] [--budget-ms N] \
                      [--seed N] [--json PATH] [--json-append PATH]"
                 );
                 std::process::exit(0);
@@ -241,6 +241,9 @@ fn main() {
     }
     if want("e13") {
         e13_cluster(&args);
+    }
+    if want("e14") {
+        e14_replication(&args);
     }
     if let Err(e) = args.write_json() {
         eprintln!("error writing --json output: {e}");
@@ -784,6 +787,126 @@ fn e13_cluster(args: &Args) {
     }
     table.print();
     println!("(corpus {n}; overhead is direct/routed - 1 at the same corpus)\n");
+}
+
+/// E14 — replication tier: durable churn throughput through the router
+/// with and without a live follower tailing the churn log, and the
+/// failover blackout window — how long after killing a partition's
+/// primary the router serves a full-coverage window again.
+fn e14_replication(args: &Args) {
+    println!("## E14 — replication: churn cost and failover blackout\n");
+    let n = scaled(100_000, args.scale).min(10_000);
+    let wl = base_spec(n, args.seed).build();
+    let tmp = std::env::temp_dir().join(format!("apcm-e14-{}", std::process::id()));
+    let node_config = |tag: String| ServerConfig {
+        shards: 2,
+        engine: EngineChoice::Apcm,
+        flush_interval: Duration::from_millis(2),
+        persist: Some(PersistConfig::new(tmp.join(tag))),
+        ..ServerConfig::default()
+    };
+    let client_timeout = Duration::from_secs(60);
+
+    let mut table = Table::new(vec!["setup", "churn ops/s", "failover blackout"]);
+    for (label, replicated) in [("unreplicated", false), ("replicated", true)] {
+        let replica = replicated.then(|| node_config(format!("{label}-replica")));
+        let mut cluster = ClusterHandle::start_replicated(
+            wl.schema.clone(),
+            vec![(node_config(format!("{label}-primary")), replica)],
+            RouterConfig {
+                health_interval: Duration::from_millis(25),
+                ..RouterConfig::default()
+            },
+        )
+        .expect("starting the cluster");
+        let mut client = BrokerClient::connect(&cluster.router_addr()).unwrap();
+        client.set_read_timeout(Some(client_timeout)).unwrap();
+        client.set_churn_retry(40, Duration::from_millis(25));
+
+        let rate = pump_churn(&mut client, &wl, args.budget);
+        args.record(
+            "e14",
+            label,
+            "n_partitions=1".into(),
+            "churn_ops_per_sec",
+            rate,
+        );
+
+        let mut blackout_cell = "-".to_string();
+        if replicated {
+            // The follower must drain the churn backlog before the router
+            // will promote it, so wait for applied seqs to converge.
+            let sync_deadline = Instant::now() + Duration::from_secs(30);
+            loop {
+                match (cluster.node(0, 0), cluster.node(0, 1)) {
+                    (Some(a), Some(b)) if a.current_seq() == b.current_seq() => break,
+                    _ => {}
+                }
+                assert!(
+                    Instant::now() < sync_deadline,
+                    "replica never caught up after the churn run"
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let events = wl.events(8);
+            let kill = Instant::now();
+            cluster.kill_node(0, 0);
+            let blackout = loop {
+                match client.publish_batch_flagged(&events, &wl.schema) {
+                    Ok(rows) if rows.values().all(|(_, partial)| !partial) => {
+                        break kill.elapsed();
+                    }
+                    _ => {}
+                }
+                assert!(
+                    kill.elapsed() < Duration::from_secs(30),
+                    "failover never completed"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            };
+            let blackout_ms = blackout.as_secs_f64() * 1e3;
+            args.record(
+                "e14",
+                label,
+                "kill=primary".into(),
+                "failover_blackout_ms",
+                blackout_ms,
+            );
+            blackout_cell = format!("{blackout_ms:.1} ms");
+        }
+        table.row(vec![label.into(), fmt_rate(rate), blackout_cell]);
+        drop(client);
+        cluster.shutdown();
+    }
+    table.print();
+    println!(
+        "(single partition, corpus {n}; churn is SUB upserts through the router; \
+         blackout is kill \u{2192} first full-coverage window)\n"
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+/// Drives subscription churn (`SUB` upserts) through `client` until the
+/// budget elapses and returns acked churn ops/s. Every op is
+/// ack-after-append on the backend, so this prices the durable path.
+fn pump_churn(client: &mut BrokerClient, wl: &Workload, budget: Duration) -> f64 {
+    let start = Instant::now();
+    let mut ops = 0usize;
+    'outer: loop {
+        for sub in &wl.subs {
+            client
+                .subscribe(sub, &wl.schema)
+                .expect("churn through the router");
+            ops += 1;
+            if ops.is_multiple_of(64) && start.elapsed() >= budget {
+                break 'outer;
+            }
+        }
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    ops as f64 / start.elapsed().as_secs_f64()
 }
 
 /// E12 — construction and maintenance: build time per engine, dynamic

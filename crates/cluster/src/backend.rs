@@ -74,8 +74,11 @@ impl BackendConn {
     /// The backend acknowledges `+OK batch <first> <accepted>` and then
     /// pushes one `RESULT <seq> ...` per event; seqs are contiguous from
     /// `<first>` because every line the router sends was already parsed
-    /// against the shared schema. Any `-ERR` or seq gap is surfaced as an
-    /// I/O error, which the caller treats as a backend failure.
+    /// against the shared schema. A `RESULT` that races ahead of the ack
+    /// (the backend's ingest workers flush windows on their own threads)
+    /// is buffered and indexed once `<first>` is known. Any `-ERR` or seq
+    /// gap is surfaced as an I/O error, which the caller treats as a
+    /// backend failure.
     pub fn publish_window(&mut self, event_lines: &[String]) -> std::io::Result<Vec<Vec<SubId>>> {
         let n = event_lines.len();
         if n == 0 {
@@ -86,7 +89,26 @@ impl BackendConn {
             self.send_line(line)?;
         }
 
+        fn place(
+            rows: &mut [Option<Vec<SubId>>],
+            seen: &mut usize,
+            first: u64,
+            seq: u64,
+            ids: Vec<SubId>,
+        ) -> std::io::Result<()> {
+            let index = seq
+                .checked_sub(first)
+                .filter(|&i| (i as usize) < rows.len())
+                .ok_or_else(|| std::io::Error::other(format!("RESULT seq {seq} outside batch")))?
+                as usize;
+            if rows[index].replace(ids).is_none() {
+                *seen += 1;
+            }
+            Ok(())
+        }
+
         let mut first = None;
+        let mut early: Vec<(u64, Vec<SubId>)> = Vec::new();
         let mut rows: Vec<Option<Vec<SubId>>> = vec![None; n];
         let mut seen = 0usize;
         while first.is_none() || seen < n {
@@ -94,17 +116,14 @@ impl BackendConn {
             if line.starts_with("RESULT ") {
                 let (seq, ids, _) =
                     protocol::parse_result_ext(&line).map_err(std::io::Error::other)?;
-                let Some(first) = first else {
-                    return Err(std::io::Error::other("RESULT before the batch ack"));
-                };
-                let index = seq
-                    .checked_sub(first)
-                    .filter(|&i| (i as usize) < n)
-                    .ok_or_else(|| {
-                        std::io::Error::other(format!("RESULT seq {seq} outside batch"))
-                    })? as usize;
-                if rows[index].replace(ids).is_none() {
-                    seen += 1;
+                match first {
+                    Some(first) => place(&mut rows, &mut seen, first, seq, ids)?,
+                    None => {
+                        if early.len() >= n {
+                            return Err(std::io::Error::other("RESULT flood before the batch ack"));
+                        }
+                        early.push((seq, ids));
+                    }
                 }
             } else if let Some(rest) = line.strip_prefix("+OK batch ") {
                 let mut parts = rest.split_whitespace();
@@ -122,6 +141,9 @@ impl BackendConn {
                     )));
                 }
                 first = Some(start);
+                for (seq, ids) in early.drain(..) {
+                    place(&mut rows, &mut seen, start, seq, ids)?;
+                }
             } else if line.starts_with("-ERR") {
                 return Err(std::io::Error::other(line));
             }

@@ -1,13 +1,15 @@
-//! In-process cluster: N backend shard servers plus a front router, all on
-//! loopback ephemeral ports. The harness for integration tests, failure
-//! injection (`kill_backend` / `restart_backend`), and benchmarks.
+//! In-process cluster: N backend partitions (each a primary server plus
+//! an optional replica) fronted by a router, all on loopback ephemeral
+//! ports. The harness for integration tests, failure injection
+//! (`kill_node` / `restart_node`), and benchmarks.
 
 use apcm_bexpr::Schema;
 use apcm_server::{Server, ServerConfig};
 
+use crate::membership::BackendSpec;
 use crate::router::{Router, RouterConfig};
 
-struct BackendSlot {
+struct NodeSlot {
     /// Bound address, pinned at first start so a restart rebinds the same
     /// port the router's membership table knows.
     addr: String,
@@ -15,9 +17,24 @@ struct BackendSlot {
     server: Option<Server>,
 }
 
+impl NodeSlot {
+    fn start(schema: &Schema, config: ServerConfig) -> std::io::Result<Self> {
+        let server = Server::start(schema.clone(), config.clone(), "127.0.0.1:0")?;
+        Ok(Self {
+            addr: server.local_addr().to_string(),
+            config,
+            server: Some(server),
+        })
+    }
+}
+
+struct PartitionSlot {
+    nodes: Vec<NodeSlot>,
+}
+
 pub struct ClusterHandle {
     schema: Schema,
-    backends: Vec<BackendSlot>,
+    partitions: Vec<PartitionSlot>,
     router: Option<Router>,
 }
 
@@ -29,26 +46,53 @@ impl ClusterHandle {
         backend_configs: Vec<ServerConfig>,
         router_config: RouterConfig,
     ) -> std::io::Result<Self> {
-        if backend_configs.is_empty() {
+        Self::start_replicated(
+            schema,
+            backend_configs.into_iter().map(|c| (c, None)).collect(),
+            router_config,
+        )
+    }
+
+    /// Starts one partition per `(primary, replica)` config pair. A
+    /// `Some` replica config gets its `replica_of` pointed at the
+    /// partition's primary (both sides need distinct persist dirs); the
+    /// replica bootstraps over `REPLICATE` as soon as it starts. A killed
+    /// primary restarted via [`Self::restart_node`] comes back with its
+    /// original (primary) config — the router's sweep demotes it back
+    /// into a follower of whichever node is active by then.
+    pub fn start_replicated(
+        schema: Schema,
+        partition_configs: Vec<(ServerConfig, Option<ServerConfig>)>,
+        router_config: RouterConfig,
+    ) -> std::io::Result<Self> {
+        if partition_configs.is_empty() {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
                 "a cluster needs at least one backend",
             ));
         }
-        let mut backends = Vec::with_capacity(backend_configs.len());
-        for config in backend_configs {
-            let server = Server::start(schema.clone(), config.clone(), "127.0.0.1:0")?;
-            backends.push(BackendSlot {
-                addr: server.local_addr().to_string(),
-                config,
-                server: Some(server),
-            });
+        let mut partitions = Vec::with_capacity(partition_configs.len());
+        for (primary_config, replica_config) in partition_configs {
+            let primary = NodeSlot::start(&schema, primary_config)?;
+            let mut nodes = vec![primary];
+            if let Some(mut config) = replica_config {
+                config.replica_of = Some(nodes[0].addr.clone());
+                nodes.push(NodeSlot::start(&schema, config)?);
+            }
+            partitions.push(PartitionSlot { nodes });
         }
-        let addrs: Vec<String> = backends.iter().map(|b| b.addr.clone()).collect();
-        let router = Router::start(schema.clone(), &addrs, router_config, "127.0.0.1:0")?;
+        let specs: Vec<BackendSpec> = partitions
+            .iter()
+            .map(|p| BackendSpec {
+                primary: p.nodes[0].addr.clone(),
+                replica: p.nodes.get(1).map(|n| n.addr.clone()),
+            })
+            .collect();
+        let router =
+            Router::start_replicated(schema.clone(), &specs, router_config, "127.0.0.1:0")?;
         Ok(Self {
             schema,
-            backends,
+            partitions,
             router: Some(router),
         })
     }
@@ -63,38 +107,66 @@ impl ClusterHandle {
     }
 
     pub fn backend_count(&self) -> usize {
-        self.backends.len()
+        self.partitions.len()
     }
 
+    /// Nodes in one partition (1 without a replica, 2 with).
+    pub fn node_count(&self, partition: usize) -> usize {
+        self.partitions[partition].nodes.len()
+    }
+
+    /// Address of a partition's primary-designate (node 0).
     pub fn backend_addr(&self, index: usize) -> &str {
-        &self.backends[index].addr
+        self.node_addr(index, 0)
     }
 
-    /// The backend server, if it is currently running.
+    pub fn node_addr(&self, partition: usize, node: usize) -> &str {
+        &self.partitions[partition].nodes[node].addr
+    }
+
+    /// The partition's primary-designate server, if currently running.
     pub fn backend(&self, index: usize) -> Option<&Server> {
-        self.backends[index].server.as_ref()
+        self.node(index, 0)
     }
 
-    /// Simulates a crash: the backend's sockets close and its threads
-    /// join, but nothing is flushed — on-disk state is whatever the write
-    /// path had produced (see `Server::abort`). The router notices on its
-    /// next probe or publish.
+    /// A specific node's server, if currently running.
+    pub fn node(&self, partition: usize, node: usize) -> Option<&Server> {
+        self.partitions[partition].nodes[node].server.as_ref()
+    }
+
+    /// Simulates a crash of a partition's primary-designate (node 0).
     pub fn kill_backend(&mut self, index: usize) {
-        if let Some(server) = self.backends[index].server.take() {
+        self.kill_node(index, 0);
+    }
+
+    /// Simulates a crash: the node's sockets close and its threads join,
+    /// but nothing is flushed — on-disk state is whatever the write path
+    /// had produced (see `Server::abort`). The router notices on its next
+    /// probe or publish and, when the partition has a caught-up standby,
+    /// promotes it.
+    pub fn kill_node(&mut self, partition: usize, node: usize) {
+        if let Some(server) = self.partitions[partition].nodes[node].server.take() {
             server.abort();
         }
     }
 
-    /// Restarts a killed backend on its original port with its original
+    /// Restarts a partition's killed primary-designate (node 0).
+    pub fn restart_backend(&mut self, index: usize) -> std::io::Result<()> {
+        self.restart_node(index, 0)
+    }
+
+    /// Restarts a killed node on its original port with its original
     /// config; with persistence configured, recovery replays the snapshot
     /// and churn log before the listener opens. The router's health sweep
-    /// reconnects it after its backoff delay.
-    pub fn restart_backend(&mut self, index: usize) -> std::io::Result<()> {
-        let slot = &mut self.backends[index];
+    /// reconnects it after its backoff delay and reconciles its role
+    /// (an ex-primary rejoining a failed-over partition is demoted to a
+    /// follower of the current active node).
+    pub fn restart_node(&mut self, partition: usize, node: usize) -> std::io::Result<()> {
+        let slot = &mut self.partitions[partition].nodes[node];
         if slot.server.is_some() {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::AlreadyExists,
-                "backend is already running",
+                "node is already running",
             ));
         }
         slot.server = Some(Server::start(
@@ -105,13 +177,15 @@ impl ClusterHandle {
         Ok(())
     }
 
-    /// Stops the router, then every backend; returns the router's final
+    /// Stops the router, then every node; returns the router's final
     /// rendered stats.
     pub fn shutdown(mut self) -> String {
         let rendered = self.router.take().map(Router::shutdown).unwrap_or_default();
-        for slot in &mut self.backends {
-            if let Some(server) = slot.server.take() {
-                let _ = server.shutdown();
+        for partition in &mut self.partitions {
+            for slot in &mut partition.nodes {
+                if let Some(server) = slot.server.take() {
+                    let _ = server.shutdown();
+                }
             }
         }
         rendered

@@ -11,15 +11,24 @@
 //! * **Scatter-gather** — `PUB`/`BATCH` windows fan to every live backend
 //!   on scoped threads; rows are merged (sorted, deduplicated) and the
 //!   router synthesizes `EVENT` notifications from the merged rows.
-//! * **Membership** — a health thread `PING`s every backend each sweep
-//!   and redials down backends on the jittered exponential-backoff
-//!   schedule of `apcm_server::ConnectOptions`. Churn routed at a down
-//!   backend is refused (`-ERR backend <i> unavailable`); matching
-//!   degrades to the surviving partitions with rows flagged `partial`
-//!   and `cluster_degraded` counted. `TOPOLOGY` reports the table.
+//! * **Membership** — a health thread `ROLE`-probes every node each
+//!   sweep (the probe doubles as the liveness ping and reports role,
+//!   sequence, and replication lag) and redials down nodes on the
+//!   jittered exponential-backoff schedule of
+//!   `apcm_server::ConnectOptions`. `TOPOLOGY` reports the table, one
+//!   row per node with `role=primary|replica`, seq, and lag columns.
+//! * **Replication & failover** — each partition may pair its primary
+//!   with a replica ([`BackendSpec`]). When the active node is marked
+//!   down, the sweep (or the routing paths, inline) promotes the standby
+//!   — but only if its applied sequence has caught up to the partition's
+//!   churn high-water mark, so acknowledged churn is never dropped. A
+//!   returning ex-primary is demoted back into a follower. Churn is
+//!   refused (`-ERR backend <i> unavailable`) only when *neither* node is
+//!   serviceable; matching degrades to the surviving partitions with rows
+//!   flagged `partial` and `cluster_degraded` counted.
 //! * **[`ClusterHandle`]** — an in-process cluster (backends + router on
-//!   loopback) with `kill_backend`/`restart_backend` fault injection for
-//!   tests and benchmarks.
+//!   loopback) with `kill_node`/`restart_node` fault injection for tests
+//!   and benchmarks.
 
 pub mod backend;
 pub mod handle;
@@ -29,6 +38,6 @@ pub mod stats;
 
 pub use backend::BackendConn;
 pub use handle::ClusterHandle;
-pub use membership::{Backend, Membership};
+pub use membership::{BackendSpec, Membership, Node, Partition};
 pub use router::{Router, RouterConfig};
 pub use stats::ClusterStats;

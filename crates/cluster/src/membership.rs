@@ -1,65 +1,125 @@
-//! Cluster membership: one entry per backend shard server, with health
-//! state maintained by periodic `PING` probes and jittered
-//! exponential-backoff reconnects.
+//! Cluster membership: one [`Partition`] per backend slot, each holding a
+//! primary node and (optionally) a replica node. Health state is
+//! maintained by periodic `ROLE` probes — the probe doubles as the
+//! liveness ping and reports the node's replication role, sequence, and
+//! lag — with jittered exponential-backoff reconnects.
 //!
-//! Lock order is always connection, then metadata — both the health sweep
-//! and the request/scatter paths follow it, so a backend can be marked
-//! down from either side without deadlock.
+//! When a partition's designated node goes down and a caught-up standby
+//! exists, [`Membership::try_failover`] promotes the standby and re-aims
+//! the partition at it; a returning ex-primary is demoted back to a
+//! follower by the sweep's reconciliation pass. Promotion requires the
+//! standby's applied sequence to be at or past the partition's observed
+//! churn high-water mark — a lagging replica is never promoted, because
+//! that would silently drop acknowledged churn.
+//!
+//! Lock order is always connection, then metadata — the health sweep, the
+//! request/scatter paths, and failover all follow it, so a node can be
+//! marked down from any side without deadlock. Failover additionally
+//! serializes on a per-partition promote lock, acquired only while no
+//! connection lock is held.
 
 use crate::backend::BackendConn;
 use crate::stats::ClusterStats;
 use apcm_bexpr::SubId;
 use apcm_server::client::ConnectOptions;
-use apcm_server::route_partition;
+use apcm_server::{protocol, route_partition};
 use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Health metadata for one backend, guarded separately from the
-/// connection so `TOPOLOGY` never waits behind an in-flight window.
-pub struct BackendMeta {
-    /// Round-trip of the last successful `PING`, microseconds.
+/// Addresses of one partition's nodes.
+#[derive(Debug, Clone)]
+pub struct BackendSpec {
+    /// The node that starts as the partition's primary.
+    pub primary: String,
+    /// Optional follower; failover target when the primary dies.
+    pub replica: Option<String>,
+}
+
+impl BackendSpec {
+    pub fn standalone(primary: impl Into<String>) -> Self {
+        Self {
+            primary: primary.into(),
+            replica: None,
+        }
+    }
+
+    pub fn replicated(primary: impl Into<String>, replica: impl Into<String>) -> Self {
+        Self {
+            primary: primary.into(),
+            replica: Some(replica.into()),
+        }
+    }
+}
+
+/// Health metadata for one node, guarded separately from the connection
+/// so `TOPOLOGY` never waits behind an in-flight window.
+pub struct NodeMeta {
+    /// Round-trip of the last successful `ROLE` probe, microseconds.
     pub last_ping_us: Option<u64>,
     /// Successful reconnects after a failure.
     pub reconnects: u64,
-    /// Times the backend was marked down.
+    /// Times the node was marked down.
     pub failures: u64,
+    /// Last reported role: `Some(true)` = primary, `Some(false)` =
+    /// replica, `None` = never probed.
+    pub reports_primary: Option<bool>,
+    /// Last reported churn sequence (primary: log seq; replica: applied).
+    pub seq: Option<u64>,
+    /// Last reported replication lag in records (primary-side view).
+    pub lag: Option<u64>,
     /// Consecutive failed reconnect attempts since the last success.
     attempt: u32,
     /// Earliest time the sweep may dial again.
     next_retry: Instant,
 }
 
-pub struct Backend {
-    pub index: usize,
+/// One backend server within a partition.
+pub struct Node {
+    /// The partition (wire-visible backend index) this node serves.
+    pub partition: usize,
     pub addr: String,
     conn: Mutex<Option<BackendConn>>,
-    meta: Mutex<BackendMeta>,
+    meta: Mutex<NodeMeta>,
 }
 
-impl Backend {
-    fn new(index: usize, addr: String) -> Self {
+impl Node {
+    fn new(partition: usize, addr: String) -> Self {
         Self {
-            index,
+            partition,
             addr,
             conn: Mutex::new(None),
-            meta: Mutex::new(BackendMeta {
+            meta: Mutex::new(NodeMeta {
                 last_ping_us: None,
                 reconnects: 0,
                 failures: 0,
+                reports_primary: None,
+                seq: None,
+                lag: None,
                 attempt: 0,
                 next_retry: Instant::now(),
             }),
         }
     }
 
-    /// Locks the connection slot; `None` inside means the backend is down.
+    /// Locks the connection slot; `None` inside means the node is down.
     pub fn lock_conn(&self) -> MutexGuard<'_, Option<BackendConn>> {
         self.conn.lock()
     }
 
     pub fn is_up(&self) -> bool {
         self.conn.lock().is_some()
+    }
+
+    /// Role from the last successful probe.
+    pub fn reports_primary(&self) -> Option<bool> {
+        self.meta.lock().reports_primary
+    }
+
+    /// Churn sequence from the last successful probe.
+    pub fn reported_seq(&self) -> Option<u64> {
+        self.meta.lock().seq
     }
 
     /// Drops the connection and schedules the first reconnect attempt.
@@ -77,47 +137,153 @@ impl Backend {
             meta.failures += 1;
             meta.attempt = 1;
             meta.last_ping_us = None;
+            meta.lag = None;
             meta.next_retry = Instant::now() + connect.delay_before_retry(1);
         }
     }
 
-    /// One `TOPOLOGY` report line for this backend.
-    fn topology_line(&self) -> String {
+    /// Records a fresh `ROLE` report under the metadata lock.
+    fn record_role(&self, ping_us: u64, report: &protocol::RoleReport) {
+        let mut meta = self.meta.lock();
+        meta.last_ping_us = Some(ping_us);
+        meta.reports_primary = Some(report.primary);
+        meta.seq = Some(report.seq);
+        meta.lag = Some(report.lag);
+    }
+
+    /// One `TOPOLOGY` report line for this node. Role is the last
+    /// reported one (a down node shows its final known role), falling
+    /// back to the partition's current designation.
+    fn topology_line(&self, designated_primary: bool) -> String {
         let up = self.is_up();
         let meta = self.meta.lock();
-        let ping = meta
-            .last_ping_us
-            .map(|us| us.to_string())
-            .unwrap_or_else(|| "-".into());
+        let role = match meta.reports_primary {
+            Some(true) => "primary",
+            Some(false) => "replica",
+            None if designated_primary => "primary",
+            None => "replica",
+        };
+        let opt = |v: Option<u64>| v.map(|n| n.to_string()).unwrap_or_else(|| "-".into());
         format!(
-            "backend {} {} {} ping_us {} reconnects {}",
-            self.index,
+            "backend {} {} {} role={role} seq {} lag {} ping_us {} reconnects {}",
+            self.partition,
             self.addr,
             if up { "up" } else { "down" },
-            ping,
+            opt(meta.seq),
+            opt(meta.lag),
+            opt(meta.last_ping_us),
             meta.reconnects
         )
     }
 }
 
-/// The routing table: backend order is the partition order, so
+/// One slot of the routing table: the nodes replicating one slice of the
+/// subscription space, and which of them churn and scatter target now.
+pub struct Partition {
+    pub index: usize,
+    nodes: Vec<Arc<Node>>,
+    /// Index into `nodes` of the node currently treated as primary.
+    active: AtomicUsize,
+    /// Highest `ROLE`-reported primary sequence. One of the two lower
+    /// bounds combined by [`Self::last_primary_seq`].
+    probed_seq: AtomicU64,
+    /// Churn records this router has seen acknowledged on the partition.
+    /// The other lower bound: covers records acked since the last probe.
+    /// Kept separate from `probed_seq` — folding acks into the probed
+    /// value would double-count any record the probe already saw, pushing
+    /// the floor past the primary's real sequence and wedging failover.
+    acked_records: AtomicU64,
+    /// Serializes failover attempts (sweep vs. inline routing paths).
+    promote_lock: Mutex<()>,
+}
+
+impl Partition {
+    fn new(index: usize, spec: &BackendSpec) -> Self {
+        let mut nodes = vec![Arc::new(Node::new(index, spec.primary.clone()))];
+        if let Some(replica) = &spec.replica {
+            nodes.push(Arc::new(Node::new(index, replica.clone())));
+        }
+        Self {
+            index,
+            nodes,
+            active: AtomicUsize::new(0),
+            probed_seq: AtomicU64::new(0),
+            acked_records: AtomicU64::new(0),
+            promote_lock: Mutex::new(()),
+        }
+    }
+
+    pub fn nodes(&self) -> &[Arc<Node>] {
+        &self.nodes
+    }
+
+    pub fn has_replica(&self) -> bool {
+        self.nodes.len() > 1
+    }
+
+    pub fn active_index(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    pub fn active_node(&self) -> &Arc<Node> {
+        &self.nodes[self.active_index()]
+    }
+
+    /// Whether the node churn/scatter would target right now is up.
+    pub fn is_serviceable(&self) -> bool {
+        self.active_node().is_up()
+    }
+
+    /// The promotion floor: a lower bound on the acked churn sequence.
+    /// Both inputs undercount the true sequence (the probe is stale, the
+    /// ack count misses records appended outside this router), so their
+    /// max is still a safe bound — and between the two, every record the
+    /// router acknowledged is covered.
+    pub fn last_primary_seq(&self) -> u64 {
+        self.probed_seq
+            .load(Ordering::Relaxed)
+            .max(self.acked_records.load(Ordering::Relaxed))
+    }
+
+    /// Counts a router-observed churn acknowledgment. Exactly the durable-
+    /// record count: fresh `SUB` and successful `UNSUB` append one record
+    /// each; claims and errors append none.
+    pub fn record_churn_ack(&self) {
+        self.acked_records.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The routing table: partition order is wire order, so
 /// [`Membership::route`] and `ShardedEngine::shard_of` agree by
 /// construction (both call [`route_partition`]).
 pub struct Membership {
-    backends: Vec<Arc<Backend>>,
+    partitions: Vec<Arc<Partition>>,
     connect: ConnectOptions,
 }
 
 impl Membership {
-    /// Builds the table and eagerly dials every backend once; failures are
-    /// left down with a scheduled retry, so a router can start ahead of
-    /// its backends.
+    /// Single-node partitions, one per address — the pre-replication
+    /// layout. Eagerly dials every node once; failures are left down with
+    /// a scheduled retry, so a router can start ahead of its backends.
     pub fn connect_all(addrs: &[String], connect: ConnectOptions, stats: &ClusterStats) -> Self {
+        let specs: Vec<BackendSpec> = addrs
+            .iter()
+            .map(|a| BackendSpec::standalone(a.clone()))
+            .collect();
+        Self::connect_replicated(&specs, connect, stats)
+    }
+
+    /// Builds the table from explicit {primary, replica} specs.
+    pub fn connect_replicated(
+        specs: &[BackendSpec],
+        connect: ConnectOptions,
+        stats: &ClusterStats,
+    ) -> Self {
         let membership = Self {
-            backends: addrs
+            partitions: specs
                 .iter()
                 .enumerate()
-                .map(|(i, addr)| Arc::new(Backend::new(i, addr.clone())))
+                .map(|(i, spec)| Arc::new(Partition::new(i, spec)))
                 .collect(),
             connect,
         };
@@ -125,79 +291,266 @@ impl Membership {
         membership
     }
 
+    /// Partition count.
     pub fn len(&self) -> usize {
-        self.backends.len()
+        self.partitions.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.backends.is_empty()
+        self.partitions.is_empty()
     }
 
-    pub fn backends(&self) -> &[Arc<Backend>] {
-        &self.backends
+    pub fn partitions(&self) -> &[Arc<Partition>] {
+        &self.partitions
     }
 
+    /// Partitions whose active node is up — the ones scatter can serve.
     pub fn up_count(&self) -> usize {
-        self.backends.iter().filter(|b| b.is_up()).count()
+        self.partitions
+            .iter()
+            .filter(|p| p.is_serviceable())
+            .count()
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.partitions.iter().map(|p| p.nodes.len()).sum()
+    }
+
+    pub fn nodes_up(&self) -> usize {
+        self.partitions
+            .iter()
+            .flat_map(|p| p.nodes.iter())
+            .filter(|n| n.is_up())
+            .count()
     }
 
     pub fn connect_options(&self) -> &ConnectOptions {
         &self.connect
     }
 
-    /// The backend owning subscription `id` — the shared routing contract.
-    pub fn route(&self, id: SubId) -> &Arc<Backend> {
-        &self.backends[route_partition(id, self.backends.len())]
+    /// The partition owning subscription `id` — the shared routing
+    /// contract.
+    pub fn route(&self, id: SubId) -> &Arc<Partition> {
+        &self.partitions[route_partition(id, self.partitions.len())]
     }
 
-    /// One health pass: `PING` every connected backend (marking failures
-    /// down), and re-dial every down backend whose backoff delay expired.
+    /// One health pass: `ROLE`-probe every connected node (marking
+    /// failures down), re-dial every down node whose backoff delay
+    /// expired, then reconcile each partition's roles — promoting the
+    /// designated node if it answers as a replica, demoting a returned
+    /// ex-primary to follow the active node, and failing over when the
+    /// active node is down.
     pub fn sweep(&self, stats: &ClusterStats) {
-        for backend in &self.backends {
-            let mut conn = backend.conn.lock();
-            match conn.as_mut() {
-                Some(c) => {
-                    let start = Instant::now();
-                    match c.request("PING") {
-                        Ok(reply) if reply.starts_with('+') => {
-                            backend.meta.lock().last_ping_us =
-                                Some(start.elapsed().as_micros() as u64);
+        for partition in &self.partitions {
+            for node in &partition.nodes {
+                self.probe(node, stats);
+            }
+            self.reconcile(partition, stats);
+        }
+    }
+
+    /// Probe (or redial) one node.
+    fn probe(&self, node: &Node, stats: &ClusterStats) {
+        let mut conn = node.conn.lock();
+        if conn.is_none() {
+            let mut meta = node.meta.lock();
+            if Instant::now() < meta.next_retry {
+                return;
+            }
+            let one_shot = ConnectOptions {
+                attempts: 1,
+                ..self.connect.clone()
+            };
+            match BackendConn::connect(&node.addr, &one_shot) {
+                Ok(c) => {
+                    *conn = Some(c);
+                    if meta.attempt > 0 {
+                        meta.reconnects += 1;
+                        ClusterStats::add(&stats.backend_reconnects, 1);
+                    }
+                    meta.attempt = 0;
+                }
+                Err(_) => {
+                    meta.attempt = meta.attempt.saturating_add(1);
+                    meta.next_retry =
+                        Instant::now() + self.connect.delay_before_retry(meta.attempt);
+                    return;
+                }
+            }
+        }
+        let c = conn.as_mut().expect("dialed above");
+        let start = Instant::now();
+        match c.request("ROLE") {
+            Ok(reply) if reply.starts_with('+') => {
+                let ping_us = start.elapsed().as_micros() as u64;
+                if let Ok(report) = protocol::parse_role_report(&reply) {
+                    node.record_role(ping_us, &report);
+                } else {
+                    node.meta.lock().last_ping_us = Some(ping_us);
+                }
+            }
+            _ => node.mark_down_locked(&mut conn, &self.connect, stats),
+        }
+    }
+
+    /// Re-aligns a partition's actual roles with its designation.
+    fn reconcile(&self, partition: &Partition, stats: &ClusterStats) {
+        let active_idx = partition.active_index();
+        let active = &partition.nodes[active_idx];
+        if !active.is_up() {
+            if partition.has_replica() {
+                self.try_failover(partition, stats);
+            }
+            return;
+        }
+        if let Some(seq) = active.reported_seq() {
+            partition.probed_seq.fetch_max(seq, Ordering::Relaxed);
+        }
+        let floor = partition.last_primary_seq();
+
+        // The designated node answering as a replica (demoted out of band,
+        // or restarted with a follower config): promote it back — unless
+        // it is behind the high-water mark, in which case a caught-up
+        // standby already answering as primary takes the designation
+        // instead (promoting the stale node would drop acked churn).
+        if active.reports_primary() == Some(false) {
+            if active.reported_seq().unwrap_or(0) >= floor {
+                let mut conn = active.lock_conn();
+                if let Some(c) = conn.as_mut() {
+                    match c.request("PROMOTE") {
+                        Ok(r) if r.starts_with('+') => {
+                            ClusterStats::add(&stats.promotions, 1);
+                            active.meta.lock().reports_primary = Some(true);
                         }
-                        _ => backend.mark_down_locked(&mut conn, &self.connect, stats),
+                        _ => {
+                            active.mark_down_locked(&mut conn, &self.connect, stats);
+                            return;
+                        }
                     }
                 }
-                None => {
-                    let mut meta = backend.meta.lock();
-                    if Instant::now() < meta.next_retry {
-                        continue;
+            } else if let Some((i, _)) = partition.nodes.iter().enumerate().find(|(i, n)| {
+                *i != active_idx
+                    && n.is_up()
+                    && n.reports_primary() == Some(true)
+                    && n.reported_seq().unwrap_or(0) >= floor
+            }) {
+                partition.active.store(i, Ordering::SeqCst);
+                ClusterStats::add(&stats.failovers, 1);
+                return self.reconcile(partition, stats);
+            } else {
+                // No safe primary yet; leave the replica serving matches
+                // (churn is refused read-only and clients retry).
+                return;
+            }
+        }
+
+        // A standby claiming primacy is a returned ex-primary: demote it
+        // so it rejoins as a follower of the active node.
+        let active_addr = active.addr.clone();
+        for (i, node) in partition.nodes.iter().enumerate() {
+            if i == active_idx || node.reports_primary() != Some(true) {
+                continue;
+            }
+            let mut conn = node.lock_conn();
+            if let Some(c) = conn.as_mut() {
+                match c.request(&format!("DEMOTE {active_addr}")) {
+                    Ok(r) if r.starts_with('+') => {
+                        ClusterStats::add(&stats.demotions, 1);
+                        node.meta.lock().reports_primary = Some(false);
                     }
-                    let one_shot = ConnectOptions {
-                        attempts: 1,
-                        ..self.connect.clone()
-                    };
-                    match BackendConn::connect(&backend.addr, &one_shot) {
-                        Ok(c) => {
-                            *conn = Some(c);
-                            if meta.attempt > 0 {
-                                meta.reconnects += 1;
-                                ClusterStats::add(&stats.backend_reconnects, 1);
-                            }
-                            meta.attempt = 0;
-                        }
-                        Err(_) => {
-                            meta.attempt = meta.attempt.saturating_add(1);
-                            meta.next_retry =
-                                Instant::now() + self.connect.delay_before_retry(meta.attempt);
-                        }
-                    }
+                    _ => node.mark_down_locked(&mut conn, &self.connect, stats),
                 }
             }
         }
     }
 
-    /// The `TOPOLOGY` report: one line per backend, partition order.
+    /// Promotes a caught-up standby of a partition whose active node is
+    /// down and re-aims the partition at it. Returns the new active index,
+    /// or `None` when no standby is serviceable *and caught up* — a
+    /// lagging replica is never promoted. Called from the sweep and
+    /// inline from the routing paths; the promote lock serializes them.
+    /// Callers must not hold any node connection lock.
+    pub fn try_failover(&self, partition: &Partition, stats: &ClusterStats) -> Option<usize> {
+        let _guard = partition.promote_lock.lock();
+        let active_idx = partition.active_index();
+        if partition.nodes[active_idx].is_up() {
+            // Raced with another failover (or a reconnect); already served.
+            return Some(active_idx);
+        }
+        let floor = partition.last_primary_seq();
+        for (i, node) in partition.nodes.iter().enumerate() {
+            if i == active_idx {
+                continue;
+            }
+            let mut conn = node.lock_conn();
+            if conn.is_none() {
+                // Bounded blackout beats backoff politeness here: one
+                // immediate dial, ignoring the sweep's retry schedule.
+                let one_shot = ConnectOptions {
+                    attempts: 1,
+                    ..self.connect.clone()
+                };
+                match BackendConn::connect(&node.addr, &one_shot) {
+                    Ok(c) => {
+                        *conn = Some(c);
+                        let mut meta = node.meta.lock();
+                        if meta.attempt > 0 {
+                            meta.reconnects += 1;
+                            ClusterStats::add(&stats.backend_reconnects, 1);
+                        }
+                        meta.attempt = 0;
+                    }
+                    Err(_) => continue,
+                }
+            }
+            let c = conn.as_mut().expect("dialed above");
+            let report = match c.request("ROLE") {
+                Ok(r) if r.starts_with('+') => match protocol::parse_role_report(&r) {
+                    Ok(report) => report,
+                    Err(_) => continue,
+                },
+                _ => {
+                    node.mark_down_locked(&mut conn, &self.connect, stats);
+                    continue;
+                }
+            };
+            if report.seq < floor {
+                continue; // behind the acked churn: promotion would lose it
+            }
+            match c.request("PROMOTE") {
+                Ok(r) if r.starts_with('+') => {
+                    node.record_role(
+                        0,
+                        &protocol::RoleReport {
+                            primary: true,
+                            seq: report.seq,
+                            lag: 0,
+                            connected: 0,
+                            following: None,
+                        },
+                    );
+                    partition.active.store(i, Ordering::SeqCst);
+                    ClusterStats::add(&stats.failovers, 1);
+                    ClusterStats::add(&stats.promotions, 1);
+                    return Some(i);
+                }
+                _ => node.mark_down_locked(&mut conn, &self.connect, stats),
+            }
+        }
+        None
+    }
+
+    /// The `TOPOLOGY` report: one line per node, partition order, the
+    /// partition's active node first.
     pub fn topology_lines(&self) -> Vec<String> {
-        self.backends.iter().map(|b| b.topology_line()).collect()
+        let mut out = Vec::new();
+        for partition in &self.partitions {
+            let active_idx = partition.active_index();
+            for (i, node) in partition.nodes.iter().enumerate() {
+                out.push(node.topology_line(i == active_idx));
+            }
+        }
+        out
     }
 }
 
@@ -251,5 +604,47 @@ mod tests {
                 route_partition(SubId(id), 3)
             );
         }
+    }
+
+    #[test]
+    fn replicated_partitions_report_both_nodes() {
+        let stats = ClusterStats::default();
+        let membership = Membership::connect_replicated(
+            &[BackendSpec::replicated("127.0.0.1:1", "127.0.0.1:1")],
+            fast_options(),
+            &stats,
+        );
+        assert_eq!(membership.len(), 1);
+        assert_eq!(membership.node_count(), 2);
+        assert_eq!(membership.nodes_up(), 0);
+        let lines = membership.topology_lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("role=primary"), "{}", lines[0]);
+        assert!(lines[1].contains("role=replica"), "{}", lines[1]);
+        assert!(lines[1].starts_with("backend 0 "), "{}", lines[1]);
+    }
+
+    #[test]
+    fn failover_without_standbys_reports_none() {
+        let stats = ClusterStats::default();
+        let membership = Membership::connect_all(&["127.0.0.1:1".into()], fast_options(), &stats);
+        let partition = &membership.partitions()[0];
+        assert!(membership.try_failover(partition, &stats).is_none());
+        assert_eq!(ClusterStats::get(&stats.failovers), 0);
+    }
+
+    #[test]
+    fn churn_acks_raise_the_promotion_floor() {
+        let stats = ClusterStats::default();
+        let membership = Membership::connect_replicated(
+            &[BackendSpec::replicated("127.0.0.1:1", "127.0.0.1:1")],
+            fast_options(),
+            &stats,
+        );
+        let partition = &membership.partitions()[0];
+        assert_eq!(partition.last_primary_seq(), 0);
+        partition.record_churn_ack();
+        partition.record_churn_ack();
+        assert_eq!(partition.last_primary_seq(), 2);
     }
 }

@@ -36,7 +36,7 @@ use apcm_server::client::ConnectOptions;
 use apcm_server::protocol::{self, Request};
 use apcm_server::{read_capped_line, LineOutcome};
 
-use crate::membership::Membership;
+use crate::membership::{BackendSpec, Membership, Partition};
 use crate::stats::ClusterStats;
 
 /// Router tuning. The connection-facing knobs mirror `ServerConfig`; the
@@ -143,18 +143,35 @@ impl Router {
         config: RouterConfig,
         addr: &str,
     ) -> std::io::Result<Router> {
+        let specs: Vec<BackendSpec> = backend_addrs
+            .iter()
+            .map(|a| BackendSpec::standalone(a.clone()))
+            .collect();
+        Self::start_replicated(schema, &specs, config, addr)
+    }
+
+    /// Like [`Router::start`], but each partition may name a replica node
+    /// alongside its primary. When a primary is marked down, the health
+    /// sweep (or the routing paths, inline) promotes a caught-up replica
+    /// instead of degrading that partition to partial rows.
+    pub fn start_replicated(
+        schema: Schema,
+        specs: &[BackendSpec],
+        config: RouterConfig,
+        addr: &str,
+    ) -> std::io::Result<Router> {
         config
             .validate()
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
-        if backend_addrs.is_empty() {
+        if specs.is_empty() {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
                 "a router needs at least one backend",
             ));
         }
         let stats = Arc::new(ClusterStats::default());
-        let membership = Arc::new(Membership::connect_all(
-            backend_addrs,
+        let membership = Arc::new(Membership::connect_replicated(
+            specs,
             config.connect.clone(),
             &stats,
         ));
@@ -280,9 +297,12 @@ impl Router {
         for t in handles {
             let _ = t.join();
         }
-        let mut out = self
-            .stats
-            .render(self.membership.len(), self.membership.up_count());
+        let mut out = self.stats.render(
+            self.membership.len(),
+            self.membership.up_count(),
+            self.membership.node_count(),
+            self.membership.nodes_up(),
+        );
         for line in self.membership.topology_lines() {
             out.push_str(&line);
             out.push('\n');
@@ -360,29 +380,81 @@ fn write_loop(stream: TcpStream, out_rx: Receiver<String>) {
     let _ = w.flush();
 }
 
-/// Forwards one command line to the backend owning `id` and returns the
-/// backend's reply, or a `-ERR backend <i> unavailable` refusal when the
-/// backend is down (or fails mid-request, which also marks it down).
-fn route_command(hub: &RouterHub, id: SubId, line: &str) -> String {
-    let backend = hub.membership.route(id);
-    let mut conn = backend.lock_conn();
-    let reply = match conn.as_mut() {
-        Some(c) => c.request(line),
-        None => Err(std::io::Error::other("down")),
-    };
-    match reply {
-        Ok(reply) => reply,
-        Err(_) => {
-            backend.mark_down_locked(&mut conn, hub.membership.connect_options(), &hub.stats);
-            ClusterStats::add(&hub.stats.protocol_errors, 1);
-            format!("-ERR backend {} unavailable", backend.index)
-        }
-    }
+/// Whether a successful churn reply consumed one durable log record —
+/// the router-side bookkeeping behind the partition's promotion floor.
+/// Fresh `SUB` and successful `UNSUB` acks append exactly one record;
+/// `+OK claimed` is an ownership transfer with no durable churn.
+fn churn_ack_appends_record(reply: &str) -> bool {
+    reply.starts_with('+') && !reply.starts_with("+OK claimed")
 }
 
-/// Fans `events` to every live backend and merges the per-event rows.
-/// Returns `(rows, partial)`; `partial` is set when any backend was down
-/// or failed, in which case the rows cover the surviving partitions only.
+/// Forwards one churn command line to the partition owning `id` and
+/// returns the active node's reply. A node failure marks it down and
+/// triggers an inline failover (promote the caught-up standby) followed
+/// by one retry; `-ERR backend <i> unavailable` is returned only when
+/// *neither* node is serviceable — which `BrokerClient` classifies as a
+/// retryable refusal.
+fn route_command(hub: &RouterHub, id: SubId, line: &str) -> String {
+    let partition = hub.membership.route(id);
+    for attempt in 0..2 {
+        let node = partition.active_node().clone();
+        let mut conn = node.lock_conn();
+        let reply = match conn.as_mut() {
+            Some(c) => c.request(line),
+            None => Err(std::io::Error::other("down")),
+        };
+        match reply {
+            Ok(reply) => {
+                if churn_ack_appends_record(&reply) {
+                    partition.record_churn_ack();
+                }
+                return reply;
+            }
+            Err(_) => {
+                node.mark_down_locked(&mut conn, hub.membership.connect_options(), &hub.stats);
+                drop(conn); // failover takes the promote lock conn-free
+                if attempt == 0 && hub.membership.try_failover(partition, &hub.stats).is_some() {
+                    continue;
+                }
+                break;
+            }
+        }
+    }
+    ClusterStats::add(&hub.stats.protocol_errors, 1);
+    format!("-ERR backend {} unavailable", partition.index)
+}
+
+/// Publishes one window to a partition, failing over to the standby when
+/// the active node dies mid-window. `None` only when neither node could
+/// serve it.
+fn scatter_to_partition(
+    hub: &RouterHub,
+    partition: &Partition,
+    event_lines: &[String],
+) -> Option<Vec<Vec<SubId>>> {
+    for attempt in 0..2 {
+        let node = partition.active_node().clone();
+        let mut conn = node.lock_conn();
+        let result = conn.as_mut().map(|c| c.publish_window(event_lines));
+        match result {
+            Some(Ok(rows)) => return Some(rows),
+            Some(Err(_)) => {
+                node.mark_down_locked(&mut conn, hub.membership.connect_options(), &hub.stats);
+            }
+            None => {}
+        }
+        drop(conn); // failover takes the promote lock conn-free
+        if attempt == 0 && hub.membership.try_failover(partition, &hub.stats).is_none() {
+            return None;
+        }
+    }
+    None
+}
+
+/// Fans `events` to every partition's active node and merges the
+/// per-event rows. Returns `(rows, partial)`; `partial` is set when a
+/// partition could not be served by either of its nodes, in which case
+/// the rows cover the surviving partitions only.
 fn scatter_window(hub: &RouterHub, events: &[Event]) -> (Vec<Vec<SubId>>, bool) {
     let event_lines: Vec<String> = events
         .iter()
@@ -391,24 +463,11 @@ fn scatter_window(hub: &RouterHub, events: &[Event]) -> (Vec<Vec<SubId>>, bool) 
     let per_backend: Vec<Option<Vec<Vec<SubId>>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = hub
             .membership
-            .backends()
+            .partitions()
             .iter()
-            .map(|backend| {
+            .map(|partition| {
                 let event_lines = &event_lines;
-                let stats = &hub.stats;
-                let connect = hub.membership.connect_options();
-                scope.spawn(move || {
-                    let mut conn = backend.lock_conn();
-                    let result = conn.as_mut().map(|c| c.publish_window(event_lines));
-                    match result {
-                        Some(Ok(rows)) => Some(rows),
-                        Some(Err(_)) => {
-                            backend.mark_down_locked(&mut conn, connect, stats);
-                            None
-                        }
-                        None => None,
-                    }
-                })
+                scope.spawn(move || scatter_to_partition(hub, partition, event_lines))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -576,18 +635,25 @@ fn read_loop(
                 }
             }
             Request::Stats => {
-                let body = stats.render(hub.membership.len(), hub.membership.up_count());
+                let body = stats.render(
+                    hub.membership.len(),
+                    hub.membership.up_count(),
+                    hub.membership.node_count(),
+                    hub.membership.nodes_up(),
+                );
                 reply(format!("+OK stats\n{body}."));
             }
             Request::Snapshot => {
-                // Fan the snapshot request to every live backend.
+                // Fan the snapshot request to every partition's active
+                // node (followers snapshot on their own rotation cadence).
                 let mut ok = 0usize;
-                for backend in hub.membership.backends() {
-                    let mut conn = backend.lock_conn();
+                for partition in hub.membership.partitions() {
+                    let node = partition.active_node().clone();
+                    let mut conn = node.lock_conn();
                     match conn.as_mut().map(|c| c.request("SNAPSHOT")) {
                         Some(Ok(r)) if r.starts_with('+') => ok += 1,
                         Some(Ok(_)) | None => {}
-                        Some(Err(_)) => backend.mark_down_locked(
+                        Some(Err(_)) => node.mark_down_locked(
                             &mut conn,
                             hub.membership.connect_options(),
                             stats,
@@ -608,6 +674,23 @@ fn read_loop(
                 }
                 body.push('.');
                 reply(body);
+            }
+            Request::Role => {
+                // The router is not a replication peer; it answers with a
+                // router-flavoured report so generic probes don't error.
+                reply(format!(
+                    "+OK role router partitions {} up {}",
+                    hub.membership.len(),
+                    hub.membership.up_count()
+                ));
+            }
+            Request::Replicate { .. } | Request::ReplAck { .. } => {
+                ClusterStats::add(&stats.protocol_errors, 1);
+                reply("-ERR REPLICATE targets a backend, not the router".into());
+            }
+            Request::Promote | Request::Demote { .. } => {
+                ClusterStats::add(&stats.protocol_errors, 1);
+                reply("-ERR role changes target a backend, not the router".into());
             }
             Request::Ping => reply("+PONG".into()),
             Request::Quit => {

@@ -42,6 +42,15 @@ pub struct ClusterStats {
     pub protocol_errors: AtomicU64,
     /// Lines rejected for exceeding the router's `max_line_bytes`.
     pub oversized_lines: AtomicU64,
+    /// Partitions re-aimed at a promoted standby after their active node
+    /// was marked down.
+    pub failovers: AtomicU64,
+    /// `PROMOTE` commands the router issued (failovers plus the sweep's
+    /// designation reconciliation).
+    pub promotions: AtomicU64,
+    /// `DEMOTE` commands the router issued (returning ex-primaries folded
+    /// back in as followers).
+    pub demotions: AtomicU64,
 }
 
 impl ClusterStats {
@@ -58,8 +67,16 @@ impl ClusterStats {
     }
 
     /// Renders the `STATS` body: `key value` lines, one per metric, plus
-    /// the membership gauges passed in by the router.
-    pub fn render(&self, backends: usize, backends_up: usize) -> String {
+    /// the membership gauges passed in by the router. `backends` counts
+    /// partitions (the wire-visible slots, unchanged by replication);
+    /// `nodes` counts every server in the table.
+    pub fn render(
+        &self,
+        backends: usize,
+        backends_up: usize,
+        nodes: usize,
+        nodes_up: usize,
+    ) -> String {
         let mut out = String::new();
         let mut push = |key: &str, value: u64| {
             out.push_str(key);
@@ -82,8 +99,13 @@ impl ClusterStats {
         push("replies_dropped", Self::get(&self.replies_dropped));
         push("protocol_errors", Self::get(&self.protocol_errors));
         push("oversized_lines", Self::get(&self.oversized_lines));
+        push("failovers", Self::get(&self.failovers));
+        push("promotions", Self::get(&self.promotions));
+        push("demotions", Self::get(&self.demotions));
         push("backends", backends as u64);
         push("backends_up", backends_up as u64);
+        push("nodes", nodes as u64);
+        push("nodes_up", nodes_up as u64);
         out
     }
 }
@@ -97,11 +119,14 @@ mod tests {
         let stats = ClusterStats::default();
         ClusterStats::add(&stats.windows, 3);
         ClusterStats::add(&stats.cluster_degraded, 1);
-        let text = stats.render(3, 2);
+        let text = stats.render(3, 2, 6, 5);
         assert!(text.contains("windows 3\n"));
         assert!(text.contains("cluster_degraded 1\n"));
         assert!(text.contains("backends 3\n"));
         assert!(text.contains("backends_up 2\n"));
+        assert!(text.contains("nodes 6\n"));
+        assert!(text.contains("nodes_up 5\n"));
+        assert!(text.contains("failovers 0\n"));
         assert!(text.contains("claims_routed 0\n"));
     }
 }

@@ -37,10 +37,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::client::{connect_stream, ConnectOptions};
 use crate::config::{ServerConfig, SlowConsumerPolicy};
 use crate::ingest::{IngestItem, IngestPipeline, ResultSink};
+use crate::persist::log::{parse_frame, ReplayOp};
 use crate::persist::{ChurnError, Persister, RecoveryReport};
-use crate::protocol::{self, Request};
+use crate::protocol::{self, ReplicateStart, Request, RoleReport};
+use crate::replication::{Role, RoleState};
 use crate::shard::ShardedEngine;
 use crate::stats::ServerStats;
 
@@ -157,6 +160,10 @@ struct ConnCtx {
     ingest_depth: Receiver<IngestItem>,
     epoch: Instant,
     max_line_bytes: usize,
+    role: Arc<RoleState>,
+    /// Spawns replica puller threads on `DEMOTE`; `None` without
+    /// persistence (replica mode requires it).
+    runner: Option<Arc<ReplicaRunner>>,
 }
 
 /// Outcome of one capped line read.
@@ -236,6 +243,7 @@ pub struct Server {
     engine: Arc<ShardedEngine>,
     persist: Option<Arc<Persister>>,
     stats: Arc<ServerStats>,
+    role: Arc<RoleState>,
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
@@ -298,6 +306,36 @@ impl Server {
         let ingest_tx = pipeline.sender();
         let epoch = Instant::now();
 
+        let role = Arc::new(RoleState::new(match &config.replica_of {
+            Some(primary) => Role::Replica {
+                primary: primary.clone(),
+            },
+            None => Role::Primary,
+        }));
+        stats
+            .role_replica
+            .store(u64::from(config.replica_of.is_some()), Ordering::Relaxed);
+        let runner = persist.as_ref().map(|persist| {
+            Arc::new(ReplicaRunner {
+                hub: hub.clone(),
+                engine: engine.clone(),
+                persist: persist.clone(),
+                role: role.clone(),
+                shutdown: shutdown.clone(),
+                conn_threads: conn_threads.clone(),
+                ack_every: config.repl_ack_every,
+            })
+        });
+        if config.replica_of.is_some() {
+            // Replica mode requires persistence (validated above), so the
+            // runner exists; pull from the configured primary right away.
+            runner
+                .as_ref()
+                .expect("replica mode requires persistence")
+                .clone()
+                .spawn(role.generation());
+        }
+
         let accept_thread = {
             let hub = hub.clone();
             let engine = engine.clone();
@@ -305,6 +343,8 @@ impl Server {
             let stats = stats.clone();
             let shutdown = shutdown.clone();
             let conn_threads = conn_threads.clone();
+            let role = role.clone();
+            let runner = runner.clone();
             let conn_queue = config.conn_queue;
             let max_line_bytes = config.max_line_bytes;
             let ingest_depth = pipeline.depth_handle();
@@ -327,6 +367,8 @@ impl Server {
                                     ingest_depth: ingest_depth.clone(),
                                     epoch,
                                     max_line_bytes,
+                                    role: role.clone(),
+                                    runner: runner.clone(),
                                 });
                                 spawn_connection(ctx, stream, conn_id, conn_queue, &conn_threads);
                             }
@@ -381,6 +423,7 @@ impl Server {
             engine,
             persist,
             stats,
+            role,
             addr: local_addr,
             shutdown,
             accept_thread: Some(accept_thread),
@@ -406,6 +449,16 @@ impl Server {
     /// What startup recovery found; `None` without persistence.
     pub fn recovery_report(&self) -> Option<&RecoveryReport> {
         self.persist.as_ref().map(|p| p.recovery_report())
+    }
+
+    /// The server's current role (dynamic: `PROMOTE`/`DEMOTE` flip it).
+    pub fn role(&self) -> Role {
+        self.role.role()
+    }
+
+    /// Highest durable churn sequence; 0 without persistence.
+    pub fn current_seq(&self) -> u64 {
+        self.persist.as_ref().map(|p| p.current_seq()).unwrap_or(0)
     }
 
     /// Stops threads and closes sockets; shared by the graceful and
@@ -471,6 +524,266 @@ impl Server {
     }
 }
 
+/// Drives replica mode: a puller thread that dials the primary, performs
+/// the `REPLICATE <from_seq>` handshake, and applies the streamed churn
+/// frames to the local engine + persistence. One runner exists per server
+/// (when persistence is on); each `DEMOTE` spawns a fresh puller tagged
+/// with the role generation, and stale pullers notice the generation
+/// moved on and exit — `PROMOTE` therefore stops replication without any
+/// extra signalling.
+struct ReplicaRunner {
+    hub: Arc<Hub>,
+    engine: Arc<ShardedEngine>,
+    persist: Arc<Persister>,
+    role: Arc<RoleState>,
+    shutdown: Arc<AtomicBool>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    ack_every: u64,
+}
+
+impl ReplicaRunner {
+    /// Starts a puller for role `generation`; the handle joins with the
+    /// connection threads at shutdown.
+    fn spawn(self: Arc<Self>, generation: u64) {
+        let runner = self.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("apcm-replica-g{generation}"))
+            .spawn(move || runner.run(generation))
+            .expect("spawning replica puller");
+        self.conn_threads.lock().push(handle);
+    }
+
+    /// The primary to follow, or `None` once this puller is obsolete
+    /// (server shutting down, role flipped, or a newer generation took
+    /// over).
+    fn primary(&self, generation: u64) -> Option<String> {
+        if self.shutdown.load(Ordering::SeqCst) || self.role.generation() != generation {
+            return None;
+        }
+        self.role.primary_addr()
+    }
+
+    fn run(&self, generation: u64) {
+        let stats = &self.hub.stats;
+        let options = ConnectOptions {
+            connect_timeout: Some(Duration::from_millis(500)),
+            // Short read quanta keep shutdown/demotion latency bounded and
+            // double as the keepalive-REPLACK cadence while idle.
+            read_timeout: Some(Duration::from_millis(250)),
+            attempts: 1,
+            ..ConnectOptions::default()
+        };
+        let mut connected_before = false;
+        let mut failures = 0u32;
+        loop {
+            let Some(primary) = self.primary(generation) else {
+                stats.repl_connected.store(0, Ordering::Relaxed);
+                return;
+            };
+            match connect_stream(&primary, &options) {
+                Ok(stream) => {
+                    if connected_before {
+                        ServerStats::add(&stats.repl_reconnects, 1);
+                    }
+                    connected_before = true;
+                    failures = 0;
+                    self.follow(generation, stream);
+                    stats.repl_connected.store(0, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    failures = failures.saturating_add(1).min(8);
+                    let deadline = Instant::now() + options.delay_before_retry(failures);
+                    while Instant::now() < deadline {
+                        if self.primary(generation).is_none() {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+            }
+        }
+    }
+
+    /// One connected stint against the primary: handshake, optional
+    /// snapshot bootstrap, then the live frame tail. Returning (for any
+    /// reason) sends control back to `run`, which redials from the
+    /// current applied seq — so every exit path is also the repair path.
+    fn follow(&self, generation: u64, stream: TcpStream) {
+        let stats = &self.hub.stats;
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        let mut reader = BufReader::new(stream);
+        let mut pending = String::new();
+        let mut applied = self.persist.current_seq();
+        if writer
+            .write_all(format!("REPLICATE {applied}\n").as_bytes())
+            .is_err()
+        {
+            return;
+        }
+
+        let Some(header) =
+            self.next_line(generation, &mut reader, &mut pending, &mut writer, applied)
+        else {
+            return;
+        };
+        let start = match protocol::parse_replicate_header(&header) {
+            Ok(start) => start,
+            // `-ERR` (e.g. the peer lost persistence) or garbage: redial.
+            Err(_) => return,
+        };
+        stats.repl_connected.store(1, Ordering::Relaxed);
+
+        if let ReplicateStart::Snapshot { subs: count, seq } = start {
+            // Full bootstrap: our log position is useless to the primary
+            // (predates its retained log, or is ahead of it after a
+            // failed promote). Collect the whole catalog image first;
+            // any corrupt frame poisons the image, so abort and redial
+            // rather than install a catalog with holes.
+            let mut subs = Vec::with_capacity(count);
+            for _ in 0..count {
+                let Some(line) =
+                    self.next_line(generation, &mut reader, &mut pending, &mut writer, applied)
+                else {
+                    return;
+                };
+                match parse_frame(&line, &self.hub.schema) {
+                    Ok(record) => match record.op {
+                        ReplayOp::Sub(sub) => subs.push(sub),
+                        ReplayOp::Unsub(_) => return,
+                    },
+                    Err(_) => {
+                        ServerStats::add(&stats.repl_crc_skipped, 1);
+                        return;
+                    }
+                }
+            }
+            let fresh: HashMap<SubId, u64> = subs
+                .iter()
+                .map(|sub| (sub.id(), sub_fingerprint(sub)))
+                .collect();
+            if self
+                .persist
+                .bootstrap_replace(&self.engine, subs, seq)
+                .is_err()
+            {
+                return;
+            }
+            // The engine + catalog were swapped wholesale; mirror that in
+            // the hub so CLAIM liveness and notification routing agree
+            // with what is actually matchable.
+            self.hub
+                .owners
+                .write()
+                .retain(|id, _| fresh.contains_key(id));
+            *self.hub.live.write() = fresh;
+            applied = seq;
+            stats.repl_applied_seq.store(applied, Ordering::Relaxed);
+            ServerStats::add(&stats.repl_bootstraps, 1);
+            let _ = writer.write_all(format!("REPLACK {applied}\n").as_bytes());
+        }
+
+        let mut since_ack = 0u64;
+        loop {
+            let Some(line) =
+                self.next_line(generation, &mut reader, &mut pending, &mut writer, applied)
+            else {
+                return;
+            };
+            let record = match parse_frame(&line, &self.hub.schema) {
+                Ok(record) => record,
+                Err(_) => {
+                    // A framed-but-corrupt record is never applied. Drop
+                    // the connection instead of skipping past it: the
+                    // reconnect handshake (`REPLICATE <applied>`) refetches
+                    // the record from the primary's durable log, so no
+                    // hole survives wire corruption.
+                    ServerStats::add(&stats.repl_crc_skipped, 1);
+                    return;
+                }
+            };
+            if record.seq <= applied {
+                continue; // backlog/live overlap around the handshake
+            }
+            match self.persist.apply_replicated(&self.engine, &line, &record) {
+                Ok(true) => {
+                    match &record.op {
+                        ReplayOp::Sub(sub) => {
+                            self.hub.live.write().insert(sub.id(), sub_fingerprint(sub));
+                        }
+                        ReplayOp::Unsub(id) => {
+                            self.hub.live.write().remove(id);
+                            self.hub.owners.write().remove(id);
+                        }
+                    }
+                    applied = record.seq;
+                    stats.repl_applied_seq.store(applied, Ordering::Relaxed);
+                    since_ack += 1;
+                    if since_ack >= self.ack_every {
+                        since_ack = 0;
+                        if writer
+                            .write_all(format!("REPLACK {applied}\n").as_bytes())
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                }
+                Ok(false) => {
+                    applied = applied.max(record.seq);
+                }
+                // Local persistence is degraded; redial after backoff so
+                // the append retries rather than silently dropping churn.
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Reads the next complete line, tolerating read-timeout ticks. Each
+    /// idle tick re-checks the stop conditions and sends a keepalive
+    /// `REPLACK` so the primary's lag gauge stays fresh. `None` means the
+    /// stream ended or this puller should stop.
+    fn next_line(
+        &self,
+        generation: u64,
+        reader: &mut BufReader<TcpStream>,
+        pending: &mut String,
+        writer: &mut TcpStream,
+        applied: u64,
+    ) -> Option<String> {
+        loop {
+            self.primary(generation)?;
+            match reader.read_line(pending) {
+                Ok(0) => return None,
+                Ok(_) => {
+                    if pending.ends_with('\n') {
+                        let line = pending.trim_end().to_string();
+                        pending.clear();
+                        return Some(line);
+                    }
+                    // Unterminated tail: EOF follows on the next read.
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if writer
+                        .write_all(format!("REPLACK {applied}\n").as_bytes())
+                        .is_err()
+                    {
+                        return None;
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
 /// Spawns the reader + writer thread pair for one accepted connection.
 fn spawn_connection(
     ctx: Arc<ConnCtx>,
@@ -518,7 +831,12 @@ fn spawn_connection(
             .name(format!("apcm-conn-{conn_id}-r"))
             .spawn(move || {
                 read_loop(&ctx, stream, conn_id, out_tx, &activity);
-                // Cleanup: deregister and release the writer.
+                // Cleanup: deregister and release the writer. If this
+                // connection was a replication feed, drop its follower
+                // slot so the lag gauge stops tracking it.
+                if let Some(p) = &ctx.persist {
+                    p.remove_follower(conn_id);
+                }
                 ctx.hub.conns.lock().remove(&conn_id);
                 ServerStats::sub(&ctx.hub.stats.conns_active, 1);
             })
@@ -586,6 +904,13 @@ fn read_loop(
         };
         match request {
             Request::Sub { id, sub } => {
+                if ctx.role.is_replica() {
+                    // Read-only: churn flows in over the REPLICATE stream
+                    // only, so the follower never diverges from its
+                    // primary. Matching (PUB/BATCH) stays available.
+                    reply(protocol::READ_ONLY_REPLICA_ERR.to_string());
+                    continue;
+                }
                 let outcome = match &ctx.persist {
                     Some(p) => p.apply_sub(&ctx.engine, &sub),
                     None => ctx.engine.subscribe(&sub).map_err(ChurnError::Engine),
@@ -625,6 +950,10 @@ fn read_loop(
                 }
             }
             Request::Unsub { id } => {
+                if ctx.role.is_replica() {
+                    reply(protocol::READ_ONLY_REPLICA_ERR.to_string());
+                    continue;
+                }
                 let outcome = match &ctx.persist {
                     Some(p) => p.apply_unsub(&ctx.engine, id),
                     None => Ok(ctx.engine.unsubscribe(id)),
@@ -660,6 +989,8 @@ fn read_loop(
                 let seq = next_seq;
                 next_seq += 1;
                 ServerStats::add(&stats.events_in, 1);
+                // Ack first — the event's RESULT must never precede it.
+                reply(format!("+OK {seq}"));
                 if ctx
                     .ingest
                     .send(IngestItem {
@@ -672,11 +1003,10 @@ fn read_loop(
                     reply("-ERR server shutting down".into());
                     return;
                 }
-                reply(format!("+OK {seq}"));
             }
             Request::Batch { count } => {
                 let first = next_seq;
-                let mut accepted = 0usize;
+                let mut events = Vec::with_capacity(count);
                 for i in 0..count {
                     match read_capped_line(&mut reader, &mut line, max_line) {
                         Ok(LineOutcome::Line) => {}
@@ -693,20 +1023,8 @@ fn read_loop(
                         Ok(event) => {
                             let seq = next_seq;
                             next_seq += 1;
-                            accepted += 1;
                             ServerStats::add(&stats.events_in, 1);
-                            if ctx
-                                .ingest
-                                .send(IngestItem {
-                                    conn: conn_id,
-                                    seq,
-                                    event,
-                                })
-                                .is_err()
-                            {
-                                reply("-ERR server shutting down".into());
-                                return;
-                            }
+                            events.push((seq, event));
                         }
                         Err(e) => {
                             ServerStats::add(&stats.protocol_errors, 1);
@@ -714,7 +1032,25 @@ fn read_loop(
                         }
                     }
                 }
-                reply(format!("+OK batch {first} {accepted}"));
+                // Ack before submitting: the ingest pipeline can flush a
+                // full window (and push its RESULT lines) before this
+                // thread gets to enqueue anything, and the wire contract
+                // promises the ack precedes the batch's results.
+                reply(format!("+OK batch {first} {}", events.len()));
+                for (seq, event) in events {
+                    if ctx
+                        .ingest
+                        .send(IngestItem {
+                            conn: conn_id,
+                            seq,
+                            event,
+                        })
+                        .is_err()
+                    {
+                        reply("-ERR server shutting down".into());
+                        return;
+                    }
+                }
             }
             Request::Stats => {
                 let body = stats.render(
@@ -744,6 +1080,74 @@ fn read_loop(
                 // multi-line backend report is the cluster router's.
                 reply("+OK topology standalone".into());
             }
+            Request::Replicate { from_seq } => match &ctx.persist {
+                Some(p) => {
+                    let registered = reader
+                        .get_ref()
+                        .try_clone()
+                        .and_then(|s| p.begin_stream(conn_id, from_seq, out.clone(), s));
+                    match registered {
+                        // The handshake header + backlog chunk is already
+                        // queued; the live tail flows via broadcast. This
+                        // connection now doubles as a feed — REPLACKs keep
+                        // arriving through this loop.
+                        Ok(_start) => {
+                            ServerStats::add(&stats.replies_sent, 1);
+                        }
+                        Err(e) => reply(format!("-ERR replicate failed: {e}")),
+                    }
+                }
+                None => {
+                    ServerStats::add(&stats.protocol_errors, 1);
+                    reply("-ERR persistence disabled".into());
+                }
+            },
+            Request::ReplAck { seq } => {
+                if let Some(p) = &ctx.persist {
+                    p.follower_ack(conn_id, seq);
+                }
+            }
+            Request::Role => {
+                let report = match ctx.role.role() {
+                    Role::Primary => RoleReport {
+                        primary: true,
+                        seq: ctx.persist.as_ref().map(|p| p.current_seq()).unwrap_or(0),
+                        lag: ServerStats::get(&stats.repl_lag_records),
+                        connected: ServerStats::get(&stats.repl_followers),
+                        following: None,
+                    },
+                    Role::Replica { primary } => RoleReport {
+                        primary: false,
+                        seq: ctx.persist.as_ref().map(|p| p.current_seq()).unwrap_or(0),
+                        lag: 0,
+                        connected: ServerStats::get(&stats.repl_connected),
+                        following: Some(primary),
+                    },
+                };
+                reply(protocol::render_role_report(&report));
+            }
+            Request::Promote => {
+                if ctx.role.promote() {
+                    ServerStats::add(&stats.promotions, 1);
+                    stats.role_replica.store(0, Ordering::Relaxed);
+                    stats.repl_connected.store(0, Ordering::Relaxed);
+                }
+                let seq = ctx.persist.as_ref().map(|p| p.current_seq()).unwrap_or(0);
+                reply(format!("+OK promoted seq {seq}"));
+            }
+            Request::Demote { addr } => match &ctx.runner {
+                Some(runner) => {
+                    let generation = ctx.role.demote(addr.clone());
+                    ServerStats::add(&stats.demotions, 1);
+                    stats.role_replica.store(1, Ordering::Relaxed);
+                    runner.clone().spawn(generation);
+                    reply(format!("+OK demoted following {addr}"));
+                }
+                None => {
+                    ServerStats::add(&stats.protocol_errors, 1);
+                    reply("-ERR persistence required for replica mode".into());
+                }
+            },
             Request::Ping => reply("+PONG".into()),
             Request::Quit => {
                 reply("+OK bye".into());

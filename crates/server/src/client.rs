@@ -7,7 +7,7 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol;
+use crate::protocol::{self, RoleReport};
 
 /// Connection policy for [`BrokerClient::connect_with`]: bounded dial and
 /// read waits plus a jittered exponential-backoff retry loop, so a client
@@ -89,6 +89,12 @@ pub fn connect_stream(addr: &str, options: &ConnectOptions) -> std::io::Result<T
 pub struct BrokerClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Extra attempts for churn commands answered with a retryable
+    /// refusal (`-ERR backend <i> unavailable` from a router mid-failover,
+    /// `-ERR read-only replica` from a just-demoted node). 0 disables.
+    churn_retries: u32,
+    /// Flat delay between those retries.
+    churn_retry_backoff: Duration,
 }
 
 impl BrokerClient {
@@ -105,7 +111,17 @@ impl BrokerClient {
         Ok(Self {
             reader,
             writer: BufWriter::new(stream),
+            churn_retries: 4,
+            churn_retry_backoff: Duration::from_millis(75),
         })
+    }
+
+    /// Tunes the retry policy for retryable churn refusals (see
+    /// [`protocol::is_retryable_churn_refusal`]); `attempts = 0` makes
+    /// every refusal a hard error.
+    pub fn set_churn_retry(&mut self, attempts: u32, backoff: Duration) {
+        self.churn_retries = attempts;
+        self.churn_retry_backoff = backoff;
     }
 
     fn dial(addr: &str, timeout: Option<Duration>) -> std::io::Result<TcpStream> {
@@ -170,16 +186,58 @@ impl BrokerClient {
         }
     }
 
+    /// Reads the next command reply (skipping async RESULT/EVENT lines)
+    /// without judging it — the caller sees the raw `+`/`-` line.
+    fn next_reply(&mut self, context: &str) -> std::io::Result<String> {
+        loop {
+            let line = self.read_line()?.ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, context.to_string())
+            })?;
+            if line.starts_with("RESULT ") || line.starts_with("EVENT ") {
+                continue;
+            }
+            return Ok(line);
+        }
+    }
+
+    /// Sends a churn command, retrying (with a flat backoff) while the
+    /// answer is a *retryable* refusal: a router that has lost a backend
+    /// mid-failover, or a node answering `-ERR read-only replica` in the
+    /// instant between its demotion and the router re-aiming at the new
+    /// primary. Returns the raw reply line of the final attempt.
+    fn churn_command(&mut self, command: &str, context: &str) -> std::io::Result<String> {
+        let mut attempt = 0u32;
+        loop {
+            self.send_line(command)?;
+            let reply = self.next_reply(context)?;
+            if protocol::is_retryable_churn_refusal(&reply) && attempt < self.churn_retries {
+                attempt += 1;
+                std::thread::sleep(self.churn_retry_backoff);
+                continue;
+            }
+            return Ok(reply);
+        }
+    }
+
     /// `SUB id expr`, waiting for the acknowledgment.
     pub fn subscribe(&mut self, sub: &Subscription, schema: &Schema) -> std::io::Result<()> {
-        self.send_line(&format!("SUB {} {}", sub.id().0, sub.display(schema)))?;
-        self.expect_ok("SUB").map(|_| ())
+        let command = format!("SUB {} {}", sub.id().0, sub.display(schema));
+        let reply = self.churn_command(&command, "SUB")?;
+        if reply.starts_with('+') {
+            Ok(())
+        } else {
+            Err(std::io::Error::other(format!("SUB: {reply}")))
+        }
     }
 
     /// `UNSUB id`, waiting for the acknowledgment.
     pub fn unsubscribe(&mut self, id: SubId) -> std::io::Result<()> {
-        self.send_line(&format!("UNSUB {}", id.0))?;
-        self.expect_ok("UNSUB").map(|_| ())
+        let reply = self.churn_command(&format!("UNSUB {}", id.0), "UNSUB")?;
+        if reply.starts_with('+') {
+            Ok(())
+        } else {
+            Err(std::io::Error::other(format!("UNSUB: {reply}")))
+        }
     }
 
     /// `CLAIM id`: take over ownership (notifications) of a live id.
@@ -198,23 +256,16 @@ impl BrokerClient {
         sub: &Subscription,
         schema: &Schema,
     ) -> std::io::Result<bool> {
-        self.send_line(&format!("SUB {} {}", sub.id().0, sub.display(schema)))?;
-        loop {
-            let line = self.read_line()?.ok_or_else(|| {
-                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "SUB".to_string())
-            })?;
-            if line.starts_with("RESULT ") || line.starts_with("EVENT ") {
-                continue;
-            }
-            if let Some(rest) = line.strip_prefix('+') {
-                return Ok(rest.starts_with("OK claimed"));
-            }
-            if let Some(id) = protocol::parse_duplicate_error(&line) {
-                self.claim(id)?;
-                return Ok(true);
-            }
-            return Err(std::io::Error::other(format!("SUB: {line}")));
+        let command = format!("SUB {} {}", sub.id().0, sub.display(schema));
+        let line = self.churn_command(&command, "SUB")?;
+        if let Some(rest) = line.strip_prefix('+') {
+            return Ok(rest.starts_with("OK claimed"));
         }
+        if let Some(id) = protocol::parse_duplicate_error(&line) {
+            self.claim(id)?;
+            return Ok(true);
+        }
+        Err(std::io::Error::other(format!("SUB: {line}")))
     }
 
     pub fn ping(&mut self) -> std::io::Result<()> {
@@ -299,6 +350,33 @@ impl BrokerClient {
     pub fn snapshot(&mut self) -> std::io::Result<String> {
         self.send_line("SNAPSHOT")?;
         self.expect_ok("SNAPSHOT")
+    }
+
+    /// `ROLE`: the node's replication role report (primary/replica, seq,
+    /// lag, connectivity).
+    pub fn role(&mut self) -> std::io::Result<RoleReport> {
+        self.send_line("ROLE")?;
+        let reply = self.expect_ok("ROLE")?;
+        protocol::parse_role_report(&reply).map_err(std::io::Error::other)
+    }
+
+    /// `PROMOTE`: make the node a primary (idempotent). Returns its churn
+    /// seq at promotion time.
+    pub fn promote(&mut self) -> std::io::Result<u64> {
+        self.send_line("PROMOTE")?;
+        let reply = self.expect_ok("PROMOTE")?;
+        // "+OK promoted seq <n>"
+        reply
+            .rsplit(' ')
+            .next()
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| std::io::Error::other(format!("PROMOTE: {reply}")))
+    }
+
+    /// `DEMOTE <addr>`: make the node a replica following `addr`.
+    pub fn demote(&mut self, addr: &str) -> std::io::Result<()> {
+        self.send_line(&format!("DEMOTE {addr}"))?;
+        self.expect_ok("DEMOTE").map(|_| ())
     }
 
     /// `TOPOLOGY`: the cluster membership report. Returns one line per

@@ -175,6 +175,15 @@ pub struct ServerConfig {
     /// Durable subscription state; `None` keeps the pre-durability
     /// behavior (everything lost on restart).
     pub persist: Option<PersistConfig>,
+    /// Start as a read-only replica following the primary at this address:
+    /// client churn is refused (`-ERR read-only replica`) and a puller
+    /// thread streams the primary's churn records into the local engine +
+    /// persistence. Requires `persist`. `PROMOTE` flips the role at
+    /// runtime.
+    pub replica_of: Option<String>,
+    /// A replica sends `REPLACK` after this many applied records (and on
+    /// stream idle), bounding how stale the primary's lag gauge can be.
+    pub repl_ack_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -192,6 +201,8 @@ impl Default for ServerConfig {
             max_line_bytes: 1024 * 1024,
             idle_timeout: None,
             persist: None,
+            replica_of: None,
+            repl_ack_every: 32,
         }
     }
 }
@@ -212,6 +223,14 @@ impl ServerConfig {
         }
         if let Some(persist) = &self.persist {
             persist.validate()?;
+        }
+        if self.replica_of.is_some() && self.persist.is_none() {
+            return Err("replica mode requires persistence (the replicated churn \
+                        log is applied through the local persister)"
+                .into());
+        }
+        if self.repl_ack_every == 0 {
+            return Err("repl_ack_every must be positive".into());
         }
         Ok(())
     }
@@ -278,6 +297,26 @@ mod tests {
                 rotate_log_bytes: 0,
                 ..PersistConfig::new("/tmp/x")
             }),
+            ..ServerConfig::default()
+        };
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn replica_mode_requires_persistence() {
+        let config = ServerConfig {
+            replica_of: Some("127.0.0.1:7001".into()),
+            ..ServerConfig::default()
+        };
+        assert!(config.validate().is_err());
+        let config = ServerConfig {
+            replica_of: Some("127.0.0.1:7001".into()),
+            persist: Some(PersistConfig::new("/tmp/x")),
+            ..ServerConfig::default()
+        };
+        config.validate().unwrap();
+        let config = ServerConfig {
+            repl_ack_every: 0,
             ..ServerConfig::default()
         };
         assert!(config.validate().is_err());

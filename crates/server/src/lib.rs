@@ -16,6 +16,11 @@
 //! * [`persist`] makes the subscription set durable: a checksummed
 //!   snapshot plus a CRC-framed append-only churn log, replayed at
 //!   startup with torn-tail truncation and corrupt-record skipping.
+//! * [`replication`] ships that churn log to follower servers live: a
+//!   replica (`ServerConfig::replica_of`, or `DEMOTE` at runtime) pulls
+//!   `REPLICATE <from_seq>` — log tail or full snapshot bootstrap — and
+//!   applies each CRC-framed record to its own engine + persistence,
+//!   refusing client churn until `PROMOTE` flips it back to primary.
 
 pub mod broker;
 pub mod client;
@@ -24,6 +29,7 @@ pub mod engine;
 pub mod ingest;
 pub mod persist;
 pub mod protocol;
+pub mod replication;
 pub mod shard;
 pub mod stats;
 
@@ -32,6 +38,8 @@ pub use client::{BrokerClient, ConnectOptions};
 pub use config::{EngineChoice, FsyncPolicy, PersistConfig, ServerConfig, SlowConsumerPolicy};
 pub use engine::ShardEngine;
 pub use ingest::{IngestItem, IngestPipeline, ResultSink};
-pub use persist::{Persister, RecoveryReport};
+pub use persist::{Persister, RecoveryReport, StreamStart};
+pub use protocol::{ReplicateStart, RoleReport};
+pub use replication::{Role, RoleState};
 pub use shard::{route_partition, ShardedEngine};
 pub use stats::ServerStats;

@@ -1,10 +1,13 @@
-//! Runtime fault-injection registry for the persistence write path.
+//! Runtime fault-injection registry for the persistence write path and
+//! the replication stream.
 //!
 //! Tests arm named failpoints to make specific I/O steps fail — or fail
-//! *partially* (a torn write) — so crash recovery can be exercised
-//! deterministically without killing the process. Production code pays one
-//! mutex-guarded `HashMap` lookup per churn append (never on the event
-//! matching path); with nothing armed the map is empty.
+//! *partially* (a torn write), or stall for a bounded time — so crash
+//! recovery, replication lag, and mid-stream-disconnect paths can be
+//! exercised deterministically without killing the process. Production
+//! code pays one mutex-guarded `HashMap` lookup per churn append or
+//! replicated record (never on the event matching path); with nothing
+//! armed the map is empty.
 //!
 //! Failpoints are process-global. Tests that arm them must use distinct
 //! names or serialize; [`reset`] clears everything.
@@ -19,8 +22,13 @@ pub enum FailAction {
     /// Fail with an injected `io::Error` before any bytes are written.
     Error,
     /// Write only the first `n` bytes of the buffer, then fail — simulates
-    /// a crash mid-record (a torn tail on disk).
+    /// a crash mid-record (a torn tail on disk, or a torn frame on the
+    /// replication stream).
     TornWrite(usize),
+    /// Sleep this many milliseconds before the guarded step proceeds
+    /// normally — simulates a slow disk or a stalled replication feed
+    /// (visible as lag, never as an error).
+    Stall(u64),
 }
 
 struct Armed {

@@ -74,6 +74,11 @@ pub struct ChurnLog {
     good_len: u64,
     /// Last sequence number assigned to a durable record.
     seq: u64,
+    /// Sequence *before* the oldest record still retained in the file: a
+    /// replication stream can serve `from_seq >= base_seq` from the log
+    /// alone; anything older predates the last rotation and needs a
+    /// snapshot bootstrap.
+    base_seq: u64,
     /// Set when a failed append could not be repaired: the on-disk tail is
     /// suspect and appends fail fast until `repair` succeeds.
     dirty: bool,
@@ -86,10 +91,26 @@ fn render_payload(op: &ChurnOp<'_>, schema: &Schema) -> String {
     }
 }
 
+/// Renders one CRC-framed record line (no trailing newline) exactly as it
+/// lives in the log file — and exactly as it travels over a `REPLICATE`
+/// stream, so one frame format serves both.
+pub fn render_frame(seq: u64, op: &ChurnOp<'_>, schema: &Schema) -> String {
+    let payload = format!("{seq} {}", render_payload(op, schema));
+    format!("{:08x} {payload}", crc32(payload.as_bytes()))
+}
+
+/// Parses and CRC-checks one frame line (as produced by [`render_frame`]
+/// or read from the log file). The error string says what was wrong.
+pub fn parse_frame(line: &str, schema: &Schema) -> Result<ReplayRecord, String> {
+    parse_record(line.as_bytes(), schema)
+}
+
 impl ChurnLog {
     /// Opens (creating if missing) the log for appending. `start_seq` is
-    /// the highest sequence already durable (from snapshot + replay).
-    pub fn open(dir: &Path, start_seq: u64) -> io::Result<Self> {
+    /// the highest sequence already durable (from snapshot + replay);
+    /// `base_seq` is the sequence before the oldest record retained in the
+    /// file (from replay — equal to `start_seq` when the file is empty).
+    pub fn open(dir: &Path, start_seq: u64, base_seq: u64) -> io::Result<Self> {
         let path = dir.join(LOG_FILE);
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         let good_len = file.metadata()?.len();
@@ -98,12 +119,18 @@ impl ChurnLog {
             path,
             good_len,
             seq: start_seq,
+            base_seq,
             dirty: false,
         })
     }
 
     pub fn seq(&self) -> u64 {
         self.seq
+    }
+
+    /// Sequence before the oldest retained record (see the field docs).
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
     }
 
     pub fn len_bytes(&self) -> u64 {
@@ -125,8 +152,7 @@ impl ChurnLog {
             ));
         }
         let seq = self.seq + 1;
-        let payload = format!("{seq} {}", render_payload(op, schema));
-        let line = format!("{:08x} {payload}\n", crc32(payload.as_bytes()));
+        let line = format!("{}\n", render_frame(seq, op, schema));
         let bytes = line.as_bytes();
 
         let write_result = match failpoint::fire("persist.log.append") {
@@ -138,6 +164,10 @@ impl ChurnLog {
                     .write_all(&bytes[..n])
                     .and_then(|()| self.file.flush())
                     .and(Err(failpoint::injected_error("persist.log.append")))
+            }
+            Some(FailAction::Stall(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                self.file.write_all(bytes).and_then(|()| self.file.flush())
             }
             None => self.file.write_all(bytes).and_then(|()| self.file.flush()),
         };
@@ -184,6 +214,65 @@ impl ChurnLog {
         Ok(())
     }
 
+    /// Appends a pre-framed record verbatim with the *primary's* sequence
+    /// number — the replica apply path. The frame already carries its CRC,
+    /// so what lands on the follower's disk is byte-identical to the
+    /// primary's record. `seq` must exceed the current sequence (the
+    /// caller skips already-applied records on stream overlap).
+    pub fn append_frame(&mut self, frame: &str, seq: u64, sync: bool) -> io::Result<()> {
+        if self.dirty {
+            return Err(io::Error::other(
+                "churn log has an unrepaired torn tail; append refused",
+            ));
+        }
+        debug_assert!(seq > self.seq, "replicated frame seq must advance");
+        let line = format!("{frame}\n");
+        let bytes = line.as_bytes();
+        let write_result = self.file.write_all(bytes).and_then(|()| self.file.flush());
+        match write_result {
+            Ok(()) => {
+                if sync {
+                    if let Err(e) = self.file.sync_data() {
+                        self.repair_after_failure();
+                        return Err(e);
+                    }
+                }
+                self.good_len += bytes.len() as u64;
+                self.seq = seq;
+                Ok(())
+            }
+            Err(e) => {
+                self.repair_after_failure();
+                Err(e)
+            }
+        }
+    }
+
+    /// Reads every retained frame with a sequence strictly greater than
+    /// `from_seq`, verbatim (CRC framing intact) and in file order — the
+    /// backlog half of a `REPLICATE` stream. Frames that do not parse well
+    /// enough to expose a sequence number are skipped (the follower's CRC
+    /// check would reject them anyway).
+    pub fn frames_after(&self, from_seq: u64) -> io::Result<Vec<String>> {
+        let data = std::fs::read(&self.path)?;
+        let mut out = Vec::new();
+        for line in data.split(|&b| b == b'\n') {
+            if line.is_empty() {
+                continue;
+            }
+            let Ok(text) = std::str::from_utf8(line) else {
+                continue;
+            };
+            let seq = text.split(' ').nth(1).and_then(|t| t.parse::<u64>().ok());
+            if let Some(seq) = seq {
+                if seq > from_seq {
+                    out.push(text.to_string());
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Whether the log currently refuses appends (unrepaired tail).
     pub fn is_dirty(&self) -> bool {
         self.dirty
@@ -195,13 +284,25 @@ impl ChurnLog {
     }
 
     /// Starts a fresh log after a successful snapshot: truncates to zero.
-    /// Sequence numbers keep counting — the snapshot records the cutoff.
+    /// Sequence numbers keep counting — the snapshot records the cutoff —
+    /// and `base_seq` advances to it, so replication streams from before
+    /// the rotation now require a snapshot bootstrap.
     pub fn rotate(&mut self) -> io::Result<()> {
         self.file.set_len(0)?;
         self.file.seek(SeekFrom::Start(0))?;
         self.good_len = 0;
+        self.base_seq = self.seq;
         self.dirty = false;
         Ok(())
+    }
+
+    /// Truncates the log and jumps both sequence cursors to `seq` — the
+    /// follower bootstrap path, where local history is replaced wholesale
+    /// by the primary's snapshot at `seq` (which the caller has already
+    /// written).
+    pub fn rotate_to(&mut self, seq: u64) -> io::Result<()> {
+        self.seq = seq;
+        self.rotate()
     }
 }
 
@@ -332,7 +433,7 @@ mod tests {
     fn append_and_replay_round_trip() {
         let schema = Schema::uniform(3, 16);
         let dir = tmpdir("roundtrip");
-        let mut log = ChurnLog::open(&dir, 0).unwrap();
+        let mut log = ChurnLog::open(&dir, 0, 0).unwrap();
         let s1 = sub(&schema, 1, "a0 = 3 AND a1 >= 5");
         let s2 = sub(&schema, 2, "a2 != 7");
         assert_eq!(log.append(&ChurnOp::Sub(&s1), &schema, true).unwrap(), 1);
@@ -364,7 +465,7 @@ mod tests {
     fn torn_tail_is_truncated_and_appendable() {
         let schema = Schema::uniform(2, 8);
         let dir = tmpdir("torn");
-        let mut log = ChurnLog::open(&dir, 0).unwrap();
+        let mut log = ChurnLog::open(&dir, 0, 0).unwrap();
         let s1 = sub(&schema, 1, "a0 = 1");
         log.append(&ChurnOp::Sub(&s1), &schema, true).unwrap();
         drop(log);
@@ -379,7 +480,7 @@ mod tests {
         assert!(replayed.truncated_bytes > 0);
         // The file was physically truncated back to the good frame.
         let len = std::fs::metadata(&path).unwrap().len();
-        let mut log = ChurnLog::open(&dir, replayed.last_seq).unwrap();
+        let mut log = ChurnLog::open(&dir, replayed.last_seq, 0).unwrap();
         assert_eq!(log.len_bytes(), len);
         let s2 = sub(&schema, 2, "a1 = 2");
         log.append(&ChurnOp::Sub(&s2), &schema, true).unwrap();
@@ -394,7 +495,7 @@ mod tests {
     fn mid_file_corruption_is_skipped_with_report() {
         let schema = Schema::uniform(2, 8);
         let dir = tmpdir("midcorrupt");
-        let mut log = ChurnLog::open(&dir, 0).unwrap();
+        let mut log = ChurnLog::open(&dir, 0, 0).unwrap();
         for id in 1..=3u32 {
             let s = sub(&schema, id, "a0 = 1");
             log.append(&ChurnOp::Sub(&s), &schema, false).unwrap();
@@ -419,7 +520,7 @@ mod tests {
     fn torn_write_failpoint_repairs_inline() {
         let schema = Schema::uniform(2, 8);
         let dir = tmpdir("fp_torn");
-        let mut log = ChurnLog::open(&dir, 0).unwrap();
+        let mut log = ChurnLog::open(&dir, 0, 0).unwrap();
         let s1 = sub(&schema, 1, "a0 = 1");
         log.append(&ChurnOp::Sub(&s1), &schema, true).unwrap();
         let good = log.len_bytes();
@@ -440,7 +541,7 @@ mod tests {
     fn failed_repair_marks_dirty_until_fixed() {
         let schema = Schema::uniform(2, 8);
         let dir = tmpdir("fp_dirty");
-        let mut log = ChurnLog::open(&dir, 0).unwrap();
+        let mut log = ChurnLog::open(&dir, 0, 0).unwrap();
         failpoint::arm("persist.log.append", FailAction::TornWrite(3), Some(1));
         failpoint::arm("persist.log.repair", FailAction::Error, Some(1));
         let s1 = sub(&schema, 1, "a0 = 1");

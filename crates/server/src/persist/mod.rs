@@ -36,9 +36,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::config::{FsyncPolicy, PersistConfig};
+use crate::replication::{send_chunk, ReplicationHub};
 use crate::shard::ShardedEngine;
 use crate::stats::ServerStats;
-use log::{ChurnLog, ChurnOp, ReplayOp};
+use crossbeam::channel::Sender;
+use log::{ChurnLog, ChurnOp, ReplayOp, ReplayRecord};
+use std::net::TcpStream;
 
 /// Why a churn operation was rejected.
 #[derive(Debug)]
@@ -148,7 +151,22 @@ pub struct Persister {
     /// Canonical live set, keyed by id. Updated only after a successful
     /// append, so it never disagrees with the durable state.
     catalog: RwLock<HashMap<SubId, Subscription>>,
+    /// Live `REPLICATE` follower streams; every durable append is fanned
+    /// out to them (under `inner`, so followers see append order).
+    repl: ReplicationHub,
     recovery: RecoveryReport,
+}
+
+/// How a `REPLICATE <from_seq>` handshake was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamStart {
+    /// The retained log covered `from_seq`: this many backlog frames were
+    /// shipped, live tail follows.
+    Log { backlog: usize },
+    /// `from_seq` predated the retained log (or was ahead of the primary —
+    /// stale promote leftovers): the full catalog was shipped as a
+    /// snapshot bootstrap at this sequence.
+    Snapshot { subs: usize, seq: u64 },
 }
 
 impl Persister {
@@ -222,7 +240,14 @@ impl Persister {
         );
         ServerStats::add(&stats.recovery_truncated_bytes, report.truncated_bytes);
 
-        let log = ChurnLog::open(&config.dir, last_seq)?;
+        // The oldest retained record bounds what a replication stream can
+        // serve without a snapshot bootstrap.
+        let retained_base = replay
+            .records
+            .first()
+            .map(|r| r.seq.saturating_sub(1))
+            .unwrap_or(last_seq);
+        let log = ChurnLog::open(&config.dir, last_seq, retained_base)?;
         let now = Instant::now();
         let mut restored: Vec<Subscription> = catalog.values().cloned().collect();
         restored.sort_by_key(|s| s.id());
@@ -238,6 +263,7 @@ impl Persister {
             schema,
             stats,
             catalog: RwLock::new(catalog),
+            repl: ReplicationHub::default(),
             recovery: report,
         };
         Ok((persister, restored))
@@ -321,10 +347,11 @@ impl Persister {
             .log
             .append(&ChurnOp::Sub(sub), &self.schema, self.fsync_per_append())
         {
-            Ok(_seq) => {
+            Ok(seq) => {
                 ServerStats::add(&self.stats.persist_appends, 1);
                 self.note_success(&mut inner);
                 self.catalog.write().insert(sub.id(), sub.clone());
+                self.fan_out(&ChurnOp::Sub(sub), seq);
                 Ok(true)
             }
             Err(e) => {
@@ -347,10 +374,11 @@ impl Persister {
             .log
             .append(&ChurnOp::Unsub(id), &self.schema, self.fsync_per_append())
         {
-            Ok(_seq) => {
+            Ok(seq) => {
                 ServerStats::add(&self.stats.persist_appends, 1);
                 self.note_success(&mut inner);
                 self.catalog.write().remove(&id);
+                self.fan_out(&ChurnOp::Unsub(id), seq);
                 Ok(true)
             }
             Err(e) => {
@@ -442,5 +470,199 @@ impl Persister {
     /// Current churn-log size in bytes (for `STATS`).
     pub fn log_bytes(&self) -> u64 {
         self.inner.lock().log.len_bytes()
+    }
+
+    /// Highest durable sequence (log cursor).
+    pub fn current_seq(&self) -> u64 {
+        self.inner.lock().log.seq()
+    }
+
+    /// Re-renders a just-appended record as a wire frame and fans it out
+    /// to live followers. Called with `inner` held so the per-follower
+    /// queues observe exact append order; a no-op without followers.
+    fn fan_out(&self, op: &ChurnOp<'_>, seq: u64) {
+        if !self.repl.has_followers() {
+            return;
+        }
+        let frame = log::render_frame(seq, op, &self.schema);
+        self.repl.broadcast(&frame, seq, &self.stats);
+    }
+
+    /// Answers a `REPLICATE <from_seq>` handshake: decides log-tail vs
+    /// snapshot bootstrap, queues the header + backlog as one chunk on the
+    /// follower connection's outbound channel, and registers the stream
+    /// for live fan-out — all under the append lock, so no record is
+    /// missed or duplicated between backlog and tail.
+    pub fn begin_stream(
+        &self,
+        follower_id: u64,
+        from_seq: u64,
+        out: Sender<String>,
+        stream: TcpStream,
+    ) -> io::Result<StreamStart> {
+        let inner = self.inner.lock();
+        let current = inner.log.seq();
+        let base = inner.log.base_seq();
+        let start = if from_seq >= base && from_seq <= current {
+            let frames = inner.log.frames_after(from_seq)?;
+            let mut chunk = format!("+OK replicate log {}", frames.len());
+            for frame in &frames {
+                chunk.push('\n');
+                chunk.push_str(frame);
+            }
+            let backlog = frames.len();
+            send_chunk(&out, chunk).map_err(io::Error::other)?;
+            self.repl.register(follower_id, out, stream, from_seq);
+            StreamStart::Log { backlog }
+        } else {
+            // Either the follower predates the retained log (rotation) or
+            // claims a future sequence (stale leftovers from an old
+            // promotion): ship the whole catalog at the current sequence.
+            let mut subs: Vec<Subscription> = self.catalog.read().values().cloned().collect();
+            subs.sort_by_key(|s| s.id());
+            let mut chunk = format!("+OK replicate snapshot {} {current}", subs.len());
+            for sub in &subs {
+                chunk.push('\n');
+                chunk.push_str(&log::render_frame(
+                    current,
+                    &ChurnOp::Sub(sub),
+                    &self.schema,
+                ));
+            }
+            let n = subs.len();
+            send_chunk(&out, chunk).map_err(io::Error::other)?;
+            self.repl
+                .register(follower_id, out, stream, from_seq.min(current));
+            StreamStart::Snapshot {
+                subs: n,
+                seq: current,
+            }
+        };
+        self.stats.repl_followers.store(
+            self.repl.follower_count() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        Ok(start)
+    }
+
+    /// Records a follower's `REPLACK` and refreshes the lag gauge.
+    pub fn follower_ack(&self, follower_id: u64, acked_seq: u64) {
+        let current = self.current_seq();
+        let lag = self.repl.ack(follower_id, acked_seq, current);
+        self.stats
+            .repl_lag_records
+            .store(lag, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Drops a follower stream (its connection closed). Idempotent.
+    pub fn remove_follower(&self, follower_id: u64) {
+        self.repl.remove(follower_id);
+        let count = self.repl.follower_count() as u64;
+        self.stats
+            .repl_followers
+            .store(count, std::sync::atomic::Ordering::Relaxed);
+        if count == 0 {
+            self.stats
+                .repl_lag_records
+                .store(0, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Number of live follower streams.
+    pub fn follower_count(&self) -> usize {
+        self.repl.follower_count()
+    }
+
+    /// Applies one replicated record on a follower: engine first, then the
+    /// frame is appended *verbatim* (primary's sequence and CRC) to the
+    /// local log, with the same rollback discipline as the client churn
+    /// path. Returns `Ok(false)` for an already-applied sequence (stream
+    /// overlap after a reconnect) — nothing written.
+    pub fn apply_replicated(
+        &self,
+        engine: &ShardedEngine,
+        frame: &str,
+        record: &ReplayRecord,
+    ) -> Result<bool, ChurnError> {
+        let mut inner = self.inner.lock();
+        if record.seq <= inner.log.seq() {
+            return Ok(false);
+        }
+        self.gate(&mut inner)?;
+        // Engine apply is best-effort idempotent: a duplicate SUB or an
+        // unknown UNSUB can legitimately arrive after a bootstrap overlap;
+        // the frame is still appended so the local log mirrors the stream.
+        let engine_added = match &record.op {
+            ReplayOp::Sub(sub) => match engine.subscribe(sub) {
+                Ok(added) => added,
+                Err(e) => return Err(ChurnError::Engine(e)),
+            },
+            ReplayOp::Unsub(id) => {
+                engine.unsubscribe(*id);
+                false
+            }
+        };
+        match inner
+            .log
+            .append_frame(frame, record.seq, self.fsync_per_append())
+        {
+            Ok(()) => {
+                ServerStats::add(&self.stats.persist_appends, 1);
+                self.note_success(&mut inner);
+                match &record.op {
+                    ReplayOp::Sub(sub) => {
+                        self.catalog.write().insert(sub.id(), sub.clone());
+                    }
+                    ReplayOp::Unsub(id) => {
+                        self.catalog.write().remove(id);
+                    }
+                }
+                Ok(true)
+            }
+            Err(e) => {
+                match &record.op {
+                    ReplayOp::Sub(sub) => {
+                        if engine_added {
+                            engine.unsubscribe(sub.id());
+                        }
+                    }
+                    ReplayOp::Unsub(id) => {
+                        if let Some(sub) = self.catalog.read().get(id).cloned() {
+                            let _ = engine.subscribe(&sub);
+                        }
+                    }
+                }
+                self.note_failure(&mut inner);
+                Err(ChurnError::Persist(e.to_string()))
+            }
+        }
+    }
+
+    /// Replaces the follower's entire local state with the primary's
+    /// snapshot at `seq`: engine contents swapped, a local snapshot
+    /// written, and the log truncated with both cursors jumped to `seq`.
+    /// Returns `(removed, restored)` subscription counts.
+    pub fn bootstrap_replace(
+        &self,
+        engine: &ShardedEngine,
+        mut subs: Vec<Subscription>,
+        seq: u64,
+    ) -> io::Result<(usize, usize)> {
+        subs.sort_by_key(|s| s.id());
+        let mut inner = self.inner.lock();
+        let mut catalog = self.catalog.write();
+        let removed = catalog.len();
+        for id in catalog.keys() {
+            engine.unsubscribe(*id);
+        }
+        engine
+            .bulk_restore(&subs)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        snapshot::write(&self.config.dir, &self.schema, &subs, seq)?;
+        inner.log.rotate_to(seq)?;
+        inner.last_snapshot = Instant::now();
+        *catalog = subs.iter().map(|s| (s.id(), s.clone())).collect();
+        ServerStats::add(&self.stats.snapshots_taken, 1);
+        Ok((removed, subs.len()))
     }
 }

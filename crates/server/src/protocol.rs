@@ -17,6 +17,17 @@
 //! QUIT                 close this connection
 //! ```
 //!
+//! Replication / role management (see [`crate::replication`]):
+//!
+//! ```text
+//! REPLICATE <from_seq> turn this connection into a churn-record stream
+//!                      (follower handshake; requires persistence)
+//! REPLACK <seq>        follower progress report on a REPLICATE stream
+//! ROLE                 role + sequence/lag report (the health probe)
+//! PROMOTE              replica -> primary (idempotent on a primary)
+//! DEMOTE <addr>        become a follower of the primary at <addr>
+//! ```
+//!
 //! Replies: `+OK ...` / `-ERR <message>` for commands, and asynchronous
 //! lines pushed by the matcher:
 //!
@@ -65,6 +76,22 @@ pub enum Request {
     Snapshot,
     /// Cluster membership/health report (meaningful on a router).
     Topology,
+    /// Follower handshake: stream churn records after this sequence.
+    Replicate {
+        from_seq: u64,
+    },
+    /// Follower progress report on an established `REPLICATE` stream.
+    ReplAck {
+        seq: u64,
+    },
+    /// Role + sequence/lag report.
+    Role,
+    /// Replica -> primary transition.
+    Promote,
+    /// Become a follower of the primary at this address.
+    Demote {
+        addr: String,
+    },
     Ping,
     Quit,
 }
@@ -124,6 +151,28 @@ pub fn parse_request(schema: &Schema, line: &str) -> Result<Option<Request>, Str
         "STATS" => Request::Stats,
         "SNAPSHOT" => Request::Snapshot,
         "TOPOLOGY" => Request::Topology,
+        "REPLICATE" => {
+            let from_seq: u64 = rest
+                .parse()
+                .map_err(|_| format!("bad replicate seq `{rest}`"))?;
+            Request::Replicate { from_seq }
+        }
+        "REPLACK" => {
+            let seq: u64 = rest
+                .parse()
+                .map_err(|_| format!("bad replack seq `{rest}`"))?;
+            Request::ReplAck { seq }
+        }
+        "ROLE" => Request::Role,
+        "PROMOTE" => Request::Promote,
+        "DEMOTE" => {
+            if rest.is_empty() {
+                return Err("usage: DEMOTE <primary-addr>".into());
+            }
+            Request::Demote {
+                addr: rest.to_string(),
+            }
+        }
         "PING" => Request::Ping,
         "QUIT" => Request::Quit,
         other => return Err(format!("unknown verb `{other}`")),
@@ -230,6 +279,170 @@ pub fn render_event_notification(id: SubId, event: &Event, schema: &Schema) -> S
     format!("EVENT {} {}", id.0, event.display(schema))
 }
 
+/// How a primary answered `REPLICATE <from_seq>` (the line before the
+/// frame stream starts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicateStart {
+    /// Log tail: this many backlog frames, then the live stream.
+    Log { backlog: usize },
+    /// Snapshot bootstrap: this many catalog frames, all at `seq`; the
+    /// follower replaces its local state wholesale, then the live stream.
+    Snapshot { subs: usize, seq: u64 },
+}
+
+/// Parses a `+OK replicate ...` handshake header.
+pub fn parse_replicate_header(line: &str) -> Result<ReplicateStart, String> {
+    let rest = line
+        .strip_prefix("+OK replicate ")
+        .ok_or_else(|| format!("not a replicate header: `{line}`"))?;
+    let mut parts = rest.split_whitespace();
+    match parts.next() {
+        Some("log") => {
+            let backlog: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or("replicate log header missing backlog count")?;
+            Ok(ReplicateStart::Log { backlog })
+        }
+        Some("snapshot") => {
+            let subs: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or("replicate snapshot header missing sub count")?;
+            let seq: u64 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or("replicate snapshot header missing seq")?;
+            Ok(ReplicateStart::Snapshot { subs, seq })
+        }
+        other => Err(format!("unknown replicate mode {other:?}")),
+    }
+}
+
+/// What a server reports about itself in reply to `ROLE`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoleReport {
+    /// `true` for a primary, `false` for a replica.
+    pub primary: bool,
+    /// Primary: the durable log sequence. Replica: the highest replicated
+    /// sequence applied locally.
+    pub seq: u64,
+    /// Primary: slowest-follower lag in records (0 with no followers).
+    /// Replica: 0 (its lag is judged against the primary's seq).
+    pub lag: u64,
+    /// Primary: live follower streams. Replica: 1 while its puller holds
+    /// a connection to the primary, else 0.
+    pub connected: u64,
+    /// The address a replica follows (`None` on a primary).
+    pub following: Option<String>,
+}
+
+/// Renders the `+OK role ...` reply.
+pub fn render_role_report(report: &RoleReport) -> String {
+    if report.primary {
+        format!(
+            "+OK role primary seq {} followers {} lag {}",
+            report.seq, report.connected, report.lag
+        )
+    } else {
+        format!(
+            "+OK role replica of {} applied {} connected {}",
+            report.following.as_deref().unwrap_or("-"),
+            report.seq,
+            report.connected
+        )
+    }
+}
+
+/// Parses a `+OK role ...` reply (with or without the leading `+`).
+pub fn parse_role_report(line: &str) -> Result<RoleReport, String> {
+    let line = line.strip_prefix('+').unwrap_or(line);
+    let rest = line
+        .strip_prefix("OK role ")
+        .ok_or_else(|| format!("not a role reply: `{line}`"))?;
+    let mut parts = rest.split_whitespace();
+    match parts.next() {
+        Some("primary") => {
+            let mut seq = 0u64;
+            let mut followers = 0u64;
+            let mut lag = 0u64;
+            while let (Some(key), Some(value)) = (parts.next(), parts.next()) {
+                let value: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad role value `{value}`"))?;
+                match key {
+                    "seq" => seq = value,
+                    "followers" => followers = value,
+                    "lag" => lag = value,
+                    other => return Err(format!("unknown role field `{other}`")),
+                }
+            }
+            Ok(RoleReport {
+                primary: true,
+                seq,
+                lag,
+                connected: followers,
+                following: None,
+            })
+        }
+        Some("replica") => {
+            if parts.next() != Some("of") {
+                return Err("replica role reply missing `of`".into());
+            }
+            let following = parts
+                .next()
+                .ok_or("replica role reply missing primary addr")?
+                .to_string();
+            let mut seq = 0u64;
+            let mut connected = 0u64;
+            while let (Some(key), Some(value)) = (parts.next(), parts.next()) {
+                let value: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad role value `{value}`"))?;
+                match key {
+                    "applied" => seq = value,
+                    "connected" => connected = value,
+                    other => return Err(format!("unknown role field `{other}`")),
+                }
+            }
+            Ok(RoleReport {
+                primary: false,
+                seq,
+                lag: 0,
+                connected,
+                following: Some(following),
+            })
+        }
+        other => Err(format!("unknown role kind {other:?}")),
+    }
+}
+
+/// The router's structured refusal when *neither* node of a partition is
+/// serviceable: `-ERR backend <i> unavailable`.
+pub fn render_backend_unavailable(index: usize) -> String {
+    format!("-ERR backend {index} unavailable")
+}
+
+/// Recognizes [`render_backend_unavailable`], returning the partition.
+pub fn parse_backend_unavailable(line: &str) -> Option<usize> {
+    let rest = line.strip_prefix("-ERR backend ")?;
+    let (index, tail) = rest.split_once(' ')?;
+    if tail.trim() != "unavailable" {
+        return None;
+    }
+    index.parse().ok()
+}
+
+/// The replica's refusal of client churn.
+pub const READ_ONLY_REPLICA_ERR: &str = "-ERR read-only replica";
+
+/// Whether a churn refusal is transient cluster state — a partition with
+/// no serviceable node (failover may still fix it) or a node answering
+/// mid-role-flip — and therefore worth a client-side retry.
+pub fn is_retryable_churn_refusal(line: &str) -> bool {
+    parse_backend_unavailable(line).is_some() || line.starts_with(READ_ONLY_REPLICA_ERR)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +502,30 @@ mod tests {
             parse_request(&schema, "QUIT").unwrap().unwrap(),
             Request::Quit
         );
+        assert_eq!(
+            parse_request(&schema, "REPLICATE 42").unwrap().unwrap(),
+            Request::Replicate { from_seq: 42 }
+        );
+        assert_eq!(
+            parse_request(&schema, "replack 7").unwrap().unwrap(),
+            Request::ReplAck { seq: 7 }
+        );
+        assert_eq!(
+            parse_request(&schema, "ROLE").unwrap().unwrap(),
+            Request::Role
+        );
+        assert_eq!(
+            parse_request(&schema, "PROMOTE").unwrap().unwrap(),
+            Request::Promote
+        );
+        assert_eq!(
+            parse_request(&schema, "DEMOTE 127.0.0.1:7001")
+                .unwrap()
+                .unwrap(),
+            Request::Demote {
+                addr: "127.0.0.1:7001".into()
+            }
+        );
     }
 
     #[test]
@@ -314,6 +551,11 @@ mod tests {
             "BATCH",
             "BATCH 0",
             "BATCH -3",
+            "REPLICATE",
+            "REPLICATE x",
+            "REPLACK",
+            "REPLACK x",
+            "DEMOTE",
             "FROB 1",
         ] {
             assert!(parse_request(&schema, bad).is_err(), "{bad}");
@@ -357,6 +599,73 @@ mod tests {
         assert_eq!(parse_duplicate_error(&line), Some(SubId(77)));
         assert_eq!(parse_duplicate_error("-ERR duplicate subscription 7"), None);
         assert_eq!(parse_duplicate_error("-ERR unknown subscription 7"), None);
+    }
+
+    #[test]
+    fn replicate_headers_parse() {
+        assert_eq!(
+            parse_replicate_header("+OK replicate log 12").unwrap(),
+            ReplicateStart::Log { backlog: 12 }
+        );
+        assert_eq!(
+            parse_replicate_header("+OK replicate snapshot 40 97").unwrap(),
+            ReplicateStart::Snapshot { subs: 40, seq: 97 }
+        );
+        assert!(parse_replicate_header("+OK replicate").is_err());
+        assert!(parse_replicate_header("+OK replicate log").is_err());
+        assert!(parse_replicate_header("+OK replicate snapshot 4").is_err());
+        assert!(parse_replicate_header("-ERR persistence disabled").is_err());
+    }
+
+    #[test]
+    fn role_reports_round_trip() {
+        let primary = RoleReport {
+            primary: true,
+            seq: 88,
+            lag: 3,
+            connected: 1,
+            following: None,
+        };
+        let line = render_role_report(&primary);
+        assert_eq!(line, "+OK role primary seq 88 followers 1 lag 3");
+        assert_eq!(parse_role_report(&line).unwrap(), primary);
+
+        let replica = RoleReport {
+            primary: false,
+            seq: 85,
+            lag: 0,
+            connected: 1,
+            following: Some("127.0.0.1:7001".into()),
+        };
+        let line = render_role_report(&replica);
+        assert_eq!(
+            line,
+            "+OK role replica of 127.0.0.1:7001 applied 85 connected 1"
+        );
+        assert_eq!(parse_role_report(&line).unwrap(), replica);
+        // The `+` is optional, as `BrokerClient::expect_ok` strips it.
+        assert_eq!(
+            parse_role_report("OK role primary seq 0 followers 0 lag 0")
+                .unwrap()
+                .seq,
+            0
+        );
+        assert!(parse_role_report("+OK topology standalone").is_err());
+    }
+
+    #[test]
+    fn backend_unavailable_round_trips_and_classifies() {
+        let line = render_backend_unavailable(3);
+        assert_eq!(line, "-ERR backend 3 unavailable");
+        assert_eq!(parse_backend_unavailable(&line), Some(3));
+        assert_eq!(
+            parse_backend_unavailable("-ERR backend x unavailable"),
+            None
+        );
+        assert_eq!(parse_backend_unavailable("-ERR backend 3 down"), None);
+        assert!(is_retryable_churn_refusal(&line));
+        assert!(is_retryable_churn_refusal(READ_ONLY_REPLICA_ERR));
+        assert!(!is_retryable_churn_refusal("-ERR duplicate 7"));
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! Primary/follower replication over the durable churn machinery.
+//!
+//! ## Wire protocol
+//!
+//! A follower dials its primary like any client and sends
+//! `REPLICATE <from_seq>` — the highest sequence it has already applied.
+//! The primary answers with one of:
+//!
+//! ```text
+//! +OK replicate log <backlog>             followed by that many log frames
+//! +OK replicate snapshot <n> <seq>        followed by n catalog frames
+//! ```
+//!
+//! and then keeps the connection open, pushing every subsequent durable
+//! churn record as one CRC-framed line — the *same* framing as
+//! `churn.log`, so one parser serves the file and the wire. The log form
+//! is used when `from_seq` falls inside the retained log
+//! (`base_seq <= from_seq <= seq`); anything else — the follower predates
+//! the last rotation, or is *ahead* of the primary (stale leftovers from
+//! an old promotion) — gets the snapshot form: the full live catalog
+//! rendered as `S` frames at the primary's current sequence, which the
+//! follower applies as a wholesale replacement of its local state.
+//!
+//! The follower periodically reports progress on the same connection with
+//! `REPLACK <applied_seq>`; the primary folds the minimum across
+//! followers into its `repl_lag_records` gauge.
+//!
+//! ## Roles
+//!
+//! A server's role is dynamic: `PROMOTE` turns a replica into a primary
+//! (its puller stops; it starts accepting churn and serving `REPLICATE`),
+//! and `DEMOTE <addr>` turns a primary into a follower of `addr` (it
+//! refuses churn with `-ERR read-only replica` and starts pulling). The
+//! generation counter lets an in-flight puller thread notice it is stale
+//! and exit. `ROLE` reports the current role, sequence, and lag — the
+//! cluster router's health sweep uses it as its liveness probe.
+
+use crossbeam::channel::{Sender, TrySendError};
+use parking_lot::{Mutex, RwLock};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::Ordering;
+
+use crate::persist::failpoint::{self, FailAction};
+use crate::stats::ServerStats;
+
+/// What this server currently is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Role {
+    Primary,
+    /// Following (pulling churn from) the primary at this address.
+    Replica {
+        primary: String,
+    },
+}
+
+/// Dynamic role state shared by the broker's threads. The generation
+/// bumps on every role change so a puller spawned for an old role can
+/// detect staleness and exit without any channel plumbing.
+pub struct RoleState {
+    role: RwLock<Role>,
+    generation: Mutex<u64>,
+}
+
+impl RoleState {
+    pub fn new(role: Role) -> Self {
+        Self {
+            role: RwLock::new(role),
+            generation: Mutex::new(0),
+        }
+    }
+
+    pub fn role(&self) -> Role {
+        self.role.read().clone()
+    }
+
+    pub fn is_replica(&self) -> bool {
+        matches!(&*self.role.read(), Role::Replica { .. })
+    }
+
+    /// The address this server follows, when it is a replica.
+    pub fn primary_addr(&self) -> Option<String> {
+        match &*self.role.read() {
+            Role::Primary => None,
+            Role::Replica { primary } => Some(primary.clone()),
+        }
+    }
+
+    pub fn generation(&self) -> u64 {
+        *self.generation.lock()
+    }
+
+    /// Replica → primary. Returns `true` when the role actually changed
+    /// (idempotent on a primary).
+    pub fn promote(&self) -> bool {
+        let mut generation = self.generation.lock();
+        let mut role = self.role.write();
+        if *role == Role::Primary {
+            return false;
+        }
+        *role = Role::Primary;
+        *generation += 1;
+        true
+    }
+
+    /// → follower of `primary`. Returns the new generation, which the
+    /// freshly spawned puller thread checks against [`Self::generation`]
+    /// to detect later role changes.
+    pub fn demote(&self, primary: String) -> u64 {
+        let mut generation = self.generation.lock();
+        let mut role = self.role.write();
+        *role = Role::Replica { primary };
+        *generation += 1;
+        *generation
+    }
+}
+
+/// One live follower connection on a primary: frames are queued onto the
+/// connection's outbound channel (drained by its writer thread).
+struct Follower {
+    /// Follower id — the broker connection id serving the stream.
+    id: u64,
+    out: Sender<String>,
+    stream: TcpStream,
+    /// Highest sequence the follower has `REPLACK`ed.
+    acked: u64,
+}
+
+/// Registry of live `REPLICATE` streams on a primary, and the broadcast
+/// fan-out for freshly appended churn records. Registration and broadcast
+/// both happen under the persister's inner lock, so followers observe
+/// records in exactly append order with no gaps.
+#[derive(Default)]
+pub struct ReplicationHub {
+    followers: Mutex<Vec<Follower>>,
+}
+
+impl ReplicationHub {
+    /// Registers a follower stream. `acked` starts at the handshake's
+    /// `from_seq` (pessimistic — `REPLACK`s refine it).
+    pub fn register(&self, id: u64, out: Sender<String>, stream: TcpStream, acked: u64) {
+        self.followers.lock().push(Follower {
+            id,
+            out,
+            stream,
+            acked,
+        });
+    }
+
+    /// Drops a follower (its connection closed). Idempotent.
+    pub fn remove(&self, id: u64) {
+        self.followers.lock().retain(|f| f.id != id);
+    }
+
+    pub fn follower_count(&self) -> usize {
+        self.followers.lock().len()
+    }
+
+    /// Whether broadcast would do any work (checked before re-rendering
+    /// frames on the churn path).
+    pub fn has_followers(&self) -> bool {
+        !self.followers.lock().is_empty()
+    }
+
+    /// Records a follower's `REPLACK <seq>` and returns the new maximum
+    /// lag (`current_seq` minus the slowest follower's acked sequence).
+    pub fn ack(&self, id: u64, seq: u64, current_seq: u64) -> u64 {
+        let mut followers = self.followers.lock();
+        if let Some(f) = followers.iter_mut().find(|f| f.id == id) {
+            f.acked = f.acked.max(seq);
+        }
+        Self::max_lag_locked(&followers, current_seq)
+    }
+
+    /// Maximum lag across live followers (0 with none).
+    pub fn max_lag(&self, current_seq: u64) -> u64 {
+        Self::max_lag_locked(&self.followers.lock(), current_seq)
+    }
+
+    fn max_lag_locked(followers: &[Follower], current_seq: u64) -> u64 {
+        followers
+            .iter()
+            .map(|f| current_seq.saturating_sub(f.acked))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fans one freshly appended frame out to every follower. Called with
+    /// the persister's inner lock held (appends are serialized), so the
+    /// per-follower queues see records in append order.
+    ///
+    /// The `repl.stream.send` failpoint injects stream faults here:
+    /// `Error` drops every follower connection mid-stream (they reconnect
+    /// and catch up from their acked sequence), `TornWrite(n)` ships only
+    /// the first `n` bytes of the frame — a torn frame the follower's CRC
+    /// check rejects — then drops the connection, and `Stall(ms)` delays
+    /// the send (visible as replication lag).
+    pub fn broadcast(&self, frame: &str, seq: u64, stats: &ServerStats) {
+        let mut followers = self.followers.lock();
+        if followers.is_empty() {
+            return;
+        }
+        let mut torn: Option<usize> = None;
+        match failpoint::fire("repl.stream.send") {
+            Some(FailAction::Error) => {
+                for f in followers.drain(..) {
+                    let _ = f.stream.shutdown(Shutdown::Both);
+                }
+                stats.repl_followers.store(0, Ordering::Relaxed);
+                return;
+            }
+            Some(FailAction::TornWrite(n)) => torn = Some(n.min(frame.len())),
+            Some(FailAction::Stall(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            None => {}
+        }
+        if let Some(n) = torn {
+            // Ship the torn prefix as its own line, then cut the streams:
+            // followers see a CRC-bad frame (skip + count) and reconnect.
+            for f in followers.drain(..) {
+                let _ = f.out.try_send(frame[..n].to_string());
+                let _ = f.stream.shutdown(Shutdown::Both);
+            }
+            stats.repl_followers.store(0, Ordering::Relaxed);
+            return;
+        }
+        followers.retain(|f| match f.out.try_send(frame.to_string()) {
+            Ok(()) => {
+                ServerStats::add(&stats.repl_records_sent, 1);
+                ServerStats::add(&stats.repl_bytes, frame.len() as u64 + 1);
+                true
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                // A follower too slow to drain its queue is cut loose
+                // rather than blocking churn; it reconnects and catches up
+                // from its acked sequence.
+                let _ = f.stream.shutdown(Shutdown::Both);
+                false
+            }
+        });
+        stats
+            .repl_followers
+            .store(followers.len() as u64, Ordering::Relaxed);
+        stats
+            .repl_lag_records
+            .store(Self::max_lag_locked(&followers, seq), Ordering::Relaxed);
+    }
+}
+
+/// Queues one pre-rendered multi-line chunk (handshake header + backlog)
+/// onto a follower connection's outbound channel as a single item, so
+/// concurrently broadcast frames cannot interleave inside it.
+pub fn send_chunk(out: &Sender<String>, chunk: String) -> Result<(), String> {
+    out.try_send(chunk)
+        .map_err(|_| "replication backlog exceeds connection queue".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+    use std::net::TcpListener;
+
+    fn loopback_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn role_state_transitions_bump_generation() {
+        let state = RoleState::new(Role::Primary);
+        assert!(!state.is_replica());
+        assert!(!state.promote()); // idempotent on a primary
+        assert_eq!(state.generation(), 0);
+
+        let g1 = state.demote("127.0.0.1:9".into());
+        assert_eq!(g1, 1);
+        assert!(state.is_replica());
+        assert_eq!(state.primary_addr().as_deref(), Some("127.0.0.1:9"));
+
+        assert!(state.promote());
+        assert_eq!(state.generation(), 2);
+        assert!(state.primary_addr().is_none());
+    }
+
+    #[test]
+    fn broadcast_orders_and_tracks_lag() {
+        let hub = ReplicationHub::default();
+        let stats = ServerStats::default();
+        let (tx, rx) = bounded::<String>(16);
+        let (stream, _peer) = loopback_pair();
+        hub.register(7, tx, stream, 0);
+        assert_eq!(hub.follower_count(), 1);
+
+        hub.broadcast("aaaa 1 U 5", 1, &stats);
+        hub.broadcast("bbbb 2 U 6", 2, &stats);
+        assert_eq!(rx.try_recv().unwrap(), "aaaa 1 U 5");
+        assert_eq!(rx.try_recv().unwrap(), "bbbb 2 U 6");
+        assert_eq!(hub.max_lag(2), 2);
+        assert_eq!(hub.ack(7, 2, 2), 0);
+        assert_eq!(ServerStats::get(&stats.repl_records_sent), 2);
+
+        hub.remove(7);
+        assert_eq!(hub.follower_count(), 0);
+        assert_eq!(hub.max_lag(9), 0);
+    }
+
+    #[test]
+    fn slow_follower_is_cut_loose_not_blocking() {
+        let hub = ReplicationHub::default();
+        let stats = ServerStats::default();
+        let (tx, _rx) = bounded::<String>(1);
+        let (stream, _peer) = loopback_pair();
+        hub.register(1, tx, stream, 0);
+        hub.broadcast("aaaa 1 U 1", 1, &stats);
+        hub.broadcast("bbbb 2 U 2", 2, &stats); // queue full -> dropped
+        assert_eq!(hub.follower_count(), 0);
+    }
+
+    #[test]
+    fn torn_frame_failpoint_ships_prefix_then_disconnects() {
+        let hub = ReplicationHub::default();
+        let stats = ServerStats::default();
+        let (tx, rx) = bounded::<String>(4);
+        let (stream, _peer) = loopback_pair();
+        hub.register(1, tx, stream, 0);
+        failpoint::arm("repl.stream.send", FailAction::TornWrite(4), Some(1));
+        hub.broadcast("deadbeef 1 U 1", 1, &stats);
+        assert_eq!(rx.try_recv().unwrap(), "dead");
+        assert_eq!(hub.follower_count(), 0);
+        failpoint::reset();
+    }
+}

@@ -105,6 +105,34 @@ pub struct ServerStats {
     pub recovery_corrupt_dropped: AtomicU64,
     /// Torn-tail bytes truncated off the log during recovery.
     pub recovery_truncated_bytes: AtomicU64,
+    /// Gauge: live `REPLICATE` follower streams on this (primary) server.
+    pub repl_followers: AtomicU64,
+    /// Churn record frames shipped to followers.
+    pub repl_records_sent: AtomicU64,
+    /// Bytes shipped over replication streams (frames + newlines).
+    pub repl_bytes: AtomicU64,
+    /// Gauge: records the slowest follower still lacks (primary side), or
+    /// how far this replica trails its primary's announced sequence.
+    pub repl_lag_records: AtomicU64,
+    /// Gauge: highest replicated sequence applied locally (replica side).
+    pub repl_applied_seq: AtomicU64,
+    /// Streamed records rejected by the CRC/frame check (skipped, counted,
+    /// never applied).
+    pub repl_crc_skipped: AtomicU64,
+    /// Times the replica puller redialed its primary.
+    pub repl_reconnects: AtomicU64,
+    /// Gauge: 1 while the replica puller holds a live stream to its
+    /// primary, else 0 (always 0 on a primary).
+    pub repl_connected: AtomicU64,
+    /// Snapshot bootstraps applied by this replica (wholesale state
+    /// replacement on handshake).
+    pub repl_bootstraps: AtomicU64,
+    /// Role transitions: replica -> primary (`PROMOTE`).
+    pub promotions: AtomicU64,
+    /// Role transitions: primary -> replica (`DEMOTE`).
+    pub demotions: AtomicU64,
+    /// Gauge: 1 while this server is a read-only replica, else 0.
+    pub role_replica: AtomicU64,
     /// Background maintenance passes that did work.
     pub maintenance_passes: AtomicU64,
     /// Aggregate `MaintenanceReport` fields across all passes and shards.
@@ -189,6 +217,18 @@ impl ServerStats {
             "recovery_truncated_bytes",
             Self::get(&self.recovery_truncated_bytes),
         );
+        push("repl_followers", Self::get(&self.repl_followers));
+        push("repl_records_sent", Self::get(&self.repl_records_sent));
+        push("repl_bytes", Self::get(&self.repl_bytes));
+        push("repl_lag_records", Self::get(&self.repl_lag_records));
+        push("repl_applied_seq", Self::get(&self.repl_applied_seq));
+        push("repl_crc_skipped", Self::get(&self.repl_crc_skipped));
+        push("repl_reconnects", Self::get(&self.repl_reconnects));
+        push("repl_connected", Self::get(&self.repl_connected));
+        push("repl_bootstraps", Self::get(&self.repl_bootstraps));
+        push("promotions", Self::get(&self.promotions));
+        push("demotions", Self::get(&self.demotions));
+        push("role_replica", Self::get(&self.role_replica));
         push("maintenance_passes", Self::get(&self.maintenance_passes));
         push("maintenance_folded", Self::get(&self.maintenance_folded));
         push("maintenance_rebuilt", Self::get(&self.maintenance_rebuilt));

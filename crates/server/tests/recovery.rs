@@ -264,6 +264,7 @@ fn crash_point_matrix_agrees_with_oracle() {
             match action {
                 FailAction::Error => "err".to_string(),
                 FailAction::TornWrite(n) => format!("torn{n}"),
+                FailAction::Stall(ms) => format!("stall{ms}"),
             },
             if block_repair { "_norepair" } else { "" }
         );

@@ -13,7 +13,7 @@
 
 use apcm::baselines::{CountingMatcher, KIndex, ParallelScan, SequentialScan};
 use apcm::betree::{BeTree, HybridPcmTree};
-use apcm::cluster::{Router, RouterConfig};
+use apcm::cluster::{BackendSpec, Router, RouterConfig};
 use apcm::core::{ApcmConfig, ApcmMatcher, PcmMatcher};
 use apcm::prelude::*;
 use apcm::server::client::{connect_stream, ConnectOptions};
@@ -73,9 +73,11 @@ usage:
              [--flush-ms N] [--maintenance-ms N] [--slow-consumer drop|disconnect]
              [--persist-dir DIR] [--fsync always|interval|never] [--snapshot-secs N]
              [--rotate-bytes N] [--idle-timeout-ms N] [--max-line-bytes N]
+             [--replica-of HOST:PORT]  (start as a read-only follower; needs --persist-dir)
   apcm route --backends HOST:PORT,HOST:PORT,... [--addr HOST:PORT] [--dims N]
              [--cardinality N] [--health-ms N] [--connect-timeout-ms N]
              [--read-timeout-ms N] [--queue N] [--max-line-bytes N]
+             [--replicas HOST:PORT,...]  (one follower per backend, same order)
   apcm client [--addr HOST:PORT] [--connect-timeout-ms N] [--retries N]
              (reads protocol lines from stdin)";
 
@@ -250,8 +252,12 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         persist.rotate_log_bytes = get(flags, "rotate-bytes", persist.rotate_log_bytes)?;
         config.persist = Some(persist);
     }
+    if let Some(primary) = flags.get("replica-of") {
+        config.replica_of = Some(primary.clone());
+    }
     config.validate()?;
 
+    let following = config.replica_of.clone();
     let server = Server::start(schema, config, &addr).map_err(|e| e.to_string())?;
     if let Some(report) = server.recovery_report() {
         print!("{report}");
@@ -262,6 +268,9 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         server.engine().shard_count(),
         server.engine().engine_name()
     );
+    if let Some(primary) = following {
+        println!("  replica mode: following {primary} (client churn is refused until PROMOTE)");
+    }
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         match line {
@@ -277,17 +286,35 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
 
 /// The cluster front: routes churn by id hash, fans publishes to every
 /// live backend, and merges rows. Backends are `apcm serve` instances
-/// sharing this router's `--dims`/`--cardinality` schema.
+/// sharing this router's `--dims`/`--cardinality` schema. With
+/// `--replicas`, each backend is paired positionally with a follower
+/// (started via `apcm serve --replica-of`) that the router promotes when
+/// the primary is marked down.
 fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
-    let backends: Vec<String> = flags
-        .get("backends")
-        .ok_or("--backends HOST:PORT,... is required")?
-        .split(',')
-        .map(|a| a.trim().to_string())
-        .filter(|a| !a.is_empty())
-        .collect();
+    fn split_addrs(text: &str) -> Vec<String> {
+        text.split(',')
+            .map(|a| a.trim().to_string())
+            .filter(|a| !a.is_empty())
+            .collect()
+    }
+    let backends: Vec<String> = split_addrs(
+        flags
+            .get("backends")
+            .ok_or("--backends HOST:PORT,... is required")?,
+    );
     if backends.is_empty() {
         return Err("--backends must name at least one backend".into());
+    }
+    let replicas: Vec<String> = flags
+        .get("replicas")
+        .map(|t| split_addrs(t))
+        .unwrap_or_default();
+    if !replicas.is_empty() && replicas.len() != backends.len() {
+        return Err(format!(
+            "--replicas names {} followers for {} backends (pair them positionally)",
+            replicas.len(),
+            backends.len()
+        ));
     }
     let addr = flags
         .get("addr")
@@ -306,7 +333,17 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
     config.connect.read_timeout = (read_ms > 0).then(|| Duration::from_millis(read_ms));
     config.validate()?;
 
-    let router = Router::start(schema, &backends, config, &addr).map_err(|e| e.to_string())?;
+    let router = if replicas.is_empty() {
+        Router::start(schema, &backends, config, &addr)
+    } else {
+        let specs: Vec<BackendSpec> = backends
+            .iter()
+            .zip(&replicas)
+            .map(|(primary, replica)| BackendSpec::replicated(primary.clone(), replica.clone()))
+            .collect();
+        Router::start_replicated(schema, &specs, config, &addr)
+    }
+    .map_err(|e| e.to_string())?;
     println!(
         "routing on {} over {} backends ({} up); close stdin or type `stop` to shut down",
         router.local_addr(),
