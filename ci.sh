@@ -12,6 +12,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -p apcm-colstore (columnar snapshot codecs)"
+cargo test -q -p apcm-colstore
+
 echo "==> cargo test -p apcm-server --test recovery (crash/recovery harness)"
 cargo test -q -p apcm-server --test recovery
 
@@ -41,5 +44,10 @@ echo "==> replication harness smoke run (appends e14 records to BENCH_pr5.json)"
 cargo run --release -q -p apcm-bench --bin harness -- \
     --experiment e14 --scale 0.002 --budget-ms 50 --seed 42 \
     --json-append BENCH_pr5.json
+
+echo "==> snapshot-format harness smoke run (appends e15 records to BENCH_pr6.json)"
+cargo run --release -q -p apcm-bench --bin harness -- \
+    --experiment e15 --scale 0.002 --budget-ms 50 --seed 42 \
+    --json-append BENCH_pr6.json
 
 echo "==> ci.sh: all green"

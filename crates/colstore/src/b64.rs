@@ -1,0 +1,104 @@
+//! Minimal base64 (standard alphabet, `=` padding). The broker's wire is
+//! newline-delimited UTF-8 strings, so compressed snapshot blocks ride
+//! the replication bootstrap as base64 lines; this is the codec for that
+//! one hop. Encode never fails; decode fails closed on any non-alphabet
+//! byte, bad padding, or truncation.
+
+use crate::{corrupt, ColError};
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+fn reverse_table() -> [i8; 256] {
+    let mut table = [-1i8; 256];
+    let mut i = 0;
+    while i < 64 {
+        table[ALPHABET[i] as usize] = i as i8;
+        i += 1;
+    }
+    table
+}
+
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let v = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(v >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(v >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(v >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[v as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+pub fn decode(text: &str) -> Result<Vec<u8>, ColError> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(corrupt("base64 length not a multiple of 4"));
+    }
+    let table = reverse_table();
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, quad) in bytes.chunks(4).enumerate() {
+        let last = (i + 1) * 4 == bytes.len();
+        let pad = quad.iter().rev().take_while(|&&b| b == b'=').count();
+        if pad > 2 || (pad > 0 && !last) {
+            return Err(corrupt("base64 padding in the middle of the stream"));
+        }
+        let mut v = 0u32;
+        for &b in &quad[..4 - pad] {
+            let s = table[b as usize];
+            if s < 0 {
+                return Err(corrupt(format!("base64 byte 0x{b:02x} outside alphabet")));
+            }
+            v = (v << 6) | s as u32;
+        }
+        v <<= 6 * pad as u32;
+        out.push((v >> 16) as u8);
+        if pad < 2 {
+            out.push((v >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(v as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+        assert_eq!(decode("Zm9vYmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn round_trips_all_byte_values() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1021).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode("Zm9").is_err()); // bad length
+        assert!(decode("Zm!=").is_err()); // outside alphabet
+        assert!(decode("Zg==Zg==").is_err()); // padding mid-stream
+        assert!(decode("Z===").is_err()); // over-padded
+    }
+}

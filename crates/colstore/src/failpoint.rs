@@ -1,0 +1,121 @@
+//! Runtime fault-injection registry for the snapshot/persistence write
+//! path and the replication stream. It lives here (rather than in the
+//! broker) so colstore's own block and manifest writes can fire
+//! `colstore.*` failpoints; the broker re-exports this module for its
+//! `persist.*` and `repl.*` points, keeping one process-global registry.
+//!
+//! Tests arm named failpoints to make specific I/O steps fail — or fail
+//! *partially* (a torn write), or stall for a bounded time — so crash
+//! recovery, replication lag, and mid-stream-disconnect paths can be
+//! exercised deterministically without killing the process. Production
+//! code pays one mutex-guarded `HashMap` lookup per churn append or
+//! replicated record (never on the event matching path); with nothing
+//! armed the map is empty.
+//!
+//! Failpoints are process-global. Tests that arm them must use distinct
+//! names or serialize; [`reset`] clears everything.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// What an armed failpoint does to the guarded I/O step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Fail with an injected `io::Error` before any bytes are written.
+    Error,
+    /// Write only the first `n` bytes of the buffer, then fail — simulates
+    /// a crash mid-record (a torn tail on disk, or a torn frame on the
+    /// replication stream).
+    TornWrite(usize),
+    /// Sleep this many milliseconds before the guarded step proceeds
+    /// normally — simulates a slow disk or a stalled replication feed
+    /// (visible as lag, never as an error).
+    Stall(u64),
+}
+
+struct Armed {
+    action: FailAction,
+    /// Remaining firings; `None` means sticky (fires forever).
+    remaining: Option<u32>,
+}
+
+fn registry() -> &'static Mutex<HashMap<String, Armed>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Armed>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Arms `name` to fire `times` times (`None` = until disarmed).
+pub fn arm(name: &str, action: FailAction, times: Option<u32>) {
+    registry().lock().insert(
+        name.to_string(),
+        Armed {
+            action,
+            remaining: times,
+        },
+    );
+}
+
+/// Disarms one failpoint.
+pub fn disarm(name: &str) {
+    registry().lock().remove(name);
+}
+
+/// Disarms everything (test teardown).
+pub fn reset() {
+    registry().lock().clear();
+}
+
+/// Checks (and consumes one firing of) `name`. Returns the action to apply,
+/// or `None` when unarmed.
+pub fn fire(name: &str) -> Option<FailAction> {
+    let mut reg = registry().lock();
+    let armed = reg.get_mut(name)?;
+    let action = armed.action;
+    match &mut armed.remaining {
+        None => {}
+        Some(0) => {
+            reg.remove(name);
+            return None;
+        }
+        Some(n) => {
+            *n -= 1;
+            if *n == 0 {
+                reg.remove(name);
+            }
+        }
+    }
+    Some(action)
+}
+
+/// The `io::Error` an injected failure surfaces as.
+pub fn injected_error(name: &str) -> std::io::Error {
+    std::io::Error::other(format!("injected failure at failpoint `{name}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_fires_once() {
+        arm("fp.test.once", FailAction::Error, Some(1));
+        assert_eq!(fire("fp.test.once"), Some(FailAction::Error));
+        assert_eq!(fire("fp.test.once"), None);
+    }
+
+    #[test]
+    fn sticky_fires_until_disarmed() {
+        arm("fp.test.sticky", FailAction::TornWrite(3), None);
+        for _ in 0..4 {
+            assert_eq!(fire("fp.test.sticky"), Some(FailAction::TornWrite(3)));
+        }
+        disarm("fp.test.sticky");
+        assert_eq!(fire("fp.test.sticky"), None);
+    }
+
+    #[test]
+    fn unarmed_is_silent() {
+        assert_eq!(fire("fp.test.never-armed"), None);
+    }
+}

@@ -1,0 +1,205 @@
+//! LZSS byte compressor for snapshot block payloads. No external deps:
+//! the container can't pull a compression crate, and the payloads it sees
+//! (columnarized predicate text + varint columns) are repetitive enough
+//! that a 4 KiB-window LZSS with a one-slot hash head gets most of the
+//! win a general-purpose codec would.
+//!
+//! Stream format: groups of up to eight items behind one flag byte (LSB
+//! first). Flag bit set → a 2-byte match token: 12-bit `offset-1`
+//! (1..=4096 back) and 4-bit `length-3` (3..=18 bytes). Flag bit clear →
+//! one literal byte. Decompression needs the expected raw length (carried
+//! in the block frame) and fails closed on any overrun.
+
+use crate::{corrupt, ColError};
+
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 18;
+const HASH_BITS: u32 = 13;
+/// Candidates examined per position. The hash buckets chain colliding
+/// positions; walking a few of them instead of keeping only the newest
+/// trades ~2x encode time for a visibly denser stream. Encoder-only —
+/// the token format (and so the decoder) is unchanged.
+const MAX_CHAIN: usize = 32;
+
+#[inline]
+fn hash3(bytes: &[u8]) -> usize {
+    let v = (u32::from(bytes[0]) << 16) | (u32::from(bytes[1]) << 8) | u32::from(bytes[2]);
+    (v.wrapping_mul(2_654_435_761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `input`. Worst case (incompressible bytes) the output is
+/// `input.len() + ceil(input.len()/8)` — callers that care can compare
+/// lengths and keep the raw form, but snapshot payloads never hit it.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    // prev[i] = previous position with the same 3-byte hash, forming
+    // per-bucket chains the matcher walks newest-first.
+    let mut prev = vec![usize::MAX; input.len()];
+    let insert = |head: &mut [usize], prev: &mut [usize], j: usize| {
+        let h = hash3(&input[j..]);
+        prev[j] = head[h];
+        head[h] = j;
+    };
+    let mut flag_at = usize::MAX;
+    let mut flag_bit = 0u8;
+    let mut i = 0usize;
+    while i < input.len() {
+        if flag_bit == 0 {
+            flag_at = out.len();
+            out.push(0);
+        }
+        let mut match_len = 0usize;
+        let mut match_off = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let limit = MAX_MATCH.min(input.len() - i);
+            let mut cand = head[hash3(&input[i..])];
+            let mut steps = 0usize;
+            while cand != usize::MAX && i - cand <= WINDOW && steps < MAX_CHAIN {
+                let mut len = 0;
+                while len < limit && input[cand + len] == input[i + len] {
+                    len += 1;
+                }
+                if len > match_len {
+                    match_len = len;
+                    match_off = i - cand;
+                    if len == limit {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                steps += 1;
+            }
+            insert(&mut head, &mut prev, i);
+        }
+        if match_len >= MIN_MATCH {
+            out[flag_at] |= 1 << flag_bit;
+            let off = match_off - 1;
+            out.push((off >> 4) as u8);
+            out.push((((off & 0xF) << 4) | (match_len - MIN_MATCH)) as u8);
+            // Chain in the skipped positions so later matches can still
+            // anchor inside this one.
+            for j in i + 1..i + match_len {
+                if j + MIN_MATCH <= input.len() {
+                    insert(&mut head, &mut prev, j);
+                }
+            }
+            i += match_len;
+        } else {
+            out.push(input[i]);
+            i += 1;
+        }
+        flag_bit = (flag_bit + 1) & 7;
+    }
+    out
+}
+
+/// Decompresses exactly `raw_len` bytes. Any structural problem —
+/// truncated stream, back-reference before the start, output overrun —
+/// is `ColError::Corrupt`.
+pub fn decompress(input: &[u8], raw_len: usize) -> Result<Vec<u8>, ColError> {
+    let mut out = Vec::with_capacity(raw_len);
+    let mut pos = 0usize;
+    while out.len() < raw_len {
+        let flags = *input
+            .get(pos)
+            .ok_or_else(|| corrupt("lz stream truncated at flag byte"))?;
+        pos += 1;
+        for bit in 0..8 {
+            if out.len() == raw_len {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                let b0 = *input
+                    .get(pos)
+                    .ok_or_else(|| corrupt("lz stream truncated in match"))?;
+                let b1 = *input
+                    .get(pos + 1)
+                    .ok_or_else(|| corrupt("lz stream truncated in match"))?;
+                pos += 2;
+                let off = ((usize::from(b0) << 4) | (usize::from(b1) >> 4)) + 1;
+                let len = usize::from(b1 & 0xF) + MIN_MATCH;
+                if off > out.len() {
+                    return Err(corrupt("lz back-reference before start of output"));
+                }
+                if out.len() + len > raw_len {
+                    return Err(corrupt("lz match overruns declared raw length"));
+                }
+                let start = out.len() - off;
+                // Byte-by-byte: matches may overlap their own output
+                // (run-length style references with offset < length).
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            } else {
+                let b = *input
+                    .get(pos)
+                    .ok_or_else(|| corrupt("lz stream truncated at literal"))?;
+                pos += 1;
+                if out.len() + 1 > raw_len {
+                    return Err(corrupt("lz literal overruns declared raw length"));
+                }
+                out.push(b);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let packed = compress(data);
+        let unpacked = decompress(&packed, data.len()).unwrap();
+        assert_eq!(unpacked, data);
+    }
+
+    #[test]
+    fn round_trips_edges() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"ab");
+        round_trip(b"abc");
+        round_trip(&[0u8; 5000]); // long overlapping run, > window
+        round_trip(b"abcabcabcabcabcabcabc"); // overlap with offset < length
+    }
+
+    #[test]
+    fn compresses_repetitive_text() {
+        let text = "a12 >= 375 AND a3 < 99 AND a7 = 4\n".repeat(200);
+        let packed = compress(text.as_bytes());
+        assert!(
+            packed.len() * 4 < text.len(),
+            "expected >4x on repetitive text, got {} -> {}",
+            text.len(),
+            packed.len()
+        );
+        round_trip(text.as_bytes());
+    }
+
+    #[test]
+    fn round_trips_pseudo_random_bytes() {
+        // xorshift — incompressible input exercises the literal path.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut data = Vec::with_capacity(4096);
+        for _ in 0..4096 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            data.push(state as u8);
+        }
+        round_trip(&data);
+    }
+
+    #[test]
+    fn rejects_corrupt_streams() {
+        let packed = compress(b"hello hello hello hello");
+        assert!(decompress(&packed[..packed.len() - 1], 23).is_err());
+        assert!(decompress(&packed, 1000).is_err());
+        assert!(decompress(&[0x01, 0xFF, 0xFF], 10).is_err()); // offset past start
+    }
+}

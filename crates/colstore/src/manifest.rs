@@ -1,0 +1,218 @@
+//! Snapshot chain manifest: the small text file naming the current full
+//! snapshot and the ordered delta files layered on top of it.
+//!
+//! ```text
+//! # apcm-manifest v1
+//! partitions 4
+//! full snapshot.apcm 120
+//! delta snapshot-delta-1.col 158
+//! delta snapshot-delta-2.col 171
+//! # crc 1a2b3c4d
+//! ```
+//!
+//! The manifest is published tmp+rename after the file it names, so a
+//! crash between the two leaves either (a) a new chain element with a
+//! stale manifest — readers verify each named file's *internal* seq
+//! against the manifest entry and fall back to the bare full snapshot on
+//! mismatch — or (b) an orphaned file no manifest names, which is simply
+//! ignored. Both windows are safe; neither loses acknowledged churn
+//! (deltas never rotate the churn log; only fulls do).
+
+use crate::failpoint::{self, FailAction};
+use crate::{corrupt, crc::crc32, ColError};
+use std::io::Write;
+use std::path::Path;
+
+pub const MANIFEST_FILE: &str = "snapshot.manifest";
+const TMP_FILE: &str = "snapshot.manifest.tmp";
+const HEADER: &str = "# apcm-manifest v1";
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Partition count the chain was routed with.
+    pub partitions: u32,
+    /// Full snapshot: file name (within the persist dir) and its seq.
+    pub full: (String, u64),
+    /// Deltas in application order, oldest first.
+    pub deltas: Vec<(String, u64)>,
+}
+
+impl Manifest {
+    /// Seq the whole chain is consistent at (last delta, else the full).
+    pub fn covered_seq(&self) -> u64 {
+        self.deltas.last().map(|(_, s)| *s).unwrap_or(self.full.1)
+    }
+}
+
+/// Writes the manifest tmp+rename with an fsync on both file and
+/// directory. The `colstore.manifest.rename` failpoint fires between
+/// the tmp write and the rename: `Error` (and any torn variant) removes
+/// the tmp and fails, leaving the previous manifest in place.
+pub fn write(dir: &Path, manifest: &Manifest) -> std::io::Result<()> {
+    let mut body = String::with_capacity(128);
+    body.push_str(HEADER);
+    body.push('\n');
+    body.push_str(&format!("partitions {}\n", manifest.partitions));
+    body.push_str(&format!("full {} {}\n", manifest.full.0, manifest.full.1));
+    for (name, seq) in &manifest.deltas {
+        body.push_str(&format!("delta {name} {seq}\n"));
+    }
+    let trailer = format!("# crc {:08x}\n", crc32(body.as_bytes()));
+
+    let tmp = dir.join(TMP_FILE);
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(body.as_bytes())?;
+    file.write_all(trailer.as_bytes())?;
+    file.sync_data()?;
+    drop(file);
+    if let Some(action) = failpoint::fire("colstore.manifest.rename") {
+        let _ = std::fs::remove_file(&tmp);
+        match action {
+            FailAction::Stall(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+            _ => return Err(failpoint::injected_error("colstore.manifest.rename")),
+        }
+    }
+    std::fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Reads the manifest; `Ok(None)` when absent, `Corrupt` on a bad CRC or
+/// malformed body (callers treat both None and Corrupt as "no chain —
+/// use the bare snapshot file").
+pub fn read(dir: &Path) -> Result<Option<Manifest>, ColError> {
+    let text = match std::fs::read_to_string(dir.join(MANIFEST_FILE)) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(ColError::Io(e)),
+    };
+    let trailer_at = text
+        .rfind("# crc ")
+        .ok_or_else(|| corrupt("manifest missing crc trailer"))?;
+    let (body, trailer) = text.split_at(trailer_at);
+    let want = trailer
+        .trim()
+        .strip_prefix("# crc ")
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+        .ok_or_else(|| corrupt("manifest crc trailer malformed"))?;
+    if crc32(body.as_bytes()) != want {
+        return Err(corrupt("manifest crc mismatch"));
+    }
+
+    let mut lines = body.lines();
+    if lines.next() != Some(HEADER) {
+        return Err(corrupt("manifest header missing"));
+    }
+    let mut partitions = None;
+    let mut full = None;
+    let mut deltas = Vec::new();
+    for line in lines {
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("partitions") => {
+                partitions = parts.next().and_then(|v| v.parse().ok());
+            }
+            Some("full") | Some("delta") => {
+                let name = parts.next().map(str::to_string);
+                let seq = parts.next().and_then(|v| v.parse::<u64>().ok());
+                let entry = name
+                    .zip(seq)
+                    .ok_or_else(|| corrupt(format!("manifest line malformed: {line}")))?;
+                if line.starts_with("full") {
+                    full = Some(entry);
+                } else {
+                    deltas.push(entry);
+                }
+            }
+            Some(other) => return Err(corrupt(format!("unknown manifest key {other}"))),
+            None => {}
+        }
+        if parts.next().is_some() {
+            return Err(corrupt(format!("trailing tokens on manifest line: {line}")));
+        }
+    }
+    match (partitions, full) {
+        (Some(partitions), Some(full)) => Ok(Some(Manifest {
+            partitions,
+            full,
+            deltas,
+        })),
+        _ => Err(corrupt("manifest missing partitions or full entry")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("colstore-manifest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trips_and_reports_covered_seq() {
+        let dir = tmpdir("rt");
+        assert!(read(&dir).unwrap().is_none());
+        let m = Manifest {
+            partitions: 4,
+            full: ("snapshot.apcm".into(), 120),
+            deltas: vec![
+                ("snapshot-delta-1.col".into(), 158),
+                ("snapshot-delta-2.col".into(), 171),
+            ],
+        };
+        write(&dir, &m).unwrap();
+        assert_eq!(read(&dir).unwrap().unwrap(), m);
+        assert_eq!(m.covered_seq(), 171);
+        let no_deltas = Manifest {
+            deltas: vec![],
+            ..m.clone()
+        };
+        assert_eq!(no_deltas.covered_seq(), 120);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = tmpdir("bad");
+        let m = Manifest {
+            partitions: 2,
+            full: ("snapshot.apcm".into(), 9),
+            deltas: vec![],
+        };
+        write(&dir, &m).unwrap();
+        let path = dir.join(MANIFEST_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[HEADER.len() + 4] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read(&dir), Err(ColError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rename_failpoint_preserves_previous_manifest() {
+        let dir = tmpdir("fp");
+        let m1 = Manifest {
+            partitions: 2,
+            full: ("snapshot.apcm".into(), 5),
+            deltas: vec![],
+        };
+        write(&dir, &m1).unwrap();
+        let m2 = Manifest {
+            full: ("snapshot.apcm".into(), 50),
+            ..m1.clone()
+        };
+        failpoint::arm("colstore.manifest.rename", FailAction::Error, Some(1));
+        assert!(write(&dir, &m2).is_err());
+        failpoint::reset();
+        assert_eq!(read(&dir).unwrap().unwrap(), m1);
+        assert!(!dir.join(TMP_FILE).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

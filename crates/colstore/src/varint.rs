@@ -1,0 +1,103 @@
+//! LEB128 variable-length integers — the number encoding for every
+//! columnar field (counts, dictionary ids, id deltas, footer offsets).
+//! Small values (the overwhelmingly common case for dictionary ids and
+//! id deltas) cost one byte.
+
+use crate::{corrupt, ColError};
+
+/// Appends `v` to `buf` as LEB128 (7 bits per byte, high bit = continue).
+pub fn put(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 value at `*pos`, advancing it. Rejects truncated and
+/// over-long (>10 byte / overflowing) encodings.
+pub fn take(buf: &[u8], pos: &mut usize) -> Result<u64, ColError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or_else(|| corrupt("truncated varint"))?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(corrupt("varint overflows u64"));
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(corrupt("varint longer than 10 bytes"));
+        }
+    }
+}
+
+/// `take` + checked conversion to `usize` with an upper bound — decoders
+/// use it for counts so corrupt bytes cannot drive huge allocations.
+pub fn take_len(buf: &[u8], pos: &mut usize, max: usize) -> Result<usize, ColError> {
+    let v = take(buf, pos)?;
+    if v > max as u64 {
+        return Err(corrupt(format!("length {v} exceeds bound {max}")));
+    }
+    Ok(v as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_boundaries() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &cases {
+            let mut buf = Vec::new();
+            put(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(take(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn single_byte_for_small_values() {
+        let mut buf = Vec::new();
+        put(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn rejects_truncation_and_overflow() {
+        let mut pos = 0;
+        assert!(take(&[0x80, 0x80], &mut pos).is_err());
+        // 11 continuation bytes can never terminate inside u64.
+        let over = [0xFFu8; 11];
+        pos = 0;
+        assert!(take(&over, &mut pos).is_err());
+    }
+
+    #[test]
+    fn take_len_bounds_counts() {
+        let mut buf = Vec::new();
+        put(&mut buf, 1_000_000);
+        let mut pos = 0;
+        assert!(take_len(&buf, &mut pos, 1000).is_err());
+    }
+}

@@ -67,6 +67,51 @@ fn sub_fingerprint(sub: &Subscription) -> u64 {
     h.finish()
 }
 
+/// Decodes one `BLOCK <partition> <rows> <raw_len> <crc8hex> <base64>`
+/// line of a colstore replication bootstrap into subscriptions. Every
+/// failure mode (bad framing, base64 damage, CRC mismatch, columnar
+/// decode error, unparseable expression) is just an error string — the
+/// caller drops the connection and refetches the whole bootstrap.
+fn decode_bootstrap_block(line: &str, schema: &Schema) -> Result<Vec<Subscription>, String> {
+    let rest = line.strip_prefix("BLOCK ").ok_or("not a BLOCK line")?;
+    let mut parts = rest.split_whitespace();
+    let partition: u32 = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or("missing partition")?;
+    let rows: u32 = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or("missing row count")?;
+    let raw_len: u32 = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or("missing raw_len")?;
+    let crc: u32 = parts
+        .next()
+        .and_then(|t| u32::from_str_radix(t, 16).ok())
+        .ok_or("missing crc")?;
+    let data = apcm_colstore::b64::decode(parts.next().ok_or("missing payload")?)
+        .map_err(|e| e.to_string())?;
+    if parts.next().is_some() {
+        return Err("trailing tokens on BLOCK line".into());
+    }
+    let block = apcm_colstore::CompressedBlock {
+        partition,
+        rows,
+        min_id: 0,
+        max_id: 0,
+        raw_len,
+        crc,
+        data,
+    };
+    let decoded = block.decode().map_err(|e| e.to_string())?;
+    decoded
+        .iter()
+        .map(|row| crate::persist::snapshot::row_to_sub(row, schema).map_err(|e| e.to_string()))
+        .collect()
+}
+
 /// State shared by every thread: the registry of live connections and
 /// subscription ownership, plus delivery policy. Doubles as the ingest
 /// pipeline's [`ResultSink`].
@@ -270,8 +315,12 @@ impl Server {
         let mut recovered_live: HashMap<SubId, u64> = HashMap::new();
         let persist = match &config.persist {
             Some(pconfig) => {
-                let (persister, restored) =
-                    Persister::open(pconfig.clone(), schema.clone(), stats.clone())?;
+                let (persister, restored) = Persister::open(
+                    pconfig.clone(),
+                    schema.clone(),
+                    stats.clone(),
+                    config.shards,
+                )?;
                 engine.bulk_restore(&restored).map_err(|e| {
                     std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
                 })?;
@@ -461,6 +510,24 @@ impl Server {
         self.persist.as_ref().map(|p| p.current_seq()).unwrap_or(0)
     }
 
+    /// Forces a full snapshot + log rotation (the `SNAPSHOT` verb's
+    /// in-process equivalent). Errors without persistence.
+    pub fn snapshot(&self) -> std::io::Result<crate::persist::SnapshotOutcome> {
+        match &self.persist {
+            Some(p) => p.snapshot(),
+            None => Err(std::io::Error::other("persistence disabled")),
+        }
+    }
+
+    /// Background-style snapshot pass: writes a delta when the colstore
+    /// chain permits one, a full otherwise. Errors without persistence.
+    pub fn snapshot_incremental(&self) -> std::io::Result<crate::persist::SnapshotOutcome> {
+        match &self.persist {
+            Some(p) => p.snapshot_incremental(),
+            None => Err(std::io::Error::other("persistence disabled")),
+        }
+    }
+
     /// Stops threads and closes sockets; shared by the graceful and
     /// abortive paths. Returns the residual ingest queue depth.
     fn teardown(&mut self) -> usize {
@@ -617,8 +684,11 @@ impl ReplicaRunner {
         let mut reader = BufReader::new(stream);
         let mut pending = String::new();
         let mut applied = self.persist.current_seq();
+        // `v2` advertises that this follower can decode a compressed
+        // colstore bootstrap; a primary on the text snapshot format still
+        // answers with the plain-frame form.
         if writer
-            .write_all(format!("REPLICATE {applied}\n").as_bytes())
+            .write_all(format!("REPLICATE {applied} v2\n").as_bytes())
             .is_err()
         {
             return;
@@ -636,30 +706,66 @@ impl ReplicaRunner {
         };
         stats.repl_connected.store(1, Ordering::Relaxed);
 
-        if let ReplicateStart::Snapshot { subs: count, seq } = start {
-            // Full bootstrap: our log position is useless to the primary
-            // (predates its retained log, or is ahead of it after a
-            // failed promote). Collect the whole catalog image first;
-            // any corrupt frame poisons the image, so abort and redial
-            // rather than install a catalog with holes.
-            let mut subs = Vec::with_capacity(count);
-            for _ in 0..count {
-                let Some(line) =
-                    self.next_line(generation, &mut reader, &mut pending, &mut writer, applied)
-                else {
-                    return;
-                };
-                match parse_frame(&line, &self.hub.schema) {
-                    Ok(record) => match record.op {
-                        ReplayOp::Sub(sub) => subs.push(sub),
-                        ReplayOp::Unsub(_) => return,
-                    },
-                    Err(_) => {
-                        ServerStats::add(&stats.repl_crc_skipped, 1);
+        // Full bootstrap (either form): our log position is useless to
+        // the primary (predates its retained log, or is ahead of it after
+        // a failed promote). Collect the whole catalog image first; any
+        // corrupt frame or block poisons the image, so abort and redial —
+        // the refetch starts from scratch, skipping nothing — rather than
+        // install a catalog with holes.
+        let bootstrap: Option<(Vec<Subscription>, u64)> = match start {
+            ReplicateStart::Log { .. } => None,
+            ReplicateStart::Snapshot { subs: count, seq } => {
+                let mut subs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let Some(line) =
+                        self.next_line(generation, &mut reader, &mut pending, &mut writer, applied)
+                    else {
                         return;
+                    };
+                    match parse_frame(&line, &self.hub.schema) {
+                        Ok(record) => match record.op {
+                            ReplayOp::Sub(sub) => subs.push(sub),
+                            ReplayOp::Unsub(_) => return,
+                        },
+                        Err(_) => {
+                            ServerStats::add(&stats.repl_crc_skipped, 1);
+                            return;
+                        }
                     }
                 }
+                Some((subs, seq))
             }
+            ReplicateStart::Colstore {
+                blocks,
+                subs: count,
+                seq,
+            } => {
+                let mut subs = Vec::with_capacity(count);
+                for _ in 0..blocks {
+                    let Some(line) =
+                        self.next_line(generation, &mut reader, &mut pending, &mut writer, applied)
+                    else {
+                        return;
+                    };
+                    match decode_bootstrap_block(&line, &self.hub.schema) {
+                        Ok(mut block_subs) => subs.append(&mut block_subs),
+                        Err(_) => {
+                            // CRC/format damage on the wire: counted like
+                            // a corrupt streamed frame, connection dropped,
+                            // whole bootstrap refetched on reconnect.
+                            ServerStats::add(&stats.repl_crc_skipped, 1);
+                            return;
+                        }
+                    }
+                }
+                if subs.len() != count {
+                    ServerStats::add(&stats.repl_crc_skipped, 1);
+                    return;
+                }
+                Some((subs, seq))
+            }
+        };
+        if let Some((subs, seq)) = bootstrap {
             let fresh: HashMap<SubId, u64> = subs
                 .iter()
                 .map(|sub| (sub.id(), sub_fingerprint(sub)))
@@ -1080,12 +1186,12 @@ fn read_loop(
                 // multi-line backend report is the cluster router's.
                 reply("+OK topology standalone".into());
             }
-            Request::Replicate { from_seq } => match &ctx.persist {
+            Request::Replicate { from_seq, v2 } => match &ctx.persist {
                 Some(p) => {
                     let registered = reader
                         .get_ref()
                         .try_clone()
-                        .and_then(|s| p.begin_stream(conn_id, from_seq, out.clone(), s));
+                        .and_then(|s| p.begin_stream(conn_id, from_seq, v2, out.clone(), s));
                     match registered {
                         // The handshake header + backlog chunk is already
                         // queued; the live tail flows via broadcast. This

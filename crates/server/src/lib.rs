@@ -14,8 +14,10 @@
 //!   `SUB`/`UNSUB`, batch publishing, per-connection slow-consumer policy,
 //!   a background maintenance sweep, and [`ServerStats`] counters.
 //! * [`persist`] makes the subscription set durable: a checksummed
-//!   snapshot plus a CRC-framed append-only churn log, replayed at
-//!   startup with torn-tail truncation and corrupt-record skipping.
+//!   snapshot (block-columnar compressed colstore v2 by default, with
+//!   delta snapshots of dirty partitions; text v1 still supported) plus a
+//!   CRC-framed append-only churn log, replayed at startup with torn-tail
+//!   truncation and corrupt-record skipping.
 //! * [`replication`] ships that churn log to follower servers live: a
 //!   replica (`ServerConfig::replica_of`, or `DEMOTE` at runtime) pulls
 //!   `REPLICATE <from_seq>` — log tail or full snapshot bootstrap — and
@@ -35,10 +37,12 @@ pub mod stats;
 
 pub use broker::{read_capped_line, LineOutcome, Server};
 pub use client::{BrokerClient, ConnectOptions};
-pub use config::{EngineChoice, FsyncPolicy, PersistConfig, ServerConfig, SlowConsumerPolicy};
+pub use config::{
+    EngineChoice, FsyncPolicy, PersistConfig, ServerConfig, SlowConsumerPolicy, SnapshotFormat,
+};
 pub use engine::ShardEngine;
 pub use ingest::{IngestItem, IngestPipeline, ResultSink};
-pub use persist::{Persister, RecoveryReport, StreamStart};
+pub use persist::{Persister, RecoveryReport, SnapshotOutcome, StreamStart};
 pub use protocol::{ReplicateStart, RoleReport};
 pub use replication::{Role, RoleState};
 pub use shard::{route_partition, ShardedEngine};

@@ -1,61 +1,5 @@
-//! CRC-32 (ISO-HDLC, polynomial 0xEDB88320) — the checksum guarding
-//! snapshot files and churn-log records. Table-driven, no external deps.
+//! CRC-32 (ISO-HDLC) — re-exported from `apcm-colstore`, which owns the
+//! implementation so snapshot blocks, churn-log frames, and the
+//! replication wire all share one checksum.
 
-/// 256-entry lookup table, built at compile time.
-const TABLE: [u32; 256] = build_table();
-
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ 0xEDB8_8320
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-}
-
-/// CRC-32 of `bytes` (init `!0`, final xor `!0` — the common "crc32"
-/// everyone from zlib to Ethernet uses).
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
-    }
-    !crc
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn known_vectors() {
-        // The standard check value for CRC-32/ISO-HDLC.
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
-        assert_eq!(crc32(b"apcm"), crc32(b"apcm"));
-    }
-
-    #[test]
-    fn detects_single_bit_flips() {
-        let base = b"sub 17 a0 = 3 AND a1 >= 5".to_vec();
-        let reference = crc32(&base);
-        for i in 0..base.len() {
-            for bit in 0..8 {
-                let mut flipped = base.clone();
-                flipped[i] ^= 1 << bit;
-                assert_ne!(crc32(&flipped), reference, "byte {i} bit {bit}");
-            }
-        }
-    }
-}
+pub use apcm_colstore::crc::crc32;

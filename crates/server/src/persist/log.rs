@@ -304,6 +304,28 @@ impl ChurnLog {
         self.seq = seq;
         self.rotate()
     }
+
+    /// Rotation for snapshots taken *concurrently with churn*: drops
+    /// records covered by a snapshot at `after_seq` but keeps (rewrites,
+    /// in order) every frame that landed after it while the snapshot was
+    /// being compressed and written outside the churn lock. `base_seq`
+    /// advances to `after_seq`; the live sequence cursor is untouched.
+    pub fn rotate_retaining(&mut self, after_seq: u64) -> io::Result<()> {
+        let retained = self.frames_after(after_seq)?;
+        let mut body = String::with_capacity(retained.iter().map(|f| f.len() + 1).sum());
+        for frame in &retained {
+            body.push_str(frame);
+            body.push('\n');
+        }
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(body.as_bytes())?;
+        self.file.sync_data()?;
+        self.good_len = body.len() as u64;
+        self.base_seq = after_seq;
+        self.dirty = false;
+        Ok(())
+    }
 }
 
 /// Reads and validates the log at `dir`, truncating it back to the last
@@ -534,6 +556,32 @@ mod tests {
         // And the next append lands cleanly with the same seq.
         assert_eq!(log.append(&ChurnOp::Sub(&s2), &schema, true).unwrap(), 2);
         failpoint::reset();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotate_retaining_keeps_frames_past_the_snapshot_seq() {
+        let schema = Schema::uniform(2, 8);
+        let dir = tmpdir("rot_retain");
+        let mut log = ChurnLog::open(&dir, 0, 0).unwrap();
+        for id in 1..=5u32 {
+            let s = sub(&schema, id, "a0 = 1");
+            log.append(&ChurnOp::Sub(&s), &schema, false).unwrap();
+        }
+        // Snapshot covered seq 3; records 4 and 5 landed during compress.
+        log.rotate_retaining(3).unwrap();
+        assert_eq!(log.base_seq(), 3);
+        assert_eq!(log.seq(), 5);
+        let replayed = replay(&dir, &schema).unwrap();
+        let seqs: Vec<u64> = replayed.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![4, 5]);
+        // Appends continue from the live cursor.
+        let s6 = sub(&schema, 6, "a1 = 2");
+        assert_eq!(log.append(&ChurnOp::Sub(&s6), &schema, true).unwrap(), 6);
+        // Retaining past everything behaves like a plain rotation.
+        log.rotate_retaining(6).unwrap();
+        assert_eq!(log.len_bytes(), 0);
+        assert_eq!(log.seq(), 6);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

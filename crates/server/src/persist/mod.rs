@@ -5,10 +5,24 @@
 //!
 //! * `snapshot.apcm` — checksummed full snapshot (see [`snapshot`]),
 //!   written atomically (temp file + rename) by the maintenance thread,
-//!   the `SNAPSHOT` admin command, or log-size rotation.
+//!   the `SNAPSHOT` admin command, or log-size rotation. Binary
+//!   block-columnar colstore v2 by default; text v1 via
+//!   `--snapshot-format text` (and always readable on recovery).
+//! * `snapshot-delta-N.col` + `snapshot.manifest` — colstore delta
+//!   snapshots: age-triggered background snapshots re-serialize only the
+//!   partitions dirtied since the chain's last element, chained onto the
+//!   full by the manifest. Deltas never rotate the churn log (only fulls
+//!   do), so dropping a corrupt delta on recovery is always healed by
+//!   log replay.
 //! * `churn.log` — append-only SUB/UNSUB records with per-record CRC and
-//!   monotone sequence numbers (see [`log`]); rotated (truncated) after
-//!   every successful snapshot.
+//!   monotone sequence numbers (see [`log`]); rotated after every
+//!   successful *full* snapshot, retaining any records that landed while
+//!   the snapshot was being compressed and written.
+//!
+//! Snapshot writes split *prepare* (capture + columnarize, under the
+//! append lock just long enough to clone the catalog) from
+//! *compress + fsync* (outside the lock) — churn acks keep flowing while
+//! a snapshot is on disk's time.
 //!
 //! Recovery loads the snapshot (if any), replays log records with a higher
 //! sequence, truncates torn tails, skips CRC-invalid records, and reports
@@ -35,10 +49,11 @@ use std::io;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::config::{FsyncPolicy, PersistConfig};
+use crate::config::{FsyncPolicy, PersistConfig, SnapshotFormat};
 use crate::replication::{send_chunk, ReplicationHub};
-use crate::shard::ShardedEngine;
+use crate::shard::{route_partition, ShardedEngine};
 use crate::stats::ServerStats;
+use apcm_colstore::{b64, Manifest};
 use crossbeam::channel::Sender;
 use log::{ChurnLog, ChurnOp, ReplayOp, ReplayRecord};
 use std::net::TcpStream;
@@ -83,6 +98,12 @@ pub struct RecoveryReport {
     pub truncated_bytes: u64,
     /// UNSUB records whose id was not live (double-unsub across a crash).
     pub unknown_unsubs: u64,
+    /// Delta snapshot files applied on top of the full snapshot.
+    pub snapshot_deltas_applied: u64,
+    /// Delta snapshot files dropped (they or a predecessor failed
+    /// validation); the chain fell back to its last consistent prefix and
+    /// log replay covered the difference.
+    pub snapshot_deltas_dropped: u64,
     /// Live subscriptions after recovery.
     pub live_subs: usize,
     /// Human-readable notes about everything dropped.
@@ -95,6 +116,7 @@ impl RecoveryReport {
         self.snapshot_error.is_none()
             && self.corrupt_records_dropped == 0
             && self.truncated_bytes == 0
+            && self.snapshot_deltas_dropped == 0
     }
 }
 
@@ -107,6 +129,13 @@ impl fmt::Display for RecoveryReport {
         )?;
         if let Some(err) = &self.snapshot_error {
             writeln!(f, "  snapshot unusable: {err}")?;
+        }
+        if self.snapshot_deltas_applied > 0 || self.snapshot_deltas_dropped > 0 {
+            writeln!(
+                f,
+                "  delta chain: {} applied, {} dropped",
+                self.snapshot_deltas_applied, self.snapshot_deltas_dropped
+            )?;
         }
         if self.corrupt_records_dropped > 0 || self.truncated_bytes > 0 {
             writeln!(
@@ -128,6 +157,8 @@ pub struct SnapshotOutcome {
     pub subs: usize,
     pub seq: u64,
     pub bytes: u64,
+    /// `true` when this pass wrote a delta file instead of a full.
+    pub delta: bool,
 }
 
 struct PersistInner {
@@ -137,6 +168,16 @@ struct PersistInner {
     next_retry: Instant,
     backoff: Duration,
     last_snapshot: Instant,
+    /// Per-partition sequence of the most recent mutation; a partition is
+    /// dirty (needs re-serializing into the next delta) when its entry
+    /// exceeds the chain's covered sequence.
+    dirty_seq: Vec<u64>,
+    /// The on-disk full+delta chain this process has written, if any.
+    /// `None` until the first full snapshot of this process lifetime —
+    /// chains deliberately don't survive restarts (the first background
+    /// snapshot after a restart is always a full), which keeps delta
+    /// bookkeeping purely in-memory.
+    chain: Option<Manifest>,
 }
 
 /// The durability layer: owns the churn log, the canonical catalog of live
@@ -145,9 +186,16 @@ pub struct Persister {
     config: PersistConfig,
     schema: Schema,
     stats: Arc<ServerStats>,
-    /// Serializes churn appends, snapshots, and rotation — the ordering of
+    /// Partition count snapshots and bootstrap blocks are routed with
+    /// (the serving shard count).
+    partitions: u32,
+    /// Serializes churn appends and log rotation — the ordering of
     /// log records always equals the ordering of engine mutations.
     inner: Mutex<PersistInner>,
+    /// Serializes whole snapshot passes (SNAPSHOT verb vs maintenance
+    /// thread) without blocking churn: the compress+fsync phase runs with
+    /// only this held.
+    snap_lock: Mutex<()>,
     /// Canonical live set, keyed by id. Updated only after a successful
     /// append, so it never disagrees with the durable state.
     catalog: RwLock<HashMap<SubId, Subscription>>,
@@ -165,8 +213,17 @@ pub enum StreamStart {
     Log { backlog: usize },
     /// `from_seq` predated the retained log (or was ahead of the primary —
     /// stale promote leftovers): the full catalog was shipped as a
-    /// snapshot bootstrap at this sequence.
+    /// text snapshot bootstrap (one SUB frame per subscription) at this
+    /// sequence.
     Snapshot { subs: usize, seq: u64 },
+    /// Same trigger, but the follower spoke `REPLICATE <seq> v2` and this
+    /// primary runs the colstore format: the catalog was shipped as
+    /// compressed colstore blocks (base64 `BLOCK` lines).
+    Colstore {
+        blocks: usize,
+        subs: usize,
+        seq: u64,
+    },
 }
 
 impl Persister {
@@ -177,7 +234,9 @@ impl Persister {
         config: PersistConfig,
         schema: Schema,
         stats: Arc<ServerStats>,
+        partitions: usize,
     ) -> io::Result<(Self, Vec<Subscription>)> {
+        let partitions = partitions.max(1) as u32;
         config
             .validate()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
@@ -190,6 +249,9 @@ impl Persister {
             Ok(Some(snap)) => {
                 report.snapshot_subs = snap.subs.len();
                 report.snapshot_seq = snap.seq;
+                report.snapshot_deltas_applied = snap.deltas_applied;
+                report.snapshot_deltas_dropped = snap.deltas_dropped;
+                report.notes.extend(snap.notes.iter().cloned());
                 base_seq = snap.seq;
                 for sub in snap.subs {
                     catalog.insert(sub.id(), sub);
@@ -239,6 +301,10 @@ impl Persister {
             report.corrupt_records_dropped + u64::from(report.snapshot_error.is_some()),
         );
         ServerStats::add(&stats.recovery_truncated_bytes, report.truncated_bytes);
+        ServerStats::add(
+            &stats.recovery_deltas_dropped,
+            report.snapshot_deltas_dropped,
+        );
 
         // The oldest retained record bounds what a replication stream can
         // serve without a snapshot bootstrap.
@@ -258,10 +324,14 @@ impl Persister {
                 next_retry: now,
                 backoff: config.retry_backoff,
                 last_snapshot: now,
+                dirty_seq: vec![0; partitions as usize],
+                chain: None,
             }),
             config,
             schema,
             stats,
+            partitions,
+            snap_lock: Mutex::new(()),
             catalog: RwLock::new(catalog),
             repl: ReplicationHub::default(),
             recovery: report,
@@ -329,6 +399,12 @@ impl Persister {
         }
     }
 
+    /// Records that `id`'s partition mutated at `seq` — the next delta
+    /// snapshot must re-serialize it.
+    fn mark_dirty(&self, inner: &mut PersistInner, id: SubId, seq: u64) {
+        inner.dirty_seq[route_partition(id, self.partitions as usize)] = seq;
+    }
+
     /// Applies a SUB through engine + log with rollback. `Ok(false)` for a
     /// duplicate id (nothing written).
     pub fn apply_sub(
@@ -350,6 +426,7 @@ impl Persister {
             Ok(seq) => {
                 ServerStats::add(&self.stats.persist_appends, 1);
                 self.note_success(&mut inner);
+                self.mark_dirty(&mut inner, sub.id(), seq);
                 self.catalog.write().insert(sub.id(), sub.clone());
                 self.fan_out(&ChurnOp::Sub(sub), seq);
                 Ok(true)
@@ -377,6 +454,7 @@ impl Persister {
             Ok(seq) => {
                 ServerStats::add(&self.stats.persist_appends, 1);
                 self.note_success(&mut inner);
+                self.mark_dirty(&mut inner, id, seq);
                 self.catalog.write().remove(&id);
                 self.fan_out(&ChurnOp::Unsub(id), seq);
                 Ok(true)
@@ -393,63 +471,168 @@ impl Persister {
         }
     }
 
-    /// Writes a snapshot of the live set and rotates the log. Churn is
-    /// paused for the duration (matching is not).
+    /// Writes a full snapshot of the live set and rotates the log (keeping
+    /// any records that land mid-write). Churn pauses only for the catalog
+    /// capture, not for the compress+fsync phase.
     pub fn snapshot(&self) -> io::Result<SnapshotOutcome> {
-        let mut inner = self.inner.lock();
-        self.snapshot_locked(&mut inner)
+        self.snapshot_pass(false)
     }
 
-    fn snapshot_locked(&self, inner: &mut PersistInner) -> io::Result<SnapshotOutcome> {
-        let seq = inner.log.seq();
-        let mut subs: Vec<Subscription> = self.catalog.read().values().cloned().collect();
-        subs.sort_by_key(|s| s.id());
-        match snapshot::write(&self.config.dir, &self.schema, &subs, seq) {
-            Ok(bytes) => {
-                inner.log.rotate()?;
-                inner.last_snapshot = Instant::now();
-                ServerStats::add(&self.stats.snapshots_taken, 1);
-                Ok(SnapshotOutcome {
-                    subs: subs.len(),
-                    seq,
-                    bytes,
+    /// Like [`Self::snapshot`], but writes a *delta* file (dirty
+    /// partitions only, chained by the manifest) when the colstore format
+    /// is active, a full already exists, fewer than `max_delta_chain`
+    /// deltas are stacked, and some partitions are still clean. Falls back
+    /// to a full snapshot otherwise.
+    pub fn snapshot_incremental(&self) -> io::Result<SnapshotOutcome> {
+        self.snapshot_pass(true)
+    }
+
+    fn snapshot_pass(&self, allow_delta: bool) -> io::Result<SnapshotOutcome> {
+        // One snapshot at a time; churn is NOT blocked by this lock.
+        let _guard = self.snap_lock.lock();
+
+        // Prepare phase: capture a consistent (seq, catalog) pair and
+        // decide full vs delta, holding the append lock only for the
+        // clone. `snap_lock` keeps the chain state we read here stable.
+        let (seq, subs, delta_plan) = {
+            let inner = self.inner.lock();
+            let seq = inner.log.seq();
+            let mut subs: Vec<Subscription> = self.catalog.read().values().cloned().collect();
+            subs.sort_by_key(|s| s.id());
+            let plan = if allow_delta
+                && self.config.format == SnapshotFormat::Colstore
+                && self.config.max_delta_chain > 0
+            {
+                inner.chain.as_ref().and_then(|chain| {
+                    if chain.deltas.len() as u32 >= self.config.max_delta_chain {
+                        return None;
+                    }
+                    let covered = chain.covered_seq();
+                    let dirty: Vec<u32> = inner
+                        .dirty_seq
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| **s > covered)
+                        .map(|(p, _)| p as u32)
+                        .collect();
+                    // A delta only pays off while some partitions stayed
+                    // clean; all-dirty (or nothing to do) means full.
+                    (!dirty.is_empty() && dirty.len() < self.partitions as usize)
+                        .then(|| (chain.clone(), dirty))
                 })
+            } else {
+                None
+            };
+            (seq, subs, plan)
+        };
+
+        // Compress + fsync phase: no locks held except `snap_lock`, so
+        // churn acks keep flowing while the snapshot hits the disk.
+        if let Some((chain, dirty)) = delta_plan {
+            match snapshot::write_delta(
+                &self.config.dir,
+                &self.schema,
+                &subs,
+                seq,
+                self.partitions,
+                &dirty,
+                &chain,
+            ) {
+                Ok((bytes, next)) => {
+                    let mut inner = self.inner.lock();
+                    inner.chain = Some(next);
+                    inner.last_snapshot = Instant::now();
+                    ServerStats::add(&self.stats.snapshots_taken, 1);
+                    ServerStats::add(&self.stats.snapshot_deltas_taken, 1);
+                    // The log is deliberately NOT rotated: a corrupt delta
+                    // discovered on recovery must be healable by replay.
+                    Ok(SnapshotOutcome {
+                        subs: subs.len(),
+                        seq,
+                        bytes,
+                        delta: true,
+                    })
+                }
+                Err(e) => {
+                    ServerStats::add(&self.stats.snapshot_errors, 1);
+                    Err(e)
+                }
             }
-            Err(e) => {
-                ServerStats::add(&self.stats.snapshot_errors, 1);
-                Err(e)
+        } else {
+            match snapshot::write(
+                &self.config.dir,
+                &self.schema,
+                &subs,
+                seq,
+                self.config.format,
+                self.partitions,
+            ) {
+                Ok(bytes) => {
+                    let mut inner = self.inner.lock();
+                    // Keep any churn that landed during compress+fsync.
+                    inner.log.rotate_retaining(seq)?;
+                    inner.chain =
+                        (self.config.format == SnapshotFormat::Colstore).then(|| Manifest {
+                            partitions: self.partitions,
+                            full: (snapshot::SNAPSHOT_FILE.to_string(), seq),
+                            deltas: Vec::new(),
+                        });
+                    inner.last_snapshot = Instant::now();
+                    ServerStats::add(&self.stats.snapshots_taken, 1);
+                    Ok(SnapshotOutcome {
+                        subs: subs.len(),
+                        seq,
+                        bytes,
+                        delta: false,
+                    })
+                }
+                Err(e) => {
+                    ServerStats::add(&self.stats.snapshot_errors, 1);
+                    Err(e)
+                }
             }
         }
     }
 
     /// Periodic work, called from the broker's maintenance thread:
     /// interval fsync, degraded-log repair retries (with backoff), and
-    /// background snapshotting (age- or size-triggered) with log rotation.
+    /// background snapshotting — size-triggered passes force a full
+    /// (rotating the log back down), age-triggered passes may write a
+    /// delta. Snapshots run after the append lock is released, so churn
+    /// is never blocked behind a background snapshot.
     pub fn maintenance_tick(&self) {
-        let mut inner = self.inner.lock();
+        let (due_full, due_incremental) = {
+            let mut inner = self.inner.lock();
 
-        if !inner.healthy && Instant::now() >= inner.next_retry {
-            ServerStats::add(&self.stats.persist_retries, 1);
-            match inner.log.repair() {
-                Ok(()) => self.note_success(&mut inner),
-                Err(_) => self.note_failure(&mut inner),
+            if !inner.healthy && Instant::now() >= inner.next_retry {
+                ServerStats::add(&self.stats.persist_retries, 1);
+                match inner.log.repair() {
+                    Ok(()) => self.note_success(&mut inner),
+                    Err(_) => self.note_failure(&mut inner),
+                }
             }
-        }
 
-        if inner.healthy && self.config.fsync == FsyncPolicy::Interval {
-            if let Err(_e) = inner.log.sync() {
-                self.note_failure(&mut inner);
+            if inner.healthy && self.config.fsync == FsyncPolicy::Interval {
+                if let Err(_e) = inner.log.sync() {
+                    self.note_failure(&mut inner);
+                }
             }
-        }
 
-        let due_by_age = self
-            .config
-            .snapshot_interval
-            .map(|iv| inner.last_snapshot.elapsed() >= iv)
-            .unwrap_or(false);
-        let due_by_size = inner.log.len_bytes() >= self.config.rotate_log_bytes;
-        if inner.healthy && (due_by_size || (due_by_age && inner.log.len_bytes() > 0)) {
-            let _ = self.snapshot_locked(&mut inner);
+            let due_by_age = self
+                .config
+                .snapshot_interval
+                .map(|iv| inner.last_snapshot.elapsed() >= iv)
+                .unwrap_or(false);
+            let due_by_size = inner.log.len_bytes() >= self.config.rotate_log_bytes;
+            (
+                inner.healthy && due_by_size,
+                inner.healthy && !due_by_size && due_by_age && inner.log.len_bytes() > 0,
+            )
+        };
+        if due_full {
+            let _ = self.snapshot();
+        } else if due_incremental {
+            let _ = self.snapshot_incremental();
         }
     }
 
@@ -497,6 +680,7 @@ impl Persister {
         &self,
         follower_id: u64,
         from_seq: u64,
+        v2: bool,
         out: Sender<String>,
         stream: TcpStream,
     ) -> io::Result<StreamStart> {
@@ -520,23 +704,53 @@ impl Persister {
             // promotion): ship the whole catalog at the current sequence.
             let mut subs: Vec<Subscription> = self.catalog.read().values().cloned().collect();
             subs.sort_by_key(|s| s.id());
-            let mut chunk = format!("+OK replicate snapshot {} {current}", subs.len());
-            for sub in &subs {
-                chunk.push('\n');
-                chunk.push_str(&log::render_frame(
-                    current,
-                    &ChurnOp::Sub(sub),
-                    &self.schema,
-                ));
-            }
             let n = subs.len();
-            send_chunk(&out, chunk).map_err(io::Error::other)?;
+            let start = if v2 && self.config.format == SnapshotFormat::Colstore {
+                // Compressed bootstrap: the same prepare+compress path the
+                // snapshot writer uses, shipped as base64 `BLOCK` lines in
+                // one chunk. The follower CRC-checks every block and
+                // refetches the whole bootstrap on any mismatch.
+                let blocks = snapshot::prepare_blocks(&subs, &self.schema, self.partitions, None)?;
+                let mut chunk = format!("+OK replicate colstore {} {n} {current}", blocks.len());
+                for block in &blocks {
+                    chunk.push('\n');
+                    chunk.push_str(&format!(
+                        "BLOCK {} {} {} {:08x} {}",
+                        block.partition,
+                        block.rows,
+                        block.raw_len,
+                        block.crc,
+                        b64::encode(&block.data)
+                    ));
+                }
+                let nblocks = blocks.len();
+                ServerStats::add(&self.stats.repl_bootstrap_bytes, chunk.len() as u64 + 1);
+                send_chunk(&out, chunk).map_err(io::Error::other)?;
+                StreamStart::Colstore {
+                    blocks: nblocks,
+                    subs: n,
+                    seq: current,
+                }
+            } else {
+                let mut chunk = format!("+OK replicate snapshot {n} {current}");
+                for sub in &subs {
+                    chunk.push('\n');
+                    chunk.push_str(&log::render_frame(
+                        current,
+                        &ChurnOp::Sub(sub),
+                        &self.schema,
+                    ));
+                }
+                ServerStats::add(&self.stats.repl_bootstrap_bytes, chunk.len() as u64 + 1);
+                send_chunk(&out, chunk).map_err(io::Error::other)?;
+                StreamStart::Snapshot {
+                    subs: n,
+                    seq: current,
+                }
+            };
             self.repl
                 .register(follower_id, out, stream, from_seq.min(current));
-            StreamStart::Snapshot {
-                subs: n,
-                seq: current,
-            }
+            start
         };
         self.stats.repl_followers.store(
             self.repl.follower_count() as u64,
@@ -611,9 +825,11 @@ impl Persister {
                 self.note_success(&mut inner);
                 match &record.op {
                     ReplayOp::Sub(sub) => {
+                        self.mark_dirty(&mut inner, sub.id(), record.seq);
                         self.catalog.write().insert(sub.id(), sub.clone());
                     }
                     ReplayOp::Unsub(id) => {
+                        self.mark_dirty(&mut inner, *id, record.seq);
                         self.catalog.write().remove(id);
                     }
                 }
@@ -649,6 +865,9 @@ impl Persister {
         seq: u64,
     ) -> io::Result<(usize, usize)> {
         subs.sort_by_key(|s| s.id());
+        // Exclude concurrent snapshot passes: both mutate the chain state
+        // and the on-disk manifest.
+        let _guard = self.snap_lock.lock();
         let mut inner = self.inner.lock();
         let mut catalog = self.catalog.write();
         let removed = catalog.len();
@@ -658,9 +877,22 @@ impl Persister {
         engine
             .bulk_restore(&subs)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        snapshot::write(&self.config.dir, &self.schema, &subs, seq)?;
+        snapshot::write(
+            &self.config.dir,
+            &self.schema,
+            &subs,
+            seq,
+            self.config.format,
+            self.partitions,
+        )?;
         inner.log.rotate_to(seq)?;
         inner.last_snapshot = Instant::now();
+        inner.chain = (self.config.format == SnapshotFormat::Colstore).then(|| Manifest {
+            partitions: self.partitions,
+            full: (snapshot::SNAPSHOT_FILE.to_string(), seq),
+            deltas: Vec::new(),
+        });
+        inner.dirty_seq.fill(seq);
         *catalog = subs.iter().map(|s| (s.id(), s.clone())).collect();
         ServerStats::add(&self.stats.snapshots_taken, 1);
         Ok((removed, subs.len()))

@@ -77,8 +77,11 @@ pub enum Request {
     /// Cluster membership/health report (meaningful on a router).
     Topology,
     /// Follower handshake: stream churn records after this sequence.
+    /// `v2` is set when the follower appended a `v2` token, advertising
+    /// that it can decode a compressed colstore bootstrap.
     Replicate {
         from_seq: u64,
+        v2: bool,
     },
     /// Follower progress report on an established `REPLICATE` stream.
     ReplAck {
@@ -152,10 +155,20 @@ pub fn parse_request(schema: &Schema, line: &str) -> Result<Option<Request>, Str
         "SNAPSHOT" => Request::Snapshot,
         "TOPOLOGY" => Request::Topology,
         "REPLICATE" => {
-            let from_seq: u64 = rest
-                .parse()
-                .map_err(|_| format!("bad replicate seq `{rest}`"))?;
-            Request::Replicate { from_seq }
+            let mut parts = rest.split_whitespace();
+            let from_seq: u64 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| format!("bad replicate seq `{rest}`"))?;
+            let v2 = match parts.next() {
+                None => false,
+                Some("v2") => true,
+                Some(other) => return Err(format!("bad replicate token `{other}`")),
+            };
+            if parts.next().is_some() {
+                return Err(format!("bad replicate request `{rest}`"));
+            }
+            Request::Replicate { from_seq, v2 }
         }
         "REPLACK" => {
             let seq: u64 = rest
@@ -288,6 +301,14 @@ pub enum ReplicateStart {
     /// Snapshot bootstrap: this many catalog frames, all at `seq`; the
     /// follower replaces its local state wholesale, then the live stream.
     Snapshot { subs: usize, seq: u64 },
+    /// Compressed bootstrap (the primary runs the colstore snapshot
+    /// format and the follower advertised `v2`): this many base64
+    /// `BLOCK` lines carrying `subs` subscriptions, all at `seq`.
+    Colstore {
+        blocks: usize,
+        subs: usize,
+        seq: u64,
+    },
 }
 
 /// Parses a `+OK replicate ...` handshake header.
@@ -314,6 +335,21 @@ pub fn parse_replicate_header(line: &str) -> Result<ReplicateStart, String> {
                 .and_then(|t| t.parse().ok())
                 .ok_or("replicate snapshot header missing seq")?;
             Ok(ReplicateStart::Snapshot { subs, seq })
+        }
+        Some("colstore") => {
+            let blocks: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or("replicate colstore header missing block count")?;
+            let subs: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or("replicate colstore header missing sub count")?;
+            let seq: u64 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or("replicate colstore header missing seq")?;
+            Ok(ReplicateStart::Colstore { blocks, subs, seq })
         }
         other => Err(format!("unknown replicate mode {other:?}")),
     }
@@ -504,8 +540,20 @@ mod tests {
         );
         assert_eq!(
             parse_request(&schema, "REPLICATE 42").unwrap().unwrap(),
-            Request::Replicate { from_seq: 42 }
+            Request::Replicate {
+                from_seq: 42,
+                v2: false
+            }
         );
+        assert_eq!(
+            parse_request(&schema, "REPLICATE 42 v2").unwrap().unwrap(),
+            Request::Replicate {
+                from_seq: 42,
+                v2: true
+            }
+        );
+        assert!(parse_request(&schema, "REPLICATE 42 v3").is_err());
+        assert!(parse_request(&schema, "REPLICATE 42 v2 x").is_err());
         assert_eq!(
             parse_request(&schema, "replack 7").unwrap().unwrap(),
             Request::ReplAck { seq: 7 }
@@ -611,9 +659,18 @@ mod tests {
             parse_replicate_header("+OK replicate snapshot 40 97").unwrap(),
             ReplicateStart::Snapshot { subs: 40, seq: 97 }
         );
+        assert_eq!(
+            parse_replicate_header("+OK replicate colstore 3 40 97").unwrap(),
+            ReplicateStart::Colstore {
+                blocks: 3,
+                subs: 40,
+                seq: 97
+            }
+        );
         assert!(parse_replicate_header("+OK replicate").is_err());
         assert!(parse_replicate_header("+OK replicate log").is_err());
         assert!(parse_replicate_header("+OK replicate snapshot 4").is_err());
+        assert!(parse_replicate_header("+OK replicate colstore 3 40").is_err());
         assert!(parse_replicate_header("-ERR persistence disabled").is_err());
     }
 

@@ -3,12 +3,14 @@
 //! ## Wire protocol
 //!
 //! A follower dials its primary like any client and sends
-//! `REPLICATE <from_seq>` — the highest sequence it has already applied.
-//! The primary answers with one of:
+//! `REPLICATE <from_seq>` — the highest sequence it has already applied —
+//! optionally suffixed with `v2` to advertise that it can decode a
+//! compressed colstore bootstrap. The primary answers with one of:
 //!
 //! ```text
 //! +OK replicate log <backlog>             followed by that many log frames
 //! +OK replicate snapshot <n> <seq>        followed by n catalog frames
+//! +OK replicate colstore <b> <n> <seq>    followed by b BLOCK lines
 //! ```
 //!
 //! and then keeps the connection open, pushing every subsequent durable
@@ -17,9 +19,16 @@
 //! is used when `from_seq` falls inside the retained log
 //! (`base_seq <= from_seq <= seq`); anything else — the follower predates
 //! the last rotation, or is *ahead* of the primary (stale leftovers from
-//! an old promotion) — gets the snapshot form: the full live catalog
-//! rendered as `S` frames at the primary's current sequence, which the
-//! follower applies as a wholesale replacement of its local state.
+//! an old promotion) — gets a bootstrap: the full live catalog, which the
+//! follower applies as a wholesale replacement of its local state. The
+//! bootstrap form is `snapshot` (one `S` frame per subscription) unless
+//! the follower said `v2` *and* the primary runs the colstore snapshot
+//! format, in which case it is `colstore`: each
+//! `BLOCK <partition> <rows> <raw_len> <crc8hex> <base64>` line carries
+//! one LZSS-compressed columnar block (the same prepare+compress path the
+//! snapshot writer uses). The follower CRC-checks and decodes every
+//! block; any damage drops the connection and the reconnect refetches the
+//! whole bootstrap — nothing is skipped.
 //!
 //! The follower periodically reports progress on the same connection with
 //! `REPLACK <applied_seq>`; the primary folds the minimum across

@@ -97,6 +97,9 @@ pub struct ServerStats {
     pub snapshots_taken: AtomicU64,
     /// Snapshot attempts that failed (previous snapshot left intact).
     pub snapshot_errors: AtomicU64,
+    /// Of `snapshots_taken`, how many were delta files chained onto the
+    /// last full (colstore format only).
+    pub snapshot_deltas_taken: AtomicU64,
     /// Subscriptions restored at startup (snapshot + log replay).
     pub recovered_subs: AtomicU64,
     /// Log records replayed on top of the snapshot at startup.
@@ -105,6 +108,9 @@ pub struct ServerStats {
     pub recovery_corrupt_dropped: AtomicU64,
     /// Torn-tail bytes truncated off the log during recovery.
     pub recovery_truncated_bytes: AtomicU64,
+    /// Delta snapshot files dropped during recovery because they (or a
+    /// predecessor in the chain) failed validation.
+    pub recovery_deltas_dropped: AtomicU64,
     /// Gauge: live `REPLICATE` follower streams on this (primary) server.
     pub repl_followers: AtomicU64,
     /// Churn record frames shipped to followers.
@@ -127,6 +133,9 @@ pub struct ServerStats {
     /// Snapshot bootstraps applied by this replica (wholesale state
     /// replacement on handshake).
     pub repl_bootstraps: AtomicU64,
+    /// Bytes shipped in bootstrap chunks (text frames or colstore blocks)
+    /// answering `REPLICATE` handshakes on this primary.
+    pub repl_bootstrap_bytes: AtomicU64,
     /// Role transitions: replica -> primary (`PROMOTE`).
     pub promotions: AtomicU64,
     /// Role transitions: primary -> replica (`DEMOTE`).
@@ -204,6 +213,10 @@ impl ServerStats {
         push("persist_degraded", Self::get(&self.persist_degraded));
         push("snapshots_taken", Self::get(&self.snapshots_taken));
         push("snapshot_errors", Self::get(&self.snapshot_errors));
+        push(
+            "snapshot_deltas_taken",
+            Self::get(&self.snapshot_deltas_taken),
+        );
         push("recovered_subs", Self::get(&self.recovered_subs));
         push(
             "recovery_log_applied",
@@ -217,6 +230,10 @@ impl ServerStats {
             "recovery_truncated_bytes",
             Self::get(&self.recovery_truncated_bytes),
         );
+        push(
+            "recovery_deltas_dropped",
+            Self::get(&self.recovery_deltas_dropped),
+        );
         push("repl_followers", Self::get(&self.repl_followers));
         push("repl_records_sent", Self::get(&self.repl_records_sent));
         push("repl_bytes", Self::get(&self.repl_bytes));
@@ -226,6 +243,10 @@ impl ServerStats {
         push("repl_reconnects", Self::get(&self.repl_reconnects));
         push("repl_connected", Self::get(&self.repl_connected));
         push("repl_bootstraps", Self::get(&self.repl_bootstraps));
+        push(
+            "repl_bootstrap_bytes",
+            Self::get(&self.repl_bootstrap_bytes),
+        );
         push("promotions", Self::get(&self.promotions));
         push("demotions", Self::get(&self.demotions));
         push("role_replica", Self::get(&self.role_replica));

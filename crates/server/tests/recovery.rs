@@ -256,6 +256,12 @@ fn crash_point_matrix_agrees_with_oracle() {
         ("persist.log.append", FailAction::TornWrite(11), true),
         ("persist.snapshot.write", FailAction::Error, false),
         ("persist.snapshot.rename", FailAction::Error, false),
+        // Colstore v2 crash points: a failed block write or manifest swap
+        // must leave the previous snapshot (or no snapshot) intact, with
+        // the un-rotated log covering everything.
+        ("colstore.block.write", FailAction::Error, false),
+        ("colstore.block.write", FailAction::TornWrite(13), false),
+        ("colstore.manifest.rename", FailAction::Error, false),
     ];
     for &(point, action, block_repair) in cases {
         let tag = format!(
@@ -327,4 +333,148 @@ fn crash_point_matrix_agrees_with_oracle() {
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+/// The prepare/compress split: a snapshot pass only holds the catalog
+/// lock while it clones the subscription set; compression and the actual
+/// file write run outside it. Stalling the block write must not stall
+/// churn acks.
+#[test]
+fn churn_acks_flow_during_snapshot_compress() {
+    let _guard = lock();
+    let wl = WorkloadSpec::new(80).seed(0x57a1).build();
+    let dir = tmpdir("stall_compress");
+    failpoint::reset();
+
+    let (server, mut client) = start(&wl.schema, persisted_config(&dir));
+    let mut acked: BTreeMap<SubId, &Subscription> = BTreeMap::new();
+    for sub in &wl.subs[..40] {
+        client.subscribe(sub, &wl.schema).unwrap();
+        acked.insert(sub.id(), sub);
+    }
+
+    failpoint::arm("colstore.block.write", FailAction::Stall(800), Some(1));
+    let addr = server.local_addr().to_string();
+    let snap = std::thread::spawn(move || {
+        let mut c2 = BrokerClient::connect(&addr).unwrap();
+        c2.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        c2.snapshot().unwrap()
+    });
+    // Let the snapshot thread reach the stalled block write, then push
+    // churn through while it sleeps there.
+    std::thread::sleep(Duration::from_millis(120));
+    for sub in &wl.subs[40..] {
+        client.subscribe(sub, &wl.schema).unwrap();
+        acked.insert(sub.id(), sub);
+    }
+    assert!(
+        !snap.is_finished(),
+        "churn acks were serialized behind the snapshot's compress+write phase"
+    );
+    let reply = snap.join().unwrap();
+    assert!(reply.contains("snapshot"), "{reply}");
+    failpoint::reset();
+
+    drop(client);
+    server.abort();
+    // The rotation after the write retains the churn frames that landed
+    // while it was in flight, so every ack survives the crash.
+    let _ = assert_restored_agrees(&wl, &dir, &acked);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Subscribes only the workload subs that route to a single partition, so
+/// the next incremental pass sees a strict-subset dirty set and writes a
+/// delta instead of falling back to a full.
+fn subscribe_one_partition<'a>(
+    client: &mut BrokerClient,
+    wl: &'a apcm_workload::Workload,
+    subs: &'a [Subscription],
+    shards: usize,
+    acked: &mut BTreeMap<SubId, &'a Subscription>,
+) -> usize {
+    let target = apcm_server::route_partition(subs[0].id(), shards);
+    let mut n = 0;
+    for sub in subs {
+        if apcm_server::route_partition(sub.id(), shards) == target {
+            client.subscribe(sub, &wl.schema).unwrap();
+            acked.insert(sub.id(), sub);
+            n += 1;
+        }
+    }
+    n
+}
+
+#[test]
+fn corrupt_delta_falls_back_to_chain_prefix_plus_log() {
+    let _guard = lock();
+    let wl = WorkloadSpec::new(90).seed(0xde17).build();
+    let dir = tmpdir("bad_delta");
+    failpoint::reset();
+
+    let (server, mut client) = start(&wl.schema, persisted_config(&dir));
+    let mut acked: BTreeMap<SubId, &Subscription> = BTreeMap::new();
+    for sub in &wl.subs[..30] {
+        client.subscribe(sub, &wl.schema).unwrap();
+        acked.insert(sub.id(), sub);
+    }
+    client.snapshot().unwrap(); // full: starts the chain, rotates the log
+
+    let (first, second) = wl.subs[30..].split_at(30);
+    let n1 = subscribe_one_partition(&mut client, &wl, first, 3, &mut acked);
+    assert!(n1 >= 4, "workload routed too few subs to one partition");
+    let outcome = server.snapshot_incremental().unwrap();
+    assert!(outcome.delta, "expected a delta snapshot, got a full");
+    let n2 = subscribe_one_partition(&mut client, &wl, second, 3, &mut acked);
+    assert!(n2 >= 4);
+    let outcome = server.snapshot_incremental().unwrap();
+    assert!(outcome.delta);
+
+    drop(client);
+    server.abort();
+
+    // Bit-rot the second delta. Recovery must keep the full + delta-1
+    // prefix and heal the suffix from the churn log — deltas never rotate
+    // it, so the log still covers everything past the full.
+    let path = dir.join("snapshot-delta-2.col");
+    let mut data = std::fs::read(&path).unwrap();
+    let mid = data.len() / 2;
+    data[mid] ^= 0x40;
+    std::fs::write(&path, &data).unwrap();
+
+    let stats = assert_restored_agrees(&wl, &dir, &acked);
+    assert!(stats["recovery_deltas_dropped"] >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A delta must actually carry its partitions' rows — not lean on log
+/// replay. Deleting the churn log after a full+delta pair must still
+/// restore the union.
+#[test]
+fn delta_snapshot_restores_without_the_log() {
+    let _guard = lock();
+    let wl = WorkloadSpec::new(60).seed(0xd317).build();
+    let dir = tmpdir("delta_no_log");
+    failpoint::reset();
+
+    let (server, mut client) = start(&wl.schema, persisted_config(&dir));
+    let mut acked: BTreeMap<SubId, &Subscription> = BTreeMap::new();
+    for sub in &wl.subs[..30] {
+        client.subscribe(sub, &wl.schema).unwrap();
+        acked.insert(sub.id(), sub);
+    }
+    client.snapshot().unwrap();
+    let n = subscribe_one_partition(&mut client, &wl, &wl.subs[30..], 3, &mut acked);
+    assert!(n >= 4);
+    let outcome = server.snapshot_incremental().unwrap();
+    assert!(outcome.delta, "expected a delta snapshot, got a full");
+
+    drop(client);
+    server.abort();
+    std::fs::remove_file(dir.join("churn.log")).unwrap();
+
+    let stats = assert_restored_agrees(&wl, &dir, &acked);
+    assert_eq!(stats["recovery_log_applied"], 0);
+    assert_eq!(stats["recovery_deltas_dropped"], 0);
+    let _ = std::fs::remove_dir_all(&dir);
 }

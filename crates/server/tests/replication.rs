@@ -10,6 +10,7 @@ use apcm_server::persist::failpoint::{self, FailAction};
 use apcm_server::persist::log::{render_frame, ChurnOp};
 use apcm_server::{
     BrokerClient, EngineChoice, PersistConfig, Role, Server, ServerConfig, ServerStats,
+    SnapshotFormat,
 };
 use apcm_workload::WorkloadSpec;
 use std::io::{BufRead, BufReader, Write};
@@ -175,9 +176,46 @@ fn rotation_gap_forces_snapshot_bootstrap() {
     );
     wait_until("bootstrap catch-up", Duration::from_secs(10), || {
         replica.current_seq() == primary.current_seq()
+            && ServerStats::get(&replica.stats().repl_bootstraps) == 1
     });
     assert_eq!(replica.engine().len(), 50);
-    assert_eq!(ServerStats::get(&replica.stats().repl_bootstraps), 1);
+    // The primary (colstore format by default) served the bootstrap as
+    // compressed blocks and accounted the bytes it shipped.
+    assert!(ServerStats::get(&primary.stats().repl_bootstrap_bytes) > 0);
+
+    rc.quit().unwrap();
+    pc.quit().unwrap();
+    replica.shutdown();
+    primary.shutdown();
+}
+
+/// Same rotation gap against a primary pinned to the text snapshot
+/// format: the follower always offers `v2`, and a text primary answers
+/// with the plain per-frame bootstrap — both sides stay compatible.
+#[test]
+fn rotation_gap_bootstraps_from_text_format_primary() {
+    let wl = WorkloadSpec::new(50).seed(0x7e87).build();
+    let mut config = persisted_config(&tmpdir("rot_text_p"));
+    config.persist.as_mut().unwrap().format = SnapshotFormat::Text;
+    let (primary, mut pc) = start(&wl.schema, config);
+    for sub in &wl.subs[..30] {
+        pc.subscribe(sub, &wl.schema).unwrap();
+    }
+    pc.snapshot().unwrap();
+    for sub in &wl.subs[30..] {
+        pc.subscribe(sub, &wl.schema).unwrap();
+    }
+
+    let (replica, mut rc) = start(
+        &wl.schema,
+        replica_config(&tmpdir("rot_text_r"), &primary.local_addr().to_string()),
+    );
+    wait_until("text bootstrap catch-up", Duration::from_secs(10), || {
+        replica.current_seq() == primary.current_seq()
+            && ServerStats::get(&replica.stats().repl_bootstraps) == 1
+    });
+    assert_eq!(replica.engine().len(), 50);
+    assert!(ServerStats::get(&primary.stats().repl_bootstrap_bytes) > 0);
 
     rc.quit().unwrap();
     pc.quit().unwrap();
@@ -357,6 +395,105 @@ fn crc_bad_streamed_record_is_counted_and_never_applied() {
     // refetched the same sequence cleanly.
     assert!(ServerStats::get(&replica.stats().repl_crc_skipped) >= 1);
     assert!(ServerStats::get(&replica.stats().repl_reconnects) >= 1);
+    assert_eq!(replica.engine().len(), wl.subs.len());
+
+    drop(rc);
+    replica.shutdown();
+    fake.join().unwrap();
+}
+
+/// A scripted primary that answers `REPLICATE` with a colstore bootstrap:
+/// conn 1 ships a block whose CRC is wrong — the follower must drop the
+/// stream and apply **nothing** — and conn 2 ships the same blocks intact.
+fn scripted_colstore_primary(
+    schema: Schema,
+    subs: Vec<Subscription>,
+) -> (String, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || {
+        let rows: Vec<apcm_colstore::Row> = subs
+            .iter()
+            .map(|s| apcm_colstore::Row {
+                id: u64::from(s.id().0),
+                atoms: s
+                    .predicates()
+                    .iter()
+                    .map(|p| p.display(&schema).to_string())
+                    .collect(),
+            })
+            .collect();
+        let blocks: Vec<apcm_colstore::CompressedBlock> =
+            apcm_colstore::prepare_partition(0, &rows, apcm_colstore::DEFAULT_BLOCK_ROWS)
+                .unwrap()
+                .into_iter()
+                .map(apcm_colstore::compress_block)
+                .collect();
+        let header = format!(
+            "+OK replicate colstore {} {} {}\n",
+            blocks.len(),
+            subs.len(),
+            subs.len()
+        );
+        let block_line = |b: &apcm_colstore::CompressedBlock, crc: u32| {
+            format!(
+                "BLOCK {} {} {} {crc:08x} {}\n",
+                b.partition,
+                b.rows,
+                b.raw_len,
+                apcm_colstore::b64::encode(&b.data)
+            )
+        };
+        let mut serving = 0usize;
+        while serving < 2 {
+            let Ok((stream, _)) = listener.accept() else {
+                return;
+            };
+            serving += 1;
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with("REPLICATE "), "{line}");
+            let mut w = stream.try_clone().unwrap();
+            if serving == 1 {
+                // Framed, parseable, wrong checksum: the follower must
+                // refuse the whole bootstrap, not skip one block.
+                let body = format!("{header}{}", block_line(&blocks[0], blocks[0].crc ^ 1));
+                w.write_all(body.as_bytes()).unwrap();
+                // Follower aborts; wait for its EOF.
+                let mut rest = String::new();
+                while reader.read_line(&mut rest).map(|n| n > 0).unwrap_or(false) {
+                    rest.clear();
+                }
+            } else {
+                let mut body = header.clone();
+                for b in &blocks {
+                    body.push_str(&block_line(b, b.crc));
+                }
+                w.write_all(body.as_bytes()).unwrap();
+                std::thread::sleep(Duration::from_millis(400));
+            }
+        }
+    });
+    (addr, handle)
+}
+
+#[test]
+fn corrupt_colstore_block_forces_clean_refetch() {
+    let wl = WorkloadSpec::new(6).seed(0xcb10).build();
+    let (addr, fake) = scripted_colstore_primary(wl.schema.clone(), wl.subs.clone());
+
+    let (replica, rc) = start(&wl.schema, replica_config(&tmpdir("colcrc_r"), &addr));
+    wait_until(
+        "colstore bootstrap applied",
+        Duration::from_secs(10),
+        || replica.current_seq() == wl.subs.len() as u64,
+    );
+    // The corrupt block killed the whole first bootstrap: nothing from it
+    // was applied, and the reconnect refetched every block.
+    assert!(ServerStats::get(&replica.stats().repl_crc_skipped) >= 1);
+    assert!(ServerStats::get(&replica.stats().repl_reconnects) >= 1);
+    assert_eq!(ServerStats::get(&replica.stats().repl_bootstraps), 1);
     assert_eq!(replica.engine().len(), wl.subs.len());
 
     drop(rc);

@@ -72,6 +72,7 @@ usage:
              [--engine apcm|betree-hybrid|scan] [--window N] [--queue N]
              [--flush-ms N] [--maintenance-ms N] [--slow-consumer drop|disconnect]
              [--persist-dir DIR] [--fsync always|interval|never] [--snapshot-secs N]
+             [--snapshot-format colstore|text] [--max-delta-chain N]
              [--rotate-bytes N] [--idle-timeout-ms N] [--max-line-bytes N]
              [--replica-of HOST:PORT]  (start as a read-only follower; needs --persist-dir)
   apcm route --backends HOST:PORT,HOST:PORT,... [--addr HOST:PORT] [--dims N]
@@ -250,6 +251,10 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         let snapshot_secs: u64 = get(flags, "snapshot-secs", 60)?;
         persist.snapshot_interval = (snapshot_secs > 0).then(|| Duration::from_secs(snapshot_secs));
         persist.rotate_log_bytes = get(flags, "rotate-bytes", persist.rotate_log_bytes)?;
+        if let Some(format) = flags.get("snapshot-format") {
+            persist.format = apcm::server::SnapshotFormat::parse(format)?;
+        }
+        persist.max_delta_chain = get(flags, "max-delta-chain", persist.max_delta_chain)?;
         config.persist = Some(persist);
     }
     if let Some(primary) = flags.get("replica-of") {
