@@ -27,6 +27,9 @@ cargo test -q -p apcm-server --test replication
 echo "==> cargo test -p apcm-cluster --test failover (failover + chaos drill)"
 cargo test -q -p apcm-cluster --test failover
 
+echo "==> cargo test -p apcm-cluster --test migration (elastic resharding drill)"
+cargo test -q -p apcm-cluster --test migration
+
 echo "==> cargo bench --workspace --no-run (benches stay compilable)"
 cargo bench --workspace --no-run
 
@@ -49,5 +52,10 @@ echo "==> snapshot-format harness smoke run (appends e15 records to BENCH_pr6.js
 cargo run --release -q -p apcm-bench --bin harness -- \
     --experiment e15 --scale 0.002 --budget-ms 50 --seed 42 \
     --json-append BENCH_pr6.json
+
+echo "==> resharding harness smoke run (appends e16 records to BENCH_pr7.json)"
+cargo run --release -q -p apcm-bench --bin harness -- \
+    --experiment e16 --scale 0.002 --budget-ms 50 --seed 42 \
+    --json-append BENCH_pr7.json
 
 echo "==> ci.sh: all green"

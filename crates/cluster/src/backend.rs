@@ -35,6 +35,14 @@ impl BackendConn {
         })
     }
 
+    /// Re-arms the socket's read deadline. The health sweep tightens it to
+    /// the probe timeout around each `ROLE` probe (so a stalled-but-open
+    /// backend cannot wedge the sweep) and restores the request timeout
+    /// afterwards; `None` blocks forever.
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
     fn send_line(&mut self, line: &str) -> std::io::Result<()> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;

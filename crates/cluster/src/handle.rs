@@ -101,6 +101,28 @@ impl ClusterHandle {
         self.router.as_ref().expect("router is running")
     }
 
+    /// Starts a fresh backend pair (primary plus optional replica) on
+    /// ephemeral ports *without* telling the router — the scale-out drill
+    /// for elastic resharding: the caller hands the returned primary
+    /// address to `RESHARD ADD`, which registers the partition and starts
+    /// migrating its ring share onto it. The new slot joins the handle's
+    /// table, so `kill_node`/`restart_node` work on it like any other.
+    /// Returns the new partition slot's index in this handle.
+    pub fn add_backend_pair(
+        &mut self,
+        primary_config: ServerConfig,
+        replica_config: Option<ServerConfig>,
+    ) -> std::io::Result<usize> {
+        let primary = NodeSlot::start(&self.schema, primary_config)?;
+        let mut nodes = vec![primary];
+        if let Some(mut config) = replica_config {
+            config.replica_of = Some(nodes[0].addr.clone());
+            nodes.push(NodeSlot::start(&self.schema, config)?);
+        }
+        self.partitions.push(PartitionSlot { nodes });
+        Ok(self.partitions.len() - 1)
+    }
+
     /// The router's client-facing address.
     pub fn router_addr(&self) -> String {
         self.router().local_addr().to_string()

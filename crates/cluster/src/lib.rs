@@ -5,9 +5,10 @@
 //! owns no subscriptions:
 //!
 //! * **Routing** — `SUB`/`UNSUB`/`CLAIM` go to exactly one backend,
-//!   chosen by the same Fibonacci hash (`apcm_server::route_partition`)
-//!   that `ShardedEngine` uses in-process. The hash is a wire-visible
-//!   contract, pinned by tests in both crates.
+//!   chosen by the consistent-hash virtual-node ring
+//!   (`apcm_server::Ring`) shared with the backends' `RESHARD` scopes.
+//!   The ring placement is a wire-visible contract, pinned by golden
+//!   tests in both crates.
 //! * **Scatter-gather** — `PUB`/`BATCH` windows fan to every live backend
 //!   on scoped threads; rows are merged (sorted, deduplicated) and the
 //!   router synthesizes `EVENT` notifications from the merged rows.
@@ -26,6 +27,11 @@
 //!   refused (`-ERR backend <i> unavailable`) only when *neither* node is
 //!   serviceable; matching degrades to the surviving partitions with rows
 //!   flagged `partial` and `cluster_degraded` counted.
+//! * **Elastic resharding** — `RESHARD ADD`/`REMOVE` migrate ~1/N of the
+//!   id space onto a joining backend (or off a leaving one) live: the
+//!   [`migration`] controller drives per-leg catch-up over the
+//!   replication stream, double-writes churn during the handoff, and
+//!   flips ownership atomically with zero acked churn dropped.
 //! * **[`ClusterHandle`]** — an in-process cluster (backends + router on
 //!   loopback) with `kill_node`/`restart_node` fault injection for tests
 //!   and benchmarks.
@@ -33,11 +39,13 @@
 pub mod backend;
 pub mod handle;
 pub mod membership;
+pub mod migration;
 pub mod router;
 pub mod stats;
 
 pub use backend::BackendConn;
 pub use handle::ClusterHandle;
 pub use membership::{BackendSpec, Membership, Node, Partition};
+pub use migration::{ActiveMigration, MigrationController, MigrationKind};
 pub use router::{Router, RouterConfig};
 pub use stats::ClusterStats;

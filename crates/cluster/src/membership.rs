@@ -22,11 +22,11 @@ use crate::backend::BackendConn;
 use crate::stats::ClusterStats;
 use apcm_bexpr::SubId;
 use apcm_server::client::ConnectOptions;
-use apcm_server::{protocol, route_partition};
-use parking_lot::{Mutex, MutexGuard};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use apcm_server::{protocol, Ring};
+use parking_lot::{Mutex, MutexGuard, RwLock};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Addresses of one partition's nodes.
 #[derive(Debug, Clone)]
@@ -251,41 +251,79 @@ impl Partition {
     pub fn record_churn_ack(&self) {
         self.acked_records.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Folds an out-of-band `ROLE` observation into the promotion floor.
+    /// The migration controller probes a puller right after cutting its
+    /// pull stream off: the pulled records raised the puller's log
+    /// sequence without any router-side churn ack, so without this the
+    /// floor would lag until the next sweep probe — a window where a
+    /// promoted standby could silently miss migrated subscriptions.
+    pub fn raise_floor(&self, seq: u64) {
+        self.probed_seq.fetch_max(seq, Ordering::Relaxed);
+    }
 }
 
-/// The routing table: partition order is wire order, so
-/// [`Membership::route`] and `ShardedEngine::shard_of` agree by
-/// construction (both call [`route_partition`]).
+/// The routing table. Partition indices are the consistent-hash ring's
+/// member ids ([`Membership::route`] hashes an id onto the ring and looks
+/// the owning member's partition up by index), so the table can grow and
+/// shrink — elastic resharding adds or drops one member at a time and only
+/// ~1/N of ids move. The ring layout is the wire contract shared with
+/// `apcm_server::Ring`'s golden pins.
 pub struct Membership {
-    partitions: Vec<Arc<Partition>>,
+    partitions: RwLock<Vec<Arc<Partition>>>,
+    /// The id → member placement currently in force. Swapped atomically
+    /// by the migration controller when a reshard completes; mid-reshard
+    /// the controller routes moved ids itself from its old/new ring pair.
+    ring: RwLock<Arc<Ring>>,
     connect: ConnectOptions,
+    /// Read deadline for one `ROLE` health probe. Distinct from the
+    /// connect timeout: a backend that accepts the dial but stalls
+    /// without answering would otherwise hold the sweep for the full
+    /// request `read_timeout` — or forever, if that is `None`.
+    probe_timeout: Duration,
+    /// Next partition index to hand out. Monotonic and never reused,
+    /// even after the highest member leaves: a reused index would let a
+    /// stale ring scope on a backend name a *different* node pair.
+    next_index: AtomicU32,
 }
 
 impl Membership {
     /// Single-node partitions, one per address — the pre-replication
     /// layout. Eagerly dials every node once; failures are left down with
     /// a scheduled retry, so a router can start ahead of its backends.
-    pub fn connect_all(addrs: &[String], connect: ConnectOptions, stats: &ClusterStats) -> Self {
+    pub fn connect_all(
+        addrs: &[String],
+        connect: ConnectOptions,
+        probe_timeout: Duration,
+        stats: &ClusterStats,
+    ) -> Self {
         let specs: Vec<BackendSpec> = addrs
             .iter()
             .map(|a| BackendSpec::standalone(a.clone()))
             .collect();
-        Self::connect_replicated(&specs, connect, stats)
+        Self::connect_replicated(&specs, connect, probe_timeout, stats)
     }
 
     /// Builds the table from explicit {primary, replica} specs.
     pub fn connect_replicated(
         specs: &[BackendSpec],
         connect: ConnectOptions,
+        probe_timeout: Duration,
         stats: &ClusterStats,
     ) -> Self {
+        let members: Vec<u32> = (0..specs.len() as u32).collect();
         let membership = Self {
-            partitions: specs
-                .iter()
-                .enumerate()
-                .map(|(i, spec)| Arc::new(Partition::new(i, spec)))
-                .collect(),
+            partitions: RwLock::new(
+                specs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, spec)| Arc::new(Partition::new(i, spec)))
+                    .collect(),
+            ),
+            ring: RwLock::new(Arc::new(Ring::new(&members))),
             connect,
+            probe_timeout,
+            next_index: AtomicU32::new(specs.len() as u32),
         };
         membership.sweep(stats);
         membership
@@ -293,31 +331,82 @@ impl Membership {
 
     /// Partition count.
     pub fn len(&self) -> usize {
-        self.partitions.len()
+        self.partitions.read().len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.partitions.is_empty()
+        self.partitions.read().is_empty()
     }
 
-    pub fn partitions(&self) -> &[Arc<Partition>] {
-        &self.partitions
+    /// Snapshot of the partition table (stable `index` order is insertion
+    /// order; indices are ring member ids and survive removals).
+    pub fn partitions(&self) -> Vec<Arc<Partition>> {
+        self.partitions.read().clone()
+    }
+
+    /// The ring placement currently in force.
+    pub fn ring(&self) -> Arc<Ring> {
+        self.ring.read().clone()
+    }
+
+    /// Atomically swaps the routing ring — the completion step of a
+    /// reshard, after every moved id's data is on its new owner.
+    pub fn set_ring(&self, ring: Arc<Ring>) {
+        *self.ring.write() = ring;
+    }
+
+    /// The partition serving ring member `member`, if present.
+    pub fn partition_for_member(&self, member: u32) -> Option<Arc<Partition>> {
+        self.partitions
+            .read()
+            .iter()
+            .find(|p| p.index == member as usize)
+            .cloned()
+    }
+
+    /// Registers (and eagerly dials) a new partition for `spec`, assigning
+    /// the next never-used member index. The new partition serves scatter
+    /// immediately but owns no ring arcs until a migration completes and
+    /// [`Self::set_ring`] installs a ring containing its index.
+    pub fn add_partition(&self, spec: &BackendSpec, stats: &ClusterStats) -> u32 {
+        let partition = {
+            let mut parts = self.partitions.write();
+            let index = self.next_index.fetch_add(1, Ordering::Relaxed) as usize;
+            let partition = Arc::new(Partition::new(index, spec));
+            parts.push(partition.clone());
+            partition
+        };
+        for node in partition.nodes() {
+            self.probe(node, stats);
+        }
+        partition.index as u32
+    }
+
+    /// Drops a partition from the table (scale-in completion: its ring
+    /// share has been drained onto the survivors). Returns the removed
+    /// partition so the caller can report on it.
+    pub fn remove_partition(&self, member: u32) -> Option<Arc<Partition>> {
+        let mut parts = self.partitions.write();
+        let pos = parts.iter().position(|p| p.index == member as usize)?;
+        Some(parts.remove(pos))
     }
 
     /// Partitions whose active node is up — the ones scatter can serve.
     pub fn up_count(&self) -> usize {
         self.partitions
+            .read()
             .iter()
             .filter(|p| p.is_serviceable())
             .count()
     }
 
     pub fn node_count(&self) -> usize {
-        self.partitions.iter().map(|p| p.nodes.len()).sum()
+        self.partitions.read().iter().map(|p| p.nodes.len()).sum()
     }
 
     pub fn nodes_up(&self) -> usize {
         self.partitions
+            .read()
             .iter()
             .flat_map(|p| p.nodes.iter())
             .filter(|n| n.is_up())
@@ -328,10 +417,12 @@ impl Membership {
         &self.connect
     }
 
-    /// The partition owning subscription `id` — the shared routing
-    /// contract.
-    pub fn route(&self, id: SubId) -> &Arc<Partition> {
-        &self.partitions[route_partition(id, self.partitions.len())]
+    /// The partition owning subscription `id` under the current ring —
+    /// the shared routing contract. `None` only in the transient window
+    /// where the ring names a member whose partition was just removed.
+    pub fn route(&self, id: SubId) -> Option<Arc<Partition>> {
+        let member = self.ring.read().route(id);
+        self.partition_for_member(member)
     }
 
     /// One health pass: `ROLE`-probe every connected node (marking
@@ -341,11 +432,11 @@ impl Membership {
     /// ex-primary to follow the active node, and failing over when the
     /// active node is down.
     pub fn sweep(&self, stats: &ClusterStats) {
-        for partition in &self.partitions {
+        for partition in self.partitions() {
             for node in &partition.nodes {
                 self.probe(node, stats);
             }
-            self.reconcile(partition, stats);
+            self.reconcile(&partition, stats);
         }
     }
 
@@ -379,6 +470,10 @@ impl Membership {
             }
         }
         let c = conn.as_mut().expect("dialed above");
+        // Tighten the read deadline for the probe itself: an accepted-but-
+        // stalled backend must cost at most `probe_timeout`, not wedge the
+        // sweep (and with it failover) behind the full request timeout.
+        let _ = c.set_read_timeout(Some(self.probe_timeout));
         let start = Instant::now();
         match c.request("ROLE") {
             Ok(reply) if reply.starts_with('+') => {
@@ -388,8 +483,20 @@ impl Membership {
                 } else {
                     node.meta.lock().last_ping_us = Some(ping_us);
                 }
+                let _ = c.set_read_timeout(self.connect.read_timeout);
             }
-            _ => node.mark_down_locked(&mut conn, &self.connect, stats),
+            outcome => {
+                if matches!(
+                    &outcome,
+                    Err(e) if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                    )
+                ) {
+                    ClusterStats::add(&stats.backend_probe_timeouts, 1);
+                }
+                node.mark_down_locked(&mut conn, &self.connect, stats);
+            }
         }
     }
 
@@ -544,7 +651,7 @@ impl Membership {
     /// partition's active node first.
     pub fn topology_lines(&self) -> Vec<String> {
         let mut out = Vec::new();
-        for partition in &self.partitions {
+        for partition in self.partitions() {
             let active_idx = partition.active_index();
             for (i, node) in partition.nodes.iter().enumerate() {
                 out.push(node.topology_line(i == active_idx));
@@ -569,6 +676,8 @@ mod tests {
         }
     }
 
+    const PROBE: Duration = Duration::from_millis(200);
+
     #[test]
     fn unreachable_backends_start_down_and_backoff() {
         // Port 1 refuses instantly; both backends stay down.
@@ -576,6 +685,7 @@ mod tests {
         let membership = Membership::connect_all(
             &["127.0.0.1:1".into(), "127.0.0.1:1".into()],
             fast_options(),
+            PROBE,
             &stats,
         );
         assert_eq!(membership.len(), 2);
@@ -591,19 +701,65 @@ mod tests {
     }
 
     #[test]
-    fn route_follows_the_shared_contract() {
+    fn route_follows_the_ring_contract() {
+        // Pinned against `apcm_server::ring`'s GOLDEN_THREE placements:
+        // the router and a backend's `RESHARD` scope must place every id
+        // identically or migration would strand subscriptions.
         let stats = ClusterStats::default();
         let membership = Membership::connect_all(
             &["a".into(), "b".into(), "c".into()],
             fast_options(),
+            PROBE,
             &stats,
         );
-        for id in 0..500u32 {
-            assert_eq!(
-                membership.route(SubId(id)).index,
-                route_partition(SubId(id), 3)
-            );
+        const GOLDEN_THREE: [usize; 16] = [2, 0, 2, 1, 1, 0, 2, 0, 2, 1, 2, 0, 0, 1, 2, 0];
+        let ring = membership.ring();
+        for (id, &want) in GOLDEN_THREE.iter().enumerate() {
+            let routed = membership.route(SubId(id as u32)).expect("member present");
+            assert_eq!(routed.index, want, "id {id}");
+            assert_eq!(ring.route(SubId(id as u32)) as usize, want, "id {id}");
         }
+    }
+
+    #[test]
+    fn add_and_remove_partition_keep_indices_stable() {
+        let stats = ClusterStats::default();
+        let membership =
+            Membership::connect_all(&["127.0.0.1:1".into()], fast_options(), PROBE, &stats);
+        let spec = BackendSpec::standalone("127.0.0.1:1");
+        assert_eq!(membership.add_partition(&spec, &stats), 1);
+        assert_eq!(membership.add_partition(&spec, &stats), 2);
+        assert_eq!(membership.len(), 3);
+        let removed = membership.remove_partition(1).expect("present");
+        assert_eq!(removed.index, 1);
+        assert!(membership.remove_partition(1).is_none());
+        // Index 1 is never reused: the next join gets a fresh member id,
+        // so a stale ring csv can never alias onto a different backend.
+        assert_eq!(membership.add_partition(&spec, &stats), 3);
+        assert!(membership.partition_for_member(2).is_some());
+        assert!(membership.partition_for_member(1).is_none());
+    }
+
+    #[test]
+    fn stalled_probe_hits_the_deadline_and_marks_down() {
+        // A bound listener that never accepts still completes the TCP
+        // handshake (backlog), so the dial succeeds and `ROLE` stalls —
+        // exactly the failure mode the per-probe deadline exists for.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let stats = ClusterStats::default();
+        let probe = Duration::from_millis(50);
+        let started = Instant::now();
+        let membership = Membership::connect_all(&[addr], fast_options(), probe, &stats);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "sweep wedged on a stalled backend: {:?}",
+            started.elapsed()
+        );
+        assert_eq!(membership.up_count(), 0);
+        assert!(ClusterStats::get(&stats.backend_probe_timeouts) >= 1);
+        assert!(ClusterStats::get(&stats.backend_errors) >= 1);
+        drop(listener);
     }
 
     #[test]
@@ -612,6 +768,7 @@ mod tests {
         let membership = Membership::connect_replicated(
             &[BackendSpec::replicated("127.0.0.1:1", "127.0.0.1:1")],
             fast_options(),
+            PROBE,
             &stats,
         );
         assert_eq!(membership.len(), 1);
@@ -627,9 +784,10 @@ mod tests {
     #[test]
     fn failover_without_standbys_reports_none() {
         let stats = ClusterStats::default();
-        let membership = Membership::connect_all(&["127.0.0.1:1".into()], fast_options(), &stats);
-        let partition = &membership.partitions()[0];
-        assert!(membership.try_failover(partition, &stats).is_none());
+        let membership =
+            Membership::connect_all(&["127.0.0.1:1".into()], fast_options(), PROBE, &stats);
+        let partitions = membership.partitions();
+        assert!(membership.try_failover(&partitions[0], &stats).is_none());
         assert_eq!(ClusterStats::get(&stats.failovers), 0);
     }
 
@@ -639,9 +797,11 @@ mod tests {
         let membership = Membership::connect_replicated(
             &[BackendSpec::replicated("127.0.0.1:1", "127.0.0.1:1")],
             fast_options(),
+            PROBE,
             &stats,
         );
-        let partition = &membership.partitions()[0];
+        let partitions = membership.partitions();
+        let partition = &partitions[0];
         assert_eq!(partition.last_primary_seq(), 0);
         partition.record_churn_ack();
         partition.record_churn_ack();

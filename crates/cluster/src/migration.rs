@@ -1,0 +1,791 @@
+//! Live partition migration — the control plane of elastic resharding.
+//!
+//! A migration moves the ring share of one member between backends while
+//! the cluster keeps serving churn and matches. It decomposes into *legs*,
+//! one per (donor, puller) pair:
+//!
+//! * `RESHARD ADD` (scale-out): the new member `T` pulls from every
+//!   existing member — legs `(d₀→T), (d₁→T), …`, driven sequentially.
+//! * `RESHARD REMOVE` (scale-in): the leaving member `R` drains onto
+//!   every survivor — legs `(R→r₀), (R→r₁), …`.
+//!
+//! Each leg runs the same state machine, advanced one step per health
+//! tick by [`MigrationController::tick`]:
+//!
+//! ```text
+//! Pending ──PRUNE puller + PULL──▶ CatchUp ──cursor ≥ donor seq──▶
+//! DoubleWrite ──cursor ≥ donor seq──▶ Flipped ──in-flight drained,
+//! cursor ≥ final donor seq──▶ CUTOFF puller, PRUNE donor ──▶ Done
+//! ```
+//!
+//! Phase semantics on the router's churn path (see `router::route_churn`):
+//! during `Pending`/`CatchUp` the donor alone is written (the pull stream
+//! carries the churn over); during `DoubleWrite` the donor's ack stays
+//! authoritative and a best-effort copy goes to the puller (shrinking the
+//! cursor gap the flip must wait out); from `Flipped` on, moved ids write
+//! to the puller only.
+//!
+//! **Why CUTOFF comes before the donor PRUNE:** pruning appends durable
+//! `UNSUB` records for every moved id to the donor's churn log. A puller
+//! still attached to that log would stream and apply them — deleting
+//! every subscription it just migrated. So the flip sequence is: stop
+//! routing churn to the donor (`Flipped`), drain in-flight double-writes
+//! (the `in_flight` gauge, raised *before* the phase is read, so the
+//! controller can never observe zero while a write it must wait for is in
+//! progress), take a *fresh* `ROLE` probe of the donor — every acked
+//! record happens-before the probe's reply, so its sequence is the
+//! donor's final word — wait for the puller's cursor to pass it, cut the
+//! puller off, and only then prune the donor.
+//!
+//! Either side may die mid-leg. The controller self-heals from observed
+//! state alone: a puller answering `reshard idle` (restarted, or a
+//! promoted standby with no runner state) or pulling from a stale donor
+//! address (the donor failed over) gets the leg re-issued — `PRUNE` then
+//! `PULL`, both idempotent; the pull scope is unchanged so a surviving
+//! cursor is kept, and the donor's old-ring scope bounds the bootstrap
+//! reconcile so re-pulls never delete ids absorbed from earlier legs.
+
+use crate::backend::BackendConn;
+use crate::membership::{BackendSpec, Membership};
+use crate::stats::ClusterStats;
+use apcm_bexpr::SubId;
+use apcm_server::client::ConnectOptions;
+use apcm_server::{protocol, Ring};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Leg phases, ordered: comparisons like `p >= FLIPPED` are meaningful.
+pub mod phase {
+    pub const PENDING: u8 = 0;
+    pub const CATCH_UP: u8 = 1;
+    pub const DOUBLE_WRITE: u8 = 2;
+    pub const FLIPPED: u8 = 3;
+    pub const DONE: u8 = 4;
+
+    pub fn name(p: u8) -> &'static str {
+        match p {
+            PENDING => "pending",
+            CATCH_UP => "catch-up",
+            DOUBLE_WRITE => "double-write",
+            FLIPPED => "flipped",
+            DONE => "done",
+            _ => "unknown",
+        }
+    }
+}
+
+/// One (donor → puller) transfer within a migration.
+pub struct Leg {
+    /// Ring member the ids move away from.
+    pub donor: u32,
+    /// Ring member the ids move onto.
+    pub puller: u32,
+    phase: AtomicU8,
+    /// Double-writes currently in progress on router churn threads. The
+    /// flip waits for zero *after* the phase store, and writers raise it
+    /// *before* the phase load (both `SeqCst`), so every copy the cutoff
+    /// handshake must cover is either drained or routed to the puller.
+    in_flight: AtomicU64,
+}
+
+impl Leg {
+    fn new(donor: u32, puller: u32) -> Self {
+        Self {
+            donor,
+            puller,
+            phase: AtomicU8::new(phase::PENDING),
+            in_flight: AtomicU64::new(0),
+        }
+    }
+
+    pub fn phase(&self) -> u8 {
+        self.phase.load(Ordering::SeqCst)
+    }
+
+    fn set_phase(&self, p: u8) {
+        self.phase.store(p, Ordering::SeqCst);
+    }
+
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Registers an intent to double-write and returns the phase to act
+    /// on. Callers must pair with [`Self::exit_double_write`] whatever the
+    /// returned phase — the raise-then-read order is what makes the
+    /// drain-wait in the flip sound.
+    pub fn enter_double_write(&self) -> u8 {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.phase.load(Ordering::SeqCst)
+    }
+
+    pub fn exit_double_write(&self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// What the migration is doing to the member set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationKind {
+    /// Scale-out: member `new` joins and pulls its share from everyone.
+    Add { new: u32 },
+    /// Scale-in: member `target` drains onto the survivors and leaves.
+    Remove { target: u32 },
+}
+
+/// One in-flight migration: the before/after rings and the legs between
+/// them. Immutable except for per-leg atomics, so the router's churn path
+/// reads it lock-free behind one `Arc` load.
+pub struct ActiveMigration {
+    pub kind: MigrationKind,
+    pub old_ring: Arc<Ring>,
+    pub new_ring: Arc<Ring>,
+    pub legs: Vec<Arc<Leg>>,
+}
+
+impl ActiveMigration {
+    /// The leg moving ids from `donor` to `puller`, if this migration has
+    /// one. Ids whose old/new placements match have no leg — they never
+    /// move.
+    pub fn leg(&self, donor: u32, puller: u32) -> Option<&Arc<Leg>> {
+        self.legs
+            .iter()
+            .find(|l| l.donor == donor && l.puller == puller)
+    }
+
+    /// The ring member whose backend currently holds the authoritative
+    /// subscription state for `id`: the donor until the leg flips, the
+    /// puller after. Scatter filters each backend's match rows by this, so
+    /// a mid-catch-up puller (or a flipped-away donor awaiting its prune)
+    /// can never leak stale matches into merged rows.
+    pub fn authority(&self, id: SubId) -> u32 {
+        let old = self.old_ring.route(id);
+        let new = self.new_ring.route(id);
+        if old == new {
+            return old;
+        }
+        match self.leg(old, new).map(|l| l.phase()) {
+            Some(p) if p >= phase::FLIPPED => new,
+            _ => old,
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self.kind {
+            MigrationKind::Add { new } => format!("add {new}"),
+            MigrationKind::Remove { target } => format!("remove {target}"),
+        }
+    }
+}
+
+/// Per-leg driving state, owned by the tick (the health thread is the
+/// only caller, but the lock keeps a concurrent `RESHARD STATUS` honest).
+struct TickState {
+    /// Index of the leg currently being driven.
+    current: usize,
+    /// Consecutive ticks the puller reported `connected 0` for the
+    /// current leg; three in a row re-issues the pull.
+    disconnects: u32,
+    /// Whether the current leg's pull was ever issued — re-issues after
+    /// this count as restarts.
+    issued: bool,
+}
+
+/// Drives migrations to completion, one tick per health sweep. All
+/// decisions are made from freshly observed backend state (`RESHARD
+/// STATUS` on the puller, `ROLE` on the donor), so the controller
+/// tolerates either side dying and being replaced by a promoted standby
+/// mid-leg.
+pub struct MigrationController {
+    state: RwLock<Option<Arc<ActiveMigration>>>,
+    progress: Mutex<TickState>,
+    /// One-shot dial policy for control-plane commands. Deliberately not
+    /// the membership's pooled connections: a wedged scatter holding a
+    /// node's connection lock must not stall migration progress.
+    connect: ConnectOptions,
+}
+
+/// The puller's `RESHARD STATUS` reply, parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PullStatus {
+    Idle,
+    Pulling {
+        source: String,
+        applied: u64,
+        connected: bool,
+    },
+}
+
+fn parse_pull_status(reply: &str) -> Result<PullStatus, String> {
+    let rest = reply
+        .strip_prefix("+OK reshard ")
+        .ok_or_else(|| format!("unexpected reshard status `{reply}`"))?;
+    if rest.trim() == "idle" {
+        return Ok(PullStatus::Idle);
+    }
+    let mut parts = rest.split_whitespace();
+    let bad = || format!("unexpected reshard status `{reply}`");
+    if parts.next() != Some("pulling") {
+        return Err(bad());
+    }
+    let source = parts.next().ok_or_else(bad)?.to_string();
+    if parts.next() != Some("applied") {
+        return Err(bad());
+    }
+    let applied: u64 = parts.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+    if parts.next() != Some("connected") {
+        return Err(bad());
+    }
+    let connected = parts.next() == Some("1");
+    Ok(PullStatus::Pulling {
+        source,
+        applied,
+        connected,
+    })
+}
+
+fn keep_csv(members: &[u32]) -> String {
+    if members.is_empty() {
+        return "-".into();
+    }
+    members
+        .iter()
+        .map(|m| m.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+impl MigrationController {
+    pub fn new(connect: ConnectOptions) -> Self {
+        Self {
+            state: RwLock::new(None),
+            progress: Mutex::new(TickState {
+                current: 0,
+                disconnects: 0,
+                issued: false,
+            }),
+            connect: ConnectOptions {
+                connect_timeout: Some(Duration::from_millis(500)),
+                read_timeout: Some(Duration::from_secs(1)),
+                attempts: 1,
+                ..connect
+            },
+        }
+    }
+
+    /// The in-flight migration, if any. The router's churn and scatter
+    /// paths call this once per request and work off the snapshot.
+    pub fn active(&self) -> Option<Arc<ActiveMigration>> {
+        self.state.read().clone()
+    }
+
+    /// Starts a scale-out: registers a backend pair for `spec` and plans
+    /// one leg from every existing member onto the new one.
+    pub fn start_add(
+        &self,
+        membership: &Membership,
+        spec: &BackendSpec,
+        stats: &ClusterStats,
+    ) -> Result<u32, String> {
+        let mut state = self.state.write();
+        if state.is_some() {
+            return Err("a migration is already active".into());
+        }
+        let old_ring = membership.ring();
+        let new = membership.add_partition(spec, stats);
+        let mut members = old_ring.members().to_vec();
+        members.push(new);
+        let new_ring = Arc::new(Ring::new(&members));
+        let legs = old_ring
+            .members()
+            .iter()
+            .map(|&d| Arc::new(Leg::new(d, new)))
+            .collect();
+        *state = Some(Arc::new(ActiveMigration {
+            kind: MigrationKind::Add { new },
+            old_ring,
+            new_ring,
+            legs,
+        }));
+        self.reset_progress();
+        ClusterStats::add(&stats.reshards_started, 1);
+        Ok(new)
+    }
+
+    /// Starts a scale-in: plans one leg from `target` onto every
+    /// surviving member. The partition itself is dropped from membership
+    /// only when the last leg completes.
+    pub fn start_remove(
+        &self,
+        membership: &Membership,
+        target: u32,
+        stats: &ClusterStats,
+    ) -> Result<(), String> {
+        let mut state = self.state.write();
+        if state.is_some() {
+            return Err("a migration is already active".into());
+        }
+        let old_ring = membership.ring();
+        if !old_ring.contains(target) {
+            return Err(format!("partition {target} is not a ring member"));
+        }
+        if old_ring.members().len() < 2 {
+            return Err("cannot remove the last partition".into());
+        }
+        if membership.partition_for_member(target).is_none() {
+            return Err(format!("partition {target} is not in the membership table"));
+        }
+        let members: Vec<u32> = old_ring
+            .members()
+            .iter()
+            .copied()
+            .filter(|&m| m != target)
+            .collect();
+        let new_ring = Arc::new(Ring::new(&members));
+        let legs = members
+            .iter()
+            .map(|&r| Arc::new(Leg::new(target, r)))
+            .collect();
+        *state = Some(Arc::new(ActiveMigration {
+            kind: MigrationKind::Remove { target },
+            old_ring,
+            new_ring,
+            legs,
+        }));
+        self.reset_progress();
+        ClusterStats::add(&stats.reshards_started, 1);
+        Ok(())
+    }
+
+    fn reset_progress(&self) {
+        *self.progress.lock() = TickState {
+            current: 0,
+            disconnects: 0,
+            issued: false,
+        };
+    }
+
+    /// One-line progress report for `RESHARD STATUS` on the router.
+    pub fn status_line(&self) -> String {
+        let Some(m) = self.active() else {
+            return "+OK reshard idle".into();
+        };
+        let total = m.legs.len();
+        let done = m.legs.iter().filter(|l| l.phase() == phase::DONE).count();
+        match m.legs.iter().find(|l| l.phase() != phase::DONE) {
+            Some(leg) => format!(
+                "+OK reshard {} leg {}/{} donor {} puller {} phase {}",
+                m.describe(),
+                done + 1,
+                total,
+                leg.donor,
+                leg.puller,
+                phase::name(leg.phase())
+            ),
+            None => format!("+OK reshard {} completing", m.describe()),
+        }
+    }
+
+    /// Advances the active migration by at most one observable step.
+    /// Called from the router's health thread right after the sweep, so
+    /// partition `active_node` addresses reflect any failover the sweep
+    /// just performed.
+    pub fn tick(&self, membership: &Membership, stats: &ClusterStats) {
+        let Some(m) = self.active() else {
+            return;
+        };
+        let mut progress = self.progress.lock();
+        let Some((leg_idx, leg)) = m
+            .legs
+            .iter()
+            .enumerate()
+            .find(|(_, l)| l.phase() != phase::DONE)
+        else {
+            drop(progress);
+            self.complete(&m, membership, stats);
+            return;
+        };
+        if leg_idx != progress.current {
+            progress.current = leg_idx;
+            progress.disconnects = 0;
+            progress.issued = false;
+        }
+        let Some(donor_p) = membership.partition_for_member(leg.donor) else {
+            return;
+        };
+        let Some(puller_p) = membership.partition_for_member(leg.puller) else {
+            return;
+        };
+        let donor_addr = donor_p.active_node().addr.clone();
+        let puller_addr = puller_p.active_node().addr.clone();
+
+        match leg.phase() {
+            phase::PENDING => {
+                let issued = self
+                    .issue_pull(&m, leg, &donor_addr, &puller_addr, &mut progress, stats)
+                    .is_ok();
+                if issued {
+                    leg.set_phase(phase::CATCH_UP);
+                }
+            }
+            p @ (phase::CATCH_UP | phase::DOUBLE_WRITE) => {
+                if let Some(applied) =
+                    self.healthy_pull(&m, leg, &donor_addr, &puller_addr, &mut progress, stats)
+                {
+                    // Catch-up check against a fresh donor probe. The
+                    // donor still takes churn in these phases, so this
+                    // chases a moving target — but each pass the gap
+                    // only has the churn acked since the last one.
+                    if let Ok(donor_seq) = self.donor_seq(&donor_addr) {
+                        if applied >= donor_seq {
+                            if p == phase::CATCH_UP {
+                                leg.set_phase(phase::DOUBLE_WRITE);
+                            } else {
+                                leg.set_phase(phase::FLIPPED);
+                                ClusterStats::add(&stats.reshard_flips, 1);
+                            }
+                        }
+                    }
+                }
+            }
+            phase::FLIPPED => {
+                // No new churn reaches the donor now; wait out copies that
+                // were mid-flight when the phase flipped.
+                if leg.in_flight() != 0 {
+                    return;
+                }
+                let Some(applied) =
+                    self.healthy_pull(&m, leg, &donor_addr, &puller_addr, &mut progress, stats)
+                else {
+                    return;
+                };
+                // Fresh probe: with churn stopped and double-writes
+                // drained, this sequence is the donor's final word.
+                let Ok(donor_seq) = self.donor_seq(&donor_addr) else {
+                    return;
+                };
+                if applied < donor_seq {
+                    return;
+                }
+                if self
+                    .control(&puller_addr, "RESHARD CUTOFF")
+                    .map_err(|e| e.to_string())
+                    .and_then(|r| if r.starts_with('+') { Ok(()) } else { Err(r) })
+                    .is_err()
+                {
+                    return;
+                }
+                // The pulled records raised the puller's log sequence with
+                // no router-side acks; fold them into its promotion floor
+                // immediately rather than waiting for the next sweep.
+                if let Ok(seq) = self.donor_seq(&puller_addr) {
+                    puller_p.raise_floor(seq);
+                }
+                // Only now is it safe to prune: the puller is detached, so
+                // the prune's UNSUB records cannot reach it. A failed
+                // prune leaves the leg un-done; the retry path sees the
+                // puller idle and re-issues the (idempotent) pull first,
+                // which is wasteful but converges.
+                let prune = format!(
+                    "RESHARD PRUNE {} {}",
+                    m.new_ring.to_csv(),
+                    keep_csv(&self.donor_keep(&m, leg))
+                );
+                match self.control(&donor_addr, &prune) {
+                    Ok(r) if r.starts_with('+') => leg.set_phase(phase::DONE),
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The donor's post-leg keep set. Scale-out: the donor keeps its own
+    /// (shrunken) new-ring share. Scale-in: the leaving member keeps only
+    /// what the *remaining* legs still have to drain, ending at `-`.
+    fn donor_keep(&self, m: &ActiveMigration, leg: &Leg) -> Vec<u32> {
+        match m.kind {
+            MigrationKind::Add { .. } => vec![leg.donor],
+            MigrationKind::Remove { .. } => m
+                .legs
+                .iter()
+                .filter(|l| l.puller != leg.puller && l.phase() != phase::DONE)
+                .map(|l| l.puller)
+                .collect(),
+        }
+    }
+
+    /// Confirms the puller is actively pulling from the current donor
+    /// address and returns its applied cursor; otherwise heals (re-issue
+    /// on idle / stale source / three straight disconnected ticks) and
+    /// returns `None` for this tick.
+    fn healthy_pull(
+        &self,
+        m: &ActiveMigration,
+        leg: &Leg,
+        donor_addr: &str,
+        puller_addr: &str,
+        progress: &mut TickState,
+        stats: &ClusterStats,
+    ) -> Option<u64> {
+        let reply = self.control(puller_addr, "RESHARD STATUS").ok()?;
+        match parse_pull_status(&reply).ok()? {
+            PullStatus::Idle => {
+                // Runner state lost: the puller restarted or a standby was
+                // promoted. Re-issue; scope is unchanged so nothing is
+                // double-applied.
+                let _ = self.issue_pull(m, leg, donor_addr, puller_addr, progress, stats);
+                None
+            }
+            PullStatus::Pulling {
+                source,
+                applied,
+                connected,
+            } => {
+                if source != donor_addr {
+                    // The donor failed over; re-aim at the promoted node.
+                    let _ = self.issue_pull(m, leg, donor_addr, puller_addr, progress, stats);
+                    return None;
+                }
+                if !connected {
+                    progress.disconnects += 1;
+                    if progress.disconnects >= 3 {
+                        let _ = self.issue_pull(m, leg, donor_addr, puller_addr, progress, stats);
+                    }
+                    return None;
+                }
+                progress.disconnects = 0;
+                Some(applied)
+            }
+        }
+    }
+
+    /// Installs the puller's ownership scope (a pure loosening, by ring
+    /// monotonicity: the puller's new-ring share contains everything it
+    /// already holds) and starts — or restarts — the pull.
+    fn issue_pull(
+        &self,
+        m: &ActiveMigration,
+        leg: &Leg,
+        donor_addr: &str,
+        puller_addr: &str,
+        progress: &mut TickState,
+        stats: &ClusterStats,
+    ) -> Result<(), String> {
+        let new_members = m.new_ring.to_csv();
+        let prune = format!("RESHARD PRUNE {new_members} {}", leg.puller);
+        let pull = format!(
+            "RESHARD PULL {donor_addr} {new_members} {} {} {}",
+            leg.puller,
+            m.old_ring.to_csv(),
+            leg.donor
+        );
+        for line in [&prune, &pull] {
+            match self.control(puller_addr, line) {
+                Ok(r) if r.starts_with('+') => {}
+                Ok(r) => return Err(r),
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+        if progress.issued {
+            ClusterStats::add(&stats.reshard_pull_restarts, 1);
+        }
+        progress.issued = true;
+        progress.disconnects = 0;
+        Ok(())
+    }
+
+    /// A backend's current churn log sequence, from a fresh `ROLE` probe
+    /// over a one-shot connection.
+    fn donor_seq(&self, addr: &str) -> Result<u64, String> {
+        let reply = self.control(addr, "ROLE").map_err(|e| e.to_string())?;
+        protocol::parse_role_report(&reply).map(|r| r.seq)
+    }
+
+    fn control(&self, addr: &str, line: &str) -> std::io::Result<String> {
+        let mut conn = BackendConn::connect(addr, &self.connect)?;
+        conn.request(line)
+    }
+
+    /// All legs are done: swap the routing ring, drop a drained partition,
+    /// and clear the migration.
+    fn complete(&self, m: &Arc<ActiveMigration>, membership: &Membership, stats: &ClusterStats) {
+        let mut state = self.state.write();
+        // Only the tick completes migrations; if the state changed under
+        // us a new migration was started by an admin racing the tick.
+        let still_ours = state.as_ref().is_some_and(|cur| Arc::ptr_eq(cur, m));
+        if !still_ours {
+            return;
+        }
+        membership.set_ring(m.new_ring.clone());
+        if let MigrationKind::Remove { target } = m.kind {
+            membership.remove_partition(target);
+        }
+        *state = None;
+        ClusterStats::add(&stats.reshards_completed, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_options() -> ConnectOptions {
+        ConnectOptions {
+            connect_timeout: Some(Duration::from_millis(200)),
+            attempts: 1,
+            ..ConnectOptions::default()
+        }
+    }
+
+    fn dead_membership(n: usize) -> (Membership, ClusterStats) {
+        let stats = ClusterStats::default();
+        let addrs: Vec<String> = (0..n).map(|_| "127.0.0.1:1".into()).collect();
+        let membership =
+            Membership::connect_all(&addrs, fast_options(), Duration::from_millis(100), &stats);
+        (membership, stats)
+    }
+
+    #[test]
+    fn add_plans_one_leg_per_existing_member() {
+        let (membership, stats) = dead_membership(2);
+        let controller = MigrationController::new(fast_options());
+        let new = controller
+            .start_add(&membership, &BackendSpec::standalone("127.0.0.1:1"), &stats)
+            .expect("start");
+        assert_eq!(new, 2);
+        let m = controller.active().expect("active");
+        assert_eq!(m.kind, MigrationKind::Add { new: 2 });
+        let pairs: Vec<(u32, u32)> = m.legs.iter().map(|l| (l.donor, l.puller)).collect();
+        assert_eq!(pairs, vec![(0, 2), (1, 2)]);
+        assert_eq!(m.new_ring.members(), &[0, 1, 2]);
+        assert_eq!(membership.len(), 3);
+        assert_eq!(ClusterStats::get(&stats.reshards_started), 1);
+        // A second migration is refused while this one is active.
+        assert!(controller
+            .start_remove(&membership, 0, &stats)
+            .unwrap_err()
+            .contains("already active"));
+    }
+
+    #[test]
+    fn remove_plans_one_leg_per_survivor_and_guards() {
+        let (membership, stats) = dead_membership(3);
+        let controller = MigrationController::new(fast_options());
+        assert!(controller
+            .start_remove(&membership, 7, &stats)
+            .unwrap_err()
+            .contains("not a ring member"));
+        controller
+            .start_remove(&membership, 1, &stats)
+            .expect("start");
+        let m = controller.active().expect("active");
+        let pairs: Vec<(u32, u32)> = m.legs.iter().map(|l| (l.donor, l.puller)).collect();
+        assert_eq!(pairs, vec![(1, 0), (1, 2)]);
+        assert_eq!(m.new_ring.members(), &[0, 2]);
+    }
+
+    #[test]
+    fn remove_refuses_the_last_member() {
+        let (membership, stats) = dead_membership(1);
+        let controller = MigrationController::new(fast_options());
+        assert!(controller
+            .start_remove(&membership, 0, &stats)
+            .unwrap_err()
+            .contains("last partition"));
+    }
+
+    #[test]
+    fn authority_follows_the_leg_phase() {
+        let (membership, stats) = dead_membership(2);
+        let controller = MigrationController::new(fast_options());
+        controller
+            .start_add(&membership, &BackendSpec::standalone("127.0.0.1:1"), &stats)
+            .expect("start");
+        let m = controller.active().expect("active");
+        // Find an id that moves on some leg.
+        let moved = (0..10_000u32)
+            .map(SubId)
+            .find(|&id| m.old_ring.route(id) != m.new_ring.route(id))
+            .expect("vnode ring moves some id");
+        let old = m.old_ring.route(moved);
+        let new = m.new_ring.route(moved);
+        let leg = m.leg(old, new).expect("leg exists");
+        assert_eq!(m.authority(moved), old);
+        leg.set_phase(phase::DOUBLE_WRITE);
+        assert_eq!(m.authority(moved), old);
+        leg.set_phase(phase::FLIPPED);
+        assert_eq!(m.authority(moved), new);
+        leg.set_phase(phase::DONE);
+        assert_eq!(m.authority(moved), new);
+        // An unmoved id is owned by its (identical) placement throughout.
+        let still = (0..10_000u32)
+            .map(SubId)
+            .find(|&id| m.old_ring.route(id) == m.new_ring.route(id))
+            .expect("most ids stay");
+        assert_eq!(m.authority(still), m.old_ring.route(still));
+    }
+
+    #[test]
+    fn donor_keep_shrinks_leg_by_leg_on_remove() {
+        let (membership, stats) = dead_membership(3);
+        let controller = MigrationController::new(fast_options());
+        controller
+            .start_remove(&membership, 1, &stats)
+            .expect("start");
+        let m = controller.active().expect("active");
+        // While draining onto member 0, the leaving donor still keeps the
+        // share destined for member 2; after the last leg it keeps nothing.
+        assert_eq!(controller.donor_keep(&m, &m.legs[0]), vec![2]);
+        m.legs[0].set_phase(phase::DONE);
+        assert_eq!(controller.donor_keep(&m, &m.legs[1]), Vec::<u32>::new());
+        assert_eq!(keep_csv(&[]), "-");
+    }
+
+    #[test]
+    fn pull_status_parses_both_shapes() {
+        assert_eq!(parse_pull_status("+OK reshard idle"), Ok(PullStatus::Idle));
+        assert_eq!(
+            parse_pull_status("+OK reshard pulling 127.0.0.1:7001 applied 42 connected 1"),
+            Ok(PullStatus::Pulling {
+                source: "127.0.0.1:7001".into(),
+                applied: 42,
+                connected: true,
+            })
+        );
+        assert!(parse_pull_status("-ERR nope").is_err());
+        assert!(parse_pull_status("+OK reshard pulling x applied y connected 1").is_err());
+    }
+
+    #[test]
+    fn in_flight_gauge_pairs_enter_and_exit() {
+        let leg = Leg::new(0, 1);
+        leg.set_phase(phase::DOUBLE_WRITE);
+        assert_eq!(leg.enter_double_write(), phase::DOUBLE_WRITE);
+        assert_eq!(leg.in_flight(), 1);
+        leg.exit_double_write();
+        assert_eq!(leg.in_flight(), 0);
+    }
+
+    #[test]
+    fn completion_swaps_ring_and_drops_removed_partition() {
+        let (membership, stats) = dead_membership(3);
+        let controller = MigrationController::new(fast_options());
+        controller
+            .start_remove(&membership, 2, &stats)
+            .expect("start");
+        let m = controller.active().expect("active");
+        for leg in &m.legs {
+            leg.set_phase(phase::DONE);
+        }
+        controller.tick(&membership, &stats);
+        assert!(controller.active().is_none());
+        assert_eq!(membership.ring().members(), &[0, 1]);
+        assert_eq!(membership.len(), 2);
+        assert!(membership.partition_for_member(2).is_none());
+        assert_eq!(ClusterStats::get(&stats.reshards_completed), 1);
+        assert_eq!(controller.status_line(), "+OK reshard idle");
+    }
+}

@@ -4,7 +4,9 @@
 //! owns no subscriptions itself:
 //!
 //! * `SUB`/`UNSUB`/`CLAIM` are routed to exactly one backend by the
-//!   shared Fibonacci hash (`apcm_server::route_partition`) of the id;
+//!   shared consistent-hash ring (`apcm_server::Ring`) placement of the
+//!   id — or, mid-migration, by the owning leg's phase (donor until the
+//!   flip, puller after, with a best-effort double-write in between);
 //! * `PUB`/`BATCH` windows are fanned to every live backend on scoped
 //!   threads, and the returned rows are merged (concatenate, sort,
 //!   deduplicate — ids partition across backends, so duplicates only
@@ -37,6 +39,7 @@ use apcm_server::protocol::{self, Request};
 use apcm_server::{read_capped_line, LineOutcome};
 
 use crate::membership::{BackendSpec, Membership, Partition};
+use crate::migration::{phase, MigrationController};
 use crate::stats::ClusterStats;
 
 /// Router tuning. The connection-facing knobs mirror `ServerConfig`; the
@@ -50,6 +53,10 @@ pub struct RouterConfig {
     pub max_line_bytes: usize,
     /// Period of the membership sweep (`PING` probes + reconnects).
     pub health_interval: Duration,
+    /// Read deadline for one `ROLE` health probe; a backend that accepts
+    /// the dial but stalls is marked down after this long instead of
+    /// wedging the sweep behind the request `read_timeout`.
+    pub probe_timeout: Duration,
     /// Backend dial policy; `delay_before_retry` drives reconnect backoff.
     pub connect: ConnectOptions,
 }
@@ -60,6 +67,7 @@ impl Default for RouterConfig {
             conn_queue: 1024,
             max_line_bytes: 1024 * 1024,
             health_interval: Duration::from_millis(100),
+            probe_timeout: Duration::from_millis(500),
             connect: ConnectOptions {
                 connect_timeout: Some(Duration::from_secs(1)),
                 read_timeout: Some(Duration::from_secs(10)),
@@ -81,6 +89,9 @@ impl RouterConfig {
         if self.health_interval.is_zero() {
             return Err("health_interval must be positive".into());
         }
+        if self.probe_timeout.is_zero() {
+            return Err("probe_timeout must be positive".into());
+        }
         Ok(())
     }
 }
@@ -96,6 +107,7 @@ struct RouterHub {
     schema: Schema,
     stats: Arc<ClusterStats>,
     membership: Arc<Membership>,
+    migration: Arc<MigrationController>,
     conns: Mutex<HashMap<u64, ConnHandle>>,
     /// Which client connection owns (receives `EVENT` notifications for)
     /// each id. The router synthesizes notifications from merged rows;
@@ -173,12 +185,15 @@ impl Router {
         let membership = Arc::new(Membership::connect_replicated(
             specs,
             config.connect.clone(),
+            config.probe_timeout,
             &stats,
         ));
+        let migration = Arc::new(MigrationController::new(config.connect.clone()));
         let hub = Arc::new(RouterHub {
             schema,
             stats: stats.clone(),
             membership: membership.clone(),
+            migration,
             conns: Mutex::new(HashMap::new()),
             owners: RwLock::new(HashMap::new()),
         });
@@ -228,8 +243,7 @@ impl Router {
         };
 
         let health_thread = {
-            let membership = membership.clone();
-            let stats = stats.clone();
+            let hub = hub.clone();
             let shutdown = shutdown.clone();
             let interval = config.health_interval;
             std::thread::Builder::new()
@@ -245,7 +259,10 @@ impl Router {
                             std::thread::sleep(quantum);
                             waited += quantum;
                         }
-                        membership.sweep(&stats);
+                        hub.membership.sweep(&hub.stats);
+                        // The tick runs on post-sweep state: active-node
+                        // addresses reflect any failover just performed.
+                        hub.migration.tick(&hub.membership, &hub.stats);
                     }
                 })
                 .expect("spawning router health thread")
@@ -274,6 +291,12 @@ impl Router {
 
     pub fn membership(&self) -> &Membership {
         &self.membership
+    }
+
+    /// The elastic-resharding controller (admin surface for tests and
+    /// tooling; the wire surface is `RESHARD ADD`/`REMOVE`/`STATUS`).
+    pub fn migration(&self) -> &MigrationController {
+        &self.hub.migration
     }
 
     /// Graceful stop: join the accept and health threads, close every
@@ -389,13 +412,71 @@ fn churn_ack_appends_record(reply: &str) -> bool {
 }
 
 /// Forwards one churn command line to the partition owning `id` and
-/// returns the active node's reply. A node failure marks it down and
-/// triggers an inline failover (promote the caught-up standby) followed
-/// by one retry; `-ERR backend <i> unavailable` is returned only when
-/// *neither* node is serviceable — which `BrokerClient` classifies as a
-/// retryable refusal.
-fn route_command(hub: &RouterHub, id: SubId, line: &str) -> String {
-    let partition = hub.membership.route(id);
+/// returns the authoritative reply.
+///
+/// Without a migration, ownership is the ring placement. Mid-migration a
+/// moved id follows its leg's phase: the donor alone before double-write
+/// (the pull stream carries the churn over), donor-plus-copy during
+/// double-write (the donor's ack is authoritative; the copy shrinks the
+/// cursor gap the flip must wait out, and failures are tolerated — the
+/// record still reaches the puller through the stream), and the puller
+/// alone once flipped.
+fn route_churn(hub: &RouterHub, id: SubId, line: &str) -> String {
+    let Some(m) = hub.migration.active() else {
+        let member = hub.membership.ring().route(id);
+        return route_to_member(hub, member, line);
+    };
+    let old = m.old_ring.route(id);
+    let new = m.new_ring.route(id);
+    let Some(leg) = (old != new).then(|| m.leg(old, new)).flatten() else {
+        return route_to_member(hub, old, line);
+    };
+    // Raise the in-flight gauge *before* reading the phase: the flip
+    // stores the phase first and then waits for zero, so every copy it
+    // must cover is either observed or already routed to the puller.
+    let leg_phase = leg.enter_double_write();
+    if leg_phase != phase::DOUBLE_WRITE {
+        leg.exit_double_write();
+        if leg_phase == phase::FLIPPED {
+            // Between the flip and the cutover the donor no longer takes
+            // moved churn and the puller is still draining the stream
+            // tail — a direct write now could be shadowed by a stale
+            // streamed record. Refuse retryably; the client rides it out
+            // over the (short) cutover window.
+            return format!("-ERR not owner {}", id.0);
+        }
+        let target = if leg_phase >= phase::DONE { new } else { old };
+        return route_to_member(hub, target, line);
+    }
+    let reply = route_to_member(hub, old, line);
+    if churn_ack_appends_record(&reply) {
+        if let Some(puller) = hub.membership.partition_for_member(new) {
+            if route_to_partition(hub, &puller, line).starts_with('+') {
+                ClusterStats::add(&hub.stats.reshard_double_writes, 1);
+            }
+        }
+    }
+    leg.exit_double_write();
+    reply
+}
+
+/// Resolves a ring member to its partition and forwards `line`.
+fn route_to_member(hub: &RouterHub, member: u32, line: &str) -> String {
+    match hub.membership.partition_for_member(member) {
+        Some(partition) => route_to_partition(hub, &partition, line),
+        None => {
+            ClusterStats::add(&hub.stats.protocol_errors, 1);
+            format!("-ERR backend {member} unavailable")
+        }
+    }
+}
+
+/// Forwards one command line to a partition's active node. A node failure
+/// marks it down and triggers an inline failover (promote the caught-up
+/// standby) followed by one retry; `-ERR backend <i> unavailable` is
+/// returned only when *neither* node is serviceable — which
+/// `BrokerClient` classifies as a retryable refusal.
+fn route_to_partition(hub: &RouterHub, partition: &Partition, line: &str) -> String {
     for attempt in 0..2 {
         let node = partition.active_node().clone();
         let mut conn = node.lock_conn();
@@ -460,10 +541,9 @@ fn scatter_window(hub: &RouterHub, events: &[Event]) -> (Vec<Vec<SubId>>, bool) 
         .iter()
         .map(|ev| ev.display(&hub.schema).to_string())
         .collect();
-    let per_backend: Vec<Option<Vec<Vec<SubId>>>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = hub
-            .membership
-            .partitions()
+    let partitions = hub.membership.partitions();
+    let mut per_backend: Vec<Option<Vec<Vec<SubId>>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = partitions
             .iter()
             .map(|partition| {
                 let event_lines = &event_lines;
@@ -472,6 +552,22 @@ fn scatter_window(hub: &RouterHub, events: &[Event]) -> (Vec<Vec<SubId>>, bool) 
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
+
+    // Mid-migration, an id's subscription can exist on two backends at
+    // once (the puller absorbs it legs before the flip; the donor keeps
+    // its stale copy until the post-flip prune). Only the authoritative
+    // side sees live churn, so keep each backend's matches only for ids
+    // it is currently authoritative for — otherwise an id unsubbed on the
+    // puller could still surface from the donor's stale copy.
+    if let Some(m) = hub.migration.active() {
+        for (partition, rows) in partitions.iter().zip(per_backend.iter_mut()) {
+            if let Some(rows) = rows {
+                for row in rows.iter_mut() {
+                    row.retain(|&id| m.authority(id) == partition.index as u32);
+                }
+            }
+        }
+    }
 
     let partial = per_backend.iter().any(Option::is_none);
     let mut merged = vec![Vec::new(); events.len()];
@@ -565,7 +661,7 @@ fn read_loop(
                 // parsed expression, so takeover semantics survive the
                 // extra parse/render hop.
                 let forwarded = format!("SUB {} {}", id.0, sub.display(&hub.schema));
-                let backend_reply = route_command(hub, id, &forwarded);
+                let backend_reply = route_churn(hub, id, &forwarded);
                 if backend_reply.starts_with("+OK claimed") {
                     hub.owners.write().insert(id, conn_id);
                     ClusterStats::add(&stats.claims_routed, 1);
@@ -578,7 +674,7 @@ fn read_loop(
                 reply(backend_reply);
             }
             Request::Unsub { id } => {
-                let backend_reply = route_command(hub, id, &format!("UNSUB {}", id.0));
+                let backend_reply = route_churn(hub, id, &format!("UNSUB {}", id.0));
                 if backend_reply.starts_with('+') {
                     hub.owners.write().remove(&id);
                     ClusterStats::add(&stats.unsubs_routed, 1);
@@ -586,7 +682,7 @@ fn read_loop(
                 reply(backend_reply);
             }
             Request::Claim { id } => {
-                let backend_reply = route_command(hub, id, &format!("CLAIM {}", id.0));
+                let backend_reply = route_churn(hub, id, &format!("CLAIM {}", id.0));
                 if backend_reply.starts_with('+') {
                     hub.owners.write().insert(id, conn_id);
                     ClusterStats::add(&stats.claims_routed, 1);
@@ -688,6 +784,42 @@ fn read_loop(
                 ClusterStats::add(&stats.protocol_errors, 1);
                 reply("-ERR REPLICATE targets a backend, not the router".into());
             }
+            Request::Reshard(cmd) => match cmd {
+                protocol::ReshardCmd::Add { primary, replica } => {
+                    let spec = match replica {
+                        Some(replica) => BackendSpec::replicated(primary, replica),
+                        None => BackendSpec::standalone(primary),
+                    };
+                    match hub.migration.start_add(&hub.membership, &spec, stats) {
+                        Ok(new) => reply(format!("+OK reshard add started partition {new}")),
+                        Err(e) => {
+                            ClusterStats::add(&stats.protocol_errors, 1);
+                            reply(format!("-ERR {e}"));
+                        }
+                    }
+                }
+                protocol::ReshardCmd::Remove { partition } => {
+                    match hub
+                        .migration
+                        .start_remove(&hub.membership, partition, stats)
+                    {
+                        Ok(()) => {
+                            reply(format!("+OK reshard remove started partition {partition}"))
+                        }
+                        Err(e) => {
+                            ClusterStats::add(&stats.protocol_errors, 1);
+                            reply(format!("-ERR {e}"));
+                        }
+                    }
+                }
+                protocol::ReshardCmd::Status => reply(hub.migration.status_line()),
+                protocol::ReshardCmd::Pull { .. }
+                | protocol::ReshardCmd::Cutoff
+                | protocol::ReshardCmd::Prune { .. } => {
+                    ClusterStats::add(&stats.protocol_errors, 1);
+                    reply("-ERR RESHARD PULL/CUTOFF/PRUNE target a backend, not the router".into());
+                }
+            },
             Request::Promote | Request::Demote { .. } => {
                 ClusterStats::add(&stats.protocol_errors, 1);
                 reply("-ERR role changes target a backend, not the router".into());

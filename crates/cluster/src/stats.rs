@@ -33,6 +33,24 @@ pub struct ClusterStats {
     pub backend_errors: AtomicU64,
     /// Successful backend reconnects by the health sweep.
     pub backend_reconnects: AtomicU64,
+    /// Health probes that hit the per-probe read deadline: the node
+    /// accepted the connection but stalled instead of answering `ROLE`.
+    /// Counted separately from `backend_errors` because a stalling node
+    /// is a distinct failure mode from a refused dial — and before the
+    /// deadline existed, one such node wedged the whole sweep.
+    pub backend_probe_timeouts: AtomicU64,
+    /// `RESHARD ADD`/`REMOVE` migrations accepted.
+    pub reshards_started: AtomicU64,
+    /// Migrations driven to completion (ring swapped, state cleared).
+    pub reshards_completed: AtomicU64,
+    /// Per-leg ownership flips (moved ids re-aimed at the puller).
+    pub reshard_flips: AtomicU64,
+    /// Churn commands copied to the puller during a leg's double-write
+    /// phase (the donor's ack stays authoritative).
+    pub reshard_double_writes: AtomicU64,
+    /// `RESHARD PULL` re-issues by the migration controller after the
+    /// puller reported idle/disconnected (either side died mid-leg).
+    pub reshard_pull_restarts: AtomicU64,
     /// Lines delivered to client connections.
     pub replies_sent: AtomicU64,
     /// Lines dropped because a client's outbound queue was full.
@@ -95,6 +113,21 @@ impl ClusterStats {
         push("cluster_degraded", Self::get(&self.cluster_degraded));
         push("backend_errors", Self::get(&self.backend_errors));
         push("backend_reconnects", Self::get(&self.backend_reconnects));
+        push(
+            "backend_probe_timeouts",
+            Self::get(&self.backend_probe_timeouts),
+        );
+        push("reshards_started", Self::get(&self.reshards_started));
+        push("reshards_completed", Self::get(&self.reshards_completed));
+        push("reshard_flips", Self::get(&self.reshard_flips));
+        push(
+            "reshard_double_writes",
+            Self::get(&self.reshard_double_writes),
+        );
+        push(
+            "reshard_pull_restarts",
+            Self::get(&self.reshard_pull_restarts),
+        );
         push("replies_sent", Self::get(&self.replies_sent));
         push("replies_dropped", Self::get(&self.replies_dropped));
         push("protocol_errors", Self::get(&self.protocol_errors));

@@ -1,7 +1,7 @@
 //! Cluster integration tests: router + real backend servers on loopback.
 //!
-//! * the routing hash places subscriptions on the same partition a
-//!   single-process `ShardedEngine` would use (the wire contract);
+//! * the consistent-hash ring places subscriptions on exactly the
+//!   backend `Ring::route` names (the wire contract);
 //! * under randomized SUB/UNSUB/PUB churn, routed-and-merged rows are
 //!   byte-identical to a single-process oracle over the same live set;
 //! * killing a backend mid-stream degrades matching to the surviving
@@ -13,9 +13,7 @@ use apcm_bexpr::{Event, SubId, Subscription};
 use apcm_cluster::{ClusterHandle, RouterConfig};
 use apcm_server::client::ConnectOptions;
 use apcm_server::protocol::render_result;
-use apcm_server::{
-    route_partition, BrokerClient, EngineChoice, PersistConfig, ServerConfig, ShardedEngine,
-};
+use apcm_server::{BrokerClient, EngineChoice, PersistConfig, Ring, ServerConfig};
 use apcm_workload::WorkloadSpec;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::path::PathBuf;
@@ -100,8 +98,9 @@ fn wait_backends_up(client: &mut BrokerClient, want: usize) {
 }
 
 /// The cluster-level pin of the routing contract: ids subscribed through
-/// the router land on exactly the backend `route_partition` names, which
-/// is also where a single-process `ShardedEngine` would put them.
+/// the router land on exactly the backend the consistent-hash ring
+/// names. (The ring placement itself is pinned by golden tests in both
+/// crates; this is the end-to-end half of that contract.)
 #[test]
 fn router_places_ids_on_the_contract_partition() {
     let wl = WorkloadSpec::new(120).seed(0xC1).build();
@@ -119,31 +118,14 @@ fn router_places_ids_on_the_contract_partition() {
     for sub in &wl.subs {
         client.subscribe(sub, &wl.schema).unwrap();
     }
+    let ring = Ring::new(&[0, 1, 2]);
     let mut expect = [0usize; N_BACKENDS];
     for sub in &wl.subs {
-        expect[route_partition(sub.id(), N_BACKENDS)] += 1;
+        expect[ring.route(sub.id()) as usize] += 1;
     }
     for (i, &want) in expect.iter().enumerate() {
         let got = cluster.backend(i).unwrap().engine().len();
         assert_eq!(got, want, "backend {i} subscription count");
-    }
-
-    // The same schema + ids in a single-process sharded engine agree on
-    // every placement (shard_of delegates to route_partition).
-    let sharded = ShardedEngine::new(
-        &wl.schema,
-        &ServerConfig {
-            shards: N_BACKENDS,
-            engine: EngineChoice::Scan,
-            ..ServerConfig::default()
-        },
-    )
-    .unwrap();
-    for sub in &wl.subs {
-        assert_eq!(
-            sharded.shard_of(sub.id()),
-            route_partition(sub.id(), N_BACKENDS)
-        );
     }
 
     client.quit().unwrap();
@@ -260,10 +242,11 @@ fn backend_failure_degrades_then_rejoins() {
     // Mid-stream window: surviving partitions only, every row partial.
     let events = wl.events(20);
     let results = client.publish_batch_flagged(&events, &wl.schema).unwrap();
+    let ring = Ring::new(&[0, 1, 2]);
     let survivors: Vec<&Subscription> = wl
         .subs
         .iter()
-        .filter(|s| route_partition(s.id(), N_BACKENDS) != VICTIM)
+        .filter(|s| ring.route(s.id()) != VICTIM as u32)
         .collect();
     let expect = oracle_rows(&survivors, &events);
     let base = *results.keys().next().unwrap();
@@ -276,7 +259,7 @@ fn backend_failure_degrades_then_rejoins() {
     let victim_sub = wl
         .subs
         .iter()
-        .find(|s| route_partition(s.id(), N_BACKENDS) == VICTIM)
+        .find(|s| ring.route(s.id()) == VICTIM as u32)
         .unwrap();
     let err = client.unsubscribe(victim_sub.id()).unwrap_err();
     assert!(

@@ -42,8 +42,9 @@ use crate::config::{ServerConfig, SlowConsumerPolicy};
 use crate::ingest::{IngestItem, IngestPipeline, ResultSink};
 use crate::persist::log::{parse_frame, ReplayOp};
 use crate::persist::{ChurnError, Persister, RecoveryReport};
-use crate::protocol::{self, ReplicateStart, Request, RoleReport};
+use crate::protocol::{self, ReplicateStart, Request, ReshardCmd, RoleReport};
 use crate::replication::{Role, RoleState};
+use crate::ring::RingScope;
 use crate::shard::ShardedEngine;
 use crate::stats::ServerStats;
 
@@ -126,6 +127,13 @@ struct Hub {
     /// recovery, maintained by SUB/UNSUB). Backs `CLAIM` liveness checks
     /// and identical-expression takeover without cloning expressions.
     live: RwLock<HashMap<SubId, u64>>,
+    /// Ring ownership filter installed by `RESHARD PRUNE`: churn for ids
+    /// the scope does not own is refused with `-ERR not owner <id>`.
+    /// `None` (the default, and the state after a restart) accepts
+    /// everything — the filter is a migration-era safety net against
+    /// stale-routed churn, re-installed idempotently by the router's
+    /// migration controller, not the source of routing truth.
+    ownership: RwLock<Option<RingScope>>,
 }
 
 impl Hub {
@@ -209,6 +217,9 @@ struct ConnCtx {
     /// Spawns replica puller threads on `DEMOTE`; `None` without
     /// persistence (replica mode requires it).
     runner: Option<Arc<ReplicaRunner>>,
+    /// Drives `RESHARD PULL` migration streams; `None` without
+    /// persistence (resharding requires a durable catalog).
+    reshard: Option<Arc<ReshardRunner>>,
 }
 
 /// Outcome of one capped line read.
@@ -343,6 +354,7 @@ impl Server {
             conns: Mutex::new(HashMap::new()),
             owners: RwLock::new(HashMap::new()),
             live: RwLock::new(recovered_live),
+            ownership: RwLock::new(None),
         });
         let pipeline = IngestPipeline::start(engine.clone(), stats.clone(), hub.clone(), &config);
 
@@ -375,6 +387,20 @@ impl Server {
                 ack_every: config.repl_ack_every,
             })
         });
+        let reshard = persist.as_ref().map(|persist| {
+            Arc::new(ReshardRunner {
+                hub: hub.clone(),
+                engine: engine.clone(),
+                persist: persist.clone(),
+                shutdown: shutdown.clone(),
+                conn_threads: conn_threads.clone(),
+                ack_every: config.repl_ack_every,
+                generation: AtomicU64::new(0),
+                target: Mutex::new(None),
+                cursor: AtomicU64::new(0),
+                connected: AtomicU64::new(0),
+            })
+        });
         if config.replica_of.is_some() {
             // Replica mode requires persistence (validated above), so the
             // runner exists; pull from the configured primary right away.
@@ -394,6 +420,7 @@ impl Server {
             let conn_threads = conn_threads.clone();
             let role = role.clone();
             let runner = runner.clone();
+            let reshard = reshard.clone();
             let conn_queue = config.conn_queue;
             let max_line_bytes = config.max_line_bytes;
             let ingest_depth = pipeline.depth_handle();
@@ -418,6 +445,7 @@ impl Server {
                                     max_line_bytes,
                                     role: role.clone(),
                                     runner: runner.clone(),
+                                    reshard: reshard.clone(),
                                 });
                                 spawn_connection(ctx, stream, conn_id, conn_queue, &conn_threads);
                             }
@@ -890,6 +918,432 @@ impl ReplicaRunner {
     }
 }
 
+/// What a `RESHARD PULL` told us to migrate: the donor to dial, the ring
+/// subset to keep out of its catalog, and (optionally) the donor's
+/// old-ring ownership, which bounds the bootstrap reconcile.
+#[derive(Clone)]
+struct PullTarget {
+    source: String,
+    scope: RingScope,
+    donor: Option<RingScope>,
+}
+
+/// Drives the receiving side of a live partition migration (`RESHARD
+/// PULL`): a puller thread dials the donor, performs a **scoped**
+/// `REPLICATE ... ring` handshake, and applies the owned subset of the
+/// stream through the **local** churn path.
+///
+/// Differences from [`ReplicaRunner`], which it otherwise mirrors:
+///
+/// * Applied records mint **local** seqs via [`Persister::apply_sub`] —
+///   the donor's seq domain is never copied into this node's log, so the
+///   node stays a normal primary (serving churn, feeding its own standby)
+///   throughout the migration.
+/// * Progress is a **source-seq cursor** (`cursor`), advanced across
+///   *every* streamed frame — owned or not — so the `REPLACK`s it sends
+///   stay comparable with the donor's log seq. That comparability is what
+///   the router's double-write floor handshake relies on.
+/// * The cursor survives re-`PULL`s that carry the same scope (a donor
+///   failover changes the address, not the leg), and is reset when the
+///   scope changes (a different leg).
+struct ReshardRunner {
+    hub: Arc<Hub>,
+    engine: Arc<ShardedEngine>,
+    persist: Arc<Persister>,
+    shutdown: Arc<AtomicBool>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    ack_every: u64,
+    /// Bumped by every `PULL`/`CUTOFF`/`DEMOTE`; a puller thread tagged
+    /// with an older generation notices and exits — cutover needs no
+    /// extra signalling, exactly like role generations.
+    generation: AtomicU64,
+    target: Mutex<Option<PullTarget>>,
+    /// Highest donor-log seq fully covered (bootstrap or applied frame).
+    /// Stored, not maxed: a promoted standby can legitimately present
+    /// fewer records than the dead donor had streamed.
+    cursor: AtomicU64,
+    /// 1 while a stream is established (for `RESHARD STATUS`).
+    connected: AtomicU64,
+}
+
+impl ReshardRunner {
+    /// Installs a (new or re-issued) pull target and starts a puller
+    /// generation for it. Idempotent per leg: re-pulling the same scope —
+    /// the router controller's repair action after either side dies —
+    /// keeps the cursor and simply redials.
+    fn start_pull(self: &Arc<Self>, source: String, scope: RingScope, donor: Option<RingScope>) {
+        let mut target = self.target.lock();
+        let same_leg = matches!(&*target, Some(t) if t.scope == scope && t.donor == donor);
+        if !same_leg {
+            self.cursor.store(0, Ordering::SeqCst);
+        }
+        *target = Some(PullTarget {
+            source,
+            scope,
+            donor,
+        });
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        drop(target);
+        self.hub.stats.reshard_pulling.store(1, Ordering::Relaxed);
+        let runner = self.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("apcm-reshard-g{generation}"))
+            .spawn(move || runner.run(generation))
+            .expect("spawning reshard puller");
+        self.conn_threads.lock().push(handle);
+    }
+
+    /// `RESHARD CUTOFF` (or demotion): stop pulling. The applied catalog
+    /// stays — cutoff means the migration controller decided this node
+    /// now owns what it pulled.
+    fn stop(&self) {
+        // Bump the generation while holding the target lock: frame
+        // application takes the same lock and re-checks liveness, so once
+        // this returns (and `RESHARD CUTOFF` is acked) no further frame —
+        // in particular no donor-prune `UNSUB` racing down the stream —
+        // can touch the catalog this node now owns.
+        let mut target = self.target.lock();
+        *target = None;
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        drop(target);
+        self.connected.store(0, Ordering::Relaxed);
+        self.hub.stats.reshard_pulling.store(0, Ordering::Relaxed);
+    }
+
+    /// Whether the puller tagged `generation` should keep running.
+    fn live(&self, generation: u64) -> bool {
+        !self.shutdown.load(Ordering::SeqCst)
+            && self.generation.load(Ordering::SeqCst) == generation
+    }
+
+    fn status_line(&self) -> String {
+        match &*self.target.lock() {
+            Some(t) => format!(
+                "+OK reshard pulling {} applied {} connected {}",
+                t.source,
+                self.cursor.load(Ordering::SeqCst),
+                self.connected.load(Ordering::Relaxed)
+            ),
+            None => "+OK reshard idle".into(),
+        }
+    }
+
+    fn run(&self, generation: u64) {
+        let options = ConnectOptions {
+            connect_timeout: Some(Duration::from_millis(500)),
+            read_timeout: Some(Duration::from_millis(250)),
+            attempts: 1,
+            ..ConnectOptions::default()
+        };
+        let mut failures = 0u32;
+        loop {
+            if !self.live(generation) {
+                return;
+            }
+            let Some(target) = self.target.lock().clone() else {
+                return;
+            };
+            match connect_stream(&target.source, &options) {
+                Ok(stream) => {
+                    failures = 0;
+                    self.follow(generation, &target, stream);
+                    self.connected.store(0, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    failures = failures.saturating_add(1).min(8);
+                    let deadline = Instant::now() + options.delay_before_retry(failures);
+                    while Instant::now() < deadline {
+                        if !self.live(generation) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies one owned subscription through the local churn path.
+    /// Convergent: an already-present identical expression is a no-op, a
+    /// conflicting expression under the same id (the donor's version
+    /// wins — it is the owner of record during catch-up) is replaced.
+    /// `Err` means local persistence is degraded; the caller drops the
+    /// stream and the redial re-covers from the cursor.
+    fn apply_owned_sub(&self, sub: &Subscription) -> Result<(), ()> {
+        let fp = sub_fingerprint(sub);
+        if self.hub.live.read().get(&sub.id()).copied() == Some(fp) {
+            return Ok(());
+        }
+        match self.persist.apply_sub(&self.engine, sub) {
+            Ok(true) => {}
+            Ok(false) => {
+                if self.persist.apply_unsub(&self.engine, sub.id()).is_err()
+                    || self.persist.apply_sub(&self.engine, sub).is_err()
+                {
+                    return Err(());
+                }
+            }
+            Err(_) => return Err(()),
+        }
+        self.hub.live.write().insert(sub.id(), fp);
+        ServerStats::add(&self.hub.stats.reshard_pull_applied, 1);
+        Ok(())
+    }
+
+    /// Removes one owned subscription through the local churn path.
+    fn apply_owned_unsub(&self, id: SubId) -> Result<(), ()> {
+        match self.persist.apply_unsub(&self.engine, id) {
+            Ok(true) => {
+                self.hub.live.write().remove(&id);
+                self.hub.owners.write().remove(&id);
+                ServerStats::add(&self.hub.stats.reshard_pull_applied, 1);
+                Ok(())
+            }
+            Ok(false) => Ok(()),
+            Err(_) => Err(()),
+        }
+    }
+
+    /// One connected stint against the donor: scoped handshake, optional
+    /// bootstrap (the donor filters the catalog image to our scope; we
+    /// re-filter defensively), then the live frame tail. The log tail and
+    /// live stream carry **all** of the donor's frames — we skip the ones
+    /// outside our scope but still advance the cursor across them.
+    fn follow(&self, generation: u64, target: &PullTarget, stream: TcpStream) {
+        let stats = &self.hub.stats;
+        let scope = &target.scope;
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        let mut reader = BufReader::new(stream);
+        let mut pending = String::new();
+        let mut cursor = self.cursor.load(Ordering::SeqCst);
+        if writer
+            .write_all(
+                format!(
+                    "REPLICATE {cursor} v2 ring {} {}\n",
+                    scope.ring().to_csv(),
+                    scope.keep_csv()
+                )
+                .as_bytes(),
+            )
+            .is_err()
+        {
+            return;
+        }
+
+        let Some(header) =
+            self.next_line(generation, &mut reader, &mut pending, &mut writer, cursor)
+        else {
+            return;
+        };
+        let start = match protocol::parse_replicate_header(&header) {
+            Ok(start) => start,
+            Err(_) => return,
+        };
+        self.connected.store(1, Ordering::Relaxed);
+
+        // Bootstrap forms mirror ReplicaRunner: collect the whole image,
+        // abort on any damage, and only then touch local state.
+        let bootstrap: Option<(Vec<Subscription>, u64)> = match start {
+            ReplicateStart::Log { .. } => None,
+            ReplicateStart::Snapshot { subs: count, seq } => {
+                let mut subs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let Some(line) =
+                        self.next_line(generation, &mut reader, &mut pending, &mut writer, cursor)
+                    else {
+                        return;
+                    };
+                    match parse_frame(&line, &self.hub.schema) {
+                        Ok(record) => match record.op {
+                            ReplayOp::Sub(sub) => subs.push(sub),
+                            ReplayOp::Unsub(_) => return,
+                        },
+                        Err(_) => {
+                            ServerStats::add(&stats.repl_crc_skipped, 1);
+                            return;
+                        }
+                    }
+                }
+                Some((subs, seq))
+            }
+            ReplicateStart::Colstore {
+                blocks,
+                subs: count,
+                seq,
+            } => {
+                let mut subs = Vec::with_capacity(count);
+                for _ in 0..blocks {
+                    let Some(line) =
+                        self.next_line(generation, &mut reader, &mut pending, &mut writer, cursor)
+                    else {
+                        return;
+                    };
+                    match decode_bootstrap_block(&line, &self.hub.schema) {
+                        Ok(mut block_subs) => subs.append(&mut block_subs),
+                        Err(_) => {
+                            ServerStats::add(&stats.repl_crc_skipped, 1);
+                            return;
+                        }
+                    }
+                }
+                if subs.len() != count {
+                    ServerStats::add(&stats.repl_crc_skipped, 1);
+                    return;
+                }
+                Some((subs, seq))
+            }
+        };
+        if let Some((mut subs, seq)) = bootstrap {
+            // Unlike a replica bootstrap, this is *additive*: the node
+            // keeps serving its existing catalog while absorbing the
+            // migrated subset, so no wholesale replace.
+            subs.retain(|s| scope.owns(s.id()));
+            let image: HashMap<SubId, ()> = subs.iter().map(|s| (s.id(), ())).collect();
+            // Applied under the target lock with a liveness re-check: a
+            // cutoff acked mid-bootstrap must not race a stale image into
+            // the catalog the controller just took ownership of.
+            let guard = self.target.lock();
+            if !self.live(generation) {
+                return;
+            }
+            for sub in &subs {
+                if self.apply_owned_sub(sub).is_err() {
+                    return;
+                }
+            }
+            // Reconcile: an owned id present locally but absent from the
+            // donor's image was unsubscribed while we were disconnected
+            // past the donor's log retention — drop it, or it resurrects.
+            // Bounded by the donor's old-ring scope: ids absorbed from
+            // *earlier* legs of the same migration are owned by `scope`
+            // but were never this donor's, and must survive.
+            for id in self.persist.catalog_ids() {
+                let from_this_donor = target.donor.as_ref().is_none_or(|d| d.owns(id));
+                if scope.owns(id)
+                    && from_this_donor
+                    && !image.contains_key(&id)
+                    && self.apply_owned_unsub(id).is_err()
+                {
+                    return;
+                }
+            }
+            drop(guard);
+            cursor = seq;
+            self.cursor.store(cursor, Ordering::SeqCst);
+            stats.reshard_pull_seq.store(cursor, Ordering::Relaxed);
+            if writer
+                .write_all(format!("REPLACK {cursor}\n").as_bytes())
+                .is_err()
+            {
+                return;
+            }
+        }
+
+        let mut since_ack = 0u64;
+        loop {
+            let Some(line) =
+                self.next_line(generation, &mut reader, &mut pending, &mut writer, cursor)
+            else {
+                return;
+            };
+            let record = match parse_frame(&line, &self.hub.schema) {
+                Ok(record) => record,
+                Err(_) => {
+                    // Never applied, never acked: drop the stream and let
+                    // the redial refetch it from the donor's durable log.
+                    ServerStats::add(&stats.repl_crc_skipped, 1);
+                    return;
+                }
+            };
+            if record.seq <= cursor {
+                continue;
+            }
+            let id = match &record.op {
+                ReplayOp::Sub(sub) => sub.id(),
+                ReplayOp::Unsub(id) => *id,
+            };
+            if scope.owns(id) {
+                // Lock-and-recheck against a concurrent `RESHARD CUTOFF`:
+                // once the cutoff is acked this node owns its catalog, and
+                // a frame already in flight — the donor prune's `UNSUB`s
+                // chief among them — must not be applied over it.
+                let guard = self.target.lock();
+                if !self.live(generation) {
+                    return;
+                }
+                let applied = match &record.op {
+                    ReplayOp::Sub(sub) => self.apply_owned_sub(sub),
+                    ReplayOp::Unsub(id) => self.apply_owned_unsub(*id),
+                };
+                drop(guard);
+                if applied.is_err() {
+                    return;
+                }
+            }
+            // The cursor covers non-owned frames too — acking them is
+            // what keeps it comparable with the donor's log seq.
+            cursor = record.seq;
+            self.cursor.store(cursor, Ordering::SeqCst);
+            stats.reshard_pull_seq.store(cursor, Ordering::Relaxed);
+            since_ack += 1;
+            if since_ack >= self.ack_every {
+                since_ack = 0;
+                if writer
+                    .write_all(format!("REPLACK {cursor}\n").as_bytes())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Reads the next complete line, tolerating read-timeout ticks; each
+    /// idle tick re-checks the stop conditions and keeps the donor's lag
+    /// gauge fresh with a keepalive `REPLACK`.
+    fn next_line(
+        &self,
+        generation: u64,
+        reader: &mut BufReader<TcpStream>,
+        pending: &mut String,
+        writer: &mut TcpStream,
+        cursor: u64,
+    ) -> Option<String> {
+        loop {
+            if !self.live(generation) {
+                return None;
+            }
+            match reader.read_line(pending) {
+                Ok(0) => return None,
+                Ok(_) => {
+                    if pending.ends_with('\n') {
+                        let line = pending.trim_end().to_string();
+                        pending.clear();
+                        return Some(line);
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if writer
+                        .write_all(format!("REPLACK {cursor}\n").as_bytes())
+                        .is_err()
+                    {
+                        return None;
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
 /// Spawns the reader + writer thread pair for one accepted connection.
 fn spawn_connection(
     ctx: Arc<ConnCtx>,
@@ -968,6 +1422,22 @@ fn write_loop(stream: TcpStream, out_rx: Receiver<String>) {
     let _ = w.flush();
 }
 
+/// The migration-era ring ownership filter: with a scope installed (by
+/// `RESHARD PRUNE`), churn for an id the scope does not own is refused
+/// with `-ERR not owner <id>` — the client retries, re-routing through
+/// the router's refreshed view. Returns whether the request was refused.
+fn refuse_unowned(ctx: &ConnCtx, id: SubId, reply: &impl Fn(String)) -> bool {
+    let refused = match &*ctx.hub.ownership.read() {
+        Some(scope) => !scope.owns(id),
+        None => false,
+    };
+    if refused {
+        ServerStats::add(&ctx.hub.stats.not_owner_refusals, 1);
+        reply(protocol::render_not_owner(id));
+    }
+    refused
+}
+
 /// Parses and executes requests until EOF, error, or QUIT.
 fn read_loop(
     ctx: &ConnCtx,
@@ -1017,6 +1487,9 @@ fn read_loop(
                     reply(protocol::READ_ONLY_REPLICA_ERR.to_string());
                     continue;
                 }
+                if refuse_unowned(ctx, id, &reply) {
+                    continue;
+                }
                 let outcome = match &ctx.persist {
                     Some(p) => p.apply_sub(&ctx.engine, &sub),
                     None => ctx.engine.subscribe(&sub).map_err(ChurnError::Engine),
@@ -1060,6 +1533,9 @@ fn read_loop(
                     reply(protocol::READ_ONLY_REPLICA_ERR.to_string());
                     continue;
                 }
+                if refuse_unowned(ctx, id, &reply) {
+                    continue;
+                }
                 let outcome = match &ctx.persist {
                     Some(p) => p.apply_unsub(&ctx.engine, id),
                     None => Ok(ctx.engine.unsubscribe(id)),
@@ -1082,6 +1558,9 @@ fn read_loop(
                 // Ownership transfer for a live id: the reclaim path after
                 // a broker restart (recovered subscriptions have no owning
                 // connection until someone claims them).
+                if refuse_unowned(ctx, id, &reply) {
+                    continue;
+                }
                 if ctx.hub.live.read().contains_key(&id) {
                     ctx.hub.owners.write().insert(id, conn_id);
                     ServerStats::add(&stats.subs_reclaimed, 1);
@@ -1186,12 +1665,22 @@ fn read_loop(
                 // multi-line backend report is the cluster router's.
                 reply("+OK topology standalone".into());
             }
-            Request::Replicate { from_seq, v2 } => match &ctx.persist {
+            Request::Replicate { from_seq, v2, ring } => match &ctx.persist {
                 Some(p) => {
-                    let registered = reader
-                        .get_ref()
-                        .try_clone()
-                        .and_then(|s| p.begin_stream(conn_id, from_seq, v2, out.clone(), s));
+                    let scope = match ring
+                        .map(|spec| RingScope::parse(&spec.members_csv, &spec.keep_csv))
+                        .transpose()
+                    {
+                        Ok(scope) => scope,
+                        Err(e) => {
+                            ServerStats::add(&stats.protocol_errors, 1);
+                            reply(format!("-ERR bad replicate ring: {e}"));
+                            continue;
+                        }
+                    };
+                    let registered = reader.get_ref().try_clone().and_then(|s| {
+                        p.begin_stream(conn_id, from_seq, v2, scope.as_ref(), out.clone(), s)
+                    });
                     match registered {
                         // The handshake header + backlog chunk is already
                         // queued; the live tail flows via broadcast. This
@@ -1241,11 +1730,124 @@ fn read_loop(
                 let seq = ctx.persist.as_ref().map(|p| p.current_seq()).unwrap_or(0);
                 reply(format!("+OK promoted seq {seq}"));
             }
+            Request::Reshard(cmd) => match cmd {
+                ReshardCmd::Add { .. } | ReshardCmd::Remove { .. } => {
+                    ServerStats::add(&stats.protocol_errors, 1);
+                    reply(
+                        "-ERR RESHARD ADD/REMOVE target the cluster router, not a backend".into(),
+                    );
+                }
+                ReshardCmd::Status => match &ctx.reshard {
+                    Some(runner) => reply(runner.status_line()),
+                    None => reply("+OK reshard idle".into()),
+                },
+                ReshardCmd::Pull {
+                    source,
+                    scope,
+                    donor,
+                } => {
+                    if ctx.role.is_replica() {
+                        reply(protocol::READ_ONLY_REPLICA_ERR.to_string());
+                        continue;
+                    }
+                    let Some(runner) = &ctx.reshard else {
+                        ServerStats::add(&stats.protocol_errors, 1);
+                        reply("-ERR persistence required for resharding".into());
+                        continue;
+                    };
+                    let parsed =
+                        RingScope::parse(&scope.members_csv, &scope.keep_csv).and_then(|scope| {
+                            donor
+                                .map(|d| RingScope::parse(&d.members_csv, &d.keep_csv))
+                                .transpose()
+                                .map(|donor| (scope, donor))
+                        });
+                    match parsed {
+                        Ok((scope, donor)) => {
+                            let ack = format!("+OK reshard pulling {source}");
+                            runner.start_pull(source, scope, donor);
+                            reply(ack);
+                        }
+                        Err(e) => {
+                            ServerStats::add(&stats.protocol_errors, 1);
+                            reply(format!("-ERR bad reshard scope: {e}"));
+                        }
+                    }
+                }
+                ReshardCmd::Cutoff => match &ctx.reshard {
+                    Some(runner) => {
+                        runner.stop();
+                        reply(format!(
+                            "+OK reshard cutoff applied {}",
+                            runner.cursor.load(Ordering::SeqCst)
+                        ));
+                    }
+                    None => {
+                        ServerStats::add(&stats.protocol_errors, 1);
+                        reply("-ERR persistence required for resharding".into());
+                    }
+                },
+                ReshardCmd::Prune { scope } => {
+                    if ctx.role.is_replica() {
+                        reply(protocol::READ_ONLY_REPLICA_ERR.to_string());
+                        continue;
+                    }
+                    let Some(p) = &ctx.persist else {
+                        ServerStats::add(&stats.protocol_errors, 1);
+                        reply("-ERR persistence required for resharding".into());
+                        continue;
+                    };
+                    match RingScope::parse(&scope.members_csv, &scope.keep_csv) {
+                        Ok(parsed) => {
+                            // Install the refusal filter *before* pruning:
+                            // stale-routed churn for moved ids must start
+                            // bouncing the moment the flip is decided, even
+                            // while the unsub sweep is still running.
+                            *ctx.hub.ownership.write() = Some(parsed.clone());
+                            let mut pruned = 0u64;
+                            let mut degraded = None;
+                            for id in p.catalog_ids() {
+                                if parsed.owns(id) {
+                                    continue;
+                                }
+                                match p.apply_unsub(&ctx.engine, id) {
+                                    Ok(true) => {
+                                        ctx.hub.live.write().remove(&id);
+                                        ctx.hub.owners.write().remove(&id);
+                                        pruned += 1;
+                                    }
+                                    Ok(false) => {}
+                                    Err(e) => {
+                                        degraded = Some(e);
+                                        break;
+                                    }
+                                }
+                            }
+                            ServerStats::add(&stats.reshard_pruned, pruned);
+                            match degraded {
+                                // The controller re-issues PRUNE with the
+                                // same scope until it succeeds end-to-end.
+                                Some(e) => reply(format!("-ERR reshard prune incomplete: {e}")),
+                                None => reply(format!("+OK reshard pruned {pruned}")),
+                            }
+                        }
+                        Err(e) => {
+                            ServerStats::add(&stats.protocol_errors, 1);
+                            reply(format!("-ERR bad reshard scope: {e}"));
+                        }
+                    }
+                }
+            },
             Request::Demote { addr } => match &ctx.runner {
                 Some(runner) => {
                     let generation = ctx.role.demote(addr.clone());
                     ServerStats::add(&stats.demotions, 1);
                     stats.role_replica.store(1, Ordering::Relaxed);
+                    // A replica must not keep absorbing a migration pull:
+                    // its catalog now mirrors its primary's, nothing else.
+                    if let Some(reshard) = &ctx.reshard {
+                        reshard.stop();
+                    }
                     runner.clone().spawn(generation);
                     reply(format!("+OK demoted following {addr}"));
                 }

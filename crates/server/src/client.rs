@@ -403,6 +403,31 @@ impl BrokerClient {
         }
     }
 
+    /// `RESHARD ADD <primary> [replica]` (cluster router): scale out onto
+    /// a freshly started backend pair. Returns the router's ack line.
+    pub fn reshard_add(&mut self, primary: &str, replica: Option<&str>) -> std::io::Result<String> {
+        let line = match replica {
+            Some(replica) => format!("RESHARD ADD {primary} {replica}"),
+            None => format!("RESHARD ADD {primary}"),
+        };
+        self.send_line(&line)?;
+        self.expect_ok("RESHARD ADD")
+    }
+
+    /// `RESHARD REMOVE <partition>` (cluster router): drain a partition's
+    /// ring share onto the survivors, then drop it from membership.
+    pub fn reshard_remove(&mut self, partition: u32) -> std::io::Result<String> {
+        self.send_line(&format!("RESHARD REMOVE {partition}"))?;
+        self.expect_ok("RESHARD REMOVE")
+    }
+
+    /// `RESHARD STATUS`: migration progress (router) or pull progress
+    /// (backend). `+OK reshard idle` when nothing is in flight.
+    pub fn reshard_status(&mut self) -> std::io::Result<String> {
+        self.send_line("RESHARD STATUS")?;
+        self.expect_ok("RESHARD STATUS")
+    }
+
     /// `QUIT` and wait for the goodbye (best-effort).
     pub fn quit(&mut self) -> std::io::Result<()> {
         self.send_line("QUIT")?;

@@ -32,6 +32,7 @@ pub mod ingest;
 pub mod persist;
 pub mod protocol;
 pub mod replication;
+pub mod ring;
 pub mod shard;
 pub mod stats;
 
@@ -43,7 +44,8 @@ pub use config::{
 pub use engine::ShardEngine;
 pub use ingest::{IngestItem, IngestPipeline, ResultSink};
 pub use persist::{Persister, RecoveryReport, SnapshotOutcome, StreamStart};
-pub use protocol::{ReplicateStart, RoleReport};
+pub use protocol::{ReplicateStart, ReshardCmd, RingSpec, RoleReport};
 pub use replication::{Role, RoleState};
+pub use ring::{parse_member_csv, Ring, RingScope, VNODES_PER_MEMBER};
 pub use shard::{route_partition, ShardedEngine};
 pub use stats::ServerStats;

@@ -51,6 +51,7 @@ use std::time::{Duration, Instant};
 
 use crate::config::{FsyncPolicy, PersistConfig, SnapshotFormat};
 use crate::replication::{send_chunk, ReplicationHub};
+use crate::ring::RingScope;
 use crate::shard::{route_partition, ShardedEngine};
 use crate::stats::ServerStats;
 use apcm_colstore::{b64, Manifest};
@@ -650,6 +651,14 @@ impl Persister {
         self.catalog.read().len()
     }
 
+    /// Sorted ids of every live catalog subscription — the work list for
+    /// `RESHARD PRUNE` and the resharding puller's bootstrap reconcile.
+    pub fn catalog_ids(&self) -> Vec<SubId> {
+        let mut ids: Vec<SubId> = self.catalog.read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Current churn-log size in bytes (for `STATS`).
     pub fn log_bytes(&self) -> u64 {
         self.inner.lock().log.len_bytes()
@@ -676,11 +685,19 @@ impl Persister {
     /// follower connection's outbound channel, and registers the stream
     /// for live fan-out — all under the append lock, so no record is
     /// missed or duplicated between backlog and tail.
+    ///
+    /// `scope` (a resharding pull) restricts the **bootstrap catalog** to
+    /// the subscriptions the scope owns. It deliberately does NOT filter
+    /// the log tail or the live stream: the receiver skips non-owned
+    /// frames itself, so its `REPLACK` cursor counts every source
+    /// sequence and stays directly comparable with this log's seq — the
+    /// property the migration double-write floor handshake relies on.
     pub fn begin_stream(
         &self,
         follower_id: u64,
         from_seq: u64,
         v2: bool,
+        scope: Option<&RingScope>,
         out: Sender<String>,
         stream: TcpStream,
     ) -> io::Result<StreamStart> {
@@ -701,8 +718,18 @@ impl Persister {
         } else {
             // Either the follower predates the retained log (rotation) or
             // claims a future sequence (stale leftovers from an old
-            // promotion): ship the whole catalog at the current sequence.
-            let mut subs: Vec<Subscription> = self.catalog.read().values().cloned().collect();
+            // promotion): ship the whole catalog at the current sequence
+            // (scoped pulls get only their owned subset).
+            let mut subs: Vec<Subscription> = match scope {
+                Some(scope) => self
+                    .catalog
+                    .read()
+                    .values()
+                    .filter(|s| scope.owns(s.id()))
+                    .cloned()
+                    .collect(),
+                None => self.catalog.read().values().cloned().collect(),
+            };
             subs.sort_by_key(|s| s.id());
             let n = subs.len();
             let start = if v2 && self.config.format == SnapshotFormat::Colstore {

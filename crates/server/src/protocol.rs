@@ -21,11 +21,39 @@
 //!
 //! ```text
 //! REPLICATE <from_seq> turn this connection into a churn-record stream
-//!                      (follower handshake; requires persistence)
+//!                      (follower handshake; requires persistence);
+//!                      `v2` advertises colstore bootstrap decode, and
+//!                      `v2 ring <members> <keep>` scopes the *bootstrap*
+//!                      to the catalog subset the ring routes to `keep`
+//!                      (the live tail still carries every record — the
+//!                      receiver filters — so seqs stay comparable)
 //! REPLACK <seq>        follower progress report on a REPLICATE stream
 //! ROLE                 role + sequence/lag report (the health probe)
 //! PROMOTE              replica -> primary (idempotent on a primary)
 //! DEMOTE <addr>        become a follower of the primary at <addr>
+//! ```
+//!
+//! Elastic resharding (see `apcm-cluster`'s migration module): admin verbs
+//! answered by the router, data-plane verbs by a backend server:
+//!
+//! ```text
+//! RESHARD ADD <primary> [replica]    router: scale out onto a new backend
+//! RESHARD REMOVE <partition>         router: drain + drop a partition
+//! RESHARD STATUS                     router: migration progress report
+//! RESHARD PULL <src> <members> <keep> [<dm> <dk>]
+//!                                    backend: start pulling the ring
+//!                                    subset `keep` from the primary <src>
+//!                                    while staying a live primary; the
+//!                                    optional `<dm> <dk>` pair is the
+//!                                    donor's old-ring scope, bounding the
+//!                                    bootstrap reconcile to ids this
+//!                                    donor could ever have owned
+//! RESHARD CUTOFF                     backend: stop the pull stream
+//! RESHARD PRUNE <members> <keep>     backend: install the ownership
+//!                                    filter (refuse churn for ids outside
+//!                                    `keep` with `-ERR not owner <id>`)
+//!                                    and durably unsub non-owned ids
+//! RESHARD STATUS                     backend: pull progress report
 //! ```
 //!
 //! Replies: `+OK ...` / `-ERR <message>` for commands, and asynchronous
@@ -78,10 +106,13 @@ pub enum Request {
     Topology,
     /// Follower handshake: stream churn records after this sequence.
     /// `v2` is set when the follower appended a `v2` token, advertising
-    /// that it can decode a compressed colstore bootstrap.
+    /// that it can decode a compressed colstore bootstrap. `ring` scopes
+    /// the bootstrap catalog to a ring subset (see [`RingSpec`]); it
+    /// requires `v2`.
     Replicate {
         from_seq: u64,
         v2: bool,
+        ring: Option<RingSpec>,
     },
     /// Follower progress report on an established `REPLICATE` stream.
     ReplAck {
@@ -95,8 +126,53 @@ pub enum Request {
     Demote {
         addr: String,
     },
+    /// Elastic-resharding verb (router admin or backend data plane).
+    Reshard(ReshardCmd),
     Ping,
     Quit,
+}
+
+/// An unvalidated ring scope as it appears on the wire: a member csv
+/// (`0,1,2`) plus a kept-member csv (`2`, or `-` for the empty set).
+/// Validation (membership, non-empty ring) happens where the scope is
+/// materialized into a `ring::RingScope`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingSpec {
+    pub members_csv: String,
+    pub keep_csv: String,
+}
+
+/// The `RESHARD` sub-verbs. `Add`/`Remove`/`Status` are answered by the
+/// cluster router; `Pull`/`Cutoff`/`Prune`/`Status` by a backend server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReshardCmd {
+    /// Router: scale out — start a new backend pair and migrate its ring
+    /// share onto it.
+    Add {
+        primary: String,
+        replica: Option<String>,
+    },
+    /// Router: scale in — drain this partition's ring share onto the
+    /// survivors, then drop it from membership.
+    Remove { partition: u32 },
+    /// Progress report (meaningful on both tiers).
+    Status,
+    /// Backend: start pulling the `scope` subset from the primary at
+    /// `source` while continuing to serve as a live primary. `donor`
+    /// (when present) is the donor's *old-ring* ownership: the puller's
+    /// bootstrap reconcile deletes a locally-present id only when both
+    /// scopes own it, so ids absorbed from *earlier* legs of the same
+    /// migration — owned by `scope` but never by this donor — survive.
+    Pull {
+        source: String,
+        scope: RingSpec,
+        donor: Option<RingSpec>,
+    },
+    /// Backend: stop the pull stream (migration leg complete or aborted).
+    Cutoff,
+    /// Backend: install `scope` as the ownership filter and durably
+    /// unsub every catalog id outside it.
+    Prune { scope: RingSpec },
 }
 
 /// Parses one request line. `None` for blank lines and `#` comments.
@@ -165,10 +241,28 @@ pub fn parse_request(schema: &Schema, line: &str) -> Result<Option<Request>, Str
                 Some("v2") => true,
                 Some(other) => return Err(format!("bad replicate token `{other}`")),
             };
+            let ring = match parts.next() {
+                None => None,
+                Some("ring") => {
+                    let members_csv = parts
+                        .next()
+                        .ok_or("usage: REPLICATE <seq> v2 ring <members> <keep>")?
+                        .to_string();
+                    let keep_csv = parts
+                        .next()
+                        .ok_or("usage: REPLICATE <seq> v2 ring <members> <keep>")?
+                        .to_string();
+                    Some(RingSpec {
+                        members_csv,
+                        keep_csv,
+                    })
+                }
+                Some(other) => return Err(format!("bad replicate token `{other}`")),
+            };
             if parts.next().is_some() {
                 return Err(format!("bad replicate request `{rest}`"));
             }
-            Request::Replicate { from_seq, v2 }
+            Request::Replicate { from_seq, v2, ring }
         }
         "REPLACK" => {
             let seq: u64 = rest
@@ -186,11 +280,82 @@ pub fn parse_request(schema: &Schema, line: &str) -> Result<Option<Request>, Str
                 addr: rest.to_string(),
             }
         }
+        "RESHARD" => Request::Reshard(parse_reshard(rest)?),
         "PING" => Request::Ping,
         "QUIT" => Request::Quit,
         other => return Err(format!("unknown verb `{other}`")),
     };
     Ok(Some(request))
+}
+
+fn parse_reshard(rest: &str) -> Result<ReshardCmd, String> {
+    let (sub, args) = match rest.split_once(char::is_whitespace) {
+        Some((s, a)) => (s, a.trim()),
+        None => (rest, ""),
+    };
+    let mut parts = args.split_whitespace();
+    let cmd = match sub.to_ascii_uppercase().as_str() {
+        "ADD" => {
+            let primary = parts
+                .next()
+                .ok_or("usage: RESHARD ADD <primary> [replica]")?
+                .to_string();
+            let replica = parts.next().map(str::to_string);
+            ReshardCmd::Add { primary, replica }
+        }
+        "REMOVE" => {
+            let partition: u32 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or("usage: RESHARD REMOVE <partition>")?;
+            ReshardCmd::Remove { partition }
+        }
+        "STATUS" => ReshardCmd::Status,
+        "PULL" => {
+            const USAGE: &str =
+                "usage: RESHARD PULL <source> <members> <keep> [<donor-members> <donor-keep>]";
+            let source = parts.next().ok_or(USAGE)?.to_string();
+            let members_csv = parts.next().ok_or(USAGE)?.to_string();
+            let keep_csv = parts.next().ok_or(USAGE)?.to_string();
+            let donor = match parts.next() {
+                None => None,
+                Some(donor_members) => Some(RingSpec {
+                    members_csv: donor_members.to_string(),
+                    keep_csv: parts.next().ok_or(USAGE)?.to_string(),
+                }),
+            };
+            ReshardCmd::Pull {
+                source,
+                scope: RingSpec {
+                    members_csv,
+                    keep_csv,
+                },
+                donor,
+            }
+        }
+        "CUTOFF" => ReshardCmd::Cutoff,
+        "PRUNE" => {
+            let members_csv = parts
+                .next()
+                .ok_or("usage: RESHARD PRUNE <members> <keep>")?
+                .to_string();
+            let keep_csv = parts
+                .next()
+                .ok_or("usage: RESHARD PRUNE <members> <keep>")?
+                .to_string();
+            ReshardCmd::Prune {
+                scope: RingSpec {
+                    members_csv,
+                    keep_csv,
+                },
+            }
+        }
+        other => return Err(format!("unknown RESHARD sub-verb `{other}`")),
+    };
+    if parts.next().is_some() {
+        return Err(format!("trailing tokens in RESHARD request `{rest}`"));
+    }
+    Ok(cmd)
 }
 
 fn parse_id(text: &str) -> Result<SubId, String> {
@@ -472,11 +637,30 @@ pub fn parse_backend_unavailable(line: &str) -> Option<usize> {
 /// The replica's refusal of client churn.
 pub const READ_ONLY_REPLICA_ERR: &str = "-ERR read-only replica";
 
+/// A backend's structured refusal of churn for an id outside its ring
+/// ownership: `-ERR not owner <id>`. Seen in the instant between a
+/// migration flip and a router thread refreshing its routing view —
+/// retrying re-routes to the new owner.
+pub fn render_not_owner(id: SubId) -> String {
+    format!("-ERR not owner {}", id.0)
+}
+
+/// Recognizes [`render_not_owner`], returning the refused id.
+pub fn parse_not_owner(line: &str) -> Option<SubId> {
+    line.strip_prefix("-ERR not owner ")
+        .and_then(|rest| rest.trim().parse::<u32>().ok())
+        .map(SubId)
+}
+
 /// Whether a churn refusal is transient cluster state — a partition with
-/// no serviceable node (failover may still fix it) or a node answering
-/// mid-role-flip — and therefore worth a client-side retry.
+/// no serviceable node (failover may still fix it), a node answering
+/// mid-role-flip, or an ex-owner answering mid-ownership-flip — and
+/// therefore worth a client-side retry (each retry re-sends through the
+/// router, which re-routes under its refreshed view).
 pub fn is_retryable_churn_refusal(line: &str) -> bool {
-    parse_backend_unavailable(line).is_some() || line.starts_with(READ_ONLY_REPLICA_ERR)
+    parse_backend_unavailable(line).is_some()
+        || line.starts_with(READ_ONLY_REPLICA_ERR)
+        || parse_not_owner(line).is_some()
 }
 
 #[cfg(test)]
@@ -542,18 +726,35 @@ mod tests {
             parse_request(&schema, "REPLICATE 42").unwrap().unwrap(),
             Request::Replicate {
                 from_seq: 42,
-                v2: false
+                v2: false,
+                ring: None
             }
         );
         assert_eq!(
             parse_request(&schema, "REPLICATE 42 v2").unwrap().unwrap(),
             Request::Replicate {
                 from_seq: 42,
-                v2: true
+                v2: true,
+                ring: None
+            }
+        );
+        assert_eq!(
+            parse_request(&schema, "REPLICATE 0 v2 ring 0,1,2 2")
+                .unwrap()
+                .unwrap(),
+            Request::Replicate {
+                from_seq: 0,
+                v2: true,
+                ring: Some(RingSpec {
+                    members_csv: "0,1,2".into(),
+                    keep_csv: "2".into()
+                })
             }
         );
         assert!(parse_request(&schema, "REPLICATE 42 v3").is_err());
         assert!(parse_request(&schema, "REPLICATE 42 v2 x").is_err());
+        assert!(parse_request(&schema, "REPLICATE 42 v2 ring 0,1").is_err());
+        assert!(parse_request(&schema, "REPLICATE 42 v2 ring 0,1 1 x").is_err());
         assert_eq!(
             parse_request(&schema, "replack 7").unwrap().unwrap(),
             Request::ReplAck { seq: 7 }
@@ -605,9 +806,102 @@ mod tests {
             "REPLACK x",
             "DEMOTE",
             "FROB 1",
+            "RESHARD",
+            "RESHARD FROB",
+            "RESHARD ADD",
+            "RESHARD REMOVE",
+            "RESHARD REMOVE x",
+            "RESHARD PULL 127.0.0.1:1 0,1",
+            "RESHARD PRUNE 0,1",
+            "RESHARD STATUS extra",
         ] {
             assert!(parse_request(&schema, bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn reshard_verbs_parse() {
+        let schema = schema();
+        assert_eq!(
+            parse_request(&schema, "RESHARD ADD 127.0.0.1:7010")
+                .unwrap()
+                .unwrap(),
+            Request::Reshard(ReshardCmd::Add {
+                primary: "127.0.0.1:7010".into(),
+                replica: None
+            })
+        );
+        assert_eq!(
+            parse_request(&schema, "reshard add 127.0.0.1:7010 127.0.0.1:7011")
+                .unwrap()
+                .unwrap(),
+            Request::Reshard(ReshardCmd::Add {
+                primary: "127.0.0.1:7010".into(),
+                replica: Some("127.0.0.1:7011".into())
+            })
+        );
+        assert_eq!(
+            parse_request(&schema, "RESHARD REMOVE 2").unwrap().unwrap(),
+            Request::Reshard(ReshardCmd::Remove { partition: 2 })
+        );
+        assert_eq!(
+            parse_request(&schema, "RESHARD STATUS").unwrap().unwrap(),
+            Request::Reshard(ReshardCmd::Status)
+        );
+        assert_eq!(
+            parse_request(&schema, "RESHARD PULL 127.0.0.1:7001 0,1,2 2")
+                .unwrap()
+                .unwrap(),
+            Request::Reshard(ReshardCmd::Pull {
+                source: "127.0.0.1:7001".into(),
+                scope: RingSpec {
+                    members_csv: "0,1,2".into(),
+                    keep_csv: "2".into()
+                },
+                donor: None
+            })
+        );
+        assert_eq!(
+            parse_request(&schema, "RESHARD PULL 127.0.0.1:7001 0,1,2 2 0,1 0")
+                .unwrap()
+                .unwrap(),
+            Request::Reshard(ReshardCmd::Pull {
+                source: "127.0.0.1:7001".into(),
+                scope: RingSpec {
+                    members_csv: "0,1,2".into(),
+                    keep_csv: "2".into()
+                },
+                donor: Some(RingSpec {
+                    members_csv: "0,1".into(),
+                    keep_csv: "0".into()
+                })
+            })
+        );
+        assert_eq!(
+            parse_request(&schema, "RESHARD CUTOFF").unwrap().unwrap(),
+            Request::Reshard(ReshardCmd::Cutoff)
+        );
+        assert_eq!(
+            parse_request(&schema, "RESHARD PRUNE 0,1,2 0,1")
+                .unwrap()
+                .unwrap(),
+            Request::Reshard(ReshardCmd::Prune {
+                scope: RingSpec {
+                    members_csv: "0,1,2".into(),
+                    keep_csv: "0,1".into()
+                }
+            })
+        );
+    }
+
+    #[test]
+    fn not_owner_round_trips_and_is_retryable() {
+        let line = render_not_owner(SubId(41));
+        assert_eq!(line, "-ERR not owner 41");
+        assert_eq!(parse_not_owner(&line), Some(SubId(41)));
+        assert_eq!(parse_not_owner("-ERR not owner x"), None);
+        assert_eq!(parse_not_owner("-ERR read-only replica"), None);
+        assert!(is_retryable_churn_refusal(&line));
     }
 
     #[test]

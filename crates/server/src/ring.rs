@@ -1,0 +1,301 @@
+//! Consistent-hash virtual-node ring: the cluster tier's id → member
+//! placement function for elastic resharding.
+//!
+//! The in-process [`crate::shard::route_partition`] Fibonacci hash stays
+//! the contract for shards *inside* one server, but at the cluster layer a
+//! flat modulus would reshuffle nearly every subscription id whenever the
+//! backend count changes. The ring fixes that: each member contributes
+//! [`VNODES_PER_MEMBER`] pseudo-random points on a u64 circle, an id is
+//! owned by the member whose point is the first at or after the id's hash
+//! (wrapping), and adding one member therefore moves only the ids that
+//! land on the newcomer's arcs — ~1/N of the space — **and every moved id
+//! moves to the newcomer** (arcs are only ever split, never swapped
+//! between incumbents).
+//!
+//! Like `route_partition`, this layout is a **wire contract**: the router,
+//! the migration controller, and every backend's replication bootstrap
+//! filter must agree on placement for the same member set, and a deployed
+//! cluster's data placement depends on it. Any change to the point hash,
+//! vnode count, or tie-break is a protocol break — see the golden pin
+//! tests below and in `apcm-cluster`.
+
+use apcm_bexpr::SubId;
+
+/// Virtual nodes contributed by each member. More vnodes smooth the load
+/// split (share stddev ~ share/sqrt(vnodes)) at the cost of a larger
+/// sorted point table; 64 keeps a 16-member ring at 1024 points — one
+/// binary search over 16 KiB, still cache-resident.
+pub const VNODES_PER_MEMBER: u32 = 64;
+
+/// SplitMix64 finalizer: the point/id mixing function of the ring.
+/// Changing this constant set reshards every deployed cluster.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Domain tag separating vnode-point seeds from id-hash seeds: without
+/// it, `splitmix64(id)` for id < [`VNODES_PER_MEMBER`] collides *exactly*
+/// with member 0's point seeds `(0 << 32) | v`, pinning every small id to
+/// member 0. Part of the frozen layout.
+const POINT_DOMAIN: u64 = 0x5851_F42D_4C95_7F2D;
+
+/// The circle position of member `m`'s `v`-th virtual node.
+fn vnode_point(m: u32, v: u32) -> u64 {
+    splitmix64(POINT_DOMAIN ^ ((u64::from(m) << 32) | u64::from(v)))
+}
+
+/// A consistent-hash ring over a set of member (partition) indices.
+///
+/// Members are small stable integers — the cluster's partition indices —
+/// not addresses: the router maps member index → backend pair separately,
+/// so a failover (same index, new address) never moves data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ring {
+    /// Sorted, deduplicated member set.
+    members: Vec<u32>,
+    /// `(point, member)` sorted by point; ties broken by member id so the
+    /// layout is a pure function of the member set.
+    points: Vec<(u64, u32)>,
+}
+
+impl Ring {
+    /// Builds the ring for `members` (order-insensitive, duplicates
+    /// ignored). Panics on an empty set — an empty ring routes nothing.
+    pub fn new(members: &[u32]) -> Self {
+        assert!(!members.is_empty(), "ring needs at least one member");
+        let mut members = members.to_vec();
+        members.sort_unstable();
+        members.dedup();
+        let mut points = Vec::with_capacity(members.len() * VNODES_PER_MEMBER as usize);
+        for &m in &members {
+            for v in 0..VNODES_PER_MEMBER {
+                points.push((vnode_point(m, v), m));
+            }
+        }
+        points.sort_unstable();
+        Self { members, points }
+    }
+
+    /// The sorted member set.
+    pub fn members(&self) -> &[u32] {
+        &self.members
+    }
+
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    pub fn contains(&self, member: u32) -> bool {
+        self.members.binary_search(&member).is_ok()
+    }
+
+    /// The owning member for a subscription id: hash the id onto the
+    /// circle, take the first point at or after it (wrapping).
+    pub fn route(&self, id: SubId) -> u32 {
+        let h = splitmix64(u64::from(id.0));
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        self.points[i % self.points.len()].1
+    }
+
+    /// Canonical comma-separated member list — the wire form used by
+    /// `RESHARD`/`REPLICATE` verbs (e.g. `0,1,2`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&m.to_string());
+        }
+        out
+    }
+
+    /// Parses the wire form; rejects empty lists and junk tokens.
+    pub fn from_csv(csv: &str) -> Result<Self, String> {
+        let members = parse_member_csv(csv)?;
+        Ok(Self::new(&members))
+    }
+}
+
+/// Parses a `0,1,2`-style member list (non-empty, u32 tokens).
+pub fn parse_member_csv(csv: &str) -> Result<Vec<u32>, String> {
+    let mut members = Vec::new();
+    for tok in csv.split(',') {
+        match tok.trim().parse::<u32>() {
+            Ok(m) => members.push(m),
+            Err(_) => return Err(format!("bad member id `{tok}` in `{csv}`")),
+        }
+    }
+    if members.is_empty() {
+        return Err(format!("empty member list `{csv}`"));
+    }
+    Ok(members)
+}
+
+/// An ownership filter: "of the ids placed by `ring`, this node keeps the
+/// ones routed to a member in `keep`".
+///
+/// Two users: a replication bootstrap scoped to the subset of the catalog
+/// a joining member will own (`keep` = the joiner), and a donor's
+/// post-flip refusal filter (`keep` = the members it still owns — during
+/// a scale-in drain this shrinks leg by leg until empty).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingScope {
+    ring: Ring,
+    /// Sorted, deduplicated kept-member set. May be empty: an empty keep
+    /// set owns nothing (a fully drained node).
+    keep: Vec<u32>,
+}
+
+impl RingScope {
+    pub fn new(ring: Ring, keep: &[u32]) -> Self {
+        let mut keep = keep.to_vec();
+        keep.sort_unstable();
+        keep.dedup();
+        Self { ring, keep }
+    }
+
+    /// Parses the wire form: a member csv and a keep csv. `keep` may be
+    /// the literal `-` for the empty set.
+    pub fn parse(members_csv: &str, keep_csv: &str) -> Result<Self, String> {
+        let ring = Ring::from_csv(members_csv)?;
+        let keep = if keep_csv == "-" {
+            Vec::new()
+        } else {
+            parse_member_csv(keep_csv)?
+        };
+        for &k in &keep {
+            if !ring.contains(k) {
+                return Err(format!("keep member {k} not in ring `{members_csv}`"));
+            }
+        }
+        Ok(Self::new(ring, &keep))
+    }
+
+    /// Whether this scope owns `id` under the ring placement.
+    pub fn owns(&self, id: SubId) -> bool {
+        self.keep.binary_search(&self.ring.route(id)).is_ok()
+    }
+
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    pub fn keep(&self) -> &[u32] {
+        &self.keep
+    }
+
+    /// Wire form of the keep set (`-` when empty).
+    pub fn keep_csv(&self) -> String {
+        if self.keep.is_empty() {
+            return "-".into();
+        }
+        let mut out = String::new();
+        for (i, m) in self.keep.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&m.to_string());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Golden pin: ring placement is a wire contract. These values were
+    /// computed once from the frozen splitmix64 layout; if this test
+    /// fails, the ring hash changed and every deployed cluster's data
+    /// placement (and any in-flight migration) breaks. Do not update the
+    /// constants without a migration story.
+    #[test]
+    fn ring_placement_golden_values() {
+        let two = Ring::new(&[0, 1]);
+        let got2: Vec<u32> = (0..16).map(|i| two.route(SubId(i))).collect();
+        assert_eq!(got2, GOLDEN_TWO, "2-member ring layout drifted");
+
+        let three = Ring::new(&[0, 1, 2]);
+        let got3: Vec<u32> = (0..16).map(|i| three.route(SubId(i))).collect();
+        assert_eq!(got3, GOLDEN_THREE, "3-member ring layout drifted");
+
+        // Sparse ids exercise the full u32 id width.
+        let wide: Vec<u32> = [1u32 << 20, 1 << 28, 1 << 31, u32::MAX]
+            .iter()
+            .map(|&i| three.route(SubId(i)))
+            .collect();
+        assert_eq!(wide, GOLDEN_WIDE, "wide-id ring layout drifted");
+    }
+
+    const GOLDEN_TWO: [u32; 16] = [1, 0, 0, 1, 1, 0, 0, 0, 1, 1, 1, 0, 0, 1, 0, 0];
+    const GOLDEN_THREE: [u32; 16] = [2, 0, 2, 1, 1, 0, 2, 0, 2, 1, 2, 0, 0, 1, 2, 0];
+    const GOLDEN_WIDE: [u32; 4] = [0, 0, 2, 2];
+
+    #[test]
+    fn ring_is_order_insensitive_and_dedups() {
+        assert_eq!(Ring::new(&[2, 0, 1, 1]), Ring::new(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let ring = Ring::new(&[0, 2, 5]);
+        assert_eq!(ring.to_csv(), "0,2,5");
+        assert_eq!(Ring::from_csv("0,2,5").unwrap(), ring);
+        assert!(Ring::from_csv("").is_err());
+        assert!(Ring::from_csv("0,x").is_err());
+    }
+
+    #[test]
+    fn scope_owns_exactly_the_kept_members_arcs() {
+        let ring = Ring::new(&[0, 1, 2]);
+        let scope = RingScope::new(ring.clone(), &[1]);
+        for i in 0..500u32 {
+            let id = SubId(i);
+            assert_eq!(scope.owns(id), ring.route(id) == 1, "id {i}");
+        }
+        let none = RingScope::parse("0,1,2", "-").unwrap();
+        assert!((0..100).all(|i| !none.owns(SubId(i))));
+        assert!(RingScope::parse("0,1", "2").is_err());
+    }
+
+    proptest! {
+        /// The resharding contract: adding one member to an n-member ring
+        /// moves at most 2/(n+1) of ids, and every moved id moves TO the
+        /// new member (incumbents never trade arcs with each other).
+        #[test]
+        fn adding_a_member_moves_few_ids_and_only_to_it(
+            n in 1u32..8,
+            seed in 0u64..u64::MAX,
+        ) {
+            let old = Ring::new(&(0..n).collect::<Vec<_>>());
+            let new = Ring::new(&(0..=n).collect::<Vec<_>>());
+            let total = 4000u64;
+            let mut moved = 0u64;
+            for k in 0..total {
+                // Spread ids over the u32 id space deterministically.
+                let raw = seed.wrapping_add(k.wrapping_mul(0x2545_F491_4F6C_DD1D));
+                let id = SubId((raw >> 32) as u32);
+                let (a, b) = (old.route(id), new.route(id));
+                if a != b {
+                    prop_assert_eq!(b, n, "moved id must land on the new member");
+                    moved += 1;
+                }
+            }
+            let bound = 2.0 / f64::from(n + 1);
+            let fraction = moved as f64 / total as f64;
+            prop_assert!(
+                fraction <= bound,
+                "moved {:.3} of ids, bound {:.3} (n {} -> {})", fraction, bound, n, n + 1
+            );
+        }
+    }
+}

@@ -136,6 +136,20 @@ pub struct ServerStats {
     /// Bytes shipped in bootstrap chunks (text frames or colstore blocks)
     /// answering `REPLICATE` handshakes on this primary.
     pub repl_bootstrap_bytes: AtomicU64,
+    /// Churn refused because the id routes outside this node's ring
+    /// ownership (`-ERR not owner`, see `RESHARD PRUNE`).
+    pub not_owner_refusals: AtomicU64,
+    /// Records applied by the resharding puller (owned SUB/UNSUBs taken
+    /// over from a migration source).
+    pub reshard_pull_applied: AtomicU64,
+    /// Catalog ids durably unsubscribed by `RESHARD PRUNE`.
+    pub reshard_pruned: AtomicU64,
+    /// Gauge: 1 while a resharding pull stream is configured, else 0.
+    pub reshard_pulling: AtomicU64,
+    /// Gauge: the source sequence the resharding puller has covered (its
+    /// `REPLACK` cursor — counts *all* frames seen, owned or not, so it
+    /// is comparable with the source's log seq).
+    pub reshard_pull_seq: AtomicU64,
     /// Role transitions: replica -> primary (`PROMOTE`).
     pub promotions: AtomicU64,
     /// Role transitions: primary -> replica (`DEMOTE`).
@@ -247,6 +261,14 @@ impl ServerStats {
             "repl_bootstrap_bytes",
             Self::get(&self.repl_bootstrap_bytes),
         );
+        push("not_owner_refusals", Self::get(&self.not_owner_refusals));
+        push(
+            "reshard_pull_applied",
+            Self::get(&self.reshard_pull_applied),
+        );
+        push("reshard_pruned", Self::get(&self.reshard_pruned));
+        push("reshard_pulling", Self::get(&self.reshard_pulling));
+        push("reshard_pull_seq", Self::get(&self.reshard_pull_seq));
         push("promotions", Self::get(&self.promotions));
         push("demotions", Self::get(&self.demotions));
         push("role_replica", Self::get(&self.role_replica));

@@ -76,9 +76,12 @@ usage:
              [--rotate-bytes N] [--idle-timeout-ms N] [--max-line-bytes N]
              [--replica-of HOST:PORT]  (start as a read-only follower; needs --persist-dir)
   apcm route --backends HOST:PORT,HOST:PORT,... [--addr HOST:PORT] [--dims N]
-             [--cardinality N] [--health-ms N] [--connect-timeout-ms N]
-             [--read-timeout-ms N] [--queue N] [--max-line-bytes N]
+             [--cardinality N] [--health-ms N] [--probe-timeout-ms N]
+             [--connect-timeout-ms N] [--read-timeout-ms N] [--queue N]
+             [--max-line-bytes N]
              [--replicas HOST:PORT,...]  (one follower per backend, same order)
+             (live resharding: send `RESHARD ADD PRIMARY [REPLICA]`,
+              `RESHARD REMOVE N`, or `RESHARD STATUS` via `apcm client`)
   apcm client [--addr HOST:PORT] [--connect-timeout-ms N] [--retries N]
              (reads protocol lines from stdin)";
 
@@ -330,6 +333,8 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
         health_interval: Duration::from_millis(get(flags, "health-ms", 100)?),
         ..RouterConfig::default()
     };
+    let probe_ms: u64 = get(flags, "probe-timeout-ms", 500)?;
+    config.probe_timeout = Duration::from_millis(probe_ms);
     config.conn_queue = get(flags, "queue", config.conn_queue)?;
     config.max_line_bytes = get(flags, "max-line-bytes", config.max_line_bytes)?;
     let connect_ms: u64 = get(flags, "connect-timeout-ms", 1000)?;
