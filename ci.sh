@@ -30,6 +30,9 @@ cargo test -q -p apcm-cluster --test failover
 echo "==> cargo test -p apcm-cluster --test migration (elastic resharding drill)"
 cargo test -q -p apcm-cluster --test migration
 
+echo "==> cargo test -p apcm-cluster --test summary (summary-pruned scatter harness)"
+cargo test -q -p apcm-cluster --test summary
+
 echo "==> cargo bench --workspace --no-run (benches stay compilable)"
 cargo bench --workspace --no-run
 
@@ -38,10 +41,27 @@ cargo run --release -q -p apcm-bench --bin harness -- \
     --experiment e2 --scale 0.002 --budget-ms 50 --seed 42 \
     --json-append BENCH_pr3.json
 
-echo "==> cluster harness smoke run (appends e13 records to BENCH_pr4.json)"
+echo "==> cluster harness smoke run (appends e13 records to BENCH_pr8.json)"
 cargo run --release -q -p apcm-bench --bin harness -- \
     --experiment e13 --scale 0.002 --budget-ms 50 --seed 42 \
-    --json-append BENCH_pr4.json
+    --json-append BENCH_pr8.json
+
+echo "==> summary pruning engages on skewed placement (pruned_fanout_ratio < 1.0)"
+python3 - <<'EOF'
+import json
+records = json.load(open("BENCH_pr8.json"))
+ratios = [
+    r["value"]
+    for r in records
+    if r["experiment"] == "e13"
+    and r["algorithm"] == "routed-skewed"
+    and r["metric"] == "pruned_fanout_ratio"
+]
+assert ratios, "no pruned_fanout_ratio records in BENCH_pr8.json"
+latest = ratios[-1]
+assert latest < 1.0, f"summary pruning never skipped a backend: ratio {latest}"
+print(f"    pruned_fanout_ratio {latest} < 1.0")
+EOF
 
 echo "==> replication harness smoke run (appends e14 records to BENCH_pr5.json)"
 cargo run --release -q -p apcm-bench --bin harness -- \

@@ -12,7 +12,7 @@
 //! EXPERIMENTS.md for recorded runs and the paper-vs-measured discussion.
 
 use apcm_bench::{fmt_bytes, fmt_rate, measure_latency, measure_throughput, EngineKind, Table};
-use apcm_bexpr::{Event, Matcher, SubId, Subscription};
+use apcm_bexpr::{AttrId, Event, Matcher, Op, Predicate, Schema, SubId, Subscription};
 use apcm_cluster::{ClusterHandle, RouterConfig};
 use apcm_core::{AdaptiveConfig, ApcmConfig, ApcmMatcher, ClusteringPolicy, Executor, PcmMatcher};
 use apcm_server::{
@@ -718,6 +718,32 @@ fn pump_batches(client: &mut BrokerClient, wl: &Workload, budget: Duration) -> f
 /// vs direct (one server, same client path) publish throughput, and the
 /// router's scatter-gather/merge overhead. Everything runs in-process on
 /// loopback, so the deltas measure protocol + merge cost, not the network.
+/// Median of three interleaved samples — the cheapest estimator that
+/// discards a one-off stall (page cache miss, scheduler hiccup) on
+/// either side of a comparison.
+fn median3(mut v: [f64; 3]) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[1]
+}
+
+/// SplitMix64 — deterministic stream generator for the skewed cell
+/// without pulling a rand dependency into the harness.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
 fn e13_cluster(args: &Args) {
     println!("## E13 — cluster routing: routed vs direct throughput\n");
     let n = scaled(250_000, args.scale).min(20_000);
@@ -729,34 +755,34 @@ fn e13_cluster(args: &Args) {
         ..ServerConfig::default()
     };
     let client_timeout = Duration::from_secs(60);
+    // Three interleaved samples per configuration at a third of the cell
+    // budget each keep the total cost of a cell where it was, while the
+    // warm-up pump absorbs allocator and page-cache cold starts that used
+    // to land inside the measured window.
+    let sample = args.budget / 3;
+    let warmup = (args.budget / 4).min(Duration::from_millis(250));
 
-    // Direct baseline: one standalone server.
+    // Direct baseline: one standalone server, kept alive for the whole
+    // experiment so direct and routed samples interleave — machine-wide
+    // drift then hits both sides of every overhead ratio equally.
     let server = Server::start(wl.schema.clone(), backend_config(), "127.0.0.1:0")
         .expect("starting the direct server");
-    let mut client = BrokerClient::connect(&server.local_addr().to_string()).unwrap();
-    client.set_read_timeout(Some(client_timeout)).unwrap();
+    // Subscriptions live on their own connection so EVENT deliveries
+    // cannot crowd the publisher's RESULT replies out of its bounded
+    // outbound queue at large catalog scales.
+    let mut direct_subs = BrokerClient::connect(&server.local_addr().to_string()).unwrap();
+    direct_subs.set_read_timeout(Some(client_timeout)).unwrap();
     for sub in &wl.subs {
-        client.subscribe(sub, &wl.schema).unwrap();
+        direct_subs.subscribe(sub, &wl.schema).unwrap();
     }
-    let direct = pump_batches(&mut client, &wl, args.budget);
-    args.record(
-        "e13",
-        "direct",
-        "n_backends=1".into(),
-        "events_per_sec",
-        direct,
-    );
-    drop(client);
-    server.shutdown();
+    let mut direct_client = BrokerClient::connect(&server.local_addr().to_string()).unwrap();
+    direct_client
+        .set_read_timeout(Some(client_timeout))
+        .unwrap();
+    pump_batches(&mut direct_client, &wl, warmup);
 
     let mut table = Table::new(vec!["path", "backends", "events/s", "merge overhead %"]);
-    table.row(vec![
-        "direct".into(),
-        "1".into(),
-        fmt_rate(direct),
-        "-".into(),
-    ]);
-
+    let mut direct_recorded = false;
     for n_backends in [1usize, 2, 3] {
         let cluster = ClusterHandle::start(
             wl.schema.clone(),
@@ -764,13 +790,40 @@ fn e13_cluster(args: &Args) {
             RouterConfig::default(),
         )
         .expect("starting the cluster");
+        let mut routed_subs = BrokerClient::connect(&cluster.router_addr()).unwrap();
+        routed_subs.set_read_timeout(Some(client_timeout)).unwrap();
+        for sub in &wl.subs {
+            routed_subs.subscribe(sub, &wl.schema).unwrap();
+        }
         let mut client = BrokerClient::connect(&cluster.router_addr()).unwrap();
         client.set_read_timeout(Some(client_timeout)).unwrap();
-        for sub in &wl.subs {
-            client.subscribe(sub, &wl.schema).unwrap();
+        pump_batches(&mut client, &wl, warmup);
+
+        let mut direct_samples = [0.0f64; 3];
+        let mut routed_samples = [0.0f64; 3];
+        for i in 0..3 {
+            direct_samples[i] = pump_batches(&mut direct_client, &wl, sample);
+            routed_samples[i] = pump_batches(&mut client, &wl, sample);
         }
-        let routed = pump_batches(&mut client, &wl, args.budget);
+        let direct = median3(direct_samples);
+        let routed = median3(routed_samples);
         let overhead = 100.0 * (direct / routed - 1.0);
+        if !direct_recorded {
+            args.record(
+                "e13",
+                "direct",
+                "n_backends=1".into(),
+                "events_per_sec",
+                direct,
+            );
+            table.row(vec![
+                "direct".into(),
+                "1".into(),
+                fmt_rate(direct),
+                "-".into(),
+            ]);
+            direct_recorded = true;
+        }
         args.record(
             "e13",
             "routed",
@@ -792,10 +845,260 @@ fn e13_cluster(args: &Args) {
             format!("{overhead:.1}"),
         ]);
         drop(client);
+        drop(routed_subs);
         cluster.shutdown();
     }
+    drop(direct_client);
+    drop(direct_subs);
+    server.shutdown();
     table.print();
-    println!("(corpus {n}; overhead is direct/routed - 1 at the same corpus)\n");
+    println!("(corpus {n}; overhead is direct/routed - 1, median of 3 interleaved samples)\n");
+
+    e13_skewed(args);
+}
+
+/// Number of value bands the skewed cell splits attribute 0 into — one
+/// per backend, so tenant-affine placement lines predicate bands up
+/// with partitions and summary pruning has something to skip.
+const SKEW_BANDS: u64 = 3;
+const SKEW_CARD: u64 = 1024;
+const SKEW_BAND_WIDTH: u64 = SKEW_CARD / SKEW_BANDS;
+/// Inset from each band edge, one summary bucket (1024 values over 64
+/// buckets). Band boundaries are not bucket-aligned, so without the
+/// inset a window near an edge sets the boundary bucket both adjacent
+/// backends' summaries contain and fans out to two backends.
+const SKEW_EDGE: u64 = SKEW_CARD / 64;
+
+/// Publishes band-coherent windows: each window's events share one value
+/// band on attribute 0, with the band drawn Zipf-style (band 0 hot).
+/// Pruning is per-window, so coherence is what makes a window skippable;
+/// a mixed window touches every band's backend and prunes nothing.
+fn pump_skewed(
+    client: &mut BrokerClient,
+    schema: &Schema,
+    rng: &mut SplitMix,
+    budget: Duration,
+) -> f64 {
+    const WINDOW: usize = 64;
+    let start = Instant::now();
+    let mut sent = 0usize;
+    loop {
+        // Zipf(1.1) over 3 bands, precomputed cumulative thresholds.
+        let r = rng.below(1000);
+        let band = if r < 567 {
+            0
+        } else if r < 831 {
+            1
+        } else {
+            2
+        };
+        let lo = band * SKEW_BAND_WIDTH;
+        let events: Vec<Event> = (0..WINDOW)
+            .map(|_| {
+                Event::new(vec![
+                    (
+                        AttrId(0),
+                        (lo + SKEW_EDGE + rng.below(SKEW_BAND_WIDTH - 2 * SKEW_EDGE)) as i64,
+                    ),
+                    (AttrId(1), rng.below(SKEW_CARD) as i64),
+                    (AttrId(2), rng.below(SKEW_CARD) as i64),
+                    (AttrId(3), rng.below(SKEW_CARD) as i64),
+                ])
+                .expect("building a skewed event")
+            })
+            .collect();
+        let results = client
+            .publish_batch(&events, schema)
+            .expect("publish through the broker");
+        assert_eq!(results.len(), events.len());
+        sent += events.len();
+        if start.elapsed() >= budget {
+            return sent as f64 / start.elapsed().as_secs_f64();
+        }
+    }
+}
+
+/// E13 skewed cell — tenant-affine placement: each subscription's value
+/// band on attribute 0 is derived from the backend the ring places it
+/// on, so per-backend summaries are band-disjoint and the router can
+/// prune cold backends out of hot-band windows.
+fn e13_skewed(args: &Args) {
+    println!("## E13 (skewed) — tenant-affine placement: pruned fan-out\n");
+    let n = scaled(60_000, args.scale).min(6_000);
+    let schema = Schema::uniform(8, SKEW_CARD);
+    let ring = Ring::new(&[0, 1, 2]);
+    let mut rng = SplitMix(args.seed ^ 0xE13B);
+    let subs: Vec<Subscription> = (0..n as u32)
+        .map(|id| {
+            // Band keyed off the routing ring: the predicates of every
+            // subscription a backend owns live inside that backend's band.
+            let band = u64::from(ring.route(SubId(id)));
+            let lo =
+                band * SKEW_BAND_WIDTH + SKEW_EDGE + rng.below(SKEW_BAND_WIDTH - 2 * SKEW_EDGE - 8);
+            // The narrow band interval is the summary witness (smallest
+            // bucket cover); the second predicate must stay wider than it
+            // or it would steal witness duty and smear the summaries
+            // across the uniform attributes. Its high threshold keeps the
+            // match rate — and so the EVENT delivery volume — low enough
+            // that per-connection outbound queues never saturate.
+            let preds = vec![
+                Predicate::new(AttrId(0), Op::Between(lo as i64, lo as i64 + 7)),
+                Predicate::new(
+                    AttrId(1 + rng.below(7) as u32),
+                    Op::Ge((SKEW_CARD * 3 / 4 + rng.below(SKEW_CARD * 3 / 16)) as i64),
+                ),
+            ];
+            Subscription::new(SubId(id), preds).expect("building a skewed subscription")
+        })
+        .collect();
+
+    let backend_config = || ServerConfig {
+        shards: 2,
+        engine: EngineChoice::Apcm,
+        flush_interval: Duration::from_millis(2),
+        ..ServerConfig::default()
+    };
+    let client_timeout = Duration::from_secs(60);
+    let sample = args.budget / 3;
+    let warmup = (args.budget / 4).min(Duration::from_millis(250));
+
+    // Direct baseline over the same catalog and stream. Subscriptions
+    // are owned by a dedicated connection so EVENT deliveries queue
+    // there (and fall to the slow-consumer policy when unread) instead
+    // of competing with the publisher's RESULT replies.
+    let server = Server::start(schema.clone(), backend_config(), "127.0.0.1:0")
+        .expect("starting the direct server");
+    let mut direct_subs = BrokerClient::connect(&server.local_addr().to_string()).unwrap();
+    direct_subs.set_read_timeout(Some(client_timeout)).unwrap();
+    for sub in &subs {
+        direct_subs.subscribe(sub, &schema).unwrap();
+    }
+    let mut direct_client = BrokerClient::connect(&server.local_addr().to_string()).unwrap();
+    direct_client
+        .set_read_timeout(Some(client_timeout))
+        .unwrap();
+
+    let cluster = ClusterHandle::start(
+        schema.clone(),
+        (0..SKEW_BANDS as usize).map(|_| backend_config()).collect(),
+        RouterConfig::default(),
+    )
+    .expect("starting the cluster");
+    let mut routed_subs = BrokerClient::connect(&cluster.router_addr()).unwrap();
+    routed_subs.set_read_timeout(Some(client_timeout)).unwrap();
+    for sub in &subs {
+        routed_subs.subscribe(sub, &schema).unwrap();
+    }
+    let mut client = BrokerClient::connect(&cluster.router_addr()).unwrap();
+    client.set_read_timeout(Some(client_timeout)).unwrap();
+
+    // Measuring pruning before the router has a summary for every
+    // backend would just measure the conservative full-fan-out path.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let lines = client.topology().expect("topology");
+        let fresh = (0..SKEW_BANDS).all(|m| {
+            lines
+                .iter()
+                .any(|l| l.starts_with(&format!("summary {m} epoch")))
+        });
+        if fresh {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "backend summaries never reached the router"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Identical seeds: both sides see the same band sequence.
+    let mut rng_direct = SplitMix(args.seed ^ 0x51EB);
+    let mut rng_routed = SplitMix(args.seed ^ 0x51EB);
+    pump_skewed(&mut direct_client, &schema, &mut rng_direct, warmup);
+    pump_skewed(&mut client, &schema, &mut rng_routed, warmup);
+    let base = client.stats().expect("router stats");
+
+    let mut direct_samples = [0.0f64; 3];
+    let mut routed_samples = [0.0f64; 3];
+    for i in 0..3 {
+        direct_samples[i] = pump_skewed(&mut direct_client, &schema, &mut rng_direct, sample);
+        routed_samples[i] = pump_skewed(&mut client, &schema, &mut rng_routed, sample);
+    }
+    let direct = median3(direct_samples);
+    let routed = median3(routed_samples);
+    let stats = client.stats().expect("router stats");
+    let sent = (stats["fanouts_sent"] - base["fanouts_sent"]) as f64;
+    let possible = (stats["fanouts_possible"] - base["fanouts_possible"]) as f64;
+    let ratio = if possible == 0.0 {
+        1.0
+    } else {
+        sent / possible
+    };
+    let overhead = 100.0 * (direct / routed - 1.0);
+
+    args.record(
+        "e13",
+        "direct-skewed",
+        "n_backends=1".into(),
+        "events_per_sec",
+        direct,
+    );
+    args.record(
+        "e13",
+        "routed-skewed",
+        "n_backends=3".into(),
+        "events_per_sec",
+        routed,
+    );
+    args.record(
+        "e13",
+        "routed-skewed",
+        "n_backends=3".into(),
+        "merge_overhead_pct",
+        overhead,
+    );
+    args.record(
+        "e13",
+        "routed-skewed",
+        "n_backends=3".into(),
+        "pruned_fanout_ratio",
+        ratio,
+    );
+
+    let mut table = Table::new(vec![
+        "path",
+        "backends",
+        "events/s",
+        "merge overhead %",
+        "pruned fan-out",
+    ]);
+    table.row(vec![
+        "direct".into(),
+        "1".into(),
+        fmt_rate(direct),
+        "-".into(),
+        "-".into(),
+    ]);
+    table.row(vec![
+        "routed".into(),
+        format!("{SKEW_BANDS}"),
+        fmt_rate(routed),
+        format!("{overhead:.1}"),
+        format!("{ratio:.3}"),
+    ]);
+    table.print();
+    println!(
+        "(catalog {n}, band-coherent 64-event windows, Zipf band choice; \
+         pruned fan-out = fanouts_sent / fanouts_possible)\n"
+    );
+
+    drop(client);
+    drop(routed_subs);
+    cluster.shutdown();
+    drop(direct_client);
+    drop(direct_subs);
+    server.shutdown();
 }
 
 /// E14 — replication tier: durable churn throughput through the router

@@ -21,7 +21,9 @@
 use crate::backend::BackendConn;
 use crate::stats::ClusterStats;
 use apcm_bexpr::SubId;
+use apcm_encoding::FixedBitSet;
 use apcm_server::client::ConnectOptions;
+use apcm_server::protocol::SummaryReply;
 use apcm_server::{protocol, Ring};
 use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -177,6 +179,17 @@ impl Node {
     }
 }
 
+/// A cached backend predicate-space summary, tagged with the node it came
+/// from: summary epochs are per-node counters (each engine counts its own
+/// churn), so an epoch from one node is meaningless against another —
+/// after a failover or restart the cache must be treated as absent.
+struct SummaryCache {
+    /// Index into the partition's `nodes` the summary was fetched from.
+    node: usize,
+    epoch: u64,
+    bits: FixedBitSet,
+}
+
 /// One slot of the routing table: the nodes replicating one slice of the
 /// subscription space, and which of them churn and scatter target now.
 pub struct Partition {
@@ -184,6 +197,11 @@ pub struct Partition {
     nodes: Vec<Arc<Node>>,
     /// Index into `nodes` of the node currently treated as primary.
     active: AtomicUsize,
+    /// Cached coarse summary of the backend's subscriptions (see
+    /// `apcm_encoding::SummarySpace`). `None` — or a tag naming a node
+    /// other than the current active one — means the scatter path must
+    /// fall back to full fan-out for this partition.
+    summary: Mutex<Option<SummaryCache>>,
     /// Highest `ROLE`-reported primary sequence. One of the two lower
     /// bounds combined by [`Self::last_primary_seq`].
     probed_seq: AtomicU64,
@@ -207,6 +225,7 @@ impl Partition {
             index,
             nodes,
             active: AtomicUsize::new(0),
+            summary: Mutex::new(None),
             probed_seq: AtomicU64::new(0),
             acked_records: AtomicU64::new(0),
             promote_lock: Mutex::new(()),
@@ -250,6 +269,51 @@ impl Partition {
     /// each; claims and errors append none.
     pub fn record_churn_ack(&self) {
         self.acked_records.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The cached summary bits, but only when the cache was fetched from
+    /// the node scatter would target right now — a summary taken from a
+    /// different node (pre-failover) proves nothing about the current
+    /// one's subscriptions. `None` forces full fan-out.
+    pub fn summary_for_scatter(&self) -> Option<FixedBitSet> {
+        let cache = self.summary.lock();
+        cache
+            .as_ref()
+            .filter(|c| c.node == self.active_index())
+            .map(|c| c.bits.clone())
+    }
+
+    /// The cached epoch if it came from `node` — what a refresh sends as
+    /// its `SUMMARY <epoch>` argument so an unchanged backend can answer
+    /// without shipping the bitset again.
+    fn summary_epoch_for(&self, node: usize) -> Option<u64> {
+        self.summary
+            .lock()
+            .as_ref()
+            .filter(|c| c.node == node)
+            .map(|c| c.epoch)
+    }
+
+    fn store_summary(&self, node: usize, epoch: u64, bits: FixedBitSet) {
+        *self.summary.lock() = Some(SummaryCache { node, epoch, bits });
+    }
+
+    /// Drops the cached summary; scatter falls back to full fan-out for
+    /// this partition until the next successful refresh. Called whenever
+    /// the backend's bits may have *grown* past the cache — a routed
+    /// fresh `SUB`, a reconnect (restarts reset the epoch counter), a
+    /// completed reshard. Shrink-only staleness (`UNSUB`) is left alone:
+    /// a stale superset can only cost fan-out, never a match.
+    pub fn invalidate_summary(&self) {
+        *self.summary.lock() = None;
+    }
+
+    /// `(epoch, populated buckets)` of the cached summary, for `TOPOLOGY`.
+    pub fn summary_status(&self) -> Option<(u64, usize)> {
+        self.summary
+            .lock()
+            .as_ref()
+            .map(|c| (c.epoch, c.bits.count_ones()))
     }
 
     /// Folds an out-of-band `ROLE` observation into the promotion floor.
@@ -434,19 +498,27 @@ impl Membership {
     pub fn sweep(&self, stats: &ClusterStats) {
         for partition in self.partitions() {
             for node in &partition.nodes {
-                self.probe(node, stats);
+                if self.probe(node, stats) {
+                    // A fresh dial may be a restarted backend whose epoch
+                    // counter reset; cached epochs are no longer comparable
+                    // to what it reports, so the cache must start over.
+                    partition.invalidate_summary();
+                }
             }
             self.reconcile(&partition, stats);
+            self.refresh_summary(&partition, stats);
         }
     }
 
-    /// Probe (or redial) one node.
-    fn probe(&self, node: &Node, stats: &ClusterStats) {
+    /// Probe (or redial) one node. Returns whether a new connection was
+    /// established — i.e. the node (re)joined during this probe.
+    fn probe(&self, node: &Node, stats: &ClusterStats) -> bool {
+        let mut dialed = false;
         let mut conn = node.conn.lock();
         if conn.is_none() {
             let mut meta = node.meta.lock();
             if Instant::now() < meta.next_retry {
-                return;
+                return false;
             }
             let one_shot = ConnectOptions {
                 attempts: 1,
@@ -455,6 +527,7 @@ impl Membership {
             match BackendConn::connect(&node.addr, &one_shot) {
                 Ok(c) => {
                     *conn = Some(c);
+                    dialed = true;
                     if meta.attempt > 0 {
                         meta.reconnects += 1;
                         ClusterStats::add(&stats.backend_reconnects, 1);
@@ -465,7 +538,7 @@ impl Membership {
                     meta.attempt = meta.attempt.saturating_add(1);
                     meta.next_retry =
                         Instant::now() + self.connect.delay_before_retry(meta.attempt);
-                    return;
+                    return false;
                 }
             }
         }
@@ -496,6 +569,38 @@ impl Membership {
                     ClusterStats::add(&stats.backend_probe_timeouts, 1);
                 }
                 node.mark_down_locked(&mut conn, &self.connect, stats);
+            }
+        }
+        dialed
+    }
+
+    /// Refreshes a partition's cached predicate-space summary from its
+    /// active node. Any failure simply drops the cache — pruning is an
+    /// optimisation and full fan-out is the safe floor — but a dead
+    /// stream still marks the node down so the routing paths see it.
+    fn refresh_summary(&self, partition: &Partition, stats: &ClusterStats) {
+        let active_idx = partition.active_index();
+        let node = &partition.nodes[active_idx];
+        let cached = partition.summary_epoch_for(active_idx);
+        let mut conn = node.lock_conn();
+        let Some(c) = conn.as_mut() else {
+            partition.invalidate_summary();
+            return;
+        };
+        match c.request(&format!("SUMMARY {}", cached.unwrap_or(0))) {
+            Ok(reply) => match protocol::parse_summary_reply(&reply) {
+                Ok(SummaryReply::Unchanged { .. }) if cached.is_some() => {}
+                Ok(SummaryReply::Summary { epoch, bits }) => {
+                    partition.store_summary(active_idx, epoch, bits);
+                    ClusterStats::add(&stats.summary_refreshes, 1);
+                }
+                // "Unchanged" against no cache, or an unparseable reply:
+                // nothing usable, fall back to full fan-out.
+                _ => partition.invalidate_summary(),
+            },
+            Err(_) => {
+                node.mark_down_locked(&mut conn, &self.connect, stats);
+                partition.invalidate_summary();
             }
         }
     }
@@ -647,8 +752,10 @@ impl Membership {
         None
     }
 
-    /// The `TOPOLOGY` report: one line per node, partition order, the
-    /// partition's active node first.
+    /// The `TOPOLOGY` report: one line per node in partition order (the
+    /// partition's active node first), then one `summary` line per
+    /// partition showing the cached prune summary's epoch and populated
+    /// bucket count (`none` when scatter is in full-fan-out fallback).
     pub fn topology_lines(&self) -> Vec<String> {
         let mut out = Vec::new();
         for partition in self.partitions() {
@@ -656,6 +763,11 @@ impl Membership {
             for (i, node) in partition.nodes.iter().enumerate() {
                 out.push(node.topology_line(i == active_idx));
             }
+            let status = partition
+                .summary_status()
+                .map(|(epoch, bits)| format!("epoch {epoch} bits {bits}"))
+                .unwrap_or_else(|| "none".into());
+            out.push(format!("summary {} {status}", partition.index));
         }
         out
     }
@@ -691,9 +803,10 @@ mod tests {
         assert_eq!(membership.len(), 2);
         assert_eq!(membership.up_count(), 0);
         let lines = membership.topology_lines();
-        assert_eq!(lines.len(), 2);
+        assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("down"), "{}", lines[0]);
-        assert!(lines[1].starts_with("backend 1 "), "{}", lines[1]);
+        assert_eq!(lines[1], "summary 0 none");
+        assert!(lines[2].starts_with("backend 1 "), "{}", lines[2]);
         // Sweeping again respects (and eventually passes) the backoff.
         std::thread::sleep(Duration::from_millis(10));
         membership.sweep(&stats);
@@ -775,10 +888,11 @@ mod tests {
         assert_eq!(membership.node_count(), 2);
         assert_eq!(membership.nodes_up(), 0);
         let lines = membership.topology_lines();
-        assert_eq!(lines.len(), 2);
+        assert_eq!(lines.len(), 3);
         assert!(lines[0].contains("role=primary"), "{}", lines[0]);
         assert!(lines[1].contains("role=replica"), "{}", lines[1]);
         assert!(lines[1].starts_with("backend 0 "), "{}", lines[1]);
+        assert!(lines[2].starts_with("summary 0 "), "{}", lines[2]);
     }
 
     #[test]

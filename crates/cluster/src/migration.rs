@@ -623,6 +623,14 @@ impl MigrationController {
         if let MigrationKind::Remove { target } = m.kind {
             membership.remove_partition(target);
         }
+        // Every backend's subscription set may have changed (pullers
+        // absorbed moved ids, donors pruned them), so no cached summary
+        // is trustworthy. Invalidate them all *before* clearing the state:
+        // scatter only re-enables pruning once it observes `active() ==
+        // None`, and that observation is sequenced after these drops.
+        for partition in membership.partitions() {
+            partition.invalidate_summary();
+        }
         *state = None;
         ClusterStats::add(&stats.reshards_completed, 1);
     }

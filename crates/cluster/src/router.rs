@@ -24,6 +24,7 @@
 //! reader thread with one scoped thread per live backend.
 
 use apcm_bexpr::{Event, Schema, SubId};
+use apcm_encoding::{FixedBitSet, SummarySpace};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -105,6 +106,10 @@ struct ConnHandle {
 /// State shared by every router thread.
 struct RouterHub {
     schema: Schema,
+    /// Coarse predicate-space layout shared with every backend (both
+    /// sides derive it deterministically from the schema), used to encode
+    /// events for the first-stage prune against cached backend summaries.
+    summary_space: SummarySpace,
     stats: Arc<ClusterStats>,
     membership: Arc<Membership>,
     migration: Arc<MigrationController>,
@@ -190,6 +195,7 @@ impl Router {
         ));
         let migration = Arc::new(MigrationController::new(config.connect.clone()));
         let hub = Arc::new(RouterHub {
+            summary_space: SummarySpace::new(&schema),
             schema,
             stats: stats.clone(),
             membership: membership.clone(),
@@ -536,22 +542,79 @@ fn scatter_to_partition(
 /// per-event rows. Returns `(rows, partial)`; `partial` is set when a
 /// partition could not be served by either of its nodes, in which case
 /// the rows cover the surviving partitions only.
+///
+/// Before fanning out, the window is tested against each partition's
+/// cached predicate-space summary (the cluster-level first stage of the
+/// A-PCM prune): a partition whose summary shares no bucket with any
+/// event in the window provably holds no matching subscription and is
+/// skipped outright. A pruned partition contributes empty rows — it is
+/// *not* partial; the emptiness is proven, not degraded. Missing or
+/// stale-tagged summaries fall back to a full send, and the prune is
+/// disabled entirely mid-migration, when subscriptions move between
+/// backends faster than summaries refresh.
 fn scatter_window(hub: &RouterHub, events: &[Event]) -> (Vec<Vec<SubId>>, bool) {
     let event_lines: Vec<String> = events
         .iter()
         .map(|ev| ev.display(&hub.schema).to_string())
         .collect();
     let partitions = hub.membership.partitions();
-    let mut per_backend: Vec<Option<Vec<Vec<SubId>>>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = partitions
+    // One migration snapshot for the whole window: the prune decision and
+    // the authority filter below must agree on whether a reshard is on.
+    let migration = hub.migration.active();
+
+    let mut skip = vec![false; partitions.len()];
+    if migration.is_none() {
+        let event_bits: Vec<FixedBitSet> = events
             .iter()
-            .map(|partition| {
-                let event_lines = &event_lines;
-                scope.spawn(move || scatter_to_partition(hub, partition, event_lines))
-            })
+            .map(|ev| hub.summary_space.event_bits(ev))
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
+        for (partition, skip) in partitions.iter().zip(skip.iter_mut()) {
+            if let Some(summary) = partition.summary_for_scatter() {
+                *skip = !hub.summary_space.window_may_match(&summary, &event_bits);
+            }
+        }
+    }
+    let pruned = skip.iter().filter(|&&s| s).count() as u64;
+    ClusterStats::add(&hub.stats.backends_pruned, pruned);
+    ClusterStats::add(&hub.stats.fanouts_possible, partitions.len() as u64);
+    ClusterStats::add(&hub.stats.fanouts_sent, partitions.len() as u64 - pruned);
+
+    let live = partitions.len() - pruned as usize;
+    let mut per_backend: Vec<Option<Vec<Vec<SubId>>>> = if live <= 1 {
+        // Nothing to overlap: serve the at-most-one surviving partition on
+        // the publishing thread instead of paying a scoped spawn.
+        partitions
+            .iter()
+            .zip(&skip)
+            .map(|(partition, &skip)| {
+                if skip {
+                    Some(Vec::new())
+                } else {
+                    scatter_to_partition(hub, partition, &event_lines)
+                }
+            })
+            .collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = partitions
+                .iter()
+                .zip(&skip)
+                .map(|(partition, &skip)| {
+                    let event_lines = &event_lines;
+                    (!skip).then(|| {
+                        scope.spawn(move || scatter_to_partition(hub, partition, event_lines))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| match handle {
+                    Some(h) => h.join().unwrap(),
+                    None => Some(Vec::new()),
+                })
+                .collect()
+        })
+    };
 
     // Mid-migration, an id's subscription can exist on two backends at
     // once (the puller absorbs it legs before the flip; the donor keeps
@@ -559,7 +622,7 @@ fn scatter_window(hub: &RouterHub, events: &[Event]) -> (Vec<Vec<SubId>>, bool) 
     // side sees live churn, so keep each backend's matches only for ids
     // it is currently authoritative for — otherwise an id unsubbed on the
     // puller could still surface from the donor's stale copy.
-    if let Some(m) = hub.migration.active() {
+    if let Some(m) = migration {
         for (partition, rows) in partitions.iter().zip(per_backend.iter_mut()) {
             if let Some(rows) = rows {
                 for row in rows.iter_mut() {
@@ -668,6 +731,14 @@ fn read_loop(
                 } else if backend_reply.starts_with('+') {
                     hub.owners.write().insert(id, conn_id);
                     ClusterStats::add(&stats.subs_routed, 1);
+                    // A fresh SUB may have grown the backend's summary
+                    // past the router's cache; pruning on the stale bits
+                    // could skip a backend that now holds a match. Drop
+                    // the cache — full fan-out until the sweep refreshes.
+                    // (`+OK claimed` and UNSUB never grow the bits.)
+                    if let Some(partition) = hub.membership.route(id) {
+                        partition.invalidate_summary();
+                    }
                 }
                 // `-ERR duplicate <id>` passes through verbatim so the
                 // client can drive CLAIM.
@@ -783,6 +854,12 @@ fn read_loop(
             Request::Replicate { .. } | Request::ReplAck { .. } => {
                 ClusterStats::add(&stats.protocol_errors, 1);
                 reply("-ERR REPLICATE targets a backend, not the router".into());
+            }
+            Request::Summary { .. } => {
+                // The router consumes backend summaries; it does not own a
+                // subscription catalog to summarize.
+                ClusterStats::add(&stats.protocol_errors, 1);
+                reply("-ERR SUMMARY targets a backend, not the router".into());
             }
             Request::Reshard(cmd) => match cmd {
                 protocol::ReshardCmd::Add { primary, replica } => {

@@ -69,6 +69,18 @@ pub struct ClusterStats {
     /// `DEMOTE` commands the router issued (returning ex-primaries folded
     /// back in as followers).
     pub demotions: AtomicU64,
+    /// Full summary bitsets fetched from backends by the health sweep
+    /// (epoch-unchanged round trips are not counted: nothing shipped).
+    pub summary_refreshes: AtomicU64,
+    /// Backends skipped by scatter because their cached summary proved no
+    /// subscription there could match any event in the window.
+    pub backends_pruned: AtomicU64,
+    /// Per-window backend sends actually performed by scatter.
+    pub fanouts_sent: AtomicU64,
+    /// Per-window backend sends a summary-blind scatter would have made
+    /// (windows × partitions). `fanouts_sent / fanouts_possible` is the
+    /// pruned fan-out ratio; 1.0 means pruning never skipped anything.
+    pub fanouts_possible: AtomicU64,
 }
 
 impl ClusterStats {
@@ -135,10 +147,24 @@ impl ClusterStats {
         push("failovers", Self::get(&self.failovers));
         push("promotions", Self::get(&self.promotions));
         push("demotions", Self::get(&self.demotions));
+        push("summary_refreshes", Self::get(&self.summary_refreshes));
+        push("backends_pruned", Self::get(&self.backends_pruned));
+        push("fanouts_sent", Self::get(&self.fanouts_sent));
+        push("fanouts_possible", Self::get(&self.fanouts_possible));
         push("backends", backends as u64);
         push("backends_up", backends_up as u64);
         push("nodes", nodes as u64);
         push("nodes_up", nodes_up as u64);
+        let sent = Self::get(&self.fanouts_sent);
+        let possible = Self::get(&self.fanouts_possible);
+        // The one non-integer line: the fraction of possible backend sends
+        // scatter actually made. 1.000 until pruning first skips a backend.
+        let ratio = if possible == 0 {
+            1.0
+        } else {
+            sent as f64 / possible as f64
+        };
+        out.push_str(&format!("pruned_fanout_ratio {ratio:.3}\n"));
         out
     }
 }
@@ -161,5 +187,21 @@ mod tests {
         assert!(text.contains("nodes_up 5\n"));
         assert!(text.contains("failovers 0\n"));
         assert!(text.contains("claims_routed 0\n"));
+    }
+
+    #[test]
+    fn pruned_fanout_ratio_tracks_sent_over_possible() {
+        let stats = ClusterStats::default();
+        // No windows yet: degenerate ratio pins to 1.0 (no pruning seen).
+        assert!(stats
+            .render(1, 1, 1, 1)
+            .contains("pruned_fanout_ratio 1.000\n"));
+        ClusterStats::add(&stats.fanouts_possible, 8);
+        ClusterStats::add(&stats.fanouts_sent, 6);
+        ClusterStats::add(&stats.backends_pruned, 2);
+        let text = stats.render(1, 1, 1, 1);
+        assert!(text.contains("pruned_fanout_ratio 0.750\n"), "{text}");
+        assert!(text.contains("backends_pruned 2\n"));
+        assert!(text.contains("summary_refreshes 0\n"));
     }
 }

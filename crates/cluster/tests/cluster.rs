@@ -321,11 +321,22 @@ fn topology_and_claim_round_trip() {
     wait_backends_up(&mut subscriber, N_BACKENDS);
 
     let lines = subscriber.topology().unwrap();
-    assert_eq!(lines.len(), N_BACKENDS);
-    for (i, line) in lines.iter().enumerate() {
+    // One node line plus one summary line per partition.
+    assert_eq!(lines.len(), 2 * N_BACKENDS);
+    let node_lines: Vec<&String> = lines.iter().filter(|l| l.starts_with("backend ")).collect();
+    assert_eq!(node_lines.len(), N_BACKENDS);
+    for (i, line) in node_lines.iter().enumerate() {
         assert!(line.starts_with(&format!("backend {i} ")), "{line}");
         assert!(line.contains(" up "), "{line}");
         assert!(line.contains("ping_us"), "{line}");
+    }
+    for i in 0..N_BACKENDS {
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.starts_with(&format!("summary {i} "))),
+            "missing summary line for partition {i}: {lines:?}"
+        );
     }
 
     for sub in &wl.subs {

@@ -232,14 +232,19 @@ fn failover_promotes_replica_and_loses_no_churn() {
     let mut client = connect(&cluster.router_addr());
     wait_until("all nodes up", || nodes_up(&mut client) == PARTITIONS * 2);
 
-    // TOPOLOGY carries the replication columns for every node.
+    // TOPOLOGY carries the replication columns for every node, plus one
+    // summary line per partition.
     let lines = client.topology().unwrap();
-    assert_eq!(lines.len(), PARTITIONS * 2);
-    for line in &lines {
+    assert_eq!(lines.len(), PARTITIONS * 3);
+    for line in lines.iter().filter(|l| l.starts_with("backend ")) {
         assert!(line.contains("role="), "{line}");
         assert!(line.contains(" lag "), "{line}");
         assert!(line.contains(" seq "), "{line}");
     }
+    assert_eq!(
+        lines.iter().filter(|l| l.starts_with("summary ")).count(),
+        PARTITIONS
+    );
 
     // Baseline churn, then churn under injected replication-stream faults:
     // a dropped stream, then a torn frame. Replicas must heal by

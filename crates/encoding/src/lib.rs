@@ -25,6 +25,7 @@ pub mod interval;
 pub mod registry;
 pub mod space;
 pub mod sparse;
+pub mod summary;
 
 pub use arena::MemberArena;
 pub use bitset::FixedBitSet;
@@ -33,3 +34,4 @@ pub use interval::IntervalTree;
 pub use registry::PredicateRegistry;
 pub use space::{EncodedSub, PredicateSpace};
 pub use sparse::SparseBits;
+pub use summary::SummarySpace;

@@ -1,0 +1,373 @@
+//! Coarse predicate-space summaries for router-level partition pruning.
+//!
+//! A-PCM prunes whole clusters of subscriptions with a shared compressed mask
+//! before testing members. This module lifts the same idea one level up, to
+//! the cluster tier: each backend maintains a small bitset that *covers* every
+//! subscription it holds, and the router skips backends whose summary cannot
+//! possibly cover an event window.
+//!
+//! # Bit layout (wire contract)
+//!
+//! The summary bit-space is derived purely from the [`Schema`], so the router
+//! and every backend agree on it without negotiation. Attributes are laid out
+//! in registration order; attribute `a` with domain cardinality `card` gets
+//! `B = min(card, 64)` *buckets*, each bucket covering an equal-width slice of
+//! the domain. Bit `base(a) + bucket(a, v)` means "some subscription on this
+//! backend can be satisfied by attribute `a` taking a value in `v`'s bucket".
+//!
+//! `bucket(a, v) = (v - min(a)) * B / card` — the same equal-width split for
+//! every party. This layout is pinned by golden tests below; changing it is a
+//! protocol break and requires a `SUMMARY` verb version bump.
+//!
+//! # Soundness
+//!
+//! Predicates are conjunctive and an absent attribute never satisfies a
+//! predicate (including `Ne`/`NotIn` — see `apcm-bexpr`'s semantics note).
+//! Therefore for any single predicate `p` of a subscription `s`, "the event's
+//! value for `p.attr` falls in a bucket that `p` can be satisfied in" is a
+//! *necessary* condition for `s` to match. Each subscription contributes one
+//! witness predicate's bucket cover (the smallest available) to the backend
+//! summary; an event whose bits miss the whole summary cannot match any
+//! subscription on that backend. False positives only cost fan-out; false
+//! negatives are impossible **for events whose values lie inside the schema
+//! domains** (the wire parser enforces this; direct library callers passing
+//! out-of-domain values get them clamped, which is only sound for validated
+//! input).
+
+use crate::FixedBitSet;
+use apcm_bexpr::{Event, Predicate, Schema, Subscription, Value};
+
+/// Upper bound on buckets per attribute; keeps the whole summary at
+/// `dims * 64` bits worst-case (20 words for the default 20-dim schema).
+pub const MAX_BUCKETS_PER_ATTR: u64 = 64;
+
+/// Per-attribute slot in the summary layout.
+#[derive(Debug, Clone, Copy)]
+struct AttrSlot {
+    base: u32,
+    buckets: u32,
+    min: Value,
+    cardinality: u64,
+}
+
+/// Schema-derived layout of the coarse summary bit-space, shared by the
+/// router and all backends. See the module docs for the exact bit contract.
+#[derive(Debug, Clone)]
+pub struct SummarySpace {
+    slots: Vec<AttrSlot>,
+    nbits: usize,
+}
+
+impl SummarySpace {
+    /// Builds the layout for `schema`. Deterministic: same schema, same bits.
+    pub fn new(schema: &Schema) -> Self {
+        let mut slots = Vec::with_capacity(schema.dims());
+        let mut base = 0u32;
+        for (_, info) in schema.iter() {
+            let domain = info.domain();
+            let cardinality = domain.cardinality();
+            let buckets = cardinality.min(MAX_BUCKETS_PER_ATTR) as u32;
+            slots.push(AttrSlot {
+                base,
+                buckets,
+                min: domain.min(),
+                cardinality,
+            });
+            base += buckets;
+        }
+        Self {
+            slots,
+            nbits: base as usize,
+        }
+    }
+
+    /// Total number of bits in the summary space.
+    #[inline]
+    pub fn nbits(&self) -> usize {
+        self.nbits
+    }
+
+    /// Bucket index of `v` within attribute slot `slot`, clamping
+    /// out-of-domain values to the nearest edge bucket.
+    #[inline]
+    fn bucket(slot: &AttrSlot, v: Value) -> u32 {
+        let off =
+            (v.clamp(slot.min, slot.min + (slot.cardinality - 1) as Value) - slot.min) as u128;
+        (off * slot.buckets as u128 / slot.cardinality as u128) as u32
+    }
+
+    /// Encodes an event as the set of `(attr, bucket)` bits its present
+    /// values occupy. Attributes outside the schema are ignored (the wire
+    /// parser never produces them).
+    pub fn event_bits(&self, event: &Event) -> FixedBitSet {
+        let mut bits = FixedBitSet::new(self.nbits);
+        for &(attr, value) in event.pairs() {
+            if let Some(slot) = self.slots.get(attr.index()) {
+                bits.insert((slot.base + Self::bucket(slot, value)) as usize);
+            }
+        }
+        bits
+    }
+
+    /// The bucket cover of one predicate: every bit whose bucket overlaps a
+    /// satisfying interval of the operator. Sorted and deduplicated. An empty
+    /// cover means the predicate is unsatisfiable within its domain.
+    pub fn predicate_cover(&self, pred: &Predicate) -> Vec<u32> {
+        let Some(slot) = self.slots.get(pred.attr.index()) else {
+            // Attribute outside the schema: no valid event carries it, so the
+            // predicate (and thus its subscription) can never match.
+            return Vec::new();
+        };
+        let domain = apcm_bexpr::Domain::new(slot.min, slot.min + (slot.cardinality - 1) as Value);
+        let mut cover = Vec::new();
+        for (lo, hi) in pred.op.satisfying_intervals(domain) {
+            let (b_lo, b_hi) = (Self::bucket(slot, lo), Self::bucket(slot, hi));
+            for b in b_lo..=b_hi {
+                if cover.last() != Some(&(slot.base + b)) {
+                    cover.push(slot.base + b);
+                }
+            }
+        }
+        cover
+    }
+
+    /// The witness cover of a subscription: the smallest single-predicate
+    /// cover among its conjuncts. Since every predicate must hold for the
+    /// subscription to match, any one predicate's cover is a sound necessary
+    /// condition; picking the smallest maximizes pruning power.
+    pub fn sub_cover(&self, sub: &Subscription) -> Vec<u32> {
+        sub.predicates()
+            .iter()
+            .map(|p| self.predicate_cover(p))
+            .min_by_key(Vec::len)
+            .unwrap_or_default()
+    }
+
+    /// Whether a summary bitset can cover an event window: true iff `summary`
+    /// intersects the bits of at least one event. A `false` return proves no
+    /// subscription behind `summary` matches any event in the window.
+    pub fn window_may_match(&self, summary: &FixedBitSet, event_bits: &[FixedBitSet]) -> bool {
+        event_bits.iter().any(|ev| summary.intersects(ev))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apcm_bexpr::{AttrId, Domain, Op, SubId};
+
+    fn ev(pairs: &[(u32, Value)]) -> Event {
+        Event::new(pairs.iter().map(|&(a, v)| (AttrId(a), v)).collect()).unwrap()
+    }
+
+    fn sub(id: u32, preds: Vec<Predicate>) -> Subscription {
+        Subscription::new(SubId(id), preds).unwrap()
+    }
+
+    /// Golden pin of the bit layout: this is a wire contract between router
+    /// and backends. If this test changes, the SUMMARY verb needs versioning.
+    #[test]
+    fn layout_golden_pins() {
+        // Small cardinality (< 64): one bucket per value, bases accumulate.
+        let s = Schema::uniform(3, 10);
+        let space = SummarySpace::new(&s);
+        assert_eq!(space.nbits(), 30);
+        let bits = space.event_bits(&ev(&[(0, 0), (1, 9), (2, 5)]));
+        assert_eq!(bits.ones().collect::<Vec<_>>(), vec![0, 19, 25]);
+
+        // Large cardinality (1000): capped at 64 equal-width buckets.
+        let s = Schema::uniform(2, 1000);
+        let space = SummarySpace::new(&s);
+        assert_eq!(space.nbits(), 128);
+        let bits = space.event_bits(&ev(&[(0, 0), (1, 999)]));
+        assert_eq!(bits.ones().collect::<Vec<_>>(), vec![0, 64 + 63]);
+        // Mid-domain value lands in the proportional bucket.
+        let bits = space.event_bits(&ev(&[(0, 500)]));
+        assert_eq!(bits.ones().collect::<Vec<_>>(), vec![32]);
+    }
+
+    #[test]
+    fn non_zero_domain_min() {
+        let mut s = Schema::new();
+        s.add_attr("x", Domain::new(100, 109)).unwrap();
+        let space = SummarySpace::new(&s);
+        assert_eq!(space.nbits(), 10);
+        let bits = space.event_bits(&ev(&[(0, 103)]));
+        assert_eq!(bits.ones().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn predicate_cover_shapes() {
+        let s = Schema::uniform(1, 10);
+        let space = SummarySpace::new(&s);
+        let cov = |op: Op| space.predicate_cover(&Predicate::new(AttrId(0), op));
+        assert_eq!(cov(Op::Eq(3)), vec![3]);
+        assert_eq!(cov(Op::Between(2, 4)), vec![2, 3, 4]);
+        assert_eq!(cov(Op::Lt(2)), vec![0, 1]);
+        // Ne excludes exactly the complement bucket at full resolution.
+        assert_eq!(cov(Op::Ne(0)), (1..10).collect::<Vec<_>>());
+        // Disjoint In runs stay disjoint.
+        assert_eq!(cov(Op::in_set(vec![1, 2, 7]).unwrap()), vec![1, 2, 7]);
+        // Unsatisfiable within the domain: empty cover.
+        assert_eq!(cov(Op::Lt(0)), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn sub_cover_picks_smallest_witness() {
+        let s = Schema::uniform(2, 10);
+        let space = SummarySpace::new(&s);
+        let sub = sub(
+            1,
+            vec![
+                Predicate::new(AttrId(0), Op::Ge(0)), // covers all 10 buckets
+                Predicate::new(AttrId(1), Op::Eq(7)), // covers 1 bucket
+            ],
+        );
+        assert_eq!(space.sub_cover(&sub), vec![10 + 7]);
+    }
+
+    /// Core soundness property on a deterministic sweep: if a subscription
+    /// matches an event, the subscription's cover intersects the event bits.
+    #[test]
+    fn cover_is_necessary_condition_exhaustive() {
+        let s = Schema::uniform(2, 25);
+        let space = SummarySpace::new(&s);
+        let subs = vec![
+            sub(1, vec![Predicate::new(AttrId(0), Op::Between(3, 17))]),
+            sub(2, vec![Predicate::new(AttrId(1), Op::Ne(12))]),
+            sub(
+                3,
+                vec![
+                    Predicate::new(AttrId(0), Op::not_in_set(vec![4, 9]).unwrap()),
+                    Predicate::new(AttrId(1), Op::in_set(vec![0, 24]).unwrap()),
+                ],
+            ),
+            sub(
+                4,
+                vec![
+                    Predicate::new(AttrId(0), Op::Gt(20)),
+                    Predicate::new(AttrId(1), Op::Le(2)),
+                ],
+            ),
+        ];
+        for a in 0..25 {
+            for b in 0..25 {
+                let event = ev(&[(0, a), (1, b)]);
+                let ebits = space.event_bits(&event);
+                for sc in &subs {
+                    let cover = FixedBitSet::from_indices(
+                        space.nbits(),
+                        space.sub_cover(sc).iter().map(|&b| b as usize),
+                    );
+                    if sc.matches(&event) {
+                        assert!(
+                            cover.intersects(&ebits),
+                            "false negative: sub {:?} matches ({a},{b}) but cover misses",
+                            sc.id()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_may_match_semantics() {
+        let s = Schema::uniform(1, 10);
+        let space = SummarySpace::new(&s);
+        let summary = FixedBitSet::from_indices(space.nbits(), [3usize, 4]);
+        let hit = space.event_bits(&ev(&[(0, 4)]));
+        let miss = space.event_bits(&ev(&[(0, 8)]));
+        assert!(space.window_may_match(&summary, &[miss.clone(), hit]));
+        assert!(!space.window_may_match(&summary, &[miss]));
+        assert!(!space.window_may_match(&summary, &[]));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use apcm_bexpr::{AttrId, Op, SubId};
+    use proptest::prelude::*;
+
+    const DIMS: usize = 4;
+    const CARD: i64 = 150; // > 64 so bucketing is genuinely lossy
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        let v = 0i64..CARD;
+        prop_oneof![
+            v.clone().prop_map(Op::Eq),
+            v.clone().prop_map(Op::Ne),
+            v.clone().prop_map(Op::Lt),
+            v.clone().prop_map(Op::Le),
+            v.clone().prop_map(Op::Gt),
+            v.clone().prop_map(Op::Ge),
+            (v.clone(), 0i64..40i64).prop_map(|(lo, w)| Op::Between(lo, (lo + w).min(CARD - 1))),
+            proptest::collection::vec(v.clone(), 1..6)
+                .prop_map(|vs| Op::in_set(vs).expect("non-empty")),
+            proptest::collection::vec(v, 1..6)
+                .prop_map(|vs| Op::not_in_set(vs).expect("non-empty")),
+        ]
+    }
+
+    fn arb_sub(id: u32) -> impl Strategy<Value = Subscription> {
+        proptest::collection::vec((0u32..DIMS as u32, arb_op()), 1..4).prop_map(move |preds| {
+            Subscription::new(
+                SubId(id),
+                preds
+                    .into_iter()
+                    .map(|(a, op)| Predicate::new(AttrId(a), op))
+                    .collect(),
+            )
+            .expect("non-empty")
+        })
+    }
+
+    fn arb_event() -> impl Strategy<Value = Event> {
+        proptest::collection::vec((0u32..DIMS as u32, 0i64..CARD), 1..DIMS + 1).prop_map(|pairs| {
+            // Deduplicate attributes, keeping the first value for each.
+            let mut seen = std::collections::BTreeMap::new();
+            for (a, v) in pairs {
+                seen.entry(a).or_insert(v);
+            }
+            Event::new(seen.into_iter().map(|(a, v)| (AttrId(a), v)).collect())
+                .expect("valid event")
+        })
+    }
+
+    proptest! {
+        /// The witness cover never produces a false negative: whenever the
+        /// subscription matches the event, the cover intersects the event's
+        /// summary bits.
+        #[test]
+        fn sub_cover_sound(sub in arb_sub(7), event in arb_event()) {
+            let schema = Schema::uniform(DIMS, CARD as u64);
+            let space = SummarySpace::new(&schema);
+            let ebits = space.event_bits(&event);
+            let cover = FixedBitSet::from_indices(
+                space.nbits(),
+                space.sub_cover(&sub).iter().map(|&b| b as usize),
+            );
+            if sub.matches(&event) {
+                prop_assert!(cover.intersects(&ebits));
+            }
+        }
+
+        /// Every predicate's full cover contains the bucket of every value
+        /// that satisfies it (per-predicate necessary condition).
+        #[test]
+        fn predicate_cover_contains_satisfying_buckets(op in arb_op(), v in 0i64..CARD) {
+            let schema = Schema::uniform(DIMS, CARD as u64);
+            let space = SummarySpace::new(&schema);
+            let pred = Predicate::new(AttrId(0), op);
+            if pred.matches(Some(v)) {
+                let cover = space.predicate_cover(&pred);
+                let ebits = space.event_bits(
+                    &Event::new(vec![(AttrId(0), v)]).unwrap(),
+                );
+                let bit = ebits.ones().next().unwrap() as u32;
+                prop_assert!(cover.contains(&bit));
+            }
+        }
+    }
+}

@@ -604,6 +604,11 @@ impl Server {
             &self.engine.per_shard_len(),
             depth,
             self.engine.kernel_counters(),
+            (
+                self.engine.summary_epoch(),
+                self.engine.summary_bits_set() as u64,
+                self.engine.summary_rebuilds(),
+            ),
         );
         out.push_str(&format!("engine {}\n", self.engine.engine_name()));
         out.push_str(&format!("shards {}\n", self.engine.shard_count()));
@@ -1642,6 +1647,11 @@ fn read_loop(
                     &ctx.engine.per_shard_len(),
                     ctx.ingest_depth.len(),
                     ctx.engine.kernel_counters(),
+                    (
+                        ctx.engine.summary_epoch(),
+                        ctx.engine.summary_bits_set() as u64,
+                        ctx.engine.summary_rebuilds(),
+                    ),
                 );
                 // One queued string so async RESULT/EVENT lines cannot
                 // interleave inside the multi-line response.
@@ -1664,6 +1674,14 @@ fn read_loop(
                 // A standalone server is its own (only) partition; the
                 // multi-line backend report is the cluster router's.
                 reply("+OK topology standalone".into());
+            }
+            Request::Summary { epoch } => {
+                // Coarse predicate-space summary fetch (router pruning).
+                // `unchanged` elides the bitset when the caller is current.
+                match ctx.engine.summary_if_newer(epoch) {
+                    None => reply(protocol::render_summary_unchanged(epoch)),
+                    Some((epoch, bits)) => reply(protocol::render_summary_reply(epoch, &bits)),
+                }
             }
             Request::Replicate { from_seq, v2, ring } => match &ctx.persist {
                 Some(p) => {

@@ -13,6 +13,11 @@
 //! SNAPSHOT             force a durable snapshot + log rotation now
 //! TOPOLOGY             cluster membership report (routers; servers answer
 //!                      `+OK topology standalone`)
+//! SUMMARY <epoch>      coarse predicate-space summary of this backend's
+//!                      subscriptions (see `apcm-encoding`'s summary
+//!                      module); answers `+OK summary unchanged <epoch>`
+//!                      when the caller's epoch is current, else
+//!                      `+OK summary <epoch> <nbits> <hex-words>`
 //! PING                 liveness probe
 //! QUIT                 close this connection
 //! ```
@@ -77,6 +82,7 @@
 //! a claim and transfers ownership (`+OK claimed <id>`).
 
 use apcm_bexpr::{parser, BexprError, Event, Schema, SubId, Subscription};
+use apcm_encoding::FixedBitSet;
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,6 +110,11 @@ pub enum Request {
     Snapshot,
     /// Cluster membership/health report (meaningful on a router).
     Topology,
+    /// Coarse predicate-space summary fetch; `epoch` is the caller's cached
+    /// epoch (0 for "none"), letting the backend elide an unchanged bitset.
+    Summary {
+        epoch: u64,
+    },
     /// Follower handshake: stream churn records after this sequence.
     /// `v2` is set when the follower appended a `v2` token, advertising
     /// that it can decode a compressed colstore bootstrap. `ring` scopes
@@ -230,6 +241,12 @@ pub fn parse_request(schema: &Schema, line: &str) -> Result<Option<Request>, Str
         "STATS" => Request::Stats,
         "SNAPSHOT" => Request::Snapshot,
         "TOPOLOGY" => Request::Topology,
+        "SUMMARY" => {
+            let epoch: u64 = rest
+                .parse()
+                .map_err(|_| format!("bad summary epoch `{rest}`"))?;
+            Request::Summary { epoch }
+        }
         "REPLICATE" => {
             let mut parts = rest.split_whitespace();
             let from_seq: u64 = parts
@@ -615,6 +632,83 @@ pub fn parse_role_report(line: &str) -> Result<RoleReport, String> {
             })
         }
         other => Err(format!("unknown role kind {other:?}")),
+    }
+}
+
+/// A backend's reply to `SUMMARY <epoch>`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SummaryReply {
+    /// The caller's cached epoch is current; no bitset resent.
+    Unchanged { epoch: u64 },
+    /// A fresh `(epoch, bits)` summary snapshot.
+    Summary { epoch: u64, bits: FixedBitSet },
+}
+
+/// Renders the `+OK summary unchanged <epoch>` reply.
+pub fn render_summary_unchanged(epoch: u64) -> String {
+    format!("+OK summary unchanged {epoch}")
+}
+
+/// Renders the `+OK summary <epoch> <nbits> <hex-words>` reply. The bitset
+/// travels as big-endian-ordered hex words (lowest word first), which keeps
+/// the whole reply on one line — 20 words for the default 20-dim schema.
+pub fn render_summary_reply(epoch: u64, bits: &FixedBitSet) -> String {
+    let mut out = format!("+OK summary {epoch} {}", bits.nbits());
+    out.push(' ');
+    for (i, word) in bits.words().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{word:x}"));
+    }
+    out
+}
+
+/// Parses either form of the summary reply (with or without the leading
+/// `+`, as `BrokerClient::expect_ok` strips it).
+pub fn parse_summary_reply(line: &str) -> Result<SummaryReply, String> {
+    let line = line.strip_prefix('+').unwrap_or(line);
+    let rest = line
+        .strip_prefix("OK summary ")
+        .ok_or_else(|| format!("not a summary reply: `{line}`"))?;
+    let mut parts = rest.split_whitespace();
+    match parts.next() {
+        Some("unchanged") => {
+            let epoch: u64 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or("summary unchanged reply missing epoch")?;
+            Ok(SummaryReply::Unchanged { epoch })
+        }
+        Some(epoch_text) => {
+            let epoch: u64 = epoch_text
+                .parse()
+                .map_err(|_| format!("bad summary epoch `{epoch_text}`"))?;
+            let nbits: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or("summary reply missing nbits")?;
+            let mut bits = FixedBitSet::new(nbits);
+            let words_text = parts.next().ok_or("summary reply missing words")?;
+            let words: Vec<u64> = words_text
+                .split(',')
+                .map(|t| u64::from_str_radix(t, 16))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| format!("bad summary word: {e}"))?;
+            if words.len() != bits.words().len() {
+                return Err(format!(
+                    "summary reply has {} words, expected {} for {nbits} bits",
+                    words.len(),
+                    bits.words().len()
+                ));
+            }
+            bits.words_mut().copy_from_slice(&words);
+            if parts.next().is_some() {
+                return Err("trailing tokens in summary reply".into());
+            }
+            Ok(SummaryReply::Summary { epoch, bits })
+        }
+        None => Err("empty summary reply".into()),
     }
 }
 
@@ -1017,6 +1111,63 @@ mod tests {
         assert!(is_retryable_churn_refusal(&line));
         assert!(is_retryable_churn_refusal(READ_ONLY_REPLICA_ERR));
         assert!(!is_retryable_churn_refusal("-ERR duplicate 7"));
+    }
+
+    #[test]
+    fn summary_verb_parses() {
+        let schema = schema();
+        assert_eq!(
+            parse_request(&schema, "SUMMARY 0").unwrap().unwrap(),
+            Request::Summary { epoch: 0 }
+        );
+        assert_eq!(
+            parse_request(&schema, "summary 42").unwrap().unwrap(),
+            Request::Summary { epoch: 42 }
+        );
+        assert!(parse_request(&schema, "SUMMARY").is_err());
+        assert!(parse_request(&schema, "SUMMARY x").is_err());
+    }
+
+    #[test]
+    fn summary_replies_round_trip() {
+        let unchanged = render_summary_unchanged(9);
+        assert_eq!(unchanged, "+OK summary unchanged 9");
+        assert_eq!(
+            parse_summary_reply(&unchanged).unwrap(),
+            SummaryReply::Unchanged { epoch: 9 }
+        );
+
+        let bits = FixedBitSet::from_indices(130, [0usize, 63, 64, 129]);
+        let line = render_summary_reply(3, &bits);
+        match parse_summary_reply(&line).unwrap() {
+            SummaryReply::Summary {
+                epoch,
+                bits: parsed,
+            } => {
+                assert_eq!(epoch, 3);
+                assert_eq!(parsed.nbits(), 130);
+                assert_eq!(
+                    parsed.ones().collect::<Vec<_>>(),
+                    bits.ones().collect::<Vec<_>>()
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // Empty bitset round-trips too.
+        let empty = FixedBitSet::new(64);
+        let line = render_summary_reply(1, &empty);
+        assert_eq!(
+            parse_summary_reply(&line).unwrap(),
+            SummaryReply::Summary {
+                epoch: 1,
+                bits: empty
+            }
+        );
+        // The `+` is optional.
+        assert!(parse_summary_reply("OK summary unchanged 2").is_ok());
+        assert!(parse_summary_reply("+OK summary 1 64").is_err());
+        assert!(parse_summary_reply("+OK summary 1 128 0").is_err());
+        assert!(parse_summary_reply("+OK topology standalone").is_err());
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! Hash-partitioned subscription space: N shards, each owning a dynamic
 //! engine, with window matching fanned out across shards and merged.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use apcm_bexpr::{BexprError, Event, Schema, SubId, Subscription};
 use apcm_core::MaintenanceReport;
+use apcm_encoding::{FixedBitSet, SummarySpace};
+use parking_lot::Mutex;
 
 use crate::config::ServerConfig;
 use crate::engine::{build_engine, ShardEngine};
@@ -22,14 +27,78 @@ pub fn route_partition(id: SubId, n: usize) -> usize {
     (h % n as u64) as usize
 }
 
+/// Exact multiset of summary bits contributed by the live subscriptions:
+/// per-bit witness counts, the derived bitset (count > 0), and the stored
+/// cover of every live id so `unsubscribe` can decrement without re-deriving
+/// predicates. Guarded by one mutex held across the owning engine mutation,
+/// so the summary is never observably out of sync with the catalog.
+struct SummaryState {
+    epoch: u64,
+    counts: Vec<u32>,
+    bits: FixedBitSet,
+    covers: HashMap<SubId, Box<[u32]>>,
+}
+
+impl SummaryState {
+    /// Registers `sub`'s witness cover; returns true if the set of populated
+    /// bits changed (an epoch-visible change).
+    fn add(&mut self, space: &SummarySpace, sub: &Subscription) -> bool {
+        let cover = space.sub_cover(sub).into_boxed_slice();
+        let mut changed = false;
+        for &b in cover.iter() {
+            let c = &mut self.counts[b as usize];
+            if *c == 0 {
+                self.bits.insert(b as usize);
+                changed = true;
+            }
+            *c += 1;
+        }
+        if let Some(old) = self.covers.insert(sub.id(), cover) {
+            changed |= self.drop_cover(&old);
+        }
+        changed
+    }
+
+    /// Removes `id`'s stored cover; returns true if populated bits changed.
+    fn remove(&mut self, id: SubId) -> bool {
+        match self.covers.remove(&id) {
+            Some(cover) => self.drop_cover(&cover),
+            None => false,
+        }
+    }
+
+    fn drop_cover(&mut self, cover: &[u32]) -> bool {
+        let mut changed = false;
+        for &b in cover {
+            let c = &mut self.counts[b as usize];
+            *c -= 1;
+            if *c == 0 {
+                self.bits.remove(b as usize);
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
 /// A fleet of per-shard engines behind a single dynamic-matching facade.
 ///
 /// Subscriptions are routed to a shard by a Fibonacci hash of their id, so
 /// routing is stable, stateless, and balanced for both dense and sparse id
 /// spaces. Every shard sees every event window; a subscription lives in
 /// exactly one shard, so merged rows need no deduplication.
+///
+/// The engine also maintains the backend's coarse predicate-space summary
+/// (see [`SummarySpace`]): every churn path — client `SUB`/`UNSUB`, WAL
+/// recovery, and replication bootstrap — flows through [`Self::subscribe`],
+/// [`Self::unsubscribe`], or [`Self::bulk_restore`], so the summary is kept
+/// exact incrementally and its epoch only advances when the populated bit
+/// set actually changes.
 pub struct ShardedEngine {
     shards: Vec<Box<dyn ShardEngine>>,
+    space: SummarySpace,
+    summary: Mutex<SummaryState>,
+    summary_rebuilds: AtomicU64,
 }
 
 impl ShardedEngine {
@@ -37,7 +106,19 @@ impl ShardedEngine {
         let shards = (0..config.shards)
             .map(|_| build_engine(schema, config))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { shards })
+        let space = SummarySpace::new(schema);
+        let nbits = space.nbits();
+        Ok(Self {
+            shards,
+            space,
+            summary: Mutex::new(SummaryState {
+                epoch: 1,
+                counts: vec![0; nbits],
+                bits: FixedBitSet::new(nbits),
+                covers: HashMap::new(),
+            }),
+            summary_rebuilds: AtomicU64::new(0),
+        })
     }
 
     pub fn shard_count(&self) -> usize {
@@ -55,12 +136,22 @@ impl ShardedEngine {
 
     /// Routes to the owning shard. `Ok(false)` if the id is already live.
     pub fn subscribe(&self, sub: &Subscription) -> Result<bool, BexprError> {
-        self.shards[self.shard_of(sub.id())].subscribe(sub)
+        let mut summary = self.summary.lock();
+        let fresh = self.shards[self.shard_of(sub.id())].subscribe(sub)?;
+        if fresh && summary.add(&self.space, sub) {
+            summary.epoch += 1;
+        }
+        Ok(fresh)
     }
 
     /// Routes to the owning shard; `false` if the id was unknown.
     pub fn unsubscribe(&self, id: SubId) -> bool {
-        self.shards[self.shard_of(id)].unsubscribe(id)
+        let mut summary = self.summary.lock();
+        let removed = self.shards[self.shard_of(id)].unsubscribe(id);
+        if removed && summary.remove(id) {
+            summary.epoch += 1;
+        }
+        removed
     }
 
     /// Loads a recovered subscription set: groups by owning shard, then
@@ -72,6 +163,7 @@ impl ShardedEngine {
         if subs.is_empty() {
             return Ok(0);
         }
+        let mut summary = self.summary.lock();
         let mut groups: Vec<Vec<&Subscription>> = vec![Vec::new(); self.shards.len()];
         for sub in subs {
             groups[self.shard_of(sub.id())].push(sub);
@@ -95,6 +187,23 @@ impl ShardedEngine {
             }
             Ok::<usize, BexprError>(added)
         })?;
+        // The covers map mirrors the catalog exactly (both mutate under the
+        // summary lock), so "absent from the map" is "fresh in the engine".
+        let mut changed = false;
+        let mut fresh = false;
+        for sub in subs {
+            if !summary.covers.contains_key(&sub.id()) {
+                fresh = true;
+                changed |= summary.add(&self.space, sub);
+            }
+        }
+        if changed {
+            summary.epoch += 1;
+        }
+        if fresh {
+            self.summary_rebuilds.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(summary);
         self.maintain();
         Ok(added)
     }
@@ -165,6 +274,40 @@ impl ShardedEngine {
     /// Live subscription count per shard (for `STATS`).
     pub fn per_shard_len(&self) -> Vec<usize> {
         self.shards.iter().map(|s| s.len()).collect()
+    }
+
+    /// The schema-derived summary bit-space this backend encodes into.
+    pub fn summary_space(&self) -> &SummarySpace {
+        &self.space
+    }
+
+    /// Current summary epoch. Starts at 1 and advances only when the set of
+    /// populated summary bits changes (pure count changes are invisible).
+    pub fn summary_epoch(&self) -> u64 {
+        self.summary.lock().epoch
+    }
+
+    /// Consistent `(epoch, bits)` snapshot of the backend summary.
+    pub fn summary_snapshot(&self) -> (u64, FixedBitSet) {
+        let state = self.summary.lock();
+        (state.epoch, state.bits.clone())
+    }
+
+    /// Snapshot for the `SUMMARY <epoch>` verb: `None` when the caller's
+    /// cached epoch is already current (nothing to resend).
+    pub fn summary_if_newer(&self, than: u64) -> Option<(u64, FixedBitSet)> {
+        let state = self.summary.lock();
+        (state.epoch != than).then(|| (state.epoch, state.bits.clone()))
+    }
+
+    /// Number of populated summary bits (for `STATS`).
+    pub fn summary_bits_set(&self) -> usize {
+        self.summary.lock().bits.count_ones()
+    }
+
+    /// How many bulk restores recomputed summary covers (for `STATS`).
+    pub fn summary_rebuilds(&self) -> u64 {
+        self.summary_rebuilds.load(Ordering::Relaxed)
     }
 
     /// Lifetime kernel counters `(probes, prunes, hits)` summed across
@@ -300,6 +443,76 @@ mod tests {
                 restored.engine_name()
             );
         }
+    }
+
+    #[test]
+    fn summary_tracks_churn_exactly() {
+        let (schema, engine) = setup(3, EngineChoice::Scan);
+        let (epoch0, bits0) = engine.summary_snapshot();
+        assert_eq!(epoch0, 1);
+        assert!(bits0.is_empty());
+
+        // Two subs with the same witness bucket: one epoch bump on the
+        // first, none on the second (bit membership unchanged).
+        let s1 = parser::parse_subscription_with_id(&schema, SubId(1), "a0 = 5").unwrap();
+        let s2 = parser::parse_subscription_with_id(&schema, SubId(2), "a0 = 5").unwrap();
+        assert!(engine.subscribe(&s1).unwrap());
+        let (e1, b1) = engine.summary_snapshot();
+        assert_eq!(e1, 2);
+        assert_eq!(b1.count_ones(), 1);
+        assert!(engine.subscribe(&s2).unwrap());
+        assert_eq!(engine.summary_epoch(), 2, "same bucket: no epoch bump");
+
+        // Duplicate subscribe is a no-op for the summary too.
+        assert!(!engine.subscribe(&s1).unwrap());
+        assert_eq!(engine.summary_epoch(), 2);
+
+        // Removing one holder keeps the bit; removing the last clears it.
+        assert!(engine.unsubscribe(SubId(1)));
+        assert_eq!(engine.summary_epoch(), 2);
+        assert_eq!(engine.summary_bits_set(), 1);
+        assert!(engine.unsubscribe(SubId(2)));
+        let (e2, b2) = engine.summary_snapshot();
+        assert_eq!(e2, 3);
+        assert!(b2.is_empty());
+
+        // Unknown id: no change.
+        assert!(!engine.unsubscribe(SubId(99)));
+        assert_eq!(engine.summary_epoch(), 3);
+    }
+
+    #[test]
+    fn summary_if_newer_elides_unchanged() {
+        let (schema, engine) = setup(2, EngineChoice::Apcm);
+        let s = parser::parse_subscription_with_id(&schema, SubId(7), "a1 >= 20").unwrap();
+        engine.subscribe(&s).unwrap();
+        let (epoch, bits) = engine.summary_snapshot();
+        assert!(engine.summary_if_newer(epoch).is_none());
+        let (e2, b2) = engine.summary_if_newer(epoch - 1).unwrap();
+        assert_eq!(e2, epoch);
+        assert_eq!(
+            b2.ones().collect::<Vec<_>>(),
+            bits.ones().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bulk_restore_rebuilds_summary() {
+        let (schema, engine) = setup(3, EngineChoice::Scan);
+        let subs: Vec<Subscription> = (0..20u32)
+            .map(|id| {
+                let text = format!("a0 = {}", id % 4);
+                parser::parse_subscription_with_id(&schema, SubId(id), &text).unwrap()
+            })
+            .collect();
+        assert_eq!(engine.bulk_restore(&subs).unwrap(), 20);
+        assert_eq!(engine.summary_rebuilds(), 1);
+        assert_eq!(engine.summary_bits_set(), 4);
+        let epoch = engine.summary_epoch();
+        // Duplicate restore: no fresh ids, no rebuild, no epoch movement.
+        assert_eq!(engine.bulk_restore(&subs).unwrap(), 0);
+        assert_eq!(engine.summary_rebuilds(), 1);
+        assert_eq!(engine.summary_epoch(), epoch);
     }
 
     #[test]

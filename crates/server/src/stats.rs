@@ -193,11 +193,14 @@ impl ServerStats {
     /// Transport-independent so the CLI can reuse it on shutdown.
     /// `kernel_counters` is the engine's lifetime `(probes, prunes, hits)`
     /// when it tracks them (see [`crate::ShardedEngine::kernel_counters`]).
+    /// `summary` is the engine's `(epoch, bits_set, rebuilds)` triple for
+    /// the coarse predicate-space summary served to cluster routers.
     pub fn render(
         &self,
         per_shard_subs: &[usize],
         ingest_depth: usize,
         kernel_counters: Option<(u64, u64, u64)>,
+        summary: (u64, u64, u64),
     ) -> String {
         let mut out = String::new();
         let mut push = |key: &str, value: u64| {
@@ -277,6 +280,10 @@ impl ServerStats {
         push("maintenance_rebuilt", Self::get(&self.maintenance_rebuilt));
         push("maintenance_dropped", Self::get(&self.maintenance_dropped));
         push("ingest_queue_depth", ingest_depth as u64);
+        let (summary_epoch, summary_bits, summary_rebuilds) = summary;
+        push("summary_epoch", summary_epoch);
+        push("summary_bits_set", summary_bits);
+        push("summary_rebuilds", summary_rebuilds);
         if let Some((probes, prunes, hits)) = kernel_counters {
             push("kernel_probes", probes);
             push("kernel_prunes", prunes);
@@ -329,7 +336,7 @@ mod tests {
     fn render_includes_shards_and_counters() {
         let stats = ServerStats::default();
         ServerStats::add(&stats.events_in, 7);
-        let text = stats.render(&[3, 4], 2, None);
+        let text = stats.render(&[3, 4], 2, None, (1, 0, 0));
         assert!(text.contains("events_in 7\n"));
         assert!(text.contains("shard_0_subs 3\n"));
         assert!(text.contains("shard_1_subs 4\n"));
@@ -339,9 +346,13 @@ mod tests {
         assert!(text.contains("idle_reaped 0\n"));
         assert!(text.contains("oversized_lines 0\n"));
         assert!(text.contains("subs_reclaimed 0\n"));
+        assert!(text.contains("summary_epoch 1\n"));
         assert!(!text.contains("kernel_probes"));
 
-        let text = stats.render(&[3, 4], 2, Some((10, 4, 6)));
+        let text = stats.render(&[3, 4], 2, Some((10, 4, 6)), (4, 12, 1));
+        assert!(text.contains("summary_epoch 4\n"));
+        assert!(text.contains("summary_bits_set 12\n"));
+        assert!(text.contains("summary_rebuilds 1\n"));
         assert!(text.contains("kernel_probes 10\n"));
         assert!(text.contains("kernel_prunes 4\n"));
         assert!(text.contains("kernel_hits 6\n"));

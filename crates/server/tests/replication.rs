@@ -250,10 +250,15 @@ fn follower_ahead_of_primary_rebootstraps() {
         &wl.schema,
         replica_config(&stale_dir, &primary.local_addr().to_string()),
     );
+    // The bootstrap counter lives in the wait condition, not a trailing
+    // assert: `current_seq` blocks on the same lock `bootstrap_replace`
+    // holds, so a poll can wake the instant the swap is visible and race
+    // ahead of the replication thread's counter increment.
     wait_until("re-bootstrap", Duration::from_secs(10), || {
-        replica.current_seq() == primary.current_seq() && replica.engine().len() == 12
+        replica.current_seq() == primary.current_seq()
+            && replica.engine().len() == 12
+            && ServerStats::get(&replica.stats().repl_bootstraps) == 1
     });
-    assert_eq!(ServerStats::get(&replica.stats().repl_bootstraps), 1);
 
     // And it now tracks the primary's timeline.
     for sub in &wl.subs[12..20] {
