@@ -190,6 +190,18 @@ struct SummaryCache {
     bits: FixedBitSet,
 }
 
+/// The partition's summary cell: the cache plus a generation counter
+/// bumped on every invalidation. A refresh records the generation before
+/// talking to the backend and its store is rejected if the generation
+/// moved in between — otherwise a sweep that fetched the bits just before
+/// a routed `SUB` grew them would re-install the pre-`SUB` subset after
+/// the ack path invalidated the cache, and scatter would prune a backend
+/// that provably holds a matching subscription.
+struct SummarySlot {
+    generation: u64,
+    cache: Option<SummaryCache>,
+}
+
 /// One slot of the routing table: the nodes replicating one slice of the
 /// subscription space, and which of them churn and scatter target now.
 pub struct Partition {
@@ -198,10 +210,10 @@ pub struct Partition {
     /// Index into `nodes` of the node currently treated as primary.
     active: AtomicUsize,
     /// Cached coarse summary of the backend's subscriptions (see
-    /// `apcm_encoding::SummarySpace`). `None` — or a tag naming a node
-    /// other than the current active one — means the scatter path must
-    /// fall back to full fan-out for this partition.
-    summary: Mutex<Option<SummaryCache>>,
+    /// `apcm_encoding::SummarySpace`). An empty cache — or a tag naming a
+    /// node other than the current active one — means the scatter path
+    /// must fall back to full fan-out for this partition.
+    summary: Mutex<SummarySlot>,
     /// Highest `ROLE`-reported primary sequence. One of the two lower
     /// bounds combined by [`Self::last_primary_seq`].
     probed_seq: AtomicU64,
@@ -225,7 +237,10 @@ impl Partition {
             index,
             nodes,
             active: AtomicUsize::new(0),
-            summary: Mutex::new(None),
+            summary: Mutex::new(SummarySlot {
+                generation: 0,
+                cache: None,
+            }),
             probed_seq: AtomicU64::new(0),
             acked_records: AtomicU64::new(0),
             promote_lock: Mutex::new(()),
@@ -276,26 +291,37 @@ impl Partition {
     /// different node (pre-failover) proves nothing about the current
     /// one's subscriptions. `None` forces full fan-out.
     pub fn summary_for_scatter(&self) -> Option<FixedBitSet> {
-        let cache = self.summary.lock();
-        cache
+        let slot = self.summary.lock();
+        slot.cache
             .as_ref()
             .filter(|c| c.node == self.active_index())
             .map(|c| c.bits.clone())
     }
 
-    /// The cached epoch if it came from `node` — what a refresh sends as
-    /// its `SUMMARY <epoch>` argument so an unchanged backend can answer
-    /// without shipping the bitset again.
-    fn summary_epoch_for(&self, node: usize) -> Option<u64> {
-        self.summary
-            .lock()
+    /// `(generation, cached epoch from node)` observed atomically — what a
+    /// refresh records before talking to the backend. The epoch goes out
+    /// as the `SUMMARY <epoch>` argument so an unchanged backend can
+    /// answer without shipping the bitset again; the generation gates the
+    /// later [`Self::store_summary`].
+    fn summary_refresh_token(&self, node: usize) -> (u64, Option<u64>) {
+        let slot = self.summary.lock();
+        let epoch = slot
+            .cache
             .as_ref()
             .filter(|c| c.node == node)
-            .map(|c| c.epoch)
+            .map(|c| c.epoch);
+        (slot.generation, epoch)
     }
 
-    fn store_summary(&self, node: usize, epoch: u64, bits: FixedBitSet) {
-        *self.summary.lock() = Some(SummaryCache { node, epoch, bits });
+    /// Installs a fetched summary — unless an invalidation arrived after
+    /// the refresh captured `generation`, in which case the fetched bits
+    /// may predate whatever grew the backend and are dropped, leaving
+    /// full fan-out until the next sweep.
+    fn store_summary(&self, generation: u64, node: usize, epoch: u64, bits: FixedBitSet) {
+        let mut slot = self.summary.lock();
+        if slot.generation == generation {
+            slot.cache = Some(SummaryCache { node, epoch, bits });
+        }
     }
 
     /// Drops the cached summary; scatter falls back to full fan-out for
@@ -303,15 +329,19 @@ impl Partition {
     /// the backend's bits may have *grown* past the cache — a routed
     /// fresh `SUB`, a reconnect (restarts reset the epoch counter), a
     /// completed reshard. Shrink-only staleness (`UNSUB`) is left alone:
-    /// a stale superset can only cost fan-out, never a match.
+    /// a stale superset can only cost fan-out, never a match. Bumping the
+    /// generation fences out any refresh already in flight.
     pub fn invalidate_summary(&self) {
-        *self.summary.lock() = None;
+        let mut slot = self.summary.lock();
+        slot.generation += 1;
+        slot.cache = None;
     }
 
     /// `(epoch, populated buckets)` of the cached summary, for `TOPOLOGY`.
     pub fn summary_status(&self) -> Option<(u64, usize)> {
         self.summary
             .lock()
+            .cache
             .as_ref()
             .map(|c| (c.epoch, c.bits.count_ones()))
     }
@@ -581,7 +611,7 @@ impl Membership {
     fn refresh_summary(&self, partition: &Partition, stats: &ClusterStats) {
         let active_idx = partition.active_index();
         let node = &partition.nodes[active_idx];
-        let cached = partition.summary_epoch_for(active_idx);
+        let (generation, cached) = partition.summary_refresh_token(active_idx);
         let mut conn = node.lock_conn();
         let Some(c) = conn.as_mut() else {
             partition.invalidate_summary();
@@ -591,7 +621,7 @@ impl Membership {
             Ok(reply) => match protocol::parse_summary_reply(&reply) {
                 Ok(SummaryReply::Unchanged { .. }) if cached.is_some() => {}
                 Ok(SummaryReply::Summary { epoch, bits }) => {
-                    partition.store_summary(active_idx, epoch, bits);
+                    partition.store_summary(generation, active_idx, epoch, bits);
                     ClusterStats::add(&stats.summary_refreshes, 1);
                 }
                 // "Unchanged" against no cache, or an unparseable reply:
@@ -893,6 +923,38 @@ mod tests {
         assert!(lines[1].contains("role=replica"), "{}", lines[1]);
         assert!(lines[1].starts_with("backend 0 "), "{}", lines[1]);
         assert!(lines[2].starts_with("summary 0 "), "{}", lines[2]);
+    }
+
+    #[test]
+    fn late_store_after_invalidation_is_dropped() {
+        // The store-after-invalidate race: a sweep captures its refresh
+        // token, a concurrent routed SUB ack invalidates the cache, and
+        // the sweep's reply (fetched before the SUB landed) arrives late.
+        // Installing it would re-cache a stale subset and let scatter
+        // prune a backend that now holds a match, so the generation fence
+        // must reject it.
+        let partition = Partition::new(0, &BackendSpec::standalone("127.0.0.1:1"));
+        let bits = FixedBitSet::new(8);
+
+        // Clean path: store against an untouched token installs.
+        let (generation, cached) = partition.summary_refresh_token(0);
+        assert_eq!(cached, None);
+        partition.store_summary(generation, 0, 1, bits.clone());
+        assert_eq!(partition.summary_status(), Some((1, 0)));
+        assert_eq!(partition.summary_refresh_token(0), (generation, Some(1)));
+
+        // Raced path: invalidation between token capture and store.
+        let (generation, _) = partition.summary_refresh_token(0);
+        partition.invalidate_summary();
+        partition.store_summary(generation, 0, 2, bits.clone());
+        assert_eq!(partition.summary_status(), None, "late store re-cached");
+        assert!(partition.summary_for_scatter().is_none());
+
+        // The next sweep (fresh token) repopulates normally.
+        let (generation, cached) = partition.summary_refresh_token(0);
+        assert_eq!(cached, None);
+        partition.store_summary(generation, 0, 3, bits);
+        assert_eq!(partition.summary_status(), Some((3, 0)));
     }
 
     #[test]

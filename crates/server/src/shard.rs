@@ -27,11 +27,15 @@ pub fn route_partition(id: SubId, n: usize) -> usize {
     (h % n as u64) as usize
 }
 
-/// Exact multiset of summary bits contributed by the live subscriptions:
+/// Multiset of summary bits contributed by the live subscriptions:
 /// per-bit witness counts, the derived bitset (count > 0), and the stored
 /// cover of every live id so `unsubscribe` can decrement without re-deriving
-/// predicates. Guarded by one mutex held across the owning engine mutation,
-/// so the summary is never observably out of sync with the catalog.
+/// predicates. The mutex is held only around the count/bit updates, not
+/// across the engine mutation — churn on distinct shards stays parallel.
+/// Updates happen after the engine call and before the churn call returns,
+/// so by the time a `SUB` is acknowledged its bits are in the summary; the
+/// only divergence from exactness is a benign superset (a cover surviving a
+/// lost race or a failed bulk restore), which costs fan-out, never a match.
 struct SummaryState {
     epoch: u64,
     counts: Vec<u32>,
@@ -40,10 +44,9 @@ struct SummaryState {
 }
 
 impl SummaryState {
-    /// Registers `sub`'s witness cover; returns true if the set of populated
-    /// bits changed (an epoch-visible change).
-    fn add(&mut self, space: &SummarySpace, sub: &Subscription) -> bool {
-        let cover = space.sub_cover(sub).into_boxed_slice();
+    /// Registers a pre-derived witness cover for `id`; returns true if the
+    /// set of populated bits changed (an epoch-visible change).
+    fn add(&mut self, id: SubId, cover: Box<[u32]>) -> bool {
         let mut changed = false;
         for &b in cover.iter() {
             let c = &mut self.counts[b as usize];
@@ -53,7 +56,7 @@ impl SummaryState {
             }
             *c += 1;
         }
-        if let Some(old) = self.covers.insert(sub.id(), cover) {
+        if let Some(old) = self.covers.insert(id, cover) {
             changed |= self.drop_cover(&old);
         }
         changed
@@ -136,20 +139,28 @@ impl ShardedEngine {
 
     /// Routes to the owning shard. `Ok(false)` if the id is already live.
     pub fn subscribe(&self, sub: &Subscription) -> Result<bool, BexprError> {
-        let mut summary = self.summary.lock();
+        // Derive the witness cover before taking the summary lock so
+        // concurrent churn on other shards only contends on the cheap
+        // count updates, not predicate analysis or the engine call.
+        let cover = self.space.sub_cover(sub).into_boxed_slice();
         let fresh = self.shards[self.shard_of(sub.id())].subscribe(sub)?;
-        if fresh && summary.add(&self.space, sub) {
-            summary.epoch += 1;
+        if fresh {
+            let mut summary = self.summary.lock();
+            if summary.add(sub.id(), cover) {
+                summary.epoch += 1;
+            }
         }
         Ok(fresh)
     }
 
     /// Routes to the owning shard; `false` if the id was unknown.
     pub fn unsubscribe(&self, id: SubId) -> bool {
-        let mut summary = self.summary.lock();
         let removed = self.shards[self.shard_of(id)].unsubscribe(id);
-        if removed && summary.remove(id) {
-            summary.epoch += 1;
+        if removed {
+            let mut summary = self.summary.lock();
+            if summary.remove(id) {
+                summary.epoch += 1;
+            }
         }
         removed
     }
@@ -168,7 +179,7 @@ impl ShardedEngine {
         for sub in subs {
             groups[self.shard_of(sub.id())].push(sub);
         }
-        let added = std::thread::scope(|scope| {
+        let (added, failed) = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter()
@@ -182,19 +193,31 @@ impl ShardedEngine {
                 })
                 .collect();
             let mut added = 0usize;
+            let mut failed = None;
             for handle in handles {
-                added += handle.join().unwrap()?;
+                match handle.join().unwrap() {
+                    Ok(n) => added += n,
+                    Err(e) => failed = Some(e),
+                }
             }
-            Ok::<usize, BexprError>(added)
-        })?;
-        // The covers map mirrors the catalog exactly (both mutate under the
-        // summary lock), so "absent from the map" is "fresh in the engine".
+            (added, failed)
+        });
+        // Fold covers before any error propagates: a failed shard may have
+        // applied a prefix of its group, and those subscriptions must be
+        // represented in the summary (with the epoch advanced) or a router
+        // holding the old epoch would keep reading "unchanged" and prune a
+        // backend that holds matching subs. On the error path this over-
+        // approximates — covers may name ids the engine never admitted —
+        // which only costs fan-out, never a dropped match. On the success
+        // path the covers map mirrors the catalog exactly, so "absent from
+        // the map" is "fresh in the engine".
         let mut changed = false;
         let mut fresh = false;
         for sub in subs {
             if !summary.covers.contains_key(&sub.id()) {
                 fresh = true;
-                changed |= summary.add(&self.space, sub);
+                let cover = self.space.sub_cover(sub).into_boxed_slice();
+                changed |= summary.add(sub.id(), cover);
             }
         }
         if changed {
@@ -204,6 +227,9 @@ impl ShardedEngine {
             self.summary_rebuilds.fetch_add(1, Ordering::Relaxed);
         }
         drop(summary);
+        if let Some(e) = failed {
+            return Err(e);
+        }
         self.maintain();
         Ok(added)
     }
@@ -513,6 +539,33 @@ mod tests {
         assert_eq!(engine.bulk_restore(&subs).unwrap(), 0);
         assert_eq!(engine.summary_rebuilds(), 1);
         assert_eq!(engine.summary_epoch(), epoch);
+    }
+
+    #[test]
+    fn partial_bulk_restore_still_records_summary_bits() {
+        let (schema, engine) = setup(3, EngineChoice::BetreeHybrid);
+        // Parsed under a wider domain so it builds fine but is rejected by
+        // the engine's schema mid-restore, failing one shard's bulk load
+        // after the other shards already admitted their groups.
+        let wide = Schema::uniform(4, 64);
+        let bad = parser::parse_subscription_with_id(&wide, SubId(42), "a0 = 50").unwrap();
+        let mut subs: Vec<Subscription> = vec![bad];
+        subs.extend((0..12u32).map(|id| {
+            let text = format!("a0 = {}", id % 4);
+            parser::parse_subscription_with_id(&schema, SubId(id), &text).unwrap()
+        }));
+        assert!(
+            engine.bulk_restore(&subs).is_err(),
+            "out-of-domain sub must fail the restore"
+        );
+        assert!(engine.len() > 0, "partial restore left no subscriptions");
+        // The admitted subs must already be represented in the summary and
+        // the epoch advanced past the seed — a router caching epoch 1 must
+        // refresh instead of reading "unchanged" and pruning a backend
+        // that holds matching subscriptions.
+        assert!(engine.summary_epoch() > 1);
+        assert!(engine.summary_bits_set() >= 4);
+        assert!(engine.summary_if_newer(1).is_some());
     }
 
     #[test]
