@@ -33,6 +33,12 @@ cargo test -q -p apcm-cluster --test migration
 echo "==> cargo test -p apcm-cluster --test summary (summary-pruned scatter harness)"
 cargo test -q -p apcm-cluster --test summary
 
+echo "==> cargo test -p apcm-netio (event-loop subsystem)"
+cargo test -q -p apcm-netio
+
+echo "==> cargo test -p apcm-server --test eventloop (event-loop broker robustness)"
+cargo test -q -p apcm-server --test eventloop
+
 echo "==> cargo bench --workspace --no-run (benches stay compilable)"
 cargo bench --workspace --no-run
 
@@ -77,5 +83,13 @@ echo "==> resharding harness smoke run (appends e16 records to BENCH_pr7.json)"
 cargo run --release -q -p apcm-bench --bin harness -- \
     --experiment e16 --scale 0.002 --budget-ms 50 --seed 42 \
     --json-append BENCH_pr7.json
+
+echo "==> event-loop harness smoke run (appends e17 records to BENCH_pr9.json)"
+# e17 raises RLIMIT_NOFILE to the hard limit itself (best-effort); ulimit
+# here widens the starting soft limit where the shell is allowed to.
+ulimit -n "$(ulimit -Hn)" 2>/dev/null || true
+cargo run --release -q -p apcm-bench --bin harness -- \
+    --experiment e17 --scale 0.1 --budget-ms 50 --seed 42 \
+    --json-append BENCH_pr9.json
 
 echo "==> ci.sh: all green"

@@ -16,8 +16,8 @@ use apcm_bexpr::{AttrId, Event, Matcher, Op, Predicate, Schema, SubId, Subscript
 use apcm_cluster::{ClusterHandle, RouterConfig};
 use apcm_core::{AdaptiveConfig, ApcmConfig, ApcmMatcher, ClusteringPolicy, Executor, PcmMatcher};
 use apcm_server::{
-    route_partition, BrokerClient, EngineChoice, PersistConfig, Ring, Server, ServerConfig,
-    ServerStats, SnapshotFormat,
+    route_partition, BrokerClient, EngineChoice, IoModel, PersistConfig, Ring, Server,
+    ServerConfig, ServerStats, SnapshotFormat,
 };
 use apcm_workload::{DriftingStream, ValueDist, Workload, WorkloadSpec};
 use std::time::{Duration, Instant};
@@ -171,7 +171,7 @@ fn parse_args() -> Args {
             "--json-append" => args.json_append = Some(value()),
             "--help" | "-h" => {
                 println!(
-                    "usage: harness [--experiment e1..e16|all] [--scale F] [--budget-ms N] \
+                    "usage: harness [--experiment e1..e17|all] [--scale F] [--budget-ms N] \
                      [--seed N] [--json PATH] [--json-append PATH]"
                 );
                 std::process::exit(0);
@@ -193,6 +193,12 @@ fn base_spec(n: usize, seed: u64) -> WorkloadSpec {
 
 fn main() {
     let args = parse_args();
+    // Child-process server mode for E17 — must run before the banner so
+    // the parent can parse this process's first stdout line as `ADDR`.
+    if args.experiment.starts_with("e17-serve") {
+        e17_serve(&args.experiment);
+        return;
+    }
     println!(
         "# A-PCM evaluation harness — scale={}, budget={:?}/cell, seed={}, {} cores",
         args.scale,
@@ -253,6 +259,9 @@ fn main() {
     }
     if want("e16") {
         e16_resharding(&args);
+    }
+    if want("e17") {
+        e17_netio(&args);
     }
     if let Err(e) = args.write_json() {
         eprintln!("error writing --json output: {e}");
@@ -1665,4 +1674,268 @@ fn e12_build(args: &Args) {
     ]);
     table.print();
     println!();
+}
+
+// ---------------------------------------------------------------------
+// E17 — event-loop broker at connection scale.
+//
+// The broker runs in a *child process* (`--experiment e17-serve-loop` /
+// `e17-serve-threads`) so its RSS is readable from
+// `/proc/<pid>/status` without the measuring client's own sockets and
+// buffers polluting the number. The parent dials N idle subscribers
+// (SUB once, then silence) and samples the child's VmRSS per point,
+// then measures PING round-trip percentiles across a fleet of active
+// connections for both I/O models.
+
+/// Child mode: start a broker, print `ADDR <addr>`, serve until stdin
+/// closes or says `stop`. The shutdown render is discarded — stdout
+/// must carry nothing but the ADDR line.
+fn e17_serve(mode: &str) {
+    use std::io::{BufRead, Write};
+    let _ = apcm_netio::sys::raise_nofile_limit();
+    let io_model = if mode.ends_with("threads") {
+        IoModel::Threads
+    } else {
+        IoModel::EventLoop
+    };
+    let schema = Schema::uniform(8, 64);
+    let config = ServerConfig {
+        shards: 2,
+        engine: EngineChoice::Apcm,
+        io_model,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(schema, config, "127.0.0.1:0").expect("start e17 broker");
+    println!("ADDR {}", server.local_addr());
+    std::io::stdout().flush().expect("flush ADDR line");
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(text) if text.trim() == "stop" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    let _ = server.shutdown();
+}
+
+/// A broker child process plus the pipe that stops it.
+struct ServeChild {
+    child: std::process::Child,
+    stdin: std::process::ChildStdin,
+    /// Held so the pipe stays open for the child's (discarded) output.
+    _stdout: std::io::BufReader<std::process::ChildStdout>,
+    addr: String,
+}
+
+fn spawn_serve(mode: &str) -> ServeChild {
+    use std::io::BufRead;
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut child = std::process::Command::new(exe)
+        .args(["--experiment", mode])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn e17 broker child");
+    let stdin = child.stdin.take().expect("child stdin");
+    let mut stdout = std::io::BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("child ADDR line");
+    let addr = line
+        .trim()
+        .strip_prefix("ADDR ")
+        .unwrap_or_else(|| panic!("expected `ADDR <addr>`, got {line:?}"))
+        .to_string();
+    ServeChild {
+        child,
+        stdin,
+        _stdout: stdout,
+        addr,
+    }
+}
+
+impl ServeChild {
+    /// The child's resident set in MiB, from `/proc/<pid>/status`.
+    fn rss_mib(&self) -> f64 {
+        std::fs::read_to_string(format!("/proc/{}/status", self.child.id()))
+            .ok()
+            .and_then(|status| {
+                status.lines().find_map(|l| {
+                    l.strip_prefix("VmRSS:")?
+                        .trim()
+                        .strip_suffix("kB")?
+                        .trim()
+                        .parse::<f64>()
+                        .ok()
+                })
+            })
+            .map(|kb| kb / 1024.0)
+            .unwrap_or(0.0)
+    }
+
+    fn stop(mut self) {
+        use std::io::Write;
+        let _ = writeln!(self.stdin, "stop");
+        drop(self.stdin);
+        let _ = self.child.wait();
+    }
+}
+
+/// Reads one `\n`-terminated line a byte at a time — no per-connection
+/// BufReader, so a 10k-socket fleet costs no parent-side read buffers.
+fn read_line_raw(stream: &std::net::TcpStream) -> String {
+    use std::io::Read;
+    let mut out = Vec::with_capacity(16);
+    let mut byte = [0u8; 1];
+    let mut stream = stream;
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) if byte[0] == b'\n' => break,
+            Ok(_) => out.push(byte[0]),
+            Err(e) => panic!("reading broker reply: {e}"),
+        }
+    }
+    String::from_utf8_lossy(&out).trim_end().to_string()
+}
+
+/// Dials `n` connections, subscribes each once, and leaves them idle.
+fn e17_fleet(addr: &str, n: usize) -> Vec<std::net::TcpStream> {
+    use std::io::Write;
+    let mut conns = Vec::with_capacity(n);
+    for i in 0..n {
+        let stream = std::net::TcpStream::connect(addr).expect("dial e17 broker");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        stream.set_nodelay(true).expect("nodelay");
+        {
+            let mut w = &stream;
+            writeln!(w, "SUB {i} a0 >= {}", i % 64).expect("send SUB");
+        }
+        let ack = read_line_raw(&stream);
+        assert!(ack.starts_with("+OK"), "SUB refused: {ack}");
+        conns.push(stream);
+    }
+    conns
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn e17_netio(args: &Args) {
+    use std::io::Write;
+    println!("## E17 — event-loop broker: idle-subscriber RSS + active-conn latency\n");
+    let (soft, hard) = apcm_netio::sys::raise_nofile_limit().unwrap_or((1024, 1024));
+    // Parent and child each spend ~one fd per connection; leave headroom
+    // for the engines, persistence, and std handles on both sides.
+    let fd_cap = (soft as usize).saturating_sub(1000);
+    println!("(RLIMIT_NOFILE soft {soft}, hard {hard} -> per-point cap {fd_cap} conns)\n");
+
+    let models: [(&str, &str); 2] = [
+        ("event-loop", "e17-serve-loop"),
+        ("threads", "e17-serve-threads"),
+    ];
+    let mut table = Table::new(vec!["io model", "idle conns", "server RSS", "MiB/1k conns"]);
+    for (name, mode) in models {
+        let mut baseline_mib = None;
+        for target in [1_000usize, 10_000, 50_000] {
+            let want = ((target as f64 * args.scale).ceil() as usize).clamp(100, target);
+            let conns = want.min(fd_cap);
+            if conns < want {
+                println!("(note: {want} conns capped to {conns} by RLIMIT_NOFILE {soft})");
+            }
+            if name == "threads" && conns > 1_000 {
+                // Two threads per connection makes large idle fleets a
+                // thread-count benchmark, not a memory one; the threaded
+                // baseline stops at 1k.
+                println!("(note: threads model skips {conns} conns — 2 threads/conn)");
+                continue;
+            }
+            let child = spawn_serve(mode);
+            let fleet = e17_fleet(&child.addr, conns);
+            // Let the child's allocator and loop settle before sampling.
+            std::thread::sleep(Duration::from_millis(300));
+            let rss = child.rss_mib();
+            if baseline_mib.is_none() {
+                baseline_mib = Some(rss);
+            }
+            args.record("e17", name, format!("conns={conns}"), "rss_mib", rss);
+            args.record(
+                "e17",
+                name,
+                format!("conns={conns}"),
+                "rss_mib_per_1k_conns",
+                rss / (conns as f64 / 1000.0),
+            );
+            table.row(vec![
+                name.to_string(),
+                format!("{conns}"),
+                format!("{rss:.1} MiB"),
+                format!("{:.2}", rss / (conns as f64 / 1000.0)),
+            ]);
+            drop(fleet);
+            child.stop();
+        }
+    }
+    table.print();
+    println!();
+
+    // Latency: a fleet of *active* connections round-robin PINGs the
+    // broker; every round trip is one sample. Identical protocol work
+    // under both I/O models, so the delta is scheduling + wakeup cost.
+    let active = ((1_000f64 * args.scale).ceil() as usize)
+        .clamp(100, 1_000)
+        .min(fd_cap);
+    let rounds = 5usize;
+    let mut latency = Table::new(vec![
+        "io model",
+        "active conns",
+        "p50 us",
+        "p95 us",
+        "p99 us",
+    ]);
+    for (name, mode) in models {
+        let child = spawn_serve(mode);
+        let fleet = e17_fleet(&child.addr, active);
+        let mut samples = Vec::with_capacity(active * rounds);
+        for _ in 0..rounds {
+            for stream in &fleet {
+                let start = Instant::now();
+                {
+                    let mut w = stream;
+                    w.write_all(b"PING\n").expect("send PING");
+                }
+                let reply = read_line_raw(stream);
+                assert_eq!(reply, "+PONG");
+                samples.push(start.elapsed().as_secs_f64() * 1e6);
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        let (p50, p95, p99) = (
+            percentile(&samples, 0.50),
+            percentile(&samples, 0.95),
+            percentile(&samples, 0.99),
+        );
+        for (metric, value) in [
+            ("latency_p50_us", p50),
+            ("latency_p95_us", p95),
+            ("latency_p99_us", p99),
+        ] {
+            args.record("e17", name, format!("conns={active}"), metric, value);
+        }
+        latency.row(vec![
+            name.to_string(),
+            format!("{active}"),
+            format!("{p50:.1}"),
+            format!("{p95:.1}"),
+            format!("{p99:.1}"),
+        ]);
+        drop(fleet);
+        child.stop();
+    }
+    latency.print();
+    println!("(PING round trips, {rounds} rounds over the whole fleet)\n");
 }

@@ -18,8 +18,10 @@
 //!   counters; everything else (`PING`, `QUIT`, `SNAPSHOT`) behaves as a
 //!   client of a standalone server would expect.
 //!
-//! Threading mirrors the server broker: an accept thread, a reader plus
-//! writer thread per client connection, and a health thread running the
+//! Threading mirrors the server broker's threaded model: an accept
+//! thread (blocked on an `apcm-netio` poller rather than sleep-polling,
+//! with an eventfd waker for instant shutdown), a reader plus writer
+//! thread per client connection, and a health thread running the
 //! membership sweep. Scatter-gather runs on the publishing connection's
 //! reader thread with one scoped thread per live backend.
 
@@ -30,11 +32,13 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use apcm_netio::{Interest, Mode, PollEvent, Poller, Waker};
 use apcm_server::client::ConnectOptions;
 use apcm_server::protocol::{self, Request};
 use apcm_server::{read_capped_line, LineOutcome};
@@ -144,6 +148,8 @@ pub struct Router {
     stats: Arc<ClusterStats>,
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    /// Wakes the accept thread out of its poller wait at shutdown.
+    accept_waker: Arc<Waker>,
     accept_thread: Option<JoinHandle<()>>,
     health_thread: Option<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
@@ -211,6 +217,22 @@ impl Router {
         let shutdown = Arc::new(AtomicBool::new(false));
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
 
+        // The accept thread parks on an apcm-netio poller instead of
+        // sleep-polling the nonblocking listener: zero wakeups while no
+        // client is dialing, and the eventfd waker turns shutdown from a
+        // worst-case 5 ms poll-quantum wait into an immediate unblock.
+        const TOKEN_LISTENER: u64 = 0;
+        const TOKEN_WAKER: u64 = 1;
+        let accept_waker = Arc::new(Waker::new()?);
+        let poller = Poller::new()?;
+        poller.add(
+            listener.as_raw_fd(),
+            TOKEN_LISTENER,
+            Interest::READ,
+            Mode::Level,
+        )?;
+        poller.add(accept_waker.fd(), TOKEN_WAKER, Interest::READ, Mode::Level)?;
+
         let accept_thread = {
             let hub = hub.clone();
             let stats = stats.clone();
@@ -218,30 +240,42 @@ impl Router {
             let conn_threads = conn_threads.clone();
             let conn_queue = config.conn_queue;
             let max_line_bytes = config.max_line_bytes;
+            let waker = accept_waker.clone();
             std::thread::Builder::new()
                 .name("apcm-route-accept".into())
                 .spawn(move || {
+                    let mut events: Vec<PollEvent> = Vec::new();
                     let mut next_conn = 1u64;
                     while !shutdown.load(Ordering::SeqCst) {
-                        match listener.accept() {
-                            Ok((stream, _peer)) => {
-                                let conn_id = next_conn;
-                                next_conn += 1;
-                                ClusterStats::add(&stats.conns_total, 1);
-                                ClusterStats::add(&stats.conns_active, 1);
-                                spawn_connection(
-                                    hub.clone(),
-                                    stream,
-                                    conn_id,
-                                    conn_queue,
-                                    max_line_bytes,
-                                    &conn_threads,
-                                );
+                        events.clear();
+                        if poller.wait(&mut events, None).is_err() {
+                            break;
+                        }
+                        if events.iter().any(|e| e.token == TOKEN_WAKER) {
+                            waker.drain();
+                            continue; // re-check the shutdown flag
+                        }
+                        // Level-triggered listener: drain the whole
+                        // accept backlog before waiting again.
+                        loop {
+                            match listener.accept() {
+                                Ok((stream, _peer)) => {
+                                    let conn_id = next_conn;
+                                    next_conn += 1;
+                                    ClusterStats::add(&stats.conns_total, 1);
+                                    ClusterStats::add(&stats.conns_active, 1);
+                                    spawn_connection(
+                                        hub.clone(),
+                                        stream,
+                                        conn_id,
+                                        conn_queue,
+                                        max_line_bytes,
+                                        &conn_threads,
+                                    );
+                                }
+                                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                                Err(_) => return,
                             }
-                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                                std::thread::sleep(Duration::from_millis(5));
-                            }
-                            Err(_) => break,
                         }
                     }
                 })
@@ -280,6 +314,7 @@ impl Router {
             stats,
             addr: local_addr,
             shutdown,
+            accept_waker,
             accept_thread: Some(accept_thread),
             health_thread: Some(health_thread),
             conn_threads,
@@ -310,6 +345,7 @@ impl Router {
     /// stats plus topology.
     pub fn shutdown(mut self) -> String {
         self.shutdown.store(true, Ordering::SeqCst);
+        self.accept_waker.wake();
         if let Some(t) = self.health_thread.take() {
             let _ = t.join();
         }

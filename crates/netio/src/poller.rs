@@ -1,0 +1,337 @@
+//! Safe wrapper over the epoll shim: registration with level- or
+//! edge-triggered interest, a blocking wait, and an eventfd-backed
+//! cross-thread [`Waker`].
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+use crate::sys;
+
+/// Which readiness conditions a registration reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// Level-triggered (re-reports while the condition holds) vs
+/// edge-triggered (reports each transition once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    Level,
+    Edge,
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct PollEvent {
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    /// `EPOLLERR` — a pending socket error; reads surface it.
+    pub error: bool,
+    /// `EPOLLHUP`/`EPOLLRDHUP` — peer closed; reads return EOF.
+    pub hangup: bool,
+}
+
+fn interest_bits(interest: Interest, mode: Mode) -> u32 {
+    let mut bits = sys::EPOLLRDHUP;
+    if interest.readable {
+        bits |= sys::EPOLLIN;
+    }
+    if interest.writable {
+        bits |= sys::EPOLLOUT;
+    }
+    if mode == Mode::Edge {
+        bits |= sys::EPOLLET;
+    }
+    bits
+}
+
+/// An epoll instance. `Send + Sync`, but the intended shape is one
+/// poller owned by one loop worker.
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            epfd: sys::epoll_create()?,
+        })
+    }
+
+    /// Registers `fd` under `token` (returned verbatim in events).
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest, mode: Mode) -> io::Result<()> {
+        sys::epoll_control(
+            self.epfd,
+            sys::EPOLL_CTL_ADD,
+            fd,
+            interest_bits(interest, mode),
+            token,
+        )
+    }
+
+    /// Replaces an existing registration's interest set.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest, mode: Mode) -> io::Result<()> {
+        sys::epoll_control(
+            self.epfd,
+            sys::EPOLL_CTL_MOD,
+            fd,
+            interest_bits(interest, mode),
+            token,
+        )
+    }
+
+    pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+        sys::epoll_control(self.epfd, sys::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks until readiness or `timeout` (forever when `None`),
+    /// appending decoded events to `out`. Returns how many arrived;
+    /// `EINTR` and timeouts both come back as 0.
+    pub fn wait(&self, out: &mut Vec<PollEvent>, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so sub-millisecond timeouts do not spin.
+            Some(t) => t.as_nanos().div_ceil(1_000_000).clamp(0, i32::MAX as u128) as i32,
+        };
+        let mut buf = [sys::EpollEvent { events: 0, data: 0 }; 256];
+        let n = sys::epoll_pwait(self.epfd, &mut buf, timeout_ms)?;
+        for raw in buf.iter().take(n) {
+            let bits = raw.events;
+            let token = raw.data;
+            out.push(PollEvent {
+                token,
+                readable: bits & sys::EPOLLIN != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                error: bits & sys::EPOLLERR != 0,
+                hangup: bits & (sys::EPOLLHUP | sys::EPOLLRDHUP) != 0,
+            });
+        }
+        Ok(n)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        sys::close_fd(self.epfd);
+    }
+}
+
+/// Cross-thread wake handle: any thread calls [`Waker::wake`], and the
+/// worker polling the waker's fd observes a readable event. Backed by a
+/// nonblocking eventfd, so wakes coalesce instead of queueing.
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    pub fn new() -> io::Result<Waker> {
+        Ok(Waker {
+            fd: sys::eventfd_new()?,
+        })
+    }
+
+    /// The fd to register (readable, level-triggered) with a poller.
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    pub fn wake(&self) {
+        sys::eventfd_signal(self.fd);
+    }
+
+    /// Clears pending wakes; call when the waker's fd reports readable,
+    /// or a level-triggered registration will spin.
+    pub fn drain(&self) {
+        sys::eventfd_drain(self.fd);
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        sys::close_fd(self.fd);
+    }
+}
+
+// The fds are plain integers; all operations on them are thread-safe
+// syscalls.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn wait_times_out_empty() {
+        let poller = Poller::new().unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn level_triggered_read_reports_until_drained() {
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller
+            .add(b.as_raw_fd(), 7, Interest::READ, Mode::Level)
+            .unwrap();
+        a.write_all(b"hi").unwrap();
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+
+        // Level-triggered: still readable until the bytes are consumed.
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(100)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+
+        let mut buf = [0u8; 8];
+        let mut b2 = &b;
+        let _ = b2.read(&mut buf).unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(!events.iter().any(|e| e.token == 7 && e.readable));
+    }
+
+    #[test]
+    fn edge_triggered_read_reports_once_per_arrival() {
+        let (mut a, b) = pair();
+        let poller = Poller::new().unwrap();
+        poller
+            .add(b.as_raw_fd(), 9, Interest::READ, Mode::Edge)
+            .unwrap();
+        a.write_all(b"x").unwrap();
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 9 && e.readable));
+
+        // Without consuming, the edge does not re-fire.
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(60)))
+            .unwrap();
+        assert!(!events.iter().any(|e| e.token == 9));
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        let (a, b) = pair();
+        let poller = Poller::new().unwrap();
+        poller
+            .add(b.as_raw_fd(), 3, Interest::READ, Mode::Level)
+            .unwrap();
+        drop(a);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.hangup));
+    }
+
+    #[test]
+    fn waker_wakes_across_threads_and_coalesces() {
+        let poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        poller
+            .add(waker.fd(), 99, Interest::READ, Mode::Level)
+            .unwrap();
+
+        let w = waker.clone();
+        let t = std::thread::spawn(move || {
+            w.wake();
+            w.wake();
+            w.wake();
+        });
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 99 && e.readable));
+        t.join().unwrap();
+
+        waker.drain();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(!events.iter().any(|e| e.token == 99));
+    }
+
+    #[test]
+    fn modify_switches_interest() {
+        let (_a, b) = pair();
+        let poller = Poller::new().unwrap();
+        poller
+            .add(b.as_raw_fd(), 5, Interest::READ, Mode::Level)
+            .unwrap();
+        // An idle socket is writable but we did not ask for it.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(!events.iter().any(|e| e.token == 5 && e.writable));
+
+        poller
+            .modify(b.as_raw_fd(), 5, Interest::BOTH, Mode::Level)
+            .unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 5 && e.writable));
+
+        poller.remove(b.as_raw_fd()).unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+}

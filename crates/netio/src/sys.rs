@@ -1,0 +1,162 @@
+//! Raw Linux syscall surface: epoll, eventfd, and rlimits via
+//! `extern "C"` declarations against libc's stable ABI. No external
+//! crates — this is the whole vendored shim the event loop runs on.
+//!
+//! Only the handful of entry points the loop needs are declared; every
+//! raw call is wrapped in a function returning `io::Result` built from
+//! `io::Error::last_os_error()`, so nothing above this module touches
+//! errno or raw return codes.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+pub const EPOLLET: u32 = 1 << 31;
+
+pub const EPOLL_CTL_ADD: i32 = 1;
+pub const EPOLL_CTL_DEL: i32 = 2;
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+const RLIMIT_NOFILE: i32 = 7;
+
+/// Mirror of the kernel's `struct epoll_event`. On x86-64 the C
+/// declaration carries `__attribute__((packed))` (12 bytes); other
+/// architectures use natural alignment (16 bytes).
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+#[repr(C)]
+struct Rlimit {
+    cur: u64,
+    max: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+    fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+}
+
+pub fn epoll_create() -> io::Result<RawFd> {
+    let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(fd)
+}
+
+pub fn epoll_control(epfd: RawFd, op: i32, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data };
+    // DEL ignores the event argument on modern kernels but requires a
+    // non-null pointer on ancient ones; passing it always is harmless.
+    let rc = unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Waits for events; `timeout_ms < 0` blocks indefinitely. `EINTR` is
+/// surfaced as zero events, not an error.
+pub fn epoll_pwait(epfd: RawFd, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms) };
+    if n < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(n as usize)
+}
+
+pub fn eventfd_new() -> io::Result<RawFd> {
+    let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(fd)
+}
+
+/// Adds one to an eventfd counter. `EAGAIN` (counter saturated — a wake
+/// is already pending) is success for our purposes.
+pub fn eventfd_signal(fd: RawFd) {
+    let one: u64 = 1;
+    unsafe { write(fd, (&one as *const u64).cast(), 8) };
+}
+
+/// Drains an eventfd counter back to zero (nonblocking read).
+pub fn eventfd_drain(fd: RawFd) {
+    let mut buf = [0u8; 8];
+    unsafe { read(fd, buf.as_mut_ptr(), 8) };
+}
+
+pub fn close_fd(fd: RawFd) {
+    unsafe { close(fd) };
+}
+
+/// Raises the soft `RLIMIT_NOFILE` to the hard limit, best-effort, and
+/// returns the resulting `(soft, hard)` pair. Never fails hard: in
+/// containers that drop `CAP_SYS_RESOURCE` the hard limit is immovable,
+/// so callers scale their fd budgets to whatever this reports.
+pub fn raise_nofile_limit() -> io::Result<(u64, u64)> {
+    let mut lim = Rlimit { cur: 0, max: 0 };
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.cur < lim.max {
+        let raised = Rlimit {
+            cur: lim.max,
+            max: lim.max,
+        };
+        if unsafe { setrlimit(RLIMIT_NOFILE, &raised) } == 0 {
+            lim.cur = lim.max;
+        }
+    }
+    Ok((lim.cur, lim.max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_event_layout_matches_kernel_abi() {
+        let expected = if cfg!(target_arch = "x86_64") { 12 } else { 16 };
+        assert_eq!(std::mem::size_of::<EpollEvent>(), expected);
+    }
+
+    #[test]
+    fn eventfd_signals_and_drains() {
+        let fd = eventfd_new().unwrap();
+        eventfd_signal(fd);
+        eventfd_signal(fd);
+        eventfd_drain(fd);
+        close_fd(fd);
+    }
+
+    #[test]
+    fn nofile_limit_reports_sane_values() {
+        let (soft, hard) = raise_nofile_limit().unwrap();
+        assert!(soft > 0 && soft <= hard);
+    }
+}

@@ -1,0 +1,200 @@
+//! Hashed timer wheel: O(1) schedule, O(slot) expiry sweep, and no
+//! per-timer allocation or per-connection timer thread. Deadlines are
+//! quantized to a fixed granularity and hashed into `tick % slots`; a
+//! slot may hold entries for future laps, which the sweep skips and
+//! leaves in place.
+//!
+//! The loop uses it two ways: one entry per connection for idle-reap
+//! checks (rescheduled from the connection's last-activity timestamp
+//! when it fires early), and a single recurring entry for the
+//! periodic-maintenance tick.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    token: u64,
+    tick: u64,
+}
+
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    granularity: Duration,
+    epoch: Instant,
+    /// First tick not yet swept.
+    cursor: u64,
+    len: usize,
+}
+
+impl TimerWheel {
+    /// `slots` spreads entries (more slots, shorter sweeps);
+    /// `granularity` is the timing resolution — deadlines fire at the
+    /// first sweep at or after the quantized deadline.
+    pub fn new(slots: usize, granularity: Duration) -> TimerWheel {
+        let slots = slots.max(1);
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            granularity: granularity.max(Duration::from_millis(1)),
+            epoch: Instant::now(),
+            cursor: 1,
+            len: 0,
+        }
+    }
+
+    fn tick_of(&self, deadline: Instant) -> u64 {
+        let elapsed = deadline.saturating_duration_since(self.epoch);
+        let tick = elapsed.as_nanos().div_ceil(self.granularity.as_nanos()) as u64;
+        // Never schedule into the already-swept past, or the entry
+        // would wait a full lap before its slot is visited again.
+        tick.max(self.cursor)
+    }
+
+    pub fn schedule_at(&mut self, token: u64, deadline: Instant) {
+        let tick = self.tick_of(deadline);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry { token, tick });
+        self.len += 1;
+    }
+
+    pub fn schedule_after(&mut self, token: u64, delay: Duration) {
+        self.schedule_at(token, Instant::now() + delay);
+    }
+
+    /// Sweeps every tick up to `now`, appending expired tokens to
+    /// `fired` (in no particular order). Entries for future laps stay.
+    pub fn advance(&mut self, now: Instant, fired: &mut Vec<u64>) {
+        let now_tick = (now.saturating_duration_since(self.epoch).as_nanos()
+            / self.granularity.as_nanos()) as u64;
+        if now_tick < self.cursor {
+            return;
+        }
+        let nslots = self.slots.len() as u64;
+        // Visiting more ticks than there are slots revisits slots; one
+        // full lap covers everything due.
+        let first = if now_tick - self.cursor >= nslots {
+            now_tick - nslots + 1
+        } else {
+            self.cursor
+        };
+        for tick in first..=now_tick {
+            let slot = (tick % nslots) as usize;
+            let entries = &mut self.slots[slot];
+            let mut i = 0;
+            while i < entries.len() {
+                if entries[i].tick <= now_tick {
+                    fired.push(entries.swap_remove(i).token);
+                    self.len -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.cursor = now_tick + 1;
+    }
+
+    /// Earliest instant anything could fire — the poll-timeout hint.
+    /// Conservative (the next unswept tick), never later than the true
+    /// earliest deadline.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        if self.len == 0 {
+            return None;
+        }
+        let nanos = self.granularity.as_nanos() as u64 * self.cursor;
+        Some(self.epoch + Duration::from_nanos(nanos))
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_at_or_after_deadline_not_before() {
+        let mut wheel = TimerWheel::new(8, Duration::from_millis(10));
+        let now = Instant::now();
+        wheel.schedule_at(1, now + Duration::from_millis(35));
+        wheel.schedule_at(2, now + Duration::from_millis(5));
+
+        let mut fired = Vec::new();
+        wheel.advance(now, &mut fired);
+        assert!(fired.is_empty());
+
+        wheel.advance(now + Duration::from_millis(20), &mut fired);
+        assert_eq!(fired, vec![2]);
+
+        fired.clear();
+        wheel.advance(now + Duration::from_millis(60), &mut fired);
+        assert_eq!(fired, vec![1]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn colliding_slots_keep_future_laps() {
+        // 4 slots, 10ms granularity: ticks 2 and 6 share slot 2.
+        let mut wheel = TimerWheel::new(4, Duration::from_millis(10));
+        let now = Instant::now();
+        wheel.schedule_at(10, now + Duration::from_millis(15));
+        wheel.schedule_at(60, now + Duration::from_millis(55));
+        assert_eq!(wheel.len(), 2);
+
+        let mut fired = Vec::new();
+        wheel.advance(now + Duration::from_millis(25), &mut fired);
+        assert_eq!(fired, vec![10]);
+        assert_eq!(wheel.len(), 1);
+
+        fired.clear();
+        wheel.advance(now + Duration::from_millis(70), &mut fired);
+        assert_eq!(fired, vec![60]);
+    }
+
+    #[test]
+    fn long_idle_gap_sweeps_one_lap_only() {
+        let mut wheel = TimerWheel::new(4, Duration::from_millis(1));
+        let now = Instant::now();
+        for t in 0..12u64 {
+            wheel.schedule_at(t, now + Duration::from_millis(t * 3));
+        }
+        // Jump far past everything in one advance.
+        let mut fired = Vec::new();
+        wheel.advance(now + Duration::from_secs(10), &mut fired);
+        fired.sort_unstable();
+        assert_eq!(fired, (0..12).collect::<Vec<_>>());
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn next_deadline_tracks_cursor() {
+        let mut wheel = TimerWheel::new(8, Duration::from_millis(10));
+        assert!(wheel.next_deadline().is_none());
+        wheel.schedule_after(1, Duration::from_millis(50));
+        let hint = wheel.next_deadline().unwrap();
+        assert!(hint <= Instant::now() + Duration::from_millis(60));
+    }
+
+    #[test]
+    fn reschedule_pattern_for_idle_checks() {
+        // The loop's idle pattern: fire, notice activity, re-arm.
+        let mut wheel = TimerWheel::new(16, Duration::from_millis(5));
+        let now = Instant::now();
+        wheel.schedule_at(42, now + Duration::from_millis(10));
+        let mut fired = Vec::new();
+        // Deadlines may fire up to one granularity late (quantization).
+        wheel.advance(now + Duration::from_millis(17), &mut fired);
+        assert_eq!(fired, vec![42]);
+        // Re-arm relative to fresh activity.
+        wheel.schedule_at(42, now + Duration::from_millis(30));
+        fired.clear();
+        wheel.advance(now + Duration::from_millis(20), &mut fired);
+        assert!(fired.is_empty());
+        wheel.advance(now + Duration::from_millis(40), &mut fired);
+        assert_eq!(fired, vec![42]);
+    }
+}

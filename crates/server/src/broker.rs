@@ -1,16 +1,32 @@
-//! TCP broker: accept loop, per-connection worker threads, result
-//! delivery, background maintenance, and graceful shutdown.
+//! TCP broker: connection serving, result delivery, background
+//! maintenance, and graceful shutdown — over either of two I/O models
+//! ([`crate::config::IoModel`], no async runtime in either).
 //!
-//! Threading model (`std::net` + threads, no async runtime):
+//! **Event loop** (the default): the listener and every client
+//! connection are served by the `apcm-netio` readiness loop — a fixed
+//! worker pool multiplexing epoll-driven reads, byte-capped line
+//! framing, bounded per-connection outbound queues flushed on
+//! `EPOLLOUT`, and a timer wheel for idle reaping, with the maintenance
+//! sweep riding the loop's tick hook. Thread count is O(workers), not
+//! O(connections), so tens of thousands of mostly-idle subscribers fit
+//! in one pool.
+//!
+//! **Threads**: the original model, retained as a baseline and
+//! fallback —
 //!
 //! * one **accept** thread polling a non-blocking listener;
-//! * per connection, a **reader** thread (parses requests, executes
-//!   control commands inline, queues publishes into the ingest pipeline)
-//!   and a **writer** thread draining the connection's bounded outbound
-//!   queue — the slow-consumer boundary;
-//! * one **matcher** thread inside [`IngestPipeline`];
+//! * per connection, a **reader** thread and a **writer** thread
+//!   draining the connection's bounded outbound queue — the
+//!   slow-consumer boundary;
 //! * one **maintenance** thread sweeping every shard's `maintain()`, the
 //!   persister's [`Persister::maintenance_tick`], and idle connections.
+//!
+//! Both models funnel every inbound line through the same dispatcher
+//! ([`crate::request::on_conn_line`]), so protocol semantics — reply
+//! text, ack-before-submit ordering, counters, slow-consumer policy —
+//! are byte-identical. The **matcher** thread inside [`IngestPipeline`]
+//! and the outbound replication/reshard pullers ([`ReplicaRunner`],
+//! [`ReshardRunner`]) are dedicated threads in both models.
 //!
 //! Subscriptions are durable within a run: a closed connection keeps its
 //! subscriptions live (notifications for them are silently discarded until
@@ -33,23 +49,25 @@ use std::hash::{Hash, Hasher};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::client::{connect_stream, ConnectOptions};
-use crate::config::{ServerConfig, SlowConsumerPolicy};
+use crate::config::{IoModel, ServerConfig, SlowConsumerPolicy};
+use crate::event_broker::BrokerService;
 use crate::ingest::{IngestItem, IngestPipeline, ResultSink};
 use crate::persist::log::{parse_frame, ReplayOp};
-use crate::persist::{ChurnError, Persister, RecoveryReport};
-use crate::protocol::{self, ReplicateStart, Request, ReshardCmd, RoleReport};
-use crate::replication::{Role, RoleState};
+use crate::persist::{Persister, RecoveryReport};
+use crate::protocol::{self, ReplicateStart};
+use crate::replication::{FollowerConn, Role, RoleState, ThreadedFollower};
+use crate::request::{on_conn_line, ConnCtx, ConnState, Flow, LineInput};
 use crate::ring::RingScope;
 use crate::shard::ShardedEngine;
 use crate::stats::ServerStats;
 
-/// Outbound handle for one connection.
-struct ConnHandle {
+/// Outbound handle for one threaded-mode connection.
+pub(crate) struct ConnHandle {
     out: Sender<String>,
     stream: TcpStream,
     /// Milliseconds since the server epoch of the last inbound line; the
@@ -62,7 +80,7 @@ struct ConnHandle {
 /// expression (ownership takeover) or a genuinely conflicting id. The
 /// parser normalizes predicate order, so two byte-identical protocol lines
 /// always fingerprint equal.
-fn sub_fingerprint(sub: &Subscription) -> u64 {
+pub(crate) fn sub_fingerprint(sub: &Subscription) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     sub.hash(&mut h);
     h.finish()
@@ -113,66 +131,113 @@ fn decode_bootstrap_block(line: &str, schema: &Schema) -> Result<Vec<Subscriptio
         .collect()
 }
 
+/// How outbound lines reach their connection: the threaded broker's
+/// per-connection queue/registry, or the event loop's handle. Settled at
+/// startup from [`IoModel`]; the loop variant is a `OnceLock` because the
+/// hub must exist (the ingest pipeline sinks into it) before the loop —
+/// which needs the hub via its service — can start.
+pub(crate) enum Delivery {
+    Threads(Mutex<HashMap<u64, ConnHandle>>),
+    Loop(OnceLock<Arc<apcm_netio::LoopHandle>>),
+}
+
 /// State shared by every thread: the registry of live connections and
 /// subscription ownership, plus delivery policy. Doubles as the ingest
 /// pipeline's [`ResultSink`].
-struct Hub {
-    schema: Schema,
-    stats: Arc<ServerStats>,
+pub(crate) struct Hub {
+    pub(crate) schema: Schema,
+    pub(crate) stats: Arc<ServerStats>,
     policy: SlowConsumerPolicy,
-    conns: Mutex<HashMap<u64, ConnHandle>>,
+    pub(crate) delivery: Delivery,
     /// Which connection owns (receives `EVENT` notifications for) each id.
-    owners: RwLock<HashMap<SubId, u64>>,
+    pub(crate) owners: RwLock<HashMap<SubId, u64>>,
     /// Fingerprint of every live subscription's expression (seeded from
     /// recovery, maintained by SUB/UNSUB). Backs `CLAIM` liveness checks
     /// and identical-expression takeover without cloning expressions.
-    live: RwLock<HashMap<SubId, u64>>,
+    pub(crate) live: RwLock<HashMap<SubId, u64>>,
     /// Ring ownership filter installed by `RESHARD PRUNE`: churn for ids
     /// the scope does not own is refused with `-ERR not owner <id>`.
     /// `None` (the default, and the state after a restart) accepts
     /// everything — the filter is a migration-era safety net against
     /// stale-routed churn, re-installed idempotently by the router's
     /// migration controller, not the source of routing truth.
-    ownership: RwLock<Option<RingScope>>,
+    pub(crate) ownership: RwLock<Option<RingScope>>,
 }
 
 impl Hub {
     /// Queues `line` on a connection's outbound queue, applying the
     /// slow-consumer policy on overflow. Unknown connections (already
     /// closed) discard silently.
-    fn push_line(&self, conn_id: u64, line: String) {
-        let mut conns = self.conns.lock();
-        let Some(handle) = conns.get(&conn_id) else {
-            return;
-        };
-        match handle.out.try_send(line) {
-            Ok(()) => {
-                ServerStats::add(&self.stats.replies_sent, 1);
+    pub(crate) fn push_line(&self, conn_id: u64, line: String) {
+        match &self.delivery {
+            Delivery::Threads(registry) => {
+                let mut conns = registry.lock();
+                let Some(handle) = conns.get(&conn_id) else {
+                    return;
+                };
+                match handle.out.try_send(line) {
+                    Ok(()) => {
+                        ServerStats::add(&self.stats.replies_sent, 1);
+                    }
+                    Err(TrySendError::Full(_)) => match self.policy {
+                        SlowConsumerPolicy::Drop => {
+                            ServerStats::add(&self.stats.replies_dropped, 1);
+                        }
+                        SlowConsumerPolicy::Disconnect => {
+                            ServerStats::add(&self.stats.slow_disconnects, 1);
+                            let handle = conns.remove(&conn_id).expect("checked above");
+                            // Reader unblocks on the socket shutdown and
+                            // cleans up; the writer exits once the last
+                            // queue sender drops.
+                            let _ = handle.stream.shutdown(Shutdown::Both);
+                        }
+                    },
+                    Err(TrySendError::Disconnected(_)) => {
+                        conns.remove(&conn_id);
+                    }
+                }
             }
-            Err(TrySendError::Full(_)) => match self.policy {
-                SlowConsumerPolicy::Drop => {
-                    ServerStats::add(&self.stats.replies_dropped, 1);
+            Delivery::Loop(cell) => {
+                let Some(handle) = cell.get() else {
+                    return;
+                };
+                match handle.try_send(conn_id, line) {
+                    apcm_netio::SendOutcome::Sent => {
+                        ServerStats::add(&self.stats.replies_sent, 1);
+                    }
+                    apcm_netio::SendOutcome::Full => match self.policy {
+                        SlowConsumerPolicy::Drop => {
+                            ServerStats::add(&self.stats.replies_dropped, 1);
+                        }
+                        SlowConsumerPolicy::Disconnect => {
+                            ServerStats::add(&self.stats.slow_disconnects, 1);
+                            handle.kick(conn_id);
+                        }
+                    },
+                    apcm_netio::SendOutcome::Gone => {}
                 }
-                SlowConsumerPolicy::Disconnect => {
-                    ServerStats::add(&self.stats.slow_disconnects, 1);
-                    let handle = conns.remove(&conn_id).expect("checked above");
-                    // Reader unblocks on the socket shutdown and cleans up;
-                    // the writer exits once the last queue sender drops.
-                    let _ = handle.stream.shutdown(Shutdown::Both);
-                }
-            },
-            Err(TrySendError::Disconnected(_)) => {
-                conns.remove(&conn_id);
             }
         }
     }
 
-    /// Shuts down connections idle longer than `timeout`. The socket
-    /// shutdown unblocks the reader, which then deregisters itself.
+    /// The threaded connection registry; `None` in event-loop mode.
+    fn thread_conns(&self) -> Option<&Mutex<HashMap<u64, ConnHandle>>> {
+        match &self.delivery {
+            Delivery::Threads(registry) => Some(registry),
+            Delivery::Loop(_) => None,
+        }
+    }
+
+    /// Shuts down connections idle longer than `timeout` (threaded mode;
+    /// the event loop's timer wheel reaps its own). The socket shutdown
+    /// unblocks the reader, which then deregisters itself.
     fn reap_idle(&self, epoch: Instant, timeout: Duration) {
+        let Some(registry) = self.thread_conns() else {
+            return;
+        };
         let now_ms = epoch.elapsed().as_millis() as u64;
         let limit_ms = timeout.as_millis() as u64;
-        let mut conns = self.conns.lock();
+        let mut conns = registry.lock();
         conns.retain(|_, handle| {
             let idle = now_ms.saturating_sub(handle.activity.load(Ordering::Relaxed));
             if idle > limit_ms {
@@ -183,6 +248,25 @@ impl Hub {
                 true
             }
         });
+    }
+
+    /// Event-loop gauges for `STATS` rendering, in the order
+    /// [`ServerStats::render`] expects: `(connections_open,
+    /// epoll_wakeups, outbound_queued_lines, conns_rejected)`. `None` in
+    /// threaded mode (the keys are elided entirely).
+    pub(crate) fn netio_gauges(&self) -> Option<(u64, u64, u64, u64)> {
+        match &self.delivery {
+            Delivery::Threads(_) => None,
+            Delivery::Loop(cell) => cell.get().map(|handle| {
+                let m = handle.metrics();
+                (
+                    m.connections_open.load(Ordering::Relaxed),
+                    m.epoll_wakeups.load(Ordering::Relaxed),
+                    m.outbound_queued_lines.load(Ordering::Relaxed),
+                    m.conns_rejected.load(Ordering::Relaxed),
+                )
+            }),
+        }
     }
 }
 
@@ -201,25 +285,6 @@ impl ResultSink for Hub {
             }
         }
     }
-}
-
-/// Everything a connection's reader thread needs.
-struct ConnCtx {
-    hub: Arc<Hub>,
-    engine: Arc<ShardedEngine>,
-    persist: Option<Arc<Persister>>,
-    ingest: Sender<IngestItem>,
-    /// Receiver clone used only for `len()` (queue depth in `STATS`).
-    ingest_depth: Receiver<IngestItem>,
-    epoch: Instant,
-    max_line_bytes: usize,
-    role: Arc<RoleState>,
-    /// Spawns replica puller threads on `DEMOTE`; `None` without
-    /// persistence (replica mode requires it).
-    runner: Option<Arc<ReplicaRunner>>,
-    /// Drives `RESHARD PULL` migration streams; `None` without
-    /// persistence (resharding requires a durable catalog).
-    reshard: Option<Arc<ReshardRunner>>,
 }
 
 /// Outcome of one capped line read.
@@ -302,10 +367,13 @@ pub struct Server {
     role: Arc<RoleState>,
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    /// Threaded mode only; the event loop owns its own listener.
     accept_thread: Option<JoinHandle<()>>,
+    /// Threaded mode only; the event loop's tick hook does this work.
     maintenance_thread: Option<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     pipeline: Option<IngestPipeline>,
+    event_loop: Option<apcm_netio::EventLoop>,
 }
 
 impl Server {
@@ -351,7 +419,10 @@ impl Server {
             schema,
             stats: stats.clone(),
             policy: config.slow_consumer,
-            conns: Mutex::new(HashMap::new()),
+            delivery: match config.io_model {
+                IoModel::Threads => Delivery::Threads(Mutex::new(HashMap::new())),
+                IoModel::EventLoop => Delivery::Loop(OnceLock::new()),
+            },
             owners: RwLock::new(HashMap::new()),
             live: RwLock::new(recovered_live),
             ownership: RwLock::new(None),
@@ -411,88 +482,173 @@ impl Server {
                 .spawn(role.generation());
         }
 
-        let accept_thread = {
-            let hub = hub.clone();
-            let engine = engine.clone();
-            let persist = persist.clone();
-            let stats = stats.clone();
-            let shutdown = shutdown.clone();
-            let conn_threads = conn_threads.clone();
-            let role = role.clone();
-            let runner = runner.clone();
-            let reshard = reshard.clone();
-            let conn_queue = config.conn_queue;
-            let max_line_bytes = config.max_line_bytes;
-            let ingest_depth = pipeline.depth_handle();
-            std::thread::Builder::new()
-                .name("apcm-accept".into())
-                .spawn(move || {
-                    let mut next_conn = 1u64;
-                    while !shutdown.load(Ordering::SeqCst) {
-                        match listener.accept() {
-                            Ok((stream, _peer)) => {
-                                let conn_id = next_conn;
-                                next_conn += 1;
-                                ServerStats::add(&stats.conns_total, 1);
-                                ServerStats::add(&stats.conns_active, 1);
-                                let ctx = Arc::new(ConnCtx {
-                                    hub: hub.clone(),
-                                    engine: engine.clone(),
-                                    persist: persist.clone(),
-                                    ingest: ingest_tx.clone(),
-                                    ingest_depth: ingest_depth.clone(),
-                                    epoch,
-                                    max_line_bytes,
-                                    role: role.clone(),
-                                    runner: runner.clone(),
-                                    reshard: reshard.clone(),
-                                });
-                                spawn_connection(ctx, stream, conn_id, conn_queue, &conn_threads);
+        let (accept_thread, maintenance_thread, event_loop) = match config.io_model {
+            IoModel::EventLoop => {
+                // Blocking-request escape hatch: runs the job on a
+                // short-lived thread (joined with the pullers at
+                // teardown) and queues its reply on the connection's
+                // uncapped control path, exactly like an inline reply.
+                let offload = {
+                    let hub = hub.clone();
+                    let conn_threads = conn_threads.clone();
+                    Arc::new(move |conn_id: u64, job: crate::request::BlockingJob| {
+                        let hub = hub.clone();
+                        let handle = std::thread::Builder::new()
+                            .name("apcm-blocking".into())
+                            .spawn(move || {
+                                let text = job();
+                                if let Delivery::Loop(cell) = &hub.delivery {
+                                    if let Some(loop_handle) = cell.get() {
+                                        let _ = loop_handle.send(conn_id, text);
+                                        ServerStats::add(&hub.stats.replies_sent, 1);
+                                    }
+                                }
+                            })
+                            .expect("spawning blocking-request thread");
+                        conn_threads.lock().push(handle);
+                    })
+                };
+                let ctx = ConnCtx {
+                    hub: hub.clone(),
+                    engine: engine.clone(),
+                    persist: persist.clone(),
+                    ingest: ingest_tx.clone(),
+                    ingest_depth: pipeline.depth_handle(),
+                    epoch,
+                    max_line_bytes: config.max_line_bytes,
+                    role: role.clone(),
+                    runner: runner.clone(),
+                    reshard: reshard.clone(),
+                    offload: Some(offload),
+                };
+                let options = apcm_netio::LoopOptions {
+                    workers: config
+                        .loop_workers
+                        .unwrap_or_else(apcm_netio::default_workers),
+                    conn_queue: config.conn_queue,
+                    max_line_bytes: config.max_line_bytes,
+                    idle_timeout: config.idle_timeout,
+                    max_conns: config.max_conns,
+                    reject_line: Some("-ERR server busy".into()),
+                    tick_interval: Some(config.maintenance_interval),
+                    read_chunk: 64 * 1024,
+                };
+                let el = apcm_netio::EventLoop::start(
+                    listener,
+                    Arc::new(BrokerService::new(ctx)),
+                    options,
+                )?;
+                if let Delivery::Loop(cell) = &hub.delivery {
+                    let _ = cell.set(el.handle());
+                }
+                (None, None, Some(el))
+            }
+            IoModel::Threads => {
+                let accept_thread = {
+                    let hub = hub.clone();
+                    let engine = engine.clone();
+                    let persist = persist.clone();
+                    let stats = stats.clone();
+                    let shutdown = shutdown.clone();
+                    let conn_threads = conn_threads.clone();
+                    let role = role.clone();
+                    let runner = runner.clone();
+                    let reshard = reshard.clone();
+                    let conn_queue = config.conn_queue;
+                    let max_line_bytes = config.max_line_bytes;
+                    let max_conns = config.max_conns;
+                    let ingest_depth = pipeline.depth_handle();
+                    std::thread::Builder::new()
+                        .name("apcm-accept".into())
+                        .spawn(move || {
+                            let mut next_conn = 1u64;
+                            while !shutdown.load(Ordering::SeqCst) {
+                                match listener.accept() {
+                                    Ok((stream, _peer)) => {
+                                        let busy = max_conns.is_some_and(|max| {
+                                            ServerStats::get(&stats.conns_active) as usize >= max
+                                        });
+                                        if busy {
+                                            // Answered inline: the refused
+                                            // connection never gets threads
+                                            // or a registry slot.
+                                            ServerStats::add(&stats.conns_rejected, 1);
+                                            let _ = (&stream).write_all(b"-ERR server busy\n");
+                                            let _ = stream.shutdown(Shutdown::Both);
+                                            continue;
+                                        }
+                                        let conn_id = next_conn;
+                                        next_conn += 1;
+                                        ServerStats::add(&stats.conns_total, 1);
+                                        ServerStats::add(&stats.conns_active, 1);
+                                        let ctx = Arc::new(ConnCtx {
+                                            hub: hub.clone(),
+                                            engine: engine.clone(),
+                                            persist: persist.clone(),
+                                            ingest: ingest_tx.clone(),
+                                            ingest_depth: ingest_depth.clone(),
+                                            epoch,
+                                            max_line_bytes,
+                                            role: role.clone(),
+                                            runner: runner.clone(),
+                                            reshard: reshard.clone(),
+                                            offload: None,
+                                        });
+                                        spawn_connection(
+                                            ctx,
+                                            stream,
+                                            conn_id,
+                                            conn_queue,
+                                            &conn_threads,
+                                        );
+                                    }
+                                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                        std::thread::sleep(Duration::from_millis(5));
+                                    }
+                                    Err(_) => break,
+                                }
                             }
-                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                                std::thread::sleep(Duration::from_millis(5));
-                            }
-                            Err(_) => break,
-                        }
-                    }
-                })
-                .expect("spawning accept thread")
-        };
+                        })
+                        .expect("spawning accept thread")
+                };
 
-        let maintenance_thread = {
-            let hub = hub.clone();
-            let engine = engine.clone();
-            let persist = persist.clone();
-            let stats = stats.clone();
-            let shutdown = shutdown.clone();
-            let interval = config.maintenance_interval;
-            let idle_timeout = config.idle_timeout;
-            std::thread::Builder::new()
-                .name("apcm-maintenance".into())
-                .spawn(move || {
-                    // Sleep in small quanta so shutdown latency stays
-                    // bounded regardless of the maintenance interval.
-                    let quantum = Duration::from_millis(20).min(interval);
-                    'outer: loop {
-                        let mut waited = Duration::ZERO;
-                        while waited < interval {
-                            if shutdown.load(Ordering::SeqCst) {
-                                break 'outer;
+                let maintenance_thread = {
+                    let hub = hub.clone();
+                    let engine = engine.clone();
+                    let persist = persist.clone();
+                    let stats = stats.clone();
+                    let shutdown = shutdown.clone();
+                    let interval = config.maintenance_interval;
+                    let idle_timeout = config.idle_timeout;
+                    std::thread::Builder::new()
+                        .name("apcm-maintenance".into())
+                        .spawn(move || {
+                            // Sleep in small quanta so shutdown latency stays
+                            // bounded regardless of the maintenance interval.
+                            let quantum = Duration::from_millis(20).min(interval);
+                            'outer: loop {
+                                let mut waited = Duration::ZERO;
+                                while waited < interval {
+                                    if shutdown.load(Ordering::SeqCst) {
+                                        break 'outer;
+                                    }
+                                    std::thread::sleep(quantum);
+                                    waited += quantum;
+                                }
+                                let report = engine.maintain();
+                                stats.record_maintenance(&report);
+                                if let Some(persister) = &persist {
+                                    persister.maintenance_tick();
+                                }
+                                if let Some(timeout) = idle_timeout {
+                                    hub.reap_idle(epoch, timeout);
+                                }
                             }
-                            std::thread::sleep(quantum);
-                            waited += quantum;
-                        }
-                        let report = engine.maintain();
-                        stats.record_maintenance(&report);
-                        if let Some(persister) = &persist {
-                            persister.maintenance_tick();
-                        }
-                        if let Some(timeout) = idle_timeout {
-                            hub.reap_idle(epoch, timeout);
-                        }
-                    }
-                })
-                .expect("spawning maintenance thread")
+                        })
+                        .expect("spawning maintenance thread")
+                };
+                (Some(accept_thread), Some(maintenance_thread), None)
+            }
         };
 
         Ok(Server {
@@ -503,10 +659,11 @@ impl Server {
             role,
             addr: local_addr,
             shutdown,
-            accept_thread: Some(accept_thread),
-            maintenance_thread: Some(maintenance_thread),
+            accept_thread,
+            maintenance_thread,
             conn_threads,
             pipeline: Some(pipeline),
+            event_loop,
         })
     }
 
@@ -568,10 +725,18 @@ impl Server {
             let _ = t.join(); // exits within one poll interval
         }
 
-        // Closing the sockets unblocks every reader; readers drop their
-        // ingest senders and outbound queue handles on the way out.
-        {
-            let conns = self.hub.conns.lock();
+        // Event-loop mode: closes every loop-served connection, joins the
+        // worker pool, and drops the service — releasing its ingest
+        // sender so the matcher below can drain to completion.
+        if let Some(el) = self.event_loop.take() {
+            el.shutdown();
+        }
+
+        // Threaded mode: closing the sockets unblocks every reader;
+        // readers drop their ingest senders and outbound queue handles on
+        // the way out.
+        if let Some(registry) = self.hub.thread_conns() {
+            let conns = registry.lock();
             for handle in conns.values() {
                 let _ = handle.stream.shutdown(Shutdown::Both);
             }
@@ -609,6 +774,7 @@ impl Server {
                 self.engine.summary_bits_set() as u64,
                 self.engine.summary_rebuilds(),
             ),
+            self.hub.netio_gauges(),
         );
         out.push_str(&format!("engine {}\n", self.engine.engine_name()));
         out.push_str(&format!("shards {}\n", self.engine.shard_count()));
@@ -631,7 +797,7 @@ impl Server {
 /// with the role generation, and stale pullers notice the generation
 /// moved on and exit — `PROMOTE` therefore stops replication without any
 /// extra signalling.
-struct ReplicaRunner {
+pub(crate) struct ReplicaRunner {
     hub: Arc<Hub>,
     engine: Arc<ShardedEngine>,
     persist: Arc<Persister>,
@@ -644,7 +810,7 @@ struct ReplicaRunner {
 impl ReplicaRunner {
     /// Starts a puller for role `generation`; the handle joins with the
     /// connection threads at shutdown.
-    fn spawn(self: Arc<Self>, generation: u64) {
+    pub(crate) fn spawn(self: Arc<Self>, generation: u64) {
         let runner = self.clone();
         let handle = std::thread::Builder::new()
             .name(format!("apcm-replica-g{generation}"))
@@ -951,7 +1117,7 @@ struct PullTarget {
 /// * The cursor survives re-`PULL`s that carry the same scope (a donor
 ///   failover changes the address, not the leg), and is reset when the
 ///   scope changes (a different leg).
-struct ReshardRunner {
+pub(crate) struct ReshardRunner {
     hub: Arc<Hub>,
     engine: Arc<ShardedEngine>,
     persist: Arc<Persister>,
@@ -966,7 +1132,7 @@ struct ReshardRunner {
     /// Highest donor-log seq fully covered (bootstrap or applied frame).
     /// Stored, not maxed: a promoted standby can legitimately present
     /// fewer records than the dead donor had streamed.
-    cursor: AtomicU64,
+    pub(crate) cursor: AtomicU64,
     /// 1 while a stream is established (for `RESHARD STATUS`).
     connected: AtomicU64,
 }
@@ -976,7 +1142,12 @@ impl ReshardRunner {
     /// generation for it. Idempotent per leg: re-pulling the same scope —
     /// the router controller's repair action after either side dies —
     /// keeps the cursor and simply redials.
-    fn start_pull(self: &Arc<Self>, source: String, scope: RingScope, donor: Option<RingScope>) {
+    pub(crate) fn start_pull(
+        self: &Arc<Self>,
+        source: String,
+        scope: RingScope,
+        donor: Option<RingScope>,
+    ) {
         let mut target = self.target.lock();
         let same_leg = matches!(&*target, Some(t) if t.scope == scope && t.donor == donor);
         if !same_leg {
@@ -1001,7 +1172,7 @@ impl ReshardRunner {
     /// `RESHARD CUTOFF` (or demotion): stop pulling. The applied catalog
     /// stays — cutoff means the migration controller decided this node
     /// now owns what it pulled.
-    fn stop(&self) {
+    pub(crate) fn stop(&self) {
         // Bump the generation while holding the target lock: frame
         // application takes the same lock and re-checks liveness, so once
         // this returns (and `RESHARD CUTOFF` is acked) no further frame —
@@ -1021,7 +1192,7 @@ impl ReshardRunner {
             && self.generation.load(Ordering::SeqCst) == generation
     }
 
-    fn status_line(&self) -> String {
+    pub(crate) fn status_line(&self) -> String {
         match &*self.target.lock() {
             Some(t) => format!(
                 "+OK reshard pulling {} applied {} connected {}",
@@ -1384,14 +1555,18 @@ fn spawn_connection(
                 return;
             }
         };
-        ctx.hub.conns.lock().insert(
-            conn_id,
-            ConnHandle {
-                out: out_tx.clone(),
-                stream: registry_stream,
-                activity: activity.clone(),
-            },
-        );
+        ctx.hub
+            .thread_conns()
+            .expect("spawn_connection is threaded-mode only")
+            .lock()
+            .insert(
+                conn_id,
+                ConnHandle {
+                    out: out_tx.clone(),
+                    stream: registry_stream,
+                    activity: activity.clone(),
+                },
+            );
         std::thread::Builder::new()
             .name(format!("apcm-conn-{conn_id}-r"))
             .spawn(move || {
@@ -1402,7 +1577,9 @@ fn spawn_connection(
                 if let Some(p) = &ctx.persist {
                     p.remove_follower(conn_id);
                 }
-                ctx.hub.conns.lock().remove(&conn_id);
+                if let Some(registry) = ctx.hub.thread_conns() {
+                    registry.lock().remove(&conn_id);
+                }
                 ServerStats::sub(&ctx.hub.stats.conns_active, 1);
             })
             .expect("spawning connection reader")
@@ -1427,23 +1604,8 @@ fn write_loop(stream: TcpStream, out_rx: Receiver<String>) {
     let _ = w.flush();
 }
 
-/// The migration-era ring ownership filter: with a scope installed (by
-/// `RESHARD PRUNE`), churn for an id the scope does not own is refused
-/// with `-ERR not owner <id>` — the client retries, re-routing through
-/// the router's refreshed view. Returns whether the request was refused.
-fn refuse_unowned(ctx: &ConnCtx, id: SubId, reply: &impl Fn(String)) -> bool {
-    let refused = match &*ctx.hub.ownership.read() {
-        Some(scope) => !scope.owns(id),
-        None => false,
-    };
-    if refused {
-        ServerStats::add(&ctx.hub.stats.not_owner_refusals, 1);
-        reply(protocol::render_not_owner(id));
-    }
-    refused
-}
-
-/// Parses and executes requests until EOF, error, or QUIT.
+/// Frames capped lines off the socket and feeds them to the shared
+/// dispatcher until EOF, error, or the dispatcher closes the connection.
 fn read_loop(
     ctx: &ConnCtx,
     stream: TcpStream,
@@ -1451,434 +1613,50 @@ fn read_loop(
     out: Sender<String>,
     activity: &AtomicU64,
 ) {
-    let stats = &ctx.hub.stats;
+    let stats = ctx.hub.stats.clone();
     let max_line = ctx.max_line_bytes;
+    // Source for the follower face a `REPLICATE` handshake materializes;
+    // cloned up front because the stream itself moves into the reader.
+    let follower_src = stream.try_clone().ok();
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    let mut next_seq = 0u64;
+    let mut state = ConnState::default();
+    let out_follower = out.clone();
+    let mut make_follower = move || -> std::io::Result<Box<dyn FollowerConn>> {
+        let stream = follower_src
+            .as_ref()
+            .ok_or_else(|| std::io::Error::other("connection stream unavailable"))?
+            .try_clone()?;
+        Ok(Box::new(ThreadedFollower {
+            out: out_follower.clone(),
+            stream,
+        }))
+    };
     // Control replies go through the same queue as async results; a
     // blocking send here only ever waits on this connection's own writer.
-    let reply = |text: String| {
+    let mut reply = |text: String| {
         let _ = out.send(text);
         ServerStats::add(&stats.replies_sent, 1);
     };
     loop {
-        match read_capped_line(&mut reader, &mut line, max_line) {
-            Ok(LineOutcome::Line) => {}
-            Ok(LineOutcome::TooLong) => {
-                ServerStats::add(&stats.oversized_lines, 1);
-                ServerStats::add(&stats.protocol_errors, 1);
-                reply(format!("-ERR line too long (max {max_line} bytes)"));
-                continue;
+        let input = match read_capped_line(&mut reader, &mut line, max_line) {
+            Ok(LineOutcome::Line) => {
+                activity.store(ctx.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+                LineInput::Text(&line)
             }
+            Ok(LineOutcome::TooLong) => LineInput::TooLong,
             Ok(LineOutcome::Eof) | Err(_) => return,
-        }
-        activity.store(ctx.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
-        let request = match protocol::parse_request(&ctx.hub.schema, &line) {
-            Ok(Some(req)) => req,
-            Ok(None) => continue,
-            Err(msg) => {
-                ServerStats::add(&stats.protocol_errors, 1);
-                reply(format!("-ERR {msg}"));
-                continue;
-            }
         };
-        match request {
-            Request::Sub { id, sub } => {
-                if ctx.role.is_replica() {
-                    // Read-only: churn flows in over the REPLICATE stream
-                    // only, so the follower never diverges from its
-                    // primary. Matching (PUB/BATCH) stays available.
-                    reply(protocol::READ_ONLY_REPLICA_ERR.to_string());
-                    continue;
-                }
-                if refuse_unowned(ctx, id, &reply) {
-                    continue;
-                }
-                let outcome = match &ctx.persist {
-                    Some(p) => p.apply_sub(&ctx.engine, &sub),
-                    None => ctx.engine.subscribe(&sub).map_err(ChurnError::Engine),
-                };
-                match outcome {
-                    Ok(true) => {
-                        ctx.hub.owners.write().insert(id, conn_id);
-                        ctx.hub.live.write().insert(id, sub_fingerprint(&sub));
-                        ServerStats::add(&stats.subs_added, 1);
-                        reply(format!("+OK {}", id.0));
-                    }
-                    Ok(false) => {
-                        // Duplicate id. A byte-identical expression is a
-                        // reconnect reclaiming its subscription: transfer
-                        // ownership, no engine or durable churn. Anything
-                        // else is the structured duplicate error.
-                        let identical =
-                            ctx.hub.live.read().get(&id).copied() == Some(sub_fingerprint(&sub));
-                        if identical {
-                            ctx.hub.owners.write().insert(id, conn_id);
-                            ServerStats::add(&stats.subs_reclaimed, 1);
-                            reply(format!("+OK claimed {}", id.0));
-                        } else {
-                            ServerStats::add(&stats.protocol_errors, 1);
-                            reply(protocol::render_duplicate_error(id));
-                        }
-                    }
-                    Err(e @ ChurnError::Engine(_)) => {
-                        ServerStats::add(&stats.protocol_errors, 1);
-                        reply(format!("-ERR {e}"));
-                    }
-                    Err(e @ ChurnError::Persist(_)) => {
-                        // Counted as persist_errors by the persister, not
-                        // as a protocol error — the request was valid.
-                        reply(format!("-ERR {e}"));
-                    }
-                }
-            }
-            Request::Unsub { id } => {
-                if ctx.role.is_replica() {
-                    reply(protocol::READ_ONLY_REPLICA_ERR.to_string());
-                    continue;
-                }
-                if refuse_unowned(ctx, id, &reply) {
-                    continue;
-                }
-                let outcome = match &ctx.persist {
-                    Some(p) => p.apply_unsub(&ctx.engine, id),
-                    None => Ok(ctx.engine.unsubscribe(id)),
-                };
-                match outcome {
-                    Ok(true) => {
-                        ctx.hub.owners.write().remove(&id);
-                        ctx.hub.live.write().remove(&id);
-                        ServerStats::add(&stats.subs_removed, 1);
-                        reply(format!("+OK {}", id.0));
-                    }
-                    Ok(false) => {
-                        ServerStats::add(&stats.protocol_errors, 1);
-                        reply(format!("-ERR unknown subscription {}", id.0));
-                    }
-                    Err(e) => reply(format!("-ERR {e}")),
-                }
-            }
-            Request::Claim { id } => {
-                // Ownership transfer for a live id: the reclaim path after
-                // a broker restart (recovered subscriptions have no owning
-                // connection until someone claims them).
-                if refuse_unowned(ctx, id, &reply) {
-                    continue;
-                }
-                if ctx.hub.live.read().contains_key(&id) {
-                    ctx.hub.owners.write().insert(id, conn_id);
-                    ServerStats::add(&stats.subs_reclaimed, 1);
-                    reply(format!("+OK claimed {}", id.0));
-                } else {
-                    ServerStats::add(&stats.protocol_errors, 1);
-                    reply(format!("-ERR unknown subscription {}", id.0));
-                }
-            }
-            Request::Pub { event } => {
-                let seq = next_seq;
-                next_seq += 1;
-                ServerStats::add(&stats.events_in, 1);
-                // Ack first — the event's RESULT must never precede it.
-                reply(format!("+OK {seq}"));
-                if ctx
-                    .ingest
-                    .send(IngestItem {
-                        conn: conn_id,
-                        seq,
-                        event,
-                    })
-                    .is_err()
-                {
-                    reply("-ERR server shutting down".into());
-                    return;
-                }
-            }
-            Request::Batch { count } => {
-                let first = next_seq;
-                let mut events = Vec::with_capacity(count);
-                for i in 0..count {
-                    match read_capped_line(&mut reader, &mut line, max_line) {
-                        Ok(LineOutcome::Line) => {}
-                        Ok(LineOutcome::TooLong) => {
-                            ServerStats::add(&stats.oversized_lines, 1);
-                            ServerStats::add(&stats.protocol_errors, 1);
-                            reply(format!("-ERR batch line {i}: line too long"));
-                            continue;
-                        }
-                        Ok(LineOutcome::Eof) | Err(_) => return,
-                    }
-                    activity.store(ctx.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
-                    match apcm_bexpr::parser::parse_event(&ctx.hub.schema, line.trim()) {
-                        Ok(event) => {
-                            let seq = next_seq;
-                            next_seq += 1;
-                            ServerStats::add(&stats.events_in, 1);
-                            events.push((seq, event));
-                        }
-                        Err(e) => {
-                            ServerStats::add(&stats.protocol_errors, 1);
-                            reply(format!("-ERR batch line {i}: bad event: {e}"));
-                        }
-                    }
-                }
-                // Ack before submitting: the ingest pipeline can flush a
-                // full window (and push its RESULT lines) before this
-                // thread gets to enqueue anything, and the wire contract
-                // promises the ack precedes the batch's results.
-                reply(format!("+OK batch {first} {}", events.len()));
-                for (seq, event) in events {
-                    if ctx
-                        .ingest
-                        .send(IngestItem {
-                            conn: conn_id,
-                            seq,
-                            event,
-                        })
-                        .is_err()
-                    {
-                        reply("-ERR server shutting down".into());
-                        return;
-                    }
-                }
-            }
-            Request::Stats => {
-                let body = stats.render(
-                    &ctx.engine.per_shard_len(),
-                    ctx.ingest_depth.len(),
-                    ctx.engine.kernel_counters(),
-                    (
-                        ctx.engine.summary_epoch(),
-                        ctx.engine.summary_bits_set() as u64,
-                        ctx.engine.summary_rebuilds(),
-                    ),
-                );
-                // One queued string so async RESULT/EVENT lines cannot
-                // interleave inside the multi-line response.
-                reply(format!("+OK stats\n{body}."));
-            }
-            Request::Snapshot => match &ctx.persist {
-                Some(p) => match p.snapshot() {
-                    Ok(outcome) => reply(format!(
-                        "+OK snapshot subs {} seq {} bytes {}",
-                        outcome.subs, outcome.seq, outcome.bytes
-                    )),
-                    Err(e) => reply(format!("-ERR snapshot failed: {e}")),
-                },
-                None => {
-                    ServerStats::add(&stats.protocol_errors, 1);
-                    reply("-ERR persistence disabled".into());
-                }
-            },
-            Request::Topology => {
-                // A standalone server is its own (only) partition; the
-                // multi-line backend report is the cluster router's.
-                reply("+OK topology standalone".into());
-            }
-            Request::Summary { epoch } => {
-                // Coarse predicate-space summary fetch (router pruning).
-                // `unchanged` elides the bitset when the caller is current.
-                match ctx.engine.summary_if_newer(epoch) {
-                    None => reply(protocol::render_summary_unchanged(epoch)),
-                    Some((epoch, bits)) => reply(protocol::render_summary_reply(epoch, &bits)),
-                }
-            }
-            Request::Replicate { from_seq, v2, ring } => match &ctx.persist {
-                Some(p) => {
-                    let scope = match ring
-                        .map(|spec| RingScope::parse(&spec.members_csv, &spec.keep_csv))
-                        .transpose()
-                    {
-                        Ok(scope) => scope,
-                        Err(e) => {
-                            ServerStats::add(&stats.protocol_errors, 1);
-                            reply(format!("-ERR bad replicate ring: {e}"));
-                            continue;
-                        }
-                    };
-                    let registered = reader.get_ref().try_clone().and_then(|s| {
-                        p.begin_stream(conn_id, from_seq, v2, scope.as_ref(), out.clone(), s)
-                    });
-                    match registered {
-                        // The handshake header + backlog chunk is already
-                        // queued; the live tail flows via broadcast. This
-                        // connection now doubles as a feed — REPLACKs keep
-                        // arriving through this loop.
-                        Ok(_start) => {
-                            ServerStats::add(&stats.replies_sent, 1);
-                        }
-                        Err(e) => reply(format!("-ERR replicate failed: {e}")),
-                    }
-                }
-                None => {
-                    ServerStats::add(&stats.protocol_errors, 1);
-                    reply("-ERR persistence disabled".into());
-                }
-            },
-            Request::ReplAck { seq } => {
-                if let Some(p) = &ctx.persist {
-                    p.follower_ack(conn_id, seq);
-                }
-            }
-            Request::Role => {
-                let report = match ctx.role.role() {
-                    Role::Primary => RoleReport {
-                        primary: true,
-                        seq: ctx.persist.as_ref().map(|p| p.current_seq()).unwrap_or(0),
-                        lag: ServerStats::get(&stats.repl_lag_records),
-                        connected: ServerStats::get(&stats.repl_followers),
-                        following: None,
-                    },
-                    Role::Replica { primary } => RoleReport {
-                        primary: false,
-                        seq: ctx.persist.as_ref().map(|p| p.current_seq()).unwrap_or(0),
-                        lag: 0,
-                        connected: ServerStats::get(&stats.repl_connected),
-                        following: Some(primary),
-                    },
-                };
-                reply(protocol::render_role_report(&report));
-            }
-            Request::Promote => {
-                if ctx.role.promote() {
-                    ServerStats::add(&stats.promotions, 1);
-                    stats.role_replica.store(0, Ordering::Relaxed);
-                    stats.repl_connected.store(0, Ordering::Relaxed);
-                }
-                let seq = ctx.persist.as_ref().map(|p| p.current_seq()).unwrap_or(0);
-                reply(format!("+OK promoted seq {seq}"));
-            }
-            Request::Reshard(cmd) => match cmd {
-                ReshardCmd::Add { .. } | ReshardCmd::Remove { .. } => {
-                    ServerStats::add(&stats.protocol_errors, 1);
-                    reply(
-                        "-ERR RESHARD ADD/REMOVE target the cluster router, not a backend".into(),
-                    );
-                }
-                ReshardCmd::Status => match &ctx.reshard {
-                    Some(runner) => reply(runner.status_line()),
-                    None => reply("+OK reshard idle".into()),
-                },
-                ReshardCmd::Pull {
-                    source,
-                    scope,
-                    donor,
-                } => {
-                    if ctx.role.is_replica() {
-                        reply(protocol::READ_ONLY_REPLICA_ERR.to_string());
-                        continue;
-                    }
-                    let Some(runner) = &ctx.reshard else {
-                        ServerStats::add(&stats.protocol_errors, 1);
-                        reply("-ERR persistence required for resharding".into());
-                        continue;
-                    };
-                    let parsed =
-                        RingScope::parse(&scope.members_csv, &scope.keep_csv).and_then(|scope| {
-                            donor
-                                .map(|d| RingScope::parse(&d.members_csv, &d.keep_csv))
-                                .transpose()
-                                .map(|donor| (scope, donor))
-                        });
-                    match parsed {
-                        Ok((scope, donor)) => {
-                            let ack = format!("+OK reshard pulling {source}");
-                            runner.start_pull(source, scope, donor);
-                            reply(ack);
-                        }
-                        Err(e) => {
-                            ServerStats::add(&stats.protocol_errors, 1);
-                            reply(format!("-ERR bad reshard scope: {e}"));
-                        }
-                    }
-                }
-                ReshardCmd::Cutoff => match &ctx.reshard {
-                    Some(runner) => {
-                        runner.stop();
-                        reply(format!(
-                            "+OK reshard cutoff applied {}",
-                            runner.cursor.load(Ordering::SeqCst)
-                        ));
-                    }
-                    None => {
-                        ServerStats::add(&stats.protocol_errors, 1);
-                        reply("-ERR persistence required for resharding".into());
-                    }
-                },
-                ReshardCmd::Prune { scope } => {
-                    if ctx.role.is_replica() {
-                        reply(protocol::READ_ONLY_REPLICA_ERR.to_string());
-                        continue;
-                    }
-                    let Some(p) = &ctx.persist else {
-                        ServerStats::add(&stats.protocol_errors, 1);
-                        reply("-ERR persistence required for resharding".into());
-                        continue;
-                    };
-                    match RingScope::parse(&scope.members_csv, &scope.keep_csv) {
-                        Ok(parsed) => {
-                            // Install the refusal filter *before* pruning:
-                            // stale-routed churn for moved ids must start
-                            // bouncing the moment the flip is decided, even
-                            // while the unsub sweep is still running.
-                            *ctx.hub.ownership.write() = Some(parsed.clone());
-                            let mut pruned = 0u64;
-                            let mut degraded = None;
-                            for id in p.catalog_ids() {
-                                if parsed.owns(id) {
-                                    continue;
-                                }
-                                match p.apply_unsub(&ctx.engine, id) {
-                                    Ok(true) => {
-                                        ctx.hub.live.write().remove(&id);
-                                        ctx.hub.owners.write().remove(&id);
-                                        pruned += 1;
-                                    }
-                                    Ok(false) => {}
-                                    Err(e) => {
-                                        degraded = Some(e);
-                                        break;
-                                    }
-                                }
-                            }
-                            ServerStats::add(&stats.reshard_pruned, pruned);
-                            match degraded {
-                                // The controller re-issues PRUNE with the
-                                // same scope until it succeeds end-to-end.
-                                Some(e) => reply(format!("-ERR reshard prune incomplete: {e}")),
-                                None => reply(format!("+OK reshard pruned {pruned}")),
-                            }
-                        }
-                        Err(e) => {
-                            ServerStats::add(&stats.protocol_errors, 1);
-                            reply(format!("-ERR bad reshard scope: {e}"));
-                        }
-                    }
-                }
-            },
-            Request::Demote { addr } => match &ctx.runner {
-                Some(runner) => {
-                    let generation = ctx.role.demote(addr.clone());
-                    ServerStats::add(&stats.demotions, 1);
-                    stats.role_replica.store(1, Ordering::Relaxed);
-                    // A replica must not keep absorbing a migration pull:
-                    // its catalog now mirrors its primary's, nothing else.
-                    if let Some(reshard) = &ctx.reshard {
-                        reshard.stop();
-                    }
-                    runner.clone().spawn(generation);
-                    reply(format!("+OK demoted following {addr}"));
-                }
-                None => {
-                    ServerStats::add(&stats.protocol_errors, 1);
-                    reply("-ERR persistence required for replica mode".into());
-                }
-            },
-            Request::Ping => reply("+PONG".into()),
-            Request::Quit => {
-                reply("+OK bye".into());
-                return;
-            }
+        let flow = on_conn_line(
+            ctx,
+            conn_id,
+            &mut state,
+            input,
+            &mut reply,
+            &mut make_follower,
+        );
+        if flow == Flow::Close {
+            return;
         }
     }
 }

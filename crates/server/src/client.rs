@@ -43,6 +43,16 @@ impl Default for ConnectOptions {
 }
 
 impl ConnectOptions {
+    /// Builder shorthand: cap every read at `ms` milliseconds. A read that
+    /// times out surfaces as a retryable [`std::io::Error`]
+    /// ([`is_timeout_error`]); [`BrokerClient`] keeps any partial line the
+    /// timed-out read consumed and re-joins it on the next read, so a
+    /// timeout never tears a protocol line.
+    pub fn read_timeout_ms(mut self, ms: u64) -> Self {
+        self.read_timeout = Some(Duration::from_millis(ms));
+        self
+    }
+
     /// Jittered delay before attempt `attempt` (1-based count of failures
     /// so far): `backoff * 2^(attempt-1)`, clamped, then scaled by a
     /// deterministic factor in `[0.5, 1.5)` from an xorshift of the seed.
@@ -86,9 +96,25 @@ pub fn connect_stream(addr: &str, options: &ConnectOptions) -> std::io::Result<T
     Err(last_err.unwrap_or_else(|| std::io::Error::other("no connection attempts made")))
 }
 
+/// True when `err` is a read-timeout expiring (`SO_RCVTIMEO` surfaces as
+/// `WouldBlock` on unix, `TimedOut` on windows) — a retryable wait, not a
+/// dead connection.
+pub fn is_timeout_error(err: &std::io::Error) -> bool {
+    matches!(
+        err.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 pub struct BrokerClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Partial line carried across a timed-out read: `BufRead::read_line`
+    /// keeps any valid-UTF-8 bytes it consumed before the error in the
+    /// target string, so accumulating into this buffer (instead of a
+    /// per-call local) means a timeout mid-line loses nothing — the next
+    /// read appends the remainder and yields the whole line.
+    pending: String,
     /// Extra attempts for churn commands answered with a retryable
     /// refusal (`-ERR backend <i> unavailable` from a router mid-failover,
     /// `-ERR read-only replica` from a just-demoted node). 0 disables.
@@ -111,6 +137,7 @@ impl BrokerClient {
         Ok(Self {
             reader,
             writer: BufWriter::new(stream),
+            pending: String::new(),
             churn_retries: 4,
             churn_retry_backoff: Duration::from_millis(75),
         })
@@ -158,11 +185,20 @@ impl BrokerClient {
     }
 
     /// Reads one line (without the trailing newline). `Ok(None)` on EOF.
+    ///
+    /// With a read timeout installed (see
+    /// [`ConnectOptions::read_timeout_ms`]) an expired wait returns the
+    /// timeout error but keeps whatever partial line already arrived
+    /// buffered; calling again resumes the same line.
     pub fn read_line(&mut self) -> std::io::Result<Option<String>> {
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Ok(None);
+        match self.reader.read_line(&mut self.pending) {
+            Ok(0) if self.pending.is_empty() => return Ok(None),
+            // Ok(0) with a non-empty buffer is EOF tearing the final
+            // line; surface what arrived, as the one-shot read did.
+            Ok(_) => {}
+            Err(e) => return Err(e),
         }
+        let mut line = std::mem::take(&mut self.pending);
         while line.ends_with('\n') || line.ends_with('\r') {
             line.pop();
         }
@@ -205,14 +241,26 @@ impl BrokerClient {
     /// mid-failover, or a node answering `-ERR read-only replica` in the
     /// instant between its demotion and the router re-aiming at the new
     /// primary. Returns the raw reply line of the final attempt.
+    /// A read timeout mid-wait also retries, but by *re-reading* — the
+    /// command is already in flight, so resending it would double-apply
+    /// (a second `SUB` of an id this client just registered answers
+    /// `-ERR duplicate`).
     fn churn_command(&mut self, command: &str, context: &str) -> std::io::Result<String> {
         let mut attempt = 0u32;
+        self.send_line(command)?;
         loop {
-            self.send_line(command)?;
-            let reply = self.next_reply(context)?;
+            let reply = match self.next_reply(context) {
+                Ok(reply) => reply,
+                Err(e) if is_timeout_error(&e) && attempt < self.churn_retries => {
+                    attempt += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             if protocol::is_retryable_churn_refusal(&reply) && attempt < self.churn_retries {
                 attempt += 1;
                 std::thread::sleep(self.churn_retry_backoff);
+                self.send_line(command)?;
                 continue;
             }
             return Ok(reply);
@@ -471,6 +519,37 @@ mod tests {
             ..ConnectOptions::default()
         };
         assert_ne!(a.delay_before_retry(3), b.delay_before_retry(3));
+    }
+
+    #[test]
+    fn read_timeout_preserves_partial_line() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut stream = stream;
+            stream.write_all(b"+OK par").unwrap();
+            stream.flush().unwrap();
+            // Long enough for at least one client read to time out first.
+            std::thread::sleep(Duration::from_millis(200));
+            stream.write_all(b"tial done\n+OK next\n").unwrap();
+            stream.flush().unwrap();
+        });
+        let options = ConnectOptions::default().read_timeout_ms(40);
+        let mut client = BrokerClient::connect_with(&addr, &options).unwrap();
+        let mut timeouts = 0;
+        let line = loop {
+            match client.read_line() {
+                Ok(line) => break line,
+                Err(e) if is_timeout_error(&e) => timeouts += 1,
+                Err(e) => panic!("unexpected read error: {e}"),
+            }
+        };
+        assert!(timeouts >= 1, "read should have timed out mid-line");
+        assert_eq!(line.as_deref(), Some("+OK partial done"));
+        // The timeout consumed nothing extra: the following line is whole.
+        assert_eq!(client.read_line().unwrap().as_deref(), Some("+OK next"));
+        server.join().unwrap();
     }
 
     #[test]

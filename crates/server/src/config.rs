@@ -131,6 +131,36 @@ impl SnapshotFormat {
     }
 }
 
+/// How the broker serves client connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoModel {
+    /// One `apcm-netio` readiness loop on a fixed worker pool multiplexes
+    /// every client connection (epoll + timer wheel). The default.
+    EventLoop,
+    /// Two threads per connection (blocking reader + writer). Kept as the
+    /// scalability baseline and for environments without epoll.
+    Threads,
+}
+
+impl IoModel {
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "event-loop" | "epoll" | "loop" => Ok(Self::EventLoop),
+            "threads" | "threaded" => Ok(Self::Threads),
+            other => Err(format!(
+                "unknown io model `{other}` (expected event-loop|threads)"
+            )),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::EventLoop => "event-loop",
+            Self::Threads => "threads",
+        }
+    }
+}
+
 /// Durability settings. `ServerConfig::persist = Some(..)` turns the
 /// broker's subscription set into durable state (see [`crate::persist`]).
 #[derive(Debug, Clone)]
@@ -225,6 +255,15 @@ pub struct ServerConfig {
     /// A replica sends `REPLACK` after this many applied records (and on
     /// stream idle), bounding how stale the primary's lag gauge can be.
     pub repl_ack_every: u64,
+    /// How client connections are served (event loop vs thread pair).
+    pub io_model: IoModel,
+    /// Admission cap: accepts beyond this many open client connections
+    /// are answered `-ERR server busy` and closed (counted in
+    /// `conns_rejected`). `None` disables the cap.
+    pub max_conns: Option<usize>,
+    /// Event-loop worker threads; `None` sizes from available cores
+    /// (clamped to 2..=8). Ignored under `IoModel::Threads`.
+    pub loop_workers: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -244,6 +283,9 @@ impl Default for ServerConfig {
             persist: None,
             replica_of: None,
             repl_ack_every: 32,
+            io_model: IoModel::EventLoop,
+            max_conns: None,
+            loop_workers: None,
         }
     }
 }
@@ -272,6 +314,12 @@ impl ServerConfig {
         }
         if self.repl_ack_every == 0 {
             return Err("repl_ack_every must be positive".into());
+        }
+        if self.max_conns == Some(0) {
+            return Err("max_conns must be positive when set".into());
+        }
+        if self.loop_workers == Some(0) {
+            return Err("loop_workers must be positive when set".into());
         }
         Ok(())
     }
@@ -388,6 +436,38 @@ mod tests {
         assert_eq!(p.format, SnapshotFormat::Colstore);
         assert_eq!(p.format.name(), "colstore");
         assert!(p.max_delta_chain > 0);
+    }
+
+    #[test]
+    fn io_model_parses_and_defaults_to_event_loop() {
+        assert_eq!(IoModel::parse("event-loop").unwrap(), IoModel::EventLoop);
+        assert_eq!(IoModel::parse("epoll").unwrap(), IoModel::EventLoop);
+        assert_eq!(IoModel::parse("threads").unwrap(), IoModel::Threads);
+        assert!(IoModel::parse("fibers").is_err());
+        let config = ServerConfig::default();
+        assert_eq!(config.io_model, IoModel::EventLoop);
+        assert_eq!(config.io_model.name(), "event-loop");
+        assert!(config.max_conns.is_none());
+    }
+
+    #[test]
+    fn rejects_zero_conn_cap_and_workers() {
+        let config = ServerConfig {
+            max_conns: Some(0),
+            ..ServerConfig::default()
+        };
+        assert!(config.validate().is_err());
+        let config = ServerConfig {
+            loop_workers: Some(0),
+            ..ServerConfig::default()
+        };
+        assert!(config.validate().is_err());
+        let config = ServerConfig {
+            max_conns: Some(64),
+            loop_workers: Some(2),
+            ..ServerConfig::default()
+        };
+        config.validate().unwrap();
     }
 
     #[test]

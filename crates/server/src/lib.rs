@@ -28,18 +28,21 @@ pub mod broker;
 pub mod client;
 pub mod config;
 pub mod engine;
+mod event_broker;
 pub mod ingest;
 pub mod persist;
 pub mod protocol;
 pub mod replication;
+mod request;
 pub mod ring;
 pub mod shard;
 pub mod stats;
 
 pub use broker::{read_capped_line, LineOutcome, Server};
-pub use client::{BrokerClient, ConnectOptions};
+pub use client::{is_timeout_error, BrokerClient, ConnectOptions};
 pub use config::{
-    EngineChoice, FsyncPolicy, PersistConfig, ServerConfig, SlowConsumerPolicy, SnapshotFormat,
+    EngineChoice, FsyncPolicy, IoModel, PersistConfig, ServerConfig, SlowConsumerPolicy,
+    SnapshotFormat,
 };
 pub use engine::ShardEngine;
 pub use ingest::{IngestItem, IngestPipeline, ResultSink};

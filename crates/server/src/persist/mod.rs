@@ -50,14 +50,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::config::{FsyncPolicy, PersistConfig, SnapshotFormat};
-use crate::replication::{send_chunk, ReplicationHub};
+use crate::replication::{send_chunk, FollowerConn, ReplicationHub};
 use crate::ring::RingScope;
 use crate::shard::{route_partition, ShardedEngine};
 use crate::stats::ServerStats;
 use apcm_colstore::{b64, Manifest};
-use crossbeam::channel::Sender;
 use log::{ChurnLog, ChurnOp, ReplayOp, ReplayRecord};
-use std::net::TcpStream;
 
 /// Why a churn operation was rejected.
 #[derive(Debug)]
@@ -698,8 +696,7 @@ impl Persister {
         from_seq: u64,
         v2: bool,
         scope: Option<&RingScope>,
-        out: Sender<String>,
-        stream: TcpStream,
+        conn: Box<dyn FollowerConn>,
     ) -> io::Result<StreamStart> {
         let inner = self.inner.lock();
         let current = inner.log.seq();
@@ -712,8 +709,8 @@ impl Persister {
                 chunk.push_str(frame);
             }
             let backlog = frames.len();
-            send_chunk(&out, chunk).map_err(io::Error::other)?;
-            self.repl.register(follower_id, out, stream, from_seq);
+            send_chunk(&*conn, chunk).map_err(io::Error::other)?;
+            self.repl.register(follower_id, conn, from_seq);
             StreamStart::Log { backlog }
         } else {
             // Either the follower predates the retained log (rotation) or
@@ -752,7 +749,7 @@ impl Persister {
                 }
                 let nblocks = blocks.len();
                 ServerStats::add(&self.stats.repl_bootstrap_bytes, chunk.len() as u64 + 1);
-                send_chunk(&out, chunk).map_err(io::Error::other)?;
+                send_chunk(&*conn, chunk).map_err(io::Error::other)?;
                 StreamStart::Colstore {
                     blocks: nblocks,
                     subs: n,
@@ -769,14 +766,13 @@ impl Persister {
                     ));
                 }
                 ServerStats::add(&self.stats.repl_bootstrap_bytes, chunk.len() as u64 + 1);
-                send_chunk(&out, chunk).map_err(io::Error::other)?;
+                send_chunk(&*conn, chunk).map_err(io::Error::other)?;
                 StreamStart::Snapshot {
                     subs: n,
                     seq: current,
                 }
             };
-            self.repl
-                .register(follower_id, out, stream, from_seq.min(current));
+            self.repl.register(follower_id, conn, from_seq.min(current));
             start
         };
         self.stats.repl_followers.store(

@@ -44,13 +44,44 @@
 //! and exit. `ROLE` reports the current role, sequence, and lag — the
 //! cluster router's health sweep uses it as its liveness probe.
 
-use crossbeam::channel::{Sender, TrySendError};
+use crossbeam::channel::Sender;
 use parking_lot::{Mutex, RwLock};
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::Ordering;
 
 use crate::persist::failpoint::{self, FailAction};
 use crate::stats::ServerStats;
+
+/// Outbound face of one follower connection, abstracting over the two
+/// broker I/O models: a thread-pair connection queues onto a bounded
+/// crossbeam channel drained by its writer thread, an event-loop
+/// connection queues onto its `LoopHandle` outbound queue. Registration
+/// and broadcast never touch the socket directly — only this trait.
+pub trait FollowerConn: Send {
+    /// Bounded enqueue of one frame line; `false` means the queue is
+    /// full or the connection is gone (the follower is cut loose).
+    fn try_send(&self, line: String) -> bool;
+    /// Force-close the follower's connection (it reconnects and catches
+    /// up from its acked sequence).
+    fn kick(&self);
+}
+
+/// [`FollowerConn`] for the threaded broker: the connection's bounded
+/// outbound channel plus a stream clone for the force-close.
+pub struct ThreadedFollower {
+    pub out: Sender<String>,
+    pub stream: TcpStream,
+}
+
+impl FollowerConn for ThreadedFollower {
+    fn try_send(&self, line: String) -> bool {
+        self.out.try_send(line).is_ok()
+    }
+
+    fn kick(&self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
 
 /// What this server currently is.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,12 +155,11 @@ impl RoleState {
 }
 
 /// One live follower connection on a primary: frames are queued onto the
-/// connection's outbound channel (drained by its writer thread).
+/// connection's outbound queue (writer thread or event-loop flush).
 struct Follower {
     /// Follower id — the broker connection id serving the stream.
     id: u64,
-    out: Sender<String>,
-    stream: TcpStream,
+    conn: Box<dyn FollowerConn>,
     /// Highest sequence the follower has `REPLACK`ed.
     acked: u64,
 }
@@ -146,13 +176,8 @@ pub struct ReplicationHub {
 impl ReplicationHub {
     /// Registers a follower stream. `acked` starts at the handshake's
     /// `from_seq` (pessimistic — `REPLACK`s refine it).
-    pub fn register(&self, id: u64, out: Sender<String>, stream: TcpStream, acked: u64) {
-        self.followers.lock().push(Follower {
-            id,
-            out,
-            stream,
-            acked,
-        });
+    pub fn register(&self, id: u64, conn: Box<dyn FollowerConn>, acked: u64) {
+        self.followers.lock().push(Follower { id, conn, acked });
     }
 
     /// Drops a follower (its connection closed). Idempotent.
@@ -212,7 +237,7 @@ impl ReplicationHub {
         match failpoint::fire("repl.stream.send") {
             Some(FailAction::Error) => {
                 for f in followers.drain(..) {
-                    let _ = f.stream.shutdown(Shutdown::Both);
+                    f.conn.kick();
                 }
                 stats.repl_followers.store(0, Ordering::Relaxed);
                 return;
@@ -227,23 +252,22 @@ impl ReplicationHub {
             // Ship the torn prefix as its own line, then cut the streams:
             // followers see a CRC-bad frame (skip + count) and reconnect.
             for f in followers.drain(..) {
-                let _ = f.out.try_send(frame[..n].to_string());
-                let _ = f.stream.shutdown(Shutdown::Both);
+                let _ = f.conn.try_send(frame[..n].to_string());
+                f.conn.kick();
             }
             stats.repl_followers.store(0, Ordering::Relaxed);
             return;
         }
-        followers.retain(|f| match f.out.try_send(frame.to_string()) {
-            Ok(()) => {
+        followers.retain(|f| {
+            if f.conn.try_send(frame.to_string()) {
                 ServerStats::add(&stats.repl_records_sent, 1);
                 ServerStats::add(&stats.repl_bytes, frame.len() as u64 + 1);
                 true
-            }
-            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+            } else {
                 // A follower too slow to drain its queue is cut loose
                 // rather than blocking churn; it reconnects and catches up
                 // from its acked sequence.
-                let _ = f.stream.shutdown(Shutdown::Both);
+                f.conn.kick();
                 false
             }
         });
@@ -257,11 +281,14 @@ impl ReplicationHub {
 }
 
 /// Queues one pre-rendered multi-line chunk (handshake header + backlog)
-/// onto a follower connection's outbound channel as a single item, so
+/// onto a follower connection's outbound queue as a single item, so
 /// concurrently broadcast frames cannot interleave inside it.
-pub fn send_chunk(out: &Sender<String>, chunk: String) -> Result<(), String> {
-    out.try_send(chunk)
-        .map_err(|_| "replication backlog exceeds connection queue".to_string())
+pub fn send_chunk(conn: &dyn FollowerConn, chunk: String) -> Result<(), String> {
+    if conn.try_send(chunk) {
+        Ok(())
+    } else {
+        Err("replication backlog exceeds connection queue".to_string())
+    }
 }
 
 #[cfg(test)]
@@ -301,7 +328,7 @@ mod tests {
         let stats = ServerStats::default();
         let (tx, rx) = bounded::<String>(16);
         let (stream, _peer) = loopback_pair();
-        hub.register(7, tx, stream, 0);
+        hub.register(7, Box::new(ThreadedFollower { out: tx, stream }), 0);
         assert_eq!(hub.follower_count(), 1);
 
         hub.broadcast("aaaa 1 U 5", 1, &stats);
@@ -323,7 +350,7 @@ mod tests {
         let stats = ServerStats::default();
         let (tx, _rx) = bounded::<String>(1);
         let (stream, _peer) = loopback_pair();
-        hub.register(1, tx, stream, 0);
+        hub.register(1, Box::new(ThreadedFollower { out: tx, stream }), 0);
         hub.broadcast("aaaa 1 U 1", 1, &stats);
         hub.broadcast("bbbb 2 U 2", 2, &stats); // queue full -> dropped
         assert_eq!(hub.follower_count(), 0);
@@ -335,7 +362,7 @@ mod tests {
         let stats = ServerStats::default();
         let (tx, rx) = bounded::<String>(4);
         let (stream, _peer) = loopback_pair();
-        hub.register(1, tx, stream, 0);
+        hub.register(1, Box::new(ThreadedFollower { out: tx, stream }), 0);
         failpoint::arm("repl.stream.send", FailAction::TornWrite(4), Some(1));
         hub.broadcast("deadbeef 1 U 1", 1, &stats);
         assert_eq!(rx.try_recv().unwrap(), "dead");

@@ -1,0 +1,582 @@
+//! Per-connection protocol executor, shared by both broker I/O models.
+//!
+//! The threaded broker's reader thread and the event-loop broker's
+//! `Service::on_line` both funnel every framed line through
+//! [`on_conn_line`], so the wire protocol — reply text, counter bumps,
+//! ack-before-submit ordering, batch framing — is defined exactly once.
+//! `BATCH` payload lines, which the threaded broker used to consume with
+//! an inner read loop, are modeled as connection state instead: a
+//! [`ConnState`] in batch mode routes the next `count` lines into the
+//! accumulator and acks only when the batch completes, which behaves
+//! identically whether lines arrive from a blocking reader or an epoll
+//! readiness callback.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use apcm_bexpr::Event;
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::broker::{sub_fingerprint, Hub, ReplicaRunner, ReshardRunner};
+use crate::ingest::IngestItem;
+use crate::persist::{ChurnError, Persister};
+use crate::protocol::{self, Request, ReshardCmd, RoleReport};
+use crate::replication::{FollowerConn, Role, RoleState};
+use crate::ring::RingScope;
+use crate::shard::ShardedEngine;
+use crate::stats::ServerStats;
+
+/// A slow request body executed off the dispatching thread; its returned
+/// reply line is queued on the connection when it completes.
+pub(crate) type BlockingJob = Box<dyn FnOnce() -> String + Send>;
+
+/// Everything the dispatcher needs to execute requests for a connection.
+/// One instance is shared by every connection (threaded mode wraps it in
+/// an `Arc` per accept; the event-loop service owns a single copy).
+pub(crate) struct ConnCtx {
+    pub(crate) hub: Arc<Hub>,
+    pub(crate) engine: Arc<ShardedEngine>,
+    pub(crate) persist: Option<Arc<Persister>>,
+    pub(crate) ingest: Sender<IngestItem>,
+    /// Receiver clone used only for `len()` (queue depth in `STATS`).
+    pub(crate) ingest_depth: Receiver<IngestItem>,
+    pub(crate) epoch: Instant,
+    pub(crate) max_line_bytes: usize,
+    pub(crate) role: Arc<RoleState>,
+    /// Spawns replica puller threads on `DEMOTE`; `None` without
+    /// persistence (replica mode requires it).
+    pub(crate) runner: Option<Arc<ReplicaRunner>>,
+    /// Drives `RESHARD PULL` migration streams; `None` without
+    /// persistence (resharding requires a durable catalog).
+    pub(crate) reshard: Option<Arc<ReshardRunner>>,
+    /// Runs a long-blocking request (`SNAPSHOT`'s compress + write) off
+    /// the dispatching thread. `None` executes inline — correct for the
+    /// threaded broker, whose reader thread serves only one connection;
+    /// a loop worker serves many, so stalling it would head-of-line
+    /// block every connection pinned to it.
+    pub(crate) offload: Option<Arc<dyn Fn(u64, BlockingJob) + Send + Sync>>,
+}
+
+/// One framed inbound line, I/O-model agnostic.
+pub(crate) enum LineInput<'a> {
+    Text(&'a str),
+    /// The line exceeded `max_line_bytes` and was discarded through its
+    /// newline by the framer.
+    TooLong,
+}
+
+/// What the dispatcher wants done with the connection afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Flow {
+    Continue,
+    /// Flush queued replies, then close (QUIT, or ingest shut down).
+    Close,
+}
+
+/// In-flight `BATCH`: the next `count` lines are event payloads.
+struct BatchAccum {
+    first_seq: u64,
+    count: usize,
+    /// Payload lines consumed so far (parsed or not — a bad or oversized
+    /// line still uses up its slot, exactly like the old inner loop).
+    index: usize,
+    events: Vec<(u64, Event)>,
+}
+
+/// Per-connection protocol state.
+#[derive(Default)]
+pub(crate) struct ConnState {
+    /// Publisher-local sequence minted for PUB/BATCH events.
+    next_seq: u64,
+    batch: Option<BatchAccum>,
+}
+
+/// The migration-era ring ownership filter: with a scope installed (by
+/// `RESHARD PRUNE`), churn for an id the scope does not own is refused
+/// with `-ERR not owner <id>` — the client retries, re-routing through
+/// the router's refreshed view. Returns whether the request was refused.
+fn refuse_unowned(ctx: &ConnCtx, id: apcm_bexpr::SubId, reply: &mut dyn FnMut(String)) -> bool {
+    let refused = match &*ctx.hub.ownership.read() {
+        Some(scope) => !scope.owns(id),
+        None => false,
+    };
+    if refused {
+        ServerStats::add(&ctx.hub.stats.not_owner_refusals, 1);
+        reply(protocol::render_not_owner(id));
+    }
+    refused
+}
+
+/// Executes one framed line for a connection: parses it (or routes it
+/// into an in-flight batch), performs the request, and emits replies via
+/// `reply`. `make_follower` materializes this connection's outbound face
+/// when a `REPLICATE` handshake turns it into a replication feed.
+pub(crate) fn on_conn_line(
+    ctx: &ConnCtx,
+    conn_id: u64,
+    state: &mut ConnState,
+    input: LineInput<'_>,
+    reply: &mut dyn FnMut(String),
+    make_follower: &mut dyn FnMut() -> std::io::Result<Box<dyn FollowerConn>>,
+) -> Flow {
+    let stats = &ctx.hub.stats;
+
+    // Batch mode: the next `count` lines are event payloads, not requests.
+    if state.batch.is_some() {
+        let parsed = match input {
+            LineInput::TooLong => {
+                let batch = state.batch.as_ref().expect("checked above");
+                ServerStats::add(&stats.oversized_lines, 1);
+                ServerStats::add(&stats.protocol_errors, 1);
+                reply(format!("-ERR batch line {}: line too long", batch.index));
+                None
+            }
+            LineInput::Text(line) => {
+                match apcm_bexpr::parser::parse_event(&ctx.hub.schema, line.trim()) {
+                    Ok(event) => Some(event),
+                    Err(e) => {
+                        let batch = state.batch.as_ref().expect("checked above");
+                        ServerStats::add(&stats.protocol_errors, 1);
+                        reply(format!("-ERR batch line {}: bad event: {e}", batch.index));
+                        None
+                    }
+                }
+            }
+        };
+        let batch = state.batch.as_mut().expect("checked above");
+        if let Some(event) = parsed {
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            ServerStats::add(&stats.events_in, 1);
+            batch.events.push((seq, event));
+        }
+        batch.index += 1;
+        if batch.index >= batch.count {
+            let batch = state.batch.take().expect("checked above");
+            return finish_batch(ctx, conn_id, batch, reply);
+        }
+        return Flow::Continue;
+    }
+
+    let line = match input {
+        LineInput::Text(line) => line,
+        LineInput::TooLong => {
+            ServerStats::add(&stats.oversized_lines, 1);
+            ServerStats::add(&stats.protocol_errors, 1);
+            reply(format!(
+                "-ERR line too long (max {} bytes)",
+                ctx.max_line_bytes
+            ));
+            return Flow::Continue;
+        }
+    };
+    let request = match protocol::parse_request(&ctx.hub.schema, line) {
+        Ok(Some(req)) => req,
+        Ok(None) => return Flow::Continue,
+        Err(msg) => {
+            ServerStats::add(&stats.protocol_errors, 1);
+            reply(format!("-ERR {msg}"));
+            return Flow::Continue;
+        }
+    };
+    match request {
+        Request::Sub { id, sub } => {
+            if ctx.role.is_replica() {
+                // Read-only: churn flows in over the REPLICATE stream
+                // only, so the follower never diverges from its
+                // primary. Matching (PUB/BATCH) stays available.
+                reply(protocol::READ_ONLY_REPLICA_ERR.to_string());
+                return Flow::Continue;
+            }
+            if refuse_unowned(ctx, id, reply) {
+                return Flow::Continue;
+            }
+            let outcome = match &ctx.persist {
+                Some(p) => p.apply_sub(&ctx.engine, &sub),
+                None => ctx.engine.subscribe(&sub).map_err(ChurnError::Engine),
+            };
+            match outcome {
+                Ok(true) => {
+                    ctx.hub.owners.write().insert(id, conn_id);
+                    ctx.hub.live.write().insert(id, sub_fingerprint(&sub));
+                    ServerStats::add(&stats.subs_added, 1);
+                    reply(format!("+OK {}", id.0));
+                }
+                Ok(false) => {
+                    // Duplicate id. A byte-identical expression is a
+                    // reconnect reclaiming its subscription: transfer
+                    // ownership, no engine or durable churn. Anything
+                    // else is the structured duplicate error.
+                    let identical =
+                        ctx.hub.live.read().get(&id).copied() == Some(sub_fingerprint(&sub));
+                    if identical {
+                        ctx.hub.owners.write().insert(id, conn_id);
+                        ServerStats::add(&stats.subs_reclaimed, 1);
+                        reply(format!("+OK claimed {}", id.0));
+                    } else {
+                        ServerStats::add(&stats.protocol_errors, 1);
+                        reply(protocol::render_duplicate_error(id));
+                    }
+                }
+                Err(e @ ChurnError::Engine(_)) => {
+                    ServerStats::add(&stats.protocol_errors, 1);
+                    reply(format!("-ERR {e}"));
+                }
+                Err(e @ ChurnError::Persist(_)) => {
+                    // Counted as persist_errors by the persister, not
+                    // as a protocol error — the request was valid.
+                    reply(format!("-ERR {e}"));
+                }
+            }
+        }
+        Request::Unsub { id } => {
+            if ctx.role.is_replica() {
+                reply(protocol::READ_ONLY_REPLICA_ERR.to_string());
+                return Flow::Continue;
+            }
+            if refuse_unowned(ctx, id, reply) {
+                return Flow::Continue;
+            }
+            let outcome = match &ctx.persist {
+                Some(p) => p.apply_unsub(&ctx.engine, id),
+                None => Ok(ctx.engine.unsubscribe(id)),
+            };
+            match outcome {
+                Ok(true) => {
+                    ctx.hub.owners.write().remove(&id);
+                    ctx.hub.live.write().remove(&id);
+                    ServerStats::add(&stats.subs_removed, 1);
+                    reply(format!("+OK {}", id.0));
+                }
+                Ok(false) => {
+                    ServerStats::add(&stats.protocol_errors, 1);
+                    reply(format!("-ERR unknown subscription {}", id.0));
+                }
+                Err(e) => reply(format!("-ERR {e}")),
+            }
+        }
+        Request::Claim { id } => {
+            // Ownership transfer for a live id: the reclaim path after
+            // a broker restart (recovered subscriptions have no owning
+            // connection until someone claims them).
+            if refuse_unowned(ctx, id, reply) {
+                return Flow::Continue;
+            }
+            if ctx.hub.live.read().contains_key(&id) {
+                ctx.hub.owners.write().insert(id, conn_id);
+                ServerStats::add(&stats.subs_reclaimed, 1);
+                reply(format!("+OK claimed {}", id.0));
+            } else {
+                ServerStats::add(&stats.protocol_errors, 1);
+                reply(format!("-ERR unknown subscription {}", id.0));
+            }
+        }
+        Request::Pub { event } => {
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            ServerStats::add(&stats.events_in, 1);
+            // Ack first — the event's RESULT must never precede it.
+            reply(format!("+OK {seq}"));
+            if ctx
+                .ingest
+                .send(IngestItem {
+                    conn: conn_id,
+                    seq,
+                    event,
+                })
+                .is_err()
+            {
+                reply("-ERR server shutting down".into());
+                return Flow::Close;
+            }
+        }
+        Request::Batch { count } => {
+            let batch = BatchAccum {
+                first_seq: state.next_seq,
+                count,
+                index: 0,
+                events: Vec::with_capacity(count),
+            };
+            if count == 0 {
+                return finish_batch(ctx, conn_id, batch, reply);
+            }
+            state.batch = Some(batch);
+        }
+        Request::Stats => {
+            let body = stats.render(
+                &ctx.engine.per_shard_len(),
+                ctx.ingest_depth.len(),
+                ctx.engine.kernel_counters(),
+                (
+                    ctx.engine.summary_epoch(),
+                    ctx.engine.summary_bits_set() as u64,
+                    ctx.engine.summary_rebuilds(),
+                ),
+                ctx.hub.netio_gauges(),
+            );
+            // One queued string so async RESULT/EVENT lines cannot
+            // interleave inside the multi-line response.
+            reply(format!("+OK stats\n{body}."));
+        }
+        Request::Snapshot => match &ctx.persist {
+            Some(p) => {
+                let persist = p.clone();
+                let job = move || match persist.snapshot() {
+                    Ok(outcome) => format!(
+                        "+OK snapshot subs {} seq {} bytes {}",
+                        outcome.subs, outcome.seq, outcome.bytes
+                    ),
+                    Err(e) => format!("-ERR snapshot failed: {e}"),
+                };
+                match &ctx.offload {
+                    Some(offload) => offload(conn_id, Box::new(job)),
+                    None => reply(job()),
+                }
+            }
+            None => {
+                ServerStats::add(&stats.protocol_errors, 1);
+                reply("-ERR persistence disabled".into());
+            }
+        },
+        Request::Topology => {
+            // A standalone server is its own (only) partition; the
+            // multi-line backend report is the cluster router's.
+            reply("+OK topology standalone".into());
+        }
+        Request::Summary { epoch } => {
+            // Coarse predicate-space summary fetch (router pruning).
+            // `unchanged` elides the bitset when the caller is current.
+            match ctx.engine.summary_if_newer(epoch) {
+                None => reply(protocol::render_summary_unchanged(epoch)),
+                Some((epoch, bits)) => reply(protocol::render_summary_reply(epoch, &bits)),
+            }
+        }
+        Request::Replicate { from_seq, v2, ring } => match &ctx.persist {
+            Some(p) => {
+                let scope = match ring
+                    .map(|spec| RingScope::parse(&spec.members_csv, &spec.keep_csv))
+                    .transpose()
+                {
+                    Ok(scope) => scope,
+                    Err(e) => {
+                        ServerStats::add(&stats.protocol_errors, 1);
+                        reply(format!("-ERR bad replicate ring: {e}"));
+                        return Flow::Continue;
+                    }
+                };
+                let registered = make_follower()
+                    .and_then(|conn| p.begin_stream(conn_id, from_seq, v2, scope.as_ref(), conn));
+                match registered {
+                    // The handshake header + backlog chunk is already
+                    // queued; the live tail flows via broadcast. This
+                    // connection now doubles as a feed — REPLACKs keep
+                    // arriving through this loop.
+                    Ok(_start) => {
+                        ServerStats::add(&stats.replies_sent, 1);
+                    }
+                    Err(e) => reply(format!("-ERR replicate failed: {e}")),
+                }
+            }
+            None => {
+                ServerStats::add(&stats.protocol_errors, 1);
+                reply("-ERR persistence disabled".into());
+            }
+        },
+        Request::ReplAck { seq } => {
+            if let Some(p) = &ctx.persist {
+                p.follower_ack(conn_id, seq);
+            }
+        }
+        Request::Role => {
+            let report = match ctx.role.role() {
+                Role::Primary => RoleReport {
+                    primary: true,
+                    seq: ctx.persist.as_ref().map(|p| p.current_seq()).unwrap_or(0),
+                    lag: ServerStats::get(&stats.repl_lag_records),
+                    connected: ServerStats::get(&stats.repl_followers),
+                    following: None,
+                },
+                Role::Replica { primary } => RoleReport {
+                    primary: false,
+                    seq: ctx.persist.as_ref().map(|p| p.current_seq()).unwrap_or(0),
+                    lag: 0,
+                    connected: ServerStats::get(&stats.repl_connected),
+                    following: Some(primary),
+                },
+            };
+            reply(protocol::render_role_report(&report));
+        }
+        Request::Promote => {
+            if ctx.role.promote() {
+                ServerStats::add(&stats.promotions, 1);
+                stats.role_replica.store(0, Ordering::Relaxed);
+                stats.repl_connected.store(0, Ordering::Relaxed);
+            }
+            let seq = ctx.persist.as_ref().map(|p| p.current_seq()).unwrap_or(0);
+            reply(format!("+OK promoted seq {seq}"));
+        }
+        Request::Reshard(cmd) => match cmd {
+            ReshardCmd::Add { .. } | ReshardCmd::Remove { .. } => {
+                ServerStats::add(&stats.protocol_errors, 1);
+                reply("-ERR RESHARD ADD/REMOVE target the cluster router, not a backend".into());
+            }
+            ReshardCmd::Status => match &ctx.reshard {
+                Some(runner) => reply(runner.status_line()),
+                None => reply("+OK reshard idle".into()),
+            },
+            ReshardCmd::Pull {
+                source,
+                scope,
+                donor,
+            } => {
+                if ctx.role.is_replica() {
+                    reply(protocol::READ_ONLY_REPLICA_ERR.to_string());
+                    return Flow::Continue;
+                }
+                let Some(runner) = &ctx.reshard else {
+                    ServerStats::add(&stats.protocol_errors, 1);
+                    reply("-ERR persistence required for resharding".into());
+                    return Flow::Continue;
+                };
+                let parsed =
+                    RingScope::parse(&scope.members_csv, &scope.keep_csv).and_then(|scope| {
+                        donor
+                            .map(|d| RingScope::parse(&d.members_csv, &d.keep_csv))
+                            .transpose()
+                            .map(|donor| (scope, donor))
+                    });
+                match parsed {
+                    Ok((scope, donor)) => {
+                        let ack = format!("+OK reshard pulling {source}");
+                        runner.start_pull(source, scope, donor);
+                        reply(ack);
+                    }
+                    Err(e) => {
+                        ServerStats::add(&stats.protocol_errors, 1);
+                        reply(format!("-ERR bad reshard scope: {e}"));
+                    }
+                }
+            }
+            ReshardCmd::Cutoff => match &ctx.reshard {
+                Some(runner) => {
+                    runner.stop();
+                    reply(format!(
+                        "+OK reshard cutoff applied {}",
+                        runner.cursor.load(Ordering::SeqCst)
+                    ));
+                }
+                None => {
+                    ServerStats::add(&stats.protocol_errors, 1);
+                    reply("-ERR persistence required for resharding".into());
+                }
+            },
+            ReshardCmd::Prune { scope } => {
+                if ctx.role.is_replica() {
+                    reply(protocol::READ_ONLY_REPLICA_ERR.to_string());
+                    return Flow::Continue;
+                }
+                let Some(p) = &ctx.persist else {
+                    ServerStats::add(&stats.protocol_errors, 1);
+                    reply("-ERR persistence required for resharding".into());
+                    return Flow::Continue;
+                };
+                match RingScope::parse(&scope.members_csv, &scope.keep_csv) {
+                    Ok(parsed) => {
+                        // Install the refusal filter *before* pruning:
+                        // stale-routed churn for moved ids must start
+                        // bouncing the moment the flip is decided, even
+                        // while the unsub sweep is still running.
+                        *ctx.hub.ownership.write() = Some(parsed.clone());
+                        let mut pruned = 0u64;
+                        let mut degraded = None;
+                        for id in p.catalog_ids() {
+                            if parsed.owns(id) {
+                                continue;
+                            }
+                            match p.apply_unsub(&ctx.engine, id) {
+                                Ok(true) => {
+                                    ctx.hub.live.write().remove(&id);
+                                    ctx.hub.owners.write().remove(&id);
+                                    pruned += 1;
+                                }
+                                Ok(false) => {}
+                                Err(e) => {
+                                    degraded = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                        ServerStats::add(&stats.reshard_pruned, pruned);
+                        match degraded {
+                            // The controller re-issues PRUNE with the
+                            // same scope until it succeeds end-to-end.
+                            Some(e) => reply(format!("-ERR reshard prune incomplete: {e}")),
+                            None => reply(format!("+OK reshard pruned {pruned}")),
+                        }
+                    }
+                    Err(e) => {
+                        ServerStats::add(&stats.protocol_errors, 1);
+                        reply(format!("-ERR bad reshard scope: {e}"));
+                    }
+                }
+            }
+        },
+        Request::Demote { addr } => match &ctx.runner {
+            Some(runner) => {
+                let generation = ctx.role.demote(addr.clone());
+                ServerStats::add(&stats.demotions, 1);
+                stats.role_replica.store(1, Ordering::Relaxed);
+                // A replica must not keep absorbing a migration pull:
+                // its catalog now mirrors its primary's, nothing else.
+                if let Some(reshard) = &ctx.reshard {
+                    reshard.stop();
+                }
+                runner.clone().spawn(generation);
+                reply(format!("+OK demoted following {addr}"));
+            }
+            None => {
+                ServerStats::add(&stats.protocol_errors, 1);
+                reply("-ERR persistence required for replica mode".into());
+            }
+        },
+        Request::Ping => reply("+PONG".into()),
+        Request::Quit => {
+            reply("+OK bye".into());
+            return Flow::Close;
+        }
+    }
+    Flow::Continue
+}
+
+/// Acks a completed batch and submits its events. The ack precedes the
+/// submits: the ingest pipeline can flush a full window (and push its
+/// RESULT lines) immediately, and the wire contract promises the ack
+/// comes first.
+fn finish_batch(
+    ctx: &ConnCtx,
+    conn_id: u64,
+    batch: BatchAccum,
+    reply: &mut dyn FnMut(String),
+) -> Flow {
+    reply(format!(
+        "+OK batch {} {}",
+        batch.first_seq,
+        batch.events.len()
+    ));
+    for (seq, event) in batch.events {
+        if ctx
+            .ingest
+            .send(IngestItem {
+                conn: conn_id,
+                seq,
+                event,
+            })
+            .is_err()
+        {
+            reply("-ERR server shutting down".into());
+            return Flow::Close;
+        }
+    }
+    Flow::Continue
+}

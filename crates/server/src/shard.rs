@@ -558,7 +558,7 @@ mod tests {
             engine.bulk_restore(&subs).is_err(),
             "out-of-domain sub must fail the restore"
         );
-        assert!(engine.len() > 0, "partial restore left no subscriptions");
+        assert!(!engine.is_empty(), "partial restore left no subscriptions");
         // The admitted subs must already be represented in the summary and
         // the epoch advanced past the seed — a router caching epoch 1 must
         // refresh instead of reading "unchanged" and pruning a backend

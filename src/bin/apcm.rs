@@ -16,9 +16,9 @@ use apcm::betree::{BeTree, HybridPcmTree};
 use apcm::cluster::{BackendSpec, Router, RouterConfig};
 use apcm::core::{ApcmConfig, ApcmMatcher, PcmMatcher};
 use apcm::prelude::*;
-use apcm::server::client::{connect_stream, ConnectOptions};
+use apcm::server::client::{connect_stream, is_timeout_error, ConnectOptions};
 use apcm::server::{
-    EngineChoice, FsyncPolicy, PersistConfig, Server, ServerConfig, SlowConsumerPolicy,
+    EngineChoice, FsyncPolicy, IoModel, PersistConfig, Server, ServerConfig, SlowConsumerPolicy,
 };
 use apcm::workload::{Trace, ValueDist, WorkloadSpec};
 use std::collections::HashMap;
@@ -74,6 +74,7 @@ usage:
              [--persist-dir DIR] [--fsync always|interval|never] [--snapshot-secs N]
              [--snapshot-format colstore|text] [--max-delta-chain N]
              [--rotate-bytes N] [--idle-timeout-ms N] [--max-line-bytes N]
+             [--io-model event-loop|threads] [--loop-workers N] [--max-conns N]
              [--replica-of HOST:PORT]  (start as a read-only follower; needs --persist-dir)
   apcm route --backends HOST:PORT,HOST:PORT,... [--addr HOST:PORT] [--dims N]
              [--cardinality N] [--health-ms N] [--probe-timeout-ms N]
@@ -82,7 +83,8 @@ usage:
              [--replicas HOST:PORT,...]  (one follower per backend, same order)
              (live resharding: send `RESHARD ADD PRIMARY [REPLICA]`,
               `RESHARD REMOVE N`, or `RESHARD STATUS` via `apcm client`)
-  apcm client [--addr HOST:PORT] [--connect-timeout-ms N] [--retries N]
+  apcm client [--addr HOST:PORT] [--connect-timeout-ms N] [--read-timeout-ms N]
+             [--retries N]
              (reads protocol lines from stdin)";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -246,6 +248,17 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     if idle_ms > 0 {
         config.idle_timeout = Some(Duration::from_millis(idle_ms));
     }
+    if let Some(model) = flags.get("io-model") {
+        config.io_model = IoModel::parse(model)?;
+    }
+    let max_conns: usize = get(flags, "max-conns", 0)?;
+    if max_conns > 0 {
+        config.max_conns = Some(max_conns);
+    }
+    let loop_workers: usize = get(flags, "loop-workers", 0)?;
+    if loop_workers > 0 {
+        config.loop_workers = Some(loop_workers);
+    }
     if let Some(dir) = flags.get("persist-dir") {
         let mut persist = PersistConfig::new(dir);
         if let Some(policy) = flags.get("fsync") {
@@ -266,12 +279,14 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     config.validate()?;
 
     let following = config.replica_of.clone();
+    let io_model = config.io_model.name();
     let server = Server::start(schema, config, &addr).map_err(|e| e.to_string())?;
     if let Some(report) = server.recovery_report() {
         print!("{report}");
     }
     println!(
-        "listening on {} ({} shards, engine {}); close stdin or type `stop` to shut down",
+        "listening on {} ({} shards, engine {}, {io_model} io); \
+         close stdin or type `stop` to shut down",
         server.local_addr(),
         server.engine().shard_count(),
         server.engine().engine_name()
@@ -382,10 +397,12 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
 fn dial_with_retries(
     addr: &str,
     connect_ms: u64,
+    read_timeout_ms: u64,
     retries: u32,
 ) -> Result<std::net::TcpStream, String> {
     let options = ConnectOptions {
         connect_timeout: (connect_ms > 0).then(|| Duration::from_millis(connect_ms)),
+        read_timeout: (read_timeout_ms > 0).then(|| Duration::from_millis(read_timeout_ms)),
         attempts: retries.saturating_add(1),
         jitter_seed: std::process::id() as u64,
         ..ConnectOptions::default()
@@ -399,18 +416,32 @@ fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:7401".to_string());
     let connect_ms: u64 = get(flags, "connect-timeout-ms", 5000)?;
+    let read_timeout_ms: u64 = get(flags, "read-timeout-ms", 0)?;
     let retries: u32 = get(flags, "retries", 0)?;
-    let stream = dial_with_retries(&addr, connect_ms, retries)?;
+    let stream = dial_with_retries(&addr, connect_ms, read_timeout_ms, retries)?;
     stream.set_nodelay(true).map_err(|e| e.to_string())?;
     let read_half = stream.try_clone().map_err(|e| e.to_string())?;
 
     // A background thread prints everything the broker sends, while this
-    // thread pumps stdin lines to the socket (netcat-style).
+    // thread pumps stdin lines to the socket (netcat-style). With
+    // --read-timeout-ms, an expired wait keeps any partial line in the
+    // buffer and retries; only EOF or a hard error ends the printer.
     let printer = std::thread::spawn(move || {
-        let reader = std::io::BufReader::new(read_half);
-        for line in reader.lines() {
-            let Ok(text) = line else { break };
-            println!("{text}");
+        let mut reader = std::io::BufReader::new(read_half);
+        let mut line = String::new();
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    while line.ends_with('\n') || line.ends_with('\r') {
+                        line.pop();
+                    }
+                    println!("{line}");
+                    line.clear();
+                }
+                Err(e) if is_timeout_error(&e) => continue,
+                Err(_) => break,
+            }
         }
     });
     {
