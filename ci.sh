@@ -92,4 +92,26 @@ cargo run --release -q -p apcm-bench --bin harness -- \
     --experiment e17 --scale 0.1 --budget-ms 50 --seed 42 \
     --json-append BENCH_pr9.json
 
+echo "==> replication-chain harness smoke run (appends e18 records to BENCH_pr10.json)"
+cargo run --release -q -p apcm-bench --bin harness -- \
+    --experiment e18 --scale 0.002 --budget-ms 50 --seed 42 \
+    --json-append BENCH_pr10.json
+
+echo "==> follower reads engage (reads_follower_served > 0 with followers present)"
+python3 - <<'EOF'
+import json
+records = json.load(open("BENCH_pr10.json"))
+served = [
+    r["value"]
+    for r in records
+    if r["experiment"] == "e18"
+    and r["param"] in ("followers=1", "followers=2")
+    and r["metric"] == "reads_follower_served"
+]
+assert served, "no reads_follower_served records in BENCH_pr10.json"
+latest = served[-1]
+assert latest > 0, "the router never served a routed window from a follower"
+print(f"    reads_follower_served {latest:.0f} > 0")
+EOF
+
 echo "==> ci.sh: all green"

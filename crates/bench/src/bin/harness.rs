@@ -171,7 +171,7 @@ fn parse_args() -> Args {
             "--json-append" => args.json_append = Some(value()),
             "--help" | "-h" => {
                 println!(
-                    "usage: harness [--experiment e1..e17|all] [--scale F] [--budget-ms N] \
+                    "usage: harness [--experiment e1..e18|all] [--scale F] [--budget-ms N] \
                      [--seed N] [--json PATH] [--json-append PATH]"
                 );
                 std::process::exit(0);
@@ -262,6 +262,9 @@ fn main() {
     }
     if want("e17") {
         e17_netio(&args);
+    }
+    if want("e18") {
+        e18_chains(&args);
     }
     if let Err(e) = args.write_json() {
         eprintln!("error writing --json output: {e}");
@@ -1203,6 +1206,162 @@ fn e14_replication(args: &Args) {
     println!(
         "(single partition, corpus {n}; churn is SUB upserts through the router; \
          blackout is kill \u{2192} first full-coverage window)\n"
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+/// E18 — replication chains: churn throughput through the pipelined-ack
+/// replication stream at chain depth 0/1/2, and routed read (window)
+/// throughput as followers are added — the seq-floor read guard should
+/// let followers absorb reads without ever serving a stale row, and the
+/// pipelined acks should keep replicated churn close to the
+/// unreplicated rate (PR 5's hop-per-record acks paid ~40%).
+fn e18_chains(args: &Args) {
+    println!("## E18 — replication chains: pipelined acks and follower-served reads\n");
+    let n = scaled(100_000, args.scale).min(10_000);
+    let wl = base_spec(n, args.seed).build();
+    let tmp = std::env::temp_dir().join(format!("apcm-e18-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    let node_config = |tag: String| ServerConfig {
+        shards: 2,
+        engine: EngineChoice::Apcm,
+        flush_interval: Duration::from_millis(2),
+        persist: Some(PersistConfig::new(tmp.join(tag))),
+        ..ServerConfig::default()
+    };
+
+    let mut table = Table::new(vec![
+        "followers",
+        "churn ops/s",
+        "vs depth 0",
+        "routed reads ev/s",
+        "follower-served",
+    ]);
+    let mut unreplicated_churn = None;
+    for followers in [0usize, 1, 2] {
+        let chain: Vec<ServerConfig> = (0..=followers)
+            .map(|i| node_config(format!("f{followers}-n{i}")))
+            .collect();
+        let cluster = ClusterHandle::start_chained(
+            wl.schema.clone(),
+            vec![chain],
+            RouterConfig {
+                health_interval: Duration::from_millis(25),
+                ..RouterConfig::default()
+            },
+        )
+        .expect("starting the chained cluster");
+        let mut client = BrokerClient::connect(&cluster.router_addr()).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        client.set_churn_retry(40, Duration::from_millis(25));
+        let param = format!("followers={followers}");
+
+        // Durable churn through the chain: each record is acked to the
+        // client after the primary's append, and replicated hop-to-hop
+        // with acks batched per drained burst.
+        let churn_rate = pump_churn(&mut client, &wl, args.budget);
+        args.record(
+            "e18",
+            "chained",
+            param.clone(),
+            "churn_ops_per_sec",
+            churn_rate,
+        );
+        let ratio_cell = match unreplicated_churn {
+            None => {
+                unreplicated_churn = Some(churn_rate);
+                "-".to_string()
+            }
+            Some(base) => {
+                let ratio = churn_rate / base;
+                args.record(
+                    "e18",
+                    "chained",
+                    param.clone(),
+                    "churn_ratio_vs_unreplicated",
+                    ratio,
+                );
+                format!("{:.0}%", ratio * 1e2)
+            }
+        };
+
+        // Every follower must clear the churn-ack floor before the
+        // router will route windows to it: wait for applied sequences to
+        // converge, then for the health sweep to certify a follower.
+        let sync_deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let seqs: Vec<u64> = (0..cluster.node_count(0))
+                .filter_map(|i| cluster.node(0, i))
+                .map(|s| s.current_seq())
+                .collect();
+            if seqs.windows(2).all(|w| w[0] == w[1]) {
+                break;
+            }
+            assert!(
+                Instant::now() < sync_deadline,
+                "chain never caught up after the churn run"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let events = wl.events(64);
+        if followers > 0 {
+            let warm_deadline = Instant::now() + Duration::from_secs(10);
+            while client.stats().unwrap()["reads_follower_served"] == 0 {
+                client
+                    .publish_batch_flagged(&events, &wl.schema)
+                    .expect("warm-up window");
+                assert!(
+                    Instant::now() < warm_deadline,
+                    "router never served a window from a follower"
+                );
+            }
+        }
+
+        // Routed reads: full windows through the scatter path, served by
+        // the primary at depth 0 and round-robined across read-eligible
+        // followers otherwise.
+        let start = Instant::now();
+        let mut n_events = 0usize;
+        while start.elapsed() < args.budget {
+            client
+                .publish_batch_flagged(&events, &wl.schema)
+                .expect("routed window");
+            n_events += events.len();
+        }
+        let read_rate = n_events as f64 / start.elapsed().as_secs_f64();
+        args.record(
+            "e18",
+            "chained",
+            param.clone(),
+            "read_events_per_sec",
+            read_rate,
+        );
+        let served = client.stats().unwrap()["reads_follower_served"];
+        args.record(
+            "e18",
+            "chained",
+            param.clone(),
+            "reads_follower_served",
+            served as f64,
+        );
+
+        table.row(vec![
+            format!("{followers}"),
+            fmt_rate(churn_rate),
+            ratio_cell,
+            fmt_rate(read_rate),
+            format!("{served}"),
+        ]);
+        drop(client);
+        cluster.shutdown();
+    }
+    table.print();
+    println!(
+        "(single partition, corpus {n}; churn is SUB upserts acked after the primary's \
+         append; reads are 64-event windows through the router, follower-served once \
+         past the seq floor)\n"
     );
     let _ = std::fs::remove_dir_all(&tmp);
 }

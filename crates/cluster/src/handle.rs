@@ -1,7 +1,7 @@
 //! In-process cluster: N backend partitions (each a primary server plus
-//! an optional replica) fronted by a router, all on loopback ephemeral
-//! ports. The harness for integration tests, failure injection
-//! (`kill_node` / `restart_node`), and benchmarks.
+//! an optional replication chain of followers) fronted by a router, all
+//! on loopback ephemeral ports. The harness for integration tests,
+//! failure injection (`kill_node` / `restart_node`), and benchmarks.
 
 use apcm_bexpr::Schema;
 use apcm_server::{Server, ServerConfig};
@@ -53,30 +53,54 @@ impl ClusterHandle {
         )
     }
 
-    /// Starts one partition per `(primary, replica)` config pair. A
-    /// `Some` replica config gets its `replica_of` pointed at the
-    /// partition's primary (both sides need distinct persist dirs); the
-    /// replica bootstraps over `REPLICATE` as soon as it starts. A killed
-    /// primary restarted via [`Self::restart_node`] comes back with its
-    /// original (primary) config — the router's sweep demotes it back
-    /// into a follower of whichever node is active by then.
+    /// Starts one partition per `(primary, replica)` config pair — the
+    /// two-node special case of [`Self::start_chained`].
     pub fn start_replicated(
         schema: Schema,
         partition_configs: Vec<(ServerConfig, Option<ServerConfig>)>,
         router_config: RouterConfig,
     ) -> std::io::Result<Self> {
-        if partition_configs.is_empty() {
+        Self::start_chained(
+            schema,
+            partition_configs
+                .into_iter()
+                .map(|(primary, replica)| {
+                    let mut chain = vec![primary];
+                    chain.extend(replica);
+                    chain
+                })
+                .collect(),
+            router_config,
+        )
+    }
+
+    /// Starts one partition per config chain: element 0 is the primary,
+    /// each later element a follower whose `replica_of` is pointed at the
+    /// *previous* element — replication hops node to node down the chain
+    /// rather than fanning every follower off the primary (all nodes need
+    /// distinct persist dirs). Each follower bootstraps over `REPLICATE`
+    /// as soon as it starts. A killed node restarted via
+    /// [`Self::restart_node`] comes back with its original config — the
+    /// router's sweep demotes/re-aims it onto whichever node is active by
+    /// then, so restarted chains may collapse toward primary fan-out.
+    pub fn start_chained(
+        schema: Schema,
+        partition_configs: Vec<Vec<ServerConfig>>,
+        router_config: RouterConfig,
+    ) -> std::io::Result<Self> {
+        if partition_configs.is_empty() || partition_configs.iter().any(Vec::is_empty) {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
-                "a cluster needs at least one backend",
+                "a cluster needs at least one backend per partition",
             ));
         }
         let mut partitions = Vec::with_capacity(partition_configs.len());
-        for (primary_config, replica_config) in partition_configs {
-            let primary = NodeSlot::start(&schema, primary_config)?;
-            let mut nodes = vec![primary];
-            if let Some(mut config) = replica_config {
-                config.replica_of = Some(nodes[0].addr.clone());
+        for chain in partition_configs {
+            let mut nodes: Vec<NodeSlot> = Vec::with_capacity(chain.len());
+            for mut config in chain {
+                if let Some(upstream) = nodes.last() {
+                    config.replica_of = Some(upstream.addr.clone());
+                }
                 nodes.push(NodeSlot::start(&schema, config)?);
             }
             partitions.push(PartitionSlot { nodes });
@@ -85,7 +109,7 @@ impl ClusterHandle {
             .iter()
             .map(|p| BackendSpec {
                 primary: p.nodes[0].addr.clone(),
-                replica: p.nodes.get(1).map(|n| n.addr.clone()),
+                followers: p.nodes[1..].iter().map(|n| n.addr.clone()).collect(),
             })
             .collect();
         let router =
@@ -113,10 +137,26 @@ impl ClusterHandle {
         primary_config: ServerConfig,
         replica_config: Option<ServerConfig>,
     ) -> std::io::Result<usize> {
-        let primary = NodeSlot::start(&self.schema, primary_config)?;
-        let mut nodes = vec![primary];
-        if let Some(mut config) = replica_config {
-            config.replica_of = Some(nodes[0].addr.clone());
+        let mut chain = vec![primary_config];
+        chain.extend(replica_config);
+        self.add_backend_chain(chain)
+    }
+
+    /// Chain-shaped [`Self::add_backend_pair`]: element 0 is the primary,
+    /// each later config follows the previous element, as in
+    /// [`Self::start_chained`].
+    pub fn add_backend_chain(&mut self, chain: Vec<ServerConfig>) -> std::io::Result<usize> {
+        if chain.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a partition needs at least one node",
+            ));
+        }
+        let mut nodes: Vec<NodeSlot> = Vec::with_capacity(chain.len());
+        for mut config in chain {
+            if let Some(upstream) = nodes.last() {
+                config.replica_of = Some(upstream.addr.clone());
+            }
             nodes.push(NodeSlot::start(&self.schema, config)?);
         }
         self.partitions.push(PartitionSlot { nodes });
@@ -132,7 +172,7 @@ impl ClusterHandle {
         self.partitions.len()
     }
 
-    /// Nodes in one partition (1 without a replica, 2 with).
+    /// Nodes in one partition (1 standalone, 1 + chain length otherwise).
     pub fn node_count(&self, partition: usize) -> usize {
         self.partitions[partition].nodes.len()
     }

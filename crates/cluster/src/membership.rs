@@ -35,22 +35,32 @@ use std::time::{Duration, Instant};
 pub struct BackendSpec {
     /// The node that starts as the partition's primary.
     pub primary: String,
-    /// Optional follower; failover target when the primary dies.
-    pub replica: Option<String>,
+    /// Follower chain in hop order: `followers[0]` replicates from the
+    /// primary, `followers[1]` from `followers[0]`, and so on. Every
+    /// follower is a failover candidate and (once caught up past the
+    /// churn-ack floor) a read-serving target.
+    pub followers: Vec<String>,
 }
 
 impl BackendSpec {
     pub fn standalone(primary: impl Into<String>) -> Self {
         Self {
             primary: primary.into(),
-            replica: None,
+            followers: Vec::new(),
         }
     }
 
     pub fn replicated(primary: impl Into<String>, replica: impl Into<String>) -> Self {
         Self {
             primary: primary.into(),
-            replica: Some(replica.into()),
+            followers: vec![replica.into()],
+        }
+    }
+
+    pub fn chain(primary: impl Into<String>, followers: Vec<String>) -> Self {
+        Self {
+            primary: primary.into(),
+            followers,
         }
     }
 }
@@ -71,6 +81,14 @@ pub struct NodeMeta {
     pub seq: Option<u64>,
     /// Last reported replication lag in records (primary-side view).
     pub lag: Option<u64>,
+    /// Last reported acked sequence (primary: slowest connected
+    /// follower's `REPLACK` cursor; replica: its own applied seq).
+    pub acked: Option<u64>,
+    /// Last reported live-stream count (primary: follower streams;
+    /// replica: 1 while its pull stream is fully handshaked, else 0).
+    pub connected: Option<u64>,
+    /// The upstream a replica last reported following.
+    pub following: Option<String>,
     /// Consecutive failed reconnect attempts since the last success.
     attempt: u32,
     /// Earliest time the sweep may dial again.
@@ -99,6 +117,9 @@ impl Node {
                 reports_primary: None,
                 seq: None,
                 lag: None,
+                acked: None,
+                connected: None,
+                following: None,
                 attempt: 0,
                 next_retry: Instant::now(),
             }),
@@ -122,6 +143,21 @@ impl Node {
     /// Churn sequence from the last successful probe.
     pub fn reported_seq(&self) -> Option<u64> {
         self.meta.lock().seq
+    }
+
+    /// Acked sequence from the last successful probe.
+    pub fn reported_acked(&self) -> Option<u64> {
+        self.meta.lock().acked
+    }
+
+    /// Whether the node's replication stream(s) were live at last probe.
+    pub fn reported_connected(&self) -> Option<u64> {
+        self.meta.lock().connected
+    }
+
+    /// The upstream a replica last reported following.
+    pub fn reported_following(&self) -> Option<String> {
+        self.meta.lock().following.clone()
     }
 
     /// Drops the connection and schedules the first reconnect attempt.
@@ -151,28 +187,53 @@ impl Node {
         meta.reports_primary = Some(report.primary);
         meta.seq = Some(report.seq);
         meta.lag = Some(report.lag);
+        meta.acked = Some(report.acked);
+        meta.connected = Some(report.connected);
+        meta.following = report.following.clone();
     }
 
     /// One `TOPOLOGY` report line for this node. Role is the last
     /// reported one (a down node shows its final known role), falling
-    /// back to the partition's current designation.
-    fn topology_line(&self, designated_primary: bool) -> String {
+    /// back to the partition's current designation. Follower roles
+    /// render as `chain[i/N]` — hop `i` of the partition's `N`
+    /// standbys — and every line carries the node's `acked` column
+    /// (primary: slowest follower cursor; follower: applied seq).
+    /// `active_seq` (the active primary's last probed sequence) turns a
+    /// follower's own seq into a per-follower lag.
+    fn topology_line(
+        &self,
+        designated_primary: bool,
+        chain_pos: usize,
+        chain_len: usize,
+        active_seq: Option<u64>,
+    ) -> String {
         let up = self.is_up();
         let meta = self.meta.lock();
-        let role = match meta.reports_primary {
-            Some(true) => "primary",
-            Some(false) => "replica",
-            None if designated_primary => "primary",
-            None => "replica",
+        let primary = meta.reports_primary.unwrap_or(designated_primary);
+        let role = if primary {
+            "primary".to_string()
+        } else {
+            format!("chain[{chain_pos}/{chain_len}]")
         };
         let opt = |v: Option<u64>| v.map(|n| n.to_string()).unwrap_or_else(|| "-".into());
+        let lag = if primary {
+            meta.lag
+        } else {
+            // Per-follower lag: records the active primary has that this
+            // follower's last probe had not yet applied.
+            match (active_seq, meta.seq) {
+                (Some(head), Some(own)) => Some(head.saturating_sub(own)),
+                _ => meta.lag,
+            }
+        };
         format!(
-            "backend {} {} {} role={role} seq {} lag {} ping_us {} reconnects {}",
+            "backend {} {} {} role={role} seq {} lag {} acked {} ping_us {} reconnects {}",
             self.partition,
             self.addr,
             if up { "up" } else { "down" },
             opt(meta.seq),
-            opt(meta.lag),
+            opt(lag),
+            opt(meta.acked),
             opt(meta.last_ping_us),
             meta.reconnects
         )
@@ -225,13 +286,28 @@ pub struct Partition {
     acked_records: AtomicU64,
     /// Serializes failover attempts (sweep vs. inline routing paths).
     promote_lock: Mutex<()>,
+    /// Round-robin cursor over read-eligible followers.
+    read_cursor: AtomicUsize,
+}
+
+/// Outcome of follower read-target selection for one window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FollowerRead {
+    /// No follower is up (or none configured): the primary serves.
+    NoFollowers,
+    /// Followers are up but none clears the seq floor: the primary
+    /// serves, and the caller counts a floor fallback — the guard, not
+    /// luck, rejected every stale candidate.
+    BelowFloor,
+    /// `nodes()[i]` serves this read.
+    Serve(usize),
 }
 
 impl Partition {
     fn new(index: usize, spec: &BackendSpec) -> Self {
         let mut nodes = vec![Arc::new(Node::new(index, spec.primary.clone()))];
-        if let Some(replica) = &spec.replica {
-            nodes.push(Arc::new(Node::new(index, replica.clone())));
+        for follower in &spec.followers {
+            nodes.push(Arc::new(Node::new(index, follower.clone())));
         }
         Self {
             index,
@@ -244,6 +320,7 @@ impl Partition {
             probed_seq: AtomicU64::new(0),
             acked_records: AtomicU64::new(0),
             promote_lock: Mutex::new(()),
+            read_cursor: AtomicUsize::new(0),
         }
     }
 
@@ -286,15 +363,61 @@ impl Partition {
         self.acked_records.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Whether `nodes()[i]` may serve reads right now: an up follower,
+    /// fully handshaked onto its upstream (`connected`, which a broker
+    /// only reports after any bootstrap/rewind resolved — so a returned
+    /// ex-primary's divergent catalog is never read), whose applied
+    /// sequence at last probe already clears the churn-ack floor. The
+    /// probe undercounts (applied seqs only grow between probes, and a
+    /// bootstrap/rewind jumps to a primary head that is itself past the
+    /// floor), so the check is conservative: an eligible follower holds
+    /// every subscription this router has acked.
+    fn read_eligible(&self, i: usize, floor: u64) -> bool {
+        let node = &self.nodes[i];
+        i != self.active_index()
+            && node.is_up()
+            && node.reports_primary() == Some(false)
+            && node.reported_connected().unwrap_or(0) > 0
+            && node.reported_seq().unwrap_or(0) >= floor
+    }
+
+    /// Picks the follower to serve one read window, round-robin across
+    /// the eligible ones. See [`FollowerRead`] for the fallback cases.
+    pub fn choose_read_follower(&self) -> FollowerRead {
+        let floor = self.last_primary_seq();
+        let active = self.active_index();
+        let mut any_up = false;
+        let eligible: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| {
+                if i != active && self.nodes[i].is_up() {
+                    any_up = true;
+                }
+                self.read_eligible(i, floor)
+            })
+            .collect();
+        if eligible.is_empty() {
+            return if any_up {
+                FollowerRead::BelowFloor
+            } else {
+                FollowerRead::NoFollowers
+            };
+        }
+        let k = self.read_cursor.fetch_add(1, Ordering::Relaxed) % eligible.len();
+        FollowerRead::Serve(eligible[k])
+    }
+
     /// The cached summary bits, but only when the cache was fetched from
-    /// the node scatter would target right now — a summary taken from a
-    /// different node (pre-failover) proves nothing about the current
-    /// one's subscriptions. `None` forces full fan-out.
+    /// a node whose catalog provably covers every subscription this
+    /// router has acked: the active primary, or a follower currently
+    /// read-eligible (past the churn-ack floor). A summary from any
+    /// other node (pre-failover leftovers, a lagging follower) proves
+    /// nothing about acked subscriptions — `None` forces full fan-out.
     pub fn summary_for_scatter(&self) -> Option<FixedBitSet> {
         let slot = self.summary.lock();
+        let floor = self.last_primary_seq();
         slot.cache
             .as_ref()
-            .filter(|c| c.node == self.active_index())
+            .filter(|c| c.node == self.active_index() || self.read_eligible(c.node, floor))
             .map(|c| c.bits.clone())
     }
 
@@ -604,14 +727,26 @@ impl Membership {
         dialed
     }
 
-    /// Refreshes a partition's cached predicate-space summary from its
-    /// active node. Any failure simply drops the cache — pruning is an
-    /// optimisation and full fan-out is the safe floor — but a dead
-    /// stream still marks the node down so the routing paths see it.
+    /// Refreshes a partition's cached predicate-space summary, preferring
+    /// its active node but falling back to a read-eligible follower when
+    /// the active is down — a follower past the churn-ack floor holds
+    /// every acked subscription, so its summary is a valid pruning
+    /// superset and scatter keeps pruning through a primary outage. Any
+    /// failure simply drops the cache — pruning is an optimisation and
+    /// full fan-out is the safe floor — but a dead stream still marks the
+    /// node down so the routing paths see it.
     fn refresh_summary(&self, partition: &Partition, stats: &ClusterStats) {
         let active_idx = partition.active_index();
-        let node = &partition.nodes[active_idx];
-        let (generation, cached) = partition.summary_refresh_token(active_idx);
+        let source_idx = if partition.nodes[active_idx].is_up() {
+            active_idx
+        } else {
+            match partition.choose_read_follower() {
+                FollowerRead::Serve(i) => i,
+                _ => active_idx,
+            }
+        };
+        let node = &partition.nodes[source_idx];
+        let (generation, cached) = partition.summary_refresh_token(source_idx);
         let mut conn = node.lock_conn();
         let Some(c) = conn.as_mut() else {
             partition.invalidate_summary();
@@ -621,7 +756,7 @@ impl Membership {
             Ok(reply) => match protocol::parse_summary_reply(&reply) {
                 Ok(SummaryReply::Unchanged { .. }) if cached.is_some() => {}
                 Ok(SummaryReply::Summary { epoch, bits }) => {
-                    partition.store_summary(generation, active_idx, epoch, bits);
+                    partition.store_summary(generation, source_idx, epoch, bits);
                     ClusterStats::add(&stats.summary_refreshes, 1);
                 }
                 // "Unchanged" against no cache, or an unparseable reply:
@@ -704,14 +839,52 @@ impl Membership {
                 }
             }
         }
+
+        // Chain repair: a replica following an upstream that is not an up
+        // node of this partition (its chain parent crashed, or a stale
+        // spec survived a reshard) would never catch up — re-aim it at
+        // the active node. Replicas aimed at any up node are left alone:
+        // that is exactly what a configured deep chain looks like, and
+        // re-aiming only onto the active node can never form a cycle.
+        for (i, node) in partition.nodes.iter().enumerate() {
+            if i == active_idx || !node.is_up() || node.reports_primary() != Some(false) {
+                continue;
+            }
+            let aimed_at_live = node.reported_following().is_some_and(|upstream| {
+                partition
+                    .nodes
+                    .iter()
+                    .any(|n| n.is_up() && n.addr == upstream)
+            });
+            if aimed_at_live {
+                continue;
+            }
+            let mut conn = node.lock_conn();
+            if let Some(c) = conn.as_mut() {
+                match c.request(&format!("DEMOTE {active_addr}")) {
+                    Ok(r) if r.starts_with('+') => {
+                        ClusterStats::add(&stats.demotions, 1);
+                        node.meta.lock().following = Some(active_addr.clone());
+                    }
+                    _ => node.mark_down_locked(&mut conn, &self.connect, stats),
+                }
+            }
+        }
     }
 
-    /// Promotes a caught-up standby of a partition whose active node is
-    /// down and re-aims the partition at it. Returns the new active index,
-    /// or `None` when no standby is serviceable *and caught up* — a
-    /// lagging replica is never promoted. Called from the sweep and
-    /// inline from the routing paths; the promote lock serializes them.
-    /// Callers must not hold any node connection lock.
+    /// Quorum-aware failover for a partition whose active node is down:
+    /// probes *every* standby in the chain, then promotes the live one
+    /// with the highest applied sequence — which must still clear the
+    /// promotion floor, so a uniformly lagging chain is never promoted
+    /// (`None`: better refuse churn than lose acked records). On success
+    /// the floor is raised to the winner's sequence (it is the new
+    /// durable head; folding the *unpromoted* candidates in would be
+    /// wrong — a divergent ex-primary's inflated seq could wedge every
+    /// later failover) and the surviving standbys are best-effort
+    /// re-aimed at the winner with `DEMOTE`, collapsing the chain by one
+    /// hop. Called from the sweep and inline from the routing paths; the
+    /// promote lock serializes them. Callers must not hold any node
+    /// connection lock.
     pub fn try_failover(&self, partition: &Partition, stats: &ClusterStats) -> Option<usize> {
         let _guard = partition.promote_lock.lock();
         let active_idx = partition.active_index();
@@ -720,6 +893,7 @@ impl Membership {
             return Some(active_idx);
         }
         let floor = partition.last_primary_seq();
+        let mut candidates: Vec<(usize, u64)> = Vec::new();
         for (i, node) in partition.nodes.iter().enumerate() {
             if i == active_idx {
                 continue;
@@ -746,40 +920,70 @@ impl Membership {
                 }
             }
             let c = conn.as_mut().expect("dialed above");
-            let report = match c.request("ROLE") {
-                Ok(r) if r.starts_with('+') => match protocol::parse_role_report(&r) {
-                    Ok(report) => report,
-                    Err(_) => continue,
-                },
-                _ => {
-                    node.mark_down_locked(&mut conn, &self.connect, stats);
-                    continue;
+            match c.request("ROLE") {
+                Ok(r) if r.starts_with('+') => {
+                    if let Ok(report) = protocol::parse_role_report(&r) {
+                        candidates.push((i, report.seq));
+                    }
                 }
-            };
-            if report.seq < floor {
-                continue; // behind the acked churn: promotion would lose it
+                _ => node.mark_down_locked(&mut conn, &self.connect, stats),
             }
+        }
+        // Highest applied sequence first; ties break toward the earlier
+        // (closer-to-primary) chain position.
+        candidates.sort_by_key(|&(i, seq)| (std::cmp::Reverse(seq), i));
+        let mut winner = None;
+        for (i, seq) in candidates {
+            if seq < floor {
+                break; // sorted: everything after is further behind
+            }
+            let node = &partition.nodes[i];
+            let mut conn = node.lock_conn();
+            let Some(c) = conn.as_mut() else { continue };
             match c.request("PROMOTE") {
                 Ok(r) if r.starts_with('+') => {
                     node.record_role(
                         0,
                         &protocol::RoleReport {
                             primary: true,
-                            seq: report.seq,
+                            seq,
                             lag: 0,
                             connected: 0,
+                            acked: seq,
                             following: None,
                         },
                     );
                     partition.active.store(i, Ordering::SeqCst);
+                    partition.raise_floor(seq);
                     ClusterStats::add(&stats.failovers, 1);
                     ClusterStats::add(&stats.promotions, 1);
-                    return Some(i);
+                    winner = Some(i);
+                    break;
                 }
                 _ => node.mark_down_locked(&mut conn, &self.connect, stats),
             }
         }
-        None
+        let winner_idx = winner?;
+        // Re-aim the surviving standbys at the new primary. Best effort:
+        // a failure here just leaves the standby for the next sweep's
+        // reconcile pass to chase.
+        let winner_addr = partition.nodes[winner_idx].addr.clone();
+        for (i, node) in partition.nodes.iter().enumerate() {
+            if i == winner_idx || i == active_idx || !node.is_up() {
+                continue;
+            }
+            let mut conn = node.lock_conn();
+            if let Some(c) = conn.as_mut() {
+                match c.request(&format!("DEMOTE {winner_addr}")) {
+                    Ok(r) if r.starts_with('+') => {
+                        ClusterStats::add(&stats.demotions, 1);
+                        node.meta.lock().reports_primary = Some(false);
+                    }
+                    _ => node.mark_down_locked(&mut conn, &self.connect, stats),
+                }
+            }
+        }
+        Some(winner_idx)
     }
 
     /// The `TOPOLOGY` report: one line per node in partition order (the
@@ -790,8 +994,14 @@ impl Membership {
         let mut out = Vec::new();
         for partition in self.partitions() {
             let active_idx = partition.active_index();
+            let active_seq = partition.nodes[active_idx].reported_seq();
+            let chain_len = partition.nodes.len().saturating_sub(1);
+            let mut chain_pos = 0;
             for (i, node) in partition.nodes.iter().enumerate() {
-                out.push(node.topology_line(i == active_idx));
+                if i != active_idx {
+                    chain_pos += 1;
+                }
+                out.push(node.topology_line(i == active_idx, chain_pos, chain_len, active_seq));
             }
             let status = partition
                 .summary_status()
@@ -905,6 +1115,107 @@ mod tests {
         drop(listener);
     }
 
+    /// A minimal scripted backend: answers every `ROLE` probe with the
+    /// given line and `+OK` to anything else, one thread per connection.
+    /// The accept thread leaks for the remainder of the test process —
+    /// fine for a unit test.
+    fn scripted_backend(role_line: &'static str) -> String {
+        use std::io::{BufRead, Write};
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        std::thread::spawn(move || {
+            while let Ok((stream, _)) = listener.accept() {
+                std::thread::spawn(move || {
+                    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    let mut line = String::new();
+                    while reader.read_line(&mut line).map(|n| n > 0).unwrap_or(false) {
+                        let reply = if line.starts_with("ROLE") {
+                            role_line
+                        } else {
+                            "+OK"
+                        };
+                        if writer.write_all(format!("{reply}\n").as_bytes()).is_err() {
+                            return;
+                        }
+                        line.clear();
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn follower_reads_gated_by_floor_connection_and_role() {
+        let stats = ClusterStats::default();
+        let primary = scripted_backend("+OK role primary seq 10 followers 3 lag 7 acked 3");
+        let ready = scripted_backend("+OK role replica of x applied 10 connected 1");
+        let lagging = scripted_backend("+OK role replica of x applied 3 connected 1");
+        let detached = scripted_backend("+OK role replica of x applied 10 connected 0");
+        let membership = Membership::connect_replicated(
+            &[BackendSpec::chain(primary, vec![ready, lagging, detached])],
+            fast_options(),
+            PROBE,
+            &stats,
+        );
+        // The sweep's reconcile folds the primary's probed seq into the
+        // promotion floor.
+        membership.sweep(&stats);
+        let partition = membership.route(SubId(0)).expect("partition");
+        assert_eq!(partition.last_primary_seq(), 10);
+
+        // Only node 1 clears every gate: a follower (role), with its
+        // history reconciled (`connected 1`), at or past the floor. The
+        // lagging and detached followers never serve.
+        for _ in 0..4 {
+            assert_eq!(partition.choose_read_follower(), FollowerRead::Serve(1));
+        }
+
+        // A summary is trusted from the active node or a read-eligible
+        // follower — never from a below-floor one.
+        let bits = FixedBitSet::new(8);
+        for (node, accepted) in [(0, true), (1, true), (2, false), (3, false)] {
+            let (generation, _) = partition.summary_refresh_token(node);
+            partition.store_summary(generation, node, 1, bits.clone());
+            assert_eq!(
+                partition.summary_for_scatter().is_some(),
+                accepted,
+                "summary tagged node {node}"
+            );
+            partition.invalidate_summary();
+        }
+    }
+
+    #[test]
+    fn follower_read_fallback_cases() {
+        let stats = ClusterStats::default();
+        // Standalone: nothing to read from but the primary.
+        let membership = Membership::connect_replicated(
+            &[BackendSpec::standalone("127.0.0.1:1")],
+            fast_options(),
+            PROBE,
+            &stats,
+        );
+        let partition = membership.route(SubId(0)).expect("partition");
+        assert_eq!(partition.choose_read_follower(), FollowerRead::NoFollowers);
+
+        // A live follower stuck below the floor: the guard (not chance)
+        // rejects it, which the caller counts as a floor fallback.
+        let primary = scripted_backend("+OK role primary seq 10 followers 1 lag 7 acked 3");
+        let lagging = scripted_backend("+OK role replica of x applied 3 connected 1");
+        let membership = Membership::connect_replicated(
+            &[BackendSpec::chain(primary, vec![lagging])],
+            fast_options(),
+            PROBE,
+            &stats,
+        );
+        membership.sweep(&stats);
+        let partition = membership.route(SubId(0)).expect("partition");
+        assert_eq!(partition.last_primary_seq(), 10);
+        assert_eq!(partition.choose_read_follower(), FollowerRead::BelowFloor);
+    }
+
     #[test]
     fn replicated_partitions_report_both_nodes() {
         let stats = ClusterStats::default();
@@ -920,7 +1231,7 @@ mod tests {
         let lines = membership.topology_lines();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].contains("role=primary"), "{}", lines[0]);
-        assert!(lines[1].contains("role=replica"), "{}", lines[1]);
+        assert!(lines[1].contains("role=chain[1/1]"), "{}", lines[1]);
         assert!(lines[1].starts_with("backend 0 "), "{}", lines[1]);
         assert!(lines[2].starts_with("summary 0 "), "{}", lines[2]);
     }

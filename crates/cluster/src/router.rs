@@ -43,7 +43,7 @@ use apcm_server::client::ConnectOptions;
 use apcm_server::protocol::{self, Request};
 use apcm_server::{read_capped_line, LineOutcome};
 
-use crate::membership::{BackendSpec, Membership, Partition};
+use crate::membership::{BackendSpec, FollowerRead, Membership, Partition};
 use crate::migration::{phase, MigrationController};
 use crate::stats::ClusterStats;
 
@@ -547,14 +547,43 @@ fn route_to_partition(hub: &RouterHub, partition: &Partition, line: &str) -> Str
     format!("-ERR backend {} unavailable", partition.index)
 }
 
-/// Publishes one window to a partition, failing over to the standby when
-/// the active node dies mid-window. `None` only when neither node could
-/// serve it.
+/// Publishes one window to a partition, failing over to a standby when
+/// the active node dies mid-window. `None` only when no node could serve
+/// it.
+///
+/// A publish window is a pure read of the subscription catalog, so it is
+/// offered to a read-eligible follower first — one whose applied sequence
+/// already clears this router's churn-ack floor, which proves it holds
+/// every subscription any client has had acknowledged (the seq-floor
+/// staleness guard; see `Partition::choose_read_follower`). A lagging
+/// chain falls back to the primary rather than ever returning stale rows,
+/// and a follower dying mid-window is marked down and retried on the
+/// primary without triggering a failover — the primary is still fine.
 fn scatter_to_partition(
     hub: &RouterHub,
     partition: &Partition,
     event_lines: &[String],
 ) -> Option<Vec<Vec<SubId>>> {
+    match partition.choose_read_follower() {
+        FollowerRead::Serve(i) => {
+            let node = partition.nodes()[i].clone();
+            let mut conn = node.lock_conn();
+            match conn.as_mut().map(|c| c.publish_window(event_lines)) {
+                Some(Ok(rows)) => {
+                    ClusterStats::add(&hub.stats.reads_follower_served, 1);
+                    return Some(rows);
+                }
+                Some(Err(_)) => {
+                    node.mark_down_locked(&mut conn, hub.membership.connect_options(), &hub.stats);
+                }
+                None => {}
+            }
+        }
+        FollowerRead::BelowFloor => {
+            ClusterStats::add(&hub.stats.reads_floor_fallbacks, 1);
+        }
+        FollowerRead::NoFollowers => {}
+    }
     for attempt in 0..2 {
         let node = partition.active_node().clone();
         let mut conn = node.lock_conn();
@@ -898,11 +927,8 @@ fn read_loop(
                 reply("-ERR SUMMARY targets a backend, not the router".into());
             }
             Request::Reshard(cmd) => match cmd {
-                protocol::ReshardCmd::Add { primary, replica } => {
-                    let spec = match replica {
-                        Some(replica) => BackendSpec::replicated(primary, replica),
-                        None => BackendSpec::standalone(primary),
-                    };
+                protocol::ReshardCmd::Add { primary, followers } => {
+                    let spec = BackendSpec { primary, followers };
                     match hub.migration.start_add(&hub.membership, &spec, stats) {
                         Ok(new) => reply(format!("+OK reshard add started partition {new}")),
                         Err(e) => {

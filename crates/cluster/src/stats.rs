@@ -75,6 +75,13 @@ pub struct ClusterStats {
     /// Backends skipped by scatter because their cached summary proved no
     /// subscription there could match any event in the window.
     pub backends_pruned: AtomicU64,
+    /// Scatter windows served by a read-eligible follower instead of the
+    /// partition's primary.
+    pub reads_follower_served: AtomicU64,
+    /// Scatter windows that wanted a follower but found every live one
+    /// below the churn-ack floor, falling back to the primary — the
+    /// seq-floor guard refusing a potentially stale read.
+    pub reads_floor_fallbacks: AtomicU64,
     /// Per-window backend sends actually performed by scatter.
     pub fanouts_sent: AtomicU64,
     /// Per-window backend sends a summary-blind scatter would have made
@@ -149,6 +156,14 @@ impl ClusterStats {
         push("demotions", Self::get(&self.demotions));
         push("summary_refreshes", Self::get(&self.summary_refreshes));
         push("backends_pruned", Self::get(&self.backends_pruned));
+        push(
+            "reads_follower_served",
+            Self::get(&self.reads_follower_served),
+        );
+        push(
+            "reads_floor_fallbacks",
+            Self::get(&self.reads_floor_fallbacks),
+        );
         push("fanouts_sent", Self::get(&self.fanouts_sent));
         push("fanouts_possible", Self::get(&self.fanouts_possible));
         push("backends", backends as u64);

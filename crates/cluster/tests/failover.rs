@@ -335,6 +335,285 @@ fn failover_promotes_replica_and_loses_no_churn() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A chained cluster: `partitions` partitions, each a replication chain
+/// of `chain_len` nodes (node 0 the primary, each later node following
+/// the previous) with separate persist directories under `dir`.
+fn chained_cluster(
+    schema: &apcm_bexpr::Schema,
+    dir: &Path,
+    partitions: usize,
+    chain_len: usize,
+) -> ClusterHandle {
+    let chains = (0..partitions)
+        .map(|p| {
+            (0..chain_len)
+                .map(|n| node_config(&dir.join(format!("p{p}-n{n}"))))
+                .collect()
+        })
+        .collect();
+    ClusterHandle::start_chained(schema.clone(), chains, router_config()).unwrap()
+}
+
+/// Whether every *running* node of `partition` has the same applied
+/// sequence (dead nodes are skipped).
+fn chain_synced(cluster: &ClusterHandle, partition: usize) -> bool {
+    let seqs: Vec<u64> = (0..cluster.node_count(partition))
+        .filter_map(|n| cluster.node(partition, n))
+        .map(|s| s.current_seq())
+        .collect();
+    seqs.windows(2).all(|w| w[0] == w[1])
+}
+
+/// Waits until every node of `partition` is running and up in TOPOLOGY,
+/// the chain is synced, and exactly one node answers as primary; returns
+/// the primary's node index.
+fn wait_chain_settled(
+    client: &mut BrokerClient,
+    cluster: &ClusterHandle,
+    partition: usize,
+) -> usize {
+    let mut primary = 0;
+    wait_until(&format!("partition {partition} chain to settle"), || {
+        let nodes = cluster.node_count(partition);
+        let all_running = (0..nodes).all(|n| cluster.node(partition, n).is_some());
+        if !all_running || !chain_synced(cluster, partition) {
+            return false;
+        }
+        let prefix = format!("backend {partition} ");
+        let up = client
+            .topology()
+            .unwrap()
+            .iter()
+            .filter(|l| l.starts_with(&prefix) && l.contains(" up "))
+            .count();
+        if up != nodes {
+            return false;
+        }
+        match reported_primary(client, cluster, partition) {
+            Some(n) => {
+                primary = n;
+                true
+            }
+            None => false,
+        }
+    });
+    primary
+}
+
+/// The follower-served-read staleness drill: a three-node chain serves
+/// publish windows from its followers once they clear the churn-ack
+/// floor, falls back to the primary the instant churn outruns them
+/// (never returning stale rows), and rides out a follower killed
+/// mid-window — every routed row stays byte-identical to the
+/// single-process oracle throughout.
+#[test]
+fn follower_reads_stay_fresh_under_lag_and_kills() {
+    let _guard = lock();
+    failpoint::reset();
+    let wl = WorkloadSpec::new(80).seed(0xF07A).build();
+    let dir = tmpdir("follower-reads");
+    let mut cluster = chained_cluster(&wl.schema, &dir, 1, 3);
+    let mut client = connect(&cluster.router_addr());
+    wait_until("all nodes up", || nodes_up(&mut client) == 3);
+
+    // TOPOLOGY names every chain position and the per-follower lag/acked
+    // columns.
+    wait_until("chain roles reported", || {
+        let lines = client.topology().unwrap();
+        lines.iter().any(|l| l.contains("role=chain[1/2]"))
+            && lines.iter().any(|l| l.contains("role=chain[2/2]"))
+    });
+    for line in client.topology().unwrap() {
+        if line.starts_with("backend ") {
+            assert!(line.contains(" acked "), "{line}");
+            assert!(line.contains(" lag "), "{line}");
+        }
+    }
+
+    for sub in &wl.subs[..60] {
+        client.subscribe(sub, &wl.schema).unwrap();
+    }
+    wait_until("chain caught up", || chain_synced(&cluster, 0));
+    let live: Vec<&Subscription> = wl.subs[..60].iter().collect();
+
+    // Once the sweep certifies the followers (connected, past the
+    // floor), windows route to them — and stay byte-identical.
+    wait_until("a follower serves a window", || {
+        assert_window_matches(&mut client, &wl, &live, 12, "follower-read window");
+        client.stats().unwrap()["reads_follower_served"] > 0
+    });
+
+    // Lag the chain mid-window: stalled replication sends leave the
+    // followers provably behind the churn-ack floor, so the seq-floor
+    // guard must route those windows to the primary (fallback counter
+    // moves) — rows still exact, stale followers never answer.
+    let mut live: Vec<&Subscription> = wl.subs[..60].iter().collect();
+    failpoint::arm("repl.stream.send", FailAction::Stall(60), Some(6));
+    for (i, sub) in wl.subs[60..66].iter().enumerate() {
+        client.subscribe(sub, &wl.schema).unwrap();
+        live.push(sub);
+        assert_window_matches(&mut client, &wl, &live, 8, &format!("lagged window {i}"));
+    }
+    failpoint::reset();
+    assert!(
+        client.stats().unwrap()["reads_floor_fallbacks"] > 0,
+        "the floor guard never fired"
+    );
+    wait_until("chain heals after stalls", || chain_synced(&cluster, 0));
+
+    // Kill the tail follower mid-stream: a window scattered to it rides
+    // the error over to the primary (marked down, no failover), and the
+    // surviving follower keeps serving reads.
+    cluster.kill_node(0, 2);
+    for i in 0..4 {
+        assert_window_matches(
+            &mut client,
+            &wl,
+            &live,
+            10,
+            &format!("window after kill {i}"),
+        );
+    }
+    wait_until("dead follower marked down", || nodes_up(&mut client) == 2);
+    let served = client.stats().unwrap()["reads_follower_served"];
+    wait_until("surviving follower serves", || {
+        assert_window_matches(&mut client, &wl, &live, 10, "window on surviving follower");
+        client.stats().unwrap()["reads_follower_served"] > served
+    });
+
+    cluster.restart_node(0, 2).unwrap();
+    wait_chain_settled(&mut client, &cluster, 0);
+    assert_window_matches(&mut client, &wl, &live, 16, "final window");
+    let stats = client.stats().unwrap();
+    assert_eq!(stats["cluster_degraded"], 0);
+    assert_eq!(stats["failovers"], 0);
+
+    client.quit().unwrap();
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The chain acceptance drill: two partitions, each a 3-deep replication
+/// chain, under seeded churn. Kill a primary (quorum promotes the most
+/// caught-up survivor), kill a mid-chain follower (the orphaned tail is
+/// re-aimed at the active node), then fail partition 0 over a second
+/// time — zero acked churn lost, every routed window byte-identical to
+/// the oracle, nothing partial.
+#[test]
+fn chain_quorum_failover_drill_preserves_every_acked_churn_op() {
+    let _guard = lock();
+    failpoint::reset();
+    let wl = WorkloadSpec::new(120).seed(0xC4A1).build();
+    let dir = tmpdir("chain-quorum");
+    let mut cluster = chained_cluster(&wl.schema, &dir, 2, 3);
+    let mut client = connect(&cluster.router_addr());
+    wait_until("all nodes up", || nodes_up(&mut client) == 6);
+
+    let mut rng = StdRng::seed_from_u64(0xC4A1_C4A1);
+    let mut live = vec![false; wl.subs.len()];
+    macro_rules! churn_round {
+        ($p_sub:expr, $p_unsub:expr) => {
+            for (i, sub) in wl.subs.iter().enumerate() {
+                if !live[i] && rng.gen_bool($p_sub) {
+                    client.subscribe(sub, &wl.schema).unwrap();
+                    live[i] = true;
+                } else if live[i] && rng.gen_bool($p_unsub) {
+                    client.unsubscribe(sub.id()).unwrap();
+                    live[i] = false;
+                }
+            }
+        };
+    }
+    macro_rules! check_window {
+        ($n:expr, $context:expr) => {
+            let live_subs: Vec<&Subscription> = wl
+                .subs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| live[*i])
+                .map(|(_, s)| s)
+                .collect();
+            assert_window_matches(&mut client, &wl, &live_subs, $n, $context);
+        };
+    }
+
+    for p in 0..2 {
+        wait_chain_settled(&mut client, &cluster, p);
+    }
+    churn_round!(0.5, 0.0);
+    check_window!(16, "baseline");
+
+    // Kill partition 0's primary: quorum failover probes both standbys
+    // and promotes the most caught-up one, re-aiming the other.
+    let victim = wait_chain_settled(&mut client, &cluster, 0);
+    cluster.kill_node(0, victim);
+    churn_round!(0.1, 0.1);
+    check_window!(16, "through partition 0 failover");
+    let mut promoted = victim;
+    wait_until("quorum promoted a survivor", || {
+        match reported_primary(&mut client, &cluster, 0) {
+            Some(n) if n != victim => {
+                promoted = n;
+                true
+            }
+            _ => false,
+        }
+    });
+
+    // Kill partition 1's mid-chain follower: the tail that followed it
+    // is orphaned until the sweep re-aims it at the active node; churn
+    // keeps flowing the whole time.
+    let p1_primary = wait_chain_settled(&mut client, &cluster, 1);
+    let mid_chain = if p1_primary == 1 { 2 } else { 1 };
+    cluster.kill_node(1, mid_chain);
+    churn_round!(0.1, 0.1);
+    check_window!(16, "through mid-chain kill");
+    wait_until("orphaned tail re-aimed and caught up", || {
+        chain_synced(&cluster, 1)
+    });
+
+    // Heal both, then settle: the ex-primary rejoins under the promoted
+    // node (rewinding any unacked suffix in place), the mid-chain node
+    // rejoins its chain.
+    cluster.restart_node(0, victim).unwrap();
+    cluster.restart_node(1, mid_chain).unwrap();
+    for p in 0..2 {
+        wait_chain_settled(&mut client, &cluster, p);
+    }
+    check_window!(20, "after heal");
+
+    // Double failover: partition 0's replacement primary dies too. The
+    // quorum picks again from the survivors (the returned ex-primary is
+    // eligible — its history was reconciled when it rejoined).
+    cluster.kill_node(0, promoted);
+    churn_round!(0.1, 0.1);
+    check_window!(16, "through double failover");
+    wait_until(
+        "second quorum promotion",
+        || matches!(reported_primary(&mut client, &cluster, 0), Some(n) if n != promoted),
+    );
+    cluster.restart_node(0, promoted).unwrap();
+    for p in 0..2 {
+        wait_chain_settled(&mut client, &cluster, p);
+    }
+
+    // Zero acked churn lost: the final windows over the full model are
+    // byte-identical to the oracle.
+    check_window!(40, "final window");
+    wait_until("every node back in the router's table", || {
+        client.stats().unwrap()["nodes_up"] == 6
+    });
+    let stats = client.stats().unwrap();
+    assert_eq!(stats["cluster_degraded"], 0);
+    assert!(stats["failovers"] >= 2, "failovers {}", stats["failovers"]);
+    assert!(stats["promotions"] >= 2);
+    assert!(stats["demotions"] >= 1);
+
+    client.quit().unwrap();
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Seeded randomized chaos drill: rounds of churn interleaved with node
 /// kills (primaries and standbys), restarts, and the promotions they
 /// force. Every acknowledged churn op must survive to the end; every

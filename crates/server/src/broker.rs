@@ -841,6 +841,9 @@ impl ReplicaRunner {
         };
         let mut connected_before = false;
         let mut failures = 0u32;
+        // Set when a truncate handshake's CRC probe failed: the next dial
+        // sends a trailing `reset` to force the wholesale bootstrap.
+        let mut force_reset = false;
         loop {
             let Some(primary) = self.primary(generation) else {
                 stats.repl_connected.store(0, Ordering::Relaxed);
@@ -853,7 +856,7 @@ impl ReplicaRunner {
                     }
                     connected_before = true;
                     failures = 0;
-                    self.follow(generation, stream);
+                    self.follow(generation, stream, &mut force_reset);
                     stats.repl_connected.store(0, Ordering::Relaxed);
                 }
                 Err(_) => {
@@ -874,7 +877,7 @@ impl ReplicaRunner {
     /// snapshot bootstrap, then the live frame tail. Returning (for any
     /// reason) sends control back to `run`, which redials from the
     /// current applied seq — so every exit path is also the repair path.
-    fn follow(&self, generation: u64, stream: TcpStream) {
+    fn follow(&self, generation: u64, stream: TcpStream, force_reset: &mut bool) {
         let stats = &self.hub.stats;
         let mut writer = match stream.try_clone() {
             Ok(w) => w,
@@ -885,9 +888,15 @@ impl ReplicaRunner {
         let mut applied = self.persist.current_seq();
         // `v2` advertises that this follower can decode a compressed
         // colstore bootstrap; a primary on the text snapshot format still
-        // answers with the plain-frame form.
+        // answers with the plain-frame form. `reset` (one-shot, after a
+        // failed truncate CRC probe) forces the wholesale bootstrap.
+        let reset = if std::mem::take(force_reset) {
+            " reset"
+        } else {
+            ""
+        };
         if writer
-            .write_all(format!("REPLICATE {applied} v2\n").as_bytes())
+            .write_all(format!("REPLICATE {applied} v2{reset}\n").as_bytes())
             .is_err()
         {
             return;
@@ -903,7 +912,6 @@ impl ReplicaRunner {
             // `-ERR` (e.g. the peer lost persistence) or garbage: redial.
             Err(_) => return,
         };
-        stats.repl_connected.store(1, Ordering::Relaxed);
 
         // Full bootstrap (either form): our log position is useless to
         // the primary (predates its retained log, or is ahead of it after
@@ -963,6 +971,46 @@ impl ReplicaRunner {
                 }
                 Some((subs, seq))
             }
+            ReplicateStart::Truncate { seq, crc } => {
+                // Covered-suffix rewind: our history is ahead of the
+                // primary's (an unacked suffix from an old promotion).
+                // Verify our own frame at `seq` carries the CRC the
+                // primary announced; a match proves the histories agree
+                // up to `seq`, so the suffix can be discarded locally
+                // with zero transferred state. A mismatch (or a missing
+                // frame) means divergence — redial with `reset` for the
+                // wholesale bootstrap.
+                if self.persist.local_frame_crc(seq) != Some(crc) {
+                    *force_reset = true;
+                    return;
+                }
+                match self.persist.rewind_to(&self.engine, seq) {
+                    Ok(subs) => {
+                        let fresh: HashMap<SubId, u64> = subs
+                            .iter()
+                            .map(|sub| (sub.id(), sub_fingerprint(sub)))
+                            .collect();
+                        self.hub
+                            .owners
+                            .write()
+                            .retain(|id, _| fresh.contains_key(id));
+                        *self.hub.live.write() = fresh;
+                        applied = seq;
+                        stats.repl_applied_seq.store(applied, Ordering::Relaxed);
+                        if writer
+                            .write_all(format!("REPLACK {applied}\n").as_bytes())
+                            .is_err()
+                        {
+                            return;
+                        }
+                        None
+                    }
+                    Err(_) => {
+                        *force_reset = true;
+                        return;
+                    }
+                }
+            }
         };
         if let Some((subs, seq)) = bootstrap {
             let fresh: HashMap<SubId, u64> = subs
@@ -989,6 +1037,12 @@ impl ReplicaRunner {
             ServerStats::add(&stats.repl_bootstraps, 1);
             let _ = writer.write_all(format!("REPLACK {applied}\n").as_bytes());
         }
+        // Flip the gauge only now that any bootstrap/rewind has resolved:
+        // `connected 1` in this node's `ROLE` report certifies "history
+        // reconciled with the upstream", which is what the router's
+        // follower-read eligibility check leans on — a returned
+        // ex-primary mid-bootstrap must not look readable.
+        stats.repl_connected.store(1, Ordering::Relaxed);
 
         let mut since_ack = 0u64;
         loop {
@@ -1026,7 +1080,16 @@ impl ReplicaRunner {
                     applied = record.seq;
                     stats.repl_applied_seq.store(applied, Ordering::Relaxed);
                     since_ack += 1;
-                    if since_ack >= self.ack_every {
+                    // Pipelined acks: while more records are already
+                    // buffered on the stream they will be applied in this
+                    // same drain, so hold the ack and send one line at
+                    // the drain boundary — `ack_every` caps how long a
+                    // continuous burst can go unacknowledged.
+                    let more_buffered = reader.buffer().contains(&b'\n');
+                    if since_ack >= self.ack_every || !more_buffered {
+                        if since_ack > 1 {
+                            ServerStats::add(&stats.replacks_pipelined, 1);
+                        }
                         since_ack = 0;
                         if writer
                             .write_all(format!("REPLACK {applied}\n").as_bytes())
@@ -1371,6 +1434,10 @@ impl ReshardRunner {
                 }
                 Some((subs, seq))
             }
+            // Scoped pulls are never offered a truncate (the donor's
+            // handshake gates it on an unscoped stream); treat one as a
+            // protocol violation and redial.
+            ReplicateStart::Truncate { .. } => return,
         };
         if let Some((mut subs, seq)) = bootstrap {
             // Unlike a replica bootstrap, this is *additive*: the node

@@ -454,10 +454,22 @@ impl BrokerClient {
     /// `RESHARD ADD <primary> [replica]` (cluster router): scale out onto
     /// a freshly started backend pair. Returns the router's ack line.
     pub fn reshard_add(&mut self, primary: &str, replica: Option<&str>) -> std::io::Result<String> {
-        let line = match replica {
-            Some(replica) => format!("RESHARD ADD {primary} {replica}"),
-            None => format!("RESHARD ADD {primary}"),
-        };
+        self.reshard_add_chain(primary, replica.into_iter().collect())
+    }
+
+    /// `RESHARD ADD <primary> [f1 f2 ...]` (cluster router): scale out
+    /// onto a freshly started backend whose replication chain is the
+    /// given follower addresses, in hop order. Returns the router's ack.
+    pub fn reshard_add_chain(
+        &mut self,
+        primary: &str,
+        followers: Vec<&str>,
+    ) -> std::io::Result<String> {
+        let mut line = format!("RESHARD ADD {primary}");
+        for follower in followers {
+            line.push(' ');
+            line.push_str(follower);
+        }
         self.send_line(&line)?;
         self.expect_ok("RESHARD ADD")
     }

@@ -223,6 +223,11 @@ pub enum StreamStart {
         subs: usize,
         seq: u64,
     },
+    /// The follower was *ahead* of this primary but the primary still
+    /// retains its own head frame: nothing was shipped; the follower was
+    /// told to verify its frame at `seq` against `crc` and rewind locally
+    /// (discarding only its divergent — necessarily unacked — suffix).
+    Truncate { seq: u64, crc: u32 },
 }
 
 impl Persister {
@@ -690,11 +695,16 @@ impl Persister {
     /// frames itself, so its `REPLACK` cursor counts every source
     /// sequence and stays directly comparable with this log's seq — the
     /// property the migration double-write floor handshake relies on.
+    ///
+    /// `reset` (the follower's trailing `reset` token) forces the
+    /// wholesale-bootstrap path even when a covered-suffix truncate would
+    /// apply — the follower sends it after a failed CRC probe.
     pub fn begin_stream(
         &self,
         follower_id: u64,
         from_seq: u64,
         v2: bool,
+        reset: bool,
         scope: Option<&RingScope>,
         conn: Box<dyn FollowerConn>,
     ) -> io::Result<StreamStart> {
@@ -712,11 +722,26 @@ impl Persister {
             send_chunk(&*conn, chunk).map_err(io::Error::other)?;
             self.repl.register(follower_id, conn, from_seq);
             StreamStart::Log { backlog }
+        } else if let Some(crc) = (!reset && scope.is_none() && from_seq > current)
+            .then(|| Self::frame_crc_at(&inner.log, current))
+            .flatten()
+        {
+            // The follower is ahead (an unacked suffix from an old
+            // promotion) and we still retain our head frame: offer a
+            // covered-suffix truncate. The follower verifies its own
+            // frame at `current` against our CRC; a match proves the
+            // histories agree up to `current`, so it rewinds locally with
+            // zero transferred state and tails from there. A mismatch
+            // makes it redial with `reset` for the wholesale bootstrap.
+            let chunk = format!("+OK replicate truncate {current} {crc:08x}");
+            send_chunk(&*conn, chunk).map_err(io::Error::other)?;
+            self.repl.register(follower_id, conn, current);
+            StreamStart::Truncate { seq: current, crc }
         } else {
-            // Either the follower predates the retained log (rotation) or
-            // claims a future sequence (stale leftovers from an old
-            // promotion): ship the whole catalog at the current sequence
-            // (scoped pulls get only their owned subset).
+            // The follower predates the retained log (rotation), asked
+            // for a `reset`, or is ahead of a primary whose head frame is
+            // no longer retained: ship the whole catalog at the current
+            // sequence (scoped pulls get only their owned subset).
             let mut subs: Vec<Subscription> = match scope {
                 Some(scope) => self
                     .catalog
@@ -782,6 +807,27 @@ impl Persister {
         Ok(start)
     }
 
+    /// CRC field of the retained log frame at exactly `seq`, if present
+    /// (`seq` must fall inside the retained window `(base, head]`).
+    fn frame_crc_at(log: &ChurnLog, seq: u64) -> Option<u32> {
+        if seq == 0 || seq <= log.base_seq() {
+            return None;
+        }
+        let frames = log.frames_after(seq - 1).ok()?;
+        frames.iter().find_map(|f| {
+            let mut it = f.split(' ');
+            let crc = u32::from_str_radix(it.next()?, 16).ok()?;
+            (it.next()?.parse::<u64>().ok()? == seq).then_some(crc)
+        })
+    }
+
+    /// CRC field of this node's own log frame at `seq` — the follower
+    /// side of the truncate handshake probes its local history with this
+    /// before agreeing to rewind.
+    pub fn local_frame_crc(&self, seq: u64) -> Option<u32> {
+        Self::frame_crc_at(&self.inner.lock().log, seq)
+    }
+
     /// Records a follower's `REPLACK` and refreshes the lag gauge.
     pub fn follower_ack(&self, follower_id: u64, acked_seq: u64) {
         let current = self.current_seq();
@@ -808,6 +854,13 @@ impl Persister {
     /// Number of live follower streams.
     pub fn follower_count(&self) -> usize {
         self.repl.follower_count()
+    }
+
+    /// Minimum `REPLACK`ed sequence across live followers (own seq with
+    /// none) — what `ROLE` reports as `acked` so the router's promotion
+    /// floor tracks the chain's durably confirmed progress.
+    pub fn followers_min_acked(&self) -> u64 {
+        self.repl.min_acked(self.current_seq())
     }
 
     /// Applies one replicated record on a follower: engine first, then the
@@ -855,6 +908,13 @@ impl Persister {
                         self.mark_dirty(&mut inner, *id, record.seq);
                         self.catalog.write().remove(id);
                     }
+                }
+                // Chain hop: forward the frame *verbatim* (the primary's
+                // sequence and CRC survive every hop) to any followers
+                // replicating from this node — persisted here first, so
+                // each hop only forwards what it can itself re-serve.
+                if self.repl.has_followers() {
+                    self.repl.broadcast(frame, record.seq, &self.stats);
                 }
                 Ok(true)
             }
@@ -918,6 +978,62 @@ impl Persister {
         inner.dirty_seq.fill(seq);
         *catalog = subs.iter().map(|s| (s.id(), s.clone())).collect();
         ServerStats::add(&self.stats.snapshots_taken, 1);
+        // History just jumped: downstream chain followers must
+        // re-handshake against the new log rather than silently skip the
+        // sequence gap.
+        self.repl.kick_all(&self.stats);
         Ok((removed, subs.len()))
+    }
+
+    /// Covered-suffix rewind — the follower side of the `truncate`
+    /// handshake. The primary confirmed (by frame CRC) that this node's
+    /// history agrees with its own up to `seq`, so the local suffix past
+    /// `seq` is divergent-but-unacked (the router's promotion floor never
+    /// elects a primary below the acked sequence) and can be discarded
+    /// without any state transfer: the catalog at `seq` is rebuilt from
+    /// the local snapshot + log prefix and installed through the same
+    /// wholesale-swap path a bootstrap uses (which also truncates the log
+    /// to `seq` and kicks downstream chain followers). Returns the
+    /// installed catalog so the caller can rebuild its liveness maps.
+    pub fn rewind_to(&self, engine: &ShardedEngine, seq: u64) -> io::Result<Vec<Subscription>> {
+        let mut catalog: HashMap<SubId, Subscription> = HashMap::new();
+        let mut base = 0u64;
+        match snapshot::load(&self.config.dir, &self.schema) {
+            Ok(Some(snap)) => {
+                if snap.seq > seq {
+                    return Err(io::Error::other(format!(
+                        "local snapshot at {} already covers {seq}; cannot rewind",
+                        snap.seq
+                    )));
+                }
+                base = snap.seq;
+                for sub in snap.subs {
+                    catalog.insert(sub.id(), sub);
+                }
+            }
+            Ok(None) => {}
+            Err(snapshot::SnapshotError::Io(e)) => return Err(e),
+            Err(e) => {
+                return Err(io::Error::other(format!("rewind snapshot load: {e:?}")));
+            }
+        }
+        let replay = log::replay(&self.config.dir, &self.schema)?;
+        for record in &replay.records {
+            if record.seq <= base || record.seq > seq {
+                continue;
+            }
+            match &record.op {
+                ReplayOp::Sub(sub) => {
+                    catalog.insert(sub.id(), sub.clone());
+                }
+                ReplayOp::Unsub(id) => {
+                    catalog.remove(id);
+                }
+            }
+        }
+        let subs: Vec<Subscription> = catalog.into_values().collect();
+        self.bootstrap_replace(engine, subs.clone(), seq)?;
+        ServerStats::add(&self.stats.repl_truncates, 1);
+        Ok(subs)
     }
 }

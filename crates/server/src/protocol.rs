@@ -31,18 +31,26 @@
 //!                      `v2 ring <members> <keep>` scopes the *bootstrap*
 //!                      to the catalog subset the ring routes to `keep`
 //!                      (the live tail still carries every record — the
-//!                      receiver filters — so seqs stay comparable)
+//!                      receiver filters — so seqs stay comparable).
+//!                      A trailing `reset` token forces a wholesale
+//!                      bootstrap, disclaiming local history (a follower
+//!                      whose divergent suffix could not be truncated)
 //! REPLACK <seq>        follower progress report on a REPLICATE stream
 //! ROLE                 role + sequence/lag report (the health probe)
 //! PROMOTE              replica -> primary (idempotent on a primary)
 //! DEMOTE <addr>        become a follower of the primary at <addr>
 //! ```
 //!
+//! A follower *ahead* of its primary (unacked ex-primary suffix) whose
+//! shared prefix is verifiable is answered `+OK replicate truncate <seq>
+//! <crc>` — rewind locally to `<seq>` (the primary's frame there carries
+//! CRC `<crc>`), then tail — instead of a wholesale bootstrap.
+//!
 //! Elastic resharding (see `apcm-cluster`'s migration module): admin verbs
 //! answered by the router, data-plane verbs by a backend server:
 //!
 //! ```text
-//! RESHARD ADD <primary> [replica]    router: scale out onto a new backend
+//! RESHARD ADD <primary> [follower ...]  router: scale out onto a new backend
 //! RESHARD REMOVE <partition>         router: drain + drop a partition
 //! RESHARD STATUS                     router: migration progress report
 //! RESHARD PULL <src> <members> <keep> [<dm> <dk>]
@@ -119,11 +127,14 @@ pub enum Request {
     /// `v2` is set when the follower appended a `v2` token, advertising
     /// that it can decode a compressed colstore bootstrap. `ring` scopes
     /// the bootstrap catalog to a ring subset (see [`RingSpec`]); it
-    /// requires `v2`.
+    /// requires `v2`. `reset` disclaims the follower's local history,
+    /// forcing a wholesale bootstrap even when `from_seq` would allow a
+    /// log tail or truncate answer.
     Replicate {
         from_seq: u64,
         v2: bool,
         ring: Option<RingSpec>,
+        reset: bool,
     },
     /// Follower progress report on an established `REPLICATE` stream.
     ReplAck {
@@ -157,11 +168,12 @@ pub struct RingSpec {
 /// cluster router; `Pull`/`Cutoff`/`Prune`/`Status` by a backend server.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReshardCmd {
-    /// Router: scale out — start a new backend pair and migrate its ring
+    /// Router: scale out — register a new backend (primary plus an
+    /// optional replication chain of followers) and migrate its ring
     /// share onto it.
     Add {
         primary: String,
-        replica: Option<String>,
+        followers: Vec<String>,
     },
     /// Router: scale in — drain this partition's ring share onto the
     /// survivors, then drop it from membership.
@@ -253,14 +265,16 @@ pub fn parse_request(schema: &Schema, line: &str) -> Result<Option<Request>, Str
                 .next()
                 .and_then(|t| t.parse().ok())
                 .ok_or_else(|| format!("bad replicate seq `{rest}`"))?;
-            let v2 = match parts.next() {
-                None => false,
-                Some("v2") => true,
-                Some(other) => return Err(format!("bad replicate token `{other}`")),
+            let mut next = parts.next();
+            let v2 = match next {
+                Some("v2") => {
+                    next = parts.next();
+                    true
+                }
+                _ => false,
             };
-            let ring = match parts.next() {
-                None => None,
-                Some("ring") => {
+            let ring = match next {
+                Some("ring") if v2 => {
                     let members_csv = parts
                         .next()
                         .ok_or("usage: REPLICATE <seq> v2 ring <members> <keep>")?
@@ -269,17 +283,31 @@ pub fn parse_request(schema: &Schema, line: &str) -> Result<Option<Request>, Str
                         .next()
                         .ok_or("usage: REPLICATE <seq> v2 ring <members> <keep>")?
                         .to_string();
+                    next = parts.next();
                     Some(RingSpec {
                         members_csv,
                         keep_csv,
                     })
                 }
+                _ => None,
+            };
+            let reset = match next {
+                None => false,
+                Some("reset") => {
+                    next = parts.next();
+                    true
+                }
                 Some(other) => return Err(format!("bad replicate token `{other}`")),
             };
-            if parts.next().is_some() {
+            if next.is_some() || parts.next().is_some() {
                 return Err(format!("bad replicate request `{rest}`"));
             }
-            Request::Replicate { from_seq, v2, ring }
+            Request::Replicate {
+                from_seq,
+                v2,
+                ring,
+                reset,
+            }
         }
         "REPLACK" => {
             let seq: u64 = rest
@@ -315,10 +343,10 @@ fn parse_reshard(rest: &str) -> Result<ReshardCmd, String> {
         "ADD" => {
             let primary = parts
                 .next()
-                .ok_or("usage: RESHARD ADD <primary> [replica]")?
+                .ok_or("usage: RESHARD ADD <primary> [follower ...]")?
                 .to_string();
-            let replica = parts.next().map(str::to_string);
-            ReshardCmd::Add { primary, replica }
+            let followers: Vec<String> = parts.by_ref().map(str::to_string).collect();
+            ReshardCmd::Add { primary, followers }
         }
         "REMOVE" => {
             let partition: u32 = parts
@@ -491,6 +519,20 @@ pub enum ReplicateStart {
         subs: usize,
         seq: u64,
     },
+    /// Covered-suffix rewind: the follower is *ahead* of the primary, but
+    /// the primary's retained history ends at `seq` with a frame carrying
+    /// CRC `crc`. If the follower's own frame at `seq` carries the same
+    /// CRC, its suffix past `seq` is an unacknowledged divergence it can
+    /// discard locally (truncate + local snapshot rewind) and then tail
+    /// the live stream from `seq` — no bootstrap bytes on the wire. A
+    /// follower that cannot verify the shared prefix redials with
+    /// `reset` to force the wholesale bootstrap instead.
+    Truncate { seq: u64, crc: u32 },
+}
+
+/// Renders the `+OK replicate truncate <seq> <crc>` handshake header.
+pub fn render_replicate_truncate(seq: u64, crc: u32) -> String {
+    format!("+OK replicate truncate {seq} {crc:08x}")
 }
 
 /// Parses a `+OK replicate ...` handshake header.
@@ -533,6 +575,17 @@ pub fn parse_replicate_header(line: &str) -> Result<ReplicateStart, String> {
                 .ok_or("replicate colstore header missing seq")?;
             Ok(ReplicateStart::Colstore { blocks, subs, seq })
         }
+        Some("truncate") => {
+            let seq: u64 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or("replicate truncate header missing seq")?;
+            let crc = parts
+                .next()
+                .and_then(|t| u32::from_str_radix(t, 16).ok())
+                .ok_or("replicate truncate header missing crc")?;
+            Ok(ReplicateStart::Truncate { seq, crc })
+        }
         other => Err(format!("unknown replicate mode {other:?}")),
     }
 }
@@ -551,6 +604,11 @@ pub struct RoleReport {
     /// Primary: live follower streams. Replica: 1 while its puller holds
     /// a connection to the primary, else 0.
     pub connected: u64,
+    /// Primary: the lowest sequence any connected follower has
+    /// acknowledged (equal to `seq` with no followers) — the quorum
+    /// durability horizon of the chain hanging off this node. Replica:
+    /// its own applied sequence (everything applied is acknowledged).
+    pub acked: u64,
     /// The address a replica follows (`None` on a primary).
     pub following: Option<String>,
 }
@@ -559,8 +617,8 @@ pub struct RoleReport {
 pub fn render_role_report(report: &RoleReport) -> String {
     if report.primary {
         format!(
-            "+OK role primary seq {} followers {} lag {}",
-            report.seq, report.connected, report.lag
+            "+OK role primary seq {} followers {} lag {} acked {}",
+            report.seq, report.connected, report.lag, report.acked
         )
     } else {
         format!(
@@ -584,6 +642,7 @@ pub fn parse_role_report(line: &str) -> Result<RoleReport, String> {
             let mut seq = 0u64;
             let mut followers = 0u64;
             let mut lag = 0u64;
+            let mut acked = None;
             while let (Some(key), Some(value)) = (parts.next(), parts.next()) {
                 let value: u64 = value
                     .parse()
@@ -592,6 +651,7 @@ pub fn parse_role_report(line: &str) -> Result<RoleReport, String> {
                     "seq" => seq = value,
                     "followers" => followers = value,
                     "lag" => lag = value,
+                    "acked" => acked = Some(value),
                     other => return Err(format!("unknown role field `{other}`")),
                 }
             }
@@ -600,6 +660,7 @@ pub fn parse_role_report(line: &str) -> Result<RoleReport, String> {
                 seq,
                 lag,
                 connected: followers,
+                acked: acked.unwrap_or(seq),
                 following: None,
             })
         }
@@ -628,6 +689,7 @@ pub fn parse_role_report(line: &str) -> Result<RoleReport, String> {
                 seq,
                 lag: 0,
                 connected,
+                acked: seq,
                 following: Some(following),
             })
         }
@@ -821,7 +883,8 @@ mod tests {
             Request::Replicate {
                 from_seq: 42,
                 v2: false,
-                ring: None
+                ring: None,
+                reset: false
             }
         );
         assert_eq!(
@@ -829,7 +892,19 @@ mod tests {
             Request::Replicate {
                 from_seq: 42,
                 v2: true,
-                ring: None
+                ring: None,
+                reset: false
+            }
+        );
+        assert_eq!(
+            parse_request(&schema, "REPLICATE 42 v2 reset")
+                .unwrap()
+                .unwrap(),
+            Request::Replicate {
+                from_seq: 42,
+                v2: true,
+                ring: None,
+                reset: true
             }
         );
         assert_eq!(
@@ -842,13 +917,29 @@ mod tests {
                 ring: Some(RingSpec {
                     members_csv: "0,1,2".into(),
                     keep_csv: "2".into()
-                })
+                }),
+                reset: false
+            }
+        );
+        assert_eq!(
+            parse_request(&schema, "REPLICATE 0 v2 ring 0,1,2 2 reset")
+                .unwrap()
+                .unwrap(),
+            Request::Replicate {
+                from_seq: 0,
+                v2: true,
+                ring: Some(RingSpec {
+                    members_csv: "0,1,2".into(),
+                    keep_csv: "2".into()
+                }),
+                reset: true
             }
         );
         assert!(parse_request(&schema, "REPLICATE 42 v3").is_err());
         assert!(parse_request(&schema, "REPLICATE 42 v2 x").is_err());
         assert!(parse_request(&schema, "REPLICATE 42 v2 ring 0,1").is_err());
         assert!(parse_request(&schema, "REPLICATE 42 v2 ring 0,1 1 x").is_err());
+        assert!(parse_request(&schema, "REPLICATE 42 v2 reset x").is_err());
         assert_eq!(
             parse_request(&schema, "replack 7").unwrap().unwrap(),
             Request::ReplAck { seq: 7 }
@@ -922,7 +1013,7 @@ mod tests {
                 .unwrap(),
             Request::Reshard(ReshardCmd::Add {
                 primary: "127.0.0.1:7010".into(),
-                replica: None
+                followers: Vec::new()
             })
         );
         assert_eq!(
@@ -931,7 +1022,19 @@ mod tests {
                 .unwrap(),
             Request::Reshard(ReshardCmd::Add {
                 primary: "127.0.0.1:7010".into(),
-                replica: Some("127.0.0.1:7011".into())
+                followers: vec!["127.0.0.1:7011".into()]
+            })
+        );
+        assert_eq!(
+            parse_request(
+                &schema,
+                "RESHARD ADD 127.0.0.1:7010 127.0.0.1:7011 127.0.0.1:7012"
+            )
+            .unwrap()
+            .unwrap(),
+            Request::Reshard(ReshardCmd::Add {
+                primary: "127.0.0.1:7010".into(),
+                followers: vec!["127.0.0.1:7011".into(), "127.0.0.1:7012".into()]
             })
         );
         assert_eq!(
@@ -1055,8 +1158,21 @@ mod tests {
                 seq: 97
             }
         );
+        assert_eq!(
+            parse_replicate_header("+OK replicate truncate 97 deadbeef").unwrap(),
+            ReplicateStart::Truncate {
+                seq: 97,
+                crc: 0xdead_beef
+            }
+        );
+        assert_eq!(
+            render_replicate_truncate(97, 0xdead_beef),
+            "+OK replicate truncate 97 deadbeef"
+        );
         assert!(parse_replicate_header("+OK replicate").is_err());
         assert!(parse_replicate_header("+OK replicate log").is_err());
+        assert!(parse_replicate_header("+OK replicate truncate 97").is_err());
+        assert!(parse_replicate_header("+OK replicate truncate 97 zzz").is_err());
         assert!(parse_replicate_header("+OK replicate snapshot 4").is_err());
         assert!(parse_replicate_header("+OK replicate colstore 3 40").is_err());
         assert!(parse_replicate_header("-ERR persistence disabled").is_err());
@@ -1070,10 +1186,14 @@ mod tests {
             lag: 3,
             connected: 1,
             following: None,
+            acked: 85,
         };
         let line = render_role_report(&primary);
-        assert_eq!(line, "+OK role primary seq 88 followers 1 lag 3");
+        assert_eq!(line, "+OK role primary seq 88 followers 1 lag 3 acked 85");
         assert_eq!(parse_role_report(&line).unwrap(), primary);
+        // Pre-chain primaries omitted `acked`; it defaults to `seq`.
+        let legacy = parse_role_report("+OK role primary seq 88 followers 1 lag 3").unwrap();
+        assert_eq!(legacy.acked, 88);
 
         let replica = RoleReport {
             primary: false,
@@ -1081,6 +1201,7 @@ mod tests {
             lag: 0,
             connected: 1,
             following: Some("127.0.0.1:7001".into()),
+            acked: 85,
         };
         let line = render_role_report(&replica);
         assert_eq!(

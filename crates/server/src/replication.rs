@@ -11,15 +11,25 @@
 //! +OK replicate log <backlog>             followed by that many log frames
 //! +OK replicate snapshot <n> <seq>        followed by n catalog frames
 //! +OK replicate colstore <b> <n> <seq>    followed by b BLOCK lines
+//! +OK replicate truncate <seq> <crc8hex>  no body; follower rewinds
 //! ```
 //!
 //! and then keeps the connection open, pushing every subsequent durable
 //! churn record as one CRC-framed line — the *same* framing as
 //! `churn.log`, so one parser serves the file and the wire. The log form
 //! is used when `from_seq` falls inside the retained log
-//! (`base_seq <= from_seq <= seq`); anything else — the follower predates
-//! the last rotation, or is *ahead* of the primary (stale leftovers from
-//! an old promotion) — gets a bootstrap: the full live catalog, which the
+//! (`base_seq <= from_seq <= seq`). A follower *ahead* of the primary
+//! (an unacked suffix left over from an old promotion) gets the
+//! `truncate` form when the primary still retains its own head frame:
+//! `<seq>` is the primary's current sequence and `<crc8hex>` the CRC
+//! field of its frame at that sequence. The follower checks its own log
+//! frame at `<seq>` against that CRC; on a match the histories agree up
+//! to `<seq>`, so it rewinds locally — discarding only the divergent
+//! suffix — and tails from there with zero transferred state. On a
+//! mismatch (or if it cannot check) it redials with a trailing `reset`
+//! token, which forces the wholesale bootstrap path. Anything else — the
+//! follower predates the last rotation, the CRC probe fails, or `reset`
+//! was sent — gets a bootstrap: the full live catalog, which the
 //! follower applies as a wholesale replacement of its local state. The
 //! bootstrap form is `snapshot` (one `S` frame per subscription) unless
 //! the follower said `v2` *and* the primary runs the colstore snapshot
@@ -30,9 +40,24 @@
 //! block; any damage drops the connection and the reconnect refetches the
 //! whole bootstrap — nothing is skipped.
 //!
-//! The follower periodically reports progress on the same connection with
-//! `REPLACK <applied_seq>`; the primary folds the minimum across
-//! followers into its `repl_lag_records` gauge.
+//! The follower reports progress on the same connection with
+//! `REPLACK <applied_seq>`. Acks are *pipelined*: the follower applies
+//! every record already buffered on its stream and acks once at the
+//! drain boundary (or every `repl_ack_every` records, whichever comes
+//! first), so a burst of N records costs one ack line instead of N. The
+//! primary folds the minimum across followers into its
+//! `repl_lag_records` gauge.
+//!
+//! ## Chains
+//!
+//! Replication composes hop-to-hop: a follower that has `REPLICATE`
+//! streams open *against itself* re-broadcasts every record it applies
+//! to its own followers (primary → f1 → f2 …). Each hop persists before
+//! forwarding, so a chain of depth N survives N-1 failures without
+//! losing acked churn. When a mid-chain node bootstraps or rewinds, it
+//! kicks its own followers ([`ReplicationHub::kick_all`]) so they
+//! re-handshake against its new history instead of silently skipping the
+//! sequence jump.
 //!
 //! ## Roles
 //!
@@ -210,6 +235,31 @@ impl ReplicationHub {
         Self::max_lag_locked(&self.followers.lock(), current_seq)
     }
 
+    /// Minimum acked sequence across live followers, or `current_seq`
+    /// with none connected. `ROLE` reports this so the router's
+    /// promotion floor can track what the chain has durably confirmed.
+    pub fn min_acked(&self, current_seq: u64) -> u64 {
+        self.followers
+            .lock()
+            .iter()
+            .map(|f| f.acked)
+            .min()
+            .unwrap_or(current_seq)
+    }
+
+    /// Force-closes every follower stream. Called after a wholesale
+    /// bootstrap or covered-suffix rewind rewrites this node's history:
+    /// downstream followers must re-handshake (and themselves bootstrap,
+    /// rewind, or tail) rather than silently skip the sequence jump.
+    pub fn kick_all(&self, stats: &ServerStats) {
+        let mut followers = self.followers.lock();
+        for f in followers.drain(..) {
+            f.conn.kick();
+        }
+        stats.repl_followers.store(0, Ordering::Relaxed);
+        stats.repl_lag_records.store(0, Ordering::Relaxed);
+    }
+
     fn max_lag_locked(followers: &[Follower], current_seq: u64) -> u64 {
         followers
             .iter()
@@ -342,6 +392,43 @@ mod tests {
         hub.remove(7);
         assert_eq!(hub.follower_count(), 0);
         assert_eq!(hub.max_lag(9), 0);
+    }
+
+    #[test]
+    fn min_acked_tracks_slowest_follower_and_kick_all_clears() {
+        let hub = ReplicationHub::default();
+        let stats = ServerStats::default();
+        assert_eq!(hub.min_acked(42), 42); // no followers -> own seq
+
+        let (tx1, _rx1) = bounded::<String>(16);
+        let (s1, _p1) = loopback_pair();
+        hub.register(
+            1,
+            Box::new(ThreadedFollower {
+                out: tx1,
+                stream: s1,
+            }),
+            0,
+        );
+        let (tx2, _rx2) = bounded::<String>(16);
+        let (s2, _p2) = loopback_pair();
+        hub.register(
+            2,
+            Box::new(ThreadedFollower {
+                out: tx2,
+                stream: s2,
+            }),
+            0,
+        );
+
+        hub.ack(1, 10, 12);
+        hub.ack(2, 7, 12);
+        assert_eq!(hub.min_acked(12), 7);
+
+        hub.kick_all(&stats);
+        assert_eq!(hub.follower_count(), 0);
+        assert_eq!(hub.min_acked(12), 12);
+        assert_eq!(ServerStats::get(&stats.repl_followers), 0);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crossbeam::channel::{Receiver, Sender};
 
 use crate::broker::{sub_fingerprint, Hub, ReplicaRunner, ReshardRunner};
 use crate::ingest::IngestItem;
+use crate::persist::failpoint::{self, FailAction};
 use crate::persist::{ChurnError, Persister};
 use crate::protocol::{self, Request, ReshardCmd, RoleReport};
 use crate::replication::{FollowerConn, Role, RoleState};
@@ -352,7 +353,12 @@ pub(crate) fn on_conn_line(
                 Some((epoch, bits)) => reply(protocol::render_summary_reply(epoch, &bits)),
             }
         }
-        Request::Replicate { from_seq, v2, ring } => match &ctx.persist {
+        Request::Replicate {
+            from_seq,
+            v2,
+            ring,
+            reset,
+        } => match &ctx.persist {
             Some(p) => {
                 let scope = match ring
                     .map(|spec| RingScope::parse(&spec.members_csv, &spec.keep_csv))
@@ -365,8 +371,9 @@ pub(crate) fn on_conn_line(
                         return Flow::Continue;
                     }
                 };
-                let registered = make_follower()
-                    .and_then(|conn| p.begin_stream(conn_id, from_seq, v2, scope.as_ref(), conn));
+                let registered = make_follower().and_then(|conn| {
+                    p.begin_stream(conn_id, from_seq, v2, reset, scope.as_ref(), conn)
+                });
                 match registered {
                     // The handshake header + backlog chunk is already
                     // queued; the live tail flows via broadcast. This
@@ -384,25 +391,46 @@ pub(crate) fn on_conn_line(
             }
         },
         Request::ReplAck { seq } => {
+            // The `repl.ack.delay` failpoint drives quorum-timeout and
+            // slow-follower paths: `Stall(ms)` delays the ack before it
+            // lands (visible as follower lag on the primary), anything
+            // else drops it outright — the follower's next ack or
+            // keepalive recovers the cursor.
+            match failpoint::fire("repl.ack.delay") {
+                Some(FailAction::Stall(ms)) => {
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+                Some(_) => return Flow::Continue,
+                None => {}
+            }
             if let Some(p) = &ctx.persist {
                 p.follower_ack(conn_id, seq);
             }
         }
         Request::Role => {
+            let seq = ctx.persist.as_ref().map(|p| p.current_seq()).unwrap_or(0);
             let report = match ctx.role.role() {
                 Role::Primary => RoleReport {
                     primary: true,
-                    seq: ctx.persist.as_ref().map(|p| p.current_seq()).unwrap_or(0),
+                    seq,
                     lag: ServerStats::get(&stats.repl_lag_records),
                     connected: ServerStats::get(&stats.repl_followers),
                     following: None,
+                    // Chain-durable floor: the slowest connected
+                    // follower's acked sequence (own seq with none).
+                    acked: ctx
+                        .persist
+                        .as_ref()
+                        .map(|p| p.followers_min_acked())
+                        .unwrap_or(seq),
                 },
                 Role::Replica { primary } => RoleReport {
                     primary: false,
-                    seq: ctx.persist.as_ref().map(|p| p.current_seq()).unwrap_or(0),
+                    seq,
                     lag: 0,
                     connected: ServerStats::get(&stats.repl_connected),
                     following: Some(primary),
+                    acked: seq,
                 },
             };
             reply(protocol::render_role_report(&report));

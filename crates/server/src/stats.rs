@@ -136,6 +136,12 @@ pub struct ServerStats {
     /// Snapshot bootstraps applied by this replica (wholesale state
     /// replacement on handshake).
     pub repl_bootstraps: AtomicU64,
+    /// Covered-suffix truncations: handshakes resolved by rewinding the
+    /// follower's local log instead of a wholesale bootstrap.
+    pub repl_truncates: AtomicU64,
+    /// `REPLACK`s that covered more than one applied record (drained-batch
+    /// acks on the follower's pull stream).
+    pub replacks_pipelined: AtomicU64,
     /// Bytes shipped in bootstrap chunks (text frames or colstore blocks)
     /// answering `REPLICATE` handshakes on this primary.
     pub repl_bootstrap_bytes: AtomicU64,
@@ -277,6 +283,8 @@ impl ServerStats {
         push("repl_reconnects", Self::get(&self.repl_reconnects));
         push("repl_connected", Self::get(&self.repl_connected));
         push("repl_bootstraps", Self::get(&self.repl_bootstraps));
+        push("repl_truncates", Self::get(&self.repl_truncates));
+        push("replacks_pipelined", Self::get(&self.replacks_pipelined));
         push(
             "repl_bootstrap_bytes",
             Self::get(&self.repl_bootstrap_bytes),

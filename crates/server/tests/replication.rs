@@ -224,10 +224,12 @@ fn rotation_gap_bootstraps_from_text_format_primary() {
 }
 
 #[test]
-fn follower_ahead_of_primary_rebootstraps() {
+fn follower_ahead_with_shared_prefix_truncates_instead_of_rebootstrap() {
     let wl = WorkloadSpec::new(40).seed(0xa4ed).build();
     // Grow a log to seq 40 in dir, then retire that server: the dir now
-    // holds state *ahead* of the fresh primary below.
+    // holds state *ahead* of the fresh primary below — but the first 12
+    // records are byte-identical to the primary's (same subs, same
+    // order), so the suffix is a covered, unacked leftover.
     let stale_dir = tmpdir("ahead_stale");
     {
         let (old, mut oc) = start(&wl.schema, persisted_config(&stale_dir));
@@ -244,27 +246,30 @@ fn follower_ahead_of_primary_rebootstraps() {
     }
 
     // The replica recovers seq 40 locally, handshakes with from_seq=40
-    // against a primary at seq 12 — stale-promotion leftovers. The only
-    // safe answer is a wholesale re-bootstrap.
+    // against a primary at seq 12. The primary offers the truncate form
+    // with its head frame's CRC; the replica's own frame 12 matches, so
+    // it discards the suffix locally and tails — zero state transfer,
+    // no wholesale bootstrap.
     let (replica, mut rc) = start(
         &wl.schema,
         replica_config(&stale_dir, &primary.local_addr().to_string()),
     );
-    // The bootstrap counter lives in the wait condition, not a trailing
-    // assert: `current_seq` blocks on the same lock `bootstrap_replace`
-    // holds, so a poll can wake the instant the swap is visible and race
-    // ahead of the replication thread's counter increment.
-    wait_until("re-bootstrap", Duration::from_secs(10), || {
+    // The truncate counter lives in the wait condition, not a trailing
+    // assert: `current_seq` blocks on the same lock the rewind holds, so
+    // a poll can wake the instant the swap is visible and race ahead of
+    // the replication thread's counter increment.
+    wait_until("covered-suffix rewind", Duration::from_secs(10), || {
         replica.current_seq() == primary.current_seq()
             && replica.engine().len() == 12
-            && ServerStats::get(&replica.stats().repl_bootstraps) == 1
+            && ServerStats::get(&replica.stats().repl_truncates) == 1
     });
+    assert_eq!(ServerStats::get(&replica.stats().repl_bootstraps), 0);
 
     // And it now tracks the primary's timeline.
     for sub in &wl.subs[12..20] {
         pc.subscribe(sub, &wl.schema).unwrap();
     }
-    wait_until("post-bootstrap tail", Duration::from_secs(10), || {
+    wait_until("post-rewind tail", Duration::from_secs(10), || {
         replica.engine().len() == 20
     });
 
@@ -280,6 +285,135 @@ fn follower_ahead_of_primary_rebootstraps() {
     pc.quit().unwrap();
     replica.shutdown();
     primary.shutdown();
+}
+
+#[test]
+fn follower_ahead_with_divergent_history_rebootstraps() {
+    let wl = WorkloadSpec::new(40).seed(0xa4ee).build();
+    // Same ahead-of-primary shape, but the stale dir's history was built
+    // in *reverse* order: its frame at the primary's head seq names a
+    // different subscription, so the truncate CRC probe must fail and
+    // the follower must fall back to the wholesale bootstrap.
+    let stale_dir = tmpdir("divergent_stale");
+    {
+        let (old, mut oc) = start(&wl.schema, persisted_config(&stale_dir));
+        for sub in wl.subs.iter().rev() {
+            oc.subscribe(sub, &wl.schema).unwrap();
+        }
+        oc.quit().unwrap();
+        old.shutdown();
+    }
+
+    let (primary, mut pc) = start(&wl.schema, persisted_config(&tmpdir("divergent_p")));
+    for sub in &wl.subs[..12] {
+        pc.subscribe(sub, &wl.schema).unwrap();
+    }
+
+    let (replica, mut rc) = start(
+        &wl.schema,
+        replica_config(&stale_dir, &primary.local_addr().to_string()),
+    );
+    wait_until("divergent re-bootstrap", Duration::from_secs(10), || {
+        replica.current_seq() == primary.current_seq()
+            && replica.engine().len() == 12
+            && ServerStats::get(&replica.stats().repl_bootstraps) == 1
+    });
+    assert_eq!(ServerStats::get(&replica.stats().repl_truncates), 0);
+
+    let events = wl.events(32);
+    let live: Vec<&Subscription> = wl.subs[..12].iter().collect();
+    let expect = oracle_rows(&live, &events);
+    let rows = rc.publish_batch(&events, &wl.schema).unwrap();
+    for (seq, row) in &rows {
+        assert_eq!(row, &expect[*seq as usize], "event {seq}");
+    }
+
+    rc.quit().unwrap();
+    pc.quit().unwrap();
+    replica.shutdown();
+    primary.shutdown();
+}
+
+/// The double-failover regression: A leads, B takes over, A returns with
+/// an unacked suffix, then leadership comes back to A. Each hand-back
+/// must reconcile by covered-suffix truncation (the histories share every
+/// acked record) — never by wholesale re-bootstrap.
+#[test]
+fn double_failover_a_b_a_truncates_never_rebootstraps() {
+    let wl = WorkloadSpec::new(40).seed(0xabab).build();
+    let (a, mut ac) = start(&wl.schema, persisted_config(&tmpdir("aba_a")));
+    for sub in &wl.subs[..20] {
+        ac.subscribe(sub, &wl.schema).unwrap();
+    }
+    let (b, mut bc) = start(
+        &wl.schema,
+        replica_config(&tmpdir("aba_b"), &a.local_addr().to_string()),
+    );
+    wait_until("b catches up", Duration::from_secs(10), || {
+        b.current_seq() == a.current_seq()
+    });
+
+    // Failover to B... but A (still primary, "partitioned") takes five
+    // more records nobody acked through B's timeline. The churn waits
+    // for B's puller stream to actually drop first — otherwise the dying
+    // stream can race a record or two over to B.
+    bc.promote().unwrap();
+    wait_until("b's puller detaches", Duration::from_secs(10), || {
+        ServerStats::get(&a.stats().repl_followers) == 0
+    });
+    for sub in &wl.subs[20..25] {
+        ac.subscribe(sub, &wl.schema).unwrap();
+    }
+    assert_eq!(a.current_seq(), 25);
+    assert_eq!(b.current_seq(), 20);
+
+    // A rejoins as B's follower: from_seq=25 against B at 20, shared
+    // history up to 20 — the suffix is covered, so A rewinds in place.
+    ac.demote(&b.local_addr().to_string()).unwrap();
+    wait_until("a rewinds onto b", Duration::from_secs(10), || {
+        a.current_seq() == b.current_seq()
+            && a.engine().len() == 20
+            && ServerStats::get(&a.stats().repl_truncates) == 1
+    });
+    assert_eq!(ServerStats::get(&a.stats().repl_bootstraps), 0);
+
+    // B meanwhile leads on: churn it forward, A tails the new timeline.
+    for sub in &wl.subs[25..32] {
+        bc.subscribe(sub, &wl.schema).unwrap();
+    }
+    wait_until("a tails b's churn", Duration::from_secs(10), || {
+        a.current_seq() == b.current_seq() && a.engine().len() == 27
+    });
+
+    // Failover back: A promotes at B's head, B rejoins under A. The
+    // timelines are identical now, so B needs neither rewind nor
+    // bootstrap — it just tails.
+    ac.promote().unwrap();
+    bc.demote(&a.local_addr().to_string()).unwrap();
+    for sub in &wl.subs[32..] {
+        ac.subscribe(sub, &wl.schema).unwrap();
+    }
+    wait_until("b follows a again", Duration::from_secs(10), || {
+        b.current_seq() == a.current_seq() && b.engine().len() == 35
+    });
+    assert_eq!(ServerStats::get(&b.stats().repl_bootstraps), 0);
+    assert_eq!(ServerStats::get(&b.stats().repl_truncates), 0);
+
+    // Both ends answer byte-identical rows for the surviving catalog.
+    let events = wl.events(32);
+    let live: Vec<&Subscription> = wl.subs[..20].iter().chain(&wl.subs[25..]).collect();
+    let expect = oracle_rows(&live, &events);
+    for (who, client) in [("a", &mut ac), ("b", &mut bc)] {
+        let rows = client.publish_batch(&events, &wl.schema).unwrap();
+        for (seq, row) in &rows {
+            assert_eq!(row, &expect[*seq as usize], "{who} event {seq}");
+        }
+    }
+
+    ac.quit().unwrap();
+    bc.quit().unwrap();
+    a.shutdown();
+    b.shutdown();
 }
 
 #[test]
@@ -504,6 +638,126 @@ fn corrupt_colstore_block_forces_clean_refetch() {
     drop(rc);
     replica.shutdown();
     fake.join().unwrap();
+}
+
+/// Ten frames shipped in one burst land in the follower's read buffer
+/// together, so the drain-boundary ack logic must coalesce — `REPLACK`
+/// once per drained run (capped by `repl_ack_every`), not once per
+/// record.
+#[test]
+fn burst_of_frames_is_acked_pipelined() {
+    let wl = WorkloadSpec::new(10).seed(0x9191).build();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let schema = wl.schema.clone();
+    let subs = wl.subs.clone();
+    let fake = std::thread::spawn(move || {
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("REPLICATE "), "{line}");
+        // The whole backlog in one write: header plus all ten frames.
+        let mut body = format!("+OK replicate log {}\n", subs.len());
+        for (i, sub) in subs.iter().enumerate() {
+            body.push_str(&render_frame(1 + i as u64, &ChurnOp::Sub(sub), &schema));
+            body.push('\n');
+        }
+        stream
+            .try_clone()
+            .unwrap()
+            .write_all(body.as_bytes())
+            .unwrap();
+        // Drain acks until the head is covered, then hang up.
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {
+                    if line.trim() == format!("REPLACK {}", subs.len()) {
+                        std::thread::sleep(Duration::from_millis(200));
+                        return;
+                    }
+                }
+            }
+        }
+    });
+
+    let (replica, rc) = start(&wl.schema, replica_config(&tmpdir("pipe_r"), &addr));
+    wait_until("burst applied", Duration::from_secs(10), || {
+        replica.current_seq() == wl.subs.len() as u64
+    });
+    // repl_ack_every is 4: a fully buffered ten-frame burst acks at 4, 8
+    // and the drain boundary — each line covering several records.
+    assert!(
+        ServerStats::get(&replica.stats().replacks_pipelined) >= 1,
+        "expected at least one coalesced ack"
+    );
+    assert_eq!(replica.engine().len(), wl.subs.len());
+
+    drop(rc);
+    replica.shutdown();
+    fake.join().unwrap();
+}
+
+/// The `repl.ack.delay` failpoint: `Error` swallows `REPLACK` lines at
+/// the primary and `Stall` holds its handler — either way replication
+/// itself keeps applying, and the acked horizon heals once the failpoint
+/// drains (the follower's idle keepalive re-sends its cursor).
+#[test]
+fn ack_delay_failpoint_delays_acked_horizon_not_replication() {
+    let _guard = lock();
+    failpoint::reset();
+    let wl = WorkloadSpec::new(30).seed(0xacde).build();
+    let (primary, mut pc) = start(&wl.schema, persisted_config(&tmpdir("ackd_p")));
+    for sub in &wl.subs[..10] {
+        pc.subscribe(sub, &wl.schema).unwrap();
+    }
+    let (replica, _rc) = start(
+        &wl.schema,
+        replica_config(&tmpdir("ackd_r"), &primary.local_addr().to_string()),
+    );
+    wait_until("baseline catch-up", Duration::from_secs(10), || {
+        replica.current_seq() == primary.current_seq()
+    });
+    wait_until("baseline acked", Duration::from_secs(10), || {
+        pc.role().map(|r| r.acked == 10).unwrap_or(false)
+    });
+
+    // Drop the next acks: the follower still applies everything.
+    failpoint::arm("repl.ack.delay", FailAction::Error, Some(3));
+    for sub in &wl.subs[10..20] {
+        pc.subscribe(sub, &wl.schema).unwrap();
+    }
+    wait_until(
+        "applies despite dropped acks",
+        Duration::from_secs(10),
+        || replica.current_seq() == primary.current_seq(),
+    );
+    wait_until("acked horizon heals", Duration::from_secs(10), || {
+        pc.role().map(|r| r.acked == 20).unwrap_or(false)
+    });
+
+    // Stall: the ack handler sleeps, nothing is lost.
+    failpoint::arm("repl.ack.delay", FailAction::Stall(30), Some(2));
+    for sub in &wl.subs[20..] {
+        pc.subscribe(sub, &wl.schema).unwrap();
+    }
+    wait_until(
+        "applies through stalled acks",
+        Duration::from_secs(10),
+        || {
+            replica.current_seq() == primary.current_seq()
+                && pc.role().map(|r| r.acked == 30).unwrap_or(false)
+        },
+    );
+    failpoint::reset();
+
+    pc.quit().unwrap();
+    replica.shutdown();
+    primary.shutdown();
 }
 
 #[test]

@@ -80,8 +80,9 @@ usage:
              [--cardinality N] [--health-ms N] [--probe-timeout-ms N]
              [--connect-timeout-ms N] [--read-timeout-ms N] [--queue N]
              [--max-line-bytes N]
-             [--replicas HOST:PORT,...]  (one follower per backend, same order)
-             (live resharding: send `RESHARD ADD PRIMARY [REPLICA]`,
+             [--replicas CHAIN,...]  (one chain per backend, same order; a
+              chain is HOST:PORT or a `+`-joined hop list f1+f2+f3)
+             (live resharding: send `RESHARD ADD PRIMARY [F1 F2 ...]`,
               `RESHARD REMOVE N`, or `RESHARD STATUS` via `apcm client`)
   apcm client [--addr HOST:PORT] [--connect-timeout-ms N] [--read-timeout-ms N]
              [--retries N]
@@ -310,9 +311,12 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
 /// The cluster front: routes churn by id hash, fans publishes to every
 /// live backend, and merges rows. Backends are `apcm serve` instances
 /// sharing this router's `--dims`/`--cardinality` schema. With
-/// `--replicas`, each backend is paired positionally with a follower
-/// (started via `apcm serve --replica-of`) that the router promotes when
-/// the primary is marked down.
+/// `--replicas`, each backend is paired positionally with a comma-
+/// separated slot naming its replication chain: a single address is one
+/// follower, `f1+f2+f3` is a three-deep chain (each hop started via
+/// `apcm serve --replica-of` pointing at the previous one). The router
+/// promotes the most caught-up live chain member when the primary is
+/// marked down, and serves reads from followers past the churn-ack floor.
 fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
     fn split_addrs(text: &str) -> Vec<String> {
         text.split(',')
@@ -328,13 +332,24 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
     if backends.is_empty() {
         return Err("--backends must name at least one backend".into());
     }
-    let replicas: Vec<String> = flags
+    // Each comma slot is one partition's chain; `+` separates hops.
+    let replicas: Vec<Vec<String>> = flags
         .get("replicas")
-        .map(|t| split_addrs(t))
+        .map(|t| {
+            split_addrs(t)
+                .into_iter()
+                .map(|slot| {
+                    slot.split('+')
+                        .map(|a| a.trim().to_string())
+                        .filter(|a| !a.is_empty())
+                        .collect()
+                })
+                .collect()
+        })
         .unwrap_or_default();
     if !replicas.is_empty() && replicas.len() != backends.len() {
         return Err(format!(
-            "--replicas names {} followers for {} backends (pair them positionally)",
+            "--replicas names {} follower chains for {} backends (pair them positionally)",
             replicas.len(),
             backends.len()
         ));
@@ -364,7 +379,7 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
         let specs: Vec<BackendSpec> = backends
             .iter()
             .zip(&replicas)
-            .map(|(primary, replica)| BackendSpec::replicated(primary.clone(), replica.clone()))
+            .map(|(primary, chain)| BackendSpec::chain(primary.clone(), chain.clone()))
             .collect();
         Router::start_replicated(schema, &specs, config, &addr)
     }
