@@ -275,14 +275,21 @@ pub struct Partition {
     /// node other than the current active one — means the scatter path
     /// must fall back to full fan-out for this partition.
     summary: Mutex<SummarySlot>,
-    /// Highest `ROLE`-reported primary sequence. One of the two lower
-    /// bounds combined by [`Self::last_primary_seq`].
+    /// Highest primary log sequence this router has *observed as a real
+    /// sequence*: from `ROLE` probes, from the `seq <n>` carried on every
+    /// durable churn ack, and from migration floor raises. Because churn
+    /// acks report the appended record's own sequence, this floor covers
+    /// every record the router has acked — including acks landing between
+    /// sweeps against a backend with pre-existing history, where a mere
+    /// ack *count* would undercount. One of the two lower bounds combined
+    /// by [`Self::last_primary_seq`].
     probed_seq: AtomicU64,
-    /// Churn records this router has seen acknowledged on the partition.
-    /// The other lower bound: covers records acked since the last probe.
-    /// Kept separate from `probed_seq` — folding acks into the probed
-    /// value would double-count any record the probe already saw, pushing
-    /// the floor past the primary's real sequence and wedging failover.
+    /// Fallback count of churn acks that carried no sequence (a backend
+    /// without persistence — which also cannot replicate, so the floor is
+    /// moot there). Kept separate from `probed_seq`: summing a count into
+    /// the probed value would double-count records the probe already saw,
+    /// pushing the floor past the primary's real sequence and wedging
+    /// failover.
     acked_records: AtomicU64,
     /// Serializes failover attempts (sweep vs. inline routing paths).
     promote_lock: Mutex<()>,
@@ -346,21 +353,30 @@ impl Partition {
     }
 
     /// The promotion floor: a lower bound on the acked churn sequence.
-    /// Both inputs undercount the true sequence (the probe is stale, the
-    /// ack count misses records appended outside this router), so their
-    /// max is still a safe bound — and between the two, every record the
-    /// router acknowledged is covered.
+    /// Both inputs undercount the true sequence (the probe can be stale,
+    /// the no-seq ack count misses records appended outside this router),
+    /// so their max is still a safe bound — and because every durable ack
+    /// folds its own record's sequence into `probed_seq`, every record
+    /// the router acknowledged is covered the moment its ack returns.
     pub fn last_primary_seq(&self) -> u64 {
         self.probed_seq
             .load(Ordering::Relaxed)
             .max(self.acked_records.load(Ordering::Relaxed))
     }
 
-    /// Counts a router-observed churn acknowledgment. Exactly the durable-
-    /// record count: fresh `SUB` and successful `UNSUB` append one record
-    /// each; claims and errors append none.
-    pub fn record_churn_ack(&self) {
-        self.acked_records.fetch_add(1, Ordering::Relaxed);
+    /// Records a router-observed churn acknowledgment. `seq` is the
+    /// durable log sequence the ack carried (`+OK <id> seq <n>`): folding
+    /// it in makes the floor cover the acked record *immediately* — a
+    /// follower probed as caught-up before this ack can no longer serve
+    /// reads until it re-proves itself past the new record. A seq-less
+    /// ack (non-persistent backend) falls back to the record count.
+    pub fn record_churn_ack(&self, seq: Option<u64>) {
+        match seq {
+            Some(seq) => self.raise_floor(seq),
+            None => {
+                self.acked_records.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Whether `nodes()[i]` may serve reads right now: an up follower,
@@ -876,7 +892,17 @@ impl Membership {
     /// probes *every* standby in the chain, then promotes the live one
     /// with the highest applied sequence — which must still clear the
     /// promotion floor, so a uniformly lagging chain is never promoted
-    /// (`None`: better refuse churn than lose acked records). On success
+    /// (`None`: better refuse churn than lose acked records).
+    ///
+    /// Candidates are ranked in trust tiers before sequence: reconciled
+    /// followers first, then followers whose stream was down at the probe
+    /// (`connected 0` — possibly a rejoined ex-primary that has not
+    /// reconciled its history yet), and nodes still *answering as
+    /// primary* last. A restarted ex-primary's sequence can be inflated
+    /// by a divergent unacked suffix, so ranking by raw sequence would
+    /// actively prefer the one node whose extra records are untrustworthy
+    /// and lose churn acked by the real primary since; it is promoted
+    /// only when no follower candidate clears the floor. On success
     /// the floor is raised to the winner's sequence (it is the new
     /// durable head; folding the *unpromoted* candidates in would be
     /// wrong — a divergent ex-primary's inflated seq could wedge every
@@ -893,7 +919,9 @@ impl Membership {
             return Some(active_idx);
         }
         let floor = partition.last_primary_seq();
-        let mut candidates: Vec<(usize, u64)> = Vec::new();
+        // (trust tier, node index, reported seq); lower tier = more
+        // trustworthy history.
+        let mut candidates: Vec<(u8, usize, u64)> = Vec::new();
         for (i, node) in partition.nodes.iter().enumerate() {
             if i == active_idx {
                 continue;
@@ -923,19 +951,29 @@ impl Membership {
             match c.request("ROLE") {
                 Ok(r) if r.starts_with('+') => {
                     if let Ok(report) = protocol::parse_role_report(&r) {
-                        candidates.push((i, report.seq));
+                        let tier = if report.primary {
+                            2 // un-demoted ex-primary: seq untrustworthy
+                        } else if report.connected == 0 {
+                            1 // replica, history not (re)verified upstream
+                        } else {
+                            0 // reconciled follower
+                        };
+                        candidates.push((tier, i, report.seq));
                     }
                 }
                 _ => node.mark_down_locked(&mut conn, &self.connect, stats),
             }
         }
-        // Highest applied sequence first; ties break toward the earlier
-        // (closer-to-primary) chain position.
-        candidates.sort_by_key(|&(i, seq)| (std::cmp::Reverse(seq), i));
+        // Most-trusted tier first; within a tier highest applied sequence,
+        // ties breaking toward the earlier (closer-to-primary) chain
+        // position. The floor still gates every tier, so a lower-tier
+        // winner never misses acked churn — it only discards an
+        // ex-primary's unacknowledged (possibly divergent) suffix.
+        candidates.sort_by_key(|&(tier, i, seq)| (tier, std::cmp::Reverse(seq), i));
         let mut winner = None;
-        for (i, seq) in candidates {
+        for (_, i, seq) in candidates {
             if seq < floor {
-                break; // sorted: everything after is further behind
+                continue; // a later (lower-trust) tier may still qualify
             }
             let node = &partition.nodes[i];
             let mut conn = node.lock_conn();
@@ -1185,6 +1223,37 @@ mod tests {
             );
             partition.invalidate_summary();
         }
+
+        // A churn ack carrying seq 11 lands between sweeps: the floor
+        // must cover it *immediately*, so the follower probed as caught
+        // up at 10 stops serving reads (and its summary stops being
+        // trusted) until a fresh probe proves it past the record.
+        partition.record_churn_ack(Some(11));
+        assert_eq!(partition.last_primary_seq(), 11);
+        assert_eq!(partition.choose_read_follower(), FollowerRead::BelowFloor);
+        let (generation, _) = partition.summary_refresh_token(1);
+        partition.store_summary(generation, 1, 2, bits);
+        assert!(partition.summary_for_scatter().is_none());
+    }
+
+    #[test]
+    fn seq_carrying_acks_anchor_the_floor_to_the_primary_log() {
+        // The restart-against-existing-data hole: a fresh router probes a
+        // primary already at seq 100, so its lifetime ack count (0, 1,
+        // 2, ...) can never catch the probe between sweeps. Because acks
+        // carry the appended record's own sequence, the floor covers the
+        // acked record the moment the ack returns.
+        let partition = Partition::new(0, &BackendSpec::replicated("a", "b"));
+        partition.raise_floor(100); // the sweep's probe
+        assert_eq!(partition.last_primary_seq(), 100);
+        partition.record_churn_ack(Some(101));
+        assert_eq!(partition.last_primary_seq(), 101);
+        // Replies observed out of order can never lower the floor.
+        partition.record_churn_ack(Some(50));
+        assert_eq!(partition.last_primary_seq(), 101);
+        // Seq-less acks (non-persistent backend) still count as records.
+        partition.record_churn_ack(None);
+        assert_eq!(partition.last_primary_seq(), 101);
     }
 
     #[test]
@@ -1290,8 +1359,65 @@ mod tests {
         let partitions = membership.partitions();
         let partition = &partitions[0];
         assert_eq!(partition.last_primary_seq(), 0);
-        partition.record_churn_ack();
-        partition.record_churn_ack();
+        partition.record_churn_ack(None);
+        partition.record_churn_ack(None);
         assert_eq!(partition.last_primary_seq(), 2);
+    }
+
+    #[test]
+    fn failover_prefers_reconciled_follower_over_divergent_ex_primary() {
+        // The designated primary is dead; the standbys are a restarted
+        // ex-primary still answering as primary with an inflated,
+        // divergent sequence, and a reconciled follower. Raw seq ranking
+        // would promote the divergent node and lose the churn the real
+        // primary acked since — the trust tiers must pick the follower.
+        let stats = ClusterStats::default();
+        let ex_primary = scripted_backend("+OK role primary seq 99 followers 0 lag 0 acked 99");
+        let follower = scripted_backend("+OK role replica of x applied 10 connected 1");
+        let membership = Membership::connect_replicated(
+            &[BackendSpec::chain(
+                "127.0.0.1:1",
+                vec![ex_primary, follower],
+            )],
+            fast_options(),
+            PROBE,
+            &stats,
+        );
+        let partition = &membership.partitions()[0];
+        assert_eq!(partition.active_index(), 2, "follower must win promotion");
+        assert!(ClusterStats::get(&stats.promotions) >= 1);
+    }
+
+    #[test]
+    fn failover_falls_back_to_ex_primary_when_no_follower_qualifies() {
+        let stats = ClusterStats::default();
+        let ex_primary = scripted_backend("+OK role primary seq 99 followers 0 lag 0 acked 99");
+        let membership = Membership::connect_replicated(
+            &[BackendSpec::chain("127.0.0.1:1", vec![ex_primary])],
+            fast_options(),
+            PROBE,
+            &stats,
+        );
+        let partition = &membership.partitions()[0];
+        assert_eq!(partition.active_index(), 1, "sole survivor still serves");
+    }
+
+    #[test]
+    fn failover_prefers_stream_verified_follower_over_detached_one() {
+        // Both standbys answer as replicas, but only one has a live
+        // (history-verified) stream; a detached replica may be a demoted
+        // ex-primary that has not reconciled yet, so its higher applied
+        // seq must not outrank the verified one when both clear the floor.
+        let stats = ClusterStats::default();
+        let detached = scripted_backend("+OK role replica of x applied 9 connected 0");
+        let verified = scripted_backend("+OK role replica of x applied 5 connected 1");
+        let membership = Membership::connect_replicated(
+            &[BackendSpec::chain("127.0.0.1:1", vec![detached, verified])],
+            fast_options(),
+            PROBE,
+            &stats,
+        );
+        let partition = &membership.partitions()[0];
+        assert_eq!(partition.active_index(), 2, "verified follower wins");
     }
 }

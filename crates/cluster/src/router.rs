@@ -529,7 +529,12 @@ fn route_to_partition(hub: &RouterHub, partition: &Partition, line: &str) -> Str
         match reply {
             Ok(reply) => {
                 if churn_ack_appends_record(&reply) {
-                    partition.record_churn_ack();
+                    // A durable ack carries the appended record's log seq
+                    // (`+OK <id> seq <n>`); folding it into the floor
+                    // covers the record immediately, so a follower probed
+                    // as caught-up *before* this ack cannot keep serving
+                    // reads (or summaries) that miss it.
+                    partition.record_churn_ack(protocol::parse_churn_ack_seq(&reply));
                 }
                 return reply;
             }

@@ -1081,11 +1081,11 @@ impl ReplicaRunner {
                     stats.repl_applied_seq.store(applied, Ordering::Relaxed);
                     since_ack += 1;
                     // Pipelined acks: while more records are already
-                    // buffered on the stream they will be applied in this
+                    // readable on the stream they will be applied in this
                     // same drain, so hold the ack and send one line at
                     // the drain boundary — `ack_every` caps how long a
                     // continuous burst can go unacknowledged.
-                    let more_buffered = reader.buffer().contains(&b'\n');
+                    let more_buffered = burst_continues(&mut reader);
                     if since_ack >= self.ack_every || !more_buffered {
                         if since_ack > 1 {
                             ServerStats::add(&stats.replacks_pipelined, 1);
@@ -1150,6 +1150,29 @@ impl ReplicaRunner {
             }
         }
     }
+}
+
+/// Whether the replication burst being drained continues: another frame
+/// is already buffered, or the kernel socket buffer has more bytes ready
+/// right now. The `BufReader` buffer alone is not a drain boundary — a
+/// burst larger than one buffer fill (8KB default) looks "drained" at
+/// every buffer edge, which would ack far more often than `ack_every`
+/// intends — so when the buffer is quiet, peek the socket with a
+/// momentary non-blocking fill: `WouldBlock` is the genuine boundary.
+fn burst_continues(reader: &mut BufReader<TcpStream>) -> bool {
+    if reader.buffer().contains(&b'\n') {
+        return true;
+    }
+    // A non-empty buffer without a newline is a torn frame: its tail is
+    // in flight, so the fill below reports the burst continuing (either
+    // from fresh bytes or the buffered remainder) and the ack holds —
+    // the idle keepalive still bounds how long that can last.
+    if reader.get_ref().set_nonblocking(true).is_err() {
+        return false;
+    }
+    let ready = matches!(reader.fill_buf(), Ok(buf) if !buf.is_empty());
+    let _ = reader.get_ref().set_nonblocking(false);
+    ready
 }
 
 /// What a `RESHARD PULL` told us to migrate: the donor to dial, the ring
@@ -1314,8 +1337,8 @@ impl ReshardRunner {
             return Ok(());
         }
         match self.persist.apply_sub(&self.engine, sub) {
-            Ok(true) => {}
-            Ok(false) => {
+            Ok(Some(_)) => {}
+            Ok(None) => {
                 if self.persist.apply_unsub(&self.engine, sub.id()).is_err()
                     || self.persist.apply_sub(&self.engine, sub).is_err()
                 {
@@ -1332,13 +1355,13 @@ impl ReshardRunner {
     /// Removes one owned subscription through the local churn path.
     fn apply_owned_unsub(&self, id: SubId) -> Result<(), ()> {
         match self.persist.apply_unsub(&self.engine, id) {
-            Ok(true) => {
+            Ok(Some(_)) => {
                 self.hub.live.write().remove(&id);
                 self.hub.owners.write().remove(&id);
                 ServerStats::add(&self.hub.stats.reshard_pull_applied, 1);
                 Ok(())
             }
-            Ok(false) => Ok(()),
+            Ok(None) => Ok(()),
             Err(_) => Err(()),
         }
     }

@@ -409,18 +409,20 @@ impl Persister {
         inner.dirty_seq[route_partition(id, self.partitions as usize)] = seq;
     }
 
-    /// Applies a SUB through engine + log with rollback. `Ok(false)` for a
-    /// duplicate id (nothing written).
+    /// Applies a SUB through engine + log with rollback. `Ok(Some(seq))`
+    /// carries the appended record's durable log sequence — the churn ack
+    /// reports it so the router can anchor its promotion/read floor to a
+    /// real sequence. `Ok(None)` for a duplicate id (nothing written).
     pub fn apply_sub(
         &self,
         engine: &ShardedEngine,
         sub: &Subscription,
-    ) -> Result<bool, ChurnError> {
+    ) -> Result<Option<u64>, ChurnError> {
         let mut inner = self.inner.lock();
         self.gate(&mut inner)?;
         match engine.subscribe(sub) {
             Ok(true) => {}
-            Ok(false) => return Ok(false),
+            Ok(false) => return Ok(None),
             Err(e) => return Err(ChurnError::Engine(e)),
         }
         match inner
@@ -433,7 +435,7 @@ impl Persister {
                 self.mark_dirty(&mut inner, sub.id(), seq);
                 self.catalog.write().insert(sub.id(), sub.clone());
                 self.fan_out(&ChurnOp::Sub(sub), seq);
-                Ok(true)
+                Ok(Some(seq))
             }
             Err(e) => {
                 engine.unsubscribe(sub.id());
@@ -443,13 +445,18 @@ impl Persister {
         }
     }
 
-    /// Applies an UNSUB through engine + log with rollback. `Ok(false)`
+    /// Applies an UNSUB through engine + log with rollback. `Ok(Some(seq))`
+    /// carries the appended record's durable log sequence; `Ok(None)`
     /// when the id was not live (nothing written).
-    pub fn apply_unsub(&self, engine: &ShardedEngine, id: SubId) -> Result<bool, ChurnError> {
+    pub fn apply_unsub(
+        &self,
+        engine: &ShardedEngine,
+        id: SubId,
+    ) -> Result<Option<u64>, ChurnError> {
         let mut inner = self.inner.lock();
         self.gate(&mut inner)?;
         if !engine.unsubscribe(id) {
-            return Ok(false);
+            return Ok(None);
         }
         match inner
             .log
@@ -461,7 +468,7 @@ impl Persister {
                 self.mark_dirty(&mut inner, id, seq);
                 self.catalog.write().remove(&id);
                 self.fan_out(&ChurnOp::Unsub(id), seq);
-                Ok(true)
+                Ok(Some(seq))
             }
             Err(e) => {
                 // Roll the engine back from the catalog copy (still present
@@ -735,7 +742,15 @@ impl Persister {
             // makes it redial with `reset` for the wholesale bootstrap.
             let chunk = format!("+OK replicate truncate {current} {crc:08x}");
             send_chunk(&*conn, chunk).map_err(io::Error::other)?;
-            self.repl.register(follower_id, conn, current);
+            // Register at cursor 0, not `current`: nothing is verified
+            // until the follower CRC-probes its own frame at `current`
+            // and acks the rewind. Registering at `current` would fold an
+            // as-yet-unverified (possibly divergent) follower into
+            // `min_acked`, overstating the chain's durability horizon in
+            // ROLE/TOPOLOGY until the CRC mismatch disconnects it. The
+            // follower's first `REPLACK` after the rewind raises the
+            // cursor to its true verified progress.
+            self.repl.register(follower_id, conn, 0);
             StreamStart::Truncate { seq: current, crc }
         } else {
             // The follower predates the retained log (rotation), asked

@@ -490,6 +490,35 @@ pub fn render_duplicate_error(id: SubId) -> String {
     format!("-ERR duplicate {}", id.0)
 }
 
+/// Renders a churn acknowledgment. A durable broker reports the appended
+/// record's log sequence (`+OK <id> seq <n>`): a router that forwards
+/// the churn folds that sequence into the partition's promotion/read
+/// floor, making the floor an actual lower bound on the primary's log —
+/// it covers the just-acked record even when the router (re)started
+/// against a backend with pre-existing history, where an ack *count*
+/// would undercount. A broker without persistence acks the bare
+/// `+OK <id>` (no log, nothing to replicate, no floor to anchor).
+pub fn render_churn_ack(id: SubId, seq: Option<u64>) -> String {
+    match seq {
+        Some(seq) => format!("+OK {} seq {seq}", id.0),
+        None => format!("+OK {}", id.0),
+    }
+}
+
+/// Extracts the durable log sequence from a [`render_churn_ack`] reply,
+/// if it carries one. Deliberately strict — exactly `+OK <id> seq <n>` —
+/// so it can never mistake another `+OK` shape (`+OK claimed <id>`,
+/// `+OK <seq>` publish acks, `+OK promoted seq <n>`) for a churn ack.
+pub fn parse_churn_ack_seq(reply: &str) -> Option<u64> {
+    let mut it = reply.strip_prefix("+OK ")?.split(' ');
+    it.next()?.parse::<u32>().ok()?;
+    if it.next()? != "seq" {
+        return None;
+    }
+    let seq = it.next()?.parse::<u64>().ok()?;
+    it.next().is_none().then_some(seq)
+}
+
 /// Recognizes [`render_duplicate_error`] output, returning the id.
 pub fn parse_duplicate_error(line: &str) -> Option<SubId> {
     line.strip_prefix("-ERR duplicate ")
@@ -1138,6 +1167,22 @@ mod tests {
         assert_eq!(parse_duplicate_error(&line), Some(SubId(77)));
         assert_eq!(parse_duplicate_error("-ERR duplicate subscription 7"), None);
         assert_eq!(parse_duplicate_error("-ERR unknown subscription 7"), None);
+    }
+
+    #[test]
+    fn churn_acks_round_trip_and_parse_strictly() {
+        assert_eq!(render_churn_ack(SubId(7), Some(42)), "+OK 7 seq 42");
+        assert_eq!(render_churn_ack(SubId(7), None), "+OK 7");
+        assert_eq!(parse_churn_ack_seq("+OK 7 seq 42"), Some(42));
+        assert_eq!(parse_churn_ack_seq("+OK 7"), None);
+        // Never mistake another `+OK` shape for a durable churn ack:
+        // publish acks, claims, promotion replies, trailing garbage.
+        assert_eq!(parse_churn_ack_seq("+OK 42"), None);
+        assert_eq!(parse_churn_ack_seq("+OK claimed 7"), None);
+        assert_eq!(parse_churn_ack_seq("+OK promoted seq 5"), None);
+        assert_eq!(parse_churn_ack_seq("+OK 7 seq 42 extra"), None);
+        assert_eq!(parse_churn_ack_seq("+OK 7 seq x"), None);
+        assert_eq!(parse_churn_ack_seq("-ERR duplicate 7"), None);
     }
 
     #[test]

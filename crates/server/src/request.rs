@@ -193,18 +193,27 @@ pub(crate) fn on_conn_line(
             if refuse_unowned(ctx, id, reply) {
                 return Flow::Continue;
             }
-            let outcome = match &ctx.persist {
-                Some(p) => p.apply_sub(&ctx.engine, &sub),
-                None => ctx.engine.subscribe(&sub).map_err(ChurnError::Engine),
+            // `Ok(Some(applied))` means the sub is live; a durable broker
+            // additionally carries the appended record's log sequence,
+            // which the ack reports (`+OK <id> seq <n>`) so a router can
+            // anchor its promotion/read floor to a real sequence instead
+            // of counting acks.
+            let outcome: Result<Option<Option<u64>>, ChurnError> = match &ctx.persist {
+                Some(p) => p.apply_sub(&ctx.engine, &sub).map(|s| s.map(Some)),
+                None => ctx
+                    .engine
+                    .subscribe(&sub)
+                    .map(|fresh| fresh.then_some(None))
+                    .map_err(ChurnError::Engine),
             };
             match outcome {
-                Ok(true) => {
+                Ok(Some(seq)) => {
                     ctx.hub.owners.write().insert(id, conn_id);
                     ctx.hub.live.write().insert(id, sub_fingerprint(&sub));
                     ServerStats::add(&stats.subs_added, 1);
-                    reply(format!("+OK {}", id.0));
+                    reply(protocol::render_churn_ack(id, seq));
                 }
-                Ok(false) => {
+                Ok(None) => {
                     // Duplicate id. A byte-identical expression is a
                     // reconnect reclaiming its subscription: transfer
                     // ownership, no engine or durable churn. Anything
@@ -239,18 +248,18 @@ pub(crate) fn on_conn_line(
             if refuse_unowned(ctx, id, reply) {
                 return Flow::Continue;
             }
-            let outcome = match &ctx.persist {
-                Some(p) => p.apply_unsub(&ctx.engine, id),
-                None => Ok(ctx.engine.unsubscribe(id)),
+            let outcome: Result<Option<Option<u64>>, ChurnError> = match &ctx.persist {
+                Some(p) => p.apply_unsub(&ctx.engine, id).map(|s| s.map(Some)),
+                None => Ok(ctx.engine.unsubscribe(id).then_some(None)),
             };
             match outcome {
-                Ok(true) => {
+                Ok(Some(seq)) => {
                     ctx.hub.owners.write().remove(&id);
                     ctx.hub.live.write().remove(&id);
                     ServerStats::add(&stats.subs_removed, 1);
-                    reply(format!("+OK {}", id.0));
+                    reply(protocol::render_churn_ack(id, seq));
                 }
-                Ok(false) => {
+                Ok(None) => {
                     ServerStats::add(&stats.protocol_errors, 1);
                     reply(format!("-ERR unknown subscription {}", id.0));
                 }
@@ -523,12 +532,12 @@ pub(crate) fn on_conn_line(
                                 continue;
                             }
                             match p.apply_unsub(&ctx.engine, id) {
-                                Ok(true) => {
+                                Ok(Some(_)) => {
                                     ctx.hub.live.write().remove(&id);
                                     ctx.hub.owners.write().remove(&id);
                                     pruned += 1;
                                 }
-                                Ok(false) => {}
+                                Ok(None) => {}
                                 Err(e) => {
                                     degraded = Some(e);
                                     break;
